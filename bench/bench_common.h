@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benchmark harness:
+ * benchmark-model construction (the Table I suite), input batches,
+ * timing helpers and CSV output formatting.
+ *
+ * Every bench binary regenerates one table or figure of the paper and
+ * prints a CSV table to stdout, with '#'-prefixed commentary lines
+ * explaining the expected shape of the results.
+ */
+#ifndef TREEBEARD_BENCH_BENCH_COMMON_H
+#define TREEBEARD_BENCH_BENCH_COMMON_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "hir/schedule.h"
+#include "model/forest.h"
+
+namespace treebeard::bench {
+
+/**
+ * Global benchmark scale factor from TREEBEARD_BENCH_SCALE in (0, 1]:
+ * scales tree counts (and nothing else) to shorten full harness runs
+ * on slow machines. Default 1 (paper-size models).
+ */
+inline double
+benchScale()
+{
+    static double scale = [] {
+        const char *env = std::getenv("TREEBEARD_BENCH_SCALE");
+        if (env == nullptr)
+            return 1.0;
+        double value = std::atof(env);
+        return (value > 0.0 && value <= 1.0) ? value : 1.0;
+    }();
+    return scale;
+}
+
+/** The benchmark suite scaled by benchScale(). */
+inline std::vector<data::SyntheticModelSpec>
+benchmarkSuite()
+{
+    std::vector<data::SyntheticModelSpec> suite =
+        data::standardBenchmarkSuite();
+    for (data::SyntheticModelSpec &spec : suite) {
+        spec.numTrees = std::max<int64_t>(
+            1, static_cast<int64_t>(spec.numTrees * benchScale()));
+    }
+    return suite;
+}
+
+/** Synthesize (and cache per process) one benchmark's forest. */
+inline const model::Forest &
+benchmarkForest(const data::SyntheticModelSpec &spec)
+{
+    static std::map<std::string, model::Forest> cache;
+    auto it = cache.find(spec.name);
+    if (it == cache.end()) {
+        it = cache.emplace(spec.name, data::synthesizeForest(spec))
+                 .first;
+    }
+    return it->second;
+}
+
+/** A deterministic input batch drawn from the spec's distribution. */
+inline data::Dataset
+benchmarkBatch(const data::SyntheticModelSpec &spec, int64_t rows)
+{
+    return data::generateFeatures(spec, rows, /*seed_offset=*/7);
+}
+
+/**
+ * Best-of-N wall-clock seconds of @p body (after one warm-up call).
+ */
+inline double
+timeSeconds(const std::function<void()> &body, int repetitions = 5)
+{
+    body(); // warm-up
+    double best = 1e300;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        Timer timer;
+        body();
+        best = std::min(best, timer.elapsedSeconds());
+    }
+    return best;
+}
+
+/** Microseconds per row for a batch-sized run. */
+inline double
+timeMicrosPerRow(const std::function<void()> &body, int64_t rows,
+                 int repetitions = 5)
+{
+    return timeSeconds(body, repetitions) * 1e6 /
+           static_cast<double>(rows);
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double value : values)
+        log_sum += std::log(value);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** The configuration the paper reports as broadly best on Intel. */
+inline hir::Schedule
+optimizedSchedule(int32_t threads = 1)
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    schedule.tileSize = 8;
+    schedule.tiling = hir::TilingAlgorithm::kHybrid;
+    schedule.layout = hir::MemoryLayout::kSparse;
+    schedule.padAndUnrollWalks = true;
+    schedule.peelWalks = true;
+    schedule.interleaveFactor = 8;
+    schedule.numThreads = threads;
+    // The paper's setting: no missing-value support; benchmark inputs
+    // are NaN-free, so use the faster kernels.
+    schedule.assumeNoMissingValues = true;
+    return schedule;
+}
+
+/**
+ * The unoptimized scalar baseline of Section VI: tile size 1, naive
+ * one-row-at-a-time walks, no unrolling/peeling/interleaving.
+ */
+inline hir::Schedule
+scalarBaselineSchedule()
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneRowAtATime;
+    schedule.tileSize = 1;
+    schedule.tiling = hir::TilingAlgorithm::kBasic;
+    schedule.layout = hir::MemoryLayout::kSparse;
+    schedule.padAndUnrollWalks = false;
+    schedule.peelWalks = false;
+    schedule.interleaveFactor = 1;
+    schedule.numThreads = 1;
+    schedule.assumeNoMissingValues = true;
+    return schedule;
+}
+
+/** Print one CSV row from string cells. */
+inline void
+printCsvRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i)
+        std::printf("%s%s", i ? "," : "", cells[i].c_str());
+    std::printf("\n");
+}
+
+/** Format helper. */
+inline std::string
+fmt(double value, int precision = 3)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+} // namespace treebeard::bench
+
+#endif // TREEBEARD_BENCH_BENCH_COMMON_H

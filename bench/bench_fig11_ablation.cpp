@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Figure 11: the impact of individual Treebeard
+ * optimizations at batch size 1024.
+ *
+ *  (a) Tiling: basic tiling vs hybrid (probability-based tiling on
+ *      leaf-biased trees), with mid-level optimizations disabled —
+ *      speedups over the scalar baseline.
+ *  (b) Walk unrolling + interleaving added on top of tiling.
+ *
+ * Expected shape: tiling alone speeds up every benchmark (paper:
+ * 1.3-2.5x); probability-based tiling adds on leaf-biased benchmarks
+ * (airline-ohe most of all) and changes nothing for epsilon/letter/
+ * year (no leaf-biased trees); unrolling + interleaving add further
+ * gains on top (paper: average 1.5x -> 2.4x).
+ */
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+
+    std::printf("# Figure 11a/11b: impact of individual "
+                "optimizations, batch %lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow({"dataset", "scalar_us", "basic_tiling_speedup",
+                        "hybrid_tiling_speedup",
+                        "plus_unroll_speedup",
+                        "plus_unroll_interleave_speedup"});
+
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+
+        auto time_schedule = [&](const hir::Schedule &schedule) {
+            InferenceSession session = compileForest(forest, schedule);
+            return bench::timeMicrosPerRow(
+                [&] {
+                    session.predict(batch.rows(), kBatch,
+                                    predictions.data());
+                },
+                kBatch);
+        };
+
+        double scalar_us =
+            time_schedule(bench::scalarBaselineSchedule());
+
+        // Figure 11a configurations: tiling + low-level lowering only
+        // (no unrolling, no interleaving, no peeling).
+        hir::Schedule tiling_only = bench::optimizedSchedule(1);
+        tiling_only.padAndUnrollWalks = false;
+        tiling_only.peelWalks = false;
+        tiling_only.interleaveFactor = 1;
+
+        tiling_only.tiling = hir::TilingAlgorithm::kBasic;
+        double basic_us = time_schedule(tiling_only);
+        tiling_only.tiling = hir::TilingAlgorithm::kHybrid;
+        double hybrid_us = time_schedule(tiling_only);
+
+        // Figure 11b: add unrolling/peeling, then interleaving.
+        hir::Schedule with_unroll = tiling_only;
+        with_unroll.padAndUnrollWalks = true;
+        with_unroll.peelWalks = true;
+        double unroll_us = time_schedule(with_unroll);
+
+        hir::Schedule with_interleave = with_unroll;
+        with_interleave.interleaveFactor = 8;
+        double interleave_us = time_schedule(with_interleave);
+
+        bench::printCsvRow({spec.name, bench::fmt(scalar_us),
+                            bench::fmt(scalar_us / basic_us, 2),
+                            bench::fmt(scalar_us / hybrid_us, 2),
+                            bench::fmt(scalar_us / unroll_us, 2),
+                            bench::fmt(scalar_us / interleave_us, 2)});
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Figure 12: single-core geomean speedup (over all
+ * benchmarks) of fully optimized Treebeard code over the scalar
+ * baseline, across batch sizes.
+ *
+ * Expected shape: the speedup is roughly flat across batch sizes
+ * (the paper reports ~2-2.5x from batch 64 through 4k).
+ */
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    const std::vector<int64_t> batch_sizes{64, 128, 256, 512, 1024,
+                                           2048, 4096};
+    std::printf("# Figure 12: geomean speedup of optimized code over "
+                "scalar baseline across batch sizes\n");
+    bench::printCsvRow({"batch_size", "geomean_speedup"});
+
+    struct PerBenchmark
+    {
+        data::SyntheticModelSpec spec;
+        std::unique_ptr<InferenceSession> scalar;
+        std::unique_ptr<InferenceSession> optimized;
+    };
+    std::vector<PerBenchmark> setups;
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        PerBenchmark setup;
+        setup.spec = spec;
+        setup.scalar = std::make_unique<InferenceSession>(
+            compileForest(forest, bench::scalarBaselineSchedule()));
+        setup.optimized = std::make_unique<InferenceSession>(
+            compileForest(forest, bench::optimizedSchedule(1)));
+        setups.push_back(std::move(setup));
+    }
+
+    for (int64_t batch_size : batch_sizes) {
+        std::vector<double> speedups;
+        for (PerBenchmark &setup : setups) {
+            data::Dataset batch =
+                bench::benchmarkBatch(setup.spec, batch_size);
+            std::vector<float> predictions(
+                static_cast<size_t>(batch_size));
+            double scalar_us = bench::timeMicrosPerRow(
+                [&] {
+                    setup.scalar->predict(batch.rows(), batch_size,
+                                          predictions.data());
+                },
+                batch_size, 3);
+            double optimized_us = bench::timeMicrosPerRow(
+                [&] {
+                    setup.optimized->predict(batch.rows(), batch_size,
+                                             predictions.data());
+                },
+                batch_size, 3);
+            speedups.push_back(scalar_us / optimized_us);
+        }
+        bench::printCsvRow({std::to_string(batch_size),
+                            bench::fmt(bench::geomean(speedups), 2)});
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 13: Treebeard scaling with the number of cores
+ * (speedup over the single-core scalar baseline, batch 1024).
+ *
+ * SUBSTRATE NOTE: this host exposes one hardware core, so measured
+ * wall-clock cannot scale; in addition to measured times, the bench
+ * reports a work-based ideal-scaling estimate (single-thread
+ * optimized time divided by the thread count, plus the measured
+ * threading overhead), which is the quantity the paper's multi-core
+ * hardware would approach. EXPERIMENTS.md discusses this.
+ */
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+    const std::vector<int32_t> thread_counts{1, 2, 4, 8, 16};
+    std::printf("# Figure 13: scaling with core count, batch %lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow({"dataset", "threads", "measured_us_per_row",
+                        "measured_speedup_vs_scalar",
+                        "ideal_speedup_estimate"});
+
+    // A 4-benchmark subset keeps the sweep quick; the scaling
+    // behaviour is model-independent at this level.
+    const std::vector<std::string> subset{"abalone", "airline",
+                                          "covtype", "letter"};
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        if (std::find(subset.begin(), subset.end(), spec.name) ==
+            subset.end()) {
+            continue;
+        }
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+
+        InferenceSession scalar =
+            compileForest(forest, bench::scalarBaselineSchedule());
+        double scalar_us = bench::timeMicrosPerRow(
+            [&] {
+                scalar.predict(batch.rows(), kBatch,
+                               predictions.data());
+            },
+            kBatch, 3);
+
+        double one_thread_us = 0.0;
+        for (int32_t threads : thread_counts) {
+            InferenceSession session =
+                compileForest(forest, bench::optimizedSchedule(threads));
+            double us = bench::timeMicrosPerRow(
+                [&] {
+                    session.predict(batch.rows(), kBatch,
+                                    predictions.data());
+                },
+                kBatch, 3);
+            if (threads == 1)
+                one_thread_us = us;
+            double ideal = scalar_us / (one_thread_us / threads);
+            bench::printCsvRow({spec.name, std::to_string(threads),
+                                bench::fmt(us),
+                                bench::fmt(scalar_us / us, 2),
+                                bench::fmt(ideal, 2)});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Figure 3: leaf-coverage statistical profiles for
+ * airline-ohe (3a) and epsilon (3b). Each curve answers: with a
+ * fraction x of its (most probable) leaves, what fraction y of trees
+ * covers a fraction f of the training data?
+ *
+ * Expected shape: for airline-ohe the f=0.9 curve rises almost
+ * immediately (most trees need a tiny fraction of leaves — strongly
+ * leaf-biased); for epsilon the curves rise only at large leaf
+ * fractions (no leaf bias).
+ */
+#include "bench_common.h"
+#include "model/model_stats.h"
+
+using namespace treebeard;
+
+namespace {
+
+data::SyntheticModelSpec
+suiteSpec(const std::string &name)
+{
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+void
+printCurves(const char *name)
+{
+    const model::Forest &forest = bench::benchmarkForest(suiteSpec(name));
+    for (double coverage : {0.5, 0.8, 0.9, 0.95}) {
+        std::vector<model::CoveragePoint> curve =
+            model::leafCoverageCurve(forest, coverage);
+        // Sample the curve at a handful of x positions.
+        for (double x : {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8,
+                         1.0}) {
+            double y = 0.0;
+            for (const model::CoveragePoint &point : curve) {
+                if (point.leafFraction <= x + 1e-12)
+                    y = point.treeFraction;
+            }
+            bench::printCsvRow({name, bench::fmt(coverage, 2),
+                                bench::fmt(x, 2), bench::fmt(y, 3)});
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Figure 3: leaf coverage profiles\n");
+    std::printf("# y = fraction of trees covering f of training data "
+                "with <= x of their leaves\n");
+    bench::printCsvRow({"dataset", "f", "leaf_fraction",
+                        "tree_fraction"});
+    printCurves("airline-ohe");
+    printCurves("epsilon");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 7: speedup of Treebeard-optimized code over the
+ * unoptimized scalar baseline at batch size 1024 — (a) single core,
+ * (b) "16-core" parallel configuration. Per-row inference times are
+ * printed like the numbers above the paper's bars.
+ *
+ * Expected shape: optimized code is consistently faster than the
+ * scalar baseline on every benchmark (the paper reports 1.9-3.5x,
+ * geomean 2.45x on Intel). NOTE: this host exposes a single hardware
+ * core, so the parallel column measures the threaded code path's
+ * overhead rather than real scaling; EXPERIMENTS.md discusses this
+ * substrate limitation.
+ */
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+    std::printf("# Figure 7: Treebeard optimized vs scalar baseline, "
+                "batch %lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow({"dataset", "scalar_us_per_row",
+                        "optimized_us_per_row", "speedup_1core",
+                        "parallel16_us_per_row", "speedup_parallel16"});
+
+    std::vector<double> single_speedups, parallel_speedups;
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+
+        InferenceSession scalar =
+            compileForest(forest, bench::scalarBaselineSchedule());
+        InferenceSession optimized =
+            compileForest(forest, bench::optimizedSchedule(1));
+        InferenceSession parallel =
+            compileForest(forest, bench::optimizedSchedule(16));
+
+        double scalar_us = bench::timeMicrosPerRow(
+            [&] {
+                scalar.predict(batch.rows(), kBatch,
+                               predictions.data());
+            },
+            kBatch);
+        double optimized_us = bench::timeMicrosPerRow(
+            [&] {
+                optimized.predict(batch.rows(), kBatch,
+                                  predictions.data());
+            },
+            kBatch);
+        double parallel_us = bench::timeMicrosPerRow(
+            [&] {
+                parallel.predict(batch.rows(), kBatch,
+                                 predictions.data());
+            },
+            kBatch);
+
+        single_speedups.push_back(scalar_us / optimized_us);
+        parallel_speedups.push_back(scalar_us / parallel_us);
+        bench::printCsvRow({spec.name, bench::fmt(scalar_us),
+                            bench::fmt(optimized_us),
+                            bench::fmt(scalar_us / optimized_us, 2),
+                            bench::fmt(parallel_us),
+                            bench::fmt(scalar_us / parallel_us, 2)});
+    }
+    bench::printCsvRow({"geomean", "", "",
+                        bench::fmt(bench::geomean(single_speedups), 2),
+                        "",
+                        bench::fmt(bench::geomean(parallel_speedups),
+                                   2)});
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates Figure 8: Treebeard vs the XGBoost-style library
+ * predictor and the Treelite-style if-else compiler at batch size
+ * 1024, in (a) single-core and (b) multi-threaded settings.
+ *
+ * Expected shape: Treebeard is fastest on every benchmark; the paper
+ * reports ~2.6x (geomean) over XGBoost and ~4.7x over Treelite on a
+ * single core. The Treelite baseline here really is compiled if-else
+ * native code (generated C++ through the system compiler); each model
+ * is compiled once (time reported, excluded from inference timing).
+ */
+#include "baselines/treelite_style.h"
+#include "baselines/xgboost_style.h"
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+    std::printf("# Figure 8: Treebeard vs XGBoost-style and "
+                "Treelite-style, batch %lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow(
+        {"dataset", "threads", "xgboost_us_per_row",
+         "treelite_us_per_row", "treebeard_us_per_row",
+         "speedup_vs_xgboost", "speedup_vs_treelite",
+         "treelite_compile_s"});
+
+    struct Row
+    {
+        std::string cells[8];
+    };
+    std::vector<double> vs_xgb[2], vs_treelite[2];
+    std::vector<Row> rows_out[2];
+
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+        int32_t nf = forest.numFeatures();
+
+        // Compile the Treelite-style baseline once per model.
+        baselines::TreeliteStyle treelite(forest, {});
+        ThreadPool pool(16);
+
+        for (int config = 0; config < 2; ++config) {
+            int32_t threads = config == 0 ? 1 : 16;
+            baselines::XgBoostStyle xgboost(
+                forest, baselines::XgBoostVersion::kV15, threads);
+            InferenceSession treebeard_session = compileForest(
+                forest, bench::optimizedSchedule(threads));
+
+            double xgb_us = bench::timeMicrosPerRow(
+                [&] {
+                    xgboost.predict(batch.rows(), kBatch,
+                                    predictions.data());
+                },
+                kBatch);
+            double treelite_us = bench::timeMicrosPerRow(
+                [&] {
+                    if (threads == 1) {
+                        treelite.predict(batch.rows(), kBatch,
+                                         predictions.data());
+                    } else {
+                        pool.parallelFor(
+                            0, kBatch,
+                            [&](int64_t begin, int64_t end) {
+                                treelite.predict(
+                                    batch.rows() + begin * nf,
+                                    end - begin,
+                                    predictions.data() + begin);
+                            });
+                    }
+                },
+                kBatch);
+            double treebeard_us = bench::timeMicrosPerRow(
+                [&] {
+                    treebeard_session.predict(batch.rows(), kBatch,
+                                              predictions.data());
+                },
+                kBatch);
+
+            vs_xgb[config].push_back(xgb_us / treebeard_us);
+            vs_treelite[config].push_back(treelite_us / treebeard_us);
+            rows_out[config].push_back(
+                {{spec.name, std::to_string(threads),
+                  bench::fmt(xgb_us), bench::fmt(treelite_us),
+                  bench::fmt(treebeard_us),
+                  bench::fmt(xgb_us / treebeard_us, 2),
+                  bench::fmt(treelite_us / treebeard_us, 2),
+                  bench::fmt(treelite.compileSeconds(), 1)}});
+        }
+    }
+
+    for (int config = 0; config < 2; ++config) {
+        for (const Row &row : rows_out[config]) {
+            bench::printCsvRow({row.cells[0], row.cells[1],
+                                row.cells[2], row.cells[3],
+                                row.cells[4], row.cells[5],
+                                row.cells[6], row.cells[7]});
+        }
+        bench::printCsvRow(
+            {"geomean", config == 0 ? "1" : "16", "", "", "",
+             bench::fmt(bench::geomean(vs_xgb[config]), 2),
+             bench::fmt(bench::geomean(vs_treelite[config]), 2), ""});
+    }
+    return 0;
+}

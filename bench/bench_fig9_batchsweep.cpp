@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates Figure 9: single-core geomean speedup of Treebeard over
+ * the XGBoost-style and Treelite-style baselines across batch sizes.
+ *
+ * To bound the harness's compile time, the Treelite comparison runs
+ * on the four smaller-model benchmarks (airline, higgs, year,
+ * abalone); the XGBoost comparison covers the full suite.
+ *
+ * Expected shape: the speedups are roughly flat across batch sizes
+ * (the paper reports consistent improvements from batch 64 up to 4k+).
+ */
+#include "baselines/treelite_style.h"
+#include "baselines/xgboost_style.h"
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    const std::vector<int64_t> batch_sizes{64, 256, 1024, 4096};
+    const std::vector<std::string> treelite_set{"abalone", "airline",
+                                                "higgs", "year"};
+
+    std::printf("# Figure 9: geomean single-core speedup over batch "
+                "sizes\n");
+    bench::printCsvRow({"batch_size", "geomean_vs_xgboost",
+                        "geomean_vs_treelite_subset"});
+
+    // Build everything once.
+    struct PerBenchmark
+    {
+        data::SyntheticModelSpec spec;
+        std::unique_ptr<baselines::XgBoostStyle> xgboost;
+        std::unique_ptr<baselines::TreeliteStyle> treelite;
+        std::unique_ptr<InferenceSession> treebeard;
+    };
+    std::vector<PerBenchmark> setups;
+    for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        PerBenchmark setup;
+        setup.spec = spec;
+        setup.xgboost = std::make_unique<baselines::XgBoostStyle>(
+            forest, baselines::XgBoostVersion::kV15);
+        bool in_treelite_set =
+            std::find(treelite_set.begin(), treelite_set.end(),
+                      spec.name) != treelite_set.end();
+        if (in_treelite_set) {
+            setup.treelite =
+                std::make_unique<baselines::TreeliteStyle>(forest,
+                                                           baselines::TreeliteOptions{});
+        }
+        setup.treebeard = std::make_unique<InferenceSession>(
+            compileForest(forest, bench::optimizedSchedule(1)));
+        setups.push_back(std::move(setup));
+    }
+
+    for (int64_t batch_size : batch_sizes) {
+        std::vector<double> vs_xgb, vs_treelite;
+        for (PerBenchmark &setup : setups) {
+            data::Dataset batch =
+                bench::benchmarkBatch(setup.spec, batch_size);
+            std::vector<float> predictions(
+                static_cast<size_t>(batch_size));
+
+            double treebeard_us = bench::timeMicrosPerRow(
+                [&] {
+                    setup.treebeard->predict(batch.rows(), batch_size,
+                                             predictions.data());
+                },
+                batch_size);
+            double xgb_us = bench::timeMicrosPerRow(
+                [&] {
+                    setup.xgboost->predict(batch.rows(), batch_size,
+                                           predictions.data());
+                },
+                batch_size);
+            vs_xgb.push_back(xgb_us / treebeard_us);
+            if (setup.treelite) {
+                double treelite_us = bench::timeMicrosPerRow(
+                    [&] {
+                        setup.treelite->predict(batch.rows(),
+                                                batch_size,
+                                                predictions.data());
+                    },
+                    batch_size);
+                vs_treelite.push_back(treelite_us / treebeard_us);
+            }
+        }
+        bench::printCsvRow({std::to_string(batch_size),
+                            bench::fmt(bench::geomean(vs_xgb), 2),
+                            bench::fmt(bench::geomean(vs_treelite),
+                                       2)});
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the compiled inference kernels:
+ * per-(tile size, layout, interleave) throughput on one mid-size
+ * model. These are the building blocks behind the figure-level
+ * benches; useful for spotting kernel-level regressions.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+namespace {
+
+constexpr int64_t kBatch = 512;
+
+const model::Forest &
+kernelForest()
+{
+    static model::Forest forest = [] {
+        data::SyntheticModelSpec spec;
+        spec.name = "kernel-bench";
+        spec.numFeatures = 20;
+        spec.numTrees = 200;
+        spec.maxDepth = 8;
+        spec.trainingRows = 1000;
+        spec.seed = 4711;
+        return data::synthesizeForest(spec);
+    }();
+    return forest;
+}
+
+const data::Dataset &
+kernelBatch()
+{
+    static data::Dataset batch = [] {
+        data::SyntheticModelSpec spec;
+        spec.name = "kernel-bench";
+        spec.numFeatures = 20;
+        spec.seed = 4711;
+        return data::generateFeatures(spec, kBatch);
+    }();
+    return batch;
+}
+
+void
+runSchedule(benchmark::State &state, const hir::Schedule &schedule)
+{
+    InferenceSession session = compileForest(kernelForest(), schedule);
+    std::vector<float> predictions(kBatch);
+    for (auto _ : state) {
+        session.predict(kernelBatch().rows(), kBatch,
+                        predictions.data());
+        benchmark::DoNotOptimize(predictions.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_TileSizeSweep(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.tileSize = static_cast<int32_t>(state.range(0));
+    schedule.interleaveFactor = 1;
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_TileSizeSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_InterleaveSweep(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.interleaveFactor = static_cast<int32_t>(state.range(0));
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_InterleaveSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_LayoutSparse(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.layout = hir::MemoryLayout::kSparse;
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_LayoutSparse);
+
+void
+BM_LayoutArray(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.layout = hir::MemoryLayout::kArray;
+    schedule.tiling = hir::TilingAlgorithm::kBasic;
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_LayoutArray);
+
+void
+BM_LoopOrderOneRow(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.loopOrder = hir::LoopOrder::kOneRowAtATime;
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_LoopOrderOneRow);
+
+void
+BM_UnrollOnOff(benchmark::State &state)
+{
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.padAndUnrollWalks = state.range(0) != 0;
+    schedule.peelWalks = schedule.padAndUnrollWalks;
+    runSchedule(state, schedule);
+}
+BENCHMARK(BM_UnrollOnOff)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Regenerates the Section VI-E microarchitectural analysis for
+ * abalone and higgs, using software event counters in place of Intel
+ * VTune (unavailable without PMU access). Four Treebeard variants are
+ * analyzed, mirroring the paper:
+ *
+ *   OneRow      scalar (tile 1), one row at a time
+ *   OneTree     scalar (tile 1), one tree at a time
+ *   Vector      tile size 8, one tree at a time
+ *   Interleaved Vector + walk unrolling + 8-way interleaving
+ *
+ * Reported per-row: wall time, tile evaluations, node predicates
+ * evaluated (speculative work), node predicates a plain binary walk
+ * needs, feature loads (gather elements), model bytes touched, and
+ * data-dependent walk branches. A Treelite-style row reports its
+ * branch count (every node is a branch) and generated-code size, the
+ * front-end-pressure proxies for the paper's I-cache findings.
+ *
+ * Expected shape: OneTree ~= OneRow in work but faster in time
+ * (locality); Vector cuts time further while *increasing* evaluated
+ * predicates (speculation) — the win comes from fewer, wider
+ * operations; Interleaved removes dependency stalls (fastest, fewest
+ * branches); Treelite executes one branch per node with a huge code
+ * footprint.
+ */
+#include "baselines/treelite_style.h"
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    hir::Schedule schedule;
+};
+
+std::vector<Variant>
+variants()
+{
+    hir::Schedule one_row = bench::scalarBaselineSchedule();
+
+    hir::Schedule one_tree = one_row;
+    one_tree.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+
+    hir::Schedule vector = bench::optimizedSchedule(1);
+    vector.padAndUnrollWalks = false;
+    vector.peelWalks = false;
+    vector.interleaveFactor = 1;
+
+    hir::Schedule interleaved = bench::optimizedSchedule(1);
+
+    return {{"OneRow", one_row},
+            {"OneTree", one_tree},
+            {"Vector", vector},
+            {"Interleaved", interleaved}};
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+    std::printf("# Section VI-E: microarchitectural proxies, batch "
+                "%lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow({"dataset", "variant", "us_per_row",
+                        "tiles_per_row", "predicates_per_row",
+                        "needed_predicates_per_row",
+                        "feature_loads_per_row", "model_kb_per_row",
+                        "branches_per_row"});
+
+    for (const std::string &name : {std::string("abalone"),
+                                    std::string("higgs")}) {
+        data::SyntheticModelSpec spec;
+        for (const data::SyntheticModelSpec &candidate :
+             bench::benchmarkSuite()) {
+            if (candidate.name == name)
+                spec = candidate;
+        }
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+
+        for (const Variant &variant : variants()) {
+            InferenceSession session =
+                compileForest(forest, variant.schedule);
+            double us = bench::timeMicrosPerRow(
+                [&] {
+                    session.predict(batch.rows(), kBatch,
+                                    predictions.data());
+                },
+                kBatch, 3);
+            runtime::WalkCounters counters;
+            session.predictInstrumented(batch.rows(), kBatch,
+                                        predictions.data(), &counters);
+            double rows = static_cast<double>(kBatch);
+            bench::printCsvRow(
+                {name, variant.name, bench::fmt(us),
+                 bench::fmt(counters.tilesVisited / rows, 1),
+                 bench::fmt(counters.nodePredicatesEvaluated / rows,
+                            1),
+                 bench::fmt(counters.scalarNodesNeeded / rows, 1),
+                 bench::fmt(counters.featureGathers / rows, 1),
+                 bench::fmt(counters.modelBytesTouched / rows / 1024.0,
+                            2),
+                 bench::fmt(counters.walkBranches / rows, 1)});
+        }
+
+        // Treelite-style: the front-end pressure proxies.
+        std::string source =
+            baselines::TreeliteStyle::generateSource(forest);
+        runtime::WalkCounters scalar_counters;
+        InferenceSession scalar = compileForest(
+            forest, bench::scalarBaselineSchedule());
+        scalar.predictInstrumented(batch.rows(), kBatch,
+                                   predictions.data(),
+                                   &scalar_counters);
+        // In if-else code every visited node is one branch; code size
+        // scales with total nodes.
+        bench::printCsvRow(
+            {name, "TreeliteStyle", "-",
+             "-", "-",
+             bench::fmt(scalar_counters.scalarNodesNeeded /
+                            static_cast<double>(kBatch),
+                        1),
+             "-",
+             bench::fmt(static_cast<double>(source.size()) / 1024.0,
+                        1),
+             bench::fmt(scalar_counters.scalarNodesNeeded /
+                            static_cast<double>(kBatch),
+                        1)});
+    }
+    return 0;
+}

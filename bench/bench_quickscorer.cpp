@@ -1,0 +1,82 @@
+/**
+ * @file
+ * QuickScorer crossover study (an extension; Section VII notes
+ * QuickScorer "is extremely fast for smaller models, [but] does not
+ * scale well to larger models" and could be integrated as another
+ * Treebeard traversal strategy — implemented here as
+ * baselines::QuickScorer).
+ *
+ * Sweeps the ensemble size of one benchmark model family and compares
+ * QuickScorer against the XGBoost-style walker and compiled
+ * Treebeard.
+ *
+ * Expected shape: QuickScorer is competitive (often fastest among
+ * scalar strategies) at small tree counts and degrades super-linearly
+ * as the per-row bit-vector state outgrows the cache; Treebeard stays
+ * fastest at scale.
+ */
+#include "baselines/quickscorer.h"
+#include "baselines/xgboost_style.h"
+#include "bench_common.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    constexpr int64_t kBatch = 1024;
+    std::printf("# QuickScorer crossover: airline-family models of "
+                "growing size, batch %lld\n",
+                static_cast<long long>(kBatch));
+    bench::printCsvRow({"trees", "quickscorer_us", "xgboost_us",
+                        "treebeard_us", "qs_bitvector_kb"});
+
+    // QuickScorer's design point is learning-to-rank ensembles with
+    // <= 64 leaves per tree; depth-5 trees keep every tree in one
+    // mask word (the paper's large-model scaling critique then shows
+    // up purely through the tree count).
+    data::SyntheticModelSpec base =
+        data::benchmarkSpecByName("airline");
+    base.maxDepth = 5;
+    for (int64_t trees : {10, 50, 200, 800}) {
+        data::SyntheticModelSpec spec = base;
+        spec.numTrees = trees;
+        spec.name = "airline-d5-" + std::to_string(trees);
+        model::Forest forest = data::synthesizeForest(spec);
+        data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
+        std::vector<float> predictions(kBatch);
+
+        baselines::QuickScorer quickscorer(forest);
+        baselines::XgBoostStyle xgboost(
+            forest, baselines::XgBoostVersion::kV15);
+        InferenceSession session =
+            compileForest(forest, bench::optimizedSchedule(1));
+
+        double qs_us = bench::timeMicrosPerRow(
+            [&] {
+                quickscorer.predict(batch.rows(), kBatch,
+                                    predictions.data());
+            },
+            kBatch, 3);
+        double xgb_us = bench::timeMicrosPerRow(
+            [&] {
+                xgboost.predict(batch.rows(), kBatch,
+                                predictions.data());
+            },
+            kBatch, 3);
+        double tb_us = bench::timeMicrosPerRow(
+            [&] {
+                session.predict(batch.rows(), kBatch,
+                                predictions.data());
+            },
+            kBatch, 3);
+
+        bench::printCsvRow(
+            {std::to_string(trees), bench::fmt(qs_us),
+             bench::fmt(xgb_us), bench::fmt(tb_us),
+             bench::fmt(quickscorer.bitvectorWords() * 8 / 1024.0,
+                        1)});
+    }
+    return 0;
+}

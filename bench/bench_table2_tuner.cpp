@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Table II: the optimization space Treebeard explores,
+ * and demonstrates the exploration itself (the artifact's --explore
+ * workflow) on two benchmarks, reporting the best configuration found
+ * per benchmark.
+ *
+ * Expected shape: the winning configurations use large tiles with
+ * unrolling and interleaving; leaf-biased benchmarks pick hybrid
+ * (probability-based) tiling.
+ */
+#include "bench_common.h"
+#include "tuner/auto_tuner.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    // Print the explored grid (Table II).
+    std::printf("# Table II: space of optimizations explored\n");
+    bench::printCsvRow({"optimization", "configurations"});
+    bench::printCsvRow({"loop_order",
+                        "one-tree-at-a-time | one-row-at-a-time"});
+    bench::printCsvRow({"tile_size", "1 | 2 | 4 | 8"});
+    bench::printCsvRow({"tiling_type", "basic | probability-based "
+                                       "(hybrid gate)"});
+    bench::printCsvRow({"tree_padding_and_unrolling", "yes | no"});
+    bench::printCsvRow({"tree_walk_interleaving", "2 | 4 | 8"});
+    bench::printCsvRow(
+        {"alpha_beta", "(0.05 0.9) | (0.075 0.9) | (0.1 0.9)"});
+
+    tuner::TunerOptions options;
+    options.interleaveFactors = {1, 2, 4, 8};
+    options.repetitions = 2;
+    std::printf("# grid points per benchmark: %zu\n",
+                tuner::enumerateSchedules(options).size());
+
+    // Exploration demo on two contrasting benchmarks: one leaf-biased
+    // (abalone) and one not (letter), at a reduced sample batch.
+    constexpr int64_t kSampleRows = 256;
+    bench::printCsvRow({"dataset", "best_schedule", "best_us_per_row",
+                        "worst_us_per_row", "explored"});
+    for (const std::string &name : {std::string("abalone"),
+                                    std::string("airline")}) {
+        data::SyntheticModelSpec spec;
+        for (const data::SyntheticModelSpec &candidate :
+             bench::benchmarkSuite()) {
+            if (candidate.name == name)
+                spec = candidate;
+        }
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset sample = bench::benchmarkBatch(spec, kSampleRows);
+
+        tuner::TunerResult result = tuner::exploreSchedules(
+            forest, sample.rows(), kSampleRows, options);
+        bench::printCsvRow(
+            {name, result.best.schedule.toString(),
+             bench::fmt(result.best.seconds * 1e6 / kSampleRows),
+             bench::fmt(result.all.back().seconds * 1e6 / kSampleRows),
+             std::to_string(result.all.size())});
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Schedule auto-tuning: explore the Table II optimization space for a
+ * model on this machine and report the best configurations — the
+ * paper's "--explore" workflow.
+ *
+ *   ./examples/autotune
+ */
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "tuner/auto_tuner.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    // A mid-size leaf-biased model (a scaled-down abalone).
+    data::SyntheticModelSpec spec = data::scaledDown(
+        data::benchmarkSpecByName("abalone"), /*max_trees=*/300,
+        /*training_rows=*/2000);
+    model::Forest forest = data::synthesizeForest(spec);
+    data::Dataset sample = data::generateFeatures(spec, 512, 3);
+
+    tuner::TunerOptions options;
+    options.repetitions = 2;
+    std::printf("exploring %zu configurations...\n",
+                tuner::enumerateSchedules(options).size());
+
+    tuner::TunerResult result = tuner::exploreSchedules(
+        forest, sample.rows(), sample.numRows(), options);
+
+    std::printf("\ntop 5 configurations (us/row):\n");
+    for (size_t i = 0; i < result.all.size() && i < 5; ++i) {
+        const tuner::TunedPoint &point = result.all[i];
+        std::printf("  %8.3f   %s\n",
+                    point.seconds * 1e6 / sample.numRows(),
+                    point.schedule.toString().c_str());
+    }
+    std::printf("\nbottom 3 configurations:\n");
+    for (size_t i = result.all.size() >= 3 ? result.all.size() - 3 : 0;
+         i < result.all.size(); ++i) {
+        const tuner::TunedPoint &point = result.all[i];
+        std::printf("  %8.3f   %s\n",
+                    point.seconds * 1e6 / sample.numRows(),
+                    point.schedule.toString().c_str());
+    }
+    std::printf("\nbest-vs-worst spread: %.1fx\n",
+                result.all.back().seconds / result.best.seconds);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Interop: import a model in the XGBoost JSON dump format (the
+ * paper's models are XGBoost-trained) and compile it. The example
+ * writes a small dump file first so it is fully self-contained.
+ *
+ *   ./examples/import_xgboost
+ */
+#include <cstdio>
+
+#include "common/json.h"
+#include "model/serialization.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    // A miniature XGBoost JSON dump (2 trees, 3 features).
+    const char *dump = R"({
+      "learner": {
+        "learner_model_param": {"num_feature": "3", "base_score": "0.5"},
+        "objective": {"name": "binary:logistic"},
+        "gradient_booster": {
+          "model": {
+            "trees": [
+              {
+                "split_indices": [0, 2, 0, 0, 0],
+                "split_conditions": [0.5, 0.3, 0, 0, 0],
+                "left_children": [1, 3, -1, -1, -1],
+                "right_children": [2, 4, -1, -1, -1],
+                "base_weights": [0, 0, 0.8, -0.6, 0.2],
+                "sum_hessian": [100, 60, 40, 35, 25]
+              },
+              {
+                "split_indices": [1, 0, 0],
+                "split_conditions": [0.4, 0, 0],
+                "left_children": [1, -1, -1],
+                "right_children": [2, -1, -1],
+                "base_weights": [0, -0.3, 0.5],
+                "sum_hessian": [100, 45, 55]
+              }
+            ]
+          }
+        }
+      }
+    })";
+
+    std::string path = "/tmp/treebeard_xgboost_model.json";
+    writeStringToFile(path, dump);
+
+    model::Forest forest = model::loadXgboostModel(path);
+    std::printf("imported: %lld trees, %d features, objective %s, "
+                "base score %.2f\n",
+                static_cast<long long>(forest.numTrees()),
+                forest.numFeatures(),
+                model::objectiveName(forest.objective()),
+                forest.baseScore());
+
+    InferenceSession session = compileForest(forest, {});
+    std::vector<float> rows{
+        0.2f, 0.1f, 0.2f, // left subtree, low f1
+        0.2f, 0.9f, 0.9f, // left subtree, high f1
+        0.9f, 0.9f, 0.1f, // right leaf of tree 0
+    };
+    std::vector<float> probabilities(3);
+    session.predict(rows.data(), 3, probabilities.data());
+    for (int r = 0; r < 3; ++r) {
+        std::printf("row %d -> P(class 1) = %.4f (reference %.4f)\n",
+                    r, probabilities[static_cast<size_t>(r)],
+                    forest.predict(rows.data() + 3 * r));
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Inference serving simulation: drive a compiled model with request
+ * batches of varying size and report latency percentiles and
+ * throughput per batch size — the batch-size trade-off study behind
+ * the paper's Figures 9 and 12, framed as a serving workload.
+ *
+ *   ./examples/serving_latency
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+int
+main()
+{
+    // A mid-size model (scaled-down covtype).
+    data::SyntheticModelSpec spec = data::scaledDown(
+        data::benchmarkSpecByName("covtype"), /*max_trees=*/200,
+        /*training_rows=*/2000);
+    model::Forest forest = data::synthesizeForest(spec);
+    InferenceSession session =
+        compileForest(forest, [] {
+            hir::Schedule schedule;
+            schedule.tileSize = 8;
+            schedule.interleaveFactor = 8;
+            return schedule;
+        }());
+
+    std::printf("model: %lld trees, %d features\n\n",
+                static_cast<long long>(forest.numTrees()),
+                forest.numFeatures());
+    std::printf("%10s %12s %12s %12s %14s\n", "batch", "p50 (us)",
+                "p95 (us)", "p99 (us)", "rows/s");
+
+    for (int64_t batch : {1, 8, 64, 256, 1024}) {
+        data::Dataset requests =
+            data::generateFeatures(spec, batch * 64, 99);
+        std::vector<float> predictions(static_cast<size_t>(batch));
+
+        // 64 simulated requests per batch size.
+        std::vector<double> latencies;
+        for (int64_t request = 0; request < 64; ++request) {
+            const float *rows =
+                requests.rows() +
+                request * batch * forest.numFeatures();
+            Timer timer;
+            session.predict(rows, batch, predictions.data());
+            latencies.push_back(timer.elapsedMicros());
+        }
+        std::sort(latencies.begin(), latencies.end());
+        auto percentile = [&](double p) {
+            size_t index = static_cast<size_t>(
+                p * static_cast<double>(latencies.size() - 1));
+            return latencies[index];
+        };
+        double total_us = 0.0;
+        for (double latency : latencies)
+            total_us += latency;
+        double rows_per_second =
+            static_cast<double>(batch * 64) / (total_us * 1e-6);
+
+        std::printf("%10lld %12.1f %12.1f %12.1f %14.0f\n",
+                    static_cast<long long>(batch), percentile(0.50),
+                    percentile(0.95), percentile(0.99),
+                    rows_per_second);
+    }
+    std::printf("\nLarger batches amortize per-call overhead and keep "
+                "the tree-major loop cache-resident;\nper-request "
+                "latency grows sublinearly until the working set "
+                "spills.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end workflow: train a gradient-boosted ensemble with the
+ * in-repo GBDT trainer, evaluate it, save it to the native JSON model
+ * format, reload it and compile it for fast batch inference.
+ *
+ *   ./examples/train_and_deploy
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "model/serialization.h"
+#include "train/gbdt_trainer.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+namespace {
+
+/** Synthetic regression task: y = f(x) + noise. */
+data::Dataset
+makeTask(int64_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    data::Dataset dataset(5);
+    std::vector<float> labels;
+    for (int64_t i = 0; i < rows; ++i) {
+        float x0 = rng.uniformFloat();
+        float x1 = rng.uniformFloat();
+        float x2 = rng.uniformFloat();
+        float x3 = rng.uniformFloat();
+        float x4 = rng.uniformFloat();
+        dataset.appendRow({x0, x1, x2, x3, x4});
+        float y = 2.0f * x0 + (x1 > 0.5f ? 1.0f : 0.0f) * x2 -
+                  0.5f * x3 + 0.05f * static_cast<float>(rng.gaussian());
+        (void)x4; // an irrelevant feature the trees should ignore
+        labels.push_back(y);
+    }
+    dataset.setLabels(std::move(labels));
+    return dataset;
+}
+
+} // namespace
+
+int
+main()
+{
+    data::Dataset train_set = makeTask(4000, 1);
+    data::Dataset test_set = makeTask(1000, 2);
+
+    // Train.
+    train::TrainingConfig config;
+    config.numTrees = 120;
+    config.maxDepth = 6;
+    config.learningRate = 0.15;
+    train::GbdtTrainer trainer(config);
+    Timer train_timer;
+    model::Forest forest = trainer.train(train_set);
+    std::printf("trained %lld trees in %.2fs (final train MSE %.5f)\n",
+                static_cast<long long>(forest.numTrees()),
+                train_timer.elapsedSeconds(),
+                trainer.history().back().trainingLoss);
+
+    // Evaluate on held-out data.
+    std::vector<float> predictions(
+        static_cast<size_t>(test_set.numRows()));
+    forest.predictBatch(test_set.rows(), test_set.numRows(),
+                        predictions.data());
+    double mse = train::meanSquaredError(predictions,
+                                         test_set.labels());
+    std::printf("test MSE: %.5f\n", mse);
+
+    // Save + reload the model (the deployment artifact).
+    std::string path = "/tmp/treebeard_example_model.json";
+    model::saveForest(forest, path);
+    model::Forest loaded = model::loadForest(path);
+    std::printf("saved and reloaded model: %lld trees, %d features\n",
+                static_cast<long long>(loaded.numTrees()),
+                loaded.numFeatures());
+
+    // Compile for inference and compare against the reference walk.
+    hir::Schedule schedule;
+    schedule.tileSize = 8;
+    schedule.interleaveFactor = 8;
+    InferenceSession session = compileForest(loaded, schedule);
+
+    std::vector<float> fast_predictions(
+        static_cast<size_t>(test_set.numRows()));
+    Timer reference_timer;
+    loaded.predictBatch(test_set.rows(), test_set.numRows(),
+                        predictions.data());
+    double reference_s = reference_timer.elapsedSeconds();
+    Timer compiled_timer;
+    session.predict(test_set.rows(), test_set.numRows(),
+                    fast_predictions.data());
+    double compiled_s = compiled_timer.elapsedSeconds();
+
+    double max_difference = 0.0;
+    for (size_t i = 0; i < predictions.size(); ++i) {
+        max_difference =
+            std::max(max_difference,
+                     std::abs(static_cast<double>(predictions[i]) -
+                              fast_predictions[i]));
+    }
+    std::printf("reference walk: %.3f ms, compiled: %.3f ms "
+                "(%.1fx), max |difference| = %.2e\n",
+                reference_s * 1e3, compiled_s * 1e3,
+                reference_s / compiled_s, max_difference);
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "baselines/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace treebeard::baselines {
+
+namespace {
+
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 256;
+constexpr int64_t kBlockN = 256;
+
+} // namespace
+
+void
+sgemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
+      int64_t n)
+{
+    std::memset(c, 0, sizeof(float) * static_cast<size_t>(m) * n);
+    for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+        int64_t i1 = std::min(i0 + kBlockM, m);
+        for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+            int64_t p1 = std::min(p0 + kBlockK, k);
+            for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+                int64_t j1 = std::min(j0 + kBlockN, n);
+                for (int64_t i = i0; i < i1; ++i) {
+                    for (int64_t p = p0; p < p1; ++p) {
+                        float a_ip = a[i * k + p];
+                        if (a_ip == 0.0f)
+                            continue; // A is sparse 0/1 in practice
+                        const float *b_row = b + p * n;
+                        float *c_row = c + i * n;
+                        for (int64_t j = j0; j < j1; ++j)
+                            c_row[j] += a_ip * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace treebeard::baselines

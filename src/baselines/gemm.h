@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A small dense single-precision GEMM substrate used by the
+ * Hummingbird-style baseline's GEMM strategy. Implements
+ * C = A (m x k, row-major) * B (k x n, row-major) with simple cache
+ * blocking — a stand-in for the tensor-runtime matmul Hummingbird
+ * lowers tree inference onto.
+ */
+#ifndef TREEBEARD_BASELINES_GEMM_H
+#define TREEBEARD_BASELINES_GEMM_H
+
+#include <cstdint>
+
+namespace treebeard::baselines {
+
+/**
+ * C = A * B (all row-major, C overwritten).
+ * @param m rows of A and C.
+ * @param k columns of A / rows of B.
+ * @param n columns of B and C.
+ */
+void sgemm(const float *a, const float *b, float *c, int64_t m,
+           int64_t k, int64_t n);
+
+} // namespace treebeard::baselines
+
+#endif // TREEBEARD_BASELINES_GEMM_H

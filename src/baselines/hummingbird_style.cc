@@ -1,0 +1,299 @@
+#include "baselines/hummingbird_style.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/gemm.h"
+#include "common/logging.h"
+
+namespace treebeard::baselines {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/** Safety cap for the GEMM strategy's quadratic C matrix. */
+constexpr int64_t kMaxGemmCElements = int64_t{1} << 26;
+
+} // namespace
+
+HummingbirdStyle::HummingbirdStyle(const model::Forest &forest,
+                                   const HummingbirdOptions &options)
+    : numFeatures_(forest.numFeatures()), numTrees_(forest.numTrees()),
+      baseScore_(forest.baseScore()), objective_(forest.objective()),
+      rowBlock_(options.rowBlock)
+{
+    forest.validate();
+    fatalIf(rowBlock_ < 1, "row block must be positive");
+
+    strategy_ = options.strategy;
+    if (strategy_ == HummingbirdStrategy::kAuto) {
+        // Hummingbird's depth heuristic: GEMM pays off only for very
+        // shallow trees; deeper ensembles use PerfectTreeTraversal.
+        strategy_ = forest.maxDepth() <= 3
+                        ? HummingbirdStrategy::kGemm
+                        : HummingbirdStrategy::kPerfectTreeTraversal;
+    }
+
+    if (strategy_ == HummingbirdStrategy::kGemm)
+        buildGemm(forest);
+    else
+        buildPtt(forest);
+
+    if (options.numThreads > 1) {
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(options.numThreads));
+    }
+}
+
+void
+HummingbirdStyle::buildPtt(const model::Forest &forest)
+{
+    depth_ = std::max(forest.maxDepth(), 1);
+    fatalIf(depth_ > 20, "PTT cannot pad trees of depth ", depth_);
+    int64_t internal_per_tree = (int64_t{1} << depth_) - 1;
+    int64_t leaves_per_tree = int64_t{1} << depth_;
+
+    pttFeatures_.assign(
+        static_cast<size_t>(numTrees_ * internal_per_tree), 0);
+    pttThresholds_.assign(
+        static_cast<size_t>(numTrees_ * internal_per_tree), kInf);
+    pttLeaves_.assign(static_cast<size_t>(numTrees_ * leaves_per_tree),
+                      0.0f);
+
+    for (int64_t t = 0; t < numTrees_; ++t) {
+        const model::DecisionTree &tree = forest.tree(t);
+        int32_t *features =
+            pttFeatures_.data() + t * internal_per_tree;
+        float *thresholds =
+            pttThresholds_.data() + t * internal_per_tree;
+        float *leaves = pttLeaves_.data() + t * leaves_per_tree;
+
+        // Place each node at its perfect-tree slot; leaves reached
+        // before full depth replicate their value across the padded
+        // subtree (dummy +inf predicates always route left).
+        auto fill = [&](auto &&self, int64_t slot, int32_t depth,
+                        model::NodeIndex index) -> void {
+            const model::Node &node = tree.node(index);
+            if (depth == depth_) {
+                leaves[slot - internal_per_tree] = node.threshold;
+                return;
+            }
+            if (node.isLeaf()) {
+                features[slot] = 0;
+                thresholds[slot] = kInf;
+                self(self, 2 * slot + 1, depth + 1, index);
+                self(self, 2 * slot + 2, depth + 1, index);
+                return;
+            }
+            features[slot] = node.featureIndex;
+            thresholds[slot] = node.threshold;
+            self(self, 2 * slot + 1, depth + 1, node.left);
+            self(self, 2 * slot + 2, depth + 1, node.right);
+        };
+        fill(fill, 0, 0, tree.root());
+    }
+}
+
+void
+HummingbirdStyle::predictRangePtt(const float *rows, int64_t begin,
+                                  int64_t end, float *predictions) const
+{
+    int64_t internal_per_tree = (int64_t{1} << depth_) - 1;
+    int64_t leaves_per_tree = int64_t{1} << depth_;
+
+    std::vector<int32_t> indices;
+    for (int64_t block = begin; block < end; block += rowBlock_) {
+        int64_t block_end = std::min<int64_t>(block + rowBlock_, end);
+        int64_t block_size = block_end - block;
+
+        // The (rows x trees) index tensor, advanced one level per
+        // step across the whole block — the tensor-op structure of
+        // Hummingbird's PTT (gather, compare, index update).
+        indices.assign(
+            static_cast<size_t>(block_size * numTrees_), 0);
+        for (int32_t d = 0; d < depth_; ++d) {
+            for (int64_t r = 0; r < block_size; ++r) {
+                const float *row = rows + (block + r) * numFeatures_;
+                int32_t *row_indices =
+                    indices.data() + r * numTrees_;
+                for (int64_t t = 0; t < numTrees_; ++t) {
+                    int64_t node_base = t * internal_per_tree;
+                    int32_t i = row_indices[t];
+                    bool cond =
+                        row[pttFeatures_[static_cast<size_t>(
+                            node_base + i)]] <
+                        pttThresholds_[static_cast<size_t>(node_base +
+                                                           i)];
+                    row_indices[t] = 2 * i + (cond ? 1 : 2);
+                }
+            }
+        }
+
+        for (int64_t r = 0; r < block_size; ++r) {
+            const int32_t *row_indices = indices.data() + r * numTrees_;
+            float margin = baseScore_;
+            for (int64_t t = 0; t < numTrees_; ++t) {
+                int64_t leaf = row_indices[t] - internal_per_tree;
+                margin += pttLeaves_[static_cast<size_t>(
+                    t * leaves_per_tree + leaf)];
+            }
+            predictions[block + r] =
+                model::applyObjective(objective_, margin);
+        }
+    }
+}
+
+void
+HummingbirdStyle::buildGemm(const model::Forest &forest)
+{
+    // Assign global columns to internal nodes and leaves.
+    totalInternal_ = forest.totalNodes() - forest.totalLeaves();
+    totalLeaves_ = forest.totalLeaves();
+    fatalIf(totalInternal_ * totalLeaves_ > kMaxGemmCElements,
+            "model too large for the GEMM strategy (C matrix would "
+            "hold ",
+            totalInternal_ * totalLeaves_, " elements)");
+
+    gemmA_.assign(
+        static_cast<size_t>(numFeatures_) * totalInternal_, 0.0f);
+    gemmB_.assign(static_cast<size_t>(totalInternal_), 0.0f);
+    gemmC_.assign(static_cast<size_t>(totalInternal_) * totalLeaves_,
+                  0.0f);
+    gemmD_.assign(static_cast<size_t>(totalLeaves_), 0.0f);
+    gemmE_.assign(static_cast<size_t>(totalLeaves_), 0.0f);
+
+    int64_t internal_cursor = 0;
+    int64_t leaf_cursor = 0;
+    for (int64_t t = 0; t < numTrees_; ++t) {
+        const model::DecisionTree &tree = forest.tree(t);
+        leafOffsets_.push_back(leaf_cursor);
+
+        // Depth-first assignment carrying the (ancestor, direction)
+        // path so each leaf's C column and D entry can be filled.
+        std::vector<std::pair<int64_t, bool>> path; // (col, went_left)
+        auto assign = [&](auto &&self, model::NodeIndex index) -> void {
+            const model::Node &node = tree.node(index);
+            if (node.isLeaf()) {
+                int64_t leaf_col = leaf_cursor++;
+                int64_t left_edges = 0;
+                for (const auto &[ancestor_col, went_left] : path) {
+                    gemmC_[static_cast<size_t>(ancestor_col) *
+                               totalLeaves_ +
+                           leaf_col] = went_left ? 1.0f : -1.0f;
+                    left_edges += went_left ? 1 : 0;
+                }
+                gemmD_[static_cast<size_t>(leaf_col)] =
+                    static_cast<float>(left_edges);
+                gemmE_[static_cast<size_t>(leaf_col)] = node.threshold;
+                return;
+            }
+            int64_t col = internal_cursor++;
+            gemmA_[static_cast<size_t>(node.featureIndex) *
+                       totalInternal_ +
+                   col] = 1.0f;
+            gemmB_[static_cast<size_t>(col)] = node.threshold;
+            path.push_back({col, true});
+            self(self, node.left);
+            path.back().second = false;
+            self(self, node.right);
+            path.pop_back();
+        };
+        assign(assign, tree.root());
+    }
+    leafOffsets_.push_back(leaf_cursor);
+    panicIf(internal_cursor != totalInternal_ ||
+                leaf_cursor != totalLeaves_,
+            "GEMM tensor assignment mismatch");
+}
+
+void
+HummingbirdStyle::predictRangeGemm(const float *rows, int64_t begin,
+                                   int64_t end,
+                                   float *predictions) const
+{
+    std::vector<float> xa;
+    std::vector<float> t_matrix;
+    std::vector<float> s_matrix;
+    for (int64_t block = begin; block < end; block += rowBlock_) {
+        int64_t block_end = std::min<int64_t>(block + rowBlock_, end);
+        int64_t bs = block_end - block;
+
+        // XA = X * A  (gathers each node's feature value).
+        xa.assign(static_cast<size_t>(bs * totalInternal_), 0.0f);
+        sgemm(rows + block * numFeatures_, gemmA_.data(), xa.data(), bs,
+              numFeatures_, totalInternal_);
+
+        // T = (XA < B) as 0/1.
+        t_matrix.assign(static_cast<size_t>(bs * totalInternal_), 0.0f);
+        for (int64_t r = 0; r < bs; ++r) {
+            for (int64_t j = 0; j < totalInternal_; ++j) {
+                t_matrix[static_cast<size_t>(r * totalInternal_ + j)] =
+                    xa[static_cast<size_t>(r * totalInternal_ + j)] <
+                            gemmB_[static_cast<size_t>(j)]
+                        ? 1.0f
+                        : 0.0f;
+            }
+        }
+
+        // S = T * C  (path-condition counts per leaf).
+        s_matrix.assign(static_cast<size_t>(bs * totalLeaves_), 0.0f);
+        sgemm(t_matrix.data(), gemmC_.data(), s_matrix.data(), bs,
+              totalInternal_, totalLeaves_);
+
+        // Select the leaf with S == D per tree; dot with E.
+        for (int64_t r = 0; r < bs; ++r) {
+            const float *s_row = s_matrix.data() + r * totalLeaves_;
+            float margin = baseScore_;
+            for (int64_t t = 0; t < numTrees_; ++t) {
+                for (int64_t l = leafOffsets_[static_cast<size_t>(t)];
+                     l < leafOffsets_[static_cast<size_t>(t + 1)];
+                     ++l) {
+                    if (s_row[l] ==
+                        gemmD_[static_cast<size_t>(l)]) {
+                        margin += gemmE_[static_cast<size_t>(l)];
+                        break;
+                    }
+                }
+            }
+            predictions[block + r] =
+                model::applyObjective(objective_, margin);
+        }
+    }
+}
+
+void
+HummingbirdStyle::predict(const float *rows, int64_t num_rows,
+                          float *predictions) const
+{
+    if (num_rows <= 0)
+        return;
+    auto range = [&](int64_t begin, int64_t end) {
+        if (strategy_ == HummingbirdStrategy::kGemm)
+            predictRangeGemm(rows, begin, end, predictions);
+        else
+            predictRangePtt(rows, begin, end, predictions);
+    };
+    if (!pool_) {
+        range(0, num_rows);
+        return;
+    }
+    pool_->parallelFor(0, num_rows, range);
+}
+
+int64_t
+HummingbirdStyle::footprintBytes() const
+{
+    int64_t bytes = 0;
+    bytes += static_cast<int64_t>(pttFeatures_.size()) * 4;
+    bytes += static_cast<int64_t>(pttThresholds_.size()) * 4;
+    bytes += static_cast<int64_t>(pttLeaves_.size()) * 4;
+    bytes += static_cast<int64_t>(gemmA_.size() + gemmB_.size() +
+                                  gemmC_.size() + gemmD_.size() +
+                                  gemmE_.size()) *
+             4;
+    return bytes;
+}
+
+} // namespace treebeard::baselines

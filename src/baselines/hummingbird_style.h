@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A Hummingbird-style inference baseline: tree inference lowered onto
+ * tensor operations (Nakandala et al., OSDI'20 — reference [11] of the
+ * paper).
+ *
+ * Hummingbird picks among tensor translation strategies by tree depth:
+ *
+ *  - GEMM: for shallow trees, node predicates and leaf selection
+ *    become dense matrix products (X*A < B, then path-count matching
+ *    through C/D and a final product with the leaf-value matrix E);
+ *  - PerfectTreeTraversal (PTT): trees are padded to perfect binary
+ *    trees of the ensemble's max depth; walks advance index tensors
+ *    level-synchronously with gather ops, every walk running to full
+ *    depth with no early exit.
+ *
+ * The paper's benchmark models are depth 7-9, where Hummingbird uses
+ * PTT; both strategies are implemented here over plain buffers (and a
+ * blocked sgemm substrate), preserving the cost structure the paper
+ * measures: no model-specific specialization, full-depth walks, and
+ * padded-tree memory bloat.
+ */
+#ifndef TREEBEARD_BASELINES_HUMMINGBIRD_STYLE_H
+#define TREEBEARD_BASELINES_HUMMINGBIRD_STYLE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/forest.h"
+
+namespace treebeard::baselines {
+
+/** Tensor translation strategy. */
+enum class HummingbirdStrategy {
+    /** Pick by depth like Hummingbird: GEMM for depth <= 3, else PTT. */
+    kAuto,
+    kGemm,
+    kPerfectTreeTraversal,
+};
+
+/** Options for the Hummingbird-style predictor. */
+struct HummingbirdOptions
+{
+    HummingbirdStrategy strategy = HummingbirdStrategy::kAuto;
+    int32_t numThreads = 1;
+    /** Rows per tensor-op block (the batch tensor's leading dim). */
+    int32_t rowBlock = 256;
+};
+
+/**
+ * Tensor-lowered predictor.
+ */
+class HummingbirdStyle
+{
+  public:
+    HummingbirdStyle(const model::Forest &forest,
+                     const HummingbirdOptions &options = {});
+
+    void predict(const float *rows, int64_t num_rows,
+                 float *predictions) const;
+
+    /** The strategy actually chosen. */
+    HummingbirdStrategy strategy() const { return strategy_; }
+
+    /** Model tensor bytes (shows PTT's padded-tree bloat). */
+    int64_t footprintBytes() const;
+
+  private:
+    void buildPtt(const model::Forest &forest);
+    void buildGemm(const model::Forest &forest);
+    void predictRangePtt(const float *rows, int64_t begin, int64_t end,
+                         float *predictions) const;
+    void predictRangeGemm(const float *rows, int64_t begin, int64_t end,
+                          float *predictions) const;
+
+    HummingbirdStrategy strategy_ = HummingbirdStrategy::kAuto;
+    int32_t numFeatures_ = 0;
+    int64_t numTrees_ = 0;
+    float baseScore_ = 0.0f;
+    model::Objective objective_ = model::Objective::kRegression;
+    int32_t rowBlock_ = 256;
+    std::unique_ptr<ThreadPool> pool_;
+
+    // PTT tensors: per tree, a perfect binary tree of depth `depth_`.
+    // features/thresholds: [numTrees][2^depth - 1]; leaves:
+    // [numTrees][2^depth].
+    int32_t depth_ = 0;
+    std::vector<int32_t> pttFeatures_;
+    std::vector<float> pttThresholds_;
+    std::vector<float> pttLeaves_;
+
+    // GEMM tensors (Hummingbird's A, B, C, D, E).
+    int64_t totalInternal_ = 0;
+    int64_t totalLeaves_ = 0;
+    std::vector<float> gemmA_;       // [features x totalInternal]
+    std::vector<float> gemmB_;       // [totalInternal]
+    std::vector<float> gemmC_;       // [totalInternal x totalLeaves]
+    std::vector<float> gemmD_;       // [totalLeaves]
+    std::vector<float> gemmE_;       // [totalLeaves]
+    std::vector<int64_t> leafOffsets_; // per-tree [begin, end) in leaves
+};
+
+} // namespace treebeard::baselines
+
+#endif // TREEBEARD_BASELINES_HUMMINGBIRD_STYLE_H

@@ -1,0 +1,195 @@
+#include "baselines/quickscorer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace treebeard::baselines {
+
+namespace {
+
+/** In-order leaf numbering and per-node leaf ranges. */
+struct LeafRanges
+{
+    /** leafBit[node] = in-order ordinal for leaves, -1 otherwise. */
+    std::vector<int32_t> leafBit;
+    /** [first, last] leaf ordinal under each node. */
+    std::vector<std::pair<int32_t, int32_t>> range;
+    int32_t numLeaves = 0;
+};
+
+LeafRanges
+computeLeafRanges(const model::DecisionTree &tree)
+{
+    LeafRanges ranges;
+    ranges.leafBit.assign(static_cast<size_t>(tree.numNodes()), -1);
+    ranges.range.assign(static_cast<size_t>(tree.numNodes()), {0, 0});
+
+    auto visit = [&](auto &&self, model::NodeIndex index) -> void {
+        const model::Node &node = tree.node(index);
+        if (node.isLeaf()) {
+            int32_t bit = ranges.numLeaves++;
+            ranges.leafBit[static_cast<size_t>(index)] = bit;
+            ranges.range[static_cast<size_t>(index)] = {bit, bit};
+            return;
+        }
+        self(self, node.left);
+        self(self, node.right);
+        ranges.range[static_cast<size_t>(index)] = {
+            ranges.range[static_cast<size_t>(node.left)].first,
+            ranges.range[static_cast<size_t>(node.right)].second};
+    };
+    visit(visit, tree.root());
+    return ranges;
+}
+
+} // namespace
+
+QuickScorer::QuickScorer(const model::Forest &forest,
+                         int32_t num_threads)
+    : numFeatures_(forest.numFeatures()), numTrees_(forest.numTrees()),
+      baseScore_(forest.baseScore()), objective_(forest.objective())
+{
+    forest.validate();
+    conditionsByFeature_.resize(static_cast<size_t>(numFeatures_));
+
+    for (int64_t t = 0; t < numTrees_; ++t) {
+        const model::DecisionTree &tree = forest.tree(t);
+        LeafRanges ranges = computeLeafRanges(tree);
+        int32_t words = std::max(1, (ranges.numLeaves + 63) / 64);
+        treeWords_.push_back(words);
+        treeWordOffset_.push_back(totalWords_);
+        totalWords_ += words;
+
+        // Leaf values in bit order.
+        treeLeafOffset_.push_back(
+            static_cast<int64_t>(leafValues_.size()));
+        leafValues_.resize(leafValues_.size() +
+                           static_cast<size_t>(ranges.numLeaves));
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            int32_t bit = ranges.leafBit[static_cast<size_t>(i)];
+            if (bit >= 0) {
+                leafValues_[static_cast<size_t>(
+                    treeLeafOffset_.back() + bit)] =
+                    tree.node(i).threshold;
+            }
+        }
+
+        // One mask per internal node: zeros over its left subtree's
+        // leaves (those become unreachable when x[f] < t is false).
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            const model::Node &node = tree.node(i);
+            if (node.isLeaf())
+                continue;
+            int32_t mask_offset = static_cast<int32_t>(masks_.size());
+            masks_.resize(masks_.size() + static_cast<size_t>(words),
+                          ~uint64_t{0});
+            auto [first, last] =
+                ranges.range[static_cast<size_t>(node.left)];
+            for (int32_t bit = first; bit <= last; ++bit) {
+                masks_[static_cast<size_t>(mask_offset + bit / 64)] &=
+                    ~(uint64_t{1} << (bit % 64));
+            }
+            conditionsByFeature_[static_cast<size_t>(
+                                     node.featureIndex)]
+                .push_back({node.threshold, static_cast<int32_t>(t),
+                            mask_offset});
+        }
+    }
+
+    // Ascending threshold order enables the early exit per feature.
+    for (std::vector<Condition> &bucket : conditionsByFeature_) {
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const Condition &a, const Condition &b) {
+                      return a.threshold < b.threshold;
+                  });
+    }
+
+    if (num_threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(num_threads));
+    }
+}
+
+void
+QuickScorer::predictRange(const float *rows, int64_t begin, int64_t end,
+                          float *predictions) const
+{
+    std::vector<uint64_t> bits(static_cast<size_t>(totalWords_));
+    for (int64_t r = begin; r < end; ++r) {
+        const float *row = rows + r * numFeatures_;
+        // All leaves start reachable.
+        std::fill(bits.begin(), bits.end(), ~uint64_t{0});
+
+        for (int32_t f = 0; f < numFeatures_; ++f) {
+            float x = row[f];
+            const std::vector<Condition> &bucket =
+                conditionsByFeature_[static_cast<size_t>(f)];
+            for (const Condition &condition : bucket) {
+                // Predicate x < t holds for everything beyond this
+                // point of the sorted bucket: stop.
+                if (x < condition.threshold)
+                    break;
+                uint64_t *tree_bits =
+                    bits.data() +
+                    treeWordOffset_[static_cast<size_t>(
+                        condition.tree)];
+                const uint64_t *mask =
+                    masks_.data() + condition.maskOffset;
+                int32_t words =
+                    treeWords_[static_cast<size_t>(condition.tree)];
+                for (int32_t w = 0; w < words; ++w)
+                    tree_bits[w] &= mask[w];
+            }
+        }
+
+        // Each tree's exit leaf is its lowest surviving bit.
+        float margin = baseScore_;
+        for (int64_t t = 0; t < numTrees_; ++t) {
+            const uint64_t *tree_bits =
+                bits.data() + treeWordOffset_[static_cast<size_t>(t)];
+            int32_t words = treeWords_[static_cast<size_t>(t)];
+            for (int32_t w = 0; w < words; ++w) {
+                if (tree_bits[w] != 0) {
+                    int32_t bit =
+                        w * 64 + __builtin_ctzll(tree_bits[w]);
+                    margin += leafValues_[static_cast<size_t>(
+                        treeLeafOffset_[static_cast<size_t>(t)] +
+                        bit)];
+                    break;
+                }
+            }
+        }
+        predictions[r] = model::applyObjective(objective_, margin);
+    }
+}
+
+void
+QuickScorer::predict(const float *rows, int64_t num_rows,
+                     float *predictions) const
+{
+    if (num_rows <= 0)
+        return;
+    if (!pool_) {
+        predictRange(rows, 0, num_rows, predictions);
+        return;
+    }
+    pool_->parallelFor(0, num_rows, [&](int64_t begin, int64_t end) {
+        predictRange(rows, begin, end, predictions);
+    });
+}
+
+int64_t
+QuickScorer::footprintBytes() const
+{
+    int64_t bytes = 0;
+    bytes += static_cast<int64_t>(masks_.size()) * 8;
+    bytes += static_cast<int64_t>(leafValues_.size()) * 4;
+    for (const std::vector<Condition> &bucket : conditionsByFeature_)
+        bytes += static_cast<int64_t>(bucket.size()) *
+                 sizeof(Condition);
+    return bytes;
+}
+
+} // namespace treebeard::baselines

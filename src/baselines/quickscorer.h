@@ -1,0 +1,88 @@
+/**
+ * @file
+ * QuickScorer (Lucchese et al., SIGIR'15 — reference [37] of the
+ * paper): a bit-vector-based tree-ensemble scorer. The paper's
+ * related-work section notes QuickScorer "is extremely fast for
+ * smaller models, [but] does not scale well to larger models" and
+ * that it "can easily be integrated into TREEBEARD as another
+ * traversal strategy" — this implementation provides that strategy
+ * and lets the benches demonstrate the crossover.
+ *
+ * Algorithm: every tree keeps one bit per leaf. Every internal node
+ * carries a mask with zeros over the leaves of its left subtree: if
+ * the node's predicate x[f] < t is FALSE the walk must go right, so
+ * those leaves become unreachable. Evaluation visits conditions
+ * feature-by-feature in ascending threshold order (early exit once
+ * thresholds exceed the feature value), ANDs the masks of all false
+ * conditions, and reads each tree's exit leaf as the lowest surviving
+ * bit. Trees with more than 64 leaves use multi-word masks.
+ */
+#ifndef TREEBEARD_BASELINES_QUICKSCORER_H
+#define TREEBEARD_BASELINES_QUICKSCORER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/forest.h"
+
+namespace treebeard::baselines {
+
+/**
+ * Bit-vector ensemble scorer.
+ */
+class QuickScorer
+{
+  public:
+    explicit QuickScorer(const model::Forest &forest,
+                         int32_t num_threads = 1);
+
+    /** Batch predict (row-major input, one prediction per row). */
+    void predict(const float *rows, int64_t num_rows,
+                 float *predictions) const;
+
+    int32_t numFeatures() const { return numFeatures_; }
+
+    /** Bytes of masks + thresholds + leaf values. */
+    int64_t footprintBytes() const;
+
+    /** Total bit-vector words per row evaluation (the scaling cost). */
+    int64_t bitvectorWords() const { return totalWords_; }
+
+  private:
+    /** One (threshold, tree, mask) condition, bucketed by feature. */
+    struct Condition
+    {
+        float threshold;
+        int32_t tree;
+        int32_t maskOffset; // into masks_, maskWords_[tree] words
+    };
+
+    void predictRange(const float *rows, int64_t begin, int64_t end,
+                      float *predictions) const;
+
+    int32_t numFeatures_ = 0;
+    int64_t numTrees_ = 0;
+    float baseScore_ = 0.0f;
+    model::Objective objective_ = model::Objective::kRegression;
+
+    /** Conditions per feature, ascending threshold. */
+    std::vector<std::vector<Condition>> conditionsByFeature_;
+    /** All node masks, variable words per tree. */
+    std::vector<uint64_t> masks_;
+    /** Words in each tree's bit vector. */
+    std::vector<int32_t> treeWords_;
+    /** Offset of each tree's bit vector in a per-row scratch array. */
+    std::vector<int64_t> treeWordOffset_;
+    int64_t totalWords_ = 0;
+    /** Leaf values per tree, in leaf-bit order (left-to-right). */
+    std::vector<float> leafValues_;
+    std::vector<int64_t> treeLeafOffset_;
+
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace treebeard::baselines
+
+#endif // TREEBEARD_BASELINES_QUICKSCORER_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A Treelite-style inference baseline: expand every tree of the model
+ * into nested if-else statements, compile the generated C++ with the
+ * system compiler and run the native code. This is exactly Treelite's
+ * compilation strategy ("it aggressively expands all trees in the
+ * model into if-else statements", Section I) and exhibits the same
+ * microarchitectural character the paper measures in Section VI-E:
+ * front-end pressure from huge instruction footprints and
+ * data-dependent branches.
+ */
+#ifndef TREEBEARD_BASELINES_TREELITE_STYLE_H
+#define TREEBEARD_BASELINES_TREELITE_STYLE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "codegen/system_jit.h"
+#include "common/thread_pool.h"
+#include "model/forest.h"
+
+namespace treebeard::baselines {
+
+/** Options for the Treelite-style compiler. */
+struct TreeliteOptions
+{
+    /** Optimization level for the generated code. */
+    std::string optLevel = "-O1";
+    /** Worker threads for batch prediction. */
+    int32_t numThreads = 1;
+    /**
+     * Split the generated trees across this many translation units'
+     * worth of functions in one file section; kept for generated-code
+     * readability on very large models.
+     */
+    int64_t treesPerSection = 200;
+};
+
+/**
+ * If-else codegen baseline.
+ */
+class TreeliteStyle
+{
+  public:
+    /**
+     * Generate, compile and load inference code for @p forest.
+     * @throws Error when the system compiler is unavailable or fails.
+     */
+    TreeliteStyle(const model::Forest &forest,
+                  const TreeliteOptions &options = {});
+
+    /** Batch predict through the compiled if-else code. */
+    void predict(const float *rows, int64_t num_rows,
+                 float *predictions) const;
+
+    /** Seconds the external compiler took. */
+    double compileSeconds() const { return module_->compileSeconds(); }
+
+    /** Characters of generated C++ (a code-size proxy). */
+    int64_t generatedSourceBytes() const { return sourceBytes_; }
+
+    /** Generate the C++ source without compiling (for tests/dumps). */
+    static std::string generateSource(const model::Forest &forest,
+                                      const TreeliteOptions &options = {});
+
+  private:
+    using PredictRangeFn = void (*)(const float *, int64_t, int64_t,
+                                    float *);
+
+    std::unique_ptr<codegen::JitModule> module_;
+    PredictRangeFn predictRange_ = nullptr;
+    std::unique_ptr<ThreadPool> pool_;
+    int32_t numFeatures_ = 0;
+    int64_t sourceBytes_ = 0;
+};
+
+} // namespace treebeard::baselines
+
+#endif // TREEBEARD_BASELINES_TREELITE_STYLE_H

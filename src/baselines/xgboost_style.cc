@@ -1,0 +1,120 @@
+#include "baselines/xgboost_style.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace treebeard::baselines {
+
+XgBoostStyle::XgBoostStyle(const model::Forest &forest,
+                           XgBoostVersion version, int32_t num_threads,
+                           int32_t row_block)
+    : numTrees_(forest.numTrees()), numFeatures_(forest.numFeatures()),
+      baseScore_(forest.baseScore()), objective_(forest.objective()),
+      version_(version), rowBlock_(row_block)
+{
+    fatalIf(row_block < 1, "row block must be positive");
+    forest.validate();
+
+    // Flatten every tree into the compact array, preserving node
+    // indices (they are already contiguous per tree).
+    for (int64_t t = 0; t < numTrees_; ++t) {
+        const model::DecisionTree &tree = forest.tree(t);
+        int64_t base = static_cast<int64_t>(nodes_.size());
+        treeOffsets_.push_back(base + tree.root());
+        for (const model::Node &node : tree.nodes()) {
+            CompactNode compact;
+            compact.value = node.threshold;
+            compact.featureIndex = node.featureIndex;
+            compact.left = node.isLeaf()
+                               ? -1
+                               : static_cast<int32_t>(base + node.left);
+            compact.right = node.isLeaf()
+                                ? -1
+                                : static_cast<int32_t>(base + node.right);
+            compact.defaultLeft = node.defaultLeft;
+            nodes_.push_back(compact);
+        }
+    }
+
+    if (num_threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(num_threads));
+    }
+}
+
+float
+XgBoostStyle::walkTree(int64_t tree, const float *row) const
+{
+    const CompactNode *nodes = nodes_.data();
+    int64_t index = treeOffsets_[static_cast<size_t>(tree)];
+    while (nodes[index].featureIndex >= 0) {
+        const CompactNode &node = nodes[index];
+        float value = row[node.featureIndex];
+        bool go_left = std::isnan(value) ? node.defaultLeft
+                                         : value < node.value;
+        index = go_left ? node.left : node.right;
+    }
+    return nodes[index].value;
+}
+
+void
+XgBoostStyle::predictRange(const float *rows, int64_t begin, int64_t end,
+                           float *predictions) const
+{
+    if (version_ == XgBoostVersion::kV09) {
+        // One row at a time: all trees for a row before the next row.
+        for (int64_t r = begin; r < end; ++r) {
+            const float *row = rows + r * numFeatures_;
+            float margin = baseScore_;
+            for (int64_t t = 0; t < numTrees_; ++t)
+                margin += walkTree(t, row);
+            predictions[r] = model::applyObjective(objective_, margin);
+        }
+        return;
+    }
+
+    // One tree at a time over blocks of rows (the PR #6127 structure):
+    // better temporal locality on tree nodes.
+    std::vector<float> accumulators(static_cast<size_t>(rowBlock_));
+    for (int64_t block = begin; block < end; block += rowBlock_) {
+        int64_t block_end = std::min<int64_t>(block + rowBlock_, end);
+        int64_t block_size = block_end - block;
+        std::fill_n(accumulators.begin(),
+                    static_cast<size_t>(block_size), baseScore_);
+        for (int64_t t = 0; t < numTrees_; ++t) {
+            for (int64_t r = 0; r < block_size; ++r) {
+                accumulators[static_cast<size_t>(r)] +=
+                    walkTree(t, rows + (block + r) * numFeatures_);
+            }
+        }
+        for (int64_t r = 0; r < block_size; ++r) {
+            predictions[block + r] = model::applyObjective(
+                objective_, accumulators[static_cast<size_t>(r)]);
+        }
+    }
+}
+
+void
+XgBoostStyle::predict(const float *rows, int64_t num_rows,
+                      float *predictions) const
+{
+    if (num_rows <= 0)
+        return;
+    if (!pool_) {
+        predictRange(rows, 0, num_rows, predictions);
+        return;
+    }
+    pool_->parallelFor(0, num_rows, [&](int64_t begin, int64_t end) {
+        predictRange(rows, begin, end, predictions);
+    });
+}
+
+int64_t
+XgBoostStyle::footprintBytes() const
+{
+    return static_cast<int64_t>(nodes_.size()) * sizeof(CompactNode);
+}
+
+} // namespace treebeard::baselines

@@ -1,0 +1,255 @@
+#include "codegen/cpp_emitter.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace treebeard::codegen {
+
+namespace {
+
+using hir::TreeGroup;
+using lir::ForestBuffers;
+using lir::LayoutKind;
+
+/** Format a valid C++ float literal that round-trips exactly. */
+std::string
+floatLiteral(float value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    std::string text(buffer);
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos) {
+        text += ".0";
+    }
+    return text + "f";
+}
+
+/** Emit the tile-evaluation helper specialized for the tile size. */
+void
+emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
+{
+    int32_t nt = fb.tileSize;
+    os << "static inline int evalTile(int64_t tile, const float* row,\n"
+          "    const float* thresholds, const int32_t* features,\n"
+          "    const int16_t* shape_ids, const uint8_t* default_left,\n"
+          "    const int8_t* lut) {\n";
+    os << "  const float* th = thresholds + tile * " << nt << ";\n";
+    os << "  const int32_t* fi = features + tile * " << nt << ";\n";
+    os << "  unsigned dl = default_left[tile];\n";
+    os << "  unsigned outcome = 0;\n";
+    for (int32_t s = 0; s < nt; ++s) {
+        // NaN (v != v) routes per the tile's default-direction bits.
+        os << "  { float v = row[fi[" << s << "]]; outcome |= "
+           << "(unsigned)(v < th[" << s << "] || (v != v && ((dl >> "
+           << s << ") & 1u))) << " << s << "; }\n";
+    }
+    os << "  return lut[(size_t)shape_ids[tile] * " << fb.shapes->lutStride()
+       << " + outcome];\n";
+    os << "}\n\n";
+}
+
+/** Emit a single walk returning the leaf value; specialized per group. */
+void
+emitWalkFunction(std::ostringstream &os, const ForestBuffers &fb,
+                 const TreeGroup &group, size_t group_index)
+{
+    bool sparse = fb.layout == LayoutKind::kSparse;
+    int32_t nt = fb.tileSize;
+    os << "static inline float walk_group_" << group_index
+       << "(int64_t root, const float* row,\n"
+          "    const float* thresholds, const int32_t* features,\n"
+          "    const int16_t* shape_ids, const uint8_t* default_left,\n"
+          "    const int32_t* child_base,\n"
+          "    const float* leaves, const int8_t* lut) {\n";
+    if (sparse) {
+        os << "  int64_t tile = root;\n";
+        if (group.unrolledWalk) {
+            // Exactly walkDepth evaluations, no termination checks.
+            for (int32_t d = 0; d + 1 < group.walkDepth; ++d) {
+                os << "  tile = child_base[tile] + evalTile(tile, row, "
+                      "thresholds, features, shape_ids, default_left, lut);\n";
+            }
+            os << "  int child = evalTile(tile, row, thresholds, "
+                  "features, shape_ids, default_left, lut);\n";
+            os << "  return leaves[-(child_base[tile] + 1) + child];\n";
+        } else {
+            for (int32_t d = 0; d + 1 < group.peelDepth; ++d) {
+                os << "  tile = child_base[tile] + evalTile(tile, row, "
+                      "thresholds, features, shape_ids, default_left, lut);\n";
+            }
+            os << "  for (;;) {\n";
+            os << "    int child = evalTile(tile, row, thresholds, "
+                  "features, shape_ids, default_left, lut);\n";
+            os << "    int32_t base = child_base[tile];\n";
+            os << "    if (base < 0) return leaves[-(base + 1) + "
+                  "child];\n";
+            os << "    tile = base + child;\n";
+            os << "  }\n";
+        }
+    } else {
+        os << "  int64_t local = 0;\n";
+        os << "  (void)child_base; (void)leaves;\n";
+        if (group.unrolledWalk) {
+            for (int32_t d = 0; d < group.walkDepth; ++d) {
+                os << "  local = " << (nt + 1)
+                   << " * local + evalTile(root + local, row, "
+                      "thresholds, features, shape_ids, default_left, lut) + 1;\n";
+            }
+            os << "  return thresholds[(root + local) * " << nt << "];\n";
+        } else {
+            for (int32_t d = 0; d < group.peelDepth; ++d) {
+                os << "  local = " << (nt + 1)
+                   << " * local + evalTile(root + local, row, "
+                      "thresholds, features, shape_ids, default_left, lut) + 1;\n";
+            }
+            os << "  for (;;) {\n";
+            os << "    int64_t tile = root + local;\n";
+            os << "    if (shape_ids[tile] == " << lir::kLeafTileMarker
+               << ") return thresholds[tile * " << nt << "];\n";
+            os << "    local = " << (nt + 1)
+               << " * local + evalTile(tile, row, thresholds, features, "
+                  "shape_ids, default_left, lut) + 1;\n";
+            os << "  }\n";
+        }
+    }
+    os << "}\n\n";
+}
+
+} // namespace
+
+std::string
+emitPredictForestSource(const ForestBuffers &fb,
+                        const std::vector<TreeGroup> &groups,
+                        const hir::Schedule &schedule)
+{
+    fatalIf(groups.empty(), "source emission requires tree groups");
+    fatalIf(fb.numClasses > 1,
+            "the source backend does not support multiclass models "
+            "yet; use the kernel runtime");
+    std::ostringstream os;
+    os << "// Generated by treebeard::codegen (schedule: "
+       << schedule.toString() << ").\n";
+    os << "#include <cstdint>\n#include <cmath>\n#include <cstddef>\n\n";
+
+    emitEvalTile(os, fb);
+    for (size_t g = 0; g < groups.size(); ++g)
+        emitWalkFunction(os, fb, groups[g], g);
+
+    int32_t k = schedule.interleaveFactor;
+    bool one_tree =
+        schedule.loopOrder == hir::LoopOrder::kOneTreeAtATime;
+
+    os << "extern \"C\" void treebeard_predict(const float* rows, "
+          "int64_t num_rows, float* predictions,\n"
+          "    const float* thresholds, const int32_t* features,\n"
+          "    const int16_t* shape_ids, const uint8_t* default_left,\n"
+          "    const int32_t* child_base,\n"
+          "    const float* leaves, const int8_t* lut,\n"
+          "    const int64_t* tree_first_tile) {\n";
+    os << "  const int nf = " << fb.numFeatures << ";\n";
+
+    auto emit_objective = [&](const std::string &target,
+                              const std::string &margin) {
+        if (fb.objective == model::Objective::kBinaryLogistic) {
+            os << target << " = 1.0f / (1.0f + std::exp(-(" << margin
+               << ")));\n";
+        } else {
+            os << target << " = " << margin << ";\n";
+        }
+    };
+
+    if (one_tree) {
+        os << "  float* acc = new float[num_rows];\n";
+        os << "  for (int64_t r = 0; r < num_rows; ++r) acc[r] = "
+           << floatLiteral(fb.baseScore) << ";\n";
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const TreeGroup &group = groups[g];
+            os << "  for (int64_t pos = " << group.beginPos
+               << "; pos < " << group.endPos << "; ++pos) {\n";
+            os << "    int64_t root = tree_first_tile[pos];\n";
+            os << "    int64_t r = 0;\n";
+            if (k > 1) {
+                // Unroll-and-jam over rows: K interleaved walks.
+                os << "    for (; r + " << k
+                   << " <= num_rows; r += " << k << ") {\n";
+                for (int32_t i = 0; i < k; ++i) {
+                    os << "      acc[r + " << i << "] += walk_group_"
+                       << g << "(root, rows + (r + " << i
+                       << ") * nf, thresholds, features, shape_ids, "
+                          "default_left, child_base, leaves, lut);\n";
+                }
+                os << "    }\n";
+            }
+            os << "    for (; r < num_rows; ++r) acc[r] += walk_group_"
+               << g
+               << "(root, rows + r * nf, thresholds, features, "
+                  "shape_ids, default_left, child_base, leaves, lut);\n";
+            os << "  }\n";
+        }
+        os << "  for (int64_t r = 0; r < num_rows; ++r) ";
+        emit_objective("predictions[r]", "acc[r]");
+        os << "  delete[] acc;\n";
+    } else {
+        os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
+        os << "    const float* row = rows + r * nf;\n";
+        os << "    float margin = " << floatLiteral(fb.baseScore)
+           << ";\n";
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const TreeGroup &group = groups[g];
+            os << "    {\n";
+            os << "      int64_t pos = " << group.beginPos << ";\n";
+            if (k > 1) {
+                os << "      for (; pos + " << k << " <= "
+                   << group.endPos << "; pos += " << k << ") {\n";
+                for (int32_t i = 0; i < k; ++i) {
+                    os << "        margin += walk_group_" << g
+                       << "(tree_first_tile[pos + " << i
+                       << "], row, thresholds, features, shape_ids, "
+                          "default_left, child_base, leaves, lut);\n";
+                }
+                os << "      }\n";
+            }
+            os << "      for (; pos < " << group.endPos
+               << "; ++pos) margin += walk_group_" << g
+               << "(tree_first_tile[pos], row, thresholds, features, "
+                  "shape_ids, default_left, child_base, leaves, lut);\n";
+            os << "    }\n";
+        }
+        os << "    ";
+        emit_objective("predictions[r]", "margin");
+        os << "  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+JitCompiledSession::JitCompiledSession(lir::ForestBuffers buffers,
+                                       std::vector<TreeGroup> groups,
+                                       const hir::Schedule &schedule,
+                                       const JitOptions &jit_options)
+    : buffers_(std::move(buffers))
+{
+    source_ = emitPredictForestSource(buffers_, groups, schedule);
+    module_ = std::make_unique<JitModule>(source_, jit_options);
+    predict_ = module_->function<PredictFn>("treebeard_predict");
+}
+
+void
+JitCompiledSession::predict(const float *rows, int64_t num_rows,
+                            float *predictions) const
+{
+    // The sparse-only buffers may be empty in the array layout; the
+    // generated code never dereferences them in that case.
+    const int32_t *child_base =
+        buffers_.childBase.empty() ? nullptr : buffers_.childBase.data();
+    const float *leaves =
+        buffers_.leaves.empty() ? nullptr : buffers_.leaves.data();
+    predict_(rows, num_rows, predictions, buffers_.thresholds.data(),
+             buffers_.featureIndices.data(), buffers_.shapeIds.data(),
+             buffers_.defaultLeft.data(), child_base, leaves,
+             buffers_.shapes->lutData(), buffers_.treeFirstTile.data());
+}
+
+} // namespace treebeard::codegen

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Treebeard's source-code backend: emit a specialized C++
+ * predictForest translation unit from the LIR buffers and tree groups,
+ * compile it with the system compiler and run the native code. This is
+ * the repo's analogue of the original system's LLVM-IR emission + JIT:
+ * the emitted source bakes in the schedule (loop order, tile size,
+ * unroll depths, peel depths, interleave factor) and references the
+ * model buffers through parameters, so one model compiles in seconds
+ * regardless of size.
+ */
+#ifndef TREEBEARD_CODEGEN_CPP_EMITTER_H
+#define TREEBEARD_CODEGEN_CPP_EMITTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/system_jit.h"
+#include "hir/hir_module.h"
+#include "lir/forest_buffers.h"
+
+namespace treebeard::codegen {
+
+/**
+ * Emit the specialized predictForest C++ source for @p buffers under
+ * @p groups and @p schedule. The generated entry point is
+ *
+ *   extern "C" void treebeard_predict(
+ *       const float* rows, int64_t num_rows, float* predictions,
+ *       const float* thresholds, const int32_t* feature_indices,
+ *       const int16_t* shape_ids, const uint8_t* default_left,
+ *       const int32_t* child_base, const float* leaves,
+ *       const int8_t* lut, const int64_t* tree_first_tile);
+ */
+std::string emitPredictForestSource(
+    const lir::ForestBuffers &buffers,
+    const std::vector<hir::TreeGroup> &groups,
+    const hir::Schedule &schedule);
+
+/**
+ * A model compiled through the source backend: owns the buffers and
+ * the loaded shared object.
+ */
+class JitCompiledSession
+{
+  public:
+    /**
+     * Emit, compile and bind. Serial execution only (the paper's
+     * parallel loop lives above the generated function; use the
+     * kernel runtime for threading).
+     */
+    JitCompiledSession(lir::ForestBuffers buffers,
+                       std::vector<hir::TreeGroup> groups,
+                       const hir::Schedule &schedule,
+                       const JitOptions &jit_options = {});
+
+    void predict(const float *rows, int64_t num_rows,
+                 float *predictions) const;
+
+    double compileSeconds() const { return module_->compileSeconds(); }
+    const std::string &source() const { return source_; }
+
+  private:
+    using PredictFn = void (*)(const float *, int64_t, float *,
+                               const float *, const int32_t *,
+                               const int16_t *, const uint8_t *,
+                               const int32_t *, const float *,
+                               const int8_t *, const int64_t *);
+
+    lir::ForestBuffers buffers_;
+    std::string source_;
+    std::unique_ptr<JitModule> module_;
+    PredictFn predict_ = nullptr;
+};
+
+} // namespace treebeard::codegen
+
+#endif // TREEBEARD_CODEGEN_CPP_EMITTER_H

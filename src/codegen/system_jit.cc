@@ -1,0 +1,152 @@
+#include "codegen/system_jit.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace treebeard::codegen {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Create a unique scratch directory under the system temp dir. */
+std::string
+makeWorkDir()
+{
+    static std::atomic<uint64_t> counter{0};
+    fs::path base = fs::temp_directory_path();
+    fs::path dir = base / ("treebeard-jit-" + std::to_string(getpid()) +
+                           "-" + std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec), "cannot create JIT work directory '",
+            dir.string(), "': ", ec.message());
+    return dir.string();
+}
+
+/** Run @p command, capturing combined output; returns exit status. */
+int
+runCommand(const std::string &command, std::string &output)
+{
+    std::string wrapped = command + " 2>&1";
+    FILE *pipe = popen(wrapped.c_str(), "r");
+    fatalIf(pipe == nullptr, "cannot spawn compiler process");
+    char buffer[4096];
+    output.clear();
+    while (size_t n = fread(buffer, 1, sizeof(buffer), pipe))
+        output.append(buffer, n);
+    return pclose(pipe);
+}
+
+} // namespace
+
+JitModule::JitModule(const std::string &source, const JitOptions &options)
+    : keepArtifacts_(options.keepArtifacts)
+{
+    workDir_ = makeWorkDir();
+    std::string source_path = workDir_ + "/generated.cpp";
+    libraryPath_ = workDir_ + "/generated.so";
+    writeStringToFile(source_path, source);
+
+    std::string command = options.compiler + " " + options.optLevel +
+                          " -shared -fPIC -std=c++17 " +
+                          options.extraFlags + " -o " + libraryPath_ +
+                          " " + source_path;
+    Timer timer;
+    std::string compiler_output;
+    int status = runCommand(command, compiler_output);
+    compileSeconds_ = timer.elapsedSeconds();
+    if (status != 0) {
+        std::string message = "JIT compilation failed (status " +
+                              std::to_string(status) +
+                              "):\n" + compiler_output;
+        if (!keepArtifacts_) {
+            std::error_code ec;
+            std::filesystem::remove_all(workDir_, ec);
+        }
+        fatal(message);
+    }
+
+    handle_ = dlopen(libraryPath_.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle_ == nullptr) {
+        std::string message =
+            std::string("dlopen failed: ") + dlerror();
+        if (!keepArtifacts_) {
+            std::error_code ec;
+            std::filesystem::remove_all(workDir_, ec);
+        }
+        fatal(message);
+    }
+}
+
+JitModule::JitModule(JitModule &&other) noexcept
+    : handle_(other.handle_), workDir_(std::move(other.workDir_)),
+      libraryPath_(std::move(other.libraryPath_)),
+      compileSeconds_(other.compileSeconds_),
+      keepArtifacts_(other.keepArtifacts_)
+{
+    other.handle_ = nullptr;
+    other.workDir_.clear();
+}
+
+JitModule &
+JitModule::operator=(JitModule &&other) noexcept
+{
+    if (this != &other) {
+        unload();
+        handle_ = other.handle_;
+        workDir_ = std::move(other.workDir_);
+        libraryPath_ = std::move(other.libraryPath_);
+        compileSeconds_ = other.compileSeconds_;
+        keepArtifacts_ = other.keepArtifacts_;
+        other.handle_ = nullptr;
+        other.workDir_.clear();
+    }
+    return *this;
+}
+
+JitModule::~JitModule()
+{
+    unload();
+}
+
+void
+JitModule::unload()
+{
+    if (handle_ != nullptr) {
+        dlclose(handle_);
+        handle_ = nullptr;
+    }
+    if (!workDir_.empty() && !keepArtifacts_) {
+        std::error_code ec;
+        std::filesystem::remove_all(workDir_, ec);
+    }
+    workDir_.clear();
+}
+
+void *
+JitModule::symbol(const std::string &name) const
+{
+    panicIf(handle_ == nullptr, "symbol lookup on unloaded module");
+    void *address = dlsym(handle_, name.c_str());
+    fatalIf(address == nullptr, "JIT module has no symbol '", name, "'");
+    return address;
+}
+
+bool
+systemCompilerAvailable(const JitOptions &options)
+{
+    std::string output;
+    return runCommand(options.compiler + " --version", output) == 0;
+}
+
+} // namespace treebeard::codegen

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A source-level JIT: compile a generated C++ translation unit with
+ * the system compiler into a shared object and dlopen it. This is the
+ * repo's stand-in for the LLVM ORC JIT the original system uses (and
+ * is exactly how Treelite deploys its generated code).
+ */
+#ifndef TREEBEARD_CODEGEN_SYSTEM_JIT_H
+#define TREEBEARD_CODEGEN_SYSTEM_JIT_H
+
+#include <string>
+
+namespace treebeard::codegen {
+
+/** Options for one JIT compilation. */
+struct JitOptions
+{
+    /** Optimization level flag passed to the compiler. */
+    std::string optLevel = "-O2";
+    /** Compiler executable. */
+    std::string compiler = "c++";
+    /** Extra flags (e.g. "-mavx2"). */
+    std::string extraFlags;
+    /** Keep the temp directory (for debugging generated code). */
+    bool keepArtifacts = false;
+};
+
+/**
+ * One compiled-and-loaded shared object. Unloads (dlclose) and removes
+ * its artifacts on destruction; resolved symbols must not outlive it.
+ */
+class JitModule
+{
+  public:
+    /**
+     * Compile @p source and load the result.
+     * @throws Error when the compiler or loader fails (the compiler's
+     * stderr is included in the message).
+     */
+    JitModule(const std::string &source, const JitOptions &options = {});
+
+    JitModule(const JitModule &) = delete;
+    JitModule &operator=(const JitModule &) = delete;
+    JitModule(JitModule &&other) noexcept;
+    JitModule &operator=(JitModule &&other) noexcept;
+    ~JitModule();
+
+    /**
+     * Resolve @p name (must be extern "C" in the generated source).
+     * @throws Error when the symbol is missing.
+     */
+    void *symbol(const std::string &name) const;
+
+    /** Typed convenience wrapper over symbol(). */
+    template <typename Fn>
+    Fn
+    function(const std::string &name) const
+    {
+        return reinterpret_cast<Fn>(symbol(name));
+    }
+
+    /** Seconds spent in the external compiler. */
+    double compileSeconds() const { return compileSeconds_; }
+
+    /** Path of the loaded shared object. */
+    const std::string &libraryPath() const { return libraryPath_; }
+
+  private:
+    void unload();
+
+    void *handle_ = nullptr;
+    std::string workDir_;
+    std::string libraryPath_;
+    double compileSeconds_ = 0.0;
+    bool keepArtifacts_ = false;
+};
+
+/** True when a working system compiler is available. */
+bool systemCompilerAvailable(const JitOptions &options = {});
+
+} // namespace treebeard::codegen
+
+#endif // TREEBEARD_CODEGEN_SYSTEM_JIT_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the LUT construction and the
+ * vectorized tree-walk kernels.
+ */
+#ifndef TREEBEARD_COMMON_BITS_H
+#define TREEBEARD_COMMON_BITS_H
+
+#include <cstdint>
+
+namespace treebeard {
+
+/** Extract bit @p index (0 = least significant) from @p value. */
+inline bool
+testBit(uint64_t value, unsigned index)
+{
+    return (value >> index) & 1u;
+}
+
+/** Return @p value with bit @p index set to @p bit. */
+inline uint64_t
+setBit(uint64_t value, unsigned index, bool bit)
+{
+    uint64_t mask = uint64_t{1} << index;
+    return bit ? (value | mask) : (value & ~mask);
+}
+
+/** Number of set bits. */
+inline unsigned
+popcount(uint64_t value)
+{
+    return static_cast<unsigned>(__builtin_popcountll(value));
+}
+
+/** True when @p value is a power of two (and non-zero). */
+inline bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Smallest power of two >= @p value (value must be >= 1). */
+inline uint64_t
+nextPowerOfTwo(uint64_t value)
+{
+    uint64_t result = 1;
+    while (result < value)
+        result <<= 1;
+    return result;
+}
+
+/** Integer ceiling division for non-negative operands. */
+inline int64_t
+ceilDiv(int64_t numerator, int64_t denominator)
+{
+    return (numerator + denominator - 1) / denominator;
+}
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_BITS_H

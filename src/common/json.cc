@@ -1,0 +1,480 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace treebeard {
+
+bool
+JsonValue::asBoolean() const
+{
+    fatalIf(kind_ != Kind::Boolean, "JSON value is not a boolean");
+    return boolean_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    fatalIf(kind_ != Kind::Number, "JSON value is not a number");
+    return number_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    double value = asNumber();
+    double rounded = std::nearbyint(value);
+    fatalIf(std::abs(value - rounded) > 1e-9,
+            "JSON number ", value, " is not an integer");
+    return static_cast<int64_t>(rounded);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatalIf(kind_ != Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    fatalIf(kind_ != Kind::Array, "JSON value is not an array");
+    return array_;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    fatalIf(kind_ != Kind::Object, "JSON value is not an object");
+    return object_;
+}
+
+JsonValue::Array &
+JsonValue::mutableArray()
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    fatalIf(kind_ != Kind::Array, "JSON value is not an array");
+    return array_;
+}
+
+JsonValue::Object &
+JsonValue::mutableObject()
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    fatalIf(kind_ != Kind::Object, "JSON value is not an object");
+    return object_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const Object &object = asObject();
+    auto it = object.find(key);
+    fatalIf(it == object.end(), "JSON object has no member '", key, "'");
+    return it->second;
+}
+
+bool
+JsonValue::contains(const std::string &key) const
+{
+    return kind_ == Kind::Object && object_.count(key) > 0;
+}
+
+const JsonValue &
+JsonValue::getOr(const std::string &key, const JsonValue &fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    return object_.at(key);
+}
+
+namespace {
+
+/** Append @p text with JSON string escaping. */
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+/** Format a double with round-trip precision, avoiding trailing noise. */
+void
+appendNumber(std::string &out, double value)
+{
+    fatalIf(!std::isfinite(value), "cannot serialize non-finite number");
+    double rounded = std::nearbyint(value);
+    if (value == rounded && std::abs(value) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(rounded));
+        out += buffer;
+        return;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out += buffer;
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Boolean:
+        out += boolean_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, number_);
+        break;
+      case Kind::String:
+        appendEscaped(out, string_);
+        break;
+      case Kind::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto &element : array_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            appendIndent(out, indent, depth + 1);
+            element.dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, value] : object_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            appendIndent(out, indent, depth + 1);
+            appendEscaped(out, key);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            value.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out, 0, 0);
+    return out;
+}
+
+std::string
+JsonValue::dumpPretty() const
+{
+    std::string out;
+    dumpTo(out, 2, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over an in-memory buffer. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        fatalIf(position_ != text_.size(),
+                "trailing characters after JSON document at offset ",
+                position_);
+        return value;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (position_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[position_]))) {
+            ++position_;
+        }
+    }
+
+    char
+    peek()
+    {
+        fatalIf(position_ >= text_.size(), "unexpected end of JSON input");
+        return text_[position_];
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        ++position_;
+        return c;
+    }
+
+    void
+    expect(char expected)
+    {
+        char c = advance();
+        fatalIf(c != expected, "expected '", expected, "' but found '", c,
+                "' at offset ", position_ - 1);
+    }
+
+    void
+    expectKeyword(const char *keyword)
+    {
+        for (const char *p = keyword; *p; ++p)
+            expect(*p);
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't':
+            expectKeyword("true");
+            return JsonValue(true);
+          case 'f':
+            expectKeyword("false");
+            return JsonValue(false);
+          case 'n':
+            expectKeyword("null");
+            return JsonValue();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue::Object members;
+        skipWhitespace();
+        if (peek() == '}') {
+            advance();
+            return JsonValue(std::move(members));
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            members[key] = parseValue();
+            skipWhitespace();
+            char c = advance();
+            if (c == '}')
+                break;
+            fatalIf(c != ',', "expected ',' or '}' in JSON object at offset ",
+                    position_ - 1);
+        }
+        return JsonValue(std::move(members));
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue::Array elements;
+        skipWhitespace();
+        if (peek() == ']') {
+            advance();
+            return JsonValue(std::move(elements));
+        }
+        while (true) {
+            elements.push_back(parseValue());
+            skipWhitespace();
+            char c = advance();
+            if (c == ']')
+                break;
+            fatalIf(c != ',', "expected ',' or ']' in JSON array at offset ",
+                    position_ - 1);
+        }
+        return JsonValue(std::move(elements));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = advance();
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            char escape = advance();
+            switch (escape) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = advance();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code += h - 'A' + 10;
+                    else
+                        fatal("invalid \\u escape in JSON string");
+                }
+                // Encode as UTF-8 (basic multilingual plane only).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fatal("invalid escape character '", escape,
+                      "' in JSON string");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = position_;
+        if (peek() == '-')
+            advance();
+        auto is_digit = [this] {
+            return position_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[position_]));
+        };
+        fatalIf(!is_digit(), "invalid JSON number at offset ", start);
+        while (is_digit())
+            ++position_;
+        if (position_ < text_.size() && text_[position_] == '.') {
+            ++position_;
+            fatalIf(!is_digit(), "invalid JSON number at offset ", start);
+            while (is_digit())
+                ++position_;
+        }
+        if (position_ < text_.size() &&
+            (text_[position_] == 'e' || text_[position_] == 'E')) {
+            ++position_;
+            if (position_ < text_.size() &&
+                (text_[position_] == '+' || text_[position_] == '-')) {
+                ++position_;
+            }
+            fatalIf(!is_digit(), "invalid JSON number at offset ", start);
+            while (is_digit())
+                ++position_;
+        }
+        double value = std::stod(text_.substr(start, position_ - start));
+        return JsonValue(value);
+    }
+
+    const std::string &text_;
+    size_t position_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    JsonParser parser(text);
+    return parser.parseDocument();
+}
+
+std::string
+readFileToString(const std::string &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    fatalIf(!stream, "cannot open file '", path, "' for reading");
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return buffer.str();
+}
+
+void
+writeStringToFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!stream, "cannot open file '", path, "' for writing");
+    stream << contents;
+    fatalIf(!stream, "failed writing file '", path, "'");
+}
+
+} // namespace treebeard

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A small self-contained JSON value type, recursive-descent parser and
+ * serializer. Used by the model serialization code (native format and
+ * the XGBoost-JSON importer). The library has no external dependencies,
+ * so JSON support is provided here as a substrate.
+ */
+#ifndef TREEBEARD_COMMON_JSON_H
+#define TREEBEARD_COMMON_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace treebeard {
+
+/**
+ * A dynamically typed JSON value.
+ *
+ * Numbers are stored as double (sufficient for model thresholds and
+ * integer indices in the ranges this library uses). Object member order
+ * is not preserved (std::map), which is fine for the formats we read
+ * and write.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Boolean, Number, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    /** Construct a null value. */
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool value) : kind_(Kind::Boolean), boolean_(value) {}
+    JsonValue(double value) : kind_(Kind::Number), number_(value) {}
+    JsonValue(int value) : kind_(Kind::Number), number_(value) {}
+    JsonValue(int64_t value)
+        : kind_(Kind::Number), number_(static_cast<double>(value))
+    {}
+    JsonValue(const char *value) : kind_(Kind::String), string_(value) {}
+    JsonValue(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {}
+    JsonValue(Array value) : kind_(Kind::Array), array_(std::move(value)) {}
+    JsonValue(Object value) : kind_(Kind::Object), object_(std::move(value)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBoolean() const { return kind_ == Kind::Boolean; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal() on kind mismatch. */
+    bool asBoolean() const;
+    double asNumber() const;
+    int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Mutable array/object access for building documents. */
+    Array &mutableArray();
+    Object &mutableObject();
+
+    /** Object member lookup; fatal() when the key is missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** True when this is an object containing @p key. */
+    bool contains(const std::string &key) const;
+
+    /** Object member lookup returning @p fallback when absent. */
+    const JsonValue &getOr(const std::string &key,
+                           const JsonValue &fallback) const;
+
+    /** Serialize to a compact JSON string. */
+    std::string dump() const;
+
+    /** Serialize with two-space indentation. */
+    std::string dumpPretty() const;
+
+    /**
+     * Parse a JSON document.
+     * @param text the complete document.
+     * @return the parsed value; fatal() on malformed input.
+     */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Read an entire file into a string; fatal() when unreadable. */
+std::string readFileToString(const std::string &path);
+
+/** Write @p contents to @p path, replacing the file; fatal() on failure. */
+void writeStringToFile(const std::string &path, const std::string &contents);
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_JSON_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Error reporting and status-message helpers.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - fatal():  the condition is the *user's* fault (bad model file, invalid
+ *              schedule). Raises treebeard::Error so callers can recover.
+ *  - panic():  the condition indicates a bug inside the library. Aborts.
+ *  - warn()/inform(): non-fatal status messages to stderr.
+ */
+#ifndef TREEBEARD_COMMON_LOGGING_H
+#define TREEBEARD_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treebeard {
+
+/** Exception type raised for all user-recoverable errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+namespace detail {
+
+/** Concatenate a variadic argument pack into one string via a stream. */
+template <typename... Args>
+std::string
+concatToString(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Raise an Error for a user-caused failure.
+ * @param args message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw Error(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort on an internal invariant violation (a library bug).
+ * @param args message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string message = detail::concatToString(std::forward<Args>(args)...);
+    std::fprintf(stderr, "treebeard panic: %s\n", message.c_str());
+    std::abort();
+}
+
+/** Emit a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::string message = detail::concatToString(std::forward<Args>(args)...);
+    std::fprintf(stderr, "treebeard warning: %s\n", message.c_str());
+}
+
+/** Emit an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::string message = detail::concatToString(std::forward<Args>(args)...);
+    std::fprintf(stderr, "treebeard info: %s\n", message.c_str());
+}
+
+/** fatal() unless the user-facing condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** panic() unless the internal invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_LOGGING_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic random number generation used by the synthetic data and
+ * model generators. All randomness in the library flows through Rng so
+ * experiments are reproducible from a single seed.
+ */
+#ifndef TREEBEARD_COMMON_RNG_H
+#define TREEBEARD_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace treebeard {
+
+/** A seeded wrapper around a 64-bit Mersenne Twister. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x7eebea8d) : engine_(seed) {}
+
+    /** Uniform double in [low, high). */
+    double
+    uniform(double low = 0.0, double high = 1.0)
+    {
+        std::uniform_real_distribution<double> dist(low, high);
+        return dist(engine_);
+    }
+
+    /** Uniform float in [low, high). */
+    float
+    uniformFloat(float low = 0.0f, float high = 1.0f)
+    {
+        std::uniform_real_distribution<float> dist(low, high);
+        return dist(engine_);
+    }
+
+    /** Uniform integer in [low, high] (inclusive). */
+    int64_t
+    uniformInt(int64_t low, int64_t high)
+    {
+        panicIf(low > high, "uniformInt: empty range");
+        std::uniform_int_distribution<int64_t> dist(low, high);
+        return dist(engine_);
+    }
+
+    /** Standard normal sample scaled by @p stddev around @p mean. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /** Bernoulli trial with success probability @p probability. */
+    bool
+    bernoulli(double probability)
+    {
+        std::bernoulli_distribution dist(probability);
+        return dist(engine_);
+    }
+
+    /**
+     * Beta(a, b) sample, used to skew synthetic feature distributions
+     * (small a with large b concentrates mass near zero, which induces
+     * the leaf-biased traversal profiles of Section III-B2).
+     */
+    double
+    beta(double a, double b)
+    {
+        std::gamma_distribution<double> ga(a, 1.0);
+        std::gamma_distribution<double> gb(b, 1.0);
+        double x = ga(engine_);
+        double y = gb(engine_);
+        double denominator = x + y;
+        return denominator > 0 ? x / denominator : 0.5;
+    }
+
+    /** Sample an index according to non-negative @p weights. */
+    size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        panicIf(weights.empty(), "weightedIndex: no weights");
+        std::discrete_distribution<size_t> dist(weights.begin(),
+                                                weights.end());
+        return dist(engine_);
+    }
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_RNG_H

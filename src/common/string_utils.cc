@@ -1,0 +1,67 @@
+#include "common/string_utils.h"
+
+#include <cctype>
+
+namespace treebeard {
+
+std::vector<std::string>
+splitString(const std::string &text, char separator)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(separator, start);
+        if (pos == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trimString(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::string
+joinStrings(const std::vector<std::string> &parts,
+            const std::string &separator)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += separator;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace treebeard

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared across modules (CSV parsing, IR printing,
+ * benchmark table formatting).
+ */
+#ifndef TREEBEARD_COMMON_STRING_UTILS_H
+#define TREEBEARD_COMMON_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace treebeard {
+
+/** Split @p text at every occurrence of @p separator (keeps empties). */
+std::vector<std::string> splitString(const std::string &text, char separator);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trimString(const std::string &text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** True when @p text ends with @p suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/** Join @p parts with @p separator between consecutive elements. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &separator);
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_STRING_UTILS_H

@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace treebeard {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    fatalIf(num_threads == 0, "ThreadPool requires at least one thread");
+    // One "worker" means inline execution; no background threads needed.
+    if (num_threads == 1)
+        return;
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+    }
+    wakeWorkers_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeWorkers_.wait(lock, [this] {
+                return shuttingDown_ || !tasks_.empty();
+            });
+            if (shuttingDown_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    wakeWorkers_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)> &body)
+{
+    if (begin >= end)
+        return;
+
+    int64_t range = end - begin;
+    int64_t slots = workers_.empty() ? 1 : static_cast<int64_t>(workers_.size());
+    int64_t chunk = ceilDiv(range, slots);
+
+    if (slots == 1 || chunk >= range) {
+        body(begin, end);
+        return;
+    }
+
+    std::atomic<int64_t> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    for (int64_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
+        int64_t chunk_end = std::min(chunk_begin + chunk, end);
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        enqueue([&, chunk_begin, chunk_end] {
+            body(chunk_begin, chunk_end);
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_one();
+            }
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] {
+        return remaining.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+ThreadPool::runOnAllWorkers(const std::function<void(unsigned)> &task)
+{
+    unsigned slots = workers_.empty() ? 1 : numThreads();
+    parallelFor(0, slots, [&](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i)
+            task(static_cast<unsigned>(i));
+    });
+}
+
+} // namespace treebeard

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A fixed-size thread pool used to execute the `parallel.for` loops that
+ * the mid-level IR's parallelization pass produces (Section IV-C of the
+ * paper). The pool mirrors the role MLIR's OpenMP lowering plays in the
+ * original system.
+ */
+#ifndef TREEBEARD_COMMON_THREAD_POOL_H
+#define TREEBEARD_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace treebeard {
+
+/**
+ * A work-queue thread pool with a blocking parallelFor primitive.
+ *
+ * parallelFor partitions [begin, end) into contiguous chunks, one per
+ * worker, matching the paper's row-loop tiling with a tile size of
+ * ceil(rows / cores).
+ */
+class ThreadPool
+{
+  public:
+    /** Create a pool with @p num_threads workers (>= 1). */
+    explicit ThreadPool(unsigned num_threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Run @p body(begin, end) over contiguous chunks of [begin, end) on
+     * the pool and block until all chunks complete. With one worker the
+     * body runs inline on the calling thread.
+     */
+    void parallelFor(int64_t begin, int64_t end,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+    /**
+     * Run @p task(worker_index) once on every conceptual worker slot and
+     * block for completion.
+     */
+    void runOnAllWorkers(const std::function<void(unsigned)> &task);
+
+  private:
+    void workerLoop();
+    void enqueue(std::function<void()> task);
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable wakeWorkers_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_THREAD_POOL_H

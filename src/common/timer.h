@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the benchmark harnesses.
+ */
+#ifndef TREEBEARD_COMMON_TIMER_H
+#define TREEBEARD_COMMON_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace treebeard {
+
+/** A simple monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /** Elapsed time in microseconds. */
+    double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_TIMER_H

@@ -1,0 +1,85 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace treebeard::data {
+
+Dataset
+loadCsv(const std::string &path, bool last_column_is_label, bool has_header)
+{
+    std::ifstream stream(path);
+    fatalIf(!stream, "cannot open CSV file '", path, "'");
+
+    std::string line;
+    int64_t line_number = 0;
+    int32_t num_columns = -1;
+    std::vector<float> values;
+    std::vector<float> labels;
+
+    while (std::getline(stream, line)) {
+        ++line_number;
+        if (has_header && line_number == 1)
+            continue;
+        std::string trimmed = trimString(line);
+        if (trimmed.empty())
+            continue;
+        std::vector<std::string> cells = splitString(trimmed, ',');
+        if (num_columns < 0) {
+            num_columns = static_cast<int32_t>(cells.size());
+            fatalIf(last_column_is_label && num_columns < 2,
+                    "CSV with labels needs at least two columns");
+        }
+        fatalIf(static_cast<int32_t>(cells.size()) != num_columns,
+                "CSV line ", line_number, " has ", cells.size(),
+                " columns, expected ", num_columns);
+        size_t feature_columns = last_column_is_label
+                                     ? cells.size() - 1
+                                     : cells.size();
+        for (size_t i = 0; i < cells.size(); ++i) {
+            float value;
+            try {
+                value = std::stof(trimString(cells[i]));
+            } catch (const std::exception &) {
+                fatal("CSV line ", line_number, ", column ", i + 1,
+                      ": '", cells[i], "' is not a number");
+            }
+            if (i < feature_columns)
+                values.push_back(value);
+            else
+                labels.push_back(value);
+        }
+    }
+    fatalIf(num_columns < 0, "CSV file '", path, "' has no data rows");
+
+    int32_t num_features =
+        last_column_is_label ? num_columns - 1 : num_columns;
+    Dataset dataset(num_features, std::move(values));
+    if (last_column_is_label)
+        dataset.setLabels(std::move(labels));
+    return dataset;
+}
+
+void
+saveCsv(const Dataset &dataset, const std::string &path)
+{
+    std::ostringstream out;
+    for (int64_t r = 0; r < dataset.numRows(); ++r) {
+        const float *row = dataset.row(r);
+        for (int32_t c = 0; c < dataset.numFeatures(); ++c) {
+            if (c > 0)
+                out << ',';
+            out << row[c];
+        }
+        if (dataset.hasLabels())
+            out << ',' << dataset.label(r);
+        out << '\n';
+    }
+    writeStringToFile(path, out.str());
+}
+
+} // namespace treebeard::data

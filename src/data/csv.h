@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CSV import/export for datasets. The last column may be treated as the
+ * label, matching the format of the public datasets the paper uses.
+ */
+#ifndef TREEBEARD_DATA_CSV_H
+#define TREEBEARD_DATA_CSV_H
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace treebeard::data {
+
+/**
+ * Load a CSV file of floats.
+ * @param path file to read.
+ * @param last_column_is_label when true the final column becomes the
+ *        dataset's labels.
+ * @param has_header when true the first line is skipped.
+ */
+Dataset loadCsv(const std::string &path, bool last_column_is_label,
+                bool has_header = false);
+
+/** Write @p dataset (labels appended as the last column when present). */
+void saveCsv(const Dataset &dataset, const std::string &path);
+
+} // namespace treebeard::data
+
+#endif // TREEBEARD_DATA_CSV_H

@@ -1,0 +1,75 @@
+#include "data/dataset.h"
+
+#include "common/logging.h"
+
+namespace treebeard::data {
+
+Dataset::Dataset(int32_t num_features, std::vector<float> values)
+    : numFeatures_(num_features), values_(std::move(values))
+{
+    fatalIf(num_features <= 0, "dataset needs at least one feature");
+    fatalIf(values_.size() % static_cast<size_t>(num_features) != 0,
+            "dataset buffer size is not a multiple of the feature count");
+}
+
+int64_t
+Dataset::numRows() const
+{
+    if (numFeatures_ == 0)
+        return 0;
+    return static_cast<int64_t>(values_.size()) / numFeatures_;
+}
+
+const float *
+Dataset::row(int64_t index) const
+{
+    panicIf(index < 0 || index >= numRows(), "row index out of range");
+    return values_.data() + index * numFeatures_;
+}
+
+float
+Dataset::label(int64_t index) const
+{
+    panicIf(index < 0 || index >= static_cast<int64_t>(labels_.size()),
+            "label index out of range");
+    return labels_[static_cast<size_t>(index)];
+}
+
+void
+Dataset::appendRow(const float *row)
+{
+    values_.insert(values_.end(), row, row + numFeatures_);
+}
+
+void
+Dataset::appendRow(const std::vector<float> &row)
+{
+    fatalIf(static_cast<int32_t>(row.size()) != numFeatures_,
+            "row has ", row.size(), " values, expected ", numFeatures_);
+    appendRow(row.data());
+}
+
+void
+Dataset::setLabels(std::vector<float> labels)
+{
+    fatalIf(static_cast<int64_t>(labels.size()) != numRows(),
+            "label count ", labels.size(), " does not match row count ",
+            numRows());
+    labels_ = std::move(labels);
+}
+
+Dataset
+Dataset::slice(int64_t begin, int64_t end) const
+{
+    fatalIf(begin < 0 || end > numRows() || begin > end,
+            "invalid slice range");
+    Dataset out(numFeatures_);
+    out.values_.assign(values_.begin() + begin * numFeatures_,
+                       values_.begin() + end * numFeatures_);
+    if (hasLabels()) {
+        out.labels_.assign(labels_.begin() + begin, labels_.begin() + end);
+    }
+    return out;
+}
+
+} // namespace treebeard::data

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A dense row-major dataset: the batch input to predictForest and the
+ * training input to the GBDT trainer substrate.
+ */
+#ifndef TREEBEARD_DATA_DATASET_H
+#define TREEBEARD_DATA_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace treebeard::data {
+
+/**
+ * A dense feature matrix with optional labels.
+ *
+ * Rows are stored contiguously (row-major), matching the layout the
+ * generated predictForest function expects.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Create an empty dataset with @p num_features columns. */
+    explicit Dataset(int32_t num_features) : numFeatures_(num_features) {}
+
+    /** Create from an existing buffer (moved in). */
+    Dataset(int32_t num_features, std::vector<float> values);
+
+    int32_t numFeatures() const { return numFeatures_; }
+    int64_t numRows() const;
+    bool hasLabels() const { return !labels_.empty(); }
+
+    /** Pointer to the start of row @p index. */
+    const float *row(int64_t index) const;
+
+    /** Pointer to the full row-major buffer. */
+    const float *rows() const { return values_.data(); }
+
+    float label(int64_t index) const;
+    const std::vector<float> &labels() const { return labels_; }
+
+    /** Append one row; @p row must have numFeatures() entries. */
+    void appendRow(const float *row);
+    void appendRow(const std::vector<float> &row);
+
+    /** Attach labels; size must equal numRows(). */
+    void setLabels(std::vector<float> labels);
+
+    /** Keep only rows [begin, end); used to carve train/test splits. */
+    Dataset slice(int64_t begin, int64_t end) const;
+
+  private:
+    int32_t numFeatures_ = 0;
+    std::vector<float> values_;
+    std::vector<float> labels_;
+};
+
+} // namespace treebeard::data
+
+#endif // TREEBEARD_DATA_DATASET_H

@@ -1,0 +1,239 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace treebeard::data {
+
+namespace {
+
+/** Draw one feature value per the spec's distribution. */
+float
+sampleFeature(const SyntheticModelSpec &spec, Rng &rng)
+{
+    switch (spec.featureDistribution) {
+      case FeatureDistribution::kUniform:
+        return rng.uniformFloat(0.0f, 1.0f);
+      case FeatureDistribution::kSkewed:
+        return static_cast<float>(rng.beta(2.0, 5.0));
+      case FeatureDistribution::kBinarySparse:
+        return rng.bernoulli(spec.binaryOneProbability) ? 1.0f : 0.0f;
+    }
+    panic("unknown feature distribution");
+}
+
+/** Draw a split threshold per the spec's policy. */
+float
+sampleThreshold(const SyntheticModelSpec &spec, Rng &rng)
+{
+    if (spec.featureDistribution == FeatureDistribution::kBinarySparse) {
+        // One-hot style features only make sense with a 0/1 separator.
+        return 0.5f;
+    }
+    switch (spec.thresholdDistribution) {
+      case ThresholdDistribution::kBalanced: {
+        // Near the median of a uniform feature: ~50/50 branch split.
+        double t = 0.5 + rng.gaussian(0.0, 0.04);
+        return static_cast<float>(std::clamp(t, 0.15, 0.85));
+      }
+      case ThresholdDistribution::kMild:
+        return rng.uniformFloat(0.2f, 0.8f);
+      case ThresholdDistribution::kSkewed: {
+        // Push thresholds towards the edges so one branch dominates.
+        double edge = rng.beta(0.4, 0.4);
+        return static_cast<float>(std::clamp(edge, 0.02, 0.98));
+      }
+    }
+    panic("unknown threshold distribution");
+}
+
+/** Recursively grow one synthetic tree. Returns the subtree root. */
+model::NodeIndex
+growTree(model::DecisionTree &tree, const SyntheticModelSpec &spec,
+         Rng &rng, int32_t depth)
+{
+    bool must_split = depth < spec.alwaysSplitDepth;
+    bool can_split = depth < spec.maxDepth;
+    bool split = can_split &&
+                 (must_split || rng.bernoulli(spec.splitProbability));
+    if (!split) {
+        float value = static_cast<float>(rng.gaussian(0.0, 0.1));
+        return tree.addLeaf(value);
+    }
+    int32_t feature =
+        static_cast<int32_t>(rng.uniformInt(0, spec.numFeatures - 1));
+    float threshold = sampleThreshold(spec, rng);
+    model::NodeIndex left = growTree(tree, spec, rng, depth + 1);
+    model::NodeIndex right = growTree(tree, spec, rng, depth + 1);
+    return tree.addInternal(feature, threshold, left, right);
+}
+
+} // namespace
+
+Dataset
+generateFeatures(const SyntheticModelSpec &spec, int64_t num_rows,
+                 uint64_t seed_offset)
+{
+    fatalIf(spec.numFeatures <= 0, "spec has no features");
+    Rng rng(spec.seed + 0x9e3779b9 * (seed_offset + 1));
+    Dataset dataset(spec.numFeatures);
+    std::vector<float> row(static_cast<size_t>(spec.numFeatures));
+    for (int64_t r = 0; r < num_rows; ++r) {
+        for (int32_t c = 0; c < spec.numFeatures; ++c)
+            row[static_cast<size_t>(c)] = sampleFeature(spec, rng);
+        dataset.appendRow(row.data());
+    }
+    return dataset;
+}
+
+model::Forest
+synthesizeForest(const SyntheticModelSpec &spec)
+{
+    fatalIf(spec.numTrees <= 0, "spec has no trees");
+    fatalIf(spec.maxDepth <= 0, "spec needs a positive max depth");
+
+    Rng rng(spec.seed);
+    model::Forest forest(spec.numFeatures, model::Objective::kRegression,
+                         0.5f);
+    for (int64_t t = 0; t < spec.numTrees; ++t) {
+        model::DecisionTree tree;
+        model::NodeIndex root = growTree(tree, spec, rng, 0);
+        tree.setRoot(root);
+        forest.addTree(std::move(tree));
+    }
+
+    // "Training": route a synthetic training set through every tree to
+    // collect leaf hit counts (the statistics probability-based tiling
+    // consumes).
+    if (spec.trainingRows > 0) {
+        Dataset training = generateFeatures(spec, spec.trainingRows,
+                                            /*seed_offset=*/1);
+        for (int64_t t = 0; t < forest.numTrees(); ++t) {
+            model::DecisionTree &tree = forest.mutableTree(t);
+            for (int64_t r = 0; r < training.numRows(); ++r) {
+                model::NodeIndex leaf = tree.predictLeaf(training.row(r));
+                tree.mutableNode(leaf).hitCount += 1.0;
+            }
+            tree.accumulateInternalHitCounts();
+        }
+    }
+
+    forest.validate();
+    return forest;
+}
+
+std::vector<SyntheticModelSpec>
+standardBenchmarkSuite()
+{
+    // Structural parameters (#features, #trees, max depth) follow
+    // Table I of the paper. Distribution knobs are chosen so that the
+    // measured leaf-bias profile reproduces the paper's last column:
+    // airline-ohe nearly all leaf-biased, epsilon/letter/year none.
+    std::vector<SyntheticModelSpec> suite;
+
+    SyntheticModelSpec abalone;
+    abalone.name = "abalone";
+    abalone.numFeatures = 8;
+    abalone.numTrees = 1000;
+    abalone.maxDepth = 7;
+    abalone.featureDistribution = FeatureDistribution::kSkewed;
+    abalone.thresholdDistribution = ThresholdDistribution::kMild;
+    abalone.seed = 101;
+    suite.push_back(abalone);
+
+    SyntheticModelSpec airline;
+    airline.name = "airline";
+    airline.numFeatures = 13;
+    airline.numTrees = 100;
+    airline.maxDepth = 9;
+    airline.featureDistribution = FeatureDistribution::kUniform;
+    airline.thresholdDistribution = ThresholdDistribution::kMild;
+    airline.seed = 102;
+    suite.push_back(airline);
+
+    SyntheticModelSpec airline_ohe;
+    airline_ohe.name = "airline-ohe";
+    airline_ohe.numFeatures = 692;
+    airline_ohe.numTrees = 1000;
+    airline_ohe.maxDepth = 9;
+    airline_ohe.featureDistribution = FeatureDistribution::kBinarySparse;
+    airline_ohe.binaryOneProbability = 0.05;
+    airline_ohe.seed = 103;
+    suite.push_back(airline_ohe);
+
+    SyntheticModelSpec covtype;
+    covtype.name = "covtype";
+    covtype.numFeatures = 54;
+    covtype.numTrees = 800;
+    covtype.maxDepth = 9;
+    covtype.featureDistribution = FeatureDistribution::kSkewed;
+    covtype.thresholdDistribution = ThresholdDistribution::kMild;
+    covtype.seed = 104;
+    suite.push_back(covtype);
+
+    SyntheticModelSpec epsilon;
+    epsilon.name = "epsilon";
+    epsilon.numFeatures = 2000;
+    epsilon.numTrees = 100;
+    epsilon.maxDepth = 9;
+    epsilon.featureDistribution = FeatureDistribution::kUniform;
+    epsilon.thresholdDistribution = ThresholdDistribution::kBalanced;
+    epsilon.seed = 105;
+    suite.push_back(epsilon);
+
+    SyntheticModelSpec letter;
+    letter.name = "letter";
+    letter.numFeatures = 16;
+    letter.numTrees = 2600;
+    letter.maxDepth = 7;
+    letter.featureDistribution = FeatureDistribution::kUniform;
+    letter.thresholdDistribution = ThresholdDistribution::kBalanced;
+    letter.seed = 106;
+    suite.push_back(letter);
+
+    SyntheticModelSpec higgs;
+    higgs.name = "higgs";
+    higgs.numFeatures = 28;
+    higgs.numTrees = 100;
+    higgs.maxDepth = 9;
+    higgs.featureDistribution = FeatureDistribution::kUniform;
+    higgs.thresholdDistribution = ThresholdDistribution::kMild;
+    higgs.seed = 107;
+    suite.push_back(higgs);
+
+    SyntheticModelSpec year;
+    year.name = "year";
+    year.numFeatures = 90;
+    year.numTrees = 100;
+    year.maxDepth = 9;
+    year.featureDistribution = FeatureDistribution::kUniform;
+    year.thresholdDistribution = ThresholdDistribution::kBalanced;
+    year.seed = 108;
+    suite.push_back(year);
+
+    return suite;
+}
+
+SyntheticModelSpec
+benchmarkSpecByName(const std::string &name)
+{
+    for (const SyntheticModelSpec &spec : standardBenchmarkSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+SyntheticModelSpec
+scaledDown(const SyntheticModelSpec &spec, int64_t max_trees,
+           int64_t training_rows)
+{
+    SyntheticModelSpec scaled = spec;
+    scaled.numTrees = std::min(scaled.numTrees, max_trees);
+    scaled.trainingRows = training_rows;
+    return scaled;
+}
+
+} // namespace treebeard::data

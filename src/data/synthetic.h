@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic dataset and model generation.
+ *
+ * The paper evaluates on eight public datasets with XGBoost-trained
+ * models (Table I). Neither the datasets nor XGBoost are available in
+ * this environment, so this module synthesizes (a) feature
+ * distributions and (b) tree ensembles that match each benchmark's
+ * structural parameters (#features, #trees, max depth) and reproduce
+ * its leaf-bias profile by construction: skewed feature/threshold
+ * distributions make a few root-to-leaf paths dominate, exactly the
+ * property probability-based tiling exploits (Section III-B2).
+ *
+ * Leaf hit counts are collected by routing a synthetic "training" set
+ * through the generated trees, mirroring the paper's "leaf
+ * probabilities are collected during training".
+ */
+#ifndef TREEBEARD_DATA_SYNTHETIC_H
+#define TREEBEARD_DATA_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "model/forest.h"
+
+namespace treebeard::data {
+
+/** Feature value distribution for a synthetic benchmark. */
+enum class FeatureDistribution {
+    /** i.i.d. uniform in [0, 1). */
+    kUniform,
+    /** Beta(2, 5)-skewed values in [0, 1): mass concentrated low. */
+    kSkewed,
+    /** Sparse one-hot style: mostly 0, occasionally 1. */
+    kBinarySparse,
+};
+
+/**
+ * Threshold placement policy for synthetic trees: controls how evenly
+ * a node's split divides the incoming distribution and therefore how
+ * leaf-biased the resulting trees are.
+ */
+enum class ThresholdDistribution {
+    /** Thresholds near the feature median: balanced walks, no bias. */
+    kBalanced,
+    /** Thresholds uniform in the feature range: mild bias. */
+    kMild,
+    /** Thresholds pushed to distribution edges: strong bias. */
+    kSkewed,
+};
+
+/** Complete specification of one synthetic benchmark. */
+struct SyntheticModelSpec
+{
+    std::string name;
+    int32_t numFeatures = 0;
+    int64_t numTrees = 0;
+    int32_t maxDepth = 0;
+    FeatureDistribution featureDistribution = FeatureDistribution::kUniform;
+    ThresholdDistribution thresholdDistribution =
+        ThresholdDistribution::kBalanced;
+    /** Probability of splitting a node below the always-split depth. */
+    double splitProbability = 0.9;
+    /** Depth up to which nodes always split (keeps trees non-trivial). */
+    int32_t alwaysSplitDepth = 3;
+    /** Rows routed through the forest to collect leaf hit counts. */
+    int64_t trainingRows = 4000;
+    /** For kBinarySparse features: probability a feature is 1. */
+    double binaryOneProbability = 0.08;
+    uint64_t seed = 0x7eebea8d;
+};
+
+/** Generate @p num_rows of features per @p spec 's distribution. */
+Dataset generateFeatures(const SyntheticModelSpec &spec, int64_t num_rows,
+                         uint64_t seed_offset = 0);
+
+/**
+ * Synthesize a forest per @p spec and collect leaf hit counts from a
+ * freshly generated training set. The result validates and is ready
+ * for compilation (including probability-based tiling).
+ */
+model::Forest synthesizeForest(const SyntheticModelSpec &spec);
+
+/**
+ * The eight Table I benchmarks with structural parameters copied from
+ * the paper and distribution knobs chosen to reproduce each one's
+ * leaf-bias profile.
+ */
+std::vector<SyntheticModelSpec> standardBenchmarkSuite();
+
+/** Look up a standard benchmark by name; fatal() when unknown. */
+SyntheticModelSpec benchmarkSpecByName(const std::string &name);
+
+/**
+ * A scaled-down copy of @p spec (fewer trees / training rows) for use
+ * in unit tests and quick examples.
+ */
+SyntheticModelSpec scaledDown(const SyntheticModelSpec &spec,
+                              int64_t max_trees, int64_t training_rows);
+
+} // namespace treebeard::data
+
+#endif // TREEBEARD_DATA_SYNTHETIC_H

@@ -1,0 +1,139 @@
+#include "hir/schedule.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace treebeard::hir {
+
+const char *
+loopOrderName(LoopOrder order)
+{
+    switch (order) {
+      case LoopOrder::kOneTreeAtATime: return "one-tree-at-a-time";
+      case LoopOrder::kOneRowAtATime: return "one-row-at-a-time";
+    }
+    panic("unknown loop order");
+}
+
+const char *
+memoryLayoutName(MemoryLayout layout)
+{
+    switch (layout) {
+      case MemoryLayout::kArray: return "array";
+      case MemoryLayout::kSparse: return "sparse";
+    }
+    panic("unknown memory layout");
+}
+
+void
+Schedule::validate() const
+{
+    fatalIf(tileSize < 1 || tileSize > kMaxScheduleTileSize,
+            "tile size ", tileSize, " out of range [1, ",
+            kMaxScheduleTileSize, "]");
+    fatalIf(interleaveFactor != 1 && interleaveFactor != 2 &&
+                interleaveFactor != 4 && interleaveFactor != 8,
+            "interleave factor must be 1, 2, 4 or 8; got ",
+            interleaveFactor);
+    fatalIf(numThreads < 1, "numThreads must be at least 1");
+    fatalIf(alpha <= 0.0 || alpha > 1.0, "alpha must be in (0, 1]");
+    fatalIf(beta <= 0.0 || beta > 1.0, "beta must be in (0, 1]");
+    fatalIf(padDepthSlack < 0, "padDepthSlack must be non-negative");
+}
+
+namespace {
+
+const char *
+tilingKey(TilingAlgorithm algorithm)
+{
+    return tilingAlgorithmName(algorithm);
+}
+
+TilingAlgorithm
+tilingFromKey(const std::string &key)
+{
+    for (TilingAlgorithm algorithm :
+         {TilingAlgorithm::kBasic, TilingAlgorithm::kProbabilityBased,
+          TilingAlgorithm::kHybrid, TilingAlgorithm::kMinMaxDepth}) {
+        if (key == tilingAlgorithmName(algorithm))
+            return algorithm;
+    }
+    fatal("unknown tiling algorithm '", key, "'");
+}
+
+} // namespace
+
+std::string
+scheduleToJsonString(const Schedule &schedule)
+{
+    JsonValue::Object object;
+    object["loop_order"] = JsonValue(loopOrderName(schedule.loopOrder));
+    object["tile_size"] =
+        JsonValue(static_cast<int64_t>(schedule.tileSize));
+    object["tiling"] = JsonValue(tilingKey(schedule.tiling));
+    object["alpha"] = JsonValue(schedule.alpha);
+    object["beta"] = JsonValue(schedule.beta);
+    object["pad_and_unroll"] = JsonValue(schedule.padAndUnrollWalks);
+    object["peel"] = JsonValue(schedule.peelWalks);
+    object["pad_depth_slack"] =
+        JsonValue(static_cast<int64_t>(schedule.padDepthSlack));
+    object["interleave"] =
+        JsonValue(static_cast<int64_t>(schedule.interleaveFactor));
+    object["layout"] = JsonValue(memoryLayoutName(schedule.layout));
+    object["threads"] =
+        JsonValue(static_cast<int64_t>(schedule.numThreads));
+    object["assume_no_missing"] =
+        JsonValue(schedule.assumeNoMissingValues);
+    return JsonValue(std::move(object)).dump();
+}
+
+Schedule
+scheduleFromJsonString(const std::string &text)
+{
+    JsonValue document = JsonValue::parse(text);
+    Schedule schedule;
+    schedule.loopOrder =
+        document.at("loop_order").asString() == "one-row-at-a-time"
+            ? LoopOrder::kOneRowAtATime
+            : LoopOrder::kOneTreeAtATime;
+    schedule.tileSize =
+        static_cast<int32_t>(document.at("tile_size").asInt());
+    schedule.tiling = tilingFromKey(document.at("tiling").asString());
+    schedule.alpha = document.at("alpha").asNumber();
+    schedule.beta = document.at("beta").asNumber();
+    schedule.padAndUnrollWalks =
+        document.at("pad_and_unroll").asBoolean();
+    schedule.peelWalks = document.at("peel").asBoolean();
+    schedule.padDepthSlack =
+        static_cast<int32_t>(document.at("pad_depth_slack").asInt());
+    schedule.interleaveFactor =
+        static_cast<int32_t>(document.at("interleave").asInt());
+    schedule.layout = document.at("layout").asString() == "array"
+                          ? MemoryLayout::kArray
+                          : MemoryLayout::kSparse;
+    schedule.numThreads =
+        static_cast<int32_t>(document.at("threads").asInt());
+    JsonValue default_false(false);
+    schedule.assumeNoMissingValues =
+        document.getOr("assume_no_missing", default_false).asBoolean();
+    schedule.validate();
+    return schedule;
+}
+
+std::string
+Schedule::toString() const
+{
+    std::ostringstream os;
+    os << loopOrderName(loopOrder) << " tile=" << tileSize << " tiling="
+       << tilingAlgorithmName(tiling) << " layout="
+       << memoryLayoutName(layout) << " interleave=" << interleaveFactor
+       << (padAndUnrollWalks ? " +unroll" : "")
+       << (peelWalks ? " +peel" : "")
+       << (assumeNoMissingValues ? " +no-nan" : "")
+       << " threads=" << numThreads;
+    return os.str();
+}
+
+} // namespace treebeard::hir

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The schedule: the set of attributes decided at the high-level IR
+ * that steer all later lowering (Section II: "tree tiling and loop
+ * ordering are decided at the highest abstraction ... communicated to
+ * the lowering pass"). One Schedule value describes one point of the
+ * optimization space of Table II.
+ */
+#ifndef TREEBEARD_HIR_SCHEDULE_H
+#define TREEBEARD_HIR_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+
+#include "hir/tiling.h"
+
+namespace treebeard::hir {
+
+/** Loop-nest order over (tree, input row) pairs (Section III-E). */
+enum class LoopOrder {
+    /** Walk one tree for all rows before the next tree. */
+    kOneTreeAtATime,
+    /** Walk all trees for a row before the next row. */
+    kOneRowAtATime,
+};
+
+const char *loopOrderName(LoopOrder order);
+
+/** In-memory representation of tiled trees (Section V-B). */
+enum class MemoryLayout {
+    /** Implicit (n_t+1)-ary array; fast for small models, bloats. */
+    kArray,
+    /** Child pointers + separate leaf array; compact. */
+    kSparse,
+};
+
+const char *memoryLayoutName(MemoryLayout layout);
+
+/**
+ * Maximum supported tile size. Kept in sync with
+ * lir::kMaxTileSize (asserted by the LIR); the limit exists because
+ * comparison outcomes are packed into one byte per tile.
+ */
+constexpr int32_t kMaxScheduleTileSize = 8;
+
+/**
+ * All compilation knobs. Defaults correspond to the configuration the
+ * paper reports as broadly best on Intel (tile size 8, sparse layout,
+ * interleave 8, padding + unrolling enabled, hybrid tiling).
+ */
+struct Schedule
+{
+    LoopOrder loopOrder = LoopOrder::kOneTreeAtATime;
+    int32_t tileSize = 8;
+    TilingAlgorithm tiling = TilingAlgorithm::kHybrid;
+    /** Leaf-bias gate parameters for hybrid tiling. */
+    double alpha = 0.075;
+    double beta = 0.9;
+    /**
+     * Pad (almost balanced) tiled trees with dummy tiles and fully
+     * unroll their walks (Sections III-F, IV-B).
+     */
+    bool padAndUnrollWalks = true;
+    /**
+     * Peel the first minLeafDepth steps of generic walks so they run
+     * without termination checks (Section IV-B).
+     */
+    bool peelWalks = true;
+    /**
+     * Maximum depth imbalance (maxLeafDepth - minLeafDepth) a tiled
+     * tree may have and still be padded for unrolling.
+     */
+    int32_t padDepthSlack = 2;
+    /** Unroll-and-jam factor for tree walk interleaving (1 = off). */
+    int32_t interleaveFactor = 1;
+    MemoryLayout layout = MemoryLayout::kSparse;
+    /** Worker threads for the parallelized row loop (1 = serial). */
+    int32_t numThreads = 1;
+    /**
+     * Promise that input rows never contain NaN. Lets models without
+     * per-node default directions use slightly faster kernels that
+     * skip missing-value routing (the paper's setting — it does not
+     * consider missing values at all). With NaN inputs under this
+     * flag, predictions are unspecified but memory-safe. Ignored
+     * (missing-value handling stays on) when the model carries
+     * default directions.
+     */
+    bool assumeNoMissingValues = false;
+
+    /** fatal() when any knob is out of range. */
+    void validate() const;
+
+    /** A compact human-readable description, for logs and tuners. */
+    std::string toString() const;
+};
+
+/**
+ * Schedule (de)serialization, for persisting tuner results and for
+ * the CLI. The round trip preserves every knob.
+ */
+std::string scheduleToJsonString(const Schedule &schedule);
+Schedule scheduleFromJsonString(const std::string &text);
+
+} // namespace treebeard::hir
+
+#endif // TREEBEARD_HIR_SCHEDULE_H

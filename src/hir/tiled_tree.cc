@@ -1,0 +1,475 @@
+#include "hir/tiled_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace treebeard::hir {
+
+namespace {
+
+/** Slot of @p node inside @p nodes, or -1. */
+int32_t
+slotOf(const std::vector<model::NodeIndex> &nodes, model::NodeIndex node)
+{
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] == node)
+            return static_cast<int32_t>(i);
+    }
+    return -1;
+}
+
+/**
+ * Exit ordinal of edge (slot, side) for in-tile links, counting exits
+ * in left-to-right depth-first order. side 0 = left, 1 = right.
+ */
+int32_t
+exitOrdinal(const std::vector<int32_t> &left,
+            const std::vector<int32_t> &right, int32_t target_slot,
+            int32_t target_side)
+{
+    int32_t counter = 0;
+    int32_t found = -1;
+    auto visit = [&](auto &&self, int32_t slot) -> void {
+        if (left[static_cast<size_t>(slot)] < 0) {
+            if (slot == target_slot && target_side == 0)
+                found = counter;
+            ++counter;
+        } else {
+            self(self, left[static_cast<size_t>(slot)]);
+        }
+        if (right[static_cast<size_t>(slot)] < 0) {
+            if (slot == target_slot && target_side == 1)
+                found = counter;
+            ++counter;
+        } else {
+            self(self, right[static_cast<size_t>(slot)]);
+        }
+    };
+    visit(visit, 0);
+    panicIf(found < 0, "exit edge not found in tile");
+    return found;
+}
+
+} // namespace
+
+TiledTree::TiledTree(const model::DecisionTree &tree, int32_t tile_size,
+                     std::vector<Tile> tiles)
+    : tree_(&tree), tileSize_(tile_size), tiles_(std::move(tiles))
+{
+    fatalIf(tile_size < 1, "tile size must be at least 1");
+    fatalIf(tiles_.empty(), "tiled tree needs at least one tile");
+}
+
+const Tile &
+TiledTree::tile(TileId id) const
+{
+    panicIf(id < 0 || id >= numTiles(), "tile id out of range");
+    return tiles_[static_cast<size_t>(id)];
+}
+
+Tile &
+TiledTree::mutableTile(TileId id)
+{
+    panicIf(id < 0 || id >= numTiles(), "tile id out of range");
+    return tiles_[static_cast<size_t>(id)];
+}
+
+int32_t
+TiledTree::tileDepth(TileId id) const
+{
+    int32_t depth = 0;
+    TileId current = id;
+    while (tile(current).parent != kNoTile) {
+        current = tile(current).parent;
+        ++depth;
+    }
+    return depth;
+}
+
+int32_t
+TiledTree::maxLeafDepth() const
+{
+    // Dummy filler leaves are unreachable (dummy tiles route every
+    // walk to child 0), so depth statistics consider real leaves only.
+    int32_t result = 0;
+    for (TileId id = 0; id < numTiles(); ++id) {
+        if (tile(id).kind == Tile::Kind::kLeaf)
+            result = std::max(result, tileDepth(id));
+    }
+    return result;
+}
+
+int32_t
+TiledTree::minLeafDepth() const
+{
+    int32_t result = -1;
+    for (TileId id = 0; id < numTiles(); ++id) {
+        if (tile(id).kind != Tile::Kind::kLeaf)
+            continue;
+        int32_t depth = tileDepth(id);
+        if (result < 0 || depth < result)
+            result = depth;
+    }
+    return std::max(result, 0);
+}
+
+bool
+TiledTree::isPerfectlyBalanced() const
+{
+    return minLeafDepth() == maxLeafDepth();
+}
+
+void
+TiledTree::tileSlotLinks(TileId id, std::vector<int32_t> &left,
+                         std::vector<int32_t> &right) const
+{
+    const Tile &t = tile(id);
+    if (t.kind == Tile::Kind::kDummyInternal) {
+        // Dummy tiles use a left-leaning chain: with always-true dummy
+        // predicates every walk exits at child 0.
+        left.assign(static_cast<size_t>(tileSize_), -1);
+        right.assign(static_cast<size_t>(tileSize_), -1);
+        for (int32_t i = 0; i + 1 < tileSize_; ++i)
+            left[static_cast<size_t>(i)] = i + 1;
+        return;
+    }
+    panicIf(t.kind != Tile::Kind::kInternal,
+            "slot links requested for a leaf tile");
+    size_t count = t.nodes.size();
+    left.assign(count, -1);
+    right.assign(count, -1);
+    for (size_t i = 0; i < count; ++i) {
+        const model::Node &node = tree_->node(t.nodes[i]);
+        left[i] = slotOf(t.nodes, node.left);
+        right[i] = slotOf(t.nodes, node.right);
+    }
+}
+
+int32_t
+TiledTree::walkTile(TileId id, const float *row) const
+{
+    const Tile &t = tile(id);
+    if (t.kind == Tile::Kind::kDummyInternal)
+        return 0;
+    std::vector<int32_t> left, right;
+    tileSlotLinks(id, left, right);
+    int32_t slot = 0;
+    while (true) {
+        const model::Node &node =
+            tree_->node(t.nodes[static_cast<size_t>(slot)]);
+        float value = row[node.featureIndex];
+        bool go_left = std::isnan(value) ? node.defaultLeft
+                                         : value < node.threshold;
+        int32_t next = go_left ? left[static_cast<size_t>(slot)]
+                               : right[static_cast<size_t>(slot)];
+        if (next < 0)
+            return exitOrdinal(left, right, slot, go_left ? 0 : 1);
+        slot = next;
+    }
+}
+
+float
+TiledTree::predict(const float *row) const
+{
+    int64_t ignored;
+    return predictCountingTiles(row, &ignored);
+}
+
+float
+TiledTree::predictCountingTiles(const float *row,
+                                int64_t *tiles_visited) const
+{
+    TileId current = rootTile();
+    int64_t visited = 0;
+    while (!tile(current).isLeafKind()) {
+        ++visited;
+        int32_t child = walkTile(current, row);
+        panicIf(child < 0 ||
+                    child >= static_cast<int32_t>(
+                                 tile(current).children.size()),
+                "tile walk produced out-of-range child");
+        current = tile(current).children[static_cast<size_t>(child)];
+    }
+    *tiles_visited = visited;
+    return tile(current).leafValue;
+}
+
+double
+TiledTree::expectedDepth() const
+{
+    // Map base leaf nodes to probabilities.
+    std::vector<model::NodeIndex> leaves = tree_->leafIndices();
+    std::vector<double> probabilities = tree_->leafProbabilities();
+    std::map<model::NodeIndex, double> probability_of;
+    for (size_t i = 0; i < leaves.size(); ++i)
+        probability_of[leaves[i]] = probabilities[i];
+
+    double expected = 0.0;
+    for (TileId id = 0; id < numTiles(); ++id) {
+        const Tile &t = tile(id);
+        if (t.kind != Tile::Kind::kLeaf)
+            continue;
+        double p = probability_of.at(t.nodes.front());
+        expected += p * tileDepth(id);
+    }
+    return expected;
+}
+
+void
+TiledTree::padToDepth(int32_t target_depth)
+{
+    fatalIf(target_depth < maxLeafDepth(),
+            "cannot pad to depth ", target_depth,
+            " below current depth ", maxLeafDepth());
+    // Collect ids first: we append tiles while iterating.
+    std::vector<TileId> leaf_tiles;
+    for (TileId id = 0; id < numTiles(); ++id) {
+        // Only real leaves need lifting; dummy fillers are unreachable.
+        if (tile(id).kind == Tile::Kind::kLeaf)
+            leaf_tiles.push_back(id);
+    }
+
+    for (TileId leaf_id : leaf_tiles) {
+        int32_t depth = tileDepth(leaf_id);
+        TileId parent = tile(leaf_id).parent;
+        if (depth >= target_depth)
+            continue;
+        panicIf(parent == kNoTile && target_depth > 0 && depth == 0 &&
+                    numTiles() > 1,
+                "leaf tile with no parent in a multi-tile tree");
+
+        // Build a chain of dummy internal tiles above the leaf. Every
+        // dummy routes walks to child 0; the remaining child slots are
+        // filled with dummy leaves replicating the real leaf's value.
+        float value = tile(leaf_id).leafValue;
+        TileId below = leaf_id;
+        for (int32_t level = 0; level < target_depth - depth; ++level) {
+            Tile dummy;
+            dummy.kind = Tile::Kind::kDummyInternal;
+            dummy.parent = kNoTile; // fixed up below
+            TileId dummy_id = static_cast<TileId>(tiles_.size());
+            tiles_.push_back(dummy);
+
+            std::vector<TileId> children;
+            children.push_back(below);
+            tiles_[static_cast<size_t>(below)].parent = dummy_id;
+            for (int32_t extra = 0; extra < tileSize_; ++extra) {
+                Tile filler;
+                filler.kind = Tile::Kind::kDummyLeaf;
+                filler.leafValue = value;
+                filler.parent = dummy_id;
+                TileId filler_id = static_cast<TileId>(tiles_.size());
+                tiles_.push_back(filler);
+                children.push_back(filler_id);
+            }
+            tiles_[static_cast<size_t>(dummy_id)].children =
+                std::move(children);
+            below = dummy_id;
+        }
+
+        // Splice the chain into the parent (or make it the root).
+        if (parent == kNoTile) {
+            // The original root was the leaf itself: rotate tile ids so
+            // the chain head becomes tile 0 by swapping.
+            std::swap(tiles_[0], tiles_[static_cast<size_t>(below)]);
+            // Fix up all references after the swap.
+            for (Tile &t : tiles_) {
+                for (TileId &child : t.children) {
+                    if (child == 0)
+                        child = below;
+                    else if (child == below)
+                        child = 0;
+                }
+                if (t.parent == 0)
+                    t.parent = below;
+                else if (t.parent == below)
+                    t.parent = 0;
+            }
+            tiles_[0].parent = kNoTile;
+        } else {
+            Tile &parent_tile = tiles_[static_cast<size_t>(parent)];
+            bool spliced = false;
+            for (TileId &child : parent_tile.children) {
+                if (child == leaf_id) {
+                    child = below;
+                    spliced = true;
+                    break;
+                }
+            }
+            panicIf(!spliced, "leaf tile not found among parent children");
+            tiles_[static_cast<size_t>(below)].parent = parent;
+        }
+    }
+}
+
+void
+TiledTree::validate() const
+{
+    const model::DecisionTree &tree = *tree_;
+    std::vector<model::NodeIndex> parents = tree.parentArray();
+
+    // Partitioning: every base node appears in exactly one tile.
+    std::set<model::NodeIndex> seen;
+    for (TileId id = 0; id < numTiles(); ++id) {
+        const Tile &t = tile(id);
+        for (model::NodeIndex node : t.nodes) {
+            fatalIf(node < 0 || node >= tree.numNodes(),
+                    "tile ", id, " references node ", node,
+                    " outside the base tree");
+            fatalIf(seen.count(node) > 0,
+                    "node ", node, " appears in more than one tile");
+            seen.insert(node);
+        }
+    }
+    fatalIf(static_cast<int64_t>(seen.size()) != tree.numNodes(),
+            "tiling covers ", seen.size(), " of ", tree.numNodes(),
+            " base nodes");
+
+    for (TileId id = 0; id < numTiles(); ++id) {
+        const Tile &t = tile(id);
+        switch (t.kind) {
+          case Tile::Kind::kLeaf:
+            fatalIf(t.numNodes() != 1, "leaf tile ", id,
+                    " must hold exactly one node");
+            fatalIf(!tree.node(t.nodes.front()).isLeaf(),
+                    "leaf tile ", id, " holds an internal node");
+            fatalIf(!t.children.empty(), "leaf tile ", id,
+                    " has children");
+            fatalIf(t.leafValue != tree.node(t.nodes.front()).threshold,
+                    "leaf tile ", id, " caches a stale value");
+            break;
+          case Tile::Kind::kDummyLeaf:
+            fatalIf(!t.nodes.empty(), "dummy leaf ", id,
+                    " holds base nodes");
+            fatalIf(!t.children.empty(), "dummy leaf ", id,
+                    " has children");
+            break;
+          case Tile::Kind::kDummyInternal:
+            fatalIf(!t.nodes.empty(), "dummy tile ", id,
+                    " holds base nodes");
+            fatalIf(static_cast<int32_t>(t.children.size()) !=
+                        tileSize_ + 1,
+                    "dummy tile ", id, " has wrong arity");
+            break;
+          case Tile::Kind::kInternal: {
+            fatalIf(t.numNodes() < 1 || t.numNodes() > tileSize_,
+                    "tile ", id, " has ", t.numNodes(),
+                    " nodes (tile size ", tileSize_, ")");
+            // Leaf separation: no base leaves inside internal tiles.
+            for (model::NodeIndex node : t.nodes) {
+                fatalIf(tree.node(node).isLeaf(), "internal tile ", id,
+                        " contains leaf node ", node);
+            }
+            // Connectedness: every non-root in-tile node's base parent
+            // is in the tile.
+            for (size_t i = 1; i < t.nodes.size(); ++i) {
+                model::NodeIndex parent =
+                    parents[static_cast<size_t>(t.nodes[i])];
+                fatalIf(slotOf(t.nodes, parent) < 0,
+                        "tile ", id, " is not connected: node ",
+                        t.nodes[i], "'s parent is outside the tile");
+            }
+            // Level-order slot invariant: slot 0 is the tile root (its
+            // parent is outside the tile).
+            model::NodeIndex root_parent =
+                parents[static_cast<size_t>(t.nodes[0])];
+            fatalIf(root_parent != model::kInvalidNode &&
+                        slotOf(t.nodes, root_parent) >= 0,
+                    "tile ", id, " slot 0 is not the tile root");
+
+            // Exit ordering: child k's subtree root is exit k's target.
+            std::vector<int32_t> left, right;
+            tileSlotLinks(id, left, right);
+
+            // Slot order must be level order (BFS) over in-tile links:
+            // the SIMD lanes and the shape LUT both assume it.
+            {
+                std::vector<int32_t> bfs{0};
+                for (size_t head = 0; head < bfs.size(); ++head) {
+                    int32_t slot = bfs[head];
+                    if (left[static_cast<size_t>(slot)] >= 0)
+                        bfs.push_back(left[static_cast<size_t>(slot)]);
+                    if (right[static_cast<size_t>(slot)] >= 0)
+                        bfs.push_back(right[static_cast<size_t>(slot)]);
+                }
+                fatalIf(bfs.size() != t.nodes.size(), "tile ", id,
+                        " in-tile links are not connected");
+                for (size_t i = 0; i < bfs.size(); ++i) {
+                    fatalIf(bfs[i] != static_cast<int32_t>(i), "tile ",
+                            id, " nodes are not in level order");
+                }
+            }
+            int32_t exits = 0;
+            for (size_t i = 0; i < t.nodes.size(); ++i) {
+                exits += (left[i] < 0 ? 1 : 0) + (right[i] < 0 ? 1 : 0);
+            }
+            fatalIf(static_cast<int32_t>(t.children.size()) != exits,
+                    "tile ", id, " has ", t.children.size(),
+                    " children but ", exits, " exit edges");
+            for (size_t i = 0; i < t.nodes.size(); ++i) {
+                const model::Node &node = tree.node(t.nodes[i]);
+                for (int32_t side = 0; side < 2; ++side) {
+                    int32_t link = side == 0 ? left[i] : right[i];
+                    if (link >= 0)
+                        continue;
+                    model::NodeIndex target =
+                        side == 0 ? node.left : node.right;
+                    int32_t ordinal = exitOrdinal(
+                        left, right, static_cast<int32_t>(i), side);
+                    TileId child =
+                        t.children[static_cast<size_t>(ordinal)];
+                    const Tile &child_tile = tile(child);
+                    fatalIf(child_tile.parent != id, "tile ", child,
+                            " has a wrong parent link");
+                    if (!child_tile.isDummy()) {
+                        fatalIf(child_tile.nodes.empty() ||
+                                    child_tile.nodes.front() != target,
+                                "tile ", id, " exit ", ordinal,
+                                " does not lead to base node ", target);
+                    }
+                }
+            }
+
+            // Maximal tiling: an under-full tile may only border
+            // leaves (or padding above leaves).
+            if (t.numNodes() < tileSize_) {
+                for (TileId child : t.children) {
+                    const Tile &child_tile = tile(child);
+                    fatalIf(child_tile.kind == Tile::Kind::kInternal,
+                            "tile ", id, " has ", t.numNodes(),
+                            " nodes yet borders internal tile ", child,
+                            " (maximal-tiling violation)");
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    // Root invariants.
+    fatalIf(tile(rootTile()).parent != kNoTile, "root tile has a parent");
+}
+
+std::vector<int32_t>
+TiledTree::structureSignature() const
+{
+    std::vector<int32_t> signature;
+    std::vector<TileId> queue{rootTile()};
+    size_t head = 0;
+    while (head < queue.size()) {
+        TileId id = queue[head++];
+        const Tile &t = tile(id);
+        signature.push_back(static_cast<int32_t>(t.kind));
+        signature.push_back(t.numNodes());
+        signature.push_back(static_cast<int32_t>(t.children.size()));
+        for (TileId child : t.children)
+            queue.push_back(child);
+    }
+    return signature;
+}
+
+} // namespace treebeard::hir

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tiled decision trees: the result of the high-level IR tiling
+ * transformation (Section III-B). Tiling groups nodes of a binary tree
+ * into tiles of at most n_t nodes, turning it into an (n_t+1)-ary tree
+ * of tiles whose predicates can be evaluated speculatively with SIMD.
+ */
+#ifndef TREEBEARD_HIR_TILED_TREE_H
+#define TREEBEARD_HIR_TILED_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/decision_tree.h"
+
+namespace treebeard::hir {
+
+/** Tile id within a TiledTree. */
+using TileId = int32_t;
+constexpr TileId kNoTile = -1;
+
+/**
+ * One tile.
+ *
+ * Internal tiles hold 1..n_t internal nodes of the base tree, stored in
+ * level order *within the tile* (slot 0 is the tile's root). Children
+ * (exit edges) are ordered left-to-right, matching the tile-shape LUT's
+ * exit ordering — children[k] is the tile reached when the in-tile walk
+ * exits through ordinal k.
+ *
+ * Leaf tiles hold exactly one base-tree leaf. Dummy tiles are created
+ * by padding (Section III-F): a dummy internal tile deterministically
+ * routes every walk to children[0]; a dummy leaf replicates the value
+ * of the leaf it pads.
+ */
+struct Tile
+{
+    enum class Kind {
+        kInternal,
+        kLeaf,
+        kDummyInternal,
+        kDummyLeaf,
+    };
+
+    Kind kind = Kind::kInternal;
+
+    /** Base-tree nodes, level-order within the tile; empty for dummies. */
+    std::vector<model::NodeIndex> nodes;
+
+    /** Child tiles in exit (left-to-right) order; empty for leaves. */
+    std::vector<TileId> children;
+
+    TileId parent = kNoTile;
+
+    /** Prediction value for kLeaf / kDummyLeaf tiles. */
+    float leafValue = 0.0f;
+
+    bool isLeafKind() const
+    {
+        return kind == Kind::kLeaf || kind == Kind::kDummyLeaf;
+    }
+
+    bool isDummy() const
+    {
+        return kind == Kind::kDummyInternal || kind == Kind::kDummyLeaf;
+    }
+
+    int32_t numNodes() const { return static_cast<int32_t>(nodes.size()); }
+};
+
+/**
+ * A tiled view of one decision tree.
+ *
+ * The base tree must outlive the TiledTree. Construction happens in
+ * the tiling pass (see tiling.h); this class provides structural
+ * queries, the validity check of Section III-B1, reference traversal
+ * semantics, and the padding transformation.
+ */
+class TiledTree
+{
+  public:
+    /**
+     * Construct from prebuilt tiles.
+     * @param tree the base tree (kept by reference).
+     * @param tile_size the maximum nodes per tile (n_t).
+     * @param tiles tile storage; tile 0 must be the root tile.
+     */
+    TiledTree(const model::DecisionTree &tree, int32_t tile_size,
+              std::vector<Tile> tiles);
+
+    const model::DecisionTree &baseTree() const { return *tree_; }
+    int32_t tileSize() const { return tileSize_; }
+
+    int32_t numTiles() const { return static_cast<int32_t>(tiles_.size()); }
+    const Tile &tile(TileId id) const;
+    Tile &mutableTile(TileId id);
+    TileId rootTile() const { return 0; }
+
+    /** Depth of @p id in the tile tree (root tile depth is 0). */
+    int32_t tileDepth(TileId id) const;
+
+    /** Maximum leaf-tile depth. */
+    int32_t maxLeafDepth() const;
+
+    /** Minimum leaf-tile depth. */
+    int32_t minLeafDepth() const;
+
+    /** True when every leaf tile sits at the same depth. */
+    bool isPerfectlyBalanced() const;
+
+    /**
+     * In-tile child links of an internal tile, in slot space:
+     * left[i]/right[i] is the slot of node i's child inside the tile or
+     * lir::kExit style -1 when the edge exits the tile. Dummy internal
+     * tiles report a left-leaning chain over tileSize() slots.
+     */
+    void tileSlotLinks(TileId id, std::vector<int32_t> &left,
+                       std::vector<int32_t> &right) const;
+
+    /**
+     * Reference traversal: walk the tiled tree for @p row and return
+     * the reached leaf value. Must agree exactly with the base tree's
+     * predict() (proved by the test suite for all tilings).
+     */
+    float predict(const float *row) const;
+
+    /** As predict() but also reports the number of tiles visited. */
+    float predictCountingTiles(const float *row, int64_t *tiles_visited)
+        const;
+
+    /**
+     * Expected number of tile evaluations per walk,
+     * sum_l p_l * depth(l), the objective probability-based tiling
+     * minimizes (Section III-C). Uses base-tree leaf probabilities;
+     * dummy leaves contribute their padded real leaf's probability.
+     */
+    double expectedDepth() const;
+
+    /**
+     * Pad the tree with dummy tiles so all leaf tiles sit at depth
+     * @p target_depth (>= current maxLeafDepth()). After padding,
+     * isPerfectlyBalanced() holds and every root-to-leaf walk performs
+     * exactly target_depth tile evaluations.
+     */
+    void padToDepth(int32_t target_depth);
+
+    /**
+     * Validate the tiling constraints of Section III-B1 (partitioning,
+     * connectedness, leaf separation, maximal tiling) plus internal
+     * structural invariants (exit ordering, parent links). fatal() on
+     * the first violation. Dummy tiles are exempt from the
+     * partitioning check (they contain no base nodes).
+     */
+    void validate() const;
+
+    /**
+     * A structure signature: two tilings with equal signatures have
+     * isomorphic tile trees (same arity everywhere) and can share
+     * traversal code after reordering (Section III-F).
+     */
+    std::vector<int32_t> structureSignature() const;
+
+  private:
+    /** Walk one internal tile; returns the exit ordinal taken. */
+    int32_t walkTile(TileId id, const float *row) const;
+
+    const model::DecisionTree *tree_;
+    int32_t tileSize_;
+    std::vector<Tile> tiles_;
+};
+
+} // namespace treebeard::hir
+
+#endif // TREEBEARD_HIR_TILED_TREE_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A light-weight pass manager: named passes over an arbitrary payload
+ * with per-pass timing and optional after-each-pass IR dumps. Plays
+ * the role MLIR's PassManager plays in the original system: it makes
+ * the compilation pipeline inspectable and instrumentable.
+ */
+#ifndef TREEBEARD_IR_PASS_MANAGER_H
+#define TREEBEARD_IR_PASS_MANAGER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace treebeard::ir {
+
+/** Timing/trace record for one executed pass. */
+struct PassTrace
+{
+    std::string name;
+    double seconds = 0.0;
+    /** IR dump captured after the pass (when dumping is enabled). */
+    std::string dumpAfter;
+};
+
+/**
+ * Runs a sequence of named passes over a payload of type T.
+ *
+ * @tparam T the IR/payload type the passes mutate.
+ */
+template <typename T>
+class PassManager
+{
+  public:
+    using Pass = std::function<void(T &)>;
+    using Dumper = std::function<std::string(const T &)>;
+
+    /** Register a pass; passes run in registration order. */
+    void
+    addPass(std::string name, Pass pass)
+    {
+        passes_.push_back({std::move(name), std::move(pass)});
+    }
+
+    /**
+     * Capture an IR dump after every pass using @p dumper (for tests
+     * and --emit-ir style debugging).
+     */
+    void enableDumps(Dumper dumper) { dumper_ = std::move(dumper); }
+
+    /** Run all passes on @p payload, recording traces. */
+    void run(T &payload);
+
+    const std::vector<PassTrace> &traces() const { return traces_; }
+
+    /** Total seconds across all executed passes. */
+    double
+    totalSeconds() const
+    {
+        double total = 0.0;
+        for (const PassTrace &trace : traces_)
+            total += trace.seconds;
+        return total;
+    }
+
+  private:
+    struct NamedPass
+    {
+        std::string name;
+        Pass pass;
+    };
+
+    std::vector<NamedPass> passes_;
+    Dumper dumper_;
+    std::vector<PassTrace> traces_;
+};
+
+} // namespace treebeard::ir
+
+#include "ir/pass_manager_impl.h"
+
+#endif // TREEBEARD_IR_PASS_MANAGER_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Template implementation of PassManager (kept out of the main header
+ * for readability; this file is logically a source file).
+ */
+#ifndef TREEBEARD_IR_PASS_MANAGER_IMPL_H
+#define TREEBEARD_IR_PASS_MANAGER_IMPL_H
+
+#include "common/timer.h"
+
+namespace treebeard::ir {
+
+template <typename T>
+void
+PassManager<T>::run(T &payload)
+{
+    traces_.clear();
+    traces_.reserve(passes_.size());
+    for (const NamedPass &named : passes_) {
+        Timer timer;
+        named.pass(payload);
+        PassTrace trace;
+        trace.name = named.name;
+        trace.seconds = timer.elapsedSeconds();
+        if (dumper_)
+            trace.dumpAfter = dumper_(payload);
+        traces_.push_back(std::move(trace));
+    }
+}
+
+} // namespace treebeard::ir
+
+#endif // TREEBEARD_IR_PASS_MANAGER_IMPL_H

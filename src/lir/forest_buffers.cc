@@ -1,0 +1,63 @@
+#include "lir/forest_buffers.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace treebeard::lir {
+
+const char *
+layoutKindName(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::kArray: return "array";
+      case LayoutKind::kSparse: return "sparse";
+    }
+    panic("unknown layout kind");
+}
+
+int64_t
+ForestBuffers::footprintBytes() const
+{
+    int64_t bytes = 0;
+    bytes += static_cast<int64_t>(thresholds.size()) * sizeof(float);
+    bytes += static_cast<int64_t>(featureIndices.size()) * sizeof(int32_t);
+    bytes += static_cast<int64_t>(shapeIds.size()) * sizeof(int16_t);
+    bytes += static_cast<int64_t>(defaultLeft.size()) * sizeof(uint8_t);
+    bytes += static_cast<int64_t>(childBase.size()) * sizeof(int32_t);
+    bytes += static_cast<int64_t>(leaves.size()) * sizeof(float);
+    return bytes;
+}
+
+int64_t
+ForestBuffers::lutBytes() const
+{
+    if (shapes == nullptr)
+        return 0;
+    return static_cast<int64_t>(shapes->numShapes()) *
+           shapes->lutStride() * sizeof(int8_t);
+}
+
+std::string
+ForestBuffers::summary() const
+{
+    std::ostringstream os;
+    os << "lir.buffers { layout=" << layoutKindName(layout)
+       << " tileSize=" << tileSize << " trees=" << numTrees
+       << " tiles=" << numTiles() << " leaves=" << leaves.size()
+       << " bytes=" << footprintBytes() << " lutBytes=" << lutBytes()
+       << " }";
+    return os.str();
+}
+
+int64_t
+scalarRepresentationBytes(const model::Forest &forest)
+{
+    // A tile-size-1 sparse-equivalent node record: threshold (4) +
+    // feature index (4) + shape id (2) + child base (4); leaves store
+    // only their 4-byte value.
+    int64_t internal_nodes = forest.totalNodes() - forest.totalLeaves();
+    return internal_nodes * 14 + forest.totalLeaves() * 4;
+}
+
+} // namespace treebeard::lir

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The low-level IR's explicit memory representation of a compiled
+ * forest (Section V-B): flattened tile buffers in either the
+ * array-based or the sparse layout, plus the shape LUT, ready for the
+ * runtime kernels (or the C++ source emitter) to consume.
+ *
+ * Conventions shared by both layouts:
+ *  - Trees are stored in HIR execution order: buffer tree index ==
+ *    position in HirModule::treeOrder().
+ *  - Every tile occupies tileSize slots in `thresholds` and
+ *    `featureIndices` (tiles with fewer nodes pad the remaining slots
+ *    with +inf thresholds / feature 0, which are harmless don't-care
+ *    lanes for the LUT).
+ *  - Dummy (padding/hop) tiles use +inf thresholds and the
+ *    left-leaning chain shape, so every walk through them exits at
+ *    child 0 deterministically.
+ *
+ * Array layout:
+ *  - Each tree is an implicit (tileSize+1)-ary array: the c-th child
+ *    of local tile n lives at local index (tileSize+1)*n + c + 1.
+ *  - Leaf tiles occupy full tile slots with shapeId == kLeafTileMarker
+ *    and the leaf value in their first threshold slot.
+ *
+ * Sparse layout:
+ *  - `childBase[tile] >= 0`: global index of the tile's first child;
+ *    children are contiguous.
+ *  - `childBase[tile] < 0`: all children are leaves; the child values
+ *    live at leaves[-(childBase+1) + c].
+ *  - Mixed leaf/non-leaf children are eliminated with "hop" tiles.
+ */
+#ifndef TREEBEARD_LIR_FOREST_BUFFERS_H
+#define TREEBEARD_LIR_FOREST_BUFFERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lir/tile_shape.h"
+#include "model/forest.h"
+
+namespace treebeard::lir {
+
+/** Shape-id marker for leaf tiles in the array layout. */
+constexpr int16_t kLeafTileMarker = -1;
+
+/** Shape-id marker for never-visited array slots. */
+constexpr int16_t kUnusedTileMarker = -2;
+
+/** Layout discriminator (mirrors hir::MemoryLayout). */
+enum class LayoutKind {
+    kArray,
+    kSparse,
+};
+
+const char *layoutKindName(LayoutKind kind);
+
+/** Walk-shape metadata for one tree, copied from its HIR tree group. */
+struct TreeWalkInfo
+{
+    /** Exact walk depth when the tree's walk is fully unrolled. */
+    int32_t unrolledDepth = 0;
+    bool unrolled = false;
+    /** Checked-free prefix length for generic walks. */
+    int32_t peelDepth = 0;
+};
+
+/**
+ * The complete compiled-model memory image.
+ */
+struct ForestBuffers
+{
+    LayoutKind layout = LayoutKind::kSparse;
+    int32_t tileSize = 0;
+    int64_t numTrees = 0;
+    int32_t numFeatures = 0;
+    float baseScore = 0.0f;
+    model::Objective objective = model::Objective::kRegression;
+    /** Output classes (1 for single-output models). */
+    int32_t numClasses = 1;
+    /** Class each tree feeds, by buffer (execution-order) index. */
+    std::vector<int32_t> treeClass;
+
+    /** Shape table (LUT) for tileSize; owned by the process cache. */
+    const TileShapeTable *shapes = nullptr;
+
+    /** Global tile index of each tree's root: treeFirstTile[pos]. */
+    std::vector<int64_t> treeFirstTile;
+    /** One-past-the-end global tile index per tree. */
+    std::vector<int64_t> treeTileEnd;
+
+    /** Per-tile node data; tile t's slots at [t*tileSize, (t+1)*tileSize). */
+    std::vector<float> thresholds;
+    std::vector<int32_t> featureIndices;
+    /** Per-tile shape id (or array-layout markers). */
+    std::vector<int16_t> shapeIds;
+
+    /**
+     * Per-tile default-direction bits: bit s is 1 when slot s routes
+     * left on a missing (NaN) feature value. Dummy/padded slots are 1
+     * so NaN walks keep following the deterministic child-0 path.
+     */
+    std::vector<uint8_t> defaultLeft;
+
+    /**
+     * True when any model node carries a default-left direction; the
+     * runtime then selects the missing-value-aware kernels. Models
+     * without default directions use the plain predicate (NaN routes
+     * right, which is exactly defaultLeft == false everywhere).
+     */
+    bool hasDefaultLeft = false;
+
+    /** Sparse layout only: per-tile child base (see file comment). */
+    std::vector<int32_t> childBase;
+    /** Sparse layout only: leaf value pool. */
+    std::vector<float> leaves;
+
+    /** Per-tree walk metadata (unroll/peel), by buffer tree index. */
+    std::vector<TreeWalkInfo> walkInfo;
+
+    int64_t numTiles() const
+    {
+        return static_cast<int64_t>(shapeIds.size());
+    }
+
+    /** Model bytes (excluding the shared LUT). */
+    int64_t footprintBytes() const;
+
+    /** LUT bytes for this tile size. */
+    int64_t lutBytes() const;
+
+    /** Human-readable summary for IR dumps. */
+    std::string summary() const;
+};
+
+/**
+ * Bytes of a plain scalar (tile size 1, node-array) representation of
+ * @p forest: the baseline for the memory-bloat comparison the paper
+ * reports in Section V-B.
+ */
+int64_t scalarRepresentationBytes(const model::Forest &forest);
+
+} // namespace treebeard::lir
+
+#endif // TREEBEARD_LIR_FOREST_BUFFERS_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Lowering of tiled trees into explicit memory layouts: the MIR ->
+ * LIR step that inserts model buffers (Section II: "Buffers to hold
+ * model values are inserted into the generated code and all tree
+ * operations ... are lowered to explicitly reference these buffers").
+ */
+#ifndef TREEBEARD_LIR_LAYOUT_BUILDER_H
+#define TREEBEARD_LIR_LAYOUT_BUILDER_H
+
+#include "hir/hir_module.h"
+#include "lir/forest_buffers.h"
+
+namespace treebeard::lir {
+
+/**
+ * Materialize @p module 's tiled forest in the layout requested by its
+ * schedule. Requires the HIR passes to have run.
+ */
+ForestBuffers buildForestBuffers(const hir::HirModule &module);
+
+/** Build the array-based representation (Section V-B1). */
+ForestBuffers buildArrayLayout(const hir::HirModule &module);
+
+/** Build the sparse representation (Section V-B2). */
+ForestBuffers buildSparseLayout(const hir::HirModule &module);
+
+} // namespace treebeard::lir
+
+#endif // TREEBEARD_LIR_LAYOUT_BUILDER_H

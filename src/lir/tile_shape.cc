@@ -1,0 +1,288 @@
+#include "lir/tile_shape.h"
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace treebeard::lir {
+
+namespace {
+
+/** Structural form used during enumeration. */
+struct StructNode
+{
+    std::unique_ptr<StructNode> left;
+    std::unique_ptr<StructNode> right;
+};
+
+using StructTree = std::unique_ptr<StructNode>;
+
+/** Deep copy for reuse of enumerated subtrees. */
+StructTree
+cloneTree(const StructTree &tree)
+{
+    if (!tree)
+        return nullptr;
+    auto copy = std::make_unique<StructNode>();
+    copy->left = cloneTree(tree->left);
+    copy->right = cloneTree(tree->right);
+    return copy;
+}
+
+/** All binary trees with exactly @p num_nodes nodes. */
+std::vector<StructTree>
+enumerateTrees(int32_t num_nodes)
+{
+    std::vector<StructTree> result;
+    if (num_nodes == 0) {
+        result.push_back(nullptr);
+        return result;
+    }
+    for (int32_t left_nodes = 0; left_nodes < num_nodes; ++left_nodes) {
+        std::vector<StructTree> lefts = enumerateTrees(left_nodes);
+        std::vector<StructTree> rights =
+            enumerateTrees(num_nodes - 1 - left_nodes);
+        for (const StructTree &left : lefts) {
+            for (const StructTree &right : rights) {
+                auto root = std::make_unique<StructNode>();
+                root->left = cloneTree(left);
+                root->right = cloneTree(right);
+                result.push_back(std::move(root));
+            }
+        }
+    }
+    return result;
+}
+
+/** Convert a structural tree to level-order slot links. */
+TileShape
+toLevelOrderShape(const StructTree &tree)
+{
+    TileShape shape;
+    // BFS assigning slots in visit order.
+    std::queue<const StructNode *> queue;
+    std::vector<const StructNode *> order;
+    queue.push(tree.get());
+    while (!queue.empty()) {
+        const StructNode *node = queue.front();
+        queue.pop();
+        order.push_back(node);
+        if (node->left)
+            queue.push(node->left.get());
+        if (node->right)
+            queue.push(node->right.get());
+    }
+
+    std::map<const StructNode *, int32_t> slot_of;
+    for (size_t i = 0; i < order.size(); ++i)
+        slot_of[order[i]] = static_cast<int32_t>(i);
+
+    shape.left.resize(order.size(), kExit);
+    shape.right.resize(order.size(), kExit);
+    for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i]->left)
+            shape.left[i] = slot_of[order[i]->left.get()];
+        if (order[i]->right)
+            shape.right[i] = slot_of[order[i]->right.get()];
+    }
+    return shape;
+}
+
+/** Preorder serialization from slot links starting at @p slot. */
+void
+serializeFrom(const std::vector<int32_t> &left,
+              const std::vector<int32_t> &right, int32_t slot,
+              std::string &out)
+{
+    if (slot == kExit) {
+        out.push_back('0');
+        return;
+    }
+    out.push_back('1');
+    serializeFrom(left, right, left[static_cast<size_t>(slot)], out);
+    serializeFrom(left, right, right[static_cast<size_t>(slot)], out);
+}
+
+/**
+ * Exit-edge ordinals for a shape: exit_index[slot][side] where side 0
+ * is the left edge and side 1 the right edge; -1 when the slot has an
+ * in-tile child on that side. Exits are numbered left-to-right by
+ * depth-first traversal (footnote 7 of the paper).
+ */
+std::vector<std::array<int32_t, 2>>
+computeExitOrdinals(const TileShape &shape)
+{
+    std::vector<std::array<int32_t, 2>> exits(
+        static_cast<size_t>(shape.numNodes()), {-1, -1});
+    int32_t next = 0;
+    // Recursive DFS via explicit lambda.
+    auto visit = [&](auto &&self, int32_t slot) -> void {
+        int32_t left = shape.left[static_cast<size_t>(slot)];
+        if (left == kExit)
+            exits[static_cast<size_t>(slot)][0] = next++;
+        else
+            self(self, left);
+        int32_t right = shape.right[static_cast<size_t>(slot)];
+        if (right == kExit)
+            exits[static_cast<size_t>(slot)][1] = next++;
+        else
+            self(self, right);
+    };
+    visit(visit, 0);
+    panicIf(next != shape.numChildren(),
+            "exit enumeration produced wrong child count");
+    return exits;
+}
+
+} // namespace
+
+std::string
+TileShape::serialize() const
+{
+    std::string out;
+    if (numNodes() == 0)
+        return "0";
+    serializeFrom(left, right, 0, out);
+    return out;
+}
+
+TileShapeTable::TileShapeTable(int32_t tile_size) : tileSize_(tile_size)
+{
+    fatalIf(tile_size < 1 || tile_size > kMaxTileSize,
+            "tile size ", tile_size, " out of supported range [1, ",
+            kMaxTileSize, "]");
+    enumerateShapes();
+    buildLut();
+}
+
+void
+TileShapeTable::enumerateShapes()
+{
+    for (int32_t nodes = 1; nodes <= tileSize_; ++nodes) {
+        for (const StructTree &tree : enumerateTrees(nodes)) {
+            TileShape shape = toLevelOrderShape(tree);
+            std::string key = shape.serialize();
+            panicIf(shapeIdBySerialization_.count(key) > 0,
+                    "duplicate shape during enumeration");
+            shapeIdBySerialization_[key] =
+                static_cast<int32_t>(shapes_.size());
+            shapes_.push_back(std::move(shape));
+        }
+    }
+
+    // Locate the full-size left chain used for padding tiles.
+    TileShape chain;
+    chain.left.resize(static_cast<size_t>(tileSize_), kExit);
+    chain.right.resize(static_cast<size_t>(tileSize_), kExit);
+    for (int32_t i = 0; i + 1 < tileSize_; ++i)
+        chain.left[static_cast<size_t>(i)] = i + 1;
+    leftChainShapeId_ = shapeIdBySerialization_.at(chain.serialize());
+}
+
+void
+TileShapeTable::buildLut()
+{
+    exitOrdinals_.resize(static_cast<size_t>(numShapes()));
+    for (int32_t s = 0; s < numShapes(); ++s) {
+        const TileShape &shape = shapes_[static_cast<size_t>(s)];
+        std::vector<std::array<int32_t, 2>> exits =
+            computeExitOrdinals(shape);
+        std::vector<int16_t> &flat =
+            exitOrdinals_[static_cast<size_t>(s)];
+        flat.resize(static_cast<size_t>(shape.numNodes()) * 2);
+        for (int32_t slot = 0; slot < shape.numNodes(); ++slot) {
+            flat[static_cast<size_t>(slot) * 2] = static_cast<int16_t>(
+                exits[static_cast<size_t>(slot)][0]);
+            flat[static_cast<size_t>(slot) * 2 + 1] =
+                static_cast<int16_t>(
+                    exits[static_cast<size_t>(slot)][1]);
+        }
+    }
+
+    lutStride_ = 1 << tileSize_;
+    lut_.resize(static_cast<size_t>(numShapes()) * lutStride_);
+    for (int32_t s = 0; s < numShapes(); ++s) {
+        for (int32_t outcome = 0; outcome < lutStride_; ++outcome) {
+            int32_t child =
+                walkShape(s, static_cast<uint32_t>(outcome));
+            panicIf(child < 0 || child > tileSize_ + 1,
+                    "LUT child index out of range");
+            lut_[static_cast<size_t>(s) * lutStride_ + outcome] =
+                static_cast<int8_t>(child);
+        }
+    }
+}
+
+const TileShape &
+TileShapeTable::shape(int32_t shape_id) const
+{
+    panicIf(shape_id < 0 || shape_id >= numShapes(),
+            "shape id out of range");
+    return shapes_[static_cast<size_t>(shape_id)];
+}
+
+int32_t
+TileShapeTable::shapeIdOf(const std::vector<int32_t> &left,
+                          const std::vector<int32_t> &right) const
+{
+    fatalIf(left.size() != right.size(),
+            "left/right child arrays differ in length");
+    fatalIf(left.empty() ||
+                static_cast<int32_t>(left.size()) > tileSize_,
+            "shape lookup with invalid node count ", left.size());
+    std::string key;
+    serializeFrom(left, right, 0, key);
+    auto it = shapeIdBySerialization_.find(key);
+    fatalIf(it == shapeIdBySerialization_.end(),
+            "not a valid tile shape (serialization ", key, ")");
+    return it->second;
+}
+
+int32_t
+TileShapeTable::walkShape(int32_t shape_id, uint32_t outcome_bits) const
+{
+    const TileShape &shape = this->shape(shape_id);
+    std::vector<std::array<int32_t, 2>> exits = computeExitOrdinals(shape);
+
+    int32_t slot = 0;
+    while (true) {
+        bool go_left = (outcome_bits >> slot) & 1u;
+        int32_t next = go_left ? shape.left[static_cast<size_t>(slot)]
+                               : shape.right[static_cast<size_t>(slot)];
+        if (next == kExit)
+            return exits[static_cast<size_t>(slot)][go_left ? 0 : 1];
+        slot = next;
+    }
+}
+
+const TileShapeTable &
+TileShapeTable::get(int32_t tile_size)
+{
+    static std::mutex mutex;
+    static std::unique_ptr<TileShapeTable> tables[kMaxTileSize + 1];
+    fatalIf(tile_size < 1 || tile_size > kMaxTileSize,
+            "tile size ", tile_size, " out of supported range [1, ",
+            kMaxTileSize, "]");
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!tables[tile_size]) {
+        tables[tile_size] =
+            std::unique_ptr<TileShapeTable>(new TileShapeTable(tile_size));
+    }
+    return *tables[tile_size];
+}
+
+int64_t
+catalanNumber(int32_t n)
+{
+    panicIf(n < 0, "catalan of negative number");
+    // C(n) = C(2n, n) / (n + 1), computed incrementally.
+    int64_t result = 1;
+    for (int32_t i = 0; i < n; ++i)
+        result = result * 2 * (2 * i + 1) / (i + 2);
+    return result;
+}
+
+} // namespace treebeard::lir

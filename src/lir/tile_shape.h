@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tile shape enumeration and the child-index lookup table (LUT) of
+ * Section V-A of the paper.
+ *
+ * For a tile size n_t, every legal binary tree with 1..n_t nodes is a
+ * *tile shape* (Catalan(k) shapes of k nodes; Figure 4 shows the five
+ * shapes of size 3). Given the vector comparison outcome of a tile's
+ * node predicates, the child tile to traverse next depends on the
+ * tile's shape; the LUT
+ *
+ *     LUT : (shapeId, outcomeBits) -> childIndex
+ *
+ * encodes this mapping and is computed statically, once per tile size.
+ *
+ * Conventions:
+ *  - Nodes of a shape are numbered in level order (breadth-first),
+ *    root = slot 0. Tiles store their thresholds/feature indices in
+ *    the same slot order, so SIMD lane i always evaluates slot i.
+ *  - Outcome bit i (LSB = slot 0) is 1 when row[feature_i] < threshold_i,
+ *    i.e. when the walk at node i moves to the *left* child.
+ *  - Children (exit edges) of a tile are numbered left-to-right
+ *    (footnote 7), via depth-first traversal order.
+ *  - Bits of slots that a shape does not populate (shapes smaller than
+ *    n_t) are don't-cares: the LUT returns the same child for all
+ *    values of those bits.
+ */
+#ifndef TREEBEARD_LIR_TILE_SHAPE_H
+#define TREEBEARD_LIR_TILE_SHAPE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace treebeard::lir {
+
+/** Maximum supported tile size (outcome bits must fit comfortably). */
+constexpr int32_t kMaxTileSize = 8;
+
+/** In-shape child link; kExit marks an exit edge to a child tile. */
+constexpr int32_t kExit = -1;
+
+/**
+ * One enumerated tile shape: a binary tree over level-order slots.
+ */
+struct TileShape
+{
+    /** left[i] / right[i]: slot index of node i's child, or kExit. */
+    std::vector<int32_t> left;
+    std::vector<int32_t> right;
+
+    int32_t numNodes() const { return static_cast<int32_t>(left.size()); }
+
+    /** A tile with k nodes has k + 1 children (exit edges). */
+    int32_t numChildren() const { return numNodes() + 1; }
+
+    /**
+     * Canonical serialization used for interning: a preorder string of
+     * child-presence markers.
+     */
+    std::string serialize() const;
+};
+
+/**
+ * The interned set of all tile shapes for one tile size, plus the LUT.
+ *
+ * Obtain instances through TileShapeTable::get(); tables are built once
+ * per tile size and cached for the process lifetime.
+ */
+class TileShapeTable
+{
+  public:
+    /** The (cached) table for @p tile_size in [1, kMaxTileSize]. */
+    static const TileShapeTable &get(int32_t tile_size);
+
+    int32_t tileSize() const { return tileSize_; }
+    int32_t numShapes() const { return static_cast<int32_t>(shapes_.size()); }
+    const TileShape &shape(int32_t shape_id) const;
+
+    /**
+     * Find the id of a shape given explicit child links (level-order
+     * slot numbering, kExit for missing children).
+     * fatal() when the shape is not a valid tile shape of this size.
+     */
+    int32_t shapeIdOf(const std::vector<int32_t> &left,
+                      const std::vector<int32_t> &right) const;
+
+    /**
+     * Child (exit-edge) index selected by @p outcome_bits for
+     * @p shape_id, per the conventions above. O(depth) reference
+     * implementation used to build the LUT and in tests.
+     */
+    int32_t walkShape(int32_t shape_id, uint32_t outcome_bits) const;
+
+    /** LUT lookup: the precomputed walkShape value. */
+    int32_t
+    child(int32_t shape_id, uint32_t outcome_bits) const
+    {
+        return lut_[static_cast<size_t>(shape_id) * lutStride_ +
+                    outcome_bits];
+    }
+
+    /** Raw LUT buffer (row-major: shape id, then outcome). */
+    const int8_t *lutData() const { return lut_.data(); }
+
+    /** Entries per LUT row (= 2^tileSize). */
+    int32_t lutStride() const { return lutStride_; }
+
+    /**
+     * The shape id of the left-leaning chain with tileSize() nodes.
+     * Used for dummy padding tiles: an all-ones outcome exits at
+     * child 0 deterministically.
+     */
+    int32_t leftChainShapeId() const { return leftChainShapeId_; }
+
+    /**
+     * Exit (child) ordinal of the edge leaving @p slot of @p shape_id
+     * on @p side (0 = left, 1 = right); -1 when that edge stays inside
+     * the shape. Precomputed; used by instrumented walks and the C++
+     * source emitter.
+     */
+    int32_t
+    exitOrdinal(int32_t shape_id, int32_t slot, int32_t side) const
+    {
+        return exitOrdinals_[static_cast<size_t>(shape_id)]
+                            [static_cast<size_t>(slot) * 2 +
+                             static_cast<size_t>(side)];
+    }
+
+  private:
+    explicit TileShapeTable(int32_t tile_size);
+
+    void enumerateShapes();
+    void buildLut();
+
+    int32_t tileSize_;
+    std::vector<TileShape> shapes_;
+    std::map<std::string, int32_t> shapeIdBySerialization_;
+    std::vector<int8_t> lut_;
+    /** Per shape: flattened (slot, side) -> exit ordinal (or -1). */
+    std::vector<std::vector<int16_t>> exitOrdinals_;
+    int32_t lutStride_ = 0;
+    int32_t leftChainShapeId_ = -1;
+};
+
+/** Catalan number C(n) (number of binary tree shapes with n nodes). */
+int64_t catalanNumber(int32_t n);
+
+} // namespace treebeard::lir
+
+#endif // TREEBEARD_LIR_TILE_SHAPE_H

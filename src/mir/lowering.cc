@@ -1,0 +1,101 @@
+#include "mir/lowering.h"
+
+#include "common/logging.h"
+#include "mir/passes.h"
+
+namespace treebeard::mir {
+
+namespace {
+
+MirOp
+makeFor(const std::string &iv, const std::string &lower,
+        const std::string &upper, const std::string &step)
+{
+    MirOp op;
+    op.kind = OpKind::kFor;
+    op.inductionVar = iv;
+    op.lower = lower;
+    op.upper = upper;
+    op.step = step;
+    return op;
+}
+
+MirOp
+makeWalk(int64_t group_index)
+{
+    MirOp op;
+    op.kind = OpKind::kWalkGroup;
+    op.groupIndex = group_index;
+    return op;
+}
+
+} // namespace
+
+MirFunction
+lowerToMir(const hir::HirModule &module)
+{
+    fatalIf(module.groups().empty(),
+            "MIR lowering requires the HIR passes to have run");
+
+    MirFunction function;
+    function.schedule = module.schedule();
+    function.body.kind = OpKind::kFunction;
+
+    const std::vector<hir::TreeGroup> &groups = module.groups();
+
+    if (module.schedule().loopOrder == hir::LoopOrder::kOneTreeAtATime) {
+        // Snippet E of Figure 2: walk one tree for all rows, then the
+        // next tree. Accumulators live across the whole batch.
+        MirOp init;
+        init.kind = OpKind::kInitAccumulator;
+        function.body.addChild(init);
+
+        for (size_t g = 0; g < groups.size(); ++g) {
+            MirOp tree_loop =
+                makeFor("t", std::to_string(groups[g].beginPos),
+                        std::to_string(groups[g].endPos), "1");
+            MirOp row_loop = makeFor("r", "0", "numRows", "1");
+            row_loop.addChild(makeWalk(static_cast<int64_t>(g)));
+            tree_loop.addChild(std::move(row_loop));
+            function.body.addChild(std::move(tree_loop));
+        }
+
+        MirOp output;
+        output.kind = OpKind::kWriteOutput;
+        function.body.addChild(output);
+    } else {
+        // Snippet D of Figure 2: walk all trees for one row, then the
+        // next row. One scalar accumulator per row.
+        MirOp row_loop = makeFor("r", "0", "numRows", "1");
+        MirOp init;
+        init.kind = OpKind::kInitAccumulator;
+        row_loop.addChild(init);
+
+        for (size_t g = 0; g < groups.size(); ++g) {
+            MirOp tree_loop =
+                makeFor("t", std::to_string(groups[g].beginPos),
+                        std::to_string(groups[g].endPos), "1");
+            tree_loop.addChild(makeWalk(static_cast<int64_t>(g)));
+            row_loop.addChild(std::move(tree_loop));
+        }
+
+        MirOp output;
+        output.kind = OpKind::kWriteOutput;
+        row_loop.addChild(output);
+        function.body.addChild(std::move(row_loop));
+    }
+
+    return function;
+}
+
+void
+runMirPasses(MirFunction &function, const hir::HirModule &module)
+{
+    const hir::Schedule &schedule = function.schedule;
+    applyWalkPeelingAndUnrolling(function, module);
+    applyWalkInterleaving(function, schedule.interleaveFactor);
+    applyParallelization(function, schedule.numThreads);
+    function.verify();
+}
+
+} // namespace treebeard::mir

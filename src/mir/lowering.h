@@ -1,0 +1,32 @@
+/**
+ * @file
+ * HIR -> MIR lowering: make the loop nest over (tree, input row) pairs
+ * explicit, in the order the schedule's loop-order attribute requests
+ * (Section III-E; code snippets D and E of Figure 2).
+ *
+ * The initial lowering is deliberately unoptimized at the MIR level:
+ * walks are emitted with interleave = 1 and no unroll/peel
+ * annotations. The passes in passes.h then transform the function,
+ * mirroring the paper's annotate-then-lower pipeline.
+ */
+#ifndef TREEBEARD_MIR_LOWERING_H
+#define TREEBEARD_MIR_LOWERING_H
+
+#include "hir/hir_module.h"
+#include "mir/mir.h"
+
+namespace treebeard::mir {
+
+/** Lower @p module (HIR passes must have run) to a MIR function. */
+MirFunction lowerToMir(const hir::HirModule &module);
+
+/**
+ * Run the standard MIR pass pipeline on @p function per its schedule:
+ * walk interleaving (Section IV-A), walk peeling & unrolling
+ * (Section IV-B), and row-loop parallelization (Section IV-C).
+ */
+void runMirPasses(MirFunction &function, const hir::HirModule &module);
+
+} // namespace treebeard::mir
+
+#endif // TREEBEARD_MIR_LOWERING_H

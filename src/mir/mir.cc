@@ -1,0 +1,144 @@
+#include "mir/mir.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace treebeard::mir {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kFunction: return "func";
+      case OpKind::kParallelFor: return "parallel.for";
+      case OpKind::kFor: return "for";
+      case OpKind::kInitAccumulator: return "init_accumulator";
+      case OpKind::kWalkGroup: return "walk_group";
+      case OpKind::kWriteOutput: return "write_output";
+    }
+    panic("unknown MIR op kind");
+}
+
+MirOp &
+MirOp::addChild(MirOp op)
+{
+    children.push_back(std::move(op));
+    return children.back();
+}
+
+void
+MirOp::collect(OpKind target, std::vector<const MirOp *> &out) const
+{
+    if (kind == target)
+        out.push_back(this);
+    for (const MirOp &child : children)
+        child.collect(target, out);
+}
+
+void
+MirOp::collectMutable(OpKind target, std::vector<MirOp *> &out)
+{
+    if (kind == target)
+        out.push_back(this);
+    for (MirOp &child : children)
+        child.collectMutable(target, out);
+}
+
+void
+MirOp::print(std::string &out, int indent) const
+{
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += opKindName(kind);
+    switch (kind) {
+      case OpKind::kParallelFor:
+      case OpKind::kFor:
+        out += " " + inductionVar + " = " + lower + " to " + upper +
+               " step " + step;
+        break;
+      case OpKind::kWalkGroup: {
+        std::ostringstream os;
+        os << " group=" << groupIndex;
+        if (interleave > 1) {
+            os << " interleave=" << interleave << "x"
+               << (interleaveAxis == InterleaveAxis::kRows ? "rows"
+                                                           : "trees");
+        }
+        if (unrolled)
+            os << " unrolled depth=" << walkDepth;
+        else if (peelDepth > 0)
+            os << " peel=" << peelDepth;
+        out += os.str();
+        break;
+      }
+      default:
+        break;
+    }
+    if (children.empty()) {
+        out += "\n";
+        return;
+    }
+    out += " {\n";
+    for (const MirOp &child : children)
+        child.print(out, indent + 1);
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += "}\n";
+}
+
+std::string
+MirFunction::print() const
+{
+    std::string out = "mir.func predictForest(rows, numRows, "
+                      "predictions) {\n";
+    for (const MirOp &child : body.children)
+        child.print(out, 1);
+    out += "}\n";
+    return out;
+}
+
+std::vector<const MirOp *>
+MirFunction::walkOps() const
+{
+    std::vector<const MirOp *> out;
+    body.collect(OpKind::kWalkGroup, out);
+    return out;
+}
+
+std::vector<MirOp *>
+MirFunction::walkOpsMutable()
+{
+    std::vector<MirOp *> out;
+    body.collectMutable(OpKind::kWalkGroup, out);
+    return out;
+}
+
+bool
+MirFunction::isParallel() const
+{
+    std::vector<const MirOp *> loops;
+    body.collect(OpKind::kParallelFor, loops);
+    return !loops.empty();
+}
+
+void
+MirFunction::verify() const
+{
+    fatalIf(body.kind != OpKind::kFunction,
+            "MIR function body must be a kFunction op");
+    std::vector<const MirOp *> walks = walkOps();
+    fatalIf(walks.empty(), "MIR function has no walk ops");
+    for (const MirOp *walk : walks) {
+        fatalIf(walk->groupIndex < 0, "walk op without a group");
+        fatalIf(walk->interleave < 1, "walk op with interleave < 1");
+        fatalIf(walk->interleave > 1 &&
+                    walk->interleaveAxis == InterleaveAxis::kNone,
+                "interleaved walk without an axis");
+        fatalIf(walk->unrolled && walk->walkDepth < 1,
+                "unrolled walk with depth < 1");
+    }
+    std::vector<const MirOp *> outputs;
+    body.collect(OpKind::kWriteOutput, outputs);
+    fatalIf(outputs.empty(), "MIR function never writes its output");
+}
+
+} // namespace treebeard::mir

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The mid-level IR (Section IV): an explicit loop nest over
+ * (tree, input row) pairs with abstract tree-walk operations.
+ * Operations at this level are independent of the final memory layout;
+ * WalkDecisionTree "represents all valid ways to compute the
+ * prediction of a decision tree given an input row".
+ *
+ * The structures here correspond to the code snippets D/E/F of
+ * Figure 2 and the listings of Sections IV-A and IV-C. MIR is built by
+ * lowering an HIR module (see lowering.h), transformed by the passes
+ * in passes.h, and consumed by the runtime's plan builder (which plays
+ * the role of LLVM JIT code generation).
+ */
+#ifndef TREEBEARD_MIR_MIR_H
+#define TREEBEARD_MIR_MIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hir/schedule.h"
+
+namespace treebeard::mir {
+
+/** Operation kinds of the mid-level IR. */
+enum class OpKind {
+    /** The predictForest function body. */
+    kFunction,
+    /** `parallel.for iv = lower to upper step step` (Section IV-C). */
+    kParallelFor,
+    /** `for iv = lower to upper step step`. */
+    kFor,
+    /** Initialize row accumulators with the model's base score. */
+    kInitAccumulator,
+    /**
+     * WalkDecisionTree over the trees of one HIR group. interleave > 1
+     * means `interleave` independent walks are jammed together
+     * (InterleavedWalk, Section IV-A); `unrolled` means the walk is a
+     * fixed sequence of `depth` traverseTile steps (Section IV-B);
+     * otherwise `peelDepth` leading steps run without leaf checks.
+     */
+    kWalkGroup,
+    /** Apply the objective transform and store predictions. */
+    kWriteOutput,
+};
+
+const char *opKindName(OpKind kind);
+
+/** What an interleaved walk jams together. */
+enum class InterleaveAxis {
+    kNone,
+    /** Walks of the same tree over consecutive rows (one-tree order). */
+    kRows,
+    /** Walks of consecutive trees over the same row (one-row order). */
+    kTrees,
+};
+
+/**
+ * One MIR operation. A plain value-type tree: loop bounds are symbolic
+ * strings (the batch size is a runtime value), walk attributes are
+ * typed fields.
+ */
+struct MirOp
+{
+    OpKind kind = OpKind::kFunction;
+
+    // Loop attributes (kParallelFor / kFor).
+    std::string inductionVar;
+    std::string lower;
+    std::string upper;
+    std::string step;
+
+    // Walk attributes (kWalkGroup).
+    int64_t groupIndex = -1;
+    int32_t interleave = 1;
+    InterleaveAxis interleaveAxis = InterleaveAxis::kNone;
+    bool unrolled = false;
+    int32_t walkDepth = 0;
+    int32_t peelDepth = 0;
+
+    std::vector<MirOp> children;
+
+    /** Append a child and return a reference to it. */
+    MirOp &addChild(MirOp op);
+
+    /** Recursively find all ops of @p kind (pre-order). */
+    void collect(OpKind kind, std::vector<const MirOp *> &out) const;
+    void collectMutable(OpKind kind, std::vector<MirOp *> &out);
+
+    /** Pretty-print this op and its children at @p indent. */
+    void print(std::string &out, int indent) const;
+};
+
+/**
+ * The MIR view of the predictForest function: the op tree plus the
+ * schedule it was lowered under.
+ */
+struct MirFunction
+{
+    MirOp body; // kind == kFunction
+    hir::Schedule schedule;
+
+    /** Pretty-print the whole function. */
+    std::string print() const;
+
+    /** All walk ops in execution order. */
+    std::vector<const MirOp *> walkOps() const;
+    std::vector<MirOp *> walkOpsMutable();
+
+    /** True when the row loop is parallelized. */
+    bool isParallel() const;
+
+    /** Structural sanity checks; fatal() on violation. */
+    void verify() const;
+};
+
+} // namespace treebeard::mir
+
+#endif // TREEBEARD_MIR_MIR_H

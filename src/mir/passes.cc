@@ -1,0 +1,109 @@
+#include "mir/passes.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace treebeard::mir {
+
+namespace {
+
+/**
+ * Visit every loop that directly wraps a walk op (the innermost loops
+ * of the nest) and apply @p transform(loop).
+ */
+void
+forEachInnermostLoop(MirOp &op, const std::function<void(MirOp &)> &fn)
+{
+    bool wraps_walk = false;
+    for (const MirOp &child : op.children) {
+        if (child.kind == OpKind::kWalkGroup)
+            wraps_walk = true;
+    }
+    if ((op.kind == OpKind::kFor || op.kind == OpKind::kParallelFor) &&
+        wraps_walk) {
+        fn(op);
+        return;
+    }
+    for (MirOp &child : op.children)
+        forEachInnermostLoop(child, fn);
+}
+
+} // namespace
+
+void
+applyWalkInterleaving(MirFunction &function, int32_t factor)
+{
+    fatalIf(factor < 1, "interleave factor must be positive");
+    if (factor == 1)
+        return;
+
+    forEachInnermostLoop(function.body, [factor](MirOp &loop) {
+        // Unroll-and-jam: the loop now advances `factor` iterations at
+        // a time, and the walks it wraps become interleaved walks over
+        // that axis.
+        loop.step = std::to_string(factor);
+        InterleaveAxis axis = loop.inductionVar == "r"
+                                  ? InterleaveAxis::kRows
+                                  : InterleaveAxis::kTrees;
+        for (MirOp &child : loop.children) {
+            if (child.kind != OpKind::kWalkGroup)
+                continue;
+            child.interleave = factor;
+            child.interleaveAxis = axis;
+        }
+    });
+}
+
+void
+applyWalkPeelingAndUnrolling(MirFunction &function,
+                             const hir::HirModule &module)
+{
+    const std::vector<hir::TreeGroup> &groups = module.groups();
+    for (MirOp *walk : function.walkOpsMutable()) {
+        fatalIf(walk->groupIndex < 0 ||
+                    walk->groupIndex >=
+                        static_cast<int64_t>(groups.size()),
+                "walk op references unknown group ", walk->groupIndex);
+        const hir::TreeGroup &group =
+            groups[static_cast<size_t>(walk->groupIndex)];
+        walk->unrolled = group.unrolledWalk;
+        walk->walkDepth = group.walkDepth;
+        walk->peelDepth = group.peelDepth;
+    }
+}
+
+void
+applyParallelization(MirFunction &function, int32_t num_threads)
+{
+    fatalIf(num_threads < 1, "thread count must be positive");
+    if (num_threads == 1)
+        return;
+
+    // Tile the row loop: chunk = ceil(numRows / numThreads), and run
+    // chunks under a parallel.for (the Section IV-C structure).
+    MirOp parallel;
+    parallel.kind = OpKind::kParallelFor;
+    parallel.inductionVar = "i0";
+    parallel.lower = "0";
+    parallel.upper = "numRows";
+    parallel.step =
+        "ceil(numRows/" + std::to_string(num_threads) + ")";
+    parallel.children = std::move(function.body.children);
+    function.body.children.clear();
+
+    // Inner row loops now range over the chunk.
+    std::function<void(MirOp &)> retarget = [&](MirOp &op) {
+        if (op.kind == OpKind::kFor && op.inductionVar == "r") {
+            op.lower = "i0";
+            op.upper = "min(i0+chunk, numRows)";
+        }
+        for (MirOp &child : op.children)
+            retarget(child);
+    };
+    retarget(parallel);
+
+    function.body.addChild(std::move(parallel));
+}
+
+} // namespace treebeard::mir

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * MIR optimization passes (Section IV).
+ */
+#ifndef TREEBEARD_MIR_PASSES_H
+#define TREEBEARD_MIR_PASSES_H
+
+#include "hir/hir_module.h"
+#include "mir/mir.h"
+
+namespace treebeard::mir {
+
+/**
+ * Tree walk interleaving (Section IV-A): unroll-and-jam the innermost
+ * loop of the nest by @p factor and mark walk ops as interleaved over
+ * the corresponding axis (rows for one-tree order, trees for one-row
+ * order). No-op when factor == 1.
+ */
+void applyWalkInterleaving(MirFunction &function, int32_t factor);
+
+/**
+ * Tree walk peeling & unrolling (Section IV-B): annotate each walk op
+ * with its group's unroll depth (balanced, padded groups) or peel
+ * depth (generic groups), as recorded in the HIR module's groups.
+ */
+void applyWalkPeelingAndUnrolling(MirFunction &function,
+                                  const hir::HirModule &module);
+
+/**
+ * Parallelization (Section IV-C): tile the row loop into numThreads
+ * chunks and turn the outer loop into a parallel.for. No-op when
+ * numThreads == 1.
+ */
+void applyParallelization(MirFunction &function, int32_t num_threads);
+
+} // namespace treebeard::mir
+
+#endif // TREEBEARD_MIR_PASSES_H

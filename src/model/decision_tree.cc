@@ -1,0 +1,256 @@
+#include "model/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace treebeard::model {
+
+NodeIndex
+DecisionTree::addLeaf(float value, double hit_count)
+{
+    Node node;
+    node.threshold = value;
+    node.featureIndex = kLeafFeature;
+    node.hitCount = hit_count;
+    nodes_.push_back(node);
+    return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+NodeIndex
+DecisionTree::addInternal(int32_t feature_index, float threshold,
+                          NodeIndex left, NodeIndex right, double hit_count)
+{
+    fatalIf(feature_index < 0, "internal node needs a feature index >= 0");
+    Node node;
+    node.threshold = threshold;
+    node.featureIndex = feature_index;
+    node.left = left;
+    node.right = right;
+    node.hitCount = hit_count;
+    nodes_.push_back(node);
+    return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void
+DecisionTree::setRoot(NodeIndex root)
+{
+    fatalIf(root < 0 || root >= numNodes(), "root index out of range");
+    root_ = root;
+}
+
+const Node &
+DecisionTree::node(NodeIndex index) const
+{
+    panicIf(index < 0 || index >= numNodes(), "node index out of range");
+    return nodes_[static_cast<size_t>(index)];
+}
+
+Node &
+DecisionTree::mutableNode(NodeIndex index)
+{
+    panicIf(index < 0 || index >= numNodes(), "node index out of range");
+    return nodes_[static_cast<size_t>(index)];
+}
+
+std::vector<NodeIndex>
+DecisionTree::leafIndices() const
+{
+    std::vector<NodeIndex> leaves;
+    for (NodeIndex i = 0; i < numNodes(); ++i) {
+        if (nodes_[static_cast<size_t>(i)].isLeaf())
+            leaves.push_back(i);
+    }
+    return leaves;
+}
+
+int64_t
+DecisionTree::numLeaves() const
+{
+    int64_t count = 0;
+    for (const Node &n : nodes_)
+        count += n.isLeaf() ? 1 : 0;
+    return count;
+}
+
+int32_t
+DecisionTree::depth(NodeIndex index) const
+{
+    std::vector<NodeIndex> parents = parentArray();
+    int32_t d = 0;
+    NodeIndex current = index;
+    while (parents[static_cast<size_t>(current)] != kInvalidNode) {
+        current = parents[static_cast<size_t>(current)];
+        ++d;
+    }
+    return d;
+}
+
+int32_t
+DecisionTree::maxDepth() const
+{
+    if (empty())
+        return 0;
+    // Iterative depth-first walk carrying depth.
+    int32_t max_depth = 0;
+    std::vector<std::pair<NodeIndex, int32_t>> stack{{root_, 0}};
+    while (!stack.empty()) {
+        auto [index, d] = stack.back();
+        stack.pop_back();
+        const Node &n = node(index);
+        if (n.isLeaf()) {
+            max_depth = std::max(max_depth, d);
+            continue;
+        }
+        stack.push_back({n.left, d + 1});
+        stack.push_back({n.right, d + 1});
+    }
+    return max_depth;
+}
+
+std::vector<NodeIndex>
+DecisionTree::parentArray() const
+{
+    std::vector<NodeIndex> parents(nodes_.size(), kInvalidNode);
+    for (NodeIndex i = 0; i < numNodes(); ++i) {
+        const Node &n = nodes_[static_cast<size_t>(i)];
+        if (n.isLeaf())
+            continue;
+        if (n.left != kInvalidNode)
+            parents[static_cast<size_t>(n.left)] = i;
+        if (n.right != kInvalidNode)
+            parents[static_cast<size_t>(n.right)] = i;
+    }
+    return parents;
+}
+
+float
+DecisionTree::predict(const float *row) const
+{
+    return node(predictLeaf(row)).threshold;
+}
+
+NodeIndex
+DecisionTree::predictLeaf(const float *row) const
+{
+    panicIf(root_ == kInvalidNode, "predict on tree without a root");
+    NodeIndex current = root_;
+    while (true) {
+        const Node &n = node(current);
+        if (n.isLeaf())
+            return current;
+        float value = row[n.featureIndex];
+        bool go_left =
+            std::isnan(value) ? n.defaultLeft : value < n.threshold;
+        current = go_left ? n.left : n.right;
+    }
+}
+
+std::vector<double>
+DecisionTree::leafProbabilities() const
+{
+    std::vector<NodeIndex> leaves = leafIndices();
+    std::vector<double> probabilities(leaves.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        double hits = node(leaves[i]).hitCount;
+        probabilities[i] = hits;
+        total += hits;
+    }
+    if (total <= 0.0) {
+        // No statistics recorded: assume a uniform distribution.
+        double uniform = leaves.empty() ? 0.0 : 1.0 / leaves.size();
+        std::fill(probabilities.begin(), probabilities.end(), uniform);
+        return probabilities;
+    }
+    for (double &p : probabilities)
+        p /= total;
+    return probabilities;
+}
+
+void
+DecisionTree::accumulateInternalHitCounts()
+{
+    if (empty())
+        return;
+    // Post-order accumulation: children are finalized before parents.
+    std::vector<std::pair<NodeIndex, bool>> stack{{root_, false}};
+    while (!stack.empty()) {
+        auto [index, expanded] = stack.back();
+        stack.pop_back();
+        Node &n = mutableNode(index);
+        if (n.isLeaf())
+            continue;
+        if (!expanded) {
+            stack.push_back({index, true});
+            stack.push_back({n.left, false});
+            stack.push_back({n.right, false});
+        } else {
+            n.hitCount = node(n.left).hitCount + node(n.right).hitCount;
+        }
+    }
+}
+
+void
+DecisionTree::validate(int32_t num_features) const
+{
+    fatalIf(empty(), "tree has no nodes");
+    fatalIf(root_ == kInvalidNode, "tree has no root");
+
+    std::vector<int> in_degree(nodes_.size(), 0);
+    for (NodeIndex i = 0; i < numNodes(); ++i) {
+        const Node &n = nodes_[static_cast<size_t>(i)];
+        if (n.isLeaf()) {
+            fatalIf(n.left != kInvalidNode || n.right != kInvalidNode,
+                    "leaf node ", i, " has children");
+            continue;
+        }
+        fatalIf(n.featureIndex >= num_features,
+                "node ", i, " references feature ", n.featureIndex,
+                " but the model has only ", num_features, " features");
+        fatalIf(n.left == kInvalidNode || n.right == kInvalidNode,
+                "internal node ", i, " is missing a child");
+        fatalIf(n.left < 0 || n.left >= numNodes() || n.right < 0 ||
+                    n.right >= numNodes(),
+                "node ", i, " has a child index out of range");
+        fatalIf(n.left == i || n.right == i, "node ", i, " is its own child");
+        ++in_degree[static_cast<size_t>(n.left)];
+        ++in_degree[static_cast<size_t>(n.right)];
+    }
+
+    fatalIf(in_degree[static_cast<size_t>(root_)] != 0,
+            "root node has a parent");
+    for (NodeIndex i = 0; i < numNodes(); ++i) {
+        if (i == root_)
+            continue;
+        fatalIf(in_degree[static_cast<size_t>(i)] == 0,
+                "node ", i, " is unreachable (no parent)");
+        fatalIf(in_degree[static_cast<size_t>(i)] > 1,
+                "node ", i, " has multiple parents");
+    }
+
+    // Reachability (also catches cycles, since every non-root node has
+    // exactly one parent and node count is finite).
+    std::vector<bool> visited(nodes_.size(), false);
+    std::vector<NodeIndex> stack{root_};
+    int64_t reached = 0;
+    while (!stack.empty()) {
+        NodeIndex index = stack.back();
+        stack.pop_back();
+        fatalIf(visited[static_cast<size_t>(index)],
+                "cycle detected at node ", index);
+        visited[static_cast<size_t>(index)] = true;
+        ++reached;
+        const Node &n = node(index);
+        if (!n.isLeaf()) {
+            stack.push_back(n.left);
+            stack.push_back(n.right);
+        }
+    }
+    fatalIf(reached != numNodes(),
+            "tree has ", numNodes() - reached, " unreachable nodes");
+}
+
+} // namespace treebeard::model

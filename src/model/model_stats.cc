@@ -1,0 +1,103 @@
+#include "model/model_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace treebeard::model {
+
+int64_t
+minLeavesForCoverage(const DecisionTree &tree, double coverage)
+{
+    std::vector<double> probabilities = tree.leafProbabilities();
+    std::sort(probabilities.begin(), probabilities.end(),
+              std::greater<double>());
+    double cumulative = 0.0;
+    for (size_t i = 0; i < probabilities.size(); ++i) {
+        cumulative += probabilities[i];
+        if (cumulative >= coverage - 1e-12)
+            return static_cast<int64_t>(i + 1);
+    }
+    return static_cast<int64_t>(probabilities.size());
+}
+
+bool
+isLeafBiased(const DecisionTree &tree, double alpha, double beta)
+{
+    int64_t num_leaves = tree.numLeaves();
+    if (num_leaves <= 1)
+        return false;
+    int64_t needed = minLeavesForCoverage(tree, beta);
+    return static_cast<double>(needed) <=
+           alpha * static_cast<double>(num_leaves);
+}
+
+int64_t
+countLeafBiasedTrees(const Forest &forest, double alpha, double beta)
+{
+    int64_t count = 0;
+    for (const DecisionTree &tree : forest.trees())
+        count += isLeafBiased(tree, alpha, beta) ? 1 : 0;
+    return count;
+}
+
+std::vector<CoveragePoint>
+leafCoverageCurve(const Forest &forest, double coverage)
+{
+    fatalIf(forest.numTrees() == 0, "coverage curve of an empty forest");
+    std::vector<double> fractions;
+    fractions.reserve(static_cast<size_t>(forest.numTrees()));
+    for (const DecisionTree &tree : forest.trees()) {
+        int64_t needed = minLeavesForCoverage(tree, coverage);
+        int64_t leaves = std::max<int64_t>(tree.numLeaves(), 1);
+        fractions.push_back(static_cast<double>(needed) /
+                            static_cast<double>(leaves));
+    }
+    std::sort(fractions.begin(), fractions.end());
+
+    std::vector<CoveragePoint> curve;
+    curve.reserve(fractions.size());
+    double tree_count = static_cast<double>(fractions.size());
+    for (size_t i = 0; i < fractions.size(); ++i) {
+        // y: fraction of trees that need at most x (fraction of leaves).
+        curve.push_back({fractions[i],
+                         static_cast<double>(i + 1) / tree_count});
+    }
+    return curve;
+}
+
+ForestStats
+computeForestStats(const Forest &forest, double alpha, double beta)
+{
+    ForestStats stats;
+    stats.numFeatures = forest.numFeatures();
+    stats.numTrees = forest.numTrees();
+    stats.maxDepth = forest.maxDepth();
+    stats.totalNodes = forest.totalNodes();
+    stats.totalLeaves = forest.totalLeaves();
+    stats.leafBiasedTrees = countLeafBiasedTrees(forest, alpha, beta);
+
+    double depth_sum = 0.0;
+    int64_t leaf_count = 0;
+    for (const DecisionTree &tree : forest.trees()) {
+        // Average leaf depth weighted uniformly across all leaves.
+        std::vector<std::pair<NodeIndex, int32_t>> stack{{tree.root(), 0}};
+        while (!stack.empty()) {
+            auto [index, depth] = stack.back();
+            stack.pop_back();
+            const Node &node = tree.node(index);
+            if (node.isLeaf()) {
+                depth_sum += depth;
+                ++leaf_count;
+                continue;
+            }
+            stack.push_back({node.left, depth + 1});
+            stack.push_back({node.right, depth + 1});
+        }
+    }
+    stats.averageLeafDepth = leaf_count > 0 ? depth_sum / leaf_count : 0.0;
+    return stats;
+}
+
+} // namespace treebeard::model

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Statistical profiles of trained models (Section III-B2 / Figure 3 of
+ * the paper): leaf-coverage curves and the leaf-bias predicate that
+ * gates probability-based tiling.
+ */
+#ifndef TREEBEARD_MODEL_MODEL_STATS_H
+#define TREEBEARD_MODEL_MODEL_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/forest.h"
+
+namespace treebeard::model {
+
+/**
+ * For one tree: the minimum number of (most probable) leaves needed to
+ * cover a fraction @p coverage of training hits.
+ */
+int64_t minLeavesForCoverage(const DecisionTree &tree, double coverage);
+
+/**
+ * The leaf-bias predicate of Section III-C: true when a fraction
+ * <= @p alpha of the tree's leaves covers >= @p beta of training hits.
+ * Trees passing this test are tiled with probability-based tiling.
+ */
+bool isLeafBiased(const DecisionTree &tree, double alpha, double beta);
+
+/** Count of leaf-biased trees in @p forest (last column of Table I). */
+int64_t countLeafBiasedTrees(const Forest &forest, double alpha, double beta);
+
+/**
+ * One point of a Figure 3 curve: with fraction @p leafFraction of
+ * leaves, fraction @p treeFraction of trees cover the target share of
+ * training hits.
+ */
+struct CoveragePoint
+{
+    double leafFraction;
+    double treeFraction;
+};
+
+/**
+ * Compute one Figure 3 curve for @p forest: for the data-coverage
+ * target @p coverage (e.g. 0.9), return the cumulative distribution of
+ * "fraction of leaves needed" over trees, sampled at each tree's value.
+ * Points are sorted by leafFraction ascending.
+ */
+std::vector<CoveragePoint> leafCoverageCurve(const Forest &forest,
+                                             double coverage);
+
+/** Aggregate structural statistics for Table I style reporting. */
+struct ForestStats
+{
+    int32_t numFeatures = 0;
+    int64_t numTrees = 0;
+    int32_t maxDepth = 0;
+    int64_t totalNodes = 0;
+    int64_t totalLeaves = 0;
+    int64_t leafBiasedTrees = 0;
+    double averageLeafDepth = 0.0;
+};
+
+/** Collect ForestStats with the given leaf-bias parameters. */
+ForestStats computeForestStats(const Forest &forest, double alpha = 0.075,
+                               double beta = 0.9);
+
+} // namespace treebeard::model
+
+#endif // TREEBEARD_MODEL_MODEL_STATS_H

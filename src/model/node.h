@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The node record shared by all decision-tree representations at the
+ * model level (paper notation, Section III-A: threshold(n),
+ * featureIndex(n), left(n), right(n)).
+ */
+#ifndef TREEBEARD_MODEL_NODE_H
+#define TREEBEARD_MODEL_NODE_H
+
+#include <cstdint>
+
+namespace treebeard::model {
+
+/** Index of a node within its tree's node vector. */
+using NodeIndex = int32_t;
+
+/** Sentinel for "no such node" (missing child, unset parent). */
+constexpr NodeIndex kInvalidNode = -1;
+
+/** Feature-index sentinel marking a leaf node. */
+constexpr int32_t kLeafFeature = -1;
+
+/**
+ * One decision-tree node.
+ *
+ * Internal nodes route an input row left when
+ * row[featureIndex] < threshold and right otherwise; missing (NaN)
+ * feature values follow @ref defaultLeft. Leaves carry the tree's
+ * prediction in @ref threshold and have featureIndex == -1.
+ */
+struct Node
+{
+    /** Split threshold for internal nodes; prediction value for leaves. */
+    float threshold = 0.0f;
+
+    /** Feature compared at this node, or kLeafFeature for leaves. */
+    int32_t featureIndex = kLeafFeature;
+
+    /** Children; kInvalidNode for leaves. */
+    NodeIndex left = kInvalidNode;
+    NodeIndex right = kInvalidNode;
+
+    /**
+     * Direction taken when the feature value is missing (NaN):
+     * true routes left, false routes right (XGBoost default_left).
+     */
+    bool defaultLeft = false;
+
+    /**
+     * Number of training rows that reached this node. Collected during
+     * training (or synthesis) and consumed by probability-based tiling
+     * (Section III-C). Zero when unknown.
+     */
+    double hitCount = 0.0;
+
+    /** True when this node is a leaf. */
+    bool isLeaf() const { return featureIndex == kLeafFeature; }
+};
+
+} // namespace treebeard::model
+
+#endif // TREEBEARD_MODEL_NODE_H

@@ -1,0 +1,234 @@
+#include "model/serialization.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace treebeard::model {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+JsonValue
+treeToJson(const DecisionTree &tree)
+{
+    JsonValue::Array thresholds, features, lefts, rights, hits,
+        default_lefts;
+    for (const Node &node : tree.nodes()) {
+        thresholds.emplace_back(static_cast<double>(node.threshold));
+        features.emplace_back(static_cast<int64_t>(node.featureIndex));
+        lefts.emplace_back(static_cast<int64_t>(node.left));
+        rights.emplace_back(static_cast<int64_t>(node.right));
+        hits.emplace_back(node.hitCount);
+        default_lefts.emplace_back(node.defaultLeft);
+    }
+    JsonValue::Object object;
+    object["root"] = JsonValue(static_cast<int64_t>(tree.root()));
+    object["threshold"] = JsonValue(std::move(thresholds));
+    object["feature"] = JsonValue(std::move(features));
+    object["left"] = JsonValue(std::move(lefts));
+    object["right"] = JsonValue(std::move(rights));
+    object["hit_count"] = JsonValue(std::move(hits));
+    object["default_left"] = JsonValue(std::move(default_lefts));
+    return JsonValue(std::move(object));
+}
+
+DecisionTree
+treeFromJson(const JsonValue &value)
+{
+    const auto &thresholds = value.at("threshold").asArray();
+    const auto &features = value.at("feature").asArray();
+    const auto &lefts = value.at("left").asArray();
+    const auto &rights = value.at("right").asArray();
+    const auto &hits = value.at("hit_count").asArray();
+    size_t count = thresholds.size();
+    fatalIf(features.size() != count || lefts.size() != count ||
+                rights.size() != count || hits.size() != count,
+            "tree arrays have inconsistent lengths");
+
+    JsonValue absent;
+    const JsonValue &default_lefts = value.getOr("default_left", absent);
+
+    DecisionTree tree;
+    for (size_t i = 0; i < count; ++i) {
+        int32_t feature = static_cast<int32_t>(features[i].asInt());
+        if (feature == kLeafFeature) {
+            tree.addLeaf(static_cast<float>(thresholds[i].asNumber()),
+                         hits[i].asNumber());
+        } else {
+            NodeIndex index = tree.addInternal(
+                feature, static_cast<float>(thresholds[i].asNumber()),
+                static_cast<NodeIndex>(lefts[i].asInt()),
+                static_cast<NodeIndex>(rights[i].asInt()),
+                hits[i].asNumber());
+            if (default_lefts.isArray()) {
+                tree.mutableNode(index).defaultLeft =
+                    default_lefts.asArray()[i].asBoolean();
+            }
+        }
+    }
+    tree.setRoot(static_cast<NodeIndex>(value.at("root").asInt()));
+    return tree;
+}
+
+} // namespace
+
+JsonValue
+forestToJson(const Forest &forest)
+{
+    JsonValue::Object object;
+    object["format"] = JsonValue("treebeard");
+    object["version"] = JsonValue(static_cast<int64_t>(kFormatVersion));
+    object["num_features"] =
+        JsonValue(static_cast<int64_t>(forest.numFeatures()));
+    object["objective"] = JsonValue(objectiveName(forest.objective()));
+    object["base_score"] = JsonValue(static_cast<double>(forest.baseScore()));
+    object["num_classes"] =
+        JsonValue(static_cast<int64_t>(forest.numClasses()));
+    JsonValue::Array trees;
+    for (const DecisionTree &tree : forest.trees())
+        trees.push_back(treeToJson(tree));
+    object["trees"] = JsonValue(std::move(trees));
+    return JsonValue(std::move(object));
+}
+
+Forest
+forestFromJson(const JsonValue &document)
+{
+    fatalIf(!document.isObject(), "model document must be a JSON object");
+    fatalIf(document.at("format").asString() != "treebeard",
+            "not a treebeard model file");
+    int64_t version = document.at("version").asInt();
+    fatalIf(version != kFormatVersion,
+            "unsupported model format version ", version);
+
+    Forest forest(static_cast<int32_t>(document.at("num_features").asInt()),
+                  objectiveFromName(document.at("objective").asString()),
+                  static_cast<float>(document.at("base_score").asNumber()));
+    JsonValue one(static_cast<int64_t>(1));
+    forest.setNumClasses(
+        static_cast<int32_t>(document.getOr("num_classes", one).asInt()));
+    for (const JsonValue &tree : document.at("trees").asArray())
+        forest.addTree(treeFromJson(tree));
+    forest.validate();
+    return forest;
+}
+
+void
+saveForest(const Forest &forest, const std::string &path)
+{
+    writeStringToFile(path, forestToJson(forest).dump());
+}
+
+Forest
+loadForest(const std::string &path)
+{
+    return forestFromJson(JsonValue::parse(readFileToString(path)));
+}
+
+Forest
+importXgboostJson(const JsonValue &document)
+{
+    const JsonValue &learner = document.at("learner");
+    const JsonValue &model =
+        learner.at("gradient_booster").at("model");
+
+    int32_t num_features = 0;
+    if (learner.contains("learner_model_param")) {
+        const JsonValue &params = learner.at("learner_model_param");
+        if (params.contains("num_feature")) {
+            const JsonValue &value = params.at("num_feature");
+            // XGBoost stores numbers as strings in this section.
+            num_features = value.isString()
+                               ? std::stoi(value.asString())
+                               : static_cast<int32_t>(value.asInt());
+        }
+    }
+
+    float base_score = 0.0f;
+    Objective objective = Objective::kRegression;
+    if (learner.contains("learner_model_param")) {
+        const JsonValue &params = learner.at("learner_model_param");
+        if (params.contains("base_score")) {
+            const JsonValue &value = params.at("base_score");
+            base_score = value.isString()
+                             ? std::stof(value.asString())
+                             : static_cast<float>(value.asNumber());
+        }
+    }
+    if (learner.contains("objective")) {
+        const JsonValue &objective_value = learner.at("objective");
+        if (objective_value.contains("name")) {
+            const std::string &name = objective_value.at("name").asString();
+            if (name == "binary:logistic")
+                objective = Objective::kBinaryLogistic;
+        }
+    }
+
+    Forest forest(num_features, objective, base_score);
+    for (const JsonValue &tree_json : model.at("trees").asArray()) {
+        const auto &split_indices = tree_json.at("split_indices").asArray();
+        const auto &split_conditions =
+            tree_json.at("split_conditions").asArray();
+        const auto &left_children = tree_json.at("left_children").asArray();
+        const auto &right_children = tree_json.at("right_children").asArray();
+        const auto &base_weights = tree_json.at("base_weights").asArray();
+        JsonValue empty;
+        const JsonValue &hessians = tree_json.getOr("sum_hessian", empty);
+        const JsonValue &default_lefts =
+            tree_json.getOr("default_left", empty);
+
+        size_t count = split_indices.size();
+        fatalIf(split_conditions.size() != count ||
+                    left_children.size() != count ||
+                    right_children.size() != count,
+                "XGBoost tree arrays have inconsistent lengths");
+
+        DecisionTree tree;
+        for (size_t i = 0; i < count; ++i) {
+            NodeIndex left =
+                static_cast<NodeIndex>(left_children[i].asInt());
+            NodeIndex right =
+                static_cast<NodeIndex>(right_children[i].asInt());
+            double hits = hessians.isArray() && i < hessians.asArray().size()
+                              ? hessians.asArray()[i].asNumber()
+                              : 0.0;
+            if (left == kInvalidNode) {
+                // XGBoost leaves store the value in base_weights.
+                tree.addLeaf(
+                    static_cast<float>(base_weights[i].asNumber()), hits);
+            } else {
+                int32_t feature =
+                    static_cast<int32_t>(split_indices[i].asInt());
+                fatalIf(feature < 0, "invalid split index in XGBoost model");
+                num_features =
+                    std::max(num_features, feature + 1);
+                NodeIndex index = tree.addInternal(
+                    feature,
+                    static_cast<float>(split_conditions[i].asNumber()),
+                    left, right, hits);
+                if (default_lefts.isArray() &&
+                    i < default_lefts.asArray().size()) {
+                    const JsonValue &flag = default_lefts.asArray()[i];
+                    tree.mutableNode(index).defaultLeft =
+                        flag.isBoolean() ? flag.asBoolean()
+                                         : flag.asInt() != 0;
+                }
+            }
+        }
+        tree.setRoot(0);
+        forest.addTree(std::move(tree));
+    }
+    forest.setNumFeatures(std::max(forest.numFeatures(), num_features));
+    forest.validate();
+    return forest;
+}
+
+Forest
+loadXgboostModel(const std::string &path)
+{
+    return importXgboostJson(JsonValue::parse(readFileToString(path)));
+}
+
+} // namespace treebeard::model

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Model (de)serialization: the native Treebeard JSON format and an
+ * importer for the XGBoost JSON model dump format (the paper's input
+ * models are XGBoost-trained).
+ */
+#ifndef TREEBEARD_MODEL_SERIALIZATION_H
+#define TREEBEARD_MODEL_SERIALIZATION_H
+
+#include <string>
+
+#include "common/json.h"
+#include "model/forest.h"
+
+namespace treebeard::model {
+
+/** Serialize @p forest to the native JSON document. */
+JsonValue forestToJson(const Forest &forest);
+
+/** Parse a native-format JSON document into a Forest; validates it. */
+Forest forestFromJson(const JsonValue &document);
+
+/** Save @p forest to @p path in the native format. */
+void saveForest(const Forest &forest, const std::string &path);
+
+/** Load a native-format model file. */
+Forest loadForest(const std::string &path);
+
+/**
+ * Import a model from the XGBoost JSON dump format
+ * (learner.gradient_booster.model.trees[*] with split_indices /
+ * split_conditions / left_children / right_children / base_weights and
+ * optional sum_hessian leaf statistics).
+ * Supports reg:squarederror and binary:logistic objectives.
+ */
+Forest importXgboostJson(const JsonValue &document);
+
+/** Load and import an XGBoost JSON model file. */
+Forest loadXgboostModel(const std::string &path);
+
+} // namespace treebeard::model
+
+#endif // TREEBEARD_MODEL_SERIALIZATION_H

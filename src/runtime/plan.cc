@@ -1,0 +1,571 @@
+#include "runtime/plan.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/walkers.h"
+
+namespace treebeard::runtime {
+
+namespace {
+
+using hir::TreeGroup;
+using lir::ForestBuffers;
+using lir::LayoutKind;
+
+/**
+ * Generic dynamic-tile-size walk (any layout), used for tile sizes
+ * without a specialized kernel and by the instrumented path.
+ */
+float
+walkDynamic(const ForestBuffers &fb, int64_t pos, const float *row)
+{
+    if (fb.layout == LayoutKind::kSparse) {
+        int64_t tile = fb.treeFirstTile[static_cast<size_t>(pos)];
+        while (true) {
+            int32_t child = evalTileDynamic(fb, tile, row);
+            int32_t base = fb.childBase[static_cast<size_t>(tile)];
+            if (base < 0)
+                return fb.leaves[static_cast<size_t>(-(base + 1) +
+                                                     child)];
+            tile = base + child;
+        }
+    }
+    int64_t base = fb.treeFirstTile[static_cast<size_t>(pos)];
+    int64_t arity = fb.tileSize + 1;
+    int64_t local = 0;
+    while (true) {
+        int64_t tile = base + local;
+        if (fb.shapeIds[static_cast<size_t>(tile)] ==
+            lir::kLeafTileMarker) {
+            return fb.thresholds[static_cast<size_t>(tile) *
+                                 fb.tileSize];
+        }
+        int32_t child = evalTileDynamic(fb, tile, row);
+        local = arity * local + child + 1;
+    }
+}
+
+void
+runRangeDynamic(const ExecutablePlan &plan, const float *rows,
+                int64_t begin, int64_t end, float *predictions)
+{
+    const ForestBuffers &fb = plan.buffers();
+    int32_t nf = fb.numFeatures;
+    int32_t classes = fb.numClasses;
+    std::vector<float> margins(static_cast<size_t>(classes));
+    for (int64_t r = begin; r < end; ++r) {
+        const float *row = rows + r * nf;
+        std::fill(margins.begin(), margins.end(), fb.baseScore);
+        for (int64_t pos = 0; pos < fb.numTrees; ++pos) {
+            margins[static_cast<size_t>(
+                fb.treeClass[static_cast<size_t>(pos)])] +=
+                walkDynamic(fb, pos, row);
+        }
+        if (classes > 1) {
+            float *out = predictions + r * classes;
+            std::copy(margins.begin(), margins.end(), out);
+            if (fb.objective == model::Objective::kMulticlassSoftmax)
+                model::softmaxInPlace(out, classes);
+        } else {
+            predictions[r] =
+                model::applyObjective(fb.objective, margins[0]);
+        }
+    }
+}
+
+} // namespace
+
+/**
+ * Kernel bundle for one (tile size, layout, interleave) configuration.
+ * All methods compile to specialized straight-line code.
+ */
+template <int NT, bool IsSparse, int K, bool HM>
+struct PlanKernels
+{
+    static float
+    walkOne(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+            int64_t root, const float *row, const TreeGroup &group)
+    {
+        if constexpr (IsSparse) {
+            if (group.unrolledWalk) {
+                return walkSparseUnrolled<NT, HM>(fb, lut, stride, root, row,
+                                              group.walkDepth);
+            }
+            if (group.peelDepth > 1) {
+                return walkSparsePeeled<NT, HM>(fb, lut, stride, root, row,
+                                            group.peelDepth);
+            }
+            return walkSparse<NT, HM>(fb, lut, stride, root, row);
+        } else {
+            if (group.unrolledWalk) {
+                return walkArrayUnrolled<NT, HM>(fb, lut, stride, root, row,
+                                             group.walkDepth);
+            }
+            if (group.peelDepth > 0) {
+                return walkArrayPeeled<NT, HM>(fb, lut, stride, root, row,
+                                           group.peelDepth);
+            }
+            return walkArray<NT, HM>(fb, lut, stride, root, row);
+        }
+    }
+
+    static void
+    walkMany(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+             const int64_t *roots, const float *const *rows,
+             const TreeGroup &group, float *out)
+    {
+        if constexpr (IsSparse) {
+            if (group.unrolledWalk) {
+                walkSparseUnrolledInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.walkDepth, out);
+            } else {
+                walkSparseGenericInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.peelDepth, out);
+            }
+        } else {
+            if (group.unrolledWalk) {
+                walkArrayUnrolledInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.walkDepth, out);
+            } else {
+                walkArrayGenericInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.peelDepth, out);
+            }
+        }
+    }
+
+    /**
+     * Multiclass execution: same loop structure, but each tree
+     * accumulates into its class's margin and the row finishes with a
+     * softmax over numClasses outputs.
+     */
+    static void
+    runRangeMulticlass(const ExecutablePlan &plan, const float *rows,
+                       int64_t begin, int64_t end, float *predictions)
+    {
+        const ForestBuffers &fb = plan.buffers();
+        const int8_t *lut = fb.shapes->lutData();
+        int32_t stride = fb.shapes->lutStride();
+        int32_t nf = fb.numFeatures;
+        int32_t classes = fb.numClasses;
+        const std::vector<TreeGroup> &groups = plan.groups();
+
+        auto finish_row = [&](int64_t r, float *margins) {
+            float *out = predictions + r * classes;
+            for (int32_t k = 0; k < classes; ++k)
+                out[k] = margins[k];
+            if (fb.objective == model::Objective::kMulticlassSoftmax)
+                model::softmaxInPlace(out, classes);
+        };
+
+        if (plan.mir().schedule.loopOrder ==
+            hir::LoopOrder::kOneTreeAtATime) {
+            constexpr int64_t kRowBlock = 64;
+            std::vector<float> accumulators(
+                static_cast<size_t>(
+                    std::min(kRowBlock, end - begin) * classes));
+            for (int64_t block = begin; block < end;
+                 block += kRowBlock) {
+                int64_t block_end =
+                    std::min<int64_t>(block + kRowBlock, end);
+                std::fill(accumulators.begin(), accumulators.end(),
+                          fb.baseScore);
+                for (const TreeGroup &group : groups) {
+                    for (int64_t pos = group.beginPos;
+                         pos < group.endPos; ++pos) {
+                        int32_t tree_class =
+                            fb.treeClass[static_cast<size_t>(pos)];
+                        int64_t root =
+                            fb.treeFirstTile[static_cast<size_t>(pos)];
+                        int64_t roots[K];
+                        for (int k = 0; k < K; ++k)
+                            roots[k] = root;
+                        int64_t r = block;
+                        for (; r + K <= block_end; r += K) {
+                            const float *row_ptrs[K];
+                            for (int k = 0; k < K; ++k)
+                                row_ptrs[k] = rows + (r + k) * nf;
+                            float out[K];
+                            walkMany(fb, lut, stride, roots, row_ptrs,
+                                     group, out);
+                            for (int k = 0; k < K; ++k)
+                                accumulators[static_cast<size_t>(
+                                    (r + k - block) * classes +
+                                    tree_class)] += out[k];
+                        }
+                        for (; r < block_end; ++r) {
+                            accumulators[static_cast<size_t>(
+                                (r - block) * classes + tree_class)] +=
+                                walkOne(fb, lut, stride, root,
+                                        rows + r * nf, group);
+                        }
+                    }
+                }
+                for (int64_t r = block; r < block_end; ++r) {
+                    finish_row(r,
+                               accumulators.data() +
+                                   (r - block) * classes);
+                }
+            }
+        } else {
+            std::vector<float> margins(static_cast<size_t>(classes));
+            for (int64_t r = begin; r < end; ++r) {
+                const float *row = rows + r * nf;
+                std::fill(margins.begin(), margins.end(),
+                          fb.baseScore);
+                for (const TreeGroup &group : groups) {
+                    int64_t pos = group.beginPos;
+                    for (; pos + K <= group.endPos; pos += K) {
+                        int64_t roots[K];
+                        const float *row_ptrs[K];
+                        for (int k = 0; k < K; ++k) {
+                            roots[k] = fb.treeFirstTile[
+                                static_cast<size_t>(pos + k)];
+                            row_ptrs[k] = row;
+                        }
+                        float out[K];
+                        walkMany(fb, lut, stride, roots, row_ptrs,
+                                 group, out);
+                        for (int k = 0; k < K; ++k) {
+                            margins[static_cast<size_t>(
+                                fb.treeClass[static_cast<size_t>(
+                                    pos + k)])] += out[k];
+                        }
+                    }
+                    for (; pos < group.endPos; ++pos) {
+                        margins[static_cast<size_t>(
+                            fb.treeClass[static_cast<size_t>(pos)])] +=
+                            walkOne(
+                                fb, lut, stride,
+                                fb.treeFirstTile[
+                                    static_cast<size_t>(pos)],
+                                row, group);
+                    }
+                }
+                finish_row(r, margins.data());
+            }
+        }
+    }
+
+    static void
+    runRange(const ExecutablePlan &plan, const float *rows,
+             int64_t begin, int64_t end, float *predictions)
+    {
+        const ForestBuffers &fb = plan.buffers();
+        const int8_t *lut = fb.shapes->lutData();
+        int32_t stride = fb.shapes->lutStride();
+        int32_t nf = fb.numFeatures;
+        const std::vector<TreeGroup> &groups = plan.groups();
+
+        if (fb.numClasses > 1) {
+            runRangeMulticlass(plan, rows, begin, end, predictions);
+            return;
+        }
+
+        if (plan.mir().schedule.loopOrder ==
+            hir::LoopOrder::kOneTreeAtATime) {
+            // Snippet E: tree-major loops over blocks of rows with
+            // per-block accumulators, rows interleaved K at a time
+            // per tree. Row blocking keeps the feature working set of
+            // one tree pass cache-resident even for wide feature
+            // vectors (the same blocking XGBoost's tree-major
+            // predictor uses). The block size adapts to the feature
+            // width: narrow rows keep whole batches resident (better
+            // tree locality for large models), wide rows shrink the
+            // block to an L2-sized working set.
+            constexpr int64_t kRowBytesBudget = 256 << 10;
+            int64_t row_block = std::max<int64_t>(
+                64, kRowBytesBudget /
+                        (static_cast<int64_t>(nf) * 4));
+            std::vector<float> accumulators(
+                static_cast<size_t>(std::min(row_block, end - begin)),
+                0.0f);
+            for (int64_t block = begin; block < end;
+                 block += row_block) {
+                int64_t block_end =
+                    std::min<int64_t>(block + row_block, end);
+                std::fill(accumulators.begin(), accumulators.end(),
+                          fb.baseScore);
+                for (const TreeGroup &group : groups) {
+                    for (int64_t pos = group.beginPos;
+                         pos < group.endPos; ++pos) {
+                        int64_t root =
+                            fb.treeFirstTile[static_cast<size_t>(pos)];
+                        int64_t roots[K];
+                        for (int k = 0; k < K; ++k)
+                            roots[k] = root;
+                        int64_t r = block;
+                        for (; r + K <= block_end; r += K) {
+                            const float *row_ptrs[K];
+                            for (int k = 0; k < K; ++k)
+                                row_ptrs[k] = rows + (r + k) * nf;
+                            float out[K];
+                            walkMany(fb, lut, stride, roots, row_ptrs,
+                                     group, out);
+                            for (int k = 0; k < K; ++k)
+                                accumulators[static_cast<size_t>(
+                                    r + k - block)] += out[k];
+                        }
+                        for (; r < block_end; ++r) {
+                            accumulators[static_cast<size_t>(
+                                r - block)] +=
+                                walkOne(fb, lut, stride, root,
+                                        rows + r * nf, group);
+                        }
+                    }
+                }
+                for (int64_t r = block; r < block_end; ++r) {
+                    predictions[r] = model::applyObjective(
+                        fb.objective,
+                        accumulators[static_cast<size_t>(r - block)]);
+                }
+            }
+        } else {
+            // Snippet D: per-row scalar accumulator, trees interleaved
+            // K at a time within each group.
+            for (int64_t r = begin; r < end; ++r) {
+                const float *row = rows + r * nf;
+                float margin = fb.baseScore;
+                for (const TreeGroup &group : groups) {
+                    int64_t pos = group.beginPos;
+                    for (; pos + K <= group.endPos; pos += K) {
+                        int64_t roots[K];
+                        const float *row_ptrs[K];
+                        for (int k = 0; k < K; ++k) {
+                            roots[k] = fb.treeFirstTile[
+                                static_cast<size_t>(pos + k)];
+                            row_ptrs[k] = row;
+                        }
+                        float out[K];
+                        walkMany(fb, lut, stride, roots, row_ptrs,
+                                 group, out);
+                        for (int k = 0; k < K; ++k)
+                            margin += out[k];
+                    }
+                    for (; pos < group.endPos; ++pos) {
+                        margin += walkOne(
+                            fb, lut, stride,
+                            fb.treeFirstTile[static_cast<size_t>(pos)],
+                            row, group);
+                    }
+                }
+                predictions[r] =
+                    model::applyObjective(fb.objective, margin);
+            }
+        }
+    }
+};
+
+namespace {
+
+template <int NT, bool IsSparse, bool HM>
+ExecutablePlan::RangeRunner
+selectByInterleave(int32_t factor)
+{
+    switch (factor) {
+      case 1: return &PlanKernels<NT, IsSparse, 1, HM>::runRange;
+      case 2: return &PlanKernels<NT, IsSparse, 2, HM>::runRange;
+      case 4: return &PlanKernels<NT, IsSparse, 4, HM>::runRange;
+      case 8: return &PlanKernels<NT, IsSparse, 8, HM>::runRange;
+      default: fatal("unsupported interleave factor ", factor);
+    }
+}
+
+template <int NT>
+ExecutablePlan::RangeRunner
+selectByLayout(LayoutKind layout, int32_t factor, bool handle_missing)
+{
+    if (layout == LayoutKind::kSparse) {
+        return handle_missing
+                   ? selectByInterleave<NT, true, true>(factor)
+                   : selectByInterleave<NT, true, false>(factor);
+    }
+    return handle_missing
+               ? selectByInterleave<NT, false, true>(factor)
+               : selectByInterleave<NT, false, false>(factor);
+}
+
+} // namespace
+
+ExecutablePlan::ExecutablePlan(lir::ForestBuffers buffers,
+                               mir::MirFunction mir,
+                               std::vector<hir::TreeGroup> groups)
+    : buffers_(std::move(buffers)), mir_(std::move(mir)),
+      groups_(std::move(groups))
+{
+    fatalIf(groups_.empty(), "plan needs at least one tree group");
+    selectRunner();
+    if (mir_.schedule.numThreads > 1) {
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(mir_.schedule.numThreads));
+    }
+}
+
+void
+ExecutablePlan::selectRunner()
+{
+    int32_t factor = mir_.schedule.interleaveFactor;
+    // Missing-value handling is on by default (NaN inputs then route
+    // per default directions, all-right for models without them, and
+    // stay exact through padded trees). The schedule can promise
+    // NaN-free inputs to use the slightly faster kernels — unless the
+    // model carries default directions, which must be honored.
+    bool missing = buffers_.hasDefaultLeft ||
+                   !mir_.schedule.assumeNoMissingValues;
+    switch (buffers_.tileSize) {
+      case 1:
+        runner_ = selectByLayout<1>(buffers_.layout, factor, missing);
+        break;
+      case 2:
+        runner_ = selectByLayout<2>(buffers_.layout, factor, missing);
+        break;
+      case 4:
+        runner_ = selectByLayout<4>(buffers_.layout, factor, missing);
+        break;
+      case 8:
+        runner_ = selectByLayout<8>(buffers_.layout, factor, missing);
+        break;
+      default:
+        // Non-power-of-two tile sizes run through the dynamic path.
+        runner_ = &runRangeDynamic;
+        break;
+    }
+}
+
+void
+ExecutablePlan::run(const float *rows, int64_t num_rows,
+                    float *predictions) const
+{
+    if (num_rows <= 0)
+        return;
+    if (!pool_) {
+        runner_(*this, rows, 0, num_rows, predictions);
+        return;
+    }
+    pool_->parallelFor(0, num_rows,
+                       [&](int64_t begin, int64_t end) {
+                           runner_(*this, rows, begin, end, predictions);
+                       });
+}
+
+void
+ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
+                                float *predictions,
+                                WalkCounters *counters) const
+{
+    const ForestBuffers &fb = buffers_;
+    int32_t nf = fb.numFeatures;
+    int32_t nt = fb.tileSize;
+    // Bytes touched per tile evaluation: thresholds + feature indices
+    // + shape id (+ child base in the sparse layout).
+    int64_t tile_bytes = nt * 8 + 2 +
+                         (fb.layout == LayoutKind::kSparse ? 4 : 0);
+
+    int32_t classes = fb.numClasses;
+    std::vector<float> margins(static_cast<size_t>(classes));
+    for (int64_t r = 0; r < num_rows; ++r) {
+        const float *row = rows + r * nf;
+        std::fill(margins.begin(), margins.end(), fb.baseScore);
+        for (int64_t pos = 0; pos < fb.numTrees; ++pos) {
+            float &margin = margins[static_cast<size_t>(
+                fb.treeClass[static_cast<size_t>(pos)])];
+            const TreeGroup *group = nullptr;
+            for (const TreeGroup &g : groups_) {
+                if (pos >= g.beginPos && pos < g.endPos) {
+                    group = &g;
+                    break;
+                }
+            }
+            panicIf(group == nullptr, "position not covered by a group");
+
+            int64_t tile = fb.treeFirstTile[static_cast<size_t>(pos)];
+            int64_t arity = nt + 1;
+            int64_t local = 0;
+            bool is_sparse = fb.layout == LayoutKind::kSparse;
+            int32_t steps = 0;
+            while (true) {
+                int64_t current = is_sparse ? tile : tile + local;
+                if (!is_sparse &&
+                    fb.shapeIds[static_cast<size_t>(current)] ==
+                        lir::kLeafTileMarker) {
+                    margin += fb.thresholds[
+                        static_cast<size_t>(current) * nt];
+                    break;
+                }
+
+                // Count the in-tile path length: the node predicates a
+                // plain binary walk would have evaluated here.
+                int16_t shape =
+                    fb.shapeIds[static_cast<size_t>(current)];
+                const lir::TileShape &ts = fb.shapes->shape(shape);
+                const float *thresholds =
+                    fb.thresholds.data() + current * nt;
+                const int32_t *features =
+                    fb.featureIndices.data() + current * nt;
+                // Dummy padding/hop tiles hold no real model nodes;
+                // they do not contribute to the scalar-walk cost.
+                bool is_dummy = std::isinf(thresholds[0]);
+                uint32_t default_left =
+                    fb.defaultLeft[static_cast<size_t>(current)];
+                int32_t slot = 0;
+                int32_t child = -1;
+                while (true) {
+                    if (!is_dummy)
+                        counters->scalarNodesNeeded += 1;
+                    float value = row[features[slot]];
+                    bool go_left =
+                        std::isnan(value)
+                            ? ((default_left >> slot) & 1u) != 0
+                            : value < thresholds[slot];
+                    int32_t next =
+                        go_left ? ts.left[static_cast<size_t>(slot)]
+                                : ts.right[static_cast<size_t>(slot)];
+                    if (next < 0) {
+                        child = fb.shapes->exitOrdinal(shape, slot,
+                                                       go_left ? 0 : 1);
+                        break;
+                    }
+                    slot = next;
+                }
+
+                counters->tilesVisited += 1;
+                counters->nodePredicatesEvaluated += nt;
+                counters->featureGathers += nt;
+                counters->modelBytesTouched += tile_bytes;
+                // Unrolled walks execute no data-dependent branches;
+                // generic walks test for termination once per tile.
+                if (!group->unrolledWalk &&
+                    steps >= (group->peelDepth > 0 ? group->peelDepth
+                                                   : 0)) {
+                    counters->walkBranches += 1;
+                }
+                ++steps;
+
+                if (is_sparse) {
+                    int32_t base =
+                        fb.childBase[static_cast<size_t>(tile)];
+                    if (base < 0) {
+                        margin += fb.leaves[static_cast<size_t>(
+                            -(base + 1) + child)];
+                        break;
+                    }
+                    tile = base + child;
+                } else {
+                    local = arity * local + child + 1;
+                }
+            }
+        }
+        if (classes > 1) {
+            float *out = predictions + r * classes;
+            std::copy(margins.begin(), margins.end(), out);
+            if (fb.objective == model::Objective::kMulticlassSoftmax)
+                model::softmaxInPlace(out, classes);
+        } else {
+            predictions[r] =
+                model::applyObjective(fb.objective, margins[0]);
+        }
+    }
+}
+
+} // namespace treebeard::runtime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The executable plan: the final lowering target. A plan binds the
+ * MIR loop structure and the LIR buffers to specialized native kernels
+ * (the walkers), standing in for the LLVM-JIT'd predictForest function
+ * of the original system. Plans are immutable and thread-compatible;
+ * run() may be called concurrently.
+ */
+#ifndef TREEBEARD_RUNTIME_PLAN_H
+#define TREEBEARD_RUNTIME_PLAN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "hir/hir_module.h"
+#include "lir/forest_buffers.h"
+#include "mir/mir.h"
+
+namespace treebeard::runtime {
+
+/** Software event counters for the microarchitectural analysis bench. */
+struct WalkCounters
+{
+    /** Tile evaluations performed (speculative included). */
+    int64_t tilesVisited = 0;
+    /** Node predicates evaluated (tileSize per tile evaluation). */
+    int64_t nodePredicatesEvaluated = 0;
+    /** Node predicates a plain binary walk would have evaluated. */
+    int64_t scalarNodesNeeded = 0;
+    /** Feature gather element loads. */
+    int64_t featureGathers = 0;
+    /** Distinct model bytes touched (approximate: per tile visit). */
+    int64_t modelBytesTouched = 0;
+    /** Data-dependent branches a traversal executes. */
+    int64_t walkBranches = 0;
+
+    void
+    add(const WalkCounters &other)
+    {
+        tilesVisited += other.tilesVisited;
+        nodePredicatesEvaluated += other.nodePredicatesEvaluated;
+        scalarNodesNeeded += other.scalarNodesNeeded;
+        featureGathers += other.featureGathers;
+        modelBytesTouched += other.modelBytesTouched;
+        walkBranches += other.walkBranches;
+    }
+};
+
+/**
+ * A compiled, runnable predictForest.
+ */
+class ExecutablePlan
+{
+  public:
+    /**
+     * Assemble a plan. Normally produced by treebeard::compileForest;
+     * constructing one directly is useful in tests.
+     */
+    ExecutablePlan(lir::ForestBuffers buffers, mir::MirFunction mir,
+                   std::vector<hir::TreeGroup> groups);
+
+    ExecutablePlan(ExecutablePlan &&) = default;
+    ExecutablePlan &operator=(ExecutablePlan &&) = default;
+
+    /**
+     * The predictForest entry point: compute predictions for
+     * @p num_rows rows (row-major, numFeatures() floats each).
+     * @param predictions num_rows * numClasses() outputs (multiclass
+     *        models emit per-class probabilities per row).
+     */
+    void run(const float *rows, int64_t num_rows,
+             float *predictions) const;
+
+    /**
+     * As run(), but through the instrumented (unoptimized-speed)
+     * kernels, accumulating software event counters.
+     */
+    void runInstrumented(const float *rows, int64_t num_rows,
+                         float *predictions, WalkCounters *counters)
+        const;
+
+    const lir::ForestBuffers &buffers() const { return buffers_; }
+    const mir::MirFunction &mir() const { return mir_; }
+    const std::vector<hir::TreeGroup> &groups() const { return groups_; }
+    int32_t numFeatures() const { return buffers_.numFeatures; }
+    /** Outputs per row: 1, or the class count for multiclass models. */
+    int32_t numClasses() const { return buffers_.numClasses; }
+    int32_t numThreads() const { return mir_.schedule.numThreads; }
+
+    /** Serial execution over the row range [begin, end). */
+    using RangeRunner = void (*)(const ExecutablePlan &, const float *,
+                                 int64_t, int64_t, float *);
+
+  private:
+    /** Pick the specialized kernel entry for this plan's parameters. */
+    void selectRunner();
+
+    lir::ForestBuffers buffers_;
+    mir::MirFunction mir_;
+    std::vector<hir::TreeGroup> groups_;
+    RangeRunner runner_ = nullptr;
+    std::unique_ptr<ThreadPool> pool_;
+
+    template <int NT, bool IsSparse, int K, bool HM>
+    friend struct PlanKernels;
+};
+
+} // namespace treebeard::runtime
+
+#endif // TREEBEARD_RUNTIME_PLAN_H

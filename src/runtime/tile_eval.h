@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tile predicate evaluation: the innermost operation of the vectorized
+ * tree walk (Section V-A listing, lines 10-22). One call speculatively
+ * evaluates all node predicates of a tile, packs the comparison bits
+ * into an integer and looks up the child index in the shape LUT.
+ *
+ * The templated scalar path compiles to fully unrolled straight-line
+ * code for each tile size; the NT == 8 and NT == 4 paths use AVX2
+ * vector loads, a feature gather, a vector compare and a movemask when
+ * the build enables AVX2, exactly the instruction sequence the paper's
+ * LLVM-generated code uses. Lane i always evaluates tile slot i and
+ * maps to outcome bit i, matching the LUT's bit convention.
+ */
+#ifndef TREEBEARD_RUNTIME_TILE_EVAL_H
+#define TREEBEARD_RUNTIME_TILE_EVAL_H
+
+#include <cstdint>
+
+#include "lir/forest_buffers.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define TREEBEARD_HAS_AVX2 1
+#else
+#define TREEBEARD_HAS_AVX2 0
+#endif
+
+namespace treebeard::runtime {
+
+/**
+ * Evaluate the predicates of the tile at global index @p tile against
+ * @p row and return the LUT child index.
+ *
+ * @tparam NT the compile-time tile size (1, 2, 4 or 8).
+ * @tparam HandleMissing when true, NaN feature values follow the
+ *         tile's default-direction bits (needed only for models that
+ *         carry per-node default directions; plans select it via
+ *         ForestBuffers::hasDefaultLeft). When false, NaN lanes
+ *         simply compare false (route right), with no extra work.
+ */
+template <int NT, bool HandleMissing>
+inline int32_t
+evalTile(const lir::ForestBuffers &fb, const int8_t *lut,
+         int32_t lut_stride, int64_t tile, const float *row)
+{
+    const float *thresholds = fb.thresholds.data() + tile * NT;
+    const int32_t *features = fb.featureIndices.data() + tile * NT;
+    int16_t shape = fb.shapeIds[static_cast<size_t>(tile)];
+    [[maybe_unused]] uint32_t default_left =
+        fb.defaultLeft[static_cast<size_t>(tile)];
+
+#if TREEBEARD_HAS_AVX2
+    if constexpr (NT == 8) {
+        __m256 th = _mm256_loadu_ps(thresholds);
+        __m256i fi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(features));
+        __m256 fv = _mm256_i32gather_ps(row, fi, 4);
+        __m256 cmp = _mm256_cmp_ps(fv, th, _CMP_LT_OQ);
+        uint32_t outcome =
+            static_cast<uint32_t>(_mm256_movemask_ps(cmp));
+        if constexpr (HandleMissing) {
+            // Missing (NaN) lanes compare false; route them per the
+            // tile's default-direction bits instead.
+            __m256 missing = _mm256_cmp_ps(fv, fv, _CMP_UNORD_Q);
+            outcome |=
+                static_cast<uint32_t>(_mm256_movemask_ps(missing)) &
+                default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+    if constexpr (NT == 4) {
+        __m128 th = _mm_loadu_ps(thresholds);
+        __m128i fi = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(features));
+        __m128 fv = _mm_i32gather_ps(row, fi, 4);
+        __m128 cmp = _mm_cmplt_ps(fv, th);
+        uint32_t outcome = static_cast<uint32_t>(_mm_movemask_ps(cmp));
+        if constexpr (HandleMissing) {
+            __m128 missing = _mm_cmpunord_ps(fv, fv);
+            outcome |=
+                static_cast<uint32_t>(_mm_movemask_ps(missing)) &
+                default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+#endif
+
+    uint32_t outcome = 0;
+    for (int s = 0; s < NT; ++s) {
+        float value = row[features[s]];
+        uint32_t bit = static_cast<uint32_t>(value < thresholds[s]);
+        if constexpr (HandleMissing) {
+            // Branchless: OR in the default-left bit when the value
+            // is NaN (both comparisons lower to setcc).
+            bit |= static_cast<uint32_t>(value != value) &
+                   ((default_left >> s) & 1u);
+        }
+        outcome |= bit << s;
+    }
+    return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+}
+
+/** Runtime-tile-size variant used by reference/instrumented paths. */
+inline int32_t
+evalTileDynamic(const lir::ForestBuffers &fb, int64_t tile,
+                const float *row)
+{
+    int32_t nt = fb.tileSize;
+    const float *thresholds = fb.thresholds.data() + tile * nt;
+    const int32_t *features = fb.featureIndices.data() + tile * nt;
+    int16_t shape = fb.shapeIds[static_cast<size_t>(tile)];
+    uint32_t default_left = fb.defaultLeft[static_cast<size_t>(tile)];
+    uint32_t outcome = 0;
+    for (int32_t s = 0; s < nt; ++s) {
+        float value = row[features[s]];
+        uint32_t lt = static_cast<uint32_t>(value < thresholds[s]);
+        uint32_t nan_left = static_cast<uint32_t>(value != value) &
+                            ((default_left >> s) & 1u);
+        outcome |= (lt | nan_left) << s;
+    }
+    return fb.shapes->child(shape, outcome);
+}
+
+} // namespace treebeard::runtime
+
+#endif // TREEBEARD_RUNTIME_TILE_EVAL_H

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tree-walk kernels over compiled forest buffers. Each function is the
+ * runtime realization of one lowered WalkDecisionTree configuration:
+ *
+ *  - generic:   `while (!isLeaf(tile)) { evaluate; move; }`
+ *  - peeled:    a checked-free prologue of known-safe steps followed
+ *               by the generic loop (Section IV-B);
+ *  - unrolled:  exactly `depth` traverseTile steps with no termination
+ *               checks, valid for padded balanced trees (Figure 2 F);
+ *  - interleaved<K>: K independent walks advanced in lockstep so the
+ *               processor can overlap their dependency chains
+ *               (Section IV-A).
+ *
+ * Everything is templated on the tile size NT so each configuration
+ * compiles to straight-line specialized code — the stand-in for the
+ * LLVM JIT of the original system.
+ */
+#ifndef TREEBEARD_RUNTIME_WALKERS_H
+#define TREEBEARD_RUNTIME_WALKERS_H
+
+#include <cstdint>
+
+#include "runtime/tile_eval.h"
+
+namespace treebeard::runtime {
+
+using lir::ForestBuffers;
+
+// ---------------------------------------------------------------------
+// Sparse layout (Section V-B2). Termination: childBase < 0 means the
+// children are leaves in the leaf pool.
+// ---------------------------------------------------------------------
+
+/** Generic sparse walk of the tree rooted at global tile @p root. */
+template <int NT, bool HM>
+inline float
+walkSparse(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+           int64_t root, const float *row)
+{
+    int64_t tile = root;
+    while (true) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+        int32_t base = fb.childBase[static_cast<size_t>(tile)];
+        if (base < 0)
+            return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+        tile = base + child;
+    }
+}
+
+/**
+ * Peeled sparse walk: the first peel-1 steps run with no termination
+ * test (safe because every root-to-leaf path crosses at least @p peel
+ * internal tiles).
+ */
+template <int NT, bool HM>
+inline float
+walkSparsePeeled(const ForestBuffers &fb, const int8_t *lut,
+                 int32_t stride, int64_t root, const float *row,
+                 int32_t peel)
+{
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+        tile = fb.childBase[static_cast<size_t>(tile)] + child;
+    }
+    return walkSparse<NT, HM>(fb, lut, stride, tile, row);
+}
+
+/** Fully unrolled sparse walk: exactly @p depth tile evaluations. */
+template <int NT, bool HM>
+inline float
+walkSparseUnrolled(const ForestBuffers &fb, const int8_t *lut,
+                   int32_t stride, int64_t root, const float *row,
+                   int32_t depth)
+{
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+        tile = fb.childBase[static_cast<size_t>(tile)] + child;
+    }
+    int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+    int32_t base = fb.childBase[static_cast<size_t>(tile)];
+    return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+}
+
+// ---------------------------------------------------------------------
+// Array layout (Section V-B1). Tiles form an implicit (NT+1)-ary
+// array per tree; leaf tiles carry kLeafTileMarker.
+// ---------------------------------------------------------------------
+
+/** Generic array-layout walk of the tree whose block starts at @p base. */
+template <int NT, bool HM>
+inline float
+walkArray(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+          int64_t base, const float *row)
+{
+    int64_t local = 0;
+    while (true) {
+        int64_t tile = base + local;
+        if (fb.shapeIds[static_cast<size_t>(tile)] == lir::kLeafTileMarker)
+            return fb.thresholds[static_cast<size_t>(tile) * NT];
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+        local = (NT + 1) * local + child + 1;
+    }
+}
+
+/** Peeled array walk: the first @p peel iterations skip the leaf test. */
+template <int NT, bool HM>
+inline float
+walkArrayPeeled(const ForestBuffers &fb, const int8_t *lut,
+                int32_t stride, int64_t base, const float *row,
+                int32_t peel)
+{
+    int64_t local = 0;
+    for (int32_t d = 0; d < peel; ++d) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, base + local, row);
+        local = (NT + 1) * local + child + 1;
+    }
+    // Continue with the generic checked loop from the current tile.
+    while (true) {
+        int64_t tile = base + local;
+        if (fb.shapeIds[static_cast<size_t>(tile)] == lir::kLeafTileMarker)
+            return fb.thresholds[static_cast<size_t>(tile) * NT];
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, row);
+        local = (NT + 1) * local + child + 1;
+    }
+}
+
+/** Fully unrolled array walk: @p depth evaluations then the leaf read. */
+template <int NT, bool HM>
+inline float
+walkArrayUnrolled(const ForestBuffers &fb, const int8_t *lut,
+                  int32_t stride, int64_t base, const float *row,
+                  int32_t depth)
+{
+    int64_t local = 0;
+    for (int32_t d = 0; d < depth; ++d) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, base + local, row);
+        local = (NT + 1) * local + child + 1;
+    }
+    return fb.thresholds[static_cast<size_t>(base + local) * NT];
+}
+
+// ---------------------------------------------------------------------
+// Interleaved walks (Section IV-A): K independent (root, row) pairs in
+// lockstep. `roots` and `rows` each have K entries; results go to
+// `out[0..K)`. The same primitives serve row interleaving (same tree,
+// K rows) and tree interleaving (K trees, same row).
+// ---------------------------------------------------------------------
+
+/** Interleaved fully unrolled sparse walks. */
+template <int NT, bool HM, int K>
+inline void
+walkSparseUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                              int32_t stride, const int64_t *roots,
+                              const float *const *rows, int32_t depth,
+                              float *out)
+{
+    int64_t tile[K];
+    for (int k = 0; k < K; ++k)
+        tile[k] = roots[k];
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child =
+                evalTile<NT, HM>(fb, lut, stride, tile[k], rows[k]);
+            tile[k] = fb.childBase[static_cast<size_t>(tile[k])] + child;
+        }
+    }
+    for (int k = 0; k < K; ++k) {
+        int32_t child = evalTile<NT, HM>(fb, lut, stride, tile[k], rows[k]);
+        int32_t base = fb.childBase[static_cast<size_t>(tile[k])];
+        out[k] = fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+    }
+}
+
+/** Interleaved generic (optionally peeled) sparse walks. */
+template <int NT, bool HM, int K>
+inline void
+walkSparseGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                             int32_t stride, const int64_t *roots,
+                             const float *const *rows, int32_t peel,
+                             float *out)
+{
+    int64_t tile[K];
+    for (int k = 0; k < K; ++k)
+        tile[k] = roots[k];
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child =
+                evalTile<NT, HM>(fb, lut, stride, tile[k], rows[k]);
+            tile[k] = fb.childBase[static_cast<size_t>(tile[k])] + child;
+        }
+    }
+    uint32_t done = 0;
+    const uint32_t all_done = (K >= 32) ? ~0u : ((1u << K) - 1);
+    while (done != all_done) {
+        for (int k = 0; k < K; ++k) {
+            if (done & (1u << k))
+                continue;
+            int32_t child =
+                evalTile<NT, HM>(fb, lut, stride, tile[k], rows[k]);
+            int32_t base = fb.childBase[static_cast<size_t>(tile[k])];
+            if (base < 0) {
+                out[k] =
+                    fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+                done |= 1u << k;
+            } else {
+                tile[k] = base + child;
+            }
+        }
+    }
+}
+
+/** Interleaved fully unrolled array walks. */
+template <int NT, bool HM, int K>
+inline void
+walkArrayUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                             int32_t stride, const int64_t *bases,
+                             const float *const *rows, int32_t depth,
+                             float *out)
+{
+    int64_t local[K] = {};
+    for (int32_t d = 0; d < depth; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child = evalTile<NT, HM>(fb, lut, stride,
+                                         bases[k] + local[k], rows[k]);
+            local[k] = (NT + 1) * local[k] + child + 1;
+        }
+    }
+    for (int k = 0; k < K; ++k) {
+        out[k] = fb.thresholds[static_cast<size_t>(bases[k] + local[k]) *
+                               NT];
+    }
+}
+
+/** Interleaved generic (optionally peeled) array walks. */
+template <int NT, bool HM, int K>
+inline void
+walkArrayGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                            int32_t stride, const int64_t *bases,
+                            const float *const *rows, int32_t peel,
+                            float *out)
+{
+    int64_t local[K] = {};
+    for (int32_t d = 0; d < peel; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child = evalTile<NT, HM>(fb, lut, stride,
+                                         bases[k] + local[k], rows[k]);
+            local[k] = (NT + 1) * local[k] + child + 1;
+        }
+    }
+    uint32_t done = 0;
+    const uint32_t all_done = (K >= 32) ? ~0u : ((1u << K) - 1);
+    while (done != all_done) {
+        for (int k = 0; k < K; ++k) {
+            if (done & (1u << k))
+                continue;
+            int64_t tile = bases[k] + local[k];
+            if (fb.shapeIds[static_cast<size_t>(tile)] ==
+                lir::kLeafTileMarker) {
+                out[k] = fb.thresholds[static_cast<size_t>(tile) * NT];
+                done |= 1u << k;
+                continue;
+            }
+            int32_t child = evalTile<NT, HM>(fb, lut, stride, tile, rows[k]);
+            local[k] = (NT + 1) * local[k] + child + 1;
+        }
+    }
+}
+
+} // namespace treebeard::runtime
+
+#endif // TREEBEARD_RUNTIME_WALKERS_H

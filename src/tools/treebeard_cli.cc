@@ -1,0 +1,306 @@
+/**
+ * @file
+ * The `treebeard` command-line tool: model inspection, synthesis,
+ * compilation (with IR dumps), batch prediction, timing and schedule
+ * auto-tuning — the operational surface the original artifact exposes
+ * through its scripts.
+ *
+ * Usage:
+ *   treebeard stats   <model.json>
+ *   treebeard synth   <benchmark-name> <out-model.json> [trees]
+ *   treebeard compile <model.json> [schedule flags] [--dump-ir]
+ *   treebeard predict <model.json> <input.csv> [out.csv] [flags]
+ *   treebeard bench   <model.json> [batch] [flags]
+ *   treebeard tune    <model.json> [sample-rows]
+ *
+ * Schedule flags: --tile N --interleave N --threads N
+ *   --order tree|row --layout sparse|array
+ *   --tiling basic|probability|hybrid|min-max-depth
+ *   --no-unroll --no-peel
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "model/model_stats.h"
+#include "model/serialization.h"
+#include "treebeard/compiler.h"
+#include "tuner/auto_tuner.h"
+
+using namespace treebeard;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: treebeard <stats|synth|compile|predict|bench|"
+                 "tune> ... (see the file header for details)\n");
+    std::exit(2);
+}
+
+/** Parse the trailing schedule flags shared by several subcommands. */
+hir::Schedule
+parseSchedule(const std::vector<std::string> &args, bool *dump_ir)
+{
+    hir::Schedule schedule;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            fatalIf(i + 1 >= args.size(), "flag ", arg,
+                    " needs a value");
+            return args[++i];
+        };
+        if (arg == "--tile") {
+            schedule.tileSize = std::stoi(next());
+        } else if (arg == "--interleave") {
+            schedule.interleaveFactor = std::stoi(next());
+        } else if (arg == "--threads") {
+            schedule.numThreads = std::stoi(next());
+        } else if (arg == "--order") {
+            const std::string &value = next();
+            schedule.loopOrder = value == "row"
+                                     ? hir::LoopOrder::kOneRowAtATime
+                                     : hir::LoopOrder::kOneTreeAtATime;
+        } else if (arg == "--layout") {
+            const std::string &value = next();
+            schedule.layout = value == "array"
+                                  ? hir::MemoryLayout::kArray
+                                  : hir::MemoryLayout::kSparse;
+        } else if (arg == "--tiling") {
+            const std::string &value = next();
+            if (value == "basic")
+                schedule.tiling = hir::TilingAlgorithm::kBasic;
+            else if (value == "probability")
+                schedule.tiling =
+                    hir::TilingAlgorithm::kProbabilityBased;
+            else if (value == "hybrid")
+                schedule.tiling = hir::TilingAlgorithm::kHybrid;
+            else if (value == "min-max-depth")
+                schedule.tiling = hir::TilingAlgorithm::kMinMaxDepth;
+            else
+                fatal("unknown tiling '", value, "'");
+        } else if (arg == "--no-unroll") {
+            schedule.padAndUnrollWalks = false;
+        } else if (arg == "--no-peel") {
+            schedule.peelWalks = false;
+        } else if (arg == "--dump-ir" && dump_ir != nullptr) {
+            *dump_ir = true;
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+    return schedule;
+}
+
+int
+commandStats(const std::string &path)
+{
+    model::Forest forest = model::loadForest(path);
+    model::ForestStats stats = model::computeForestStats(forest);
+    std::printf("model: %s\n", path.c_str());
+    std::printf("  features:        %d\n", stats.numFeatures);
+    std::printf("  trees:           %lld\n",
+                static_cast<long long>(stats.numTrees));
+    std::printf("  max depth:       %d\n", stats.maxDepth);
+    std::printf("  total nodes:     %lld\n",
+                static_cast<long long>(stats.totalNodes));
+    std::printf("  total leaves:    %lld\n",
+                static_cast<long long>(stats.totalLeaves));
+    std::printf("  avg leaf depth:  %.2f\n", stats.averageLeafDepth);
+    std::printf("  leaf-biased:     %lld (alpha=0.075, beta=0.9)\n",
+                static_cast<long long>(stats.leafBiasedTrees));
+    std::printf("  objective:       %s\n",
+                model::objectiveName(forest.objective()));
+    return 0;
+}
+
+int
+commandSynth(const std::string &name, const std::string &out_path,
+             int64_t trees)
+{
+    data::SyntheticModelSpec spec = data::benchmarkSpecByName(name);
+    if (trees > 0)
+        spec.numTrees = trees;
+    model::Forest forest = data::synthesizeForest(spec);
+    model::saveForest(forest, out_path);
+    std::printf("wrote %s: %lld trees, %d features, max depth %d\n",
+                out_path.c_str(),
+                static_cast<long long>(forest.numTrees()),
+                forest.numFeatures(), forest.maxDepth());
+    return 0;
+}
+
+int
+commandCompile(const std::string &path,
+               const std::vector<std::string> &flags)
+{
+    bool dump_ir = false;
+    hir::Schedule schedule = parseSchedule(flags, &dump_ir);
+    model::Forest forest = model::loadForest(path);
+
+    CompilerOptions options;
+    options.recordIrDumps = dump_ir;
+    Timer timer;
+    InferenceSession session = compileForest(forest, schedule, options);
+    std::printf("compiled in %.3fs under schedule: %s\n",
+                timer.elapsedSeconds(), schedule.toString().c_str());
+    std::printf("%s\n", session.artifacts().lirSummary.c_str());
+    for (const auto &trace : session.artifacts().passTraces) {
+        std::printf("  %-22s %8.3f ms\n", trace.name.c_str(),
+                    trace.seconds * 1e3);
+    }
+    if (dump_ir) {
+        std::printf("\n%s\n%s", session.artifacts().hirDump.c_str(),
+                    session.artifacts().mirDump.c_str());
+    }
+    return 0;
+}
+
+int
+commandPredict(const std::string &model_path,
+               const std::string &input_path,
+               const std::string &output_path,
+               const std::vector<std::string> &flags)
+{
+    hir::Schedule schedule = parseSchedule(flags, nullptr);
+    model::Forest forest = model::loadForest(model_path);
+    data::Dataset input =
+        data::loadCsv(input_path, /*last_column_is_label=*/false);
+    fatalIf(input.numFeatures() != forest.numFeatures(),
+            "input has ", input.numFeatures(),
+            " features but the model expects ", forest.numFeatures());
+
+    InferenceSession session = compileForest(forest, schedule);
+    std::vector<float> predictions(
+        static_cast<size_t>(input.numRows()));
+    session.predict(input.rows(), input.numRows(), predictions.data());
+
+    if (output_path.empty()) {
+        for (float p : predictions)
+            std::printf("%.6g\n", p);
+    } else {
+        data::Dataset out(1);
+        for (float p : predictions)
+            out.appendRow(&p);
+        data::saveCsv(out, output_path);
+        std::printf("wrote %lld predictions to %s\n",
+                    static_cast<long long>(input.numRows()),
+                    output_path.c_str());
+    }
+    return 0;
+}
+
+int
+commandBench(const std::string &path, int64_t batch,
+             const std::vector<std::string> &flags)
+{
+    hir::Schedule schedule = parseSchedule(flags, nullptr);
+    model::Forest forest = model::loadForest(path);
+    InferenceSession session = compileForest(forest, schedule);
+
+    // A synthetic uniform batch sized to the model.
+    data::SyntheticModelSpec spec;
+    spec.name = "cli-bench";
+    spec.numFeatures = forest.numFeatures();
+    spec.numTrees = 1;
+    spec.maxDepth = 1;
+    data::Dataset rows = data::generateFeatures(spec, batch);
+    std::vector<float> predictions(static_cast<size_t>(batch));
+
+    session.predict(rows.rows(), batch, predictions.data()); // warm-up
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+        Timer timer;
+        session.predict(rows.rows(), batch, predictions.data());
+        best = std::min(best, timer.elapsedSeconds());
+    }
+    std::printf("%s\n", schedule.toString().c_str());
+    std::printf("batch %lld: %.3f ms total, %.3f us/row\n",
+                static_cast<long long>(batch), best * 1e3,
+                best * 1e6 / static_cast<double>(batch));
+    return 0;
+}
+
+int
+commandTune(const std::string &path, int64_t sample_rows)
+{
+    model::Forest forest = model::loadForest(path);
+    data::SyntheticModelSpec spec;
+    spec.name = "cli-tune";
+    spec.numFeatures = forest.numFeatures();
+    spec.numTrees = 1;
+    spec.maxDepth = 1;
+    data::Dataset sample = data::generateFeatures(spec, sample_rows);
+
+    tuner::TunerOptions options;
+    options.repetitions = 2;
+    std::printf("exploring %zu configurations on %lld sample rows\n",
+                tuner::enumerateSchedules(options).size(),
+                static_cast<long long>(sample_rows));
+    tuner::TunerResult result = tuner::exploreSchedules(
+        forest, sample.rows(), sample_rows, options);
+    std::printf("best: %s (%.3f us/row)\n",
+                result.best.schedule.toString().c_str(),
+                result.best.seconds * 1e6 /
+                    static_cast<double>(sample_rows));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    try {
+        if (command == "stats" && args.size() == 1)
+            return commandStats(args[0]);
+        if (command == "synth" && (args.size() == 2 || args.size() == 3))
+            return commandSynth(args[0], args[1],
+                                args.size() == 3 ? std::stoll(args[2])
+                                                 : 0);
+        if (command == "compile" && !args.empty()) {
+            return commandCompile(
+                args[0], {args.begin() + 1, args.end()});
+        }
+        if (command == "predict" && args.size() >= 2) {
+            std::string output;
+            std::vector<std::string> flags(args.begin() + 2,
+                                           args.end());
+            if (!flags.empty() && flags[0].rfind("--", 0) != 0) {
+                output = flags[0];
+                flags.erase(flags.begin());
+            }
+            return commandPredict(args[0], args[1], output, flags);
+        }
+        if (command == "bench" && !args.empty()) {
+            int64_t batch = 1024;
+            std::vector<std::string> flags(args.begin() + 1,
+                                           args.end());
+            if (!flags.empty() && flags[0].rfind("--", 0) != 0) {
+                batch = std::stoll(flags[0]);
+                flags.erase(flags.begin());
+            }
+            return commandBench(args[0], batch, flags);
+        }
+        if (command == "tune" && !args.empty()) {
+            int64_t sample = args.size() >= 2 ? std::stoll(args[1])
+                                              : 512;
+            return commandTune(args[0], sample);
+        }
+    } catch (const Error &error) {
+        std::fprintf(stderr, "treebeard: %s\n", error.what());
+        return 1;
+    }
+    usage();
+}

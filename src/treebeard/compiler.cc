@@ -1,0 +1,104 @@
+#include "treebeard/compiler.h"
+
+#include "common/timer.h"
+#include "lir/layout_builder.h"
+#include "mir/lowering.h"
+#include "mir/passes.h"
+
+namespace treebeard {
+
+namespace {
+
+/** Mutable pipeline state threaded through the pass manager. */
+struct PipelineState
+{
+    std::unique_ptr<hir::HirModule> hir;
+    mir::MirFunction mir;
+    lir::ForestBuffers buffers;
+    bool mirLowered = false;
+};
+
+} // namespace
+
+InferenceSession::InferenceSession(runtime::ExecutablePlan plan,
+                                   CompilationArtifacts artifacts)
+    : plan_(std::move(plan)), artifacts_(std::move(artifacts))
+{}
+
+InferenceSession
+compileForest(const model::Forest &forest, const hir::Schedule &schedule,
+              const CompilerOptions &options)
+{
+    schedule.validate();
+    Timer total_timer;
+
+    PipelineState state;
+    state.hir = std::make_unique<hir::HirModule>(forest, schedule);
+
+    ir::PassManager<PipelineState> pm;
+    pm.addPass("hir-tiling", [](PipelineState &s) {
+        s.hir->runTilingPass();
+    });
+    if (options.verifyPasses) {
+        pm.addPass("hir-verify-tiling", [](PipelineState &s) {
+            s.hir->validateTiling();
+        });
+    }
+    pm.addPass("hir-reorder-trees", [](PipelineState &s) {
+        s.hir->runReorderPass();
+    });
+    if (options.verifyPasses) {
+        pm.addPass("hir-verify-reorder", [](PipelineState &s) {
+            s.hir->validateTiling();
+        });
+    }
+    pm.addPass("lower-to-mir", [](PipelineState &s) {
+        s.mir = mir::lowerToMir(*s.hir);
+        s.mirLowered = true;
+    });
+    pm.addPass("mir-peel-unroll", [](PipelineState &s) {
+        mir::applyWalkPeelingAndUnrolling(s.mir, *s.hir);
+    });
+    pm.addPass("mir-interleave", [](PipelineState &s) {
+        mir::applyWalkInterleaving(
+            s.mir, s.mir.schedule.interleaveFactor);
+    });
+    pm.addPass("mir-parallelize", [](PipelineState &s) {
+        mir::applyParallelization(s.mir, s.mir.schedule.numThreads);
+    });
+    if (options.verifyPasses) {
+        pm.addPass("mir-verify", [](PipelineState &s) {
+            s.mir.verify();
+        });
+    }
+    pm.addPass("lower-to-lir", [](PipelineState &s) {
+        s.buffers = lir::buildForestBuffers(*s.hir);
+    });
+
+    if (options.recordIrDumps) {
+        pm.enableDumps([](const PipelineState &s) {
+            std::string dump = s.hir->dump();
+            if (s.mirLowered)
+                dump += s.mir.print();
+            return dump;
+        });
+    }
+
+    pm.run(state);
+
+    CompilationArtifacts artifacts;
+    artifacts.passTraces = pm.traces();
+    artifacts.lirSummary = state.buffers.summary();
+    if (options.recordIrDumps) {
+        artifacts.hirDump = state.hir->dump();
+        artifacts.mirDump = state.mir.print();
+    }
+
+    runtime::ExecutablePlan plan(std::move(state.buffers),
+                                 std::move(state.mir),
+                                 state.hir->groups());
+    artifacts.totalSeconds = total_timer.elapsedSeconds();
+    return InferenceSession(std::move(plan), std::move(artifacts));
+}
+
+} // namespace treebeard

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The public Treebeard API.
+ *
+ * Typical use:
+ *
+ *   model::Forest forest = model::loadForest("model.json");
+ *   hir::Schedule schedule;            // or tuner::autoTune(...)
+ *   schedule.tileSize = 8;
+ *   treebeard::InferenceSession session =
+ *       treebeard::compileForest(forest, schedule);
+ *   session.predict(rows, num_rows, predictions);
+ *
+ * compileForest runs the full pipeline of the paper (Figure 1):
+ * HIR construction -> tiling -> tree reordering/padding -> MIR
+ * lowering -> walk interleaving/peeling/unrolling/parallelization ->
+ * LIR buffer materialization -> kernel selection, and returns a
+ * runnable session. IR dumps from every stage are retained for
+ * inspection.
+ */
+#ifndef TREEBEARD_TREEBEARD_COMPILER_H
+#define TREEBEARD_TREEBEARD_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hir/schedule.h"
+#include "ir/pass_manager.h"
+#include "model/forest.h"
+#include "runtime/plan.h"
+
+namespace treebeard {
+
+/** Options controlling the compilation driver itself. */
+struct CompilerOptions
+{
+    /** Capture textual IR dumps after every pass (costs memory). */
+    bool recordIrDumps = false;
+    /** Validate tilings and IR invariants after each stage. */
+    bool verifyPasses = true;
+};
+
+/** IR and timing artifacts captured during compilation. */
+struct CompilationArtifacts
+{
+    /** Per-pass name/seconds/dump traces, pipeline order. */
+    std::vector<ir::PassTrace> passTraces;
+    /** Final HIR dump (when recordIrDumps). */
+    std::string hirDump;
+    /** MIR dump after all MIR passes (when recordIrDumps). */
+    std::string mirDump;
+    /** LIR buffer summary (always available). */
+    std::string lirSummary;
+    double totalSeconds = 0.0;
+};
+
+/**
+ * A compiled model: owns the executable plan and the artifacts.
+ * Sessions are immovable-by-copy but movable; predict() is
+ * thread-compatible (const).
+ */
+class InferenceSession
+{
+  public:
+    InferenceSession(runtime::ExecutablePlan plan,
+                     CompilationArtifacts artifacts);
+
+    /**
+     * The generated predictForest function: compute predictions for a
+     * row-major batch of @p num_rows rows. @p predictions receives
+     * num_rows * numClasses() values (single-output models write one
+     * value per row; multiclass models write per-class probabilities).
+     */
+    void
+    predict(const float *rows, int64_t num_rows, float *predictions) const
+    {
+        plan_.run(rows, num_rows, predictions);
+    }
+
+    /** Instrumented prediction collecting software event counters. */
+    void
+    predictInstrumented(const float *rows, int64_t num_rows,
+                        float *predictions,
+                        runtime::WalkCounters *counters) const
+    {
+        plan_.runInstrumented(rows, num_rows, predictions, counters);
+    }
+
+    int32_t numFeatures() const { return plan_.numFeatures(); }
+    int32_t numClasses() const { return plan_.numClasses(); }
+    const runtime::ExecutablePlan &plan() const { return plan_; }
+    const CompilationArtifacts &artifacts() const { return artifacts_; }
+
+  private:
+    runtime::ExecutablePlan plan_;
+    CompilationArtifacts artifacts_;
+};
+
+/**
+ * Compile @p forest under @p schedule.
+ * @throws Error on invalid models or schedules.
+ */
+InferenceSession compileForest(const model::Forest &forest,
+                               const hir::Schedule &schedule,
+                               const CompilerOptions &options = {});
+
+} // namespace treebeard
+
+#endif // TREEBEARD_TREEBEARD_COMPILER_H

@@ -1,0 +1,100 @@
+#include "tuner/auto_tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard::tuner {
+
+std::vector<hir::Schedule>
+enumerateSchedules(const TunerOptions &options)
+{
+    std::vector<hir::Schedule> schedules;
+    for (hir::LoopOrder order : options.loopOrders) {
+        for (int32_t tile_size : options.tileSizes) {
+            for (hir::TilingAlgorithm tiling : options.tilings) {
+                // alpha/beta only matter when the leaf-bias gate runs.
+                std::vector<std::pair<double, double>> gates =
+                    tiling == hir::TilingAlgorithm::kHybrid
+                        ? options.alphaBetas
+                        : std::vector<std::pair<double, double>>{
+                              {0.075, 0.9}};
+                for (auto [alpha, beta] : gates) {
+                    for (bool unroll : options.padAndUnroll) {
+                        for (int32_t interleave :
+                             options.interleaveFactors) {
+                            for (hir::MemoryLayout layout :
+                                 options.layouts) {
+                                hir::Schedule schedule;
+                                schedule.loopOrder = order;
+                                schedule.tileSize = tile_size;
+                                schedule.tiling = tiling;
+                                schedule.alpha = alpha;
+                                schedule.beta = beta;
+                                schedule.padAndUnrollWalks = unroll;
+                                schedule.interleaveFactor = interleave;
+                                schedule.layout = layout;
+                                schedule.numThreads =
+                                    options.numThreads;
+                                schedules.push_back(schedule);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return schedules;
+}
+
+TunerResult
+exploreSchedules(const model::Forest &forest, const float *rows,
+                 int64_t num_rows, const TunerOptions &options)
+{
+    fatalIf(num_rows <= 0, "tuner needs a non-empty sample batch");
+    std::vector<hir::Schedule> schedules = enumerateSchedules(options);
+    fatalIf(schedules.empty(), "tuner grid is empty");
+
+    TunerResult result;
+    result.best.seconds = std::numeric_limits<double>::infinity();
+    std::vector<float> predictions(static_cast<size_t>(num_rows));
+
+    for (const hir::Schedule &schedule : schedules) {
+        TunedPoint point;
+        point.schedule = schedule;
+
+        Timer compile_timer;
+        InferenceSession session = compileForest(forest, schedule);
+        point.compileSeconds = compile_timer.elapsedSeconds();
+
+        // Warm-up, then best-of-N timing.
+        session.predict(rows, num_rows, predictions.data());
+        double best_seconds = std::numeric_limits<double>::infinity();
+        for (int32_t rep = 0; rep < options.repetitions; ++rep) {
+            Timer timer;
+            session.predict(rows, num_rows, predictions.data());
+            best_seconds = std::min(best_seconds,
+                                    timer.elapsedSeconds());
+        }
+        point.seconds = best_seconds;
+
+        if (options.verbose) {
+            inform("tuner: ", schedule.toString(), " -> ",
+                   best_seconds * 1e6 / num_rows, " us/row");
+        }
+        if (point.seconds < result.best.seconds)
+            result.best = point;
+        result.all.push_back(point);
+    }
+
+    std::sort(result.all.begin(), result.all.end(),
+              [](const TunedPoint &a, const TunedPoint &b) {
+                  return a.seconds < b.seconds;
+              });
+    return result;
+}
+
+} // namespace treebeard::tuner

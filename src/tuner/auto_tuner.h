@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Schedule-space exploration (Table II of the paper): enumerate the
+ * optimization grid, compile and time each configuration on a sample
+ * batch, and pick the fastest. This is the "--explore" workflow of the
+ * paper's artifact.
+ */
+#ifndef TREEBEARD_TUNER_AUTO_TUNER_H
+#define TREEBEARD_TUNER_AUTO_TUNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hir/schedule.h"
+#include "model/forest.h"
+
+namespace treebeard::tuner {
+
+/** The grid of configurations to explore (defaults follow Table II). */
+struct TunerOptions
+{
+    std::vector<hir::LoopOrder> loopOrders{
+        hir::LoopOrder::kOneTreeAtATime,
+        hir::LoopOrder::kOneRowAtATime};
+    std::vector<int32_t> tileSizes{1, 2, 4, 8};
+    std::vector<hir::TilingAlgorithm> tilings{
+        hir::TilingAlgorithm::kBasic, hir::TilingAlgorithm::kHybrid};
+    std::vector<bool> padAndUnroll{true, false};
+    std::vector<int32_t> interleaveFactors{1, 2, 4, 8};
+    /** (alpha, beta) pairs for the leaf-bias gate (hybrid only). */
+    std::vector<std::pair<double, double>> alphaBetas{
+        {0.05, 0.9}, {0.075, 0.9}, {0.1, 0.9}};
+    std::vector<hir::MemoryLayout> layouts{hir::MemoryLayout::kSparse};
+    int32_t numThreads = 1;
+    /** Timing repetitions; the minimum is kept. */
+    int32_t repetitions = 3;
+    /** Print progress to stderr. */
+    bool verbose = false;
+};
+
+/** One timed configuration. */
+struct TunedPoint
+{
+    hir::Schedule schedule;
+    /** Best-of-repetitions seconds for the sample batch. */
+    double seconds = 0.0;
+    double compileSeconds = 0.0;
+};
+
+/** The exploration outcome. */
+struct TunerResult
+{
+    TunedPoint best;
+    std::vector<TunedPoint> all;
+};
+
+/**
+ * Enumerate the grid (pruned: alpha/beta vary only under hybrid
+ * tiling; interleaving over trees is skipped for groups too small).
+ */
+std::vector<hir::Schedule> enumerateSchedules(const TunerOptions &options);
+
+/**
+ * Time every configuration of @p options on @p rows (row-major,
+ * @p num_rows x forest.numFeatures()) and return the ranking.
+ */
+TunerResult exploreSchedules(const model::Forest &forest,
+                             const float *rows, int64_t num_rows,
+                             const TunerOptions &options = {});
+
+} // namespace treebeard::tuner
+
+#endif // TREEBEARD_TUNER_AUTO_TUNER_H

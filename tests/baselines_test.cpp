@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the three comparison systems: XGBoost-style (both loop
+ * orders), Treelite-style (if-else codegen through the system
+ * compiler) and Hummingbird-style (GEMM and PerfectTreeTraversal).
+ * Every baseline must agree with the reference model walk.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/gemm.h"
+#include "baselines/hummingbird_style.h"
+#include "baselines/treelite_style.h"
+#include "baselines/xgboost_style.h"
+#include "lir/forest_buffers.h"
+#include "test_utils.h"
+
+namespace treebeard::baselines {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+using testing::referencePredictions;
+
+class BaselineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        testing::RandomForestSpec spec;
+        spec.numTrees = 25;
+        spec.maxDepth = 7;
+        spec.seed = 31;
+        forest_ = makeRandomForest(spec);
+        quantizeLeafValues(forest_);
+        rows_ = makeRandomRows(spec.numFeatures, 200, 32);
+        expected_ = referencePredictions(forest_, rows_);
+    }
+
+    model::Forest forest_{1};
+    std::vector<float> rows_;
+    std::vector<float> expected_;
+};
+
+TEST_F(BaselineFixture, XgBoostV09MatchesReference)
+{
+    XgBoostStyle predictor(forest_, XgBoostVersion::kV09);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(BaselineFixture, XgBoostV15MatchesReference)
+{
+    XgBoostStyle predictor(forest_, XgBoostVersion::kV15,
+                           /*num_threads=*/1, /*row_block=*/7);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(BaselineFixture, XgBoostParallelMatchesReference)
+{
+    XgBoostStyle predictor(forest_, XgBoostVersion::kV15,
+                           /*num_threads=*/4);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+    EXPECT_GT(predictor.footprintBytes(), 0);
+}
+
+TEST_F(BaselineFixture, TreeliteCodegenMatchesReference)
+{
+    TreeliteOptions options;
+    options.optLevel = "-O0"; // fast compile for the test
+    TreeliteStyle predictor(forest_, options);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+    EXPECT_GT(predictor.compileSeconds(), 0.0);
+    EXPECT_GT(predictor.generatedSourceBytes(), 1000);
+}
+
+TEST_F(BaselineFixture, TreeliteSourceLooksLikeIfElseCode)
+{
+    std::string source = TreeliteStyle::generateSource(forest_);
+    EXPECT_NE(source.find("if (row["), std::string::npos);
+    EXPECT_NE(source.find("} else {"), std::string::npos);
+    EXPECT_NE(source.find("treelite_predict_range"),
+              std::string::npos);
+    // One function per tree.
+    EXPECT_NE(source.find("tree_24"), std::string::npos);
+    EXPECT_EQ(source.find("tree_25("), std::string::npos);
+}
+
+TEST_F(BaselineFixture, HummingbirdPttMatchesReference)
+{
+    HummingbirdOptions options;
+    options.strategy = HummingbirdStrategy::kPerfectTreeTraversal;
+    HummingbirdStyle predictor(forest_, options);
+    EXPECT_EQ(predictor.strategy(),
+              HummingbirdStrategy::kPerfectTreeTraversal);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(BaselineFixture, HummingbirdGemmMatchesReference)
+{
+    HummingbirdOptions options;
+    options.strategy = HummingbirdStrategy::kGemm;
+    options.rowBlock = 33;
+    HummingbirdStyle predictor(forest_, options);
+    std::vector<float> actual(expected_.size());
+    predictor.predict(rows_.data(),
+                      static_cast<int64_t>(expected_.size()),
+                      actual.data());
+    expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(BaselineFixture, HummingbirdAutoPicksPttForDeepTrees)
+{
+    HummingbirdStyle predictor(forest_, {});
+    EXPECT_EQ(predictor.strategy(),
+              HummingbirdStrategy::kPerfectTreeTraversal);
+    // PTT pads trees: footprint exceeds the scalar representation.
+    EXPECT_GT(predictor.footprintBytes(),
+              lir::scalarRepresentationBytes(forest_));
+}
+
+TEST(HummingbirdAuto, PicksGemmForShallowTrees)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 10;
+    spec.maxDepth = 3;
+    spec.seed = 41;
+    model::Forest forest = makeRandomForest(spec);
+    HummingbirdStyle predictor(forest, {});
+    EXPECT_EQ(predictor.strategy(), HummingbirdStrategy::kGemm);
+}
+
+TEST(BaselineObjectives, LogisticHandledEverywhere)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 8;
+    spec.seed = 51;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    forest.setObjective(model::Objective::kBinaryLogistic);
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 50, 52);
+    std::vector<float> expected = referencePredictions(forest, rows);
+
+    XgBoostStyle xgb(forest, XgBoostVersion::kV15);
+    std::vector<float> actual(50);
+    xgb.predict(rows.data(), 50, actual.data());
+    expectPredictionsExact(expected, actual);
+
+    HummingbirdOptions hb_options;
+    hb_options.strategy = HummingbirdStrategy::kPerfectTreeTraversal;
+    HummingbirdStyle hb(forest, hb_options);
+    hb.predict(rows.data(), 50, actual.data());
+    expectPredictionsExact(expected, actual);
+
+    TreeliteOptions tl_options;
+    tl_options.optLevel = "-O0";
+    TreeliteStyle tl(forest, tl_options);
+    tl.predict(rows.data(), 50, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(Gemm, MatchesNaiveTripleLoop)
+{
+    Rng rng(61);
+    int64_t m = 17, k = 23, n = 31;
+    std::vector<float> a(static_cast<size_t>(m * k));
+    std::vector<float> b(static_cast<size_t>(k * n));
+    for (float &v : a)
+        v = rng.uniformFloat(-1.0f, 1.0f);
+    for (float &v : b)
+        v = rng.uniformFloat(-1.0f, 1.0f);
+
+    std::vector<float> c(static_cast<size_t>(m * n));
+    sgemm(a.data(), b.data(), c.data(), m, k, n);
+
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float expected = 0.0f;
+            for (int64_t p = 0; p < k; ++p)
+                expected += a[static_cast<size_t>(i * k + p)] *
+                            b[static_cast<size_t>(p * n + j)];
+            EXPECT_NEAR(c[static_cast<size_t>(i * n + j)], expected,
+                        1e-4);
+        }
+    }
+}
+
+TEST(Gemm, LargeBlockedShapes)
+{
+    // Exercise multiple blocking tiles.
+    int64_t m = 130, k = 300, n = 270;
+    std::vector<float> a(static_cast<size_t>(m * k), 0.5f);
+    std::vector<float> b(static_cast<size_t>(k * n), 2.0f);
+    std::vector<float> c(static_cast<size_t>(m * n));
+    sgemm(a.data(), b.data(), c.data(), m, k, n);
+    for (size_t i = 0; i < c.size(); i += 9999)
+        EXPECT_NEAR(c[i], 300.0f, 1e-2);
+}
+
+} // namespace
+} // namespace treebeard::baselines

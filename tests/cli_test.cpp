@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end tests of the `treebeard` CLI binary: each subcommand is
+ * invoked as a subprocess and its output/exit status checked. The
+ * binary path is injected by CMake as TREEBEARD_CLI_PATH.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace treebeard {
+namespace {
+
+#ifndef TREEBEARD_CLI_PATH
+#define TREEBEARD_CLI_PATH "treebeard"
+#endif
+
+/** Run a CLI invocation, capturing stdout+stderr and the status. */
+int
+runCli(const std::string &arguments, std::string &output)
+{
+    std::string command =
+        std::string(TREEBEARD_CLI_PATH) + " " + arguments + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return -1;
+    char buffer[4096];
+    output.clear();
+    while (size_t n = fread(buffer, 1, sizeof(buffer), pipe))
+        output.append(buffer, n);
+    int status = pclose(pipe);
+    return WEXITSTATUS(status);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage)
+{
+    std::string output;
+    EXPECT_EQ(runCli("", output), 2);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+    EXPECT_EQ(runCli("unknown-subcommand", output), 2);
+}
+
+TEST(Cli, SynthStatsRoundTrip)
+{
+    std::string model = tempPath("cli_model.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 20", output), 0)
+        << output;
+    EXPECT_NE(output.find("20 trees"), std::string::npos);
+
+    ASSERT_EQ(runCli("stats " + model, output), 0) << output;
+    EXPECT_NE(output.find("features:        13"), std::string::npos);
+    EXPECT_NE(output.find("trees:           20"), std::string::npos);
+}
+
+TEST(Cli, CompileReportsPipeline)
+{
+    std::string model = tempPath("cli_model2.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth higgs " + model + " 10", output), 0);
+    ASSERT_EQ(runCli("compile " + model +
+                         " --tile 4 --interleave 4 --dump-ir",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("compiled in"), std::string::npos);
+    EXPECT_NE(output.find("hir-tiling"), std::string::npos);
+    EXPECT_NE(output.find("hir.module"), std::string::npos);
+    EXPECT_NE(output.find("mir.func"), std::string::npos);
+    EXPECT_NE(output.find("interleave=4"), std::string::npos);
+}
+
+TEST(Cli, PredictWritesCsv)
+{
+    std::string model = tempPath("cli_model3.json");
+    std::string input = tempPath("cli_input.csv");
+    std::string result = tempPath("cli_out.csv");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 5", output), 0);
+
+    // 13-feature rows.
+    std::string csv;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 13; ++c)
+            csv += (c ? "," : "") + std::to_string(0.1 * (r + c));
+        csv += "\n";
+    }
+    writeStringToFile(input, csv);
+
+    ASSERT_EQ(runCli("predict " + model + " " + input + " " + result,
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("wrote 4 predictions"), std::string::npos);
+    std::string written = readFileToString(result);
+    EXPECT_EQ(std::count(written.begin(), written.end(), '\n'), 4);
+
+    // Feature-count mismatch is a clean error.
+    writeStringToFile(input, "1.0,2.0\n");
+    EXPECT_EQ(runCli("predict " + model + " " + input, output), 1);
+    EXPECT_NE(output.find("features"), std::string::npos);
+}
+
+TEST(Cli, BenchPrintsTiming)
+{
+    std::string model = tempPath("cli_model4.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 5", output), 0);
+    ASSERT_EQ(runCli("bench " + model + " 64 --tile 8", output), 0)
+        << output;
+    EXPECT_NE(output.find("us/row"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadFlagsCleanly)
+{
+    std::string model = tempPath("cli_model5.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 3", output), 0);
+    EXPECT_EQ(runCli("compile " + model + " --tile 99", output), 1);
+    EXPECT_NE(output.find("tile size"), std::string::npos);
+    EXPECT_EQ(runCli("compile " + model + " --bogus", output), 1);
+    EXPECT_EQ(runCli("stats /nonexistent/model.json", output), 1);
+}
+
+} // namespace
+} // namespace treebeard

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the source backend: the system JIT (compile + dlopen) and
+ * the LIR -> C++ emitter, whose compiled output must match both the
+ * reference walk and the kernel runtime across schedules.
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/cpp_emitter.h"
+#include "lir/layout_builder.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard::codegen {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+using testing::referencePredictions;
+
+TEST(SystemJit, CompilesAndResolvesSymbols)
+{
+    ASSERT_TRUE(systemCompilerAvailable());
+    std::string source = R"(
+        extern "C" int add_ints(int a, int b) { return a + b; }
+        extern "C" double the_answer() { return 42.0; }
+    )";
+    JitOptions options;
+    options.optLevel = "-O0";
+    JitModule module(source, options);
+    auto add = module.function<int (*)(int, int)>("add_ints");
+    EXPECT_EQ(add(20, 22), 42);
+    auto answer = module.function<double (*)()>("the_answer");
+    EXPECT_DOUBLE_EQ(answer(), 42.0);
+    EXPECT_GT(module.compileSeconds(), 0.0);
+    EXPECT_THROW(module.symbol("missing_symbol"), Error);
+}
+
+TEST(SystemJit, ReportsCompileErrorsWithDiagnostics)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    try {
+        JitModule module("this is not C++", options);
+        FAIL() << "expected compilation failure";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("error"),
+                  std::string::npos);
+    }
+}
+
+TEST(SystemJit, MoveSemantics)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    JitModule a("extern \"C\" int f() { return 7; }", options);
+    JitModule b = std::move(a);
+    EXPECT_EQ(b.function<int (*)()>("f")(), 7);
+}
+
+struct EmitterCase
+{
+    hir::LoopOrder loopOrder;
+    hir::MemoryLayout layout;
+    int32_t tileSize;
+    int32_t interleave;
+    bool unroll;
+};
+
+class CppEmitterSweep : public ::testing::TestWithParam<EmitterCase>
+{};
+
+TEST_P(CppEmitterSweep, CompiledSourceMatchesReference)
+{
+    const EmitterCase &c = GetParam();
+    testing::RandomForestSpec spec;
+    spec.numTrees = 12;
+    spec.seed = 71;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 90, 72);
+    std::vector<float> expected = referencePredictions(forest, rows);
+
+    hir::Schedule schedule;
+    schedule.loopOrder = c.loopOrder;
+    schedule.layout = c.layout;
+    schedule.tileSize = c.tileSize;
+    schedule.interleaveFactor = c.interleave;
+    schedule.padAndUnrollWalks = c.unroll;
+
+    hir::HirModule module(forest, schedule);
+    module.runAllHirPasses();
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+
+    JitOptions jit_options;
+    jit_options.optLevel = "-O0";
+    JitCompiledSession session(std::move(buffers), module.groups(),
+                               schedule, jit_options);
+
+    std::vector<float> actual(90);
+    session.predict(rows.data(), 90, actual.data());
+    expectPredictionsExact(expected, actual);
+    EXPECT_NE(session.source().find("treebeard_predict"),
+              std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CppEmitterSweep,
+    ::testing::Values(
+        EmitterCase{hir::LoopOrder::kOneTreeAtATime,
+                    hir::MemoryLayout::kSparse, 8, 1, true},
+        EmitterCase{hir::LoopOrder::kOneTreeAtATime,
+                    hir::MemoryLayout::kSparse, 4, 4, true},
+        EmitterCase{hir::LoopOrder::kOneRowAtATime,
+                    hir::MemoryLayout::kSparse, 8, 2, false},
+        EmitterCase{hir::LoopOrder::kOneTreeAtATime,
+                    hir::MemoryLayout::kArray, 4, 1, true},
+        EmitterCase{hir::LoopOrder::kOneRowAtATime,
+                    hir::MemoryLayout::kArray, 2, 4, true}));
+
+TEST(CppEmitter, SourceReflectsSchedule)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 4;
+    spec.seed = 73;
+    model::Forest forest = makeRandomForest(spec);
+
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    schedule.interleaveFactor = 4;
+    hir::HirModule module(forest, schedule);
+    module.runAllHirPasses();
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+
+    std::string source = emitPredictForestSource(
+        buffers, module.groups(), schedule);
+    // Interleave factor appears as the row-loop stride.
+    EXPECT_NE(source.find("r += 4"), std::string::npos);
+    // Walk helpers are emitted per group.
+    EXPECT_NE(source.find("walk_group_0"), std::string::npos);
+    // The tile evaluation is fully unrolled over 4 slots.
+    EXPECT_NE(source.find("<< 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace treebeard::codegen

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the data substrate: datasets, CSV I/O, synthetic feature
+ * generation and the Table I benchmark suite's structural properties.
+ */
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "model/model_stats.h"
+
+namespace treebeard::data {
+namespace {
+
+TEST(Dataset, AppendAndAccess)
+{
+    Dataset dataset(3);
+    dataset.appendRow({1.0f, 2.0f, 3.0f});
+    dataset.appendRow({4.0f, 5.0f, 6.0f});
+    EXPECT_EQ(dataset.numRows(), 2);
+    EXPECT_EQ(dataset.row(1)[2], 6.0f);
+    EXPECT_THROW(dataset.appendRow({1.0f}), Error);
+
+    dataset.setLabels({0.5f, 1.5f});
+    EXPECT_TRUE(dataset.hasLabels());
+    EXPECT_EQ(dataset.label(0), 0.5f);
+    EXPECT_THROW(dataset.setLabels({1.0f}), Error);
+}
+
+TEST(Dataset, SliceCarriesLabels)
+{
+    Dataset dataset(2);
+    for (int i = 0; i < 5; ++i) {
+        dataset.appendRow(
+            {static_cast<float>(i), static_cast<float>(2 * i)});
+    }
+    dataset.setLabels({0, 1, 2, 3, 4});
+    Dataset sliced = dataset.slice(1, 4);
+    EXPECT_EQ(sliced.numRows(), 3);
+    EXPECT_EQ(sliced.row(0)[0], 1.0f);
+    EXPECT_EQ(sliced.label(2), 3.0f);
+    EXPECT_THROW(dataset.slice(3, 2), Error);
+}
+
+TEST(Dataset, BufferConstructorValidatesShape)
+{
+    std::vector<float> values{1, 2, 3, 4, 5, 6};
+    Dataset ok(3, values);
+    EXPECT_EQ(ok.numRows(), 2);
+    EXPECT_THROW(Dataset(4, values), Error);
+}
+
+TEST(Csv, RoundTripWithLabels)
+{
+    Dataset dataset(2);
+    dataset.appendRow({0.5f, 1.5f});
+    dataset.appendRow({2.5f, 3.5f});
+    dataset.setLabels({1.0f, 0.0f});
+
+    std::string path = ::testing::TempDir() + "/treebeard_test.csv";
+    saveCsv(dataset, path);
+    Dataset loaded = loadCsv(path, /*last_column_is_label=*/true);
+    EXPECT_EQ(loaded.numRows(), 2);
+    EXPECT_EQ(loaded.numFeatures(), 2);
+    EXPECT_EQ(loaded.row(1)[0], 2.5f);
+    EXPECT_EQ(loaded.label(0), 1.0f);
+}
+
+TEST(Csv, HeaderSkippingAndErrors)
+{
+    std::string path = ::testing::TempDir() + "/treebeard_test2.csv";
+    writeStringToFile(path, "a,b\n1,2\n3,4\n");
+    Dataset loaded = loadCsv(path, false, /*has_header=*/true);
+    EXPECT_EQ(loaded.numRows(), 2);
+    EXPECT_EQ(loaded.numFeatures(), 2);
+
+    writeStringToFile(path, "1,2\n3\n");
+    EXPECT_THROW(loadCsv(path, false), Error);
+    writeStringToFile(path, "1,x\n");
+    EXPECT_THROW(loadCsv(path, false), Error);
+    writeStringToFile(path, "");
+    EXPECT_THROW(loadCsv(path, false), Error);
+    EXPECT_THROW(loadCsv("/does/not/exist.csv", false), Error);
+}
+
+TEST(Synthetic, FeatureDistributionsHaveExpectedSupport)
+{
+    SyntheticModelSpec spec;
+    spec.name = "t";
+    spec.numFeatures = 4;
+    spec.numTrees = 1;
+    spec.maxDepth = 3;
+
+    spec.featureDistribution = FeatureDistribution::kUniform;
+    Dataset uniform = generateFeatures(spec, 500);
+    spec.featureDistribution = FeatureDistribution::kBinarySparse;
+    spec.binaryOneProbability = 0.1;
+    Dataset binary = generateFeatures(spec, 500);
+
+    double binary_ones = 0;
+    for (int64_t r = 0; r < 500; ++r) {
+        for (int32_t c = 0; c < 4; ++c) {
+            float u = uniform.row(r)[c];
+            EXPECT_GE(u, 0.0f);
+            EXPECT_LT(u, 1.0f);
+            float b = binary.row(r)[c];
+            EXPECT_TRUE(b == 0.0f || b == 1.0f);
+            binary_ones += b;
+        }
+    }
+    // Roughly 10% ones.
+    EXPECT_NEAR(binary_ones / (500.0 * 4), 0.1, 0.05);
+}
+
+TEST(Synthetic, GenerationIsDeterministic)
+{
+    SyntheticModelSpec spec;
+    spec.name = "t";
+    spec.numFeatures = 5;
+    spec.numTrees = 4;
+    spec.maxDepth = 5;
+    spec.trainingRows = 100;
+
+    model::Forest a = synthesizeForest(spec);
+    model::Forest b = synthesizeForest(spec);
+    EXPECT_EQ(a.numTrees(), b.numTrees());
+    for (int64_t t = 0; t < a.numTrees(); ++t) {
+        ASSERT_EQ(a.tree(t).numNodes(), b.tree(t).numNodes());
+        for (model::NodeIndex i = 0; i < a.tree(t).numNodes(); ++i) {
+            EXPECT_EQ(a.tree(t).node(i).threshold,
+                      b.tree(t).node(i).threshold);
+            EXPECT_EQ(a.tree(t).node(i).hitCount,
+                      b.tree(t).node(i).hitCount);
+        }
+    }
+}
+
+TEST(Synthetic, HitCountsMatchTrainingRows)
+{
+    SyntheticModelSpec spec;
+    spec.name = "t";
+    spec.numFeatures = 5;
+    spec.numTrees = 3;
+    spec.maxDepth = 5;
+    spec.trainingRows = 250;
+    model::Forest forest = synthesizeForest(spec);
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        double total = 0;
+        for (model::NodeIndex leaf : forest.tree(t).leafIndices())
+            total += forest.tree(t).node(leaf).hitCount;
+        EXPECT_DOUBLE_EQ(total, 250.0);
+        // Root accumulates everything.
+        EXPECT_DOUBLE_EQ(
+            forest.tree(t).node(forest.tree(t).root()).hitCount, 250.0);
+    }
+}
+
+TEST(Synthetic, StandardSuiteMatchesTableOneParameters)
+{
+    std::vector<SyntheticModelSpec> suite = standardBenchmarkSuite();
+    ASSERT_EQ(suite.size(), 8u);
+
+    auto find = [&](const std::string &name) {
+        return benchmarkSpecByName(name);
+    };
+    EXPECT_EQ(find("abalone").numFeatures, 8);
+    EXPECT_EQ(find("abalone").numTrees, 1000);
+    EXPECT_EQ(find("abalone").maxDepth, 7);
+    EXPECT_EQ(find("airline").numFeatures, 13);
+    EXPECT_EQ(find("airline-ohe").numFeatures, 692);
+    EXPECT_EQ(find("covtype").numTrees, 800);
+    EXPECT_EQ(find("epsilon").numFeatures, 2000);
+    EXPECT_EQ(find("letter").numTrees, 2600);
+    EXPECT_EQ(find("higgs").numFeatures, 28);
+    EXPECT_EQ(find("year").numFeatures, 90);
+    EXPECT_THROW(benchmarkSpecByName("nope"), Error);
+}
+
+TEST(Synthetic, LeafBiasProfilesFollowTableOne)
+{
+    // Scaled-down versions of one strongly biased and one unbiased
+    // benchmark: airline-ohe must be mostly leaf-biased, epsilon not
+    // at all (Table I's last column).
+    SyntheticModelSpec biased =
+        scaledDown(benchmarkSpecByName("airline-ohe"), 40, 1500);
+    SyntheticModelSpec unbiased =
+        scaledDown(benchmarkSpecByName("epsilon"), 40, 1500);
+
+    model::Forest biased_forest = synthesizeForest(biased);
+    model::Forest unbiased_forest = synthesizeForest(unbiased);
+
+    int64_t biased_count =
+        model::countLeafBiasedTrees(biased_forest, 0.075, 0.9);
+    int64_t unbiased_count =
+        model::countLeafBiasedTrees(unbiased_forest, 0.075, 0.9);
+    EXPECT_GE(biased_count, 30);
+    EXPECT_LE(unbiased_count, 2);
+}
+
+} // namespace
+} // namespace treebeard::data

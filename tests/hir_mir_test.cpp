@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the HIR module passes (tiling dispatch, tree reordering,
+ * grouping) and the MIR (lowering structure per loop order, walk
+ * interleaving, peeling/unrolling annotation, parallelization).
+ */
+#include <gtest/gtest.h>
+
+#include "mir/lowering.h"
+#include "mir/passes.h"
+#include "model/model_stats.h"
+#include "test_utils.h"
+
+namespace treebeard {
+namespace {
+
+using testing::makeRandomForest;
+
+hir::HirModule
+makeModule(hir::Schedule schedule, int64_t num_trees = 12,
+           uint64_t seed = 7)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = num_trees;
+    spec.seed = seed;
+    spec.splitProbability = 0.65;
+    return hir::HirModule(makeRandomForest(spec), schedule);
+}
+
+TEST(HirModule, TilingPassAppliesHybridGatePerTree)
+{
+    hir::Schedule schedule;
+    schedule.tiling = hir::TilingAlgorithm::kHybrid;
+    hir::HirModule module = makeModule(schedule);
+    module.runTilingPass();
+    ASSERT_TRUE(module.isTiled());
+    for (int64_t t = 0; t < module.forest().numTrees(); ++t) {
+        hir::TilingAlgorithm applied = module.appliedTiling(t);
+        bool biased = model::isLeafBiased(module.forest().tree(t),
+                                          schedule.alpha, schedule.beta);
+        EXPECT_EQ(applied,
+                  biased ? hir::TilingAlgorithm::kProbabilityBased
+                         : hir::TilingAlgorithm::kBasic);
+    }
+    module.validateTiling();
+}
+
+TEST(HirModule, ReorderSortsUnrolledGroupsByDepth)
+{
+    hir::Schedule schedule;
+    schedule.padAndUnrollWalks = true;
+    schedule.tileSize = 4;
+    hir::HirModule module = makeModule(schedule, 30, 9);
+    module.runAllHirPasses();
+    module.validateTiling();
+
+    const std::vector<hir::TreeGroup> &groups = module.groups();
+    ASSERT_FALSE(groups.empty());
+
+    // Groups must partition all positions contiguously.
+    int64_t cursor = 0;
+    for (const hir::TreeGroup &group : groups) {
+        EXPECT_EQ(group.beginPos, cursor);
+        cursor = group.endPos;
+    }
+    EXPECT_EQ(cursor, module.forest().numTrees());
+
+    // Unrolled groups come first, with strictly increasing depth, and
+    // every member is perfectly balanced at the group depth.
+    int32_t last_depth = -1;
+    bool seen_generic = false;
+    for (const hir::TreeGroup &group : groups) {
+        if (group.unrolledWalk) {
+            EXPECT_FALSE(seen_generic)
+                << "unrolled group after a generic group";
+            EXPECT_GT(group.walkDepth, last_depth);
+            last_depth = group.walkDepth;
+            for (int64_t pos = group.beginPos; pos < group.endPos;
+                 ++pos) {
+                const hir::TiledTree &tiled = module.tiledTree(
+                    module.treeOrder()[static_cast<size_t>(pos)]);
+                EXPECT_TRUE(tiled.isPerfectlyBalanced());
+                EXPECT_EQ(tiled.maxLeafDepth(), group.walkDepth);
+            }
+        } else {
+            seen_generic = true;
+        }
+    }
+}
+
+TEST(HirModule, NoReorderWhenUnrollDisabled)
+{
+    hir::Schedule schedule;
+    schedule.padAndUnrollWalks = false;
+    hir::HirModule module = makeModule(schedule, 20, 10);
+    module.runAllHirPasses();
+    for (size_t i = 0; i < module.treeOrder().size(); ++i)
+        EXPECT_EQ(module.treeOrder()[i], static_cast<int64_t>(i));
+    for (const hir::TreeGroup &group : module.groups())
+        EXPECT_FALSE(group.unrolledWalk);
+}
+
+TEST(HirModule, PeelDepthComesFromMinLeafDepth)
+{
+    hir::Schedule schedule;
+    schedule.padAndUnrollWalks = false;
+    schedule.peelWalks = true;
+    hir::HirModule module = makeModule(schedule, 10, 11);
+    module.runAllHirPasses();
+    for (const hir::TreeGroup &group : module.groups()) {
+        for (int64_t pos = group.beginPos; pos < group.endPos; ++pos) {
+            const hir::TiledTree &tiled = module.tiledTree(
+                module.treeOrder()[static_cast<size_t>(pos)]);
+            EXPECT_LE(group.peelDepth, tiled.minLeafDepth());
+        }
+    }
+}
+
+TEST(HirModule, DumpMentionsStructure)
+{
+    hir::Schedule schedule;
+    hir::HirModule module = makeModule(schedule, 4, 12);
+    module.runAllHirPasses();
+    std::string dump = module.dump();
+    EXPECT_NE(dump.find("hir.module"), std::string::npos);
+    EXPECT_NE(dump.find("group 0"), std::string::npos);
+    EXPECT_NE(dump.find("tree 0"), std::string::npos);
+}
+
+TEST(MirLowering, OneTreeOrderStructure)
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    hir::HirModule module = makeModule(schedule, 10, 13);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+    function.schedule = module.schedule();
+
+    // Batch-wide init, then per-group tree loops, then output.
+    ASSERT_GE(function.body.children.size(), 3u);
+    EXPECT_EQ(function.body.children.front().kind,
+              mir::OpKind::kInitAccumulator);
+    EXPECT_EQ(function.body.children.back().kind,
+              mir::OpKind::kWriteOutput);
+    // Tree loops wrap row loops which wrap walks (snippet E).
+    const mir::MirOp &tree_loop = function.body.children[1];
+    EXPECT_EQ(tree_loop.kind, mir::OpKind::kFor);
+    EXPECT_EQ(tree_loop.inductionVar, "t");
+    ASSERT_EQ(tree_loop.children.size(), 1u);
+    EXPECT_EQ(tree_loop.children[0].inductionVar, "r");
+    EXPECT_EQ(tree_loop.children[0].children[0].kind,
+              mir::OpKind::kWalkGroup);
+
+    EXPECT_EQ(function.walkOps().size(), module.groups().size());
+}
+
+TEST(MirLowering, OneRowOrderStructure)
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneRowAtATime;
+    hir::HirModule module = makeModule(schedule, 10, 14);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+
+    // One row loop containing init, tree loops and output (snippet D).
+    ASSERT_EQ(function.body.children.size(), 1u);
+    const mir::MirOp &row_loop = function.body.children[0];
+    EXPECT_EQ(row_loop.inductionVar, "r");
+    EXPECT_EQ(row_loop.children.front().kind,
+              mir::OpKind::kInitAccumulator);
+    EXPECT_EQ(row_loop.children.back().kind, mir::OpKind::kWriteOutput);
+}
+
+TEST(MirPasses, InterleavingRewritesInnermostLoops)
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    schedule.interleaveFactor = 4;
+    hir::HirModule module = makeModule(schedule, 10, 15);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+    mir::applyWalkPeelingAndUnrolling(function, module);
+    mir::applyWalkInterleaving(function, 4);
+
+    for (const mir::MirOp *walk : function.walkOps()) {
+        EXPECT_EQ(walk->interleave, 4);
+        EXPECT_EQ(walk->interleaveAxis, mir::InterleaveAxis::kRows);
+    }
+
+    // The one-row order interleaves over trees instead.
+    schedule.loopOrder = hir::LoopOrder::kOneRowAtATime;
+    hir::HirModule module2 = makeModule(schedule, 10, 15);
+    module2.runAllHirPasses();
+    mir::MirFunction function2 = mir::lowerToMir(module2);
+    mir::applyWalkInterleaving(function2, 4);
+    for (const mir::MirOp *walk : function2.walkOps())
+        EXPECT_EQ(walk->interleaveAxis, mir::InterleaveAxis::kTrees);
+}
+
+TEST(MirPasses, PeelUnrollAnnotatesFromGroups)
+{
+    hir::Schedule schedule;
+    hir::HirModule module = makeModule(schedule, 10, 16);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+    mir::applyWalkPeelingAndUnrolling(function, module);
+    std::vector<const mir::MirOp *> walks = function.walkOps();
+    ASSERT_EQ(walks.size(), module.groups().size());
+    for (size_t g = 0; g < walks.size(); ++g) {
+        EXPECT_EQ(walks[g]->unrolled, module.groups()[g].unrolledWalk);
+        EXPECT_EQ(walks[g]->walkDepth, module.groups()[g].walkDepth);
+        EXPECT_EQ(walks[g]->peelDepth, module.groups()[g].peelDepth);
+    }
+}
+
+TEST(MirPasses, ParallelizationWrapsBody)
+{
+    hir::Schedule schedule;
+    schedule.numThreads = 4;
+    hir::HirModule module = makeModule(schedule, 10, 17);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+    EXPECT_FALSE(function.isParallel());
+    mir::applyParallelization(function, 4);
+    EXPECT_TRUE(function.isParallel());
+    ASSERT_EQ(function.body.children.size(), 1u);
+    EXPECT_EQ(function.body.children[0].kind,
+              mir::OpKind::kParallelFor);
+    EXPECT_NE(function.body.children[0].step.find("numRows/4"),
+              std::string::npos);
+}
+
+TEST(MirPrinting, ShowsScheduleEffects)
+{
+    hir::Schedule schedule;
+    schedule.interleaveFactor = 8;
+    schedule.numThreads = 2;
+    hir::HirModule module = makeModule(schedule, 10, 18);
+    module.runAllHirPasses();
+    mir::MirFunction function = mir::lowerToMir(module);
+    mir::runMirPasses(function, module);
+    std::string text = function.print();
+    EXPECT_NE(text.find("parallel.for"), std::string::npos);
+    EXPECT_NE(text.find("interleave=8"), std::string::npos);
+    EXPECT_NE(text.find("walk_group"), std::string::npos);
+    EXPECT_NE(text.find("write_output"), std::string::npos);
+}
+
+TEST(MirVerify, CatchesBrokenFunctions)
+{
+    mir::MirFunction empty;
+    empty.body.kind = mir::OpKind::kFunction;
+    EXPECT_THROW(empty.verify(), Error);
+
+    mir::MirFunction bad;
+    bad.body.kind = mir::OpKind::kFunction;
+    mir::MirOp walk;
+    walk.kind = mir::OpKind::kWalkGroup;
+    walk.groupIndex = -1;
+    bad.body.addChild(walk);
+    EXPECT_THROW(bad.verify(), Error);
+}
+
+} // namespace
+} // namespace treebeard

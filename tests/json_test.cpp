@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the JSON substrate: parsing, serialization round-trips,
+ * escapes, and malformed-input rejection.
+ */
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace treebeard {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_EQ(JsonValue::parse("true").asBoolean(), true);
+    EXPECT_EQ(JsonValue::parse("false").asBoolean(), false);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-3.25").asNumber(), -3.25);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("2.5E-2").asNumber(), 0.025);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructures)
+{
+    JsonValue value = JsonValue::parse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+    ASSERT_TRUE(value.isObject());
+    const auto &a = value.at("a").asArray();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[2].at("b").asBoolean(), true);
+    EXPECT_TRUE(value.at("c").at("d").isNull());
+    EXPECT_EQ(value.at("e").asString(), "x");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    JsonValue value =
+        JsonValue::parse(R"("line\nbreak\ttab\\slash\"quoteA")");
+    EXPECT_EQ(value.asString(), "line\nbreak\ttab\\slash\"quoteA");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte)
+{
+    // U+00E9 (e-acute) encodes as two UTF-8 bytes.
+    JsonValue value = JsonValue::parse(R"("é")");
+    EXPECT_EQ(value.asString(), "\xc3\xa9");
+}
+
+TEST(JsonParse, WhitespaceTolerance)
+{
+    JsonValue value =
+        JsonValue::parse("  {  \"k\" :\n[ 1 ,\t2 ]  }  ");
+    EXPECT_EQ(value.at("k").asArray().size(), 2u);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse(""), Error);
+    EXPECT_THROW(JsonValue::parse("{"), Error);
+    EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+    EXPECT_THROW(JsonValue::parse("{\"a\":}"), Error);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+    EXPECT_THROW(JsonValue::parse("tru"), Error);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+    EXPECT_THROW(JsonValue::parse("1 2"), Error);
+    EXPECT_THROW(JsonValue::parse("1."), Error);
+    EXPECT_THROW(JsonValue::parse("-"), Error);
+    EXPECT_THROW(JsonValue::parse("\"\\u00g1\""), Error);
+    EXPECT_THROW(JsonValue::parse("nil"), Error);
+}
+
+TEST(JsonAccessors, KindMismatchesThrow)
+{
+    JsonValue number(1.5);
+    EXPECT_THROW(number.asString(), Error);
+    EXPECT_THROW(number.asArray(), Error);
+    EXPECT_THROW(number.asObject(), Error);
+    EXPECT_THROW(number.asBoolean(), Error);
+    EXPECT_THROW(number.at("x"), Error);
+    EXPECT_THROW(JsonValue(1.5).asInt(), Error);
+    EXPECT_EQ(JsonValue(3.0).asInt(), 3);
+}
+
+TEST(JsonAccessors, GetOrAndContains)
+{
+    JsonValue value = JsonValue::parse(R"({"a": 1})");
+    EXPECT_TRUE(value.contains("a"));
+    EXPECT_FALSE(value.contains("b"));
+    JsonValue fallback("dflt");
+    EXPECT_EQ(value.getOr("b", fallback).asString(), "dflt");
+    EXPECT_DOUBLE_EQ(value.getOr("a", fallback).asNumber(), 1.0);
+}
+
+TEST(JsonDump, RoundTrip)
+{
+    std::string text =
+        R"({"arr":[1,2.5,"s"],"nested":{"t":true},"z":null})";
+    JsonValue value = JsonValue::parse(text);
+    JsonValue reparsed = JsonValue::parse(value.dump());
+    EXPECT_EQ(reparsed.dump(), value.dump());
+    // Pretty output parses back to the same document.
+    EXPECT_EQ(JsonValue::parse(value.dumpPretty()).dump(), value.dump());
+}
+
+TEST(JsonDump, EscapesControlCharacters)
+{
+    JsonValue value(std::string("a\x01""b\"c\n"));
+    std::string dumped = value.dump();
+    EXPECT_EQ(JsonValue::parse(dumped).asString(), value.asString());
+}
+
+TEST(JsonDump, NumbersRoundTripPrecisely)
+{
+    double values[] = {0.1, 1e-8, 123456789.123, -0.0078125, 3.0};
+    for (double v : values) {
+        JsonValue parsed = JsonValue::parse(JsonValue(v).dump());
+        EXPECT_DOUBLE_EQ(parsed.asNumber(), v);
+    }
+}
+
+TEST(JsonBuild, MutableBuilders)
+{
+    JsonValue object;
+    object.mutableObject()["k"] = JsonValue(5);
+    JsonValue array;
+    array.mutableArray().push_back(JsonValue("x"));
+    object.mutableObject()["arr"] = array;
+    EXPECT_EQ(object.at("k").asInt(), 5);
+    EXPECT_EQ(object.at("arr").asArray()[0].asString(), "x");
+    // A value that is already a non-object cannot become one.
+    JsonValue number(2.0);
+    EXPECT_THROW(number.mutableObject(), Error);
+}
+
+TEST(JsonFile, ReadWriteRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/treebeard_json_test.json";
+    writeStringToFile(path, "{\"v\": 7}");
+    JsonValue value = JsonValue::parse(readFileToString(path));
+    EXPECT_EQ(value.at("v").asInt(), 7);
+    EXPECT_THROW(readFileToString("/nonexistent/path/file.json"), Error);
+}
+
+} // namespace
+} // namespace treebeard

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for multiclass support: model-level softmax prediction,
+ * round-robin tree-to-class assignment, serialization, multiclass
+ * training, and compiled-session agreement with the reference across
+ * schedules (including reordering, which permutes trees and must
+ * preserve class assignment).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/serialization.h"
+#include "test_utils.h"
+#include "train/gbdt_trainer.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+/** A multiclass forest with controlled per-class trees. */
+model::Forest
+makeMulticlassForest(int32_t classes, int64_t rounds, uint64_t seed)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = classes * rounds;
+    spec.numFeatures = 10;
+    spec.maxDepth = 6;
+    spec.seed = seed;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+    forest.setObjective(model::Objective::kMulticlassSoftmax);
+    forest.setNumClasses(classes);
+    forest.setBaseScore(0.0f);
+    return forest;
+}
+
+TEST(MulticlassModel, TreeClassAssignmentIsRoundRobin)
+{
+    model::Forest forest = makeMulticlassForest(3, 4, 2001);
+    EXPECT_EQ(forest.numClasses(), 3);
+    EXPECT_EQ(forest.treeClass(0), 0);
+    EXPECT_EQ(forest.treeClass(1), 1);
+    EXPECT_EQ(forest.treeClass(2), 2);
+    EXPECT_EQ(forest.treeClass(3), 0);
+}
+
+TEST(MulticlassModel, SoftmaxOutputsAreADistribution)
+{
+    model::Forest forest = makeMulticlassForest(4, 3, 2002);
+    std::vector<float> row = testing::makeRandomRows(10, 1, 2003);
+    std::vector<float> out(4);
+    forest.predictMulticlass(row.data(), out.data());
+    float sum = 0.0f;
+    for (float p : out) {
+        EXPECT_GT(p, 0.0f);
+        EXPECT_LT(p, 1.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(MulticlassModel, ValidationRules)
+{
+    model::Forest forest = makeMulticlassForest(3, 2, 2004);
+    EXPECT_NO_THROW(forest.validate());
+    // numClasses > 1 without the softmax objective is rejected.
+    forest.setObjective(model::Objective::kRegression);
+    EXPECT_THROW(forest.validate(), Error);
+    // Softmax with a single class is rejected.
+    forest.setObjective(model::Objective::kMulticlassSoftmax);
+    forest.setNumClasses(1);
+    EXPECT_THROW(forest.validate(), Error);
+    EXPECT_THROW(forest.setNumClasses(0), Error);
+}
+
+TEST(MulticlassModel, SerializationRoundTrip)
+{
+    model::Forest forest = makeMulticlassForest(5, 2, 2005);
+    model::Forest loaded =
+        model::forestFromJson(model::forestToJson(forest));
+    EXPECT_EQ(loaded.numClasses(), 5);
+    EXPECT_EQ(loaded.objective(),
+              model::Objective::kMulticlassSoftmax);
+
+    std::vector<float> rows = testing::makeRandomRows(10, 20, 2006);
+    std::vector<float> expected(20 * 5), actual(20 * 5);
+    forest.predictBatch(rows.data(), 20, expected.data());
+    loaded.predictBatch(rows.data(), 20, actual.data());
+    testing::expectPredictionsExact(expected, actual);
+}
+
+TEST(Softmax, StableAndNormalized)
+{
+    float values[3] = {1000.0f, 1001.0f, 999.0f};
+    model::softmaxInPlace(values, 3);
+    EXPECT_NEAR(values[0] + values[1] + values[2], 1.0f, 1e-6f);
+    EXPECT_GT(values[1], values[0]);
+    EXPECT_GT(values[0], values[2]);
+}
+
+struct MulticlassScheduleCase
+{
+    hir::LoopOrder loopOrder;
+    int32_t tileSize;
+    int32_t interleave;
+    bool unroll;
+    int32_t threads;
+};
+
+class MulticlassCompiled
+    : public ::testing::TestWithParam<MulticlassScheduleCase>
+{};
+
+TEST_P(MulticlassCompiled, MatchesReference)
+{
+    const MulticlassScheduleCase &c = GetParam();
+    model::Forest forest = makeMulticlassForest(3, 9, 2007);
+    std::vector<float> rows = testing::makeRandomRows(10, 97, 2008);
+    std::vector<float> expected(97 * 3);
+    forest.predictBatch(rows.data(), 97, expected.data());
+
+    hir::Schedule schedule;
+    schedule.loopOrder = c.loopOrder;
+    schedule.tileSize = c.tileSize;
+    schedule.interleaveFactor = c.interleave;
+    schedule.padAndUnrollWalks = c.unroll;
+    schedule.numThreads = c.threads;
+
+    InferenceSession session = compileForest(forest, schedule);
+    EXPECT_EQ(session.numClasses(), 3);
+    std::vector<float> actual(97 * 3);
+    session.predict(rows.data(), 97, actual.data());
+    // Softmax is exact given exact margins (quantized leaves), so
+    // outputs are bit-identical.
+    testing::expectPredictionsExact(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, MulticlassCompiled,
+    ::testing::Values(
+        MulticlassScheduleCase{hir::LoopOrder::kOneTreeAtATime, 8, 4,
+                               true, 1},
+        MulticlassScheduleCase{hir::LoopOrder::kOneTreeAtATime, 1, 1,
+                               false, 1},
+        MulticlassScheduleCase{hir::LoopOrder::kOneRowAtATime, 4, 4,
+                               true, 1},
+        MulticlassScheduleCase{hir::LoopOrder::kOneRowAtATime, 8, 1,
+                               false, 1},
+        MulticlassScheduleCase{hir::LoopOrder::kOneTreeAtATime, 8, 8,
+                               true, 4},
+        MulticlassScheduleCase{hir::LoopOrder::kOneTreeAtATime, 3, 1,
+                               true, 1}));
+
+TEST(MulticlassCompiledMisc, InstrumentedPathAgrees)
+{
+    model::Forest forest = makeMulticlassForest(4, 5, 2009);
+    std::vector<float> rows = testing::makeRandomRows(10, 30, 2010);
+    std::vector<float> expected(30 * 4);
+    forest.predictBatch(rows.data(), 30, expected.data());
+
+    InferenceSession session = compileForest(forest, {});
+    std::vector<float> actual(30 * 4);
+    runtime::WalkCounters counters;
+    session.predictInstrumented(rows.data(), 30, actual.data(),
+                                &counters);
+    testing::expectPredictionsExact(expected, actual);
+    EXPECT_GT(counters.tilesVisited, 0);
+}
+
+TEST(MulticlassTraining, LearnsSeparableClasses)
+{
+    // Three Gaussian-ish blobs along feature 0/1.
+    Rng rng(2011);
+    data::Dataset dataset(2);
+    std::vector<float> labels;
+    for (int64_t i = 0; i < 900; ++i) {
+        int32_t k = static_cast<int32_t>(i % 3);
+        float x0 = 0.2f + 0.3f * k +
+                   0.05f * static_cast<float>(rng.gaussian());
+        float x1 = 0.8f - 0.25f * k +
+                   0.05f * static_cast<float>(rng.gaussian());
+        dataset.appendRow({x0, x1});
+        labels.push_back(static_cast<float>(k));
+    }
+    dataset.setLabels(std::move(labels));
+
+    train::TrainingConfig config;
+    config.objective = model::Objective::kMulticlassSoftmax;
+    config.numClasses = 3;
+    config.numTrees = 20; // rounds
+    config.maxDepth = 4;
+    config.learningRate = 0.3;
+    train::GbdtTrainer trainer(config);
+    model::Forest forest = trainer.train(dataset);
+
+    EXPECT_EQ(forest.numClasses(), 3);
+    EXPECT_EQ(forest.numTrees(), 60); // rounds x classes
+
+    // Loss decreases.
+    EXPECT_LT(trainer.history().back().trainingLoss,
+              trainer.history().front().trainingLoss * 0.3);
+
+    // Accuracy on the training blobs via the compiled session.
+    InferenceSession session = compileForest(forest, {});
+    std::vector<float> probabilities(
+        static_cast<size_t>(dataset.numRows()) * 3);
+    session.predict(dataset.rows(), dataset.numRows(),
+                    probabilities.data());
+    int64_t correct = 0;
+    for (int64_t r = 0; r < dataset.numRows(); ++r) {
+        const float *p = probabilities.data() + r * 3;
+        int32_t argmax = 0;
+        for (int32_t k = 1; k < 3; ++k) {
+            if (p[k] > p[argmax])
+                argmax = k;
+        }
+        correct += argmax == static_cast<int32_t>(dataset.label(r));
+    }
+    EXPECT_GT(static_cast<double>(correct) / dataset.numRows(), 0.95);
+}
+
+TEST(MulticlassTraining, RejectsBadLabels)
+{
+    data::Dataset dataset(2);
+    dataset.appendRow({0.1f, 0.2f});
+    dataset.appendRow({0.3f, 0.4f});
+    dataset.setLabels({0.0f, 2.5f}); // not an integer class id
+
+    train::TrainingConfig config;
+    config.objective = model::Objective::kMulticlassSoftmax;
+    config.numClasses = 3;
+    config.numTrees = 2;
+    EXPECT_THROW(train::GbdtTrainer(config).train(dataset), Error);
+
+    config.numClasses = 1;
+    EXPECT_THROW(train::GbdtTrainer(config).train(dataset), Error);
+}
+
+} // namespace
+} // namespace treebeard

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Missing-value (NaN) support tests: per-node default directions must
+ * be honored identically by the reference walk, the tiled reference
+ * walk, every compiled schedule (SIMD tile evaluation included), the
+ * source-JIT backend, and the Treelite/XGBoost-style baselines.
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baselines/treelite_style.h"
+#include "baselines/xgboost_style.h"
+#include "codegen/cpp_emitter.h"
+#include "hir/tiling.h"
+#include "lir/layout_builder.h"
+#include "model/serialization.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+/** Give every internal node a pseudo-random default direction. */
+void
+assignDefaultDirections(model::Forest &forest, uint64_t seed)
+{
+    Rng rng(seed);
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        model::DecisionTree &tree = forest.mutableTree(t);
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            if (!tree.node(i).isLeaf())
+                tree.mutableNode(i).defaultLeft = rng.bernoulli(0.5);
+        }
+    }
+}
+
+/** Rows where a random subset of features is NaN. */
+std::vector<float>
+makeRowsWithMissing(int32_t num_features, int64_t num_rows,
+                    double missing_probability, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * num_features);
+    for (float &value : rows) {
+        value = rng.bernoulli(missing_probability)
+                    ? kNaN
+                    : rng.uniformFloat(0.0f, 1.0f);
+    }
+    return rows;
+}
+
+class NanSupportFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        testing::RandomForestSpec spec;
+        spec.numTrees = 20;
+        spec.maxDepth = 7;
+        spec.seed = 9001;
+        forest_ = testing::makeRandomForest(spec);
+        testing::quantizeLeafValues(forest_);
+        assignDefaultDirections(forest_, 9002);
+        rows_ = makeRowsWithMissing(spec.numFeatures, 150, 0.3, 9003);
+        expected_ = testing::referencePredictions(forest_, rows_);
+    }
+
+    model::Forest forest_{1};
+    std::vector<float> rows_;
+    std::vector<float> expected_;
+};
+
+TEST_F(NanSupportFixture, ReferenceWalkUsesDefaultDirections)
+{
+    // A NaN-only row must still land on a well-defined leaf per tree.
+    std::vector<float> nan_row(
+        static_cast<size_t>(forest_.numFeatures()), kNaN);
+    for (int64_t t = 0; t < forest_.numTrees(); ++t) {
+        float value = forest_.tree(t).predict(nan_row.data());
+        EXPECT_TRUE(std::isfinite(value));
+    }
+}
+
+TEST_F(NanSupportFixture, TiledWalkMatchesReference)
+{
+    for (int64_t t = 0; t < forest_.numTrees(); ++t) {
+        hir::TiledTree tiled = hir::basicTiling(forest_.tree(t), 4);
+        for (int64_t r = 0; r < 150; ++r) {
+            const float *row =
+                rows_.data() + r * forest_.numFeatures();
+            EXPECT_EQ(tiled.predict(row), forest_.tree(t).predict(row))
+                << "tree " << t << " row " << r;
+        }
+    }
+}
+
+TEST_F(NanSupportFixture, CompiledSchedulesMatchReference)
+{
+    for (int32_t tile_size : {1, 2, 4, 8}) {
+        for (auto layout : {hir::MemoryLayout::kArray,
+                            hir::MemoryLayout::kSparse}) {
+            hir::Schedule schedule;
+            schedule.tileSize = tile_size;
+            schedule.layout = layout;
+            schedule.interleaveFactor = tile_size >= 4 ? 4 : 1;
+            InferenceSession session = compileForest(forest_, schedule);
+            std::vector<float> actual(150);
+            session.predict(rows_.data(), 150, actual.data());
+            for (size_t i = 0; i < actual.size(); ++i) {
+                EXPECT_EQ(expected_[i], actual[i])
+                    << "tile " << tile_size << " layout "
+                    << static_cast<int>(layout) << " row " << i;
+            }
+        }
+    }
+}
+
+TEST_F(NanSupportFixture, SourceBackendMatchesReference)
+{
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    hir::HirModule module(forest_, schedule);
+    module.runAllHirPasses();
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+    codegen::JitOptions jit_options;
+    jit_options.optLevel = "-O0";
+    codegen::JitCompiledSession session(std::move(buffers),
+                                        module.groups(), schedule,
+                                        jit_options);
+    std::vector<float> actual(150);
+    session.predict(rows_.data(), 150, actual.data());
+    testing::expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(NanSupportFixture, TreeliteBaselineMatchesReference)
+{
+    baselines::TreeliteOptions options;
+    options.optLevel = "-O0";
+    baselines::TreeliteStyle treelite(forest_, options);
+    std::vector<float> actual(150);
+    treelite.predict(rows_.data(), 150, actual.data());
+    testing::expectPredictionsExact(expected_, actual);
+}
+
+TEST_F(NanSupportFixture, XgBoostBaselineMatchesReference)
+{
+    for (auto version : {baselines::XgBoostVersion::kV09,
+                         baselines::XgBoostVersion::kV15}) {
+        baselines::XgBoostStyle xgboost(forest_, version);
+        std::vector<float> actual(150);
+        xgboost.predict(rows_.data(), 150, actual.data());
+        testing::expectPredictionsExact(expected_, actual);
+    }
+}
+
+TEST_F(NanSupportFixture, SerializationPreservesDefaultDirections)
+{
+    model::Forest loaded =
+        model::forestFromJson(model::forestToJson(forest_));
+    std::vector<float> actual =
+        testing::referencePredictions(loaded, rows_);
+    testing::expectPredictionsExact(expected_, actual);
+}
+
+TEST(NanSupport, XgboostImportReadsDefaultLeft)
+{
+    std::string text = R"({
+      "learner": {
+        "learner_model_param": {"num_feature": "2", "base_score": "0"},
+        "objective": {"name": "reg:squarederror"},
+        "gradient_booster": {
+          "model": {
+            "trees": [
+              {
+                "split_indices": [0, 0, 0],
+                "split_conditions": [0.5, 0, 0],
+                "left_children": [1, -1, -1],
+                "right_children": [2, -1, -1],
+                "base_weights": [0, 10.0, 20.0],
+                "default_left": [1, 0, 0]
+              }
+            ]
+          }
+        }
+      }
+    })";
+    model::Forest forest =
+        model::importXgboostJson(JsonValue::parse(text));
+    float nan_row[2] = {kNaN, 0.0f};
+    EXPECT_EQ(forest.predict(nan_row), 10.0f); // default-left
+    float present[2] = {0.9f, 0.0f};
+    EXPECT_EQ(forest.predict(present), 20.0f);
+}
+
+TEST(NanSupport, DefaultRightIsTheDefault)
+{
+    model::DecisionTree tree;
+    model::NodeIndex left = tree.addLeaf(1.0f);
+    model::NodeIndex right = tree.addLeaf(2.0f);
+    tree.setRoot(tree.addInternal(0, 0.5f, left, right));
+    float nan_value = kNaN;
+    EXPECT_EQ(tree.predict(&nan_value), 2.0f);
+}
+
+} // namespace
+} // namespace treebeard

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Randomized property sweep: across many seeds, generate a forest
+ * with random structural parameters and a random schedule, and check
+ * the full pipeline invariants — valid tiling, balanced groups,
+ * predictions bit-identical to the reference, and layout structural
+ * properties. This is the suite's fuzzing backstop: each seed
+ * exercises a different corner of the (model x schedule) space.
+ */
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "lir/layout_builder.h"
+#include "model/serialization.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PropertySweep, PipelineInvariantsHold)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    // Random model shape.
+    testing::RandomForestSpec spec;
+    spec.numFeatures = static_cast<int32_t>(rng.uniformInt(2, 40));
+    spec.numTrees = rng.uniformInt(1, 30);
+    spec.maxDepth = static_cast<int32_t>(rng.uniformInt(1, 9));
+    spec.splitProbability = rng.uniform(0.4, 0.95);
+    spec.statisticsRows = rng.uniformInt(0, 400);
+    spec.seed = seed * 31 + 7;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+
+    // Random default directions on some runs.
+    if (rng.bernoulli(0.5)) {
+        for (int64_t t = 0; t < forest.numTrees(); ++t) {
+            model::DecisionTree &tree = forest.mutableTree(t);
+            for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+                if (!tree.node(i).isLeaf())
+                    tree.mutableNode(i).defaultLeft =
+                        rng.bernoulli(0.5);
+            }
+        }
+    }
+
+    // Random schedule.
+    hir::Schedule schedule;
+    const int32_t tile_sizes[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    schedule.tileSize =
+        tile_sizes[rng.uniformInt(0, 7)];
+    schedule.loopOrder = rng.bernoulli(0.5)
+                             ? hir::LoopOrder::kOneTreeAtATime
+                             : hir::LoopOrder::kOneRowAtATime;
+    const hir::TilingAlgorithm tilings[] = {
+        hir::TilingAlgorithm::kBasic,
+        hir::TilingAlgorithm::kProbabilityBased,
+        hir::TilingAlgorithm::kHybrid,
+        hir::TilingAlgorithm::kMinMaxDepth};
+    schedule.tiling = tilings[rng.uniformInt(0, 3)];
+    schedule.layout = rng.bernoulli(0.5) ? hir::MemoryLayout::kArray
+                                         : hir::MemoryLayout::kSparse;
+    const int32_t interleaves[] = {1, 2, 4, 8};
+    schedule.interleaveFactor =
+        interleaves[rng.uniformInt(0, 3)];
+    schedule.padAndUnrollWalks = rng.bernoulli(0.7);
+    schedule.peelWalks = rng.bernoulli(0.7);
+    schedule.numThreads =
+        static_cast<int32_t>(rng.uniformInt(1, 4));
+
+    // Pipeline invariants at the HIR level.
+    hir::HirModule module(forest, schedule);
+    module.runAllHirPasses();
+    module.validateTiling();
+    int64_t covered = 0;
+    for (const hir::TreeGroup &group : module.groups())
+        covered += group.size();
+    ASSERT_EQ(covered, forest.numTrees());
+
+    // Layout invariants.
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+    ASSERT_EQ(buffers.numTrees, forest.numTrees());
+    for (int64_t pos = 0; pos < buffers.numTrees; ++pos) {
+        EXPECT_LT(buffers.treeFirstTile[static_cast<size_t>(pos)],
+                  buffers.treeTileEnd[static_cast<size_t>(pos)]);
+    }
+
+    // End-to-end agreement, with some NaN inputs mixed in.
+    int64_t num_rows = rng.uniformInt(1, 100);
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * spec.numFeatures);
+    for (float &value : rows) {
+        value = rng.bernoulli(0.05)
+                    ? std::numeric_limits<float>::quiet_NaN()
+                    : rng.uniformFloat(0.0f, 1.0f);
+    }
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+
+    InferenceSession session = compileForest(forest, schedule);
+    std::vector<float> actual(static_cast<size_t>(num_rows));
+    session.predict(rows.data(), num_rows, actual.data());
+    testing::expectPredictionsExact(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<uint64_t>(1, 33));
+
+} // namespace
+} // namespace treebeard
+
+namespace treebeard {
+namespace {
+
+/**
+ * Serialization round-trip property: across random model shapes
+ * (objectives, classes, default directions, hit counts), the native
+ * JSON format must reproduce the forest exactly — structure, metadata
+ * and predictions.
+ */
+class SerializationSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SerializationSweep, NativeFormatRoundTripsExactly)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed * 131 + 17);
+
+    testing::RandomForestSpec spec;
+    spec.numFeatures = static_cast<int32_t>(rng.uniformInt(1, 30));
+    spec.numTrees = rng.uniformInt(1, 20);
+    spec.maxDepth = static_cast<int32_t>(rng.uniformInt(1, 8));
+    spec.statisticsRows = rng.uniformInt(0, 300);
+    spec.seed = seed;
+    model::Forest forest = testing::makeRandomForest(spec);
+
+    // Random metadata.
+    if (rng.bernoulli(0.3)) {
+        forest.setObjective(model::Objective::kBinaryLogistic);
+    } else if (rng.bernoulli(0.3) && forest.numTrees() >= 2) {
+        forest.setObjective(model::Objective::kMulticlassSoftmax);
+        forest.setNumClasses(
+            static_cast<int32_t>(rng.uniformInt(2, 4)));
+    }
+    forest.setBaseScore(rng.uniformFloat(-1.0f, 1.0f));
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        model::DecisionTree &tree = forest.mutableTree(t);
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            if (!tree.node(i).isLeaf())
+                tree.mutableNode(i).defaultLeft = rng.bernoulli(0.3);
+        }
+    }
+
+    model::Forest loaded =
+        model::forestFromJson(model::forestToJson(forest));
+
+    // Metadata and structure.
+    ASSERT_EQ(loaded.numTrees(), forest.numTrees());
+    EXPECT_EQ(loaded.numFeatures(), forest.numFeatures());
+    EXPECT_EQ(loaded.objective(), forest.objective());
+    EXPECT_EQ(loaded.numClasses(), forest.numClasses());
+    EXPECT_EQ(loaded.baseScore(), forest.baseScore());
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        const model::DecisionTree &a = forest.tree(t);
+        const model::DecisionTree &b = loaded.tree(t);
+        ASSERT_EQ(a.numNodes(), b.numNodes());
+        for (model::NodeIndex i = 0; i < a.numNodes(); ++i) {
+            EXPECT_EQ(a.node(i).threshold, b.node(i).threshold);
+            EXPECT_EQ(a.node(i).featureIndex, b.node(i).featureIndex);
+            EXPECT_EQ(a.node(i).left, b.node(i).left);
+            EXPECT_EQ(a.node(i).right, b.node(i).right);
+            EXPECT_EQ(a.node(i).defaultLeft, b.node(i).defaultLeft);
+            EXPECT_EQ(a.node(i).hitCount, b.node(i).hitCount);
+        }
+    }
+
+    // Predictions, including NaN routing.
+    int64_t num_rows = 40;
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * spec.numFeatures);
+    for (float &value : rows) {
+        value = rng.bernoulli(0.1)
+                    ? std::numeric_limits<float>::quiet_NaN()
+                    : rng.uniformFloat(0.0f, 1.0f);
+    }
+    std::vector<float> expected(
+        static_cast<size_t>(num_rows) * forest.numClasses());
+    std::vector<float> actual(expected.size());
+    forest.predictBatch(rows.data(), num_rows, expected.data());
+    loaded.predictBatch(rows.data(), num_rows, actual.data());
+    testing::expectPredictionsExact(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace treebeard

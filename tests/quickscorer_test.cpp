@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the QuickScorer traversal strategy: agreement with the
+ * reference walk across model shapes (including trees with more than
+ * 64 leaves, exercising multi-word masks), objectives, threading, and
+ * the boundary semantics of the node predicate.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/quickscorer.h"
+#include "test_utils.h"
+
+namespace treebeard::baselines {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+using testing::referencePredictions;
+
+TEST(QuickScorer, MatchesReferenceOnSmallTrees)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 30;
+    spec.maxDepth = 5; // <= 32 leaves: single-word masks
+    spec.seed = 1001;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 150,
+                                             1002);
+    std::vector<float> expected = referencePredictions(forest, rows);
+
+    QuickScorer scorer(forest);
+    std::vector<float> actual(150);
+    scorer.predict(rows.data(), 150, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(QuickScorer, MatchesReferenceOnDeepTrees)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 10;
+    spec.maxDepth = 9; // up to 512 leaves: multi-word masks
+    spec.splitProbability = 0.85;
+    spec.seed = 1003;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+
+    // Verify the multi-word path actually runs.
+    int64_t max_leaves = 0;
+    for (const model::DecisionTree &tree : forest.trees())
+        max_leaves = std::max(max_leaves, tree.numLeaves());
+    ASSERT_GT(max_leaves, 64);
+
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 200,
+                                             1004);
+    std::vector<float> expected = referencePredictions(forest, rows);
+    QuickScorer scorer(forest);
+    std::vector<float> actual(200);
+    scorer.predict(rows.data(), 200, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(QuickScorer, BoundaryValuesGoRight)
+{
+    // The node predicate is x < t: x == t must take the right branch,
+    // i.e. the condition is false and the left subtree is masked out.
+    model::Forest forest(1);
+    model::DecisionTree tree;
+    model::NodeIndex left = tree.addLeaf(1.0f);
+    model::NodeIndex right = tree.addLeaf(2.0f);
+    tree.setRoot(tree.addInternal(0, 0.5f, left, right));
+    forest.addTree(std::move(tree));
+
+    QuickScorer scorer(forest);
+    float rows[3] = {0.4999f, 0.5f, 0.5001f};
+    float out[3];
+    scorer.predict(rows, 3, out);
+    EXPECT_EQ(out[0], 1.0f);
+    EXPECT_EQ(out[1], 2.0f);
+    EXPECT_EQ(out[2], 2.0f);
+}
+
+TEST(QuickScorer, LogisticObjective)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 12;
+    spec.seed = 1005;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    forest.setObjective(model::Objective::kBinaryLogistic);
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 60,
+                                             1006);
+    std::vector<float> expected = referencePredictions(forest, rows);
+    QuickScorer scorer(forest);
+    std::vector<float> actual(60);
+    scorer.predict(rows.data(), 60, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(QuickScorer, ParallelMatchesSerial)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 20;
+    spec.seed = 1007;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    std::vector<float> rows = makeRandomRows(spec.numFeatures, 123,
+                                             1008);
+    std::vector<float> expected = referencePredictions(forest, rows);
+    QuickScorer scorer(forest, /*num_threads=*/4);
+    std::vector<float> actual(123);
+    scorer.predict(rows.data(), 123, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(QuickScorer, FootprintGrowsWithModel)
+{
+    testing::RandomForestSpec small_spec;
+    small_spec.numTrees = 5;
+    small_spec.seed = 1009;
+    testing::RandomForestSpec large_spec = small_spec;
+    large_spec.numTrees = 50;
+
+    QuickScorer small(makeRandomForest(small_spec));
+    QuickScorer large(makeRandomForest(large_spec));
+    EXPECT_GT(large.footprintBytes(), small.footprintBytes());
+    EXPECT_GT(large.bitvectorWords(), small.bitvectorWords());
+}
+
+} // namespace
+} // namespace treebeard::baselines

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the runtime substrate: the thread pool's parallelFor
+ * semantics and the plan's parallel execution, plus the tuner's grid
+ * enumeration and exploration.
+ */
+#include <atomic>
+#include <thread>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+#include "tuner/auto_tuner.h"
+
+namespace treebeard {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 0u); // no background workers
+    std::vector<int> touched(100, 0);
+    pool.parallelFor(0, 100, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i)
+            touched[static_cast<size_t>(i)] += 1;
+    });
+    for (int v : touched)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> touched(1000);
+    pool.parallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i)
+            touched[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto &v : touched)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ChunksMatchPaperTiling)
+{
+    // Section IV-C: the row loop is tiled by ceil(rows / cores).
+    ThreadPool pool(8);
+    std::mutex mutex;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    pool.parallelFor(0, 64, [&](int64_t begin, int64_t end) {
+        std::lock_guard<std::mutex> lock(mutex);
+        chunks.push_back({begin, end});
+    });
+    ASSERT_EQ(chunks.size(), 8u);
+    for (const auto &[begin, end] : chunks)
+        EXPECT_EQ(end - begin, 8);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> covered{0};
+    pool.parallelFor(0, 2, [&](int64_t begin, int64_t end) {
+        covered += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(covered.load(), 2);
+}
+
+TEST(ThreadPool, RunOnAllWorkers)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<unsigned> seen;
+    pool.runOnAllWorkers([&](unsigned index) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(index);
+    });
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ParallelPlan, ManyThreadConfigsMatchReference)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 30;
+    spec.seed = 81;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+    std::vector<float> rows =
+        testing::makeRandomRows(spec.numFeatures, 301, 82);
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+
+    for (int32_t threads : {2, 3, 8, 16}) {
+        hir::Schedule schedule;
+        schedule.numThreads = threads;
+        schedule.interleaveFactor = 4;
+        InferenceSession session = compileForest(forest, schedule);
+        std::vector<float> actual(301);
+        session.predict(rows.data(), 301, actual.data());
+        testing::expectPredictionsExact(expected, actual);
+    }
+}
+
+TEST(Tuner, GridEnumerationPrunesGatePairs)
+{
+    tuner::TunerOptions options;
+    options.loopOrders = {hir::LoopOrder::kOneTreeAtATime};
+    options.tileSizes = {4, 8};
+    options.tilings = {hir::TilingAlgorithm::kBasic,
+                       hir::TilingAlgorithm::kHybrid};
+    options.padAndUnroll = {true};
+    options.interleaveFactors = {1, 8};
+    // basic: 2 tiles x 1 gate x 1 unroll x 2 interleave = 4
+    // hybrid: 2 tiles x 3 gates x 1 x 2 = 12
+    std::vector<hir::Schedule> schedules =
+        tuner::enumerateSchedules(options);
+    EXPECT_EQ(schedules.size(), 16u);
+    for (const hir::Schedule &schedule : schedules)
+        EXPECT_NO_THROW(schedule.validate());
+}
+
+TEST(Tuner, ExplorationFindsAValidBest)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 20;
+    spec.seed = 91;
+    model::Forest forest = testing::makeRandomForest(spec);
+    std::vector<float> rows =
+        testing::makeRandomRows(spec.numFeatures, 128, 92);
+
+    tuner::TunerOptions options;
+    options.loopOrders = {hir::LoopOrder::kOneTreeAtATime};
+    options.tileSizes = {1, 8};
+    options.tilings = {hir::TilingAlgorithm::kBasic};
+    options.padAndUnroll = {true};
+    options.interleaveFactors = {1, 8};
+    options.repetitions = 1;
+
+    tuner::TunerResult result =
+        tuner::exploreSchedules(forest, rows.data(), 128, options);
+    EXPECT_EQ(result.all.size(), 4u);
+    EXPECT_GT(result.best.seconds, 0.0);
+    // `all` is sorted ascending; best is the head.
+    EXPECT_EQ(result.all.front().seconds, result.best.seconds);
+    for (size_t i = 1; i < result.all.size(); ++i)
+        EXPECT_GE(result.all[i].seconds, result.all[i - 1].seconds);
+}
+
+} // namespace
+} // namespace treebeard
+
+namespace treebeard {
+namespace {
+
+TEST(SessionConcurrency, ConcurrentPredictCallsAreSafe)
+{
+    // InferenceSession::predict is const and must be callable from
+    // several threads at once (a serving pattern).
+    testing::RandomForestSpec spec;
+    spec.numTrees = 25;
+    spec.seed = 3001;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+    std::vector<float> rows =
+        testing::makeRandomRows(spec.numFeatures, 200, 3002);
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+
+    InferenceSession session = compileForest(forest, {});
+    constexpr int kThreads = 4;
+    std::vector<std::vector<float>> results(
+        kThreads, std::vector<float>(200));
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int repeat = 0; repeat < 10; ++repeat) {
+                session.predict(rows.data(), 200,
+                                results[static_cast<size_t>(t)].data());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        testing::expectPredictionsExact(expected,
+                                        results[static_cast<size_t>(t)]);
+}
+
+} // namespace
+} // namespace treebeard

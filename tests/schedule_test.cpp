@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the Schedule type: validation rules, the textual
+ * description, and JSON round-trips across the whole knob space.
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "hir/schedule.h"
+
+namespace treebeard::hir {
+namespace {
+
+TEST(Schedule, DefaultsAreValid)
+{
+    Schedule schedule;
+    EXPECT_NO_THROW(schedule.validate());
+}
+
+TEST(Schedule, ValidationRejectsBadKnobs)
+{
+    Schedule schedule;
+    schedule.tileSize = 0;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.tileSize = 9;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.interleaveFactor = 5;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.numThreads = 0;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.alpha = 0.0;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.beta = 1.5;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.padDepthSlack = -1;
+    EXPECT_THROW(schedule.validate(), Error);
+}
+
+TEST(Schedule, ToStringMentionsEveryKnob)
+{
+    Schedule schedule;
+    schedule.loopOrder = LoopOrder::kOneRowAtATime;
+    schedule.tileSize = 4;
+    schedule.tiling = TilingAlgorithm::kMinMaxDepth;
+    schedule.layout = MemoryLayout::kArray;
+    schedule.interleaveFactor = 2;
+    schedule.numThreads = 8;
+    std::string text = schedule.toString();
+    EXPECT_NE(text.find("one-row-at-a-time"), std::string::npos);
+    EXPECT_NE(text.find("tile=4"), std::string::npos);
+    EXPECT_NE(text.find("min-max-depth"), std::string::npos);
+    EXPECT_NE(text.find("array"), std::string::npos);
+    EXPECT_NE(text.find("interleave=2"), std::string::npos);
+    EXPECT_NE(text.find("threads=8"), std::string::npos);
+}
+
+TEST(Schedule, JsonRoundTripPreservesEverything)
+{
+    for (LoopOrder order : {LoopOrder::kOneTreeAtATime,
+                            LoopOrder::kOneRowAtATime}) {
+        for (TilingAlgorithm tiling :
+             {TilingAlgorithm::kBasic,
+              TilingAlgorithm::kProbabilityBased,
+              TilingAlgorithm::kHybrid,
+              TilingAlgorithm::kMinMaxDepth}) {
+            for (MemoryLayout layout : {MemoryLayout::kArray,
+                                        MemoryLayout::kSparse}) {
+                Schedule schedule;
+                schedule.loopOrder = order;
+                schedule.tiling = tiling;
+                schedule.layout = layout;
+                schedule.tileSize = 2;
+                schedule.alpha = 0.1;
+                schedule.beta = 0.8;
+                schedule.padAndUnrollWalks = false;
+                schedule.peelWalks = false;
+                schedule.padDepthSlack = 3;
+                schedule.interleaveFactor = 4;
+                schedule.numThreads = 7;
+
+                Schedule loaded = scheduleFromJsonString(
+                    scheduleToJsonString(schedule));
+                EXPECT_EQ(loaded.loopOrder, schedule.loopOrder);
+                EXPECT_EQ(loaded.tiling, schedule.tiling);
+                EXPECT_EQ(loaded.layout, schedule.layout);
+                EXPECT_EQ(loaded.tileSize, schedule.tileSize);
+                EXPECT_DOUBLE_EQ(loaded.alpha, schedule.alpha);
+                EXPECT_DOUBLE_EQ(loaded.beta, schedule.beta);
+                EXPECT_EQ(loaded.padAndUnrollWalks,
+                          schedule.padAndUnrollWalks);
+                EXPECT_EQ(loaded.peelWalks, schedule.peelWalks);
+                EXPECT_EQ(loaded.padDepthSlack,
+                          schedule.padDepthSlack);
+                EXPECT_EQ(loaded.interleaveFactor,
+                          schedule.interleaveFactor);
+                EXPECT_EQ(loaded.numThreads, schedule.numThreads);
+            }
+        }
+    }
+}
+
+TEST(Schedule, NoMissingFlagRoundTripsAndPrints)
+{
+    Schedule schedule;
+    schedule.assumeNoMissingValues = true;
+    EXPECT_NE(schedule.toString().find("+no-nan"), std::string::npos);
+    Schedule loaded =
+        scheduleFromJsonString(scheduleToJsonString(schedule));
+    EXPECT_TRUE(loaded.assumeNoMissingValues);
+    Schedule defaulted =
+        scheduleFromJsonString(scheduleToJsonString(Schedule{}));
+    EXPECT_FALSE(defaulted.assumeNoMissingValues);
+}
+
+TEST(Schedule, JsonRejectsInvalidDocuments)
+{
+    EXPECT_THROW(scheduleFromJsonString("{}"), Error);
+    EXPECT_THROW(scheduleFromJsonString("not json"), Error);
+    // Valid JSON, invalid knob.
+    Schedule schedule;
+    std::string text = scheduleToJsonString(schedule);
+    std::string bad = text;
+    size_t pos = bad.find("\"tile_size\":8");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 13, "\"tile_size\":0");
+    EXPECT_THROW(scheduleFromJsonString(bad), Error);
+}
+
+} // namespace
+} // namespace treebeard::hir

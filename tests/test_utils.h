@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared helpers for the Treebeard test suite: deterministic random
+ * forest/dataset generation and prediction comparison.
+ */
+#ifndef TREEBEARD_TESTS_TEST_UTILS_H
+#define TREEBEARD_TESTS_TEST_UTILS_H
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "model/forest.h"
+
+namespace treebeard::testing {
+
+/** Parameters for random test-forest generation. */
+struct RandomForestSpec
+{
+    int32_t numFeatures = 10;
+    int64_t numTrees = 20;
+    int32_t maxDepth = 6;
+    /** Split probability below maxDepth (controls imbalance). */
+    double splitProbability = 0.7;
+    /** Rows routed through trees to produce hit counts (0 = none). */
+    int64_t statisticsRows = 500;
+    uint64_t seed = 12345;
+};
+
+/** Build a random valid forest (with hit counts when requested). */
+inline model::Forest
+makeRandomForest(const RandomForestSpec &spec)
+{
+    data::SyntheticModelSpec synth;
+    synth.name = "test";
+    synth.numFeatures = spec.numFeatures;
+    synth.numTrees = spec.numTrees;
+    synth.maxDepth = spec.maxDepth;
+    synth.splitProbability = spec.splitProbability;
+    synth.alwaysSplitDepth = 1;
+    synth.trainingRows = spec.statisticsRows;
+    synth.seed = spec.seed;
+    synth.thresholdDistribution = data::ThresholdDistribution::kMild;
+    return data::synthesizeForest(synth);
+}
+
+/**
+ * Quantize every leaf value to a multiple of 2^-10. Sums of a few
+ * thousand such values are exact in float arithmetic, which makes
+ * predictions independent of accumulation order — the correctness
+ * sweep can then assert bit-exact equality across all schedules.
+ */
+inline void
+quantizeLeafValues(model::Forest &forest)
+{
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        model::DecisionTree &tree = forest.mutableTree(t);
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            model::Node &node = tree.mutableNode(i);
+            if (node.isLeaf()) {
+                node.threshold =
+                    std::round(node.threshold * 1024.0f) / 1024.0f;
+            }
+        }
+    }
+}
+
+/** Random uniform rows matching @p num_features. */
+inline std::vector<float>
+makeRandomRows(int32_t num_features, int64_t num_rows, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * num_features);
+    for (float &value : rows)
+        value = rng.uniformFloat(0.0f, 1.0f);
+    return rows;
+}
+
+/** EXPECT bit-exact equality of two prediction vectors. */
+inline void
+expectPredictionsExact(const std::vector<float> &expected,
+                       const std::vector<float> &actual)
+{
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], actual[i])
+            << "prediction mismatch at row " << i;
+    }
+}
+
+/**
+ * EXPECT equality up to floating-point reassociation error: tree
+ * reordering and interleaving change the accumulation order, so sums
+ * can differ in low-order bits from the reference walk.
+ */
+inline void
+expectPredictionsClose(const std::vector<float> &expected,
+                       const std::vector<float> &actual,
+                       double tolerance = 2e-3)
+{
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], tolerance)
+            << "prediction mismatch at row " << i;
+    }
+}
+
+/** Reference predictions via the model-level walk. */
+inline std::vector<float>
+referencePredictions(const model::Forest &forest,
+                     const std::vector<float> &rows)
+{
+    int64_t num_rows = static_cast<int64_t>(rows.size()) /
+                       forest.numFeatures();
+    std::vector<float> predictions(static_cast<size_t>(num_rows));
+    forest.predictBatch(rows.data(), num_rows, predictions.data());
+    return predictions;
+}
+
+} // namespace treebeard::testing
+
+#endif // TREEBEARD_TESTS_TEST_UTILS_H

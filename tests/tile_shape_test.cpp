@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for tile-shape enumeration and the child-index LUT
+ * (Section V-A): shape counts match Catalan numbers, the LUT agrees
+ * with direct in-shape walks for every outcome, exit ordinals are
+ * consistent, and don't-care bits do not change the result.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "lir/tile_shape.h"
+
+namespace treebeard::lir {
+namespace {
+
+TEST(CatalanNumber, FirstValues)
+{
+    EXPECT_EQ(catalanNumber(0), 1);
+    EXPECT_EQ(catalanNumber(1), 1);
+    EXPECT_EQ(catalanNumber(2), 2);
+    EXPECT_EQ(catalanNumber(3), 5);
+    EXPECT_EQ(catalanNumber(4), 14);
+    EXPECT_EQ(catalanNumber(8), 1430);
+}
+
+class ShapeTableTest : public ::testing::TestWithParam<int32_t>
+{};
+
+TEST_P(ShapeTableTest, ShapeCountMatchesCatalanSum)
+{
+    int32_t tile_size = GetParam();
+    const TileShapeTable &table = TileShapeTable::get(tile_size);
+    int64_t expected = 0;
+    for (int32_t k = 1; k <= tile_size; ++k)
+        expected += catalanNumber(k);
+    EXPECT_EQ(table.numShapes(), expected);
+}
+
+TEST_P(ShapeTableTest, SerializationsAreUnique)
+{
+    const TileShapeTable &table = TileShapeTable::get(GetParam());
+    std::set<std::string> seen;
+    for (int32_t s = 0; s < table.numShapes(); ++s) {
+        std::string key = table.shape(s).serialize();
+        EXPECT_TRUE(seen.insert(key).second)
+            << "duplicate serialization " << key;
+    }
+}
+
+TEST_P(ShapeTableTest, LutMatchesDirectWalkForAllOutcomes)
+{
+    int32_t tile_size = GetParam();
+    const TileShapeTable &table = TileShapeTable::get(tile_size);
+    for (int32_t s = 0; s < table.numShapes(); ++s) {
+        for (int32_t outcome = 0; outcome < (1 << tile_size);
+             ++outcome) {
+            EXPECT_EQ(table.child(s, static_cast<uint32_t>(outcome)),
+                      table.walkShape(s, static_cast<uint32_t>(outcome)))
+                << "shape " << s << " outcome " << outcome;
+        }
+    }
+}
+
+TEST_P(ShapeTableTest, ChildIndicesWithinArity)
+{
+    int32_t tile_size = GetParam();
+    const TileShapeTable &table = TileShapeTable::get(tile_size);
+    for (int32_t s = 0; s < table.numShapes(); ++s) {
+        const TileShape &shape = table.shape(s);
+        for (int32_t outcome = 0; outcome < (1 << tile_size);
+             ++outcome) {
+            int32_t child =
+                table.child(s, static_cast<uint32_t>(outcome));
+            EXPECT_GE(child, 0);
+            EXPECT_LT(child, shape.numChildren());
+        }
+    }
+}
+
+TEST_P(ShapeTableTest, DontCareBitsDoNotChangeResult)
+{
+    int32_t tile_size = GetParam();
+    const TileShapeTable &table = TileShapeTable::get(tile_size);
+    for (int32_t s = 0; s < table.numShapes(); ++s) {
+        int32_t nodes = table.shape(s).numNodes();
+        if (nodes == tile_size)
+            continue;
+        uint32_t care_mask = (1u << nodes) - 1;
+        for (uint32_t care = 0; care <= care_mask; ++care) {
+            int32_t baseline = table.child(s, care);
+            // Flip every combination of don't-care bits.
+            for (int32_t bit = nodes; bit < tile_size; ++bit) {
+                EXPECT_EQ(table.child(s, care | (1u << bit)), baseline);
+            }
+        }
+    }
+}
+
+TEST_P(ShapeTableTest, ExitOrdinalsCoverAllChildren)
+{
+    const TileShapeTable &table = TileShapeTable::get(GetParam());
+    for (int32_t s = 0; s < table.numShapes(); ++s) {
+        const TileShape &shape = table.shape(s);
+        std::set<int32_t> ordinals;
+        for (int32_t slot = 0; slot < shape.numNodes(); ++slot) {
+            for (int32_t side = 0; side < 2; ++side) {
+                int32_t link =
+                    side == 0 ? shape.left[static_cast<size_t>(slot)]
+                              : shape.right[static_cast<size_t>(slot)];
+                int32_t ordinal = table.exitOrdinal(s, slot, side);
+                if (link == kExit) {
+                    EXPECT_TRUE(ordinals.insert(ordinal).second);
+                } else {
+                    EXPECT_EQ(ordinal, -1);
+                }
+            }
+        }
+        EXPECT_EQ(static_cast<int32_t>(ordinals.size()),
+                  shape.numChildren());
+        EXPECT_EQ(*ordinals.begin(), 0);
+        EXPECT_EQ(*ordinals.rbegin(), shape.numChildren() - 1);
+    }
+}
+
+TEST_P(ShapeTableTest, LeftChainAllOnesExitsAtChildZero)
+{
+    int32_t tile_size = GetParam();
+    const TileShapeTable &table = TileShapeTable::get(tile_size);
+    int32_t chain = table.leftChainShapeId();
+    EXPECT_EQ(table.shape(chain).numNodes(), tile_size);
+    uint32_t all_ones = (1u << tile_size) - 1;
+    EXPECT_EQ(table.child(chain, all_ones), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, ShapeTableTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ShapeTable, Size3MatchesFigure4)
+{
+    // Figure 4: five shapes of tile size 3 (plus sizes 1 and 2:
+    // 1 + 2 = 3 smaller shapes).
+    const TileShapeTable &table = TileShapeTable::get(3);
+    EXPECT_EQ(table.numShapes(), 1 + 2 + 5);
+}
+
+TEST(ShapeTable, Figure5FirstTileTraversals)
+{
+    // The first tile of Figure 5 is the left-leaning chain of size 3
+    // (nodes 0 -> 1 -> 2 along left edges; children a..d are the exit
+    // edges left-to-right: a = left(2), b = right(2), c = right(1),
+    // d = right(0)). The paper's bit strings are MSB = node 0; our
+    // convention is LSB = slot 0, so the paper's b0 b1 b2 maps to our
+    // bits (b0 | b1<<1 | b2<<2). The paper's worked examples:
+    //   111 -> a;  LUT(T1, 110) = b (second child);  011 -> d.
+    const TileShapeTable &table = TileShapeTable::get(3);
+    std::vector<int32_t> left{1, 2, kExit};
+    std::vector<int32_t> right{kExit, kExit, kExit};
+    int32_t shape = table.shapeIdOf(left, right);
+    EXPECT_EQ(shape, table.leftChainShapeId());
+
+    auto bits = [](int b0, int b1, int b2) {
+        return static_cast<uint32_t>(b0 | (b1 << 1) | (b2 << 2));
+    };
+    EXPECT_EQ(table.child(shape, bits(1, 1, 1)), 0); // a
+    EXPECT_EQ(table.child(shape, bits(1, 1, 0)), 1); // b
+    EXPECT_EQ(table.child(shape, bits(1, 0, 0)), 2); // c
+    EXPECT_EQ(table.child(shape, bits(1, 0, 1)), 2); // c (don't care)
+    EXPECT_EQ(table.child(shape, bits(0, 1, 1)), 3); // d
+    EXPECT_EQ(table.child(shape, bits(0, 0, 0)), 3); // d (don't care)
+
+    // The complete shape of size 3 for contrast: 011 (paper order)
+    // lands on the third child, as the paper notes for such shapes.
+    std::vector<int32_t> full_left{1, kExit, kExit};
+    std::vector<int32_t> full_right{2, kExit, kExit};
+    int32_t full = table.shapeIdOf(full_left, full_right);
+    EXPECT_EQ(table.child(full, bits(0, 1, 1)), 2);
+}
+
+TEST(ShapeTable, RejectsInvalidLookups)
+{
+    const TileShapeTable &table = TileShapeTable::get(3);
+    // Too many nodes for the tile size.
+    std::vector<int32_t> left{1, 2, 3, kExit};
+    std::vector<int32_t> right{kExit, kExit, kExit, kExit};
+    EXPECT_THROW(table.shapeIdOf(left, right), Error);
+    EXPECT_THROW(TileShapeTable::get(0), Error);
+    EXPECT_THROW(TileShapeTable::get(9), Error);
+}
+
+} // namespace
+} // namespace treebeard::lir

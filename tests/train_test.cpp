@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the GBDT trainer substrate: loss decreases over rounds,
+ * learned models fit simple functions, logistic training separates
+ * classes, hit counts are recorded, and trained models compile and run
+ * through the Treebeard pipeline.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "train/gbdt_trainer.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard::train {
+namespace {
+
+/** y = step function of x0 plus mild noise: easy for trees. */
+data::Dataset
+makeStepDataset(int64_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    data::Dataset dataset(3);
+    std::vector<float> labels;
+    for (int64_t i = 0; i < rows; ++i) {
+        float x0 = rng.uniformFloat();
+        float x1 = rng.uniformFloat();
+        float x2 = rng.uniformFloat();
+        dataset.appendRow({x0, x1, x2});
+        float y = (x0 < 0.5f ? 1.0f : 3.0f) +
+                  (x1 < 0.25f ? 0.5f : 0.0f) +
+                  0.01f * static_cast<float>(rng.gaussian());
+        labels.push_back(y);
+    }
+    dataset.setLabels(std::move(labels));
+    return dataset;
+}
+
+TEST(GbdtTrainer, LossDecreasesMonotonically)
+{
+    data::Dataset dataset = makeStepDataset(600, 11);
+    TrainingConfig config;
+    config.numTrees = 30;
+    config.maxDepth = 4;
+    config.learningRate = 0.3;
+    GbdtTrainer trainer(config);
+    model::Forest forest = trainer.train(dataset);
+
+    const std::vector<TrainingRound> &history = trainer.history();
+    ASSERT_EQ(history.size(), 30u);
+    // Loss should drop substantially and never blow up.
+    EXPECT_LT(history.back().trainingLoss,
+              history.front().trainingLoss * 0.05);
+    for (size_t i = 1; i < history.size(); ++i) {
+        EXPECT_LE(history[i].trainingLoss,
+                  history[i - 1].trainingLoss * 1.05);
+    }
+}
+
+TEST(GbdtTrainer, FitsStepFunction)
+{
+    data::Dataset dataset = makeStepDataset(800, 22);
+    TrainingConfig config;
+    config.numTrees = 50;
+    config.maxDepth = 4;
+    config.learningRate = 0.3;
+    model::Forest forest = GbdtTrainer(config).train(dataset);
+
+    float low[3] = {0.2f, 0.9f, 0.5f};
+    float high[3] = {0.9f, 0.9f, 0.5f};
+    EXPECT_NEAR(forest.predict(low), 1.0f, 0.15f);
+    EXPECT_NEAR(forest.predict(high), 3.0f, 0.15f);
+}
+
+TEST(GbdtTrainer, LogisticSeparatesClasses)
+{
+    Rng rng(33);
+    data::Dataset dataset(2);
+    std::vector<float> labels;
+    for (int64_t i = 0; i < 800; ++i) {
+        float x0 = rng.uniformFloat();
+        float x1 = rng.uniformFloat();
+        dataset.appendRow({x0, x1});
+        labels.push_back(x0 + 0.1f * x1 > 0.55f ? 1.0f : 0.0f);
+    }
+    dataset.setLabels(std::move(labels));
+
+    TrainingConfig config;
+    config.numTrees = 40;
+    config.maxDepth = 4;
+    config.learningRate = 0.3;
+    config.objective = model::Objective::kBinaryLogistic;
+    model::Forest forest = GbdtTrainer(config).train(dataset);
+    EXPECT_EQ(forest.objective(), model::Objective::kBinaryLogistic);
+
+    float negative[2] = {0.1f, 0.1f};
+    float positive[2] = {0.95f, 0.9f};
+    EXPECT_LT(forest.predict(negative), 0.2f);
+    EXPECT_GT(forest.predict(positive), 0.8f);
+}
+
+TEST(GbdtTrainer, RecordsLeafHitCounts)
+{
+    data::Dataset dataset = makeStepDataset(300, 44);
+    TrainingConfig config;
+    config.numTrees = 5;
+    config.maxDepth = 3;
+    model::Forest forest = GbdtTrainer(config).train(dataset);
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        double total = 0;
+        for (model::NodeIndex leaf : forest.tree(t).leafIndices())
+            total += forest.tree(t).node(leaf).hitCount;
+        EXPECT_DOUBLE_EQ(total, 300.0);
+    }
+}
+
+TEST(GbdtTrainer, RespectsMaxDepth)
+{
+    data::Dataset dataset = makeStepDataset(400, 55);
+    TrainingConfig config;
+    config.numTrees = 10;
+    config.maxDepth = 3;
+    model::Forest forest = GbdtTrainer(config).train(dataset);
+    EXPECT_LE(forest.maxDepth(), 3);
+}
+
+TEST(GbdtTrainer, TrainedModelCompilesAndMatchesReference)
+{
+    data::Dataset dataset = makeStepDataset(500, 66);
+    TrainingConfig config;
+    config.numTrees = 25;
+    config.maxDepth = 5;
+    model::Forest forest = GbdtTrainer(config).train(dataset);
+
+    hir::Schedule schedule;
+    schedule.tileSize = 8;
+    schedule.interleaveFactor = 4;
+    InferenceSession session = compileForest(forest, schedule);
+
+    std::vector<float> reference(
+        static_cast<size_t>(dataset.numRows()));
+    forest.predictBatch(dataset.rows(), dataset.numRows(),
+                        reference.data());
+    std::vector<float> actual(static_cast<size_t>(dataset.numRows()));
+    session.predict(dataset.rows(), dataset.numRows(), actual.data());
+    for (size_t i = 0; i < reference.size(); ++i)
+        EXPECT_NEAR(reference[i], actual[i], 1e-4);
+}
+
+TEST(GbdtTrainer, RejectsInvalidInputs)
+{
+    data::Dataset no_labels(2);
+    no_labels.appendRow({1.0f, 2.0f});
+    EXPECT_THROW(GbdtTrainer({}).train(no_labels), Error);
+
+    TrainingConfig bad;
+    bad.numTrees = 0;
+    EXPECT_THROW(GbdtTrainer{bad}, Error);
+    bad = {};
+    bad.numBins = 1;
+    EXPECT_THROW(GbdtTrainer{bad}, Error);
+    bad = {};
+    bad.learningRate = 0.0;
+    EXPECT_THROW(GbdtTrainer{bad}, Error);
+}
+
+TEST(LossHelpers, MseAndLogLoss)
+{
+    EXPECT_DOUBLE_EQ(meanSquaredError({1.0f, 2.0f}, {1.0f, 4.0f}), 2.0);
+    EXPECT_NEAR(logLoss({0.9f, 0.1f}, {1.0f, 0.0f}),
+                -std::log(0.9), 1e-6);
+    EXPECT_THROW(meanSquaredError({1.0f}, {1.0f, 2.0f}), Error);
+    EXPECT_THROW(logLoss({}, {}), Error);
+}
+
+} // namespace
+} // namespace treebeard::train

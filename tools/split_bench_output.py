@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Split a combined bench_output.txt into per-figure CSV files.
+
+The benchmark harness (`for b in build/bench/*; do $b; done`) prints
+every table/figure's CSV to one stream, each section introduced by a
+'#'-prefixed title line. This script cuts that stream back into one
+CSV file per section so the results can be loaded directly into
+pandas / gnuplot / a spreadsheet.
+
+Usage:
+    tools/split_bench_output.py bench_output.txt [out_dir]
+
+Writes out_dir/<section-slug>.csv (default out_dir: bench_results/).
+"""
+
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    """Turn a section title line into a filesystem-friendly slug."""
+    title = title.lstrip("#").strip()
+    title = title.split(":")[0]  # drop explanatory suffixes
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title).strip("_").lower()
+    return slug or "section"
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    source = sys.argv[1]
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_results"
+    os.makedirs(out_dir, exist_ok=True)
+
+    sections = []  # (slug, comment_lines, data_lines)
+    current = None
+    with open(source) as stream:
+        for raw in stream:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            # Shell noise from non-executable entries in build/bench.
+            if line.startswith("/bin/bash:"):
+                continue
+            if line.startswith("#"):
+                # New section when the '#' line looks like a title
+                # (the harness prints titles first, then sub-comments).
+                if current is None or current[2]:
+                    current = (slugify(line), [line], [])
+                    sections.append(current)
+                else:
+                    current[1].append(line)
+                continue
+            # Only keep CSV rows; non-CSV noise (the google-benchmark
+            # table, shell messages) is not splittable into columns.
+            if "," not in line or line.startswith(("Load Average",
+                                                   "Run on",
+                                                   "Running ")):
+                continue
+            if current is None:
+                current = ("preamble", ["# preamble"], [])
+                sections.append(current)
+            current[2].append(line)
+
+    written = []
+    used = set()
+    for slug, comments, data in sections:
+        if not data:
+            continue
+        name = slug
+        index = 2
+        while name in used:
+            name = f"{slug}_{index}"
+            index += 1
+        used.add(name)
+        path = os.path.join(out_dir, name + ".csv")
+        with open(path, "w") as out:
+            for comment in comments:
+                out.write(comment + "\n")
+            for line in data:
+                out.write(line + "\n")
+        written.append(path)
+
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
