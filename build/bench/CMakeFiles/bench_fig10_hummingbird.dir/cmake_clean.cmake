@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hummingbird.dir/bench_fig10_hummingbird.cpp.o"
+  "CMakeFiles/bench_fig10_hummingbird.dir/bench_fig10_hummingbird.cpp.o.d"
+  "bench_fig10_hummingbird"
+  "bench_fig10_hummingbird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hummingbird.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_frameworks.dir/bench_fig8_frameworks.cpp.o"
+  "CMakeFiles/bench_fig8_frameworks.dir/bench_fig8_frameworks.cpp.o.d"
+  "bench_fig8_frameworks"
+  "bench_fig8_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_batchsweep.dir/bench_fig9_batchsweep.cpp.o"
+  "CMakeFiles/bench_fig9_batchsweep.dir/bench_fig9_batchsweep.cpp.o.d"
+  "bench_fig9_batchsweep"
+  "bench_fig9_batchsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_batchsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

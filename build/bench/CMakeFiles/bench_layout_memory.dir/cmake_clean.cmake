@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layout_memory.dir/bench_layout_memory.cpp.o"
+  "CMakeFiles/bench_layout_memory.dir/bench_layout_memory.cpp.o.d"
+  "bench_layout_memory"
+  "bench_layout_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quickscorer.dir/bench_quickscorer.cpp.o"
+  "CMakeFiles/bench_quickscorer.dir/bench_quickscorer.cpp.o.d"
+  "bench_quickscorer"
+  "bench_quickscorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quickscorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

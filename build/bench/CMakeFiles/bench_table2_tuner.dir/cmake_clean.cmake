@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tuner.dir/bench_table2_tuner.cpp.o"
+  "CMakeFiles/bench_table2_tuner.dir/bench_table2_tuner.cpp.o.d"
+  "bench_table2_tuner"
+  "bench_table2_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

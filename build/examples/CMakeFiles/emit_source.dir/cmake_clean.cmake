@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_source.dir/emit_source.cpp.o"
+  "CMakeFiles/emit_source.dir/emit_source.cpp.o.d"
+  "emit_source"
+  "emit_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

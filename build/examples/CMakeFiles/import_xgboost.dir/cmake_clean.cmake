@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_xgboost.dir/import_xgboost.cpp.o"
+  "CMakeFiles/import_xgboost.dir/import_xgboost.cpp.o.d"
+  "import_xgboost"
+  "import_xgboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_xgboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for import_xgboost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_classification.dir/multiclass_classification.cpp.o"
+  "CMakeFiles/multiclass_classification.dir/multiclass_classification.cpp.o.d"
+  "multiclass_classification"
+  "multiclass_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gemm.cc" "src/baselines/CMakeFiles/treebeard_baselines.dir/gemm.cc.o" "gcc" "src/baselines/CMakeFiles/treebeard_baselines.dir/gemm.cc.o.d"
+  "/root/repo/src/baselines/hummingbird_style.cc" "src/baselines/CMakeFiles/treebeard_baselines.dir/hummingbird_style.cc.o" "gcc" "src/baselines/CMakeFiles/treebeard_baselines.dir/hummingbird_style.cc.o.d"
+  "/root/repo/src/baselines/quickscorer.cc" "src/baselines/CMakeFiles/treebeard_baselines.dir/quickscorer.cc.o" "gcc" "src/baselines/CMakeFiles/treebeard_baselines.dir/quickscorer.cc.o.d"
+  "/root/repo/src/baselines/treelite_style.cc" "src/baselines/CMakeFiles/treebeard_baselines.dir/treelite_style.cc.o" "gcc" "src/baselines/CMakeFiles/treebeard_baselines.dir/treelite_style.cc.o.d"
+  "/root/repo/src/baselines/xgboost_style.cc" "src/baselines/CMakeFiles/treebeard_baselines.dir/xgboost_style.cc.o" "gcc" "src/baselines/CMakeFiles/treebeard_baselines.dir/xgboost_style.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/treebeard_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/treebeard_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/treebeard_hir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

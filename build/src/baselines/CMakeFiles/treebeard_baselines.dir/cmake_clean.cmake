@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_baselines.dir/gemm.cc.o"
+  "CMakeFiles/treebeard_baselines.dir/gemm.cc.o.d"
+  "CMakeFiles/treebeard_baselines.dir/hummingbird_style.cc.o"
+  "CMakeFiles/treebeard_baselines.dir/hummingbird_style.cc.o.d"
+  "CMakeFiles/treebeard_baselines.dir/quickscorer.cc.o"
+  "CMakeFiles/treebeard_baselines.dir/quickscorer.cc.o.d"
+  "CMakeFiles/treebeard_baselines.dir/treelite_style.cc.o"
+  "CMakeFiles/treebeard_baselines.dir/treelite_style.cc.o.d"
+  "CMakeFiles/treebeard_baselines.dir/xgboost_style.cc.o"
+  "CMakeFiles/treebeard_baselines.dir/xgboost_style.cc.o.d"
+  "libtreebeard_baselines.a"
+  "libtreebeard_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreebeard_baselines.a"
+)

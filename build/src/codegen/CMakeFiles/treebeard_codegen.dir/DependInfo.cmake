@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cpp_emitter.cc" "src/codegen/CMakeFiles/treebeard_codegen.dir/cpp_emitter.cc.o" "gcc" "src/codegen/CMakeFiles/treebeard_codegen.dir/cpp_emitter.cc.o.d"
+  "/root/repo/src/codegen/system_jit.cc" "src/codegen/CMakeFiles/treebeard_codegen.dir/system_jit.cc.o" "gcc" "src/codegen/CMakeFiles/treebeard_codegen.dir/system_jit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/treebeard_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/treebeard_hir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_codegen.dir/cpp_emitter.cc.o"
+  "CMakeFiles/treebeard_codegen.dir/cpp_emitter.cc.o.d"
+  "CMakeFiles/treebeard_codegen.dir/system_jit.cc.o"
+  "CMakeFiles/treebeard_codegen.dir/system_jit.cc.o.d"
+  "libtreebeard_codegen.a"
+  "libtreebeard_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

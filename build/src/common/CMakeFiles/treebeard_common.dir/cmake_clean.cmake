@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_common.dir/json.cc.o"
+  "CMakeFiles/treebeard_common.dir/json.cc.o.d"
+  "CMakeFiles/treebeard_common.dir/string_utils.cc.o"
+  "CMakeFiles/treebeard_common.dir/string_utils.cc.o.d"
+  "CMakeFiles/treebeard_common.dir/thread_pool.cc.o"
+  "CMakeFiles/treebeard_common.dir/thread_pool.cc.o.d"
+  "libtreebeard_common.a"
+  "libtreebeard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

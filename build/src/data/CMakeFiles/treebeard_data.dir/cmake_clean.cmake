@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_data.dir/csv.cc.o"
+  "CMakeFiles/treebeard_data.dir/csv.cc.o.d"
+  "CMakeFiles/treebeard_data.dir/dataset.cc.o"
+  "CMakeFiles/treebeard_data.dir/dataset.cc.o.d"
+  "CMakeFiles/treebeard_data.dir/synthetic.cc.o"
+  "CMakeFiles/treebeard_data.dir/synthetic.cc.o.d"
+  "libtreebeard_data.a"
+  "libtreebeard_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hir/hir_module.cc" "src/hir/CMakeFiles/treebeard_hir.dir/hir_module.cc.o" "gcc" "src/hir/CMakeFiles/treebeard_hir.dir/hir_module.cc.o.d"
+  "/root/repo/src/hir/schedule.cc" "src/hir/CMakeFiles/treebeard_hir.dir/schedule.cc.o" "gcc" "src/hir/CMakeFiles/treebeard_hir.dir/schedule.cc.o.d"
+  "/root/repo/src/hir/tiled_tree.cc" "src/hir/CMakeFiles/treebeard_hir.dir/tiled_tree.cc.o" "gcc" "src/hir/CMakeFiles/treebeard_hir.dir/tiled_tree.cc.o.d"
+  "/root/repo/src/hir/tiling.cc" "src/hir/CMakeFiles/treebeard_hir.dir/tiling.cc.o" "gcc" "src/hir/CMakeFiles/treebeard_hir.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

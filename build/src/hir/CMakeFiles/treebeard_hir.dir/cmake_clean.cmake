@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_hir.dir/hir_module.cc.o"
+  "CMakeFiles/treebeard_hir.dir/hir_module.cc.o.d"
+  "CMakeFiles/treebeard_hir.dir/schedule.cc.o"
+  "CMakeFiles/treebeard_hir.dir/schedule.cc.o.d"
+  "CMakeFiles/treebeard_hir.dir/tiled_tree.cc.o"
+  "CMakeFiles/treebeard_hir.dir/tiled_tree.cc.o.d"
+  "CMakeFiles/treebeard_hir.dir/tiling.cc.o"
+  "CMakeFiles/treebeard_hir.dir/tiling.cc.o.d"
+  "libtreebeard_hir.a"
+  "libtreebeard_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

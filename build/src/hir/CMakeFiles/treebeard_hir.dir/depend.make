@@ -1,0 +1,2 @@
+# Empty dependencies file for treebeard_hir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_lir.dir/forest_buffers.cc.o"
+  "CMakeFiles/treebeard_lir.dir/forest_buffers.cc.o.d"
+  "CMakeFiles/treebeard_lir.dir/layout_builder.cc.o"
+  "CMakeFiles/treebeard_lir.dir/layout_builder.cc.o.d"
+  "CMakeFiles/treebeard_lir.dir/tile_shape.cc.o"
+  "CMakeFiles/treebeard_lir.dir/tile_shape.cc.o.d"
+  "libtreebeard_lir.a"
+  "libtreebeard_lir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

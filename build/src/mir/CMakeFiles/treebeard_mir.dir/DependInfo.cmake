@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/lowering.cc" "src/mir/CMakeFiles/treebeard_mir.dir/lowering.cc.o" "gcc" "src/mir/CMakeFiles/treebeard_mir.dir/lowering.cc.o.d"
+  "/root/repo/src/mir/mir.cc" "src/mir/CMakeFiles/treebeard_mir.dir/mir.cc.o" "gcc" "src/mir/CMakeFiles/treebeard_mir.dir/mir.cc.o.d"
+  "/root/repo/src/mir/passes.cc" "src/mir/CMakeFiles/treebeard_mir.dir/passes.cc.o" "gcc" "src/mir/CMakeFiles/treebeard_mir.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/treebeard_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

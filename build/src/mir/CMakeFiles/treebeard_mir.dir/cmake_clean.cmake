@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_mir.dir/lowering.cc.o"
+  "CMakeFiles/treebeard_mir.dir/lowering.cc.o.d"
+  "CMakeFiles/treebeard_mir.dir/mir.cc.o"
+  "CMakeFiles/treebeard_mir.dir/mir.cc.o.d"
+  "CMakeFiles/treebeard_mir.dir/passes.cc.o"
+  "CMakeFiles/treebeard_mir.dir/passes.cc.o.d"
+  "libtreebeard_mir.a"
+  "libtreebeard_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

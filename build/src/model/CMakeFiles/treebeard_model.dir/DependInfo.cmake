@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/decision_tree.cc" "src/model/CMakeFiles/treebeard_model.dir/decision_tree.cc.o" "gcc" "src/model/CMakeFiles/treebeard_model.dir/decision_tree.cc.o.d"
+  "/root/repo/src/model/forest.cc" "src/model/CMakeFiles/treebeard_model.dir/forest.cc.o" "gcc" "src/model/CMakeFiles/treebeard_model.dir/forest.cc.o.d"
+  "/root/repo/src/model/model_stats.cc" "src/model/CMakeFiles/treebeard_model.dir/model_stats.cc.o" "gcc" "src/model/CMakeFiles/treebeard_model.dir/model_stats.cc.o.d"
+  "/root/repo/src/model/serialization.cc" "src/model/CMakeFiles/treebeard_model.dir/serialization.cc.o" "gcc" "src/model/CMakeFiles/treebeard_model.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_model.dir/decision_tree.cc.o"
+  "CMakeFiles/treebeard_model.dir/decision_tree.cc.o.d"
+  "CMakeFiles/treebeard_model.dir/forest.cc.o"
+  "CMakeFiles/treebeard_model.dir/forest.cc.o.d"
+  "CMakeFiles/treebeard_model.dir/model_stats.cc.o"
+  "CMakeFiles/treebeard_model.dir/model_stats.cc.o.d"
+  "CMakeFiles/treebeard_model.dir/serialization.cc.o"
+  "CMakeFiles/treebeard_model.dir/serialization.cc.o.d"
+  "libtreebeard_model.a"
+  "libtreebeard_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_runtime.dir/plan.cc.o"
+  "CMakeFiles/treebeard_runtime.dir/plan.cc.o.d"
+  "libtreebeard_runtime.a"
+  "libtreebeard_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_cli.dir/treebeard_cli.cc.o"
+  "CMakeFiles/treebeard_cli.dir/treebeard_cli.cc.o.d"
+  "treebeard"
+  "treebeard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

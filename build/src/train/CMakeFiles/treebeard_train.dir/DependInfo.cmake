@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/gbdt_trainer.cc" "src/train/CMakeFiles/treebeard_train.dir/gbdt_trainer.cc.o" "gcc" "src/train/CMakeFiles/treebeard_train.dir/gbdt_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/treebeard_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

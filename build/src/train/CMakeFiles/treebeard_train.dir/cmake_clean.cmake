@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_train.dir/gbdt_trainer.cc.o"
+  "CMakeFiles/treebeard_train.dir/gbdt_trainer.cc.o.d"
+  "libtreebeard_train.a"
+  "libtreebeard_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreebeard_train.a"
+)

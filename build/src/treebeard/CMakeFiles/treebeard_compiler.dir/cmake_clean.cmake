@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_compiler.dir/compiler.cc.o"
+  "CMakeFiles/treebeard_compiler.dir/compiler.cc.o.d"
+  "libtreebeard_compiler.a"
+  "libtreebeard_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

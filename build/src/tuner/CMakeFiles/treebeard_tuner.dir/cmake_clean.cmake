@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treebeard_tuner.dir/auto_tuner.cc.o"
+  "CMakeFiles/treebeard_tuner.dir/auto_tuner.cc.o.d"
+  "libtreebeard_tuner.a"
+  "libtreebeard_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treebeard_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

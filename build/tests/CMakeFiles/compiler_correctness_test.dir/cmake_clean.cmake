@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_correctness_test.dir/compiler_correctness_test.cpp.o"
+  "CMakeFiles/compiler_correctness_test.dir/compiler_correctness_test.cpp.o.d"
+  "compiler_correctness_test"
+  "compiler_correctness_test.pdb"
+  "compiler_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

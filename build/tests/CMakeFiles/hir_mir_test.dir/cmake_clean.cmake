@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hir_mir_test.dir/hir_mir_test.cpp.o"
+  "CMakeFiles/hir_mir_test.dir/hir_mir_test.cpp.o.d"
+  "hir_mir_test"
+  "hir_mir_test.pdb"
+  "hir_mir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hir_mir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nan_support_test.dir/nan_support_test.cpp.o"
+  "CMakeFiles/nan_support_test.dir/nan_support_test.cpp.o.d"
+  "nan_support_test"
+  "nan_support_test.pdb"
+  "nan_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nan_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

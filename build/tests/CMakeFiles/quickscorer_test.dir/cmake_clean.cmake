@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickscorer_test.dir/quickscorer_test.cpp.o"
+  "CMakeFiles/quickscorer_test.dir/quickscorer_test.cpp.o.d"
+  "quickscorer_test"
+  "quickscorer_test.pdb"
+  "quickscorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickscorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

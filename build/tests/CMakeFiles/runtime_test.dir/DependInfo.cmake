@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/treebeard/CMakeFiles/treebeard_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/treebeard_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/treebeard_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/treebeard_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/treebeard_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/treebeard_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/treebeard_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/treebeard_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/treebeard_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/treebeard_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/treebeard_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/treebeard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

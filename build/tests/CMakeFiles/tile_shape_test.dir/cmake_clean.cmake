@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_shape_test.dir/tile_shape_test.cpp.o"
+  "CMakeFiles/tile_shape_test.dir/tile_shape_test.cpp.o.d"
+  "tile_shape_test"
+  "tile_shape_test.pdb"
+  "tile_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

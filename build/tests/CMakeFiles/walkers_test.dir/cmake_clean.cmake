@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkers_test.dir/walkers_test.cpp.o"
+  "CMakeFiles/walkers_test.dir/walkers_test.cpp.o.d"
+  "walkers_test"
+  "walkers_test.pdb"
+  "walkers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
