@@ -1,31 +1,86 @@
 /**
  * @file
- * Regenerates the Section V-B memory-footprint numbers: per
- * benchmark, the model size under the scalar (tile size 1)
- * representation, the tile-size-8 array-based representation and the
- * tile-size-8 sparse representation.
+ * Regenerates the Section V-B memory-footprint numbers and the
+ * layout latency shootout: per benchmark, the model size under the
+ * scalar (tile size 1) representation and the tile-size-8 array,
+ * sparse and packed representations; then, on a large deep model, the
+ * inference latency of all three layouts under the paper's optimized
+ * schedule.
  *
  * Expected shape (paper, tile size 8): the array representation is
  * ~8x the scalar one on average; the sparse representation is ~6.8x
  * (geomean) smaller than the array one and within tens of percent of
- * the scalar baseline.
+ * the scalar baseline. The packed representation stores the sparse
+ * topology in fixed-stride cache-line records, trading some bytes
+ * (power-of-two stride padding) for one-line tile visits; on deep
+ * models it is the fastest layout.
+ *
+ * When invoked with an argument, also writes a JSON summary of the
+ * latency shootout to that path (the run_layout_bench.sh driver
+ * passes BENCH_packed_layout.json).
  */
+#include <sstream>
+
 #include "bench_common.h"
+#include "common/json.h"
 #include "lir/layout_builder.h"
+#include "treebeard/compiler.h"
 
 using namespace treebeard;
 
+namespace {
+
+/** One layout's latency measurement on the large model. */
+struct LayoutTiming
+{
+    std::string layout;
+    double usPerRow = 0.0;
+    int64_t footprintBytes = 0;
+    bool feasible = false;
+    std::string note;
+};
+
+LayoutTiming
+timeLayout(const model::Forest &forest, hir::MemoryLayout layout,
+           const data::Dataset &batch, int64_t rows)
+{
+    LayoutTiming timing;
+    timing.layout = hir::memoryLayoutName(layout);
+    hir::Schedule schedule = bench::optimizedSchedule(1);
+    schedule.layout = layout;
+    try {
+        InferenceSession session = compileForest(forest, schedule);
+        timing.footprintBytes =
+            session.plan().buffers().footprintBytes();
+        std::vector<float> predictions(static_cast<size_t>(rows));
+        timing.usPerRow = bench::timeMicrosPerRow(
+            [&] {
+                session.predict(batch.rows(), rows,
+                                predictions.data());
+            },
+            rows);
+        timing.feasible = true;
+    } catch (const Error &error) {
+        // E.g. the array layout's total-tile cap on deep forests.
+        timing.note = error.what();
+    }
+    return timing;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("# Section V-B: in-memory representation sizes "
                 "(tile size 8)\n");
     bench::printCsvRow({"dataset", "scalar_bytes", "array_bytes",
-                        "sparse_bytes", "array_over_scalar",
-                        "array_over_sparse", "sparse_over_scalar"});
+                        "sparse_bytes", "packed_bytes",
+                        "array_over_scalar", "array_over_sparse",
+                        "sparse_over_scalar", "packed_over_sparse"});
 
     std::vector<double> array_vs_scalar, array_vs_sparse,
-        sparse_vs_scalar;
+        sparse_vs_scalar, packed_vs_sparse;
     for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
         const model::Forest &forest = bench::benchmarkForest(spec);
         int64_t scalar = lir::scalarRepresentationBytes(forest);
@@ -36,6 +91,9 @@ main()
         sparse_module.runAllHirPasses();
         int64_t sparse =
             lir::buildSparseLayout(sparse_module).footprintBytes();
+        // Packed repacks the same tiled trees into strided records.
+        int64_t packed =
+            lir::buildPackedLayout(sparse_module).footprintBytes();
 
         // The array layout of prob-tiled trees can blow past the tile
         // cap; size it with basic tiling (as the paper's array
@@ -54,17 +112,98 @@ main()
         array_vs_sparse.push_back(static_cast<double>(array) / sparse);
         sparse_vs_scalar.push_back(static_cast<double>(sparse) /
                                    scalar);
+        packed_vs_sparse.push_back(static_cast<double>(packed) /
+                                   sparse);
         bench::printCsvRow(
             {spec.name, std::to_string(scalar), std::to_string(array),
-             std::to_string(sparse),
+             std::to_string(sparse), std::to_string(packed),
              bench::fmt(static_cast<double>(array) / scalar, 2),
              bench::fmt(static_cast<double>(array) / sparse, 2),
-             bench::fmt(static_cast<double>(sparse) / scalar, 2)});
+             bench::fmt(static_cast<double>(sparse) / scalar, 2),
+             bench::fmt(static_cast<double>(packed) / sparse, 2)});
     }
-    bench::printCsvRow({"geomean", "", "", "",
+    bench::printCsvRow({"geomean", "", "", "", "",
                         bench::fmt(bench::geomean(array_vs_scalar), 2),
                         bench::fmt(bench::geomean(array_vs_sparse), 2),
-                        bench::fmt(bench::geomean(sparse_vs_scalar),
+                        bench::fmt(bench::geomean(sparse_vs_scalar), 2),
+                        bench::fmt(bench::geomean(packed_vs_sparse),
                                    2)});
+
+    // ----------------------------------------------------------------
+    // Layout latency shootout on a large deep model (500 trees, max
+    // depth 9, tile size 8): the regime the packed layout targets —
+    // a model-resident working set far beyond L2, where each tile
+    // visit's memory traffic dominates.
+    // ----------------------------------------------------------------
+    data::SyntheticModelSpec large;
+    large.name = "large-deep";
+    large.numFeatures = 50;
+    large.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(500 * bench::benchScale()));
+    large.maxDepth = 9;
+    large.splitProbability = 0.93;
+    large.trainingRows = 0;
+    large.seed = 4242;
+    large.thresholdDistribution = data::ThresholdDistribution::kMild;
+    model::Forest forest = data::synthesizeForest(large);
+
+    constexpr int64_t kRows = 2000;
+    data::Dataset batch = bench::benchmarkBatch(large, kRows);
+
+    std::printf("\n# Layout latency, %lld trees depth %d tile 8 "
+                "(optimized schedule, %lld rows)\n",
+                static_cast<long long>(large.numTrees), large.maxDepth,
+                static_cast<long long>(kRows));
+    bench::printCsvRow(
+        {"layout", "us_per_row", "footprint_bytes", "feasible"});
+
+    std::vector<LayoutTiming> timings;
+    for (hir::MemoryLayout layout : {hir::MemoryLayout::kSparse,
+                                     hir::MemoryLayout::kPacked,
+                                     hir::MemoryLayout::kArray}) {
+        LayoutTiming timing = timeLayout(forest, layout, batch, kRows);
+        timings.push_back(timing);
+        bench::printCsvRow({timing.layout,
+                            timing.feasible
+                                ? bench::fmt(timing.usPerRow, 3)
+                                : "n/a",
+                            std::to_string(timing.footprintBytes),
+                            timing.feasible ? "yes" : "no"});
+    }
+
+    const LayoutTiming *winner = nullptr;
+    for (const LayoutTiming &timing : timings) {
+        if (timing.feasible &&
+            (winner == nullptr || timing.usPerRow < winner->usPerRow))
+            winner = &timing;
+    }
+    if (winner != nullptr)
+        std::printf("# fastest layout: %s\n", winner->layout.c_str());
+
+    if (argc > 1) {
+        std::ostringstream os;
+        os << "{\n  \"benchmark\": \"layout_latency_shootout\",\n";
+        os << "  \"model\": {\"trees\": " << large.numTrees
+           << ", \"max_depth\": " << large.maxDepth
+           << ", \"features\": " << large.numFeatures
+           << ", \"tile_size\": 8},\n";
+        os << "  \"rows\": " << kRows << ",\n";
+        os << "  \"results\": [\n";
+        for (size_t i = 0; i < timings.size(); ++i) {
+            const LayoutTiming &t = timings[i];
+            os << "    {\"layout\": \"" << t.layout
+               << "\", \"feasible\": " << (t.feasible ? "true" : "false")
+               << ", \"us_per_row\": "
+               << (t.feasible ? bench::fmt(t.usPerRow, 4) : "null")
+               << ", \"footprint_bytes\": " << t.footprintBytes << "}"
+               << (i + 1 < timings.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+        os << "  \"fastest_layout\": \""
+           << (winner != nullptr ? winner->layout : "none") << "\"\n";
+        os << "}\n";
+        writeStringToFile(argv[1], os.str());
+        std::printf("# wrote %s\n", argv[1]);
+    }
     return 0;
 }

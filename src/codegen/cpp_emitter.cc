@@ -31,6 +31,33 @@ void
 emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
 {
     int32_t nt = fb.tileSize;
+    if (fb.layout == LayoutKind::kPacked) {
+        // One fixed-stride record per tile; offsets are baked in.
+        os << "static inline int evalTile(const unsigned char* rec, "
+              "const float* row, const int8_t* lut) {\n";
+        os << "  const float* th = (const float*)rec;\n";
+        os << "  const int16_t* fi = (const int16_t*)(rec + "
+           << lir::packedFeaturesOffset(nt) << ");\n";
+        os << "  int16_t shape; __builtin_memcpy(&shape, rec + "
+           << lir::packedShapeOffset(nt) << ", 2);\n";
+        os << "  unsigned dl = rec["
+           << lir::packedDefaultLeftOffset(nt) << "];\n";
+        os << "  unsigned outcome = 0;\n";
+        for (int32_t s = 0; s < nt; ++s) {
+            os << "  { float v = row[fi[" << s << "]]; outcome |= "
+               << "(unsigned)(v < th[" << s << "] || (v != v && ((dl >> "
+               << s << ") & 1u))) << " << s << "; }\n";
+        }
+        os << "  return lut[(size_t)shape * "
+           << fb.shapes->lutStride() << " + outcome];\n";
+        os << "}\n\n";
+        os << "static inline int32_t childBase(const unsigned char* "
+              "rec) {\n"
+              "  int32_t b; __builtin_memcpy(&b, rec + "
+           << lir::packedChildBaseOffset(nt) << ", 4); return b;\n"
+              "}\n\n";
+        return;
+    }
     os << "static inline int evalTile(int64_t tile, const float* row,\n"
           "    const float* thresholds, const int32_t* features,\n"
           "    const int16_t* shape_ids, const uint8_t* default_left,\n"
@@ -57,6 +84,49 @@ emitWalkFunction(std::ostringstream &os, const ForestBuffers &fb,
 {
     bool sparse = fb.layout == LayoutKind::kSparse;
     int32_t nt = fb.tileSize;
+    if (fb.layout == LayoutKind::kPacked) {
+        int32_t stride = lir::packedTileStride(nt);
+        os << "static inline float walk_group_" << group_index
+           << "(int64_t root, const float* row,\n"
+              "    const unsigned char* packed, const float* leaves, "
+              "const int8_t* lut) {\n";
+        os << "  int64_t tile = root;\n";
+        os << "  const unsigned char* rec;\n";
+        if (group.unrolledWalk) {
+            for (int32_t d = 0; d + 1 < group.walkDepth; ++d) {
+                os << "  rec = packed + tile * " << stride
+                   << "; tile = childBase(rec) + evalTile(rec, row, "
+                      "lut);\n";
+            }
+            os << "  rec = packed + tile * " << stride << ";\n";
+            os << "  int child = evalTile(rec, row, lut);\n";
+            os << "  return leaves[-(childBase(rec) + 1) + child];\n";
+        } else {
+            for (int32_t d = 0; d + 1 < group.peelDepth; ++d) {
+                os << "  rec = packed + tile * " << stride
+                   << "; tile = childBase(rec) + evalTile(rec, row, "
+                      "lut);\n";
+            }
+            os << "  for (;;) {\n";
+            os << "    rec = packed + tile * " << stride << ";\n";
+            os << "    int32_t base = childBase(rec);\n";
+            // Prefetch both candidate child records while the
+            // predicates evaluate.
+            os << "    if (base >= 0) {\n";
+            os << "      __builtin_prefetch(packed + (int64_t)base * "
+               << stride << ", 0, 3);\n";
+            os << "      __builtin_prefetch(packed + ((int64_t)base + "
+               << nt << ") * " << stride << ", 0, 3);\n";
+            os << "    }\n";
+            os << "    int child = evalTile(rec, row, lut);\n";
+            os << "    if (base < 0) return leaves[-(base + 1) + "
+                  "child];\n";
+            os << "    tile = base + child;\n";
+            os << "  }\n";
+        }
+        os << "}\n\n";
+        return;
+    }
     os << "static inline float walk_group_" << group_index
        << "(int64_t root, const float* row,\n"
           "    const float* thresholds, const int32_t* features,\n"
@@ -140,6 +210,12 @@ emitPredictForestSource(const ForestBuffers &fb,
     int32_t k = schedule.interleaveFactor;
     bool one_tree =
         schedule.loopOrder == hir::LoopOrder::kOneTreeAtATime;
+    // Trailing arguments every walk_group_* call passes through.
+    std::string walk_tail =
+        fb.layout == LayoutKind::kPacked
+            ? "packed, leaves, lut"
+            : "thresholds, features, shape_ids, default_left, "
+              "child_base, leaves, lut";
 
     os << "extern \"C\" void treebeard_predict(const float* rows, "
           "int64_t num_rows, float* predictions,\n"
@@ -147,8 +223,15 @@ emitPredictForestSource(const ForestBuffers &fb,
           "    const int16_t* shape_ids, const uint8_t* default_left,\n"
           "    const int32_t* child_base,\n"
           "    const float* leaves, const int8_t* lut,\n"
-          "    const int64_t* tree_first_tile) {\n";
+          "    const int64_t* tree_first_tile,\n"
+          "    const unsigned char* packed) {\n";
     os << "  const int nf = " << fb.numFeatures << ";\n";
+    if (fb.layout == LayoutKind::kPacked) {
+        os << "  (void)thresholds; (void)features; (void)shape_ids; "
+              "(void)default_left; (void)child_base;\n";
+    } else {
+        os << "  (void)packed;\n";
+    }
 
     auto emit_objective = [&](const std::string &target,
                               const std::string &margin) {
@@ -177,15 +260,12 @@ emitPredictForestSource(const ForestBuffers &fb,
                 for (int32_t i = 0; i < k; ++i) {
                     os << "      acc[r + " << i << "] += walk_group_"
                        << g << "(root, rows + (r + " << i
-                       << ") * nf, thresholds, features, shape_ids, "
-                          "default_left, child_base, leaves, lut);\n";
+                       << ") * nf, " << walk_tail << ");\n";
                 }
                 os << "    }\n";
             }
             os << "    for (; r < num_rows; ++r) acc[r] += walk_group_"
-               << g
-               << "(root, rows + r * nf, thresholds, features, "
-                  "shape_ids, default_left, child_base, leaves, lut);\n";
+               << g << "(root, rows + r * nf, " << walk_tail << ");\n";
             os << "  }\n";
         }
         os << "  for (int64_t r = 0; r < num_rows; ++r) ";
@@ -205,16 +285,15 @@ emitPredictForestSource(const ForestBuffers &fb,
                    << group.endPos << "; pos += " << k << ") {\n";
                 for (int32_t i = 0; i < k; ++i) {
                     os << "        margin += walk_group_" << g
-                       << "(tree_first_tile[pos + " << i
-                       << "], row, thresholds, features, shape_ids, "
-                          "default_left, child_base, leaves, lut);\n";
+                       << "(tree_first_tile[pos + " << i << "], row, "
+                       << walk_tail << ");\n";
                 }
                 os << "      }\n";
             }
             os << "      for (; pos < " << group.endPos
                << "; ++pos) margin += walk_group_" << g
-               << "(tree_first_tile[pos], row, thresholds, features, "
-                  "shape_ids, default_left, child_base, leaves, lut);\n";
+               << "(tree_first_tile[pos], row, " << walk_tail
+               << ");\n";
             os << "    }\n";
         }
         os << "    ";
@@ -240,16 +319,22 @@ void
 JitCompiledSession::predict(const float *rows, int64_t num_rows,
                             float *predictions) const
 {
-    // The sparse-only buffers may be empty in the array layout; the
-    // generated code never dereferences them in that case.
+    // Layout-specific buffers may be empty (sparse-only arrays in the
+    // array layout, every SoA array in the packed layout); the
+    // generated code never dereferences them in those cases.
     const int32_t *child_base =
         buffers_.childBase.empty() ? nullptr : buffers_.childBase.data();
     const float *leaves =
         buffers_.leaves.empty() ? nullptr : buffers_.leaves.data();
+    const unsigned char *packed =
+        buffers_.layout == lir::LayoutKind::kPacked
+            ? buffers_.packedData()
+            : nullptr;
     predict_(rows, num_rows, predictions, buffers_.thresholds.data(),
              buffers_.featureIndices.data(), buffers_.shapeIds.data(),
              buffers_.defaultLeft.data(), child_base, leaves,
-             buffers_.shapes->lutData(), buffers_.treeFirstTile.data());
+             buffers_.shapes->lutData(), buffers_.treeFirstTile.data(),
+             packed);
 }
 
 } // namespace treebeard::codegen

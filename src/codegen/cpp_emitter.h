@@ -31,7 +31,12 @@ namespace treebeard::codegen {
  *       const float* thresholds, const int32_t* feature_indices,
  *       const int16_t* shape_ids, const uint8_t* default_left,
  *       const int32_t* child_base, const float* leaves,
- *       const int8_t* lut, const int64_t* tree_first_tile);
+ *       const int8_t* lut, const int64_t* tree_first_tile,
+ *       const unsigned char* packed);
+ *
+ * For the packed layout the SoA pointers (thresholds, feature_indices,
+ * shape_ids, default_left, child_base) may be null; every tile field
+ * is read from the packed records instead.
  */
 std::string emitPredictForestSource(
     const lir::ForestBuffers &buffers,
@@ -66,7 +71,8 @@ class JitCompiledSession
                                const float *, const int32_t *,
                                const int16_t *, const uint8_t *,
                                const int32_t *, const float *,
-                               const int8_t *, const int64_t *);
+                               const int8_t *, const int64_t *,
+                               const unsigned char *);
 
     lir::ForestBuffers buffers_;
     std::string source_;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <unordered_map>
 
 #include <dlfcn.h>
 #include <unistd.h>
@@ -49,97 +51,146 @@ runCommand(const std::string &command, std::string &output)
 
 } // namespace
 
-JitModule::JitModule(const std::string &source, const JitOptions &options)
-    : keepArtifacts_(options.keepArtifacts)
+/** The compiled-and-dlopen'd shared object, shared between modules. */
+struct JitModule::LoadedLibrary
 {
-    workDir_ = makeWorkDir();
-    std::string source_path = workDir_ + "/generated.cpp";
-    libraryPath_ = workDir_ + "/generated.so";
+    void *handle = nullptr;
+    std::string workDir;
+    std::string libraryPath;
+    double compileSeconds = 0.0;
+    bool keepArtifacts = false;
+
+    LoadedLibrary() = default;
+    LoadedLibrary(const LoadedLibrary &) = delete;
+    LoadedLibrary &operator=(const LoadedLibrary &) = delete;
+
+    ~LoadedLibrary()
+    {
+        if (handle != nullptr)
+            dlclose(handle);
+        if (!workDir.empty() && !keepArtifacts) {
+            std::error_code ec;
+            fs::remove_all(workDir, ec);
+        }
+    }
+};
+
+namespace {
+
+/**
+ * Process-wide compilation cache: key -> loaded library. Entries hold
+ * strong references so a library compiled once stays resident (and
+ * its symbols valid) for the rest of the process; everything unloads
+ * at static destruction.
+ */
+struct JitCache
+{
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<JitModule::LoadedLibrary>>
+        entries;
+    JitCacheStats stats;
+};
+
+JitCache &
+jitCache()
+{
+    static JitCache cache;
+    return cache;
+}
+
+std::shared_ptr<JitModule::LoadedLibrary>
+compileAndLoad(const std::string &source, const JitOptions &options)
+{
+    auto library = std::make_shared<JitModule::LoadedLibrary>();
+    library->keepArtifacts = options.keepArtifacts;
+    library->workDir = makeWorkDir();
+    std::string source_path = library->workDir + "/generated.cpp";
+    library->libraryPath = library->workDir + "/generated.so";
     writeStringToFile(source_path, source);
 
     std::string command = options.compiler + " " + options.optLevel +
                           " -shared -fPIC -std=c++17 " +
-                          options.extraFlags + " -o " + libraryPath_ +
-                          " " + source_path;
+                          options.extraFlags + " -o " +
+                          library->libraryPath + " " + source_path;
     Timer timer;
     std::string compiler_output;
     int status = runCommand(command, compiler_output);
-    compileSeconds_ = timer.elapsedSeconds();
+    library->compileSeconds = timer.elapsedSeconds();
     if (status != 0) {
-        std::string message = "JIT compilation failed (status " +
-                              std::to_string(status) +
-                              "):\n" + compiler_output;
-        if (!keepArtifacts_) {
-            std::error_code ec;
-            std::filesystem::remove_all(workDir_, ec);
+        fatal("JIT compilation failed (status ", status, "):\n",
+              compiler_output);
+    }
+
+    library->handle =
+        dlopen(library->libraryPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (library->handle == nullptr)
+        fatal("dlopen failed: ", dlerror());
+    return library;
+}
+
+} // namespace
+
+JitModule::JitModule(const std::string &source, const JitOptions &options)
+{
+    if (options.keepArtifacts) {
+        // Debugging path: private artifacts, no sharing.
+        library_ = compileAndLoad(source, options);
+        compileSeconds_ = library_->compileSeconds;
+        return;
+    }
+
+    std::string key = options.compiler + '\x1f' + options.optLevel +
+                      '\x1f' + options.extraFlags + '\x1f' + source;
+    JitCache &cache = jitCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        cache.stats.lookups += 1;
+        auto it = cache.entries.find(key);
+        if (it != cache.entries.end()) {
+            cache.stats.hits += 1;
+            library_ = it->second;
+            compileSeconds_ = 0.0;
+            return;
         }
-        fatal(message);
     }
 
-    handle_ = dlopen(libraryPath_.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (handle_ == nullptr) {
-        std::string message =
-            std::string("dlopen failed: ") + dlerror();
-        if (!keepArtifacts_) {
-            std::error_code ec;
-            std::filesystem::remove_all(workDir_, ec);
-        }
-        fatal(message);
+    // Compile outside the lock; concurrent misses on the same key race
+    // benignly (first insert wins, the loser's library unloads).
+    auto library = compileAndLoad(source, options);
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto [it, inserted] = cache.entries.emplace(key, library);
+        library_ = it->second;
     }
+    compileSeconds_ = library_->compileSeconds;
 }
 
-JitModule::JitModule(JitModule &&other) noexcept
-    : handle_(other.handle_), workDir_(std::move(other.workDir_)),
-      libraryPath_(std::move(other.libraryPath_)),
-      compileSeconds_(other.compileSeconds_),
-      keepArtifacts_(other.keepArtifacts_)
-{
-    other.handle_ = nullptr;
-    other.workDir_.clear();
-}
-
-JitModule &
-JitModule::operator=(JitModule &&other) noexcept
-{
-    if (this != &other) {
-        unload();
-        handle_ = other.handle_;
-        workDir_ = std::move(other.workDir_);
-        libraryPath_ = std::move(other.libraryPath_);
-        compileSeconds_ = other.compileSeconds_;
-        keepArtifacts_ = other.keepArtifacts_;
-        other.handle_ = nullptr;
-        other.workDir_.clear();
-    }
-    return *this;
-}
-
-JitModule::~JitModule()
-{
-    unload();
-}
-
-void
-JitModule::unload()
-{
-    if (handle_ != nullptr) {
-        dlclose(handle_);
-        handle_ = nullptr;
-    }
-    if (!workDir_.empty() && !keepArtifacts_) {
-        std::error_code ec;
-        std::filesystem::remove_all(workDir_, ec);
-    }
-    workDir_.clear();
-}
+JitModule::~JitModule() = default;
 
 void *
 JitModule::symbol(const std::string &name) const
 {
-    panicIf(handle_ == nullptr, "symbol lookup on unloaded module");
-    void *address = dlsym(handle_, name.c_str());
+    panicIf(library_ == nullptr || library_->handle == nullptr,
+            "symbol lookup on unloaded module");
+    void *address = dlsym(library_->handle, name.c_str());
     fatalIf(address == nullptr, "JIT module has no symbol '", name, "'");
     return address;
+}
+
+const std::string &
+JitModule::libraryPath() const
+{
+    panicIf(library_ == nullptr, "libraryPath on unloaded module");
+    return library_->libraryPath;
+}
+
+JitCacheStats
+jitCacheStats()
+{
+    JitCache &cache = jitCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.stats;
 }
 
 bool

@@ -4,10 +4,19 @@
  * the system compiler into a shared object and dlopen it. This is the
  * repo's stand-in for the LLVM ORC JIT the original system uses (and
  * is exactly how Treelite deploys its generated code).
+ *
+ * Compilations are memoized per process on (compiler, flags, source):
+ * constructing a second JitModule with an identical key shares the
+ * already-loaded library instead of invoking the compiler again. The
+ * tuner exercises this heavily — schedule exploration re-emits the
+ * same source for configurations that differ only in knobs the
+ * emitter ignores.
  */
 #ifndef TREEBEARD_CODEGEN_SYSTEM_JIT_H
 #define TREEBEARD_CODEGEN_SYSTEM_JIT_H
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 namespace treebeard::codegen {
@@ -16,24 +25,41 @@ namespace treebeard::codegen {
 struct JitOptions
 {
     /** Optimization level flag passed to the compiler. */
-    std::string optLevel = "-O2";
+    std::string optLevel = "-O3";
     /** Compiler executable. */
     std::string compiler = "c++";
     /** Extra flags (e.g. "-mavx2"). */
     std::string extraFlags;
-    /** Keep the temp directory (for debugging generated code). */
+    /**
+     * Keep the temp directory (for debugging generated code). Also
+     * bypasses the compilation cache so the artifacts are private to
+     * this module.
+     */
     bool keepArtifacts = false;
 };
 
+/** Process-wide JIT compilation cache counters. */
+struct JitCacheStats
+{
+    int64_t lookups = 0;
+    int64_t hits = 0;
+};
+
+/** Snapshot of the cache counters (for tests and diagnostics). */
+JitCacheStats jitCacheStats();
+
 /**
- * One compiled-and-loaded shared object. Unloads (dlclose) and removes
- * its artifacts on destruction; resolved symbols must not outlive it.
+ * One compiled-and-loaded shared object. The underlying library is
+ * shared with the process-wide cache and other modules compiled from
+ * the same (compiler, flags, source) key; it unloads when the last
+ * reference (including the cache's, at process exit) drops.
  */
 class JitModule
 {
   public:
     /**
-     * Compile @p source and load the result.
+     * Compile @p source and load the result, or attach to the cached
+     * library for this key.
      * @throws Error when the compiler or loader fails (the compiler's
      * stderr is included in the message).
      */
@@ -41,8 +67,8 @@ class JitModule
 
     JitModule(const JitModule &) = delete;
     JitModule &operator=(const JitModule &) = delete;
-    JitModule(JitModule &&other) noexcept;
-    JitModule &operator=(JitModule &&other) noexcept;
+    JitModule(JitModule &&other) noexcept = default;
+    JitModule &operator=(JitModule &&other) noexcept = default;
     ~JitModule();
 
     /**
@@ -59,20 +85,18 @@ class JitModule
         return reinterpret_cast<Fn>(symbol(name));
     }
 
-    /** Seconds spent in the external compiler. */
+    /** Seconds spent in the external compiler (0 on a cache hit). */
     double compileSeconds() const { return compileSeconds_; }
 
     /** Path of the loaded shared object. */
-    const std::string &libraryPath() const { return libraryPath_; }
+    const std::string &libraryPath() const;
+
+    /** Implementation detail, public only for the cache machinery. */
+    struct LoadedLibrary;
 
   private:
-    void unload();
-
-    void *handle_ = nullptr;
-    std::string workDir_;
-    std::string libraryPath_;
+    std::shared_ptr<LoadedLibrary> library_;
     double compileSeconds_ = 0.0;
-    bool keepArtifacts_ = false;
 };
 
 /** True when a working system compiler is available. */

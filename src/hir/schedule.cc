@@ -23,6 +23,7 @@ memoryLayoutName(MemoryLayout layout)
     switch (layout) {
       case MemoryLayout::kArray: return "array";
       case MemoryLayout::kSparse: return "sparse";
+      case MemoryLayout::kPacked: return "packed";
     }
     panic("unknown memory layout");
 }
@@ -110,9 +111,15 @@ scheduleFromJsonString(const std::string &text)
         static_cast<int32_t>(document.at("pad_depth_slack").asInt());
     schedule.interleaveFactor =
         static_cast<int32_t>(document.at("interleave").asInt());
-    schedule.layout = document.at("layout").asString() == "array"
-                          ? MemoryLayout::kArray
-                          : MemoryLayout::kSparse;
+    {
+        const std::string &layout = document.at("layout").asString();
+        if (layout == "array")
+            schedule.layout = MemoryLayout::kArray;
+        else if (layout == "packed")
+            schedule.layout = MemoryLayout::kPacked;
+        else
+            schedule.layout = MemoryLayout::kSparse;
+    }
     schedule.numThreads =
         static_cast<int32_t>(document.at("threads").asInt());
     JsonValue default_false(false);

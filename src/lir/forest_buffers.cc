@@ -1,5 +1,6 @@
 #include "lir/forest_buffers.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/logging.h"
@@ -12,6 +13,7 @@ layoutKindName(LayoutKind kind)
     switch (kind) {
       case LayoutKind::kArray: return "array";
       case LayoutKind::kSparse: return "sparse";
+      case LayoutKind::kPacked: return "packed";
     }
     panic("unknown layout kind");
 }
@@ -26,7 +28,34 @@ ForestBuffers::footprintBytes() const
     bytes += static_cast<int64_t>(defaultLeft.size()) * sizeof(uint8_t);
     bytes += static_cast<int64_t>(childBase.size()) * sizeof(int32_t);
     bytes += static_cast<int64_t>(leaves.size()) * sizeof(float);
+    bytes += packedTileCount * packedStride;
     return bytes;
+}
+
+ForestBuffers::TileFields
+ForestBuffers::tileFields(int64_t tile) const
+{
+    TileFields fields;
+    if (layout == LayoutKind::kPacked) {
+        const unsigned char *record = packedTileRecord(tile);
+        fields.thresholds = reinterpret_cast<const float *>(record);
+        fields.features16 = reinterpret_cast<const int16_t *>(
+            record + packedFeaturesOffset(tileSize));
+        std::memcpy(&fields.shapeId, record + packedShapeOffset(tileSize),
+                    sizeof(int16_t));
+        fields.defaultLeft = record[packedDefaultLeftOffset(tileSize)];
+        std::memcpy(&fields.childBase,
+                    record + packedChildBaseOffset(tileSize),
+                    sizeof(int32_t));
+        return fields;
+    }
+    fields.thresholds = thresholds.data() + tile * tileSize;
+    fields.features32 = featureIndices.data() + tile * tileSize;
+    fields.shapeId = shapeIds[static_cast<size_t>(tile)];
+    fields.defaultLeft = defaultLeft[static_cast<size_t>(tile)];
+    if (layout == LayoutKind::kSparse)
+        fields.childBase = childBase[static_cast<size_t>(tile)];
+    return fields;
 }
 
 int64_t
@@ -44,8 +73,10 @@ ForestBuffers::summary() const
     std::ostringstream os;
     os << "lir.buffers { layout=" << layoutKindName(layout)
        << " tileSize=" << tileSize << " trees=" << numTrees
-       << " tiles=" << numTiles() << " leaves=" << leaves.size()
-       << " bytes=" << footprintBytes() << " lutBytes=" << lutBytes()
+       << " tiles=" << numTiles() << " leaves=" << leaves.size();
+    if (layout == LayoutKind::kPacked)
+        os << " stride=" << packedStride;
+    os << " bytes=" << footprintBytes() << " lutBytes=" << lutBytes()
        << " }";
     return os.str();
 }

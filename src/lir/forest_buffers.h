@@ -28,6 +28,14 @@
  *  - `childBase[tile] < 0`: all children are leaves; the child values
  *    live at leaves[-(childBase+1) + c].
  *  - Mixed leaf/non-leaf children are eliminated with "hop" tiles.
+ *
+ * Packed layout:
+ *  - Same topology and childBase/leaves semantics as the sparse
+ *    layout, but the per-tile SoA arrays are fused into one
+ *    fixed-stride AoS record per tile (see packed* helpers below), so
+ *    a tile evaluation touches a single cache line instead of ~5.
+ *  - Feature indices are narrowed to int16; models with >= 32768
+ *    features cannot use this layout (the builder falls back).
  */
 #ifndef TREEBEARD_LIR_FOREST_BUFFERS_H
 #define TREEBEARD_LIR_FOREST_BUFFERS_H
@@ -51,9 +59,73 @@ constexpr int16_t kUnusedTileMarker = -2;
 enum class LayoutKind {
     kArray,
     kSparse,
+    kPacked,
 };
 
 const char *layoutKindName(LayoutKind kind);
+
+// ---------------------------------------------------------------------
+// Packed tile records.
+//
+// One tile is a single fixed-stride record:
+//
+//   offset 0:                 float   thresholds[NT]
+//   packedFeaturesOffset:     int16_t featureIndices[NT]
+//   packedShapeOffset:        int16_t shapeId
+//   packedDefaultLeftOffset:  uint8_t defaultLeft
+//   packedChildBaseOffset:    int32_t childBase   (4-byte aligned)
+//
+// The stride is the next power of two covering the record (16/32/64
+// bytes for NT in [1,8]), so records never straddle a cache line and
+// the NT=8 record is exactly one 64-byte line. Indexing is
+// record = packedData() + tile * stride; the kernels instantiate the
+// offsets as compile-time constants per NT.
+// ---------------------------------------------------------------------
+
+/** Exclusive upper bound on feature indices in the packed layout. */
+constexpr int32_t kPackedMaxFeatures = 32768;
+
+constexpr int32_t
+packedFeaturesOffset(int32_t tile_size)
+{
+    return tile_size * 4;
+}
+
+constexpr int32_t
+packedShapeOffset(int32_t tile_size)
+{
+    return tile_size * 6;
+}
+
+constexpr int32_t
+packedDefaultLeftOffset(int32_t tile_size)
+{
+    return tile_size * 6 + 2;
+}
+
+constexpr int32_t
+packedChildBaseOffset(int32_t tile_size)
+{
+    // First 4-byte-aligned offset past the default-left byte.
+    return (tile_size * 6 + 3 + 3) & ~3;
+}
+
+/** Bytes per packed tile record (a power of two in [16, 64]). */
+constexpr int32_t
+packedTileStride(int32_t tile_size)
+{
+    int32_t raw = packedChildBaseOffset(tile_size) + 4;
+    int32_t stride = 16;
+    while (stride < raw)
+        stride *= 2;
+    return stride;
+}
+
+/** 64-byte-aligned backing unit for the packed record buffer. */
+struct alignas(64) PackedLine
+{
+    unsigned char bytes[64];
+};
 
 /** Walk-shape metadata for one tree, copied from its HIR tree group. */
 struct TreeWalkInfo
@@ -112,16 +184,68 @@ struct ForestBuffers
 
     /** Sparse layout only: per-tile child base (see file comment). */
     std::vector<int32_t> childBase;
-    /** Sparse layout only: leaf value pool. */
+    /** Sparse/packed layouts: leaf value pool. */
     std::vector<float> leaves;
+
+    /**
+     * Packed layout only: the AoS record buffer (tile t's record at
+     * byte offset t * packedStride) and its per-tile stride. The SoA
+     * vectors above are empty in this layout; all per-tile data lives
+     * here (leaves/treeFirstTile/walkInfo are unchanged).
+     */
+    std::vector<PackedLine> packed;
+    int32_t packedStride = 0;
+    int64_t packedTileCount = 0;
 
     /** Per-tree walk metadata (unroll/peel), by buffer tree index. */
     std::vector<TreeWalkInfo> walkInfo;
 
     int64_t numTiles() const
     {
-        return static_cast<int64_t>(shapeIds.size());
+        return layout == LayoutKind::kPacked
+                   ? packedTileCount
+                   : static_cast<int64_t>(shapeIds.size());
     }
+
+    const unsigned char *packedData() const
+    {
+        return reinterpret_cast<const unsigned char *>(packed.data());
+    }
+
+    unsigned char *packedData()
+    {
+        return reinterpret_cast<unsigned char *>(packed.data());
+    }
+
+    const unsigned char *packedTileRecord(int64_t tile) const
+    {
+        return packedData() + tile * packedStride;
+    }
+
+    /**
+     * Layout-agnostic view of one tile's fields, resolved with
+     * runtime offsets. For reference/instrumented paths and the
+     * layout builders — the hot kernels use compile-time offsets.
+     */
+    struct TileFields
+    {
+        const float *thresholds = nullptr;
+        const int32_t *features32 = nullptr; // array/sparse layouts
+        const int16_t *features16 = nullptr; // packed layout
+        int16_t shapeId = 0;
+        uint8_t defaultLeft = 0;
+        /** Sparse/packed only; 0 in the array layout. */
+        int32_t childBase = 0;
+
+        int32_t feature(int32_t slot) const
+        {
+            return features32 != nullptr
+                       ? features32[slot]
+                       : static_cast<int32_t>(features16[slot]);
+        }
+    };
+
+    TileFields tileFields(int64_t tile) const;
 
     /** Model bytes (excluding the shared LUT). */
     int64_t footprintBytes() const;

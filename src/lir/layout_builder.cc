@@ -1,6 +1,7 @@
 #include "lir/layout_builder.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <queue>
 
@@ -360,6 +361,69 @@ buildSparseLayout(const hir::HirModule &module)
 }
 
 ForestBuffers
+buildPackedLayout(const hir::HirModule &module)
+{
+    fatalIf(module.forest().numFeatures() >= kPackedMaxFeatures,
+            "packed layout narrows feature indices to int16; model has ",
+            module.forest().numFeatures(), " features (limit ",
+            kPackedMaxFeatures, ")");
+
+    // Build the sparse topology first, then fuse the SoA arrays into
+    // per-tile records. The repack is pure data movement, so the
+    // packed layout is bit-identical to the sparse one by
+    // construction; only the memory access pattern changes.
+    ForestBuffers fb = buildSparseLayout(module);
+    fb.layout = LayoutKind::kPacked;
+    fb.packedStride = packedTileStride(fb.tileSize);
+    int64_t tiles = static_cast<int64_t>(fb.shapeIds.size());
+    fb.packedTileCount = tiles;
+    int64_t total_bytes = tiles * fb.packedStride;
+    fb.packed.assign(
+        static_cast<size_t>((total_bytes + sizeof(PackedLine) - 1) /
+                            sizeof(PackedLine)),
+        PackedLine{});
+
+    int32_t nt = fb.tileSize;
+    for (int64_t tile = 0; tile < tiles; ++tile) {
+        unsigned char *record =
+            fb.packedData() + tile * fb.packedStride;
+        std::memcpy(record, fb.thresholds.data() + tile * nt,
+                    static_cast<size_t>(nt) * sizeof(float));
+        int16_t features16[kMaxTileSize];
+        const int32_t *features = fb.featureIndices.data() + tile * nt;
+        for (int32_t s = 0; s < nt; ++s) {
+            panicIf(features[s] >= kPackedMaxFeatures,
+                    "feature index escaped the packed-layout gate");
+            features16[s] = static_cast<int16_t>(features[s]);
+        }
+        std::memcpy(record + packedFeaturesOffset(nt), features16,
+                    static_cast<size_t>(nt) * sizeof(int16_t));
+        std::memcpy(record + packedShapeOffset(nt),
+                    &fb.shapeIds[static_cast<size_t>(tile)],
+                    sizeof(int16_t));
+        record[packedDefaultLeftOffset(nt)] =
+            fb.defaultLeft[static_cast<size_t>(tile)];
+        std::memcpy(record + packedChildBaseOffset(nt),
+                    &fb.childBase[static_cast<size_t>(tile)],
+                    sizeof(int32_t));
+    }
+
+    // The SoA arrays are dead weight now; every consumer goes through
+    // the records (or tileFields()).
+    fb.thresholds.clear();
+    fb.thresholds.shrink_to_fit();
+    fb.featureIndices.clear();
+    fb.featureIndices.shrink_to_fit();
+    fb.shapeIds.clear();
+    fb.shapeIds.shrink_to_fit();
+    fb.defaultLeft.clear();
+    fb.defaultLeft.shrink_to_fit();
+    fb.childBase.clear();
+    fb.childBase.shrink_to_fit();
+    return fb;
+}
+
+ForestBuffers
 buildForestBuffers(const hir::HirModule &module)
 {
     switch (module.schedule().layout) {
@@ -367,6 +431,15 @@ buildForestBuffers(const hir::HirModule &module)
         return buildArrayLayout(module);
       case hir::MemoryLayout::kSparse:
         return buildSparseLayout(module);
+      case hir::MemoryLayout::kPacked:
+        if (module.forest().numFeatures() >= kPackedMaxFeatures) {
+            warn("packed layout requires < ", kPackedMaxFeatures,
+                 " features (model has ",
+                 module.forest().numFeatures(),
+                 "); falling back to the sparse layout");
+            return buildSparseLayout(module);
+        }
+        return buildPackedLayout(module);
     }
     panic("unknown memory layout");
 }

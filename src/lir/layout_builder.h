@@ -25,6 +25,15 @@ ForestBuffers buildArrayLayout(const hir::HirModule &module);
 /** Build the sparse representation (Section V-B2). */
 ForestBuffers buildSparseLayout(const hir::HirModule &module);
 
+/**
+ * Build the cache-line-packed AoS representation: the sparse topology
+ * with each tile's fields fused into one aligned fixed-stride record.
+ * Requires numFeatures < kPackedMaxFeatures (feature indices narrow
+ * to int16); buildForestBuffers falls back to the sparse layout for
+ * wider models, this entry fatal()s.
+ */
+ForestBuffers buildPackedLayout(const hir::HirModule &module);
+
 } // namespace treebeard::lir
 
 #endif // TREEBEARD_LIR_LAYOUT_BUILDER_H

@@ -21,11 +21,12 @@ using lir::LayoutKind;
 float
 walkDynamic(const ForestBuffers &fb, int64_t pos, const float *row)
 {
-    if (fb.layout == LayoutKind::kSparse) {
+    if (fb.layout != LayoutKind::kArray) {
+        // Sparse and packed share the child-base chaining scheme.
         int64_t tile = fb.treeFirstTile[static_cast<size_t>(pos)];
         while (true) {
             int32_t child = evalTileDynamic(fb, tile, row);
-            int32_t base = fb.childBase[static_cast<size_t>(tile)];
+            int32_t base = fb.tileFields(tile).childBase;
             if (base < 0)
                 return fb.leaves[static_cast<size_t>(-(base + 1) +
                                                      child)];
@@ -81,14 +82,24 @@ runRangeDynamic(const ExecutablePlan &plan, const float *rows,
  * Kernel bundle for one (tile size, layout, interleave) configuration.
  * All methods compile to specialized straight-line code.
  */
-template <int NT, bool IsSparse, int K, bool HM>
+template <int NT, lir::LayoutKind L, int K, bool HM>
 struct PlanKernels
 {
     static float
     walkOne(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
             int64_t root, const float *row, const TreeGroup &group)
     {
-        if constexpr (IsSparse) {
+        if constexpr (L == LayoutKind::kPacked) {
+            if (group.unrolledWalk) {
+                return walkPackedUnrolled<NT, HM>(fb, lut, stride, root,
+                                              row, group.walkDepth);
+            }
+            if (group.peelDepth > 1) {
+                return walkPackedPeeled<NT, HM>(fb, lut, stride, root,
+                                            row, group.peelDepth);
+            }
+            return walkPacked<NT, HM>(fb, lut, stride, root, row);
+        } else if constexpr (L == LayoutKind::kSparse) {
             if (group.unrolledWalk) {
                 return walkSparseUnrolled<NT, HM>(fb, lut, stride, root, row,
                                               group.walkDepth);
@@ -116,7 +127,15 @@ struct PlanKernels
              const int64_t *roots, const float *const *rows,
              const TreeGroup &group, float *out)
     {
-        if constexpr (IsSparse) {
+        if constexpr (L == LayoutKind::kPacked) {
+            if (group.unrolledWalk) {
+                walkPackedUnrolledInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.walkDepth, out);
+            } else {
+                walkPackedGenericInterleaved<NT, HM, K>(
+                    fb, lut, stride, roots, rows, group.peelDepth, out);
+            }
+        } else if constexpr (L == LayoutKind::kSparse) {
             if (group.unrolledWalk) {
                 walkSparseUnrolledInterleaved<NT, HM, K>(
                     fb, lut, stride, roots, rows, group.walkDepth, out);
@@ -359,31 +378,43 @@ struct PlanKernels
 
 namespace {
 
-template <int NT, bool IsSparse, bool HM>
+template <int NT, lir::LayoutKind L, bool HM>
 ExecutablePlan::RangeRunner
 selectByInterleave(int32_t factor)
 {
     switch (factor) {
-      case 1: return &PlanKernels<NT, IsSparse, 1, HM>::runRange;
-      case 2: return &PlanKernels<NT, IsSparse, 2, HM>::runRange;
-      case 4: return &PlanKernels<NT, IsSparse, 4, HM>::runRange;
-      case 8: return &PlanKernels<NT, IsSparse, 8, HM>::runRange;
+      case 1: return &PlanKernels<NT, L, 1, HM>::runRange;
+      case 2: return &PlanKernels<NT, L, 2, HM>::runRange;
+      case 4: return &PlanKernels<NT, L, 4, HM>::runRange;
+      case 8: return &PlanKernels<NT, L, 8, HM>::runRange;
       default: fatal("unsupported interleave factor ", factor);
     }
+}
+
+template <int NT, lir::LayoutKind L>
+ExecutablePlan::RangeRunner
+selectByMissing(int32_t factor, bool handle_missing)
+{
+    return handle_missing ? selectByInterleave<NT, L, true>(factor)
+                          : selectByInterleave<NT, L, false>(factor);
 }
 
 template <int NT>
 ExecutablePlan::RangeRunner
 selectByLayout(LayoutKind layout, int32_t factor, bool handle_missing)
 {
-    if (layout == LayoutKind::kSparse) {
-        return handle_missing
-                   ? selectByInterleave<NT, true, true>(factor)
-                   : selectByInterleave<NT, true, false>(factor);
+    switch (layout) {
+      case LayoutKind::kSparse:
+        return selectByMissing<NT, LayoutKind::kSparse>(
+            factor, handle_missing);
+      case LayoutKind::kPacked:
+        return selectByMissing<NT, LayoutKind::kPacked>(
+            factor, handle_missing);
+      case LayoutKind::kArray:
+        return selectByMissing<NT, LayoutKind::kArray>(
+            factor, handle_missing);
     }
-    return handle_missing
-               ? selectByInterleave<NT, false, true>(factor)
-               : selectByInterleave<NT, false, false>(factor);
+    panic("unknown layout kind");
 }
 
 } // namespace
@@ -458,9 +489,13 @@ ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
     int32_t nf = fb.numFeatures;
     int32_t nt = fb.tileSize;
     // Bytes touched per tile evaluation: thresholds + feature indices
-    // + shape id (+ child base in the sparse layout).
-    int64_t tile_bytes = nt * 8 + 2 +
-                         (fb.layout == LayoutKind::kSparse ? 4 : 0);
+    // + shape id (+ child base in the sparse layout). Packed records
+    // touch their full fixed stride.
+    int64_t tile_bytes =
+        fb.layout == LayoutKind::kPacked
+            ? fb.packedStride
+            : nt * 8 + 2 +
+                  (fb.layout == LayoutKind::kSparse ? 4 : 0);
 
     int32_t classes = fb.numClasses;
     std::vector<float> margins(static_cast<size_t>(classes));
@@ -482,42 +517,37 @@ ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
             int64_t tile = fb.treeFirstTile[static_cast<size_t>(pos)];
             int64_t arity = nt + 1;
             int64_t local = 0;
-            bool is_sparse = fb.layout == LayoutKind::kSparse;
+            // Sparse and packed layouts chain through child bases; the
+            // array layout indexes children arithmetically.
+            bool chained = fb.layout != LayoutKind::kArray;
             int32_t steps = 0;
             while (true) {
-                int64_t current = is_sparse ? tile : tile + local;
-                if (!is_sparse &&
-                    fb.shapeIds[static_cast<size_t>(current)] ==
-                        lir::kLeafTileMarker) {
-                    margin += fb.thresholds[
-                        static_cast<size_t>(current) * nt];
+                int64_t current = chained ? tile : tile + local;
+                lir::ForestBuffers::TileFields fields =
+                    fb.tileFields(current);
+                if (!chained && fields.shapeId == lir::kLeafTileMarker) {
+                    margin += fields.thresholds[0];
                     break;
                 }
 
                 // Count the in-tile path length: the node predicates a
                 // plain binary walk would have evaluated here.
-                int16_t shape =
-                    fb.shapeIds[static_cast<size_t>(current)];
+                int16_t shape = fields.shapeId;
                 const lir::TileShape &ts = fb.shapes->shape(shape);
-                const float *thresholds =
-                    fb.thresholds.data() + current * nt;
-                const int32_t *features =
-                    fb.featureIndices.data() + current * nt;
                 // Dummy padding/hop tiles hold no real model nodes;
                 // they do not contribute to the scalar-walk cost.
-                bool is_dummy = std::isinf(thresholds[0]);
-                uint32_t default_left =
-                    fb.defaultLeft[static_cast<size_t>(current)];
+                bool is_dummy = std::isinf(fields.thresholds[0]);
+                uint32_t default_left = fields.defaultLeft;
                 int32_t slot = 0;
                 int32_t child = -1;
                 while (true) {
                     if (!is_dummy)
                         counters->scalarNodesNeeded += 1;
-                    float value = row[features[slot]];
+                    float value = row[fields.feature(slot)];
                     bool go_left =
                         std::isnan(value)
                             ? ((default_left >> slot) & 1u) != 0
-                            : value < thresholds[slot];
+                            : value < fields.thresholds[slot];
                     int32_t next =
                         go_left ? ts.left[static_cast<size_t>(slot)]
                                 : ts.right[static_cast<size_t>(slot)];
@@ -542,9 +572,8 @@ ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
                 }
                 ++steps;
 
-                if (is_sparse) {
-                    int32_t base =
-                        fb.childBase[static_cast<size_t>(tile)];
+                if (chained) {
+                    int32_t base = fields.childBase;
                     if (base < 0) {
                         margin += fb.leaves[static_cast<size_t>(
                             -(base + 1) + child)];

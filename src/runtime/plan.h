@@ -103,7 +103,7 @@ class ExecutablePlan
     RangeRunner runner_ = nullptr;
     std::unique_ptr<ThreadPool> pool_;
 
-    template <int NT, bool IsSparse, int K, bool HM>
+    template <int NT, lir::LayoutKind L, int K, bool HM>
     friend struct PlanKernels;
 };
 

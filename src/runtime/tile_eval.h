@@ -101,25 +101,112 @@ evalTile(const lir::ForestBuffers &fb, const int8_t *lut,
     return lut[static_cast<size_t>(shape) * lut_stride + outcome];
 }
 
-/** Runtime-tile-size variant used by reference/instrumented paths. */
+// ---------------------------------------------------------------------
+// Packed layout: the whole tile is one fixed-stride record; @p record
+// points at its first byte (lir::ForestBuffers::packedTileRecord).
+// Field offsets are compile-time constants of NT, so a tile
+// evaluation issues loads against a single cache line.
+// ---------------------------------------------------------------------
+
+/** Child-base field of a packed tile record. */
+template <int NT>
+inline int32_t
+packedChildBase(const unsigned char *record)
+{
+    int32_t base;
+    __builtin_memcpy(&base, record + lir::packedChildBaseOffset(NT),
+                     sizeof(int32_t));
+    return base;
+}
+
+/**
+ * As evalTile, reading every field from the packed record at
+ * @p record instead of the SoA arrays.
+ */
+template <int NT, bool HandleMissing>
+inline int32_t
+evalTilePacked(const unsigned char *record, const int8_t *lut,
+               int32_t lut_stride, const float *row)
+{
+    const float *thresholds = reinterpret_cast<const float *>(record);
+    const int16_t *features = reinterpret_cast<const int16_t *>(
+        record + lir::packedFeaturesOffset(NT));
+    int16_t shape;
+    __builtin_memcpy(&shape, record + lir::packedShapeOffset(NT),
+                     sizeof(int16_t));
+    [[maybe_unused]] uint32_t default_left =
+        record[lir::packedDefaultLeftOffset(NT)];
+
+#if TREEBEARD_HAS_AVX2
+    if constexpr (NT == 8) {
+        __m256 th = _mm256_loadu_ps(thresholds);
+        // 8 x int16 -> 8 x int32 for the gather.
+        __m128i fi16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(features));
+        __m256i fi = _mm256_cvtepi16_epi32(fi16);
+        __m256 fv = _mm256_i32gather_ps(row, fi, 4);
+        __m256 cmp = _mm256_cmp_ps(fv, th, _CMP_LT_OQ);
+        uint32_t outcome =
+            static_cast<uint32_t>(_mm256_movemask_ps(cmp));
+        if constexpr (HandleMissing) {
+            __m256 missing = _mm256_cmp_ps(fv, fv, _CMP_UNORD_Q);
+            outcome |=
+                static_cast<uint32_t>(_mm256_movemask_ps(missing)) &
+                default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+    if constexpr (NT == 4) {
+        __m128 th = _mm_loadu_ps(thresholds);
+        __m128i fi16 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(features));
+        __m128i fi = _mm_cvtepi16_epi32(fi16);
+        __m128 fv = _mm_i32gather_ps(row, fi, 4);
+        __m128 cmp = _mm_cmplt_ps(fv, th);
+        uint32_t outcome = static_cast<uint32_t>(_mm_movemask_ps(cmp));
+        if constexpr (HandleMissing) {
+            __m128 missing = _mm_cmpunord_ps(fv, fv);
+            outcome |=
+                static_cast<uint32_t>(_mm_movemask_ps(missing)) &
+                default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+#endif
+
+    uint32_t outcome = 0;
+    for (int s = 0; s < NT; ++s) {
+        float value = row[features[s]];
+        uint32_t bit = static_cast<uint32_t>(value < thresholds[s]);
+        if constexpr (HandleMissing) {
+            bit |= static_cast<uint32_t>(value != value) &
+                   ((default_left >> s) & 1u);
+        }
+        outcome |= bit << s;
+    }
+    return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+}
+
+/**
+ * Runtime-tile-size variant used by reference/instrumented paths;
+ * layout-agnostic via ForestBuffers::tileFields.
+ */
 inline int32_t
 evalTileDynamic(const lir::ForestBuffers &fb, int64_t tile,
                 const float *row)
 {
     int32_t nt = fb.tileSize;
-    const float *thresholds = fb.thresholds.data() + tile * nt;
-    const int32_t *features = fb.featureIndices.data() + tile * nt;
-    int16_t shape = fb.shapeIds[static_cast<size_t>(tile)];
-    uint32_t default_left = fb.defaultLeft[static_cast<size_t>(tile)];
+    lir::ForestBuffers::TileFields fields = fb.tileFields(tile);
+    uint32_t default_left = fields.defaultLeft;
     uint32_t outcome = 0;
     for (int32_t s = 0; s < nt; ++s) {
-        float value = row[features[s]];
-        uint32_t lt = static_cast<uint32_t>(value < thresholds[s]);
+        float value = row[fields.feature(s)];
+        uint32_t lt = static_cast<uint32_t>(value < fields.thresholds[s]);
         uint32_t nan_left = static_cast<uint32_t>(value != value) &
                             ((default_left >> s) & 1u);
         outcome |= (lt | nan_left) << s;
     }
-    return fb.shapes->child(shape, outcome);
+    return fb.shapes->child(fields.shapeId, outcome);
 }
 
 } // namespace treebeard::runtime

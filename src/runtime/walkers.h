@@ -85,6 +85,89 @@ walkSparseUnrolled(const ForestBuffers &fb, const int8_t *lut,
 }
 
 // ---------------------------------------------------------------------
+// Packed layout: sparse topology over one-cache-line AoS records.
+// Termination matches the sparse walk (childBase < 0 => leaf pool).
+// The generic walk prefetches the extremes of the contiguous child
+// block while the current tile's predicates evaluate, hiding the
+// line fill of whichever child the LUT selects next.
+// ---------------------------------------------------------------------
+
+/** Prefetch the first and last candidate child records of a tile. */
+template <int NT>
+inline void
+prefetchPackedChildren(const unsigned char *base_ptr, int32_t child_base)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *first = base_ptr + child_base * kStride;
+    __builtin_prefetch(first, 0, 3);
+    __builtin_prefetch(first + NT * kStride, 0, 3);
+}
+
+/** Generic packed walk of the tree rooted at global tile @p root. */
+template <int NT, bool HM>
+inline float
+walkPacked(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+           int64_t root, const float *row)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile = root;
+    while (true) {
+        const unsigned char *record = base_ptr + tile * kStride;
+        int32_t base = packedChildBase<NT>(record);
+        if (base >= 0)
+            prefetchPackedChildren<NT>(base_ptr, base);
+        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
+        if (base < 0)
+            return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+        tile = base + child;
+    }
+}
+
+/** Peeled packed walk (same contract as walkSparsePeeled). */
+template <int NT, bool HM>
+inline float
+walkPackedPeeled(const ForestBuffers &fb, const int8_t *lut,
+                 int32_t stride, int64_t root, const float *row,
+                 int32_t peel)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        const unsigned char *record = base_ptr + tile * kStride;
+        int32_t base = packedChildBase<NT>(record);
+        prefetchPackedChildren<NT>(base_ptr, base);
+        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
+        tile = base + child;
+    }
+    return walkPacked<NT, HM>(fb, lut, stride, tile, row);
+}
+
+/** Fully unrolled packed walk: exactly @p depth tile evaluations. */
+template <int NT, bool HM>
+inline float
+walkPackedUnrolled(const ForestBuffers &fb, const int8_t *lut,
+                   int32_t stride, int64_t root, const float *row,
+                   int32_t depth)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        const unsigned char *record = base_ptr + tile * kStride;
+        int32_t base = packedChildBase<NT>(record);
+        prefetchPackedChildren<NT>(base_ptr, base);
+        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
+        tile = base + child;
+    }
+    const unsigned char *record = base_ptr + tile * kStride;
+    int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
+    int32_t base = packedChildBase<NT>(record);
+    return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+}
+
+// ---------------------------------------------------------------------
 // Array layout (Section V-B1). Tiles form an implicit (NT+1)-ary
 // array per tree; leaf tiles carry kLeafTileMarker.
 // ---------------------------------------------------------------------
@@ -201,6 +284,87 @@ walkSparseGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
             int32_t child =
                 evalTile<NT, HM>(fb, lut, stride, tile[k], rows[k]);
             int32_t base = fb.childBase[static_cast<size_t>(tile[k])];
+            if (base < 0) {
+                out[k] =
+                    fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+                done |= 1u << k;
+            } else {
+                tile[k] = base + child;
+            }
+        }
+    }
+}
+
+/** Interleaved fully unrolled packed walks. */
+template <int NT, bool HM, int K>
+inline void
+walkPackedUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                              int32_t stride, const int64_t *roots,
+                              const float *const *rows, int32_t depth,
+                              float *out)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile[K];
+    for (int k = 0; k < K; ++k)
+        tile[k] = roots[k];
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        // Prefetch every lane's child block first, then evaluate: the
+        // loads of lane k's next record overlap the other lanes' work.
+        for (int k = 0; k < K; ++k) {
+            prefetchPackedChildren<NT>(
+                base_ptr,
+                packedChildBase<NT>(base_ptr + tile[k] * kStride));
+        }
+        for (int k = 0; k < K; ++k) {
+            const unsigned char *record = base_ptr + tile[k] * kStride;
+            int32_t child =
+                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
+            tile[k] = packedChildBase<NT>(record) + child;
+        }
+    }
+    for (int k = 0; k < K; ++k) {
+        const unsigned char *record = base_ptr + tile[k] * kStride;
+        int32_t child =
+            evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
+        int32_t base = packedChildBase<NT>(record);
+        out[k] = fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+    }
+}
+
+/** Interleaved generic (optionally peeled) packed walks. */
+template <int NT, bool HM, int K>
+inline void
+walkPackedGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                             int32_t stride, const int64_t *roots,
+                             const float *const *rows, int32_t peel,
+                             float *out)
+{
+    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile[K];
+    for (int k = 0; k < K; ++k)
+        tile[k] = roots[k];
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        for (int k = 0; k < K; ++k) {
+            const unsigned char *record = base_ptr + tile[k] * kStride;
+            int32_t child =
+                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
+            tile[k] = packedChildBase<NT>(record) + child;
+        }
+    }
+    uint32_t done = 0;
+    const uint32_t all_done = (K >= 32) ? ~0u : ((1u << K) - 1);
+    while (done != all_done) {
+        for (int k = 0; k < K; ++k) {
+            if (done & (1u << k))
+                continue;
+            const unsigned char *record = base_ptr + tile[k] * kStride;
+            int32_t base = packedChildBase<NT>(record);
+            if (base >= 0)
+                prefetchPackedChildren<NT>(base_ptr, base);
+            int32_t child =
+                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
             if (base < 0) {
                 out[k] =
                     fb.leaves[static_cast<size_t>(-(base + 1) + child)];

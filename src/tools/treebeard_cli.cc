@@ -14,7 +14,7 @@
  *   treebeard tune    <model.json> [sample-rows]
  *
  * Schedule flags: --tile N --interleave N --threads N
- *   --order tree|row --layout sparse|array
+ *   --order tree|row --layout sparse|array|packed
  *   --tiling basic|probability|hybrid|min-max-depth
  *   --no-unroll --no-peel
  */
@@ -69,9 +69,15 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir)
                                      : hir::LoopOrder::kOneTreeAtATime;
         } else if (arg == "--layout") {
             const std::string &value = next();
-            schedule.layout = value == "array"
-                                  ? hir::MemoryLayout::kArray
-                                  : hir::MemoryLayout::kSparse;
+            if (value == "array")
+                schedule.layout = hir::MemoryLayout::kArray;
+            else if (value == "packed")
+                schedule.layout = hir::MemoryLayout::kPacked;
+            else if (value == "sparse")
+                schedule.layout = hir::MemoryLayout::kSparse;
+            else
+                fatal("--layout must be sparse, array or packed "
+                      "(got \"", value, "\")");
         } else if (arg == "--tiling") {
             const std::string &value = next();
             if (value == "basic")

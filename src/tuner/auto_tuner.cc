@@ -66,18 +66,30 @@ exploreSchedules(const model::Forest &forest, const float *rows,
         TunedPoint point;
         point.schedule = schedule;
 
-        Timer compile_timer;
-        InferenceSession session = compileForest(forest, schedule);
-        point.compileSeconds = compile_timer.elapsedSeconds();
+        double best_seconds;
+        try {
+            Timer compile_timer;
+            InferenceSession session = compileForest(forest, schedule);
+            point.compileSeconds = compile_timer.elapsedSeconds();
 
-        // Warm-up, then best-of-N timing.
-        session.predict(rows, num_rows, predictions.data());
-        double best_seconds = std::numeric_limits<double>::infinity();
-        for (int32_t rep = 0; rep < options.repetitions; ++rep) {
-            Timer timer;
+            // Warm-up, then best-of-N timing.
             session.predict(rows, num_rows, predictions.data());
-            best_seconds = std::min(best_seconds,
-                                    timer.elapsedSeconds());
+            best_seconds = std::numeric_limits<double>::infinity();
+            for (int32_t rep = 0; rep < options.repetitions; ++rep) {
+                Timer timer;
+                session.predict(rows, num_rows, predictions.data());
+                best_seconds = std::min(best_seconds,
+                                        timer.elapsedSeconds());
+            }
+        } catch (const Error &error) {
+            // Some grid points are infeasible for a given model (e.g.
+            // the array layout's total-tile cap on deep forests); skip
+            // them rather than abandoning the exploration.
+            if (options.verbose) {
+                inform("tuner: skipping ", schedule.toString(), ": ",
+                       error.what());
+            }
+            continue;
         }
         point.seconds = best_seconds;
 

@@ -31,7 +31,14 @@ struct TunerOptions
     /** (alpha, beta) pairs for the leaf-bias gate (hybrid only). */
     std::vector<std::pair<double, double>> alphaBetas{
         {0.05, 0.9}, {0.075, 0.9}, {0.1, 0.9}};
-    std::vector<hir::MemoryLayout> layouts{hir::MemoryLayout::kSparse};
+    /**
+     * Memory layouts to explore. Packed is in the default grid: for
+     * deep models its one-line-per-tile records usually win, and the
+     * tuner resolves the choice empirically.
+     */
+    std::vector<hir::MemoryLayout> layouts{hir::MemoryLayout::kSparse,
+                                           hir::MemoryLayout::kPacked,
+                                           hir::MemoryLayout::kArray};
     int32_t numThreads = 1;
     /** Timing repetitions; the minimum is kept. */
     int32_t repetitions = 3;

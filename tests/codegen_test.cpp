@@ -60,6 +60,47 @@ TEST(SystemJit, MoveSemantics)
     EXPECT_EQ(b.function<int (*)()>("f")(), 7);
 }
 
+TEST(SystemJit, DefaultsToO3)
+{
+    EXPECT_EQ(JitOptions{}.optLevel, "-O3");
+}
+
+TEST(SystemJit, MemoizesIdenticalCompilations)
+{
+    JitOptions options;
+    options.optLevel = "-O1";
+    std::string source = "extern \"C\" int g() { return 9; }";
+
+    JitCacheStats before = jitCacheStats();
+    JitModule a(source, options);
+    EXPECT_GT(a.compileSeconds(), 0.0);
+
+    // Same key: shared library, no compiler round-trip.
+    JitModule b(source, options);
+    EXPECT_EQ(b.compileSeconds(), 0.0);
+    EXPECT_EQ(b.function<int (*)()>("g")(), 9);
+    EXPECT_EQ(a.libraryPath(), b.libraryPath());
+
+    JitCacheStats after = jitCacheStats();
+    EXPECT_EQ(after.lookups, before.lookups + 2);
+    EXPECT_EQ(after.hits, before.hits + 1);
+
+    // Different flags are a different key.
+    JitOptions other = options;
+    other.optLevel = "-O0";
+    JitModule c(source, other);
+    EXPECT_GT(c.compileSeconds(), 0.0);
+    EXPECT_NE(c.libraryPath(), a.libraryPath());
+
+    // keepArtifacts compiles privately, bypassing the cache.
+    JitOptions keep = options;
+    keep.keepArtifacts = true;
+    JitModule d(source, keep);
+    EXPECT_GT(d.compileSeconds(), 0.0);
+    EXPECT_NE(d.libraryPath(), a.libraryPath());
+    EXPECT_EQ(jitCacheStats().lookups, after.lookups + 1);
+}
+
 struct EmitterCase
 {
     hir::LoopOrder loopOrder;
@@ -118,7 +159,13 @@ INSTANTIATE_TEST_SUITE_P(
         EmitterCase{hir::LoopOrder::kOneTreeAtATime,
                     hir::MemoryLayout::kArray, 4, 1, true},
         EmitterCase{hir::LoopOrder::kOneRowAtATime,
-                    hir::MemoryLayout::kArray, 2, 4, true}));
+                    hir::MemoryLayout::kArray, 2, 4, true},
+        EmitterCase{hir::LoopOrder::kOneTreeAtATime,
+                    hir::MemoryLayout::kPacked, 8, 1, true},
+        EmitterCase{hir::LoopOrder::kOneTreeAtATime,
+                    hir::MemoryLayout::kPacked, 4, 4, false},
+        EmitterCase{hir::LoopOrder::kOneRowAtATime,
+                    hir::MemoryLayout::kPacked, 8, 2, true}));
 
 TEST(CppEmitter, SourceReflectsSchedule)
 {

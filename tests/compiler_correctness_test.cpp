@@ -48,7 +48,7 @@ caseName(const ::testing::TestParamInfo<SweepCase> &info)
             ch = '_';
     }
     name += "_" + tiling;
-    name += c.layout == hir::MemoryLayout::kArray ? "_array" : "_sparse";
+    name += std::string("_") + hir::memoryLayoutName(c.layout);
     name += "_il" + std::to_string(c.interleave);
     name += c.padAndUnroll ? "_unroll" : "_nounroll";
     name += c.peel ? "_peel" : "_nopeel";
@@ -69,7 +69,8 @@ buildSweep()
                   hir::TilingAlgorithm::kHybrid,
                   hir::TilingAlgorithm::kMinMaxDepth}) {
                 for (auto layout : {hir::MemoryLayout::kArray,
-                                    hir::MemoryLayout::kSparse}) {
+                                    hir::MemoryLayout::kSparse,
+                                    hir::MemoryLayout::kPacked}) {
                     for (int32_t interleave : {1, 4}) {
                         for (bool unroll : {false, true}) {
                             cases.push_back({order, tile_size, tiling,

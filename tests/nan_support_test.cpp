@@ -104,7 +104,8 @@ TEST_F(NanSupportFixture, CompiledSchedulesMatchReference)
 {
     for (int32_t tile_size : {1, 2, 4, 8}) {
         for (auto layout : {hir::MemoryLayout::kArray,
-                            hir::MemoryLayout::kSparse}) {
+                            hir::MemoryLayout::kSparse,
+                            hir::MemoryLayout::kPacked}) {
             hir::Schedule schedule;
             schedule.tileSize = tile_size;
             schedule.layout = layout;
@@ -123,19 +124,23 @@ TEST_F(NanSupportFixture, CompiledSchedulesMatchReference)
 
 TEST_F(NanSupportFixture, SourceBackendMatchesReference)
 {
-    hir::Schedule schedule;
-    schedule.tileSize = 4;
-    hir::HirModule module(forest_, schedule);
-    module.runAllHirPasses();
-    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
-    codegen::JitOptions jit_options;
-    jit_options.optLevel = "-O0";
-    codegen::JitCompiledSession session(std::move(buffers),
-                                        module.groups(), schedule,
-                                        jit_options);
-    std::vector<float> actual(150);
-    session.predict(rows_.data(), 150, actual.data());
-    testing::expectPredictionsExact(expected_, actual);
+    for (auto layout : {hir::MemoryLayout::kSparse,
+                        hir::MemoryLayout::kPacked}) {
+        hir::Schedule schedule;
+        schedule.tileSize = 4;
+        schedule.layout = layout;
+        hir::HirModule module(forest_, schedule);
+        module.runAllHirPasses();
+        lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+        codegen::JitOptions jit_options;
+        jit_options.optLevel = "-O0";
+        codegen::JitCompiledSession session(std::move(buffers),
+                                            module.groups(), schedule,
+                                            jit_options);
+        std::vector<float> actual(150);
+        session.predict(rows_.data(), 150, actual.data());
+        testing::expectPredictionsExact(expected_, actual);
+    }
 }
 
 TEST_F(NanSupportFixture, TreeliteBaselineMatchesReference)

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the cache-line-packed (AoS) memory layout: record
+ * geometry, build equivalence with the sparse layout it repacks,
+ * bit-exact predictions across all three layouts (including NaN
+ * routing, default directions, interleaving and multiclass), and the
+ * wide-feature fallback.
+ */
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hir/hir_module.h"
+#include "lir/layout_builder.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+TEST(PackedRecord, GeometryIsCacheLineFriendly)
+{
+    // Offsets by construction: thresholds at 0, then int16 features,
+    // int16 shape id, default-left byte, 4-aligned child base.
+    static_assert(lir::packedFeaturesOffset(8) == 32);
+    static_assert(lir::packedShapeOffset(8) == 48);
+    static_assert(lir::packedDefaultLeftOffset(8) == 50);
+    static_assert(lir::packedChildBaseOffset(8) == 52);
+    // The tile-size-8 record is exactly one cache line.
+    static_assert(lir::packedTileStride(8) == 64);
+    static_assert(sizeof(lir::PackedLine) == 64);
+    static_assert(alignof(lir::PackedLine) == 64);
+
+    // Power-of-two strides, so records never straddle a cache line.
+    for (int32_t nt : {1, 2, 3, 4, 5, 6, 7, 8}) {
+        int32_t stride = lir::packedTileStride(nt);
+        EXPECT_GE(stride, lir::packedChildBaseOffset(nt) + 4);
+        EXPECT_EQ(64 % stride, 0) << "tile size " << nt;
+        // Child base is int32-aligned within the record.
+        EXPECT_EQ(lir::packedChildBaseOffset(nt) % 4, 0);
+    }
+    EXPECT_EQ(lir::packedTileStride(1), 16);
+    EXPECT_EQ(lir::packedTileStride(2), 32);
+    EXPECT_EQ(lir::packedTileStride(4), 32);
+}
+
+model::Forest
+makeForestWithDefaults(uint64_t seed, int64_t trees = 16,
+                       int32_t features = 12, int32_t depth = 7)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = trees;
+    spec.numFeatures = features;
+    spec.maxDepth = depth;
+    spec.seed = seed;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+    Rng rng(seed * 7 + 3);
+    for (int64_t t = 0; t < forest.numTrees(); ++t) {
+        model::DecisionTree &tree = forest.mutableTree(t);
+        for (model::NodeIndex i = 0; i < tree.numNodes(); ++i) {
+            if (!tree.node(i).isLeaf())
+                tree.mutableNode(i).defaultLeft = rng.bernoulli(0.5);
+        }
+    }
+    return forest;
+}
+
+/** Rows with NaN values mixed in to exercise default directions. */
+std::vector<float>
+makeRowsWithNaNs(int32_t features, int64_t num_rows, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * features);
+    for (float &value : rows) {
+        value = rng.bernoulli(0.1) ? kNaN
+                                   : rng.uniformFloat(0.0f, 1.0f);
+    }
+    return rows;
+}
+
+TEST(PackedLayout, BuildRepacksSparseFieldsExactly)
+{
+    model::Forest forest = makeForestWithDefaults(501);
+    for (int32_t tile_size : {1, 2, 4, 8}) {
+        hir::Schedule schedule;
+        schedule.tileSize = tile_size;
+        hir::HirModule module(forest, schedule);
+        module.runAllHirPasses();
+
+        lir::ForestBuffers sparse = lir::buildSparseLayout(module);
+        lir::ForestBuffers packed = lir::buildPackedLayout(module);
+
+        ASSERT_EQ(packed.layout, lir::LayoutKind::kPacked);
+        ASSERT_EQ(packed.numTiles(), sparse.numTiles());
+        ASSERT_EQ(packed.packedStride,
+                  lir::packedTileStride(tile_size));
+        ASSERT_EQ(packed.leaves, sparse.leaves);
+        ASSERT_EQ(packed.treeFirstTile, sparse.treeFirstTile);
+        // The SoA arrays are released after repacking.
+        EXPECT_TRUE(packed.thresholds.empty());
+        EXPECT_TRUE(packed.childBase.empty());
+        // Records start 64-byte aligned.
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(packed.packedData()) %
+                      64,
+                  0u);
+
+        for (int64_t tile = 0; tile < sparse.numTiles(); ++tile) {
+            lir::ForestBuffers::TileFields a = sparse.tileFields(tile);
+            lir::ForestBuffers::TileFields b = packed.tileFields(tile);
+            ASSERT_EQ(a.shapeId, b.shapeId) << "tile " << tile;
+            ASSERT_EQ(a.defaultLeft, b.defaultLeft) << "tile " << tile;
+            ASSERT_EQ(a.childBase, b.childBase) << "tile " << tile;
+            for (int32_t s = 0; s < tile_size; ++s) {
+                // Compare bit patterns: padding slots hold +-inf.
+                float at = a.thresholds[s];
+                float bt = b.thresholds[s];
+                ASSERT_EQ(std::memcmp(&at, &bt, sizeof(float)), 0)
+                    << "tile " << tile << " slot " << s;
+                ASSERT_EQ(a.feature(s), b.feature(s))
+                    << "tile " << tile << " slot " << s;
+            }
+        }
+    }
+}
+
+TEST(PackedLayout, PredictionsBitExactAcrossLayouts)
+{
+    model::Forest forest = makeForestWithDefaults(901, /*trees=*/24,
+                                                  /*features=*/16,
+                                                  /*depth=*/8);
+    std::vector<float> rows = makeRowsWithNaNs(16, 200, 902);
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+
+    for (int32_t tile_size : {1, 2, 4, 8}) {
+        for (int32_t interleave : {1, 4}) {
+            for (bool unroll : {false, true}) {
+                hir::Schedule schedule;
+                schedule.tileSize = tile_size;
+                schedule.interleaveFactor = interleave;
+                schedule.padAndUnrollWalks = unroll;
+                schedule.layout = hir::MemoryLayout::kPacked;
+
+                InferenceSession session =
+                    compileForest(forest, schedule);
+                ASSERT_EQ(session.plan().buffers().layout,
+                          lir::LayoutKind::kPacked);
+                std::vector<float> actual(200);
+                session.predict(rows.data(), 200, actual.data());
+                testing::expectPredictionsExact(expected, actual);
+            }
+        }
+    }
+}
+
+TEST(PackedLayout, MulticlassMatchesReference)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 12;
+    spec.numFeatures = 10;
+    spec.maxDepth = 6;
+    spec.seed = 777;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+    forest.setObjective(model::Objective::kMulticlassSoftmax);
+    forest.setNumClasses(3);
+    forest.setBaseScore(0.0f);
+
+    std::vector<float> rows = makeRowsWithNaNs(10, 80, 778);
+    std::vector<float> expected(80 * 3);
+    forest.predictBatch(rows.data(), 80, expected.data());
+
+    for (int32_t tile_size : {1, 4, 8}) {
+        hir::Schedule schedule;
+        schedule.tileSize = tile_size;
+        schedule.interleaveFactor = 4;
+        schedule.layout = hir::MemoryLayout::kPacked;
+        InferenceSession session = compileForest(forest, schedule);
+        std::vector<float> actual(80 * 3);
+        session.predict(rows.data(), 80, actual.data());
+        testing::expectPredictionsExact(expected, actual);
+    }
+}
+
+TEST(PackedLayout, InstrumentedPathAgrees)
+{
+    model::Forest forest = makeForestWithDefaults(311);
+    std::vector<float> rows = makeRowsWithNaNs(12, 64, 312);
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+
+    hir::Schedule schedule;
+    schedule.tileSize = 8;
+    schedule.layout = hir::MemoryLayout::kPacked;
+    InferenceSession session = compileForest(forest, schedule);
+    std::vector<float> actual(64);
+    runtime::WalkCounters counters;
+    session.predictInstrumented(rows.data(), 64, actual.data(),
+                                &counters);
+    testing::expectPredictionsExact(expected, actual);
+    EXPECT_GT(counters.tilesVisited, 0);
+    // Every visited packed tile touches its full record stride.
+    EXPECT_EQ(counters.modelBytesTouched,
+              counters.tilesVisited *
+                  session.plan().buffers().packedStride);
+}
+
+TEST(PackedLayout, WideFeatureModelsFallBackToSparse)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 3;
+    spec.numFeatures = lir::kPackedMaxFeatures + 100;
+    spec.maxDepth = 4;
+    spec.statisticsRows = 0;
+    spec.seed = 404;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    schedule.layout = hir::MemoryLayout::kPacked;
+    hir::HirModule module(forest, schedule);
+    module.runAllHirPasses();
+    // The explicit builder refuses; the driver falls back to sparse.
+    EXPECT_THROW(lir::buildPackedLayout(module), Error);
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+    EXPECT_EQ(buffers.layout, lir::LayoutKind::kSparse);
+
+    // End to end the schedule still compiles and predicts correctly.
+    std::vector<float> rows =
+        testing::makeRandomRows(spec.numFeatures, 8, 405);
+    std::vector<float> expected =
+        testing::referencePredictions(forest, rows);
+    InferenceSession session = compileForest(forest, schedule);
+    EXPECT_EQ(session.plan().buffers().layout,
+              lir::LayoutKind::kSparse);
+    std::vector<float> actual(8);
+    session.predict(rows.data(), 8, actual.data());
+    testing::expectPredictionsExact(expected, actual);
+}
+
+} // namespace
+} // namespace treebeard

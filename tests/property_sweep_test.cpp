@@ -64,8 +64,10 @@ TEST_P(PropertySweep, PipelineInvariantsHold)
         hir::TilingAlgorithm::kHybrid,
         hir::TilingAlgorithm::kMinMaxDepth};
     schedule.tiling = tilings[rng.uniformInt(0, 3)];
-    schedule.layout = rng.bernoulli(0.5) ? hir::MemoryLayout::kArray
-                                         : hir::MemoryLayout::kSparse;
+    const hir::MemoryLayout layouts[] = {hir::MemoryLayout::kArray,
+                                         hir::MemoryLayout::kSparse,
+                                         hir::MemoryLayout::kPacked};
+    schedule.layout = layouts[rng.uniformInt(0, 2)];
     const int32_t interleaves[] = {1, 2, 4, 8};
     schedule.interleaveFactor =
         interleaves[rng.uniformInt(0, 3)];

@@ -70,7 +70,8 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
               TilingAlgorithm::kHybrid,
               TilingAlgorithm::kMinMaxDepth}) {
             for (MemoryLayout layout : {MemoryLayout::kArray,
-                                        MemoryLayout::kSparse}) {
+                                        MemoryLayout::kSparse,
+                                        MemoryLayout::kPacked}) {
                 Schedule schedule;
                 schedule.loopOrder = order;
                 schedule.tiling = tiling;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the layout footprint + latency benchmark and record the packed-
+# layout shootout as JSON.
+#
+# Usage: tools/run_layout_bench.sh [build-dir] [out-json]
+#
+# Honors TREEBEARD_BENCH_SCALE (0 < s <= 1) to shrink tree counts for
+# quick runs on slow machines.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_packed_layout.json}"
+bench_bin="$build_dir/bench/bench_layout_memory"
+
+if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not built; run:" >&2
+    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+fi
+
+"$bench_bin" "$out_json"
+echo "layout shootout recorded in $out_json"
