@@ -1,17 +1,15 @@
 /**
  * @file
- * The source backend: lower a model through the full pipeline, emit
- * the specialized C++ predictForest, compile it with the system
- * compiler, and compare it against the kernel runtime.
+ * The source backend through the unified API: compile the same model
+ * once per backend, inspect the emitted specialized C++, and race the
+ * JIT-compiled code against the kernel runtime and the reference.
  *
  *   ./examples/emit_source
  */
 #include <cstdio>
 
-#include "codegen/cpp_emitter.h"
 #include "common/timer.h"
 #include "data/synthetic.h"
-#include "lir/layout_builder.h"
 #include "treebeard/compiler.h"
 
 using namespace treebeard;
@@ -29,33 +27,32 @@ main()
     schedule.tileSize = 8;
     schedule.interleaveFactor = 4;
 
-    // Run the HIR/MIR/LIR pipeline by hand to get the buffers...
-    hir::HirModule module(forest, schedule);
-    module.runAllHirPasses();
-    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+    // One entry point, two backends.
+    CompilerOptions jit_options;
+    jit_options.backend = Backend::kSourceJit;
+    jit_options.jit.optLevel = "-O2";
+    // Uncomment to persist compiled objects across runs:
+    // jit_options.jit.cacheDir = "/tmp/treebeard-cache";
+    Session jit_session = compile(forest, schedule, jit_options);
+    Session kernel_session = compile(forest, schedule);
 
-    // ...emit + JIT the specialized source...
-    codegen::JitOptions jit_options;
-    jit_options.optLevel = "-O2";
-    codegen::JitCompiledSession jit_session(
-        std::move(buffers), module.groups(), schedule, jit_options);
+    const std::string &source =
+        jit_session.artifacts().generatedSource;
     std::printf("emitted %zu bytes of C++, compiled in %.2fs\n",
-                jit_session.source().size(),
-                jit_session.compileSeconds());
+                source.size(),
+                jit_session.artifacts().jitCompileSeconds);
 
     // Show the head of the generated translation unit.
     std::printf("--- generated source (first 40 lines) ---\n");
     size_t pos = 0;
     for (int line = 0; line < 40 && pos != std::string::npos; ++line) {
-        size_t next = jit_session.source().find('\n', pos);
-        std::printf("%s\n",
-                    jit_session.source().substr(pos, next - pos).c_str());
+        size_t next = source.find('\n', pos);
+        std::printf("%s\n", source.substr(pos, next - pos).c_str());
         pos = next == std::string::npos ? next : next + 1;
     }
     std::printf("--- (truncated) ---\n\n");
 
-    // ...and race it against the kernel runtime and the reference.
-    InferenceSession kernel_session = compileForest(forest, schedule);
+    // Race the backends against the model-level reference walk.
     std::vector<float> jit_out(1024), kernel_out(1024), reference(1024);
 
     Timer jit_timer;

@@ -26,6 +26,85 @@ floatLiteral(float value)
     return text + "f";
 }
 
+/**
+ * Emit the scalar slot-by-slot outcome computation. Expects locals
+ * `th` (thresholds), `fi` (feature indices) and `dl` (default-left
+ * bits) in scope; defines `outcome`.
+ */
+void
+emitScalarOutcome(std::ostringstream &os, int32_t nt)
+{
+    os << "  unsigned outcome = 0;\n";
+    for (int32_t s = 0; s < nt; ++s) {
+        // NaN (v != v) routes per the tile's default-direction bits.
+        os << "  { float v = row[fi[" << s << "]]; outcome |= "
+           << "(unsigned)(v < th[" << s << "] || (v != v && ((dl >> "
+           << s << ") & 1u))) << " << s << "; }\n";
+    }
+}
+
+/**
+ * Emit the AVX2 gather/compare/movemask outcome computation — the
+ * same instruction sequence the kernel runtime's evalTile uses — for
+ * tile sizes 4 and 8, guarded so the translation unit still compiles
+ * without -mavx2 (the scalar path then follows in the #else branch).
+ * @p features16 widens int16 feature indices (the packed layout's
+ * record field) before the gather. Returns false for tile sizes with
+ * no vector sequence; the caller then emits the scalar path alone.
+ */
+bool
+emitAvx2Outcome(std::ostringstream &os, int32_t nt, bool features16)
+{
+    if (nt != 4 && nt != 8)
+        return false;
+    os << "#if defined(__AVX2__)\n";
+    if (nt == 8) {
+        os << "  __m256 thv = _mm256_loadu_ps(th);\n";
+        if (features16) {
+            os << "  __m256i fiv = _mm256_cvtepi16_epi32("
+                  "_mm_loadu_si128((const __m128i*)fi));\n";
+        } else {
+            os << "  __m256i fiv = "
+                  "_mm256_loadu_si256((const __m256i*)fi);\n";
+        }
+        os << "  __m256 fv = _mm256_i32gather_ps(row, fiv, 4);\n";
+        os << "  unsigned outcome = (unsigned)_mm256_movemask_ps("
+              "_mm256_cmp_ps(fv, thv, _CMP_LT_OQ));\n";
+        // Missing (NaN) lanes compare false above; route them per the
+        // tile's default-direction bits instead.
+        os << "  outcome |= (unsigned)_mm256_movemask_ps("
+              "_mm256_cmp_ps(fv, fv, _CMP_UNORD_Q)) & dl;\n";
+    } else {
+        os << "  __m128 thv = _mm_loadu_ps(th);\n";
+        if (features16) {
+            os << "  __m128i fiv = _mm_cvtepi16_epi32("
+                  "_mm_loadl_epi64((const __m128i*)fi));\n";
+        } else {
+            os << "  __m128i fiv = "
+                  "_mm_loadu_si128((const __m128i*)fi);\n";
+        }
+        os << "  __m128 fv = _mm_i32gather_ps(row, fiv, 4);\n";
+        os << "  unsigned outcome = (unsigned)_mm_movemask_ps("
+              "_mm_cmplt_ps(fv, thv));\n";
+        os << "  outcome |= (unsigned)_mm_movemask_ps("
+              "_mm_cmpunord_ps(fv, fv)) & dl;\n";
+    }
+    os << "#else\n";
+    return true;
+}
+
+/** Emit the vector-or-scalar outcome computation for the tile size. */
+void
+emitOutcome(std::ostringstream &os, int32_t nt, bool features16)
+{
+    if (emitAvx2Outcome(os, nt, features16)) {
+        emitScalarOutcome(os, nt);
+        os << "#endif\n";
+    } else {
+        emitScalarOutcome(os, nt);
+    }
+}
+
 /** Emit the tile-evaluation helper specialized for the tile size. */
 void
 emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
@@ -42,12 +121,7 @@ emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
            << lir::packedShapeOffset(nt) << ", 2);\n";
         os << "  unsigned dl = rec["
            << lir::packedDefaultLeftOffset(nt) << "];\n";
-        os << "  unsigned outcome = 0;\n";
-        for (int32_t s = 0; s < nt; ++s) {
-            os << "  { float v = row[fi[" << s << "]]; outcome |= "
-               << "(unsigned)(v < th[" << s << "] || (v != v && ((dl >> "
-               << s << ") & 1u))) << " << s << "; }\n";
-        }
+        emitOutcome(os, nt, /*features16=*/true);
         os << "  return lut[(size_t)shape * "
            << fb.shapes->lutStride() << " + outcome];\n";
         os << "}\n\n";
@@ -65,13 +139,7 @@ emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
     os << "  const float* th = thresholds + tile * " << nt << ";\n";
     os << "  const int32_t* fi = features + tile * " << nt << ";\n";
     os << "  unsigned dl = default_left[tile];\n";
-    os << "  unsigned outcome = 0;\n";
-    for (int32_t s = 0; s < nt; ++s) {
-        // NaN (v != v) routes per the tile's default-direction bits.
-        os << "  { float v = row[fi[" << s << "]]; outcome |= "
-           << "(unsigned)(v < th[" << s << "] || (v != v && ((dl >> "
-           << s << ") & 1u))) << " << s << "; }\n";
-    }
+    emitOutcome(os, nt, /*features16=*/false);
     os << "  return lut[(size_t)shape_ids[tile] * " << fb.shapes->lutStride()
        << " + outcome];\n";
     os << "}\n\n";
@@ -187,6 +255,41 @@ emitWalkFunction(std::ostringstream &os, const ForestBuffers &fb,
     os << "}\n\n";
 }
 
+/**
+ * Emit the multiclass constants and the softmax finisher: the class
+ * of each (execution-order) tree position, and a routine replicating
+ * model::softmaxInPlace operation-for-operation so compiled outputs
+ * stay bit-identical to the kernel runtime.
+ */
+void
+emitMulticlassSupport(std::ostringstream &os, const ForestBuffers &fb)
+{
+    os << "static const int kNumClasses = " << fb.numClasses << ";\n";
+    os << "static const int32_t kTreeClass[" << fb.numTrees
+       << "] = {";
+    for (int64_t t = 0; t < fb.numTrees; ++t) {
+        if (t != 0)
+            os << ",";
+        if (t % 20 == 0)
+            os << "\n    ";
+        os << fb.treeClass[static_cast<size_t>(t)];
+    }
+    os << "};\n\n";
+    if (fb.objective == model::Objective::kMulticlassSoftmax) {
+        os << "static inline void finishRow(float* v) {\n"
+              "  float m = v[0];\n"
+              "  for (int k = 1; k < kNumClasses; ++k) m = "
+              "v[k] > m ? v[k] : m;\n"
+              "  float sum = 0.0f;\n"
+              "  for (int k = 0; k < kNumClasses; ++k) { v[k] = "
+              "std::exp(v[k] - m); sum += v[k]; }\n"
+              "  for (int k = 0; k < kNumClasses; ++k) v[k] /= sum;\n"
+              "}\n\n";
+    } else {
+        os << "static inline void finishRow(float*) {}\n\n";
+    }
+}
+
 } // namespace
 
 std::string
@@ -195,17 +298,18 @@ emitPredictForestSource(const ForestBuffers &fb,
                         const hir::Schedule &schedule)
 {
     fatalIf(groups.empty(), "source emission requires tree groups");
-    fatalIf(fb.numClasses > 1,
-            "the source backend does not support multiclass models "
-            "yet; use the kernel runtime");
+    bool multiclass = fb.numClasses > 1;
     std::ostringstream os;
     os << "// Generated by treebeard::codegen (schedule: "
        << schedule.toString() << ").\n";
-    os << "#include <cstdint>\n#include <cmath>\n#include <cstddef>\n\n";
+    os << "#include <cstdint>\n#include <cmath>\n#include <cstddef>\n";
+    os << "#if defined(__AVX2__)\n#include <immintrin.h>\n#endif\n\n";
 
     emitEvalTile(os, fb);
     for (size_t g = 0; g < groups.size(); ++g)
         emitWalkFunction(os, fb, groups[g], g);
+    if (multiclass)
+        emitMulticlassSupport(os, fb);
 
     int32_t k = schedule.interleaveFactor;
     bool one_tree =
@@ -243,7 +347,44 @@ emitPredictForestSource(const ForestBuffers &fb,
         }
     };
 
-    if (one_tree) {
+    if (one_tree && multiclass) {
+        // Per-(row, class) accumulators; each tree feeds its class.
+        os << "  float* acc = new float[num_rows * kNumClasses];\n";
+        os << "  for (int64_t i = 0; i < num_rows * kNumClasses; ++i) "
+              "acc[i] = "
+           << floatLiteral(fb.baseScore) << ";\n";
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const TreeGroup &group = groups[g];
+            os << "  for (int64_t pos = " << group.beginPos
+               << "; pos < " << group.endPos << "; ++pos) {\n";
+            os << "    int64_t root = tree_first_tile[pos];\n";
+            os << "    const int64_t cls = kTreeClass[pos];\n";
+            os << "    int64_t r = 0;\n";
+            if (k > 1) {
+                // Unroll-and-jam over rows: K interleaved walks.
+                os << "    for (; r + " << k
+                   << " <= num_rows; r += " << k << ") {\n";
+                for (int32_t i = 0; i < k; ++i) {
+                    os << "      acc[(r + " << i
+                       << ") * kNumClasses + cls] += walk_group_" << g
+                       << "(root, rows + (r + " << i << ") * nf, "
+                       << walk_tail << ");\n";
+                }
+                os << "    }\n";
+            }
+            os << "    for (; r < num_rows; ++r) acc[r * kNumClasses "
+                  "+ cls] += walk_group_"
+               << g << "(root, rows + r * nf, " << walk_tail << ");\n";
+            os << "  }\n";
+        }
+        os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
+        os << "    float* out = predictions + r * kNumClasses;\n";
+        os << "    for (int c = 0; c < kNumClasses; ++c) out[c] = "
+              "acc[r * kNumClasses + c];\n";
+        os << "    finishRow(out);\n";
+        os << "  }\n";
+        os << "  delete[] acc;\n";
+    } else if (one_tree) {
         os << "  float* acc = new float[num_rows];\n";
         os << "  for (int64_t r = 0; r < num_rows; ++r) acc[r] = "
            << floatLiteral(fb.baseScore) << ";\n";
@@ -271,6 +412,38 @@ emitPredictForestSource(const ForestBuffers &fb,
         os << "  for (int64_t r = 0; r < num_rows; ++r) ";
         emit_objective("predictions[r]", "acc[r]");
         os << "  delete[] acc;\n";
+    } else if (multiclass) {
+        os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
+        os << "    const float* row = rows + r * nf;\n";
+        os << "    float margins[kNumClasses];\n";
+        os << "    for (int c = 0; c < kNumClasses; ++c) margins[c] = "
+           << floatLiteral(fb.baseScore) << ";\n";
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const TreeGroup &group = groups[g];
+            os << "    {\n";
+            os << "      int64_t pos = " << group.beginPos << ";\n";
+            if (k > 1) {
+                os << "      for (; pos + " << k << " <= "
+                   << group.endPos << "; pos += " << k << ") {\n";
+                for (int32_t i = 0; i < k; ++i) {
+                    os << "        margins[kTreeClass[pos + " << i
+                       << "]] += walk_group_" << g
+                       << "(tree_first_tile[pos + " << i << "], row, "
+                       << walk_tail << ");\n";
+                }
+                os << "      }\n";
+            }
+            os << "      for (; pos < " << group.endPos
+               << "; ++pos) margins[kTreeClass[pos]] += walk_group_"
+               << g << "(tree_first_tile[pos], row, " << walk_tail
+               << ");\n";
+            os << "    }\n";
+        }
+        os << "    float* out = predictions + r * kNumClasses;\n";
+        os << "    for (int c = 0; c < kNumClasses; ++c) out[c] = "
+              "margins[c];\n";
+        os << "    finishRow(out);\n";
+        os << "  }\n";
     } else {
         os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
         os << "    const float* row = rows + r * nf;\n";
@@ -304,6 +477,21 @@ emitPredictForestSource(const ForestBuffers &fb,
     return os.str();
 }
 
+JitOptions
+withHostSimdFlags(JitOptions options)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // The emitted source guards its AVX2 tile evaluation on __AVX2__;
+    // light it up when this machine can run the instructions.
+    if (__builtin_cpu_supports("avx2") &&
+        options.extraFlags.find("-mavx2") == std::string::npos) {
+        options.extraFlags +=
+            options.extraFlags.empty() ? "-mavx2" : " -mavx2";
+    }
+#endif
+    return options;
+}
+
 JitCompiledSession::JitCompiledSession(lir::ForestBuffers buffers,
                                        std::vector<TreeGroup> groups,
                                        const hir::Schedule &schedule,
@@ -311,7 +499,8 @@ JitCompiledSession::JitCompiledSession(lir::ForestBuffers buffers,
     : buffers_(std::move(buffers))
 {
     source_ = emitPredictForestSource(buffers_, groups, schedule);
-    module_ = std::make_unique<JitModule>(source_, jit_options);
+    module_ = std::make_unique<JitModule>(source_,
+                                          withHostSimdFlags(jit_options));
     predict_ = module_->function<PredictFn>("treebeard_predict");
 }
 

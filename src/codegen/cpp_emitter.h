@@ -37,11 +37,25 @@ namespace treebeard::codegen {
  * For the packed layout the SoA pointers (thresholds, feature_indices,
  * shape_ids, default_left, child_base) may be null; every tile field
  * is read from the packed records instead.
+ *
+ * Tile sizes 4 and 8 emit the kernel runtime's AVX2
+ * gather/compare/movemask tile evaluation (guarded on __AVX2__, with
+ * the scalar sequence as the fallback branch). Multiclass models
+ * accumulate per-class margins via a baked tree->class table and
+ * finish each row with the same softmax the kernel runtime applies;
+ * predictions then receive num_rows * numClasses values.
  */
 std::string emitPredictForestSource(
     const lir::ForestBuffers &buffers,
     const std::vector<hir::TreeGroup> &groups,
     const hir::Schedule &schedule);
+
+/**
+ * Append the vector-ISA flags (-mavx2) the emitted source can use on
+ * this machine to @p options.extraFlags. Applied automatically by
+ * JitCompiledSession; exposed for tests and custom JIT drivers.
+ */
+JitOptions withHostSimdFlags(JitOptions options);
 
 /**
  * A model compiled through the source backend: owns the buffers and
@@ -60,9 +74,17 @@ class JitCompiledSession
                        const hir::Schedule &schedule,
                        const JitOptions &jit_options = {});
 
+    /**
+     * The generated predictForest: @p predictions receives
+     * num_rows * numClasses() values (per-class probabilities for
+     * multiclass models, one value per row otherwise).
+     */
     void predict(const float *rows, int64_t num_rows,
                  float *predictions) const;
 
+    int32_t numFeatures() const { return buffers_.numFeatures; }
+    int32_t numClasses() const { return buffers_.numClasses; }
+    const lir::ForestBuffers &buffers() const { return buffers_; }
     double compileSeconds() const { return module_->compileSeconds(); }
     const std::string &source() const { return source_; }
 

@@ -49,6 +49,56 @@ runCommand(const std::string &command, std::string &output)
     return pclose(pipe);
 }
 
+/** FNV-1a 64-bit content hash for disk-cache entry names. */
+uint64_t
+fnv1aHash(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Disk-cache entry path for a cache key (hex content hash). */
+std::string
+diskCacheEntryPath(const std::string &cache_dir, const std::string &key)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "treebeard-%016llx.so",
+                  static_cast<unsigned long long>(fnv1aHash(key)));
+    return (fs::path(cache_dir) / name).string();
+}
+
+/**
+ * Publish @p so_path into the disk cache atomically (copy to a
+ * pid-suffixed temp name, then rename over the entry) so concurrent
+ * processes never observe a half-written .so. Returns false (with a
+ * warning) on filesystem errors — the cache is best-effort.
+ */
+bool
+storeInDiskCache(const std::string &so_path, const std::string &entry)
+{
+    std::error_code ec;
+    fs::path temp = entry + ".tmp-" + std::to_string(getpid());
+    fs::copy_file(so_path, temp, fs::copy_options::overwrite_existing,
+                  ec);
+    if (ec) {
+        warn("JIT disk cache: cannot stage '", temp.string(),
+             "': ", ec.message());
+        return false;
+    }
+    fs::rename(temp, entry, ec);
+    if (ec) {
+        warn("JIT disk cache: cannot publish '", entry,
+             "': ", ec.message());
+        fs::remove(temp, ec);
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 /** The compiled-and-dlopen'd shared object, shared between modules. */
@@ -155,11 +205,53 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
         }
     }
 
+    // Memory miss: try the on-disk cache before invoking the compiler.
+    std::string disk_entry;
+    if (!options.cacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(options.cacheDir, ec);
+        fatalIf(static_cast<bool>(ec),
+                "cannot create JIT cache directory '", options.cacheDir,
+                "': ", ec.message());
+        disk_entry = diskCacheEntryPath(options.cacheDir, key);
+        {
+            std::lock_guard<std::mutex> lock(cache.mutex);
+            cache.stats.diskLookups += 1;
+        }
+        std::error_code exists_ec;
+        if (fs::exists(disk_entry, exists_ec)) {
+            void *handle =
+                dlopen(disk_entry.c_str(), RTLD_NOW | RTLD_LOCAL);
+            if (handle != nullptr) {
+                auto library =
+                    std::make_shared<JitModule::LoadedLibrary>();
+                library->handle = handle;
+                library->libraryPath = disk_entry;
+                // No workDir: the entry belongs to the cache and must
+                // outlive this process.
+                std::lock_guard<std::mutex> lock(cache.mutex);
+                cache.stats.diskHits += 1;
+                auto [it, inserted] = cache.entries.emplace(key, library);
+                library_ = it->second;
+                compileSeconds_ = 0.0;
+                return;
+            }
+            // Corrupt/truncated/incompatible entry: recompile below
+            // and overwrite it.
+            warn("JIT disk cache: cannot load '", disk_entry,
+                 "' (", dlerror(), "); recompiling");
+        }
+    }
+
     // Compile outside the lock; concurrent misses on the same key race
     // benignly (first insert wins, the loser's library unloads).
     auto library = compileAndLoad(source, options);
+    bool stored = !disk_entry.empty() &&
+                  storeInDiskCache(library->libraryPath, disk_entry);
     {
         std::lock_guard<std::mutex> lock(cache.mutex);
+        if (stored)
+            cache.stats.diskStores += 1;
         auto [it, inserted] = cache.entries.emplace(key, library);
         library_ = it->second;
     }
@@ -191,6 +283,14 @@ jitCacheStats()
     JitCache &cache = jitCache();
     std::lock_guard<std::mutex> lock(cache.mutex);
     return cache.stats;
+}
+
+void
+clearJitMemoryCacheForTesting()
+{
+    JitCache &cache = jitCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.clear();
 }
 
 bool

@@ -11,6 +11,14 @@
  * tuner exercises this heavily — schedule exploration re-emits the
  * same source for configurations that differ only in knobs the
  * emitter ignores.
+ *
+ * Setting JitOptions::cacheDir additionally persists compiled shared
+ * objects on disk under a content hash of the cache key, so a *fresh
+ * process* compiling the same source is served by dlopen'ing the
+ * cached .so without ever invoking the system compiler (the way
+ * ccache amortizes repeated CLI/tuner runs on one model). The disk
+ * cache is eviction-free; corrupt or truncated entries fall back to a
+ * recompile that overwrites them.
  */
 #ifndef TREEBEARD_CODEGEN_SYSTEM_JIT_H
 #define TREEBEARD_CODEGEN_SYSTEM_JIT_H
@@ -32,21 +40,42 @@ struct JitOptions
     std::string extraFlags;
     /**
      * Keep the temp directory (for debugging generated code). Also
-     * bypasses the compilation cache so the artifacts are private to
+     * bypasses the compilation caches so the artifacts are private to
      * this module.
      */
     bool keepArtifacts = false;
+    /**
+     * Persistent cross-process compile-cache directory ("" = off).
+     * Compiled shared objects are stored as
+     * <cacheDir>/treebeard-<hash>.so keyed on (compiler, flags,
+     * source); the directory is created on demand. Ignored when
+     * keepArtifacts is set.
+     */
+    std::string cacheDir;
 };
 
 /** Process-wide JIT compilation cache counters. */
 struct JitCacheStats
 {
+    /** In-memory (per-process) memoization. */
     int64_t lookups = 0;
     int64_t hits = 0;
+    /** On-disk (cross-process) cache; counted only with a cacheDir. */
+    int64_t diskLookups = 0;
+    int64_t diskHits = 0;
+    int64_t diskStores = 0;
 };
 
 /** Snapshot of the cache counters (for tests and diagnostics). */
 JitCacheStats jitCacheStats();
+
+/**
+ * Drop the in-memory memoization entries (already-loaded libraries
+ * stay alive through the modules holding them) so the next lookup
+ * falls through to the on-disk cache exactly as a fresh process
+ * would. Intended for tests of the disk cache.
+ */
+void clearJitMemoryCacheForTesting();
 
 /**
  * One compiled-and-loaded shared object. The underlying library is

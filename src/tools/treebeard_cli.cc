@@ -11,12 +11,17 @@
  *   treebeard compile <model.json> [schedule flags] [--dump-ir]
  *   treebeard predict <model.json> <input.csv> [out.csv] [flags]
  *   treebeard bench   <model.json> [batch] [flags]
- *   treebeard tune    <model.json> [sample-rows]
+ *   treebeard tune    <model.json> [sample-rows] [tune flags]
  *
  * Schedule flags: --tile N --interleave N --threads N
  *   --order tree|row --layout sparse|array|packed
  *   --tiling basic|probability|hybrid|min-max-depth
  *   --no-unroll --no-peel
+ *
+ * Backend flags (compile/predict/bench): --backend kernel|jit
+ *   --jit-cache-dir DIR (persist jit-compiled objects across runs)
+ *
+ * Tune flags: --backend kernel|jit|both --jit-cache-dir DIR
  */
 #include <cstdio>
 #include <cstring>
@@ -44,9 +49,13 @@ usage()
     std::exit(2);
 }
 
-/** Parse the trailing schedule flags shared by several subcommands. */
+/**
+ * Parse the trailing schedule + backend flags shared by several
+ * subcommands. Backend flags fill @p compiler_options when given.
+ */
 hir::Schedule
-parseSchedule(const std::vector<std::string> &args, bool *dump_ir)
+parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
+              CompilerOptions *compiler_options = nullptr)
 {
     hir::Schedule schedule;
     for (size_t i = 0; i < args.size(); ++i) {
@@ -95,6 +104,18 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir)
             schedule.padAndUnrollWalks = false;
         } else if (arg == "--no-peel") {
             schedule.peelWalks = false;
+        } else if (arg == "--backend" && compiler_options != nullptr) {
+            const std::string &value = next();
+            if (value == "kernel")
+                compiler_options->backend = Backend::kKernel;
+            else if (value == "jit")
+                compiler_options->backend = Backend::kSourceJit;
+            else
+                fatal("--backend must be kernel or jit (got \"", value,
+                      "\")");
+        } else if (arg == "--jit-cache-dir" &&
+                   compiler_options != nullptr) {
+            compiler_options->jit.cacheDir = next();
         } else if (arg == "--dump-ir" && dump_ir != nullptr) {
             *dump_ir = true;
         } else {
@@ -147,15 +168,30 @@ commandCompile(const std::string &path,
                const std::vector<std::string> &flags)
 {
     bool dump_ir = false;
-    hir::Schedule schedule = parseSchedule(flags, &dump_ir);
+    CompilerOptions options;
+    hir::Schedule schedule = parseSchedule(flags, &dump_ir, &options);
     model::Forest forest = model::loadForest(path);
 
-    CompilerOptions options;
     options.recordIrDumps = dump_ir;
+    codegen::JitCacheStats before = codegen::jitCacheStats();
     Timer timer;
-    InferenceSession session = compileForest(forest, schedule, options);
-    std::printf("compiled in %.3fs under schedule: %s\n",
-                timer.elapsedSeconds(), schedule.toString().c_str());
+    Session session = compile(forest, schedule, options);
+    std::printf("compiled in %.3fs [backend: %s] under schedule: %s\n",
+                timer.elapsedSeconds(),
+                backendName(session.backend()),
+                schedule.toString().c_str());
+    if (session.backend() == Backend::kSourceJit) {
+        codegen::JitCacheStats after = codegen::jitCacheStats();
+        if (after.diskHits > before.diskHits)
+            std::printf("jit: disk cache hit (no compiler invoked)\n");
+        else if (after.diskStores > before.diskStores)
+            std::printf("jit: compiled in %.3fs, stored to disk "
+                        "cache\n",
+                        session.artifacts().jitCompileSeconds);
+        else
+            std::printf("jit: compiled in %.3fs\n",
+                        session.artifacts().jitCompileSeconds);
+    }
     std::printf("%s\n", session.artifacts().lirSummary.c_str());
     for (const auto &trace : session.artifacts().passTraces) {
         std::printf("  %-22s %8.3f ms\n", trace.name.c_str(),
@@ -174,7 +210,8 @@ commandPredict(const std::string &model_path,
                const std::string &output_path,
                const std::vector<std::string> &flags)
 {
-    hir::Schedule schedule = parseSchedule(flags, nullptr);
+    CompilerOptions options;
+    hir::Schedule schedule = parseSchedule(flags, nullptr, &options);
     model::Forest forest = model::loadForest(model_path);
     data::Dataset input =
         data::loadCsv(input_path, /*last_column_is_label=*/false);
@@ -182,18 +219,24 @@ commandPredict(const std::string &model_path,
             "input has ", input.numFeatures(),
             " features but the model expects ", forest.numFeatures());
 
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule, options);
+    int32_t num_classes = session.numClasses();
     std::vector<float> predictions(
-        static_cast<size_t>(input.numRows()));
+        static_cast<size_t>(input.numRows()) *
+        static_cast<size_t>(num_classes));
     session.predict(input.rows(), input.numRows(), predictions.data());
 
     if (output_path.empty()) {
-        for (float p : predictions)
-            std::printf("%.6g\n", p);
+        for (int64_t r = 0; r < input.numRows(); ++r) {
+            for (int32_t c = 0; c < num_classes; ++c)
+                std::printf(c == 0 ? "%.6g" : ",%.6g",
+                            predictions[r * num_classes + c]);
+            std::printf("\n");
+        }
     } else {
-        data::Dataset out(1);
-        for (float p : predictions)
-            out.appendRow(&p);
+        data::Dataset out(num_classes);
+        for (int64_t r = 0; r < input.numRows(); ++r)
+            out.appendRow(&predictions[r * num_classes]);
         data::saveCsv(out, output_path);
         std::printf("wrote %lld predictions to %s\n",
                     static_cast<long long>(input.numRows()),
@@ -206,9 +249,10 @@ int
 commandBench(const std::string &path, int64_t batch,
              const std::vector<std::string> &flags)
 {
-    hir::Schedule schedule = parseSchedule(flags, nullptr);
+    CompilerOptions options;
+    hir::Schedule schedule = parseSchedule(flags, nullptr, &options);
     model::Forest forest = model::loadForest(path);
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule, options);
 
     // A synthetic uniform batch sized to the model.
     data::SyntheticModelSpec spec;
@@ -217,7 +261,9 @@ commandBench(const std::string &path, int64_t batch,
     spec.numTrees = 1;
     spec.maxDepth = 1;
     data::Dataset rows = data::generateFeatures(spec, batch);
-    std::vector<float> predictions(static_cast<size_t>(batch));
+    std::vector<float> predictions(
+        static_cast<size_t>(batch) *
+        static_cast<size_t>(session.numClasses()));
 
     session.predict(rows.rows(), batch, predictions.data()); // warm-up
     double best = 1e300;
@@ -226,7 +272,8 @@ commandBench(const std::string &path, int64_t batch,
         session.predict(rows.rows(), batch, predictions.data());
         best = std::min(best, timer.elapsedSeconds());
     }
-    std::printf("%s\n", schedule.toString().c_str());
+    std::printf("%s [backend: %s]\n", schedule.toString().c_str(),
+                backendName(session.backend()));
     std::printf("batch %lld: %.3f ms total, %.3f us/row\n",
                 static_cast<long long>(batch), best * 1e3,
                 best * 1e6 / static_cast<double>(batch));
@@ -234,8 +281,37 @@ commandBench(const std::string &path, int64_t batch,
 }
 
 int
-commandTune(const std::string &path, int64_t sample_rows)
+commandTune(const std::string &path, int64_t sample_rows,
+            const std::vector<std::string> &flags)
 {
+    tuner::TunerOptions options;
+    options.repetitions = 2;
+    for (size_t i = 0; i < flags.size(); ++i) {
+        const std::string &arg = flags[i];
+        auto next = [&]() -> const std::string & {
+            fatalIf(i + 1 >= flags.size(), "flag ", arg,
+                    " needs a value");
+            return flags[++i];
+        };
+        if (arg == "--backend") {
+            const std::string &value = next();
+            if (value == "kernel")
+                options.backends = {Backend::kKernel};
+            else if (value == "jit")
+                options.backends = {Backend::kSourceJit};
+            else if (value == "both")
+                options.backends = {Backend::kKernel,
+                                    Backend::kSourceJit};
+            else
+                fatal("--backend must be kernel, jit or both "
+                      "(got \"", value, "\")");
+        } else if (arg == "--jit-cache-dir") {
+            options.jitCacheDir = next();
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+
     model::Forest forest = model::loadForest(path);
     data::SyntheticModelSpec spec;
     spec.name = "cli-tune";
@@ -244,15 +320,16 @@ commandTune(const std::string &path, int64_t sample_rows)
     spec.maxDepth = 1;
     data::Dataset sample = data::generateFeatures(spec, sample_rows);
 
-    tuner::TunerOptions options;
-    options.repetitions = 2;
-    std::printf("exploring %zu configurations on %lld sample rows\n",
+    std::printf("exploring %zu configurations x %zu backends on %lld "
+                "sample rows\n",
                 tuner::enumerateSchedules(options).size(),
+                options.backends.size(),
                 static_cast<long long>(sample_rows));
     tuner::TunerResult result = tuner::exploreSchedules(
         forest, sample.rows(), sample_rows, options);
-    std::printf("best: %s (%.3f us/row)\n",
+    std::printf("best: %s [backend: %s] (%.3f us/row)\n",
                 result.best.schedule.toString().c_str(),
+                backendName(result.best.backend),
                 result.best.seconds * 1e6 /
                     static_cast<double>(sample_rows));
     return 0;
@@ -300,9 +377,14 @@ main(int argc, char **argv)
             return commandBench(args[0], batch, flags);
         }
         if (command == "tune" && !args.empty()) {
-            int64_t sample = args.size() >= 2 ? std::stoll(args[1])
-                                              : 512;
-            return commandTune(args[0], sample);
+            int64_t sample = 512;
+            std::vector<std::string> flags(args.begin() + 1,
+                                           args.end());
+            if (!flags.empty() && flags[0].rfind("--", 0) != 0) {
+                sample = std::stoll(flags[0]);
+                flags.erase(flags.begin());
+            }
+            return commandTune(args[0], sample, flags);
         }
     } catch (const Error &error) {
         std::fprintf(stderr, "treebeard: %s\n", error.what());

@@ -1,5 +1,6 @@
 #include "treebeard/compiler.h"
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "lir/layout_builder.h"
 #include "mir/lowering.h"
@@ -20,14 +21,97 @@ struct PipelineState
 
 } // namespace
 
-InferenceSession::InferenceSession(runtime::ExecutablePlan plan,
-                                   CompilationArtifacts artifacts)
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+    case Backend::kKernel:
+        return "kernel";
+    case Backend::kSourceJit:
+        return "jit";
+    }
+    panic("unknown backend");
+}
+
+Session::Session(runtime::ExecutablePlan plan,
+                 CompilationArtifacts artifacts)
     : plan_(std::move(plan)), artifacts_(std::move(artifacts))
 {}
 
-InferenceSession
-compileForest(const model::Forest &forest, const hir::Schedule &schedule,
-              const CompilerOptions &options)
+Session::Session(std::unique_ptr<codegen::JitCompiledSession> jit,
+                 CompilationArtifacts artifacts, int32_t num_threads)
+    : jit_(std::move(jit)), artifacts_(std::move(artifacts))
+{
+    panicIf(jit_ == nullptr, "null JIT session");
+    if (num_threads > 1)
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(num_threads));
+}
+
+void
+Session::predict(const float *rows, int64_t num_rows,
+                 float *predictions) const
+{
+    if (plan_) {
+        plan_->run(rows, num_rows, predictions);
+        return;
+    }
+    if (pool_ == nullptr) {
+        jit_->predict(rows, num_rows, predictions);
+        return;
+    }
+    // The generated function is pure over row ranges, so the paper's
+    // batch-loop parallelization lives here for the source backend.
+    int64_t num_features = jit_->numFeatures();
+    int64_t num_classes = jit_->numClasses();
+    pool_->parallelFor(0, num_rows, [&](int64_t begin, int64_t end) {
+        jit_->predict(rows + begin * num_features, end - begin,
+                      predictions + begin * num_classes);
+    });
+}
+
+void
+Session::predictInstrumented(const float *rows, int64_t num_rows,
+                             float *predictions,
+                             runtime::WalkCounters *counters) const
+{
+    fatalIf(!plan_,
+            "predictInstrumented requires the kernel backend; the "
+            "source-JIT backend's generated code carries no event "
+            "counters (recompile with CompilerOptions::backend = "
+            "Backend::kKernel)");
+    plan_->runInstrumented(rows, num_rows, predictions, counters);
+}
+
+int32_t
+Session::numFeatures() const
+{
+    return plan_ ? plan_->buffers().numFeatures : jit_->numFeatures();
+}
+
+int32_t
+Session::numClasses() const
+{
+    return plan_ ? plan_->buffers().numClasses : jit_->numClasses();
+}
+
+const runtime::ExecutablePlan &
+Session::plan() const
+{
+    panicIf(!plan_, "plan() on a source-JIT session");
+    return *plan_;
+}
+
+const codegen::JitCompiledSession &
+Session::jit() const
+{
+    panicIf(jit_ == nullptr, "jit() on a kernel session");
+    return *jit_;
+}
+
+Session
+compile(const model::Forest &forest, const hir::Schedule &schedule,
+        const CompilerOptions &options)
 {
     schedule.validate();
     Timer total_timer;
@@ -89,16 +173,35 @@ compileForest(const model::Forest &forest, const hir::Schedule &schedule,
     CompilationArtifacts artifacts;
     artifacts.passTraces = pm.traces();
     artifacts.lirSummary = state.buffers.summary();
+    artifacts.backend = options.backend;
     if (options.recordIrDumps) {
         artifacts.hirDump = state.hir->dump();
         artifacts.mirDump = state.mir.print();
+    }
+
+    if (options.backend == Backend::kSourceJit) {
+        auto jit = std::make_unique<codegen::JitCompiledSession>(
+            std::move(state.buffers), state.hir->groups(), schedule,
+            options.jit);
+        artifacts.generatedSource = jit->source();
+        artifacts.jitCompileSeconds = jit->compileSeconds();
+        artifacts.totalSeconds = total_timer.elapsedSeconds();
+        return Session(std::move(jit), std::move(artifacts),
+                       schedule.numThreads);
     }
 
     runtime::ExecutablePlan plan(std::move(state.buffers),
                                  std::move(state.mir),
                                  state.hir->groups());
     artifacts.totalSeconds = total_timer.elapsedSeconds();
-    return InferenceSession(std::move(plan), std::move(artifacts));
+    return Session(std::move(plan), std::move(artifacts));
+}
+
+InferenceSession
+compileForest(const model::Forest &forest, const hir::Schedule &schedule,
+              const CompilerOptions &options)
+{
+    return compile(forest, schedule, options);
 }
 
 } // namespace treebeard

@@ -1,36 +1,65 @@
 /**
  * @file
- * The public Treebeard API.
+ * The public Treebeard API: one compiler, interchangeable lowering
+ * targets.
  *
  * Typical use:
  *
  *   model::Forest forest = model::loadForest("model.json");
  *   hir::Schedule schedule;            // or tuner::autoTune(...)
  *   schedule.tileSize = 8;
- *   treebeard::InferenceSession session =
- *       treebeard::compileForest(forest, schedule);
+ *   treebeard::Session session = treebeard::compile(forest, schedule);
  *   session.predict(rows, num_rows, predictions);
  *
- * compileForest runs the full pipeline of the paper (Figure 1):
- * HIR construction -> tiling -> tree reordering/padding -> MIR
- * lowering -> walk interleaving/peeling/unrolling/parallelization ->
- * LIR buffer materialization -> kernel selection, and returns a
- * runnable session. IR dumps from every stage are retained for
- * inspection.
+ * compile() runs the full pipeline of the paper (Figure 1): HIR
+ * construction -> tiling -> tree reordering/padding -> MIR lowering ->
+ * walk interleaving/peeling/unrolling/parallelization -> LIR buffer
+ * materialization -> backend lowering, and returns a runnable Session.
+ * IR dumps from every stage are retained for inspection.
+ *
+ * The final lowering step is selected by CompilerOptions::backend:
+ *
+ *  - Backend::kKernel (default): bind the LIR buffers to the
+ *    pre-built specialized walker kernels (template-instantiated per
+ *    tile size / layout / interleave, AVX2 tile evaluation).
+ *  - Backend::kSourceJit: emit a specialized C++ translation unit,
+ *    compile it with the system compiler and dlopen the result — the
+ *    repo's analogue of the original system's LLVM JIT. Set
+ *    CompilerOptions::jit.cacheDir to persist compiled objects across
+ *    processes so repeated runs on one model skip the compiler.
+ *
+ * Both backends produce bit-identical predictions; the Session
+ * interface (predict / numFeatures / numClasses / artifacts) is
+ * backend-agnostic. Only predictInstrumented is kernel-specific and
+ * throws Error on a source-JIT session.
  */
 #ifndef TREEBEARD_TREEBEARD_COMPILER_H
 #define TREEBEARD_TREEBEARD_COMPILER_H
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "codegen/cpp_emitter.h"
+#include "common/thread_pool.h"
 #include "hir/schedule.h"
 #include "ir/pass_manager.h"
 #include "model/forest.h"
 #include "runtime/plan.h"
 
 namespace treebeard {
+
+/** The lowering target a Session executes on. */
+enum class Backend {
+    /** Pre-built specialized walker kernels (runtime::ExecutablePlan). */
+    kKernel,
+    /** Emitted C++ compiled by the system compiler and dlopen'd. */
+    kSourceJit,
+};
+
+/** Human-readable backend name ("kernel" / "jit"). */
+const char *backendName(Backend backend);
 
 /** Options controlling the compilation driver itself. */
 struct CompilerOptions
@@ -39,6 +68,14 @@ struct CompilerOptions
     bool recordIrDumps = false;
     /** Validate tilings and IR invariants after each stage. */
     bool verifyPasses = true;
+    /** The lowering target (see Backend). */
+    Backend backend = Backend::kKernel;
+    /**
+     * Source-JIT backend only: system-compiler options, including the
+     * persistent on-disk compile cache (jit.cacheDir). Ignored by the
+     * kernel backend.
+     */
+    codegen::JitOptions jit;
 };
 
 /** IR and timing artifacts captured during compilation. */
@@ -53,18 +90,32 @@ struct CompilationArtifacts
     /** LIR buffer summary (always available). */
     std::string lirSummary;
     double totalSeconds = 0.0;
+    /** The backend this compilation lowered to. */
+    Backend backend = Backend::kKernel;
+    /** Source-JIT backend: the emitted translation unit. */
+    std::string generatedSource;
+    /** Source-JIT backend: seconds in the system compiler (0 = cached). */
+    double jitCompileSeconds = 0.0;
 };
 
 /**
- * A compiled model: owns the executable plan and the artifacts.
- * Sessions are immovable-by-copy but movable; predict() is
+ * A compiled model behind one backend-agnostic interface: either a
+ * kernel-runtime plan or a source-JIT module, plus the compilation
+ * artifacts. Sessions are movable (not copyable); predict() is
  * thread-compatible (const).
  */
-class InferenceSession
+class Session
 {
   public:
-    InferenceSession(runtime::ExecutablePlan plan,
-                     CompilationArtifacts artifacts);
+    /** Wrap a kernel-runtime plan (Backend::kKernel). */
+    Session(runtime::ExecutablePlan plan, CompilationArtifacts artifacts);
+
+    /** Wrap a source-JIT module (Backend::kSourceJit). */
+    Session(std::unique_ptr<codegen::JitCompiledSession> jit,
+            CompilationArtifacts artifacts, int32_t num_threads);
+
+    Session(Session &&) = default;
+    Session &operator=(Session &&) = default;
 
     /**
      * The generated predictForest function: compute predictions for a
@@ -72,34 +123,60 @@ class InferenceSession
      * num_rows * numClasses() values (single-output models write one
      * value per row; multiclass models write per-class probabilities).
      */
-    void
-    predict(const float *rows, int64_t num_rows, float *predictions) const
+    void predict(const float *rows, int64_t num_rows,
+                 float *predictions) const;
+
+    /**
+     * Instrumented prediction collecting software event counters.
+     * Kernel backend only.
+     * @throws Error on a source-JIT session (the generated code
+     * carries no counters).
+     */
+    void predictInstrumented(const float *rows, int64_t num_rows,
+                             float *predictions,
+                             runtime::WalkCounters *counters) const;
+
+    Backend backend() const
     {
-        plan_.run(rows, num_rows, predictions);
+        return plan_ ? Backend::kKernel : Backend::kSourceJit;
     }
 
-    /** Instrumented prediction collecting software event counters. */
-    void
-    predictInstrumented(const float *rows, int64_t num_rows,
-                        float *predictions,
-                        runtime::WalkCounters *counters) const
-    {
-        plan_.runInstrumented(rows, num_rows, predictions, counters);
-    }
+    int32_t numFeatures() const;
+    int32_t numClasses() const;
 
-    int32_t numFeatures() const { return plan_.numFeatures(); }
-    int32_t numClasses() const { return plan_.numClasses(); }
-    const runtime::ExecutablePlan &plan() const { return plan_; }
+    /** The kernel-runtime plan; panics on a source-JIT session. */
+    const runtime::ExecutablePlan &plan() const;
+
+    /** The source-JIT module; panics on a kernel session. */
+    const codegen::JitCompiledSession &jit() const;
+
     const CompilationArtifacts &artifacts() const { return artifacts_; }
 
   private:
-    runtime::ExecutablePlan plan_;
+    std::optional<runtime::ExecutablePlan> plan_;
+    std::unique_ptr<codegen::JitCompiledSession> jit_;
+    /** Row-loop pool for the source-JIT backend (numThreads > 1). */
+    std::unique_ptr<ThreadPool> pool_;
     CompilationArtifacts artifacts_;
 };
 
 /**
- * Compile @p forest under @p schedule.
- * @throws Error on invalid models or schedules.
+ * Transitional alias: the pre-unification name for a kernel-backed
+ * Session. Prefer Session + compile() in new code.
+ */
+using InferenceSession = Session;
+
+/**
+ * Compile @p forest under @p schedule for options.backend.
+ * @throws Error on invalid models or schedules, or when the source
+ * backend's system compiler fails.
+ */
+Session compile(const model::Forest &forest, const hir::Schedule &schedule,
+                const CompilerOptions &options = {});
+
+/**
+ * Deprecated spelling of compile() (kept for existing callers; honors
+ * options.backend like compile does).
  */
 InferenceSession compileForest(const model::Forest &forest,
                                const hir::Schedule &schedule,

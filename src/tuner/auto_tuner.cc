@@ -57,49 +57,64 @@ exploreSchedules(const model::Forest &forest, const float *rows,
     fatalIf(num_rows <= 0, "tuner needs a non-empty sample batch");
     std::vector<hir::Schedule> schedules = enumerateSchedules(options);
     fatalIf(schedules.empty(), "tuner grid is empty");
+    fatalIf(options.backends.empty(), "tuner backend list is empty");
 
     TunerResult result;
     result.best.seconds = std::numeric_limits<double>::infinity();
-    std::vector<float> predictions(static_cast<size_t>(num_rows));
+    std::vector<float> predictions(
+        static_cast<size_t>(num_rows) *
+        static_cast<size_t>(forest.numClasses()));
 
     for (const hir::Schedule &schedule : schedules) {
-        TunedPoint point;
-        point.schedule = schedule;
+        for (Backend backend : options.backends) {
+            TunedPoint point;
+            point.schedule = schedule;
+            point.backend = backend;
 
-        double best_seconds;
-        try {
-            Timer compile_timer;
-            InferenceSession session = compileForest(forest, schedule);
-            point.compileSeconds = compile_timer.elapsedSeconds();
+            double best_seconds;
+            try {
+                CompilerOptions compiler_options;
+                compiler_options.backend = backend;
+                compiler_options.jit.cacheDir = options.jitCacheDir;
+                Timer compile_timer;
+                Session session =
+                    compile(forest, schedule, compiler_options);
+                point.compileSeconds = compile_timer.elapsedSeconds();
 
-            // Warm-up, then best-of-N timing.
-            session.predict(rows, num_rows, predictions.data());
-            best_seconds = std::numeric_limits<double>::infinity();
-            for (int32_t rep = 0; rep < options.repetitions; ++rep) {
-                Timer timer;
+                // Warm-up, then best-of-N timing.
                 session.predict(rows, num_rows, predictions.data());
-                best_seconds = std::min(best_seconds,
-                                        timer.elapsedSeconds());
+                best_seconds = std::numeric_limits<double>::infinity();
+                for (int32_t rep = 0; rep < options.repetitions;
+                     ++rep) {
+                    Timer timer;
+                    session.predict(rows, num_rows,
+                                    predictions.data());
+                    best_seconds = std::min(best_seconds,
+                                            timer.elapsedSeconds());
+                }
+            } catch (const Error &error) {
+                // Some grid points are infeasible for a given model
+                // (e.g. the array layout's total-tile cap on deep
+                // forests); skip them rather than abandoning the
+                // exploration.
+                if (options.verbose) {
+                    inform("tuner: skipping ", schedule.toString(),
+                           " [", backendName(backend), "]: ",
+                           error.what());
+                }
+                continue;
             }
-        } catch (const Error &error) {
-            // Some grid points are infeasible for a given model (e.g.
-            // the array layout's total-tile cap on deep forests); skip
-            // them rather than abandoning the exploration.
-            if (options.verbose) {
-                inform("tuner: skipping ", schedule.toString(), ": ",
-                       error.what());
-            }
-            continue;
-        }
-        point.seconds = best_seconds;
+            point.seconds = best_seconds;
 
-        if (options.verbose) {
-            inform("tuner: ", schedule.toString(), " -> ",
-                   best_seconds * 1e6 / num_rows, " us/row");
+            if (options.verbose) {
+                inform("tuner: ", schedule.toString(), " [",
+                       backendName(backend), "] -> ",
+                       best_seconds * 1e6 / num_rows, " us/row");
+            }
+            if (point.seconds < result.best.seconds)
+                result.best = point;
+            result.all.push_back(point);
         }
-        if (point.seconds < result.best.seconds)
-            result.best = point;
-        result.all.push_back(point);
     }
 
     std::sort(result.all.begin(), result.all.end(),

@@ -14,6 +14,7 @@
 
 #include "hir/schedule.h"
 #include "model/forest.h"
+#include "treebeard/compiler.h"
 
 namespace treebeard::tuner {
 
@@ -44,12 +45,22 @@ struct TunerOptions
     int32_t repetitions = 3;
     /** Print progress to stderr. */
     bool verbose = false;
+    /**
+     * Backends to time each schedule on. The default explores only the
+     * kernel runtime; add Backend::kSourceJit to also time the source
+     * backend (every grid point then invokes the system compiler —
+     * set jitCacheDir to amortize repeated runs).
+     */
+    std::vector<Backend> backends{Backend::kKernel};
+    /** Source-JIT disk cache directory for the sweep ("" = off). */
+    std::string jitCacheDir;
 };
 
 /** One timed configuration. */
 struct TunedPoint
 {
     hir::Schedule schedule;
+    Backend backend = Backend::kKernel;
     /** Best-of-repetitions seconds for the sample batch. */
     double seconds = 0.0;
     double compileSeconds = 0.0;

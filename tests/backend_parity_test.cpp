@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cross-backend bit-exactness: the unified treebeard::compile entry
+ * point must produce identical predictions from the kernel runtime and
+ * the source-JIT backend across memory layouts, tile sizes, binary and
+ * multiclass objectives, and NaN-bearing inputs. Leaf values are
+ * quantized so accumulation is order-independent and the comparison
+ * can be exact (see test_utils.h).
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+
+/** A binary or multiclass quantized test forest. */
+model::Forest
+makeForest(bool multiclass, uint64_t seed)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = multiclass ? 12 : 10;
+    spec.numFeatures = 10;
+    spec.maxDepth = 5;
+    spec.seed = seed;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    if (multiclass) {
+        forest.setObjective(model::Objective::kMulticlassSoftmax);
+        forest.setNumClasses(3);
+        forest.setBaseScore(0.0f);
+    }
+    return forest;
+}
+
+/** Rows with NaNs sprinkled in to exercise default-left routing. */
+std::vector<float>
+makeRowsWithNans(int32_t num_features, int64_t num_rows, uint64_t seed)
+{
+    std::vector<float> rows =
+        makeRandomRows(num_features, num_rows, seed);
+    for (size_t i = 0; i < rows.size(); i += 7)
+        rows[i] = std::numeric_limits<float>::quiet_NaN();
+    return rows;
+}
+
+/** Predictions from one backend through the unified API. */
+std::vector<float>
+predictWith(Backend backend, const model::Forest &forest,
+            const hir::Schedule &schedule,
+            const std::vector<float> &rows)
+{
+    CompilerOptions options;
+    options.backend = backend;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+    EXPECT_EQ(session.backend(), backend);
+    EXPECT_EQ(session.numFeatures(), forest.numFeatures());
+    EXPECT_EQ(session.numClasses(), forest.numClasses());
+    int64_t num_rows = static_cast<int64_t>(rows.size()) /
+                       forest.numFeatures();
+    std::vector<float> predictions(
+        static_cast<size_t>(num_rows) * forest.numClasses());
+    session.predict(rows.data(), num_rows, predictions.data());
+    return predictions;
+}
+
+struct ParityCase
+{
+    hir::MemoryLayout layout;
+    int32_t tileSize;
+    bool multiclass;
+};
+
+class BackendParity : public ::testing::TestWithParam<ParityCase>
+{};
+
+TEST_P(BackendParity, KernelAndSourceJitAreBitExact)
+{
+    const ParityCase &c = GetParam();
+    model::Forest forest = makeForest(c.multiclass, 4000 + c.tileSize);
+    std::vector<float> rows =
+        makeRowsWithNans(forest.numFeatures(), 64, 4100);
+
+    hir::Schedule schedule;
+    schedule.layout = c.layout;
+    schedule.tileSize = c.tileSize;
+
+    std::vector<float> kernel =
+        predictWith(Backend::kKernel, forest, schedule, rows);
+    std::vector<float> jit =
+        predictWith(Backend::kSourceJit, forest, schedule, rows);
+    expectPredictionsExact(kernel, jit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackendParity,
+    ::testing::Values(
+        ParityCase{hir::MemoryLayout::kSparse, 1, false},
+        ParityCase{hir::MemoryLayout::kSparse, 4, false},
+        ParityCase{hir::MemoryLayout::kSparse, 8, false},
+        ParityCase{hir::MemoryLayout::kArray, 1, false},
+        ParityCase{hir::MemoryLayout::kArray, 4, false},
+        ParityCase{hir::MemoryLayout::kArray, 8, false},
+        ParityCase{hir::MemoryLayout::kPacked, 1, false},
+        ParityCase{hir::MemoryLayout::kPacked, 4, false},
+        ParityCase{hir::MemoryLayout::kPacked, 8, false},
+        ParityCase{hir::MemoryLayout::kSparse, 1, true},
+        ParityCase{hir::MemoryLayout::kSparse, 4, true},
+        ParityCase{hir::MemoryLayout::kSparse, 8, true},
+        ParityCase{hir::MemoryLayout::kArray, 4, true},
+        ParityCase{hir::MemoryLayout::kArray, 8, true},
+        ParityCase{hir::MemoryLayout::kPacked, 4, true},
+        ParityCase{hir::MemoryLayout::kPacked, 8, true}));
+
+TEST(UnifiedSession, PredictInstrumentedThrowsOnSourceJit)
+{
+    model::Forest forest = makeForest(false, 4200);
+    hir::Schedule schedule;
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+
+    std::vector<float> rows = makeRandomRows(10, 4, 4201);
+    std::vector<float> predictions(4);
+    runtime::WalkCounters counters;
+    try {
+        session.predictInstrumented(rows.data(), 4, predictions.data(),
+                                    &counters);
+        FAIL() << "expected Error from predictInstrumented";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("kernel backend"),
+                  std::string::npos);
+    }
+
+    // The kernel backend still supports instrumentation.
+    options.backend = Backend::kKernel;
+    Session kernel = compile(forest, schedule, options);
+    EXPECT_NO_THROW(kernel.predictInstrumented(
+        rows.data(), 4, predictions.data(), &counters));
+}
+
+TEST(UnifiedSession, ArtifactsRecordBackendAndSource)
+{
+    model::Forest forest = makeForest(false, 4300);
+    hir::Schedule schedule;
+    schedule.tileSize = 8;
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+
+    const CompilationArtifacts &artifacts = session.artifacts();
+    EXPECT_EQ(artifacts.backend, Backend::kSourceJit);
+    EXPECT_FALSE(artifacts.lirSummary.empty());
+    // The emitted source carries the AVX2 tile-evaluation sequence for
+    // tile size 8 (guarded on __AVX2__ with a scalar fallback).
+    EXPECT_NE(artifacts.generatedSource.find("_mm256_i32gather_ps"),
+              std::string::npos);
+    EXPECT_NE(artifacts.generatedSource.find("_mm256_movemask_ps"),
+              std::string::npos);
+    EXPECT_NE(artifacts.generatedSource.find("__AVX2__"),
+              std::string::npos);
+
+    // Kernel compilations carry no generated source.
+    options.backend = Backend::kKernel;
+    Session kernel = compile(forest, schedule, options);
+    EXPECT_EQ(kernel.artifacts().backend, Backend::kKernel);
+    EXPECT_TRUE(kernel.artifacts().generatedSource.empty());
+}
+
+TEST(UnifiedSession, SourceJitHonorsNumThreads)
+{
+    model::Forest forest = makeForest(true, 4400);
+    std::vector<float> rows =
+        makeRowsWithNans(forest.numFeatures(), 100, 4401);
+
+    hir::Schedule serial;
+    serial.tileSize = 4;
+    hir::Schedule threaded = serial;
+    threaded.numThreads = 4;
+
+    std::vector<float> expected =
+        predictWith(Backend::kSourceJit, forest, serial, rows);
+    std::vector<float> actual =
+        predictWith(Backend::kSourceJit, forest, threaded, rows);
+    expectPredictionsExact(expected, actual);
+}
+
+TEST(UnifiedSession, CompileForestAliasHonorsBackend)
+{
+    model::Forest forest = makeForest(false, 4500);
+    hir::Schedule schedule;
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    InferenceSession session = compileForest(forest, schedule, options);
+    EXPECT_EQ(session.backend(), Backend::kSourceJit);
+
+    std::vector<float> rows = makeRandomRows(10, 8, 4501);
+    std::vector<float> viaAlias(8), viaCompile(8);
+    session.predict(rows.data(), 8, viaAlias.data());
+    compile(forest, schedule, options)
+        .predict(rows.data(), 8, viaCompile.data());
+    expectPredictionsExact(viaCompile, viaAlias);
+}
+
+TEST(UnifiedSession, BackendNames)
+{
+    EXPECT_STREQ(backendName(Backend::kKernel), "kernel");
+    EXPECT_STREQ(backendName(Backend::kSourceJit), "jit");
+}
+
+} // namespace
+} // namespace treebeard

@@ -6,6 +6,7 @@
  */
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -130,6 +131,81 @@ TEST(Cli, RejectsBadFlagsCleanly)
     EXPECT_NE(output.find("tile size"), std::string::npos);
     EXPECT_EQ(runCli("compile " + model + " --bogus", output), 1);
     EXPECT_EQ(runCli("stats /nonexistent/model.json", output), 1);
+}
+
+TEST(Cli, RejectsUnknownBackend)
+{
+    std::string model = tempPath("cli_model6.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 3", output), 0);
+    EXPECT_EQ(runCli("compile " + model + " --backend turbo", output),
+              1);
+    EXPECT_NE(output.find("--backend must be kernel or jit"),
+              std::string::npos);
+    EXPECT_EQ(runCli("tune " + model + " 16 --backend turbo", output),
+              1);
+    EXPECT_NE(output.find("--backend must be kernel, jit or both"),
+              std::string::npos);
+}
+
+TEST(Cli, JitBackendCompilesAndPredicts)
+{
+    std::string model = tempPath("cli_model7.json");
+    std::string input = tempPath("cli_jit_input.csv");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 5", output), 0);
+
+    std::string csv;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 13; ++c)
+            csv += (c ? "," : "") + std::to_string(0.2 * (r + c));
+        csv += "\n";
+    }
+    writeStringToFile(input, csv);
+
+    std::string kernel_out, jit_out;
+    ASSERT_EQ(runCli("predict " + model + " " + input +
+                         " --backend kernel",
+                     kernel_out),
+              0)
+        << kernel_out;
+    ASSERT_EQ(runCli("predict " + model + " " + input +
+                         " --backend jit",
+                     jit_out),
+              0)
+        << jit_out;
+    EXPECT_EQ(kernel_out, jit_out);
+}
+
+TEST(Cli, JitCacheDirRoundTripAcrossProcesses)
+{
+    std::string model = tempPath("cli_model8.json");
+    std::string cache = tempPath("cli_jit_cache");
+    // The temp dir persists across test runs; start from a cold cache.
+    std::filesystem::remove_all(cache);
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 4", output), 0);
+
+    // First process compiles with the system compiler and stores.
+    ASSERT_EQ(runCli("compile " + model +
+                         " --tile 4 --backend jit --jit-cache-dir " +
+                         cache,
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("backend: jit"), std::string::npos);
+    EXPECT_NE(output.find("stored to disk cache"), std::string::npos);
+
+    // A fresh process with the same model/schedule/flags is served
+    // from the disk cache without invoking the system compiler.
+    ASSERT_EQ(runCli("compile " + model +
+                         " --tile 4 --backend jit --jit-cache-dir " +
+                         cache,
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("disk cache hit (no compiler invoked)"),
+              std::string::npos);
 }
 
 } // namespace

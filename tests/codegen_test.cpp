@@ -4,9 +4,12 @@
  * the LIR -> C++ emitter, whose compiled output must match both the
  * reference walk and the kernel runtime across schedules.
  */
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "codegen/cpp_emitter.h"
+#include "common/json.h"
 #include "lir/layout_builder.h"
 #include "test_utils.h"
 #include "treebeard/compiler.h"
@@ -101,6 +104,94 @@ TEST(SystemJit, MemoizesIdenticalCompilations)
     EXPECT_EQ(jitCacheStats().lookups, after.lookups + 1);
 }
 
+/** A fresh unique disk-cache directory under the test temp dir. */
+std::string
+makeCacheDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(SystemJit, DiskCacheServesFreshProcesses)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    options.cacheDir = makeCacheDir("jit_disk_cache");
+    std::string source =
+        "extern \"C\" int disk_cached() { return 31; }";
+
+    JitCacheStats before = jitCacheStats();
+    JitModule first(source, options);
+    EXPECT_GT(first.compileSeconds(), 0.0);
+    EXPECT_EQ(first.function<int (*)()>("disk_cached")(), 31);
+
+    JitCacheStats stored = jitCacheStats();
+    EXPECT_EQ(stored.diskLookups, before.diskLookups + 1);
+    EXPECT_EQ(stored.diskHits, before.diskHits);
+    EXPECT_EQ(stored.diskStores, before.diskStores + 1);
+
+    // Dropping the in-memory memoization makes the next lookup behave
+    // exactly like a fresh process: it must be served by dlopen'ing
+    // the cached .so, never by the system compiler.
+    clearJitMemoryCacheForTesting();
+    JitModule second(source, options);
+    EXPECT_EQ(second.compileSeconds(), 0.0);
+    EXPECT_EQ(second.function<int (*)()>("disk_cached")(), 31);
+
+    JitCacheStats after = jitCacheStats();
+    EXPECT_EQ(after.diskLookups, stored.diskLookups + 1);
+    EXPECT_EQ(after.diskHits, stored.diskHits + 1);
+    EXPECT_EQ(after.diskStores, stored.diskStores);
+
+    // The cache holds exactly one entry for the one key.
+    int entries = 0;
+    for (const auto &item :
+         std::filesystem::directory_iterator(options.cacheDir)) {
+        EXPECT_EQ(item.path().extension(), ".so");
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1);
+}
+
+TEST(SystemJit, DiskCacheRecoversFromCorruptEntry)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    options.cacheDir = makeCacheDir("jit_corrupt_cache");
+    std::string source =
+        "extern \"C\" int corrupt_test() { return 57; }";
+
+    JitModule first(source, options);
+    EXPECT_EQ(first.function<int (*)()>("corrupt_test")(), 57);
+
+    // Truncate/garble the published entry, as a crashed writer or a
+    // disk error would.
+    std::string entry;
+    for (const auto &item :
+         std::filesystem::directory_iterator(options.cacheDir))
+        entry = item.path().string();
+    ASSERT_FALSE(entry.empty());
+    writeStringToFile(entry, "this is not a shared object");
+
+    clearJitMemoryCacheForTesting();
+    JitCacheStats before = jitCacheStats();
+    JitModule second(source, options);
+    // dlopen on the corrupt entry fails, so the source recompiles and
+    // the entry is overwritten with a good .so.
+    EXPECT_GT(second.compileSeconds(), 0.0);
+    EXPECT_EQ(second.function<int (*)()>("corrupt_test")(), 57);
+    JitCacheStats after = jitCacheStats();
+    EXPECT_EQ(after.diskHits, before.diskHits);
+    EXPECT_EQ(after.diskStores, before.diskStores + 1);
+
+    // The overwritten entry now loads cleanly.
+    clearJitMemoryCacheForTesting();
+    JitModule third(source, options);
+    EXPECT_EQ(third.compileSeconds(), 0.0);
+    EXPECT_EQ(third.function<int (*)()>("corrupt_test")(), 57);
+}
+
 struct EmitterCase
 {
     hir::LoopOrder loopOrder;
@@ -189,6 +280,116 @@ TEST(CppEmitter, SourceReflectsSchedule)
     EXPECT_NE(source.find("walk_group_0"), std::string::npos);
     // The tile evaluation is fully unrolled over 4 slots.
     EXPECT_NE(source.find("<< 3"), std::string::npos);
+}
+
+/** Emit a source string for a small forest under @p schedule. */
+std::string
+emitForSchedule(const model::Forest &forest,
+                const hir::Schedule &schedule)
+{
+    hir::HirModule module(forest, schedule);
+    module.runAllHirPasses();
+    lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+    return emitPredictForestSource(buffers, module.groups(), schedule);
+}
+
+TEST(CppEmitter, EmitsAvx2TileEvaluation)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 4;
+    spec.seed = 81;
+    model::Forest forest = makeRandomForest(spec);
+
+    hir::Schedule tile8;
+    tile8.tileSize = 8;
+    std::string source8 = emitForSchedule(forest, tile8);
+    // Guarded 8-wide gather/compare/movemask with a scalar fallback.
+    EXPECT_NE(source8.find("__AVX2__"), std::string::npos);
+    EXPECT_NE(source8.find("_mm256_i32gather_ps"), std::string::npos);
+    EXPECT_NE(source8.find("_mm256_cmp_ps"), std::string::npos);
+    EXPECT_NE(source8.find("_mm256_movemask_ps"), std::string::npos);
+    // NaN default-left routing is vectorized too.
+    EXPECT_NE(source8.find("_CMP_UNORD_Q"), std::string::npos);
+
+    hir::Schedule tile4;
+    tile4.tileSize = 4;
+    tile4.layout = hir::MemoryLayout::kPacked;
+    std::string source4 = emitForSchedule(forest, tile4);
+    // 4-wide SSE/AVX2 path; packed int16 feature indices widen first.
+    EXPECT_NE(source4.find("_mm_i32gather_ps"), std::string::npos);
+    EXPECT_NE(source4.find("_mm_cvtepi16_epi32"), std::string::npos);
+
+    // Scalar tiles carry no vector code at all.
+    hir::Schedule tile1;
+    tile1.tileSize = 1;
+    std::string source1 = emitForSchedule(forest, tile1);
+    EXPECT_EQ(source1.find("_mm256"), std::string::npos);
+    EXPECT_EQ(source1.find("_mm_i32gather_ps"), std::string::npos);
+}
+
+TEST(CppEmitter, AppendsHostSimdFlags)
+{
+    JitOptions options = withHostSimdFlags(JitOptions{});
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2")) {
+        EXPECT_NE(options.extraFlags.find("-mavx2"),
+                  std::string::npos);
+        // Idempotent: a second application adds nothing.
+        EXPECT_EQ(withHostSimdFlags(options).extraFlags,
+                  options.extraFlags);
+    }
+#else
+    EXPECT_EQ(options.extraFlags, JitOptions{}.extraFlags);
+#endif
+}
+
+TEST(CppEmitter, MulticlassCompiledSourceMatchesReference)
+{
+    testing::RandomForestSpec spec;
+    spec.numTrees = 12;
+    spec.seed = 91;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    forest.setObjective(model::Objective::kMulticlassSoftmax);
+    forest.setNumClasses(3);
+    forest.setBaseScore(0.0f);
+
+    int64_t num_rows = 40;
+    std::vector<float> rows =
+        makeRandomRows(spec.numFeatures, num_rows, 92);
+    std::vector<float> expected(
+        static_cast<size_t>(num_rows) * 3);
+    forest.predictBatch(rows.data(), num_rows, expected.data());
+
+    for (hir::LoopOrder order :
+         {hir::LoopOrder::kOneTreeAtATime,
+          hir::LoopOrder::kOneRowAtATime}) {
+        hir::Schedule schedule;
+        schedule.loopOrder = order;
+        schedule.tileSize = 4;
+        schedule.interleaveFactor = 2;
+
+        hir::HirModule module(forest, schedule);
+        module.runAllHirPasses();
+        lir::ForestBuffers buffers = lir::buildForestBuffers(module);
+
+        JitOptions jit_options;
+        jit_options.optLevel = "-O0";
+        JitCompiledSession session(std::move(buffers),
+                                   module.groups(), schedule,
+                                   jit_options);
+        EXPECT_EQ(session.numClasses(), 3);
+
+        std::vector<float> actual(
+            static_cast<size_t>(num_rows) * 3);
+        session.predict(rows.data(), num_rows, actual.data());
+        expectPredictionsExact(expected, actual);
+        // The baked class table and per-row softmax are in the source.
+        EXPECT_NE(session.source().find("kTreeClass"),
+                  std::string::npos);
+        EXPECT_NE(session.source().find("finishRow"),
+                  std::string::npos);
+    }
 }
 
 } // namespace
