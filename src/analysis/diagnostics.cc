@@ -1,0 +1,236 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace treebeard::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::kNote: return "note";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    panic("unknown diagnostic severity");
+}
+
+const char *
+irLevelName(IrLevel level)
+{
+    switch (level) {
+      case IrLevel::kModel: return "model";
+      case IrLevel::kSchedule: return "schedule";
+      case IrLevel::kHir: return "hir";
+      case IrLevel::kMir: return "mir";
+      case IrLevel::kLir: return "lir";
+    }
+    panic("unknown IR level");
+}
+
+std::string
+DiagnosticLocation::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto append = [&](const char *name, int64_t value) {
+        if (value < 0)
+            return;
+        os << (first ? "" : " ") << name << " " << value;
+        first = false;
+    };
+    append("tree", tree);
+    append("tile", tile);
+    append("slot", slot);
+    append("group", group);
+    if (!op.empty()) {
+        os << (first ? "" : " ") << "op " << op;
+        first = false;
+    }
+    return os.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << code << "]";
+    if (!pass.empty())
+        os << " (after " << pass << ")";
+    std::string where = location.toString();
+    if (!where.empty())
+        os << " " << where << ":";
+    os << " " << message;
+    return os.str();
+}
+
+JsonValue
+Diagnostic::toJson() const
+{
+    JsonValue::Object object;
+    object["code"] = JsonValue(code);
+    object["severity"] = JsonValue(severityName(severity));
+    object["level"] = JsonValue(irLevelName(level));
+    if (!pass.empty())
+        object["pass"] = JsonValue(pass);
+    object["message"] = JsonValue(message);
+    if (!location.empty()) {
+        JsonValue::Object loc;
+        if (location.tree >= 0)
+            loc["tree"] = JsonValue(location.tree);
+        if (location.tile >= 0)
+            loc["tile"] = JsonValue(location.tile);
+        if (location.slot >= 0)
+            loc["slot"] = JsonValue(static_cast<int64_t>(location.slot));
+        if (location.group >= 0)
+            loc["group"] = JsonValue(location.group);
+        if (!location.op.empty())
+            loc["op"] = JsonValue(location.op);
+        object["location"] = JsonValue(std::move(loc));
+    }
+    return JsonValue(std::move(object));
+}
+
+Diagnostic &
+Diagnostic::atTree(int64_t tree)
+{
+    location.tree = tree;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::atTile(int64_t tile)
+{
+    location.tile = tile;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::atSlot(int32_t slot)
+{
+    location.slot = slot;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::atGroup(int64_t group)
+{
+    location.group = group;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::atOp(std::string op)
+{
+    location.op = std::move(op);
+    return *this;
+}
+
+Diagnostic &
+DiagnosticEngine::report(Severity severity, IrLevel level,
+                         std::string code, std::string message)
+{
+    Diagnostic diagnostic;
+    diagnostic.code = std::move(code);
+    diagnostic.severity = severity;
+    diagnostic.level = level;
+    diagnostic.pass = pass_;
+    diagnostic.message = std::move(message);
+    add(std::move(diagnostic));
+    return diags_.back();
+}
+
+void
+DiagnosticEngine::add(Diagnostic diagnostic)
+{
+    if (diagnostic.severity == Severity::kError)
+        ++errors_;
+    else if (diagnostic.severity == Severity::kWarning)
+        ++warnings_;
+    diags_.push_back(std::move(diagnostic));
+}
+
+bool
+DiagnosticEngine::hasCode(const std::string &code) const
+{
+    for (const Diagnostic &diagnostic : diags_) {
+        if (diagnostic.code == code)
+            return true;
+    }
+    return false;
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    errors_ = 0;
+    warnings_ = 0;
+}
+
+std::string
+DiagnosticEngine::toString() const
+{
+    std::string out;
+    for (const Diagnostic &diagnostic : diags_) {
+        out += diagnostic.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+JsonValue
+DiagnosticEngine::toJson() const
+{
+    JsonValue::Array entries;
+    for (const Diagnostic &diagnostic : diags_)
+        entries.push_back(diagnostic.toJson());
+    JsonValue::Object object;
+    object["errors"] = JsonValue(errors_);
+    object["warnings"] = JsonValue(warnings_);
+    object["diagnostics"] = JsonValue(std::move(entries));
+    return JsonValue(std::move(object));
+}
+
+void
+DiagnosticEngine::throwIfErrors() const
+{
+    if (hasErrors())
+        throw VerificationError(pass_, diags_);
+}
+
+std::string
+VerificationError::formatMessage(
+    const std::string &pass, const std::vector<Diagnostic> &diagnostics)
+{
+    std::ostringstream os;
+    int64_t errors = 0;
+    for (const Diagnostic &diagnostic : diagnostics)
+        errors += diagnostic.severity == Severity::kError ? 1 : 0;
+    os << "verification failed";
+    if (!pass.empty())
+        os << " after pass '" << pass << "'";
+    os << " with " << errors
+       << (errors == 1 ? " error:" : " errors:");
+    for (const Diagnostic &diagnostic : diagnostics)
+        os << "\n  " << diagnostic.toString();
+    return os.str();
+}
+
+VerificationError::VerificationError(std::string pass,
+                                     std::vector<Diagnostic> diagnostics)
+    : Error(formatMessage(pass, diagnostics)), pass_(std::move(pass)),
+      diags_(std::move(diagnostics))
+{}
+
+bool
+VerificationError::hasCode(const std::string &code) const
+{
+    for (const Diagnostic &diagnostic : diags_) {
+        if (diagnostic.code == code)
+            return true;
+    }
+    return false;
+}
+
+} // namespace treebeard::analysis

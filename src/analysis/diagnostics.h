@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Structured, recoverable compiler diagnostics.
+ *
+ * Plays the role MLIR's diagnostic infrastructure plays in the
+ * original system: verifiers report *what* broke, *where* (IR level,
+ * pass, tree/tile/op location) and *how bad* it is, instead of dying
+ * on the first fatalIf. A DiagnosticEngine collects any number of
+ * Diagnostics; callers decide whether to throw (throwIfErrors raises a
+ * VerificationError, a treebeard::Error subclass carrying the full
+ * report) or to render the report as text or JSON.
+ *
+ * Diagnostic codes are stable, machine-readable strings of the form
+ * "<level>.<subject>.<violation>" (e.g. "lir.child-base.oob"); the
+ * mutation-corpus tests assert on them, so treat them as API.
+ */
+#ifndef TREEBEARD_ANALYSIS_DIAGNOSTICS_H
+#define TREEBEARD_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace treebeard::analysis {
+
+/** How bad a diagnostic is. Only kError fails verification. */
+enum class Severity {
+    kNote,
+    kWarning,
+    kError,
+};
+
+const char *severityName(Severity severity);
+
+/** The IR abstraction level a diagnostic refers to. */
+enum class IrLevel {
+    kModel,
+    kSchedule,
+    kHir,
+    kMir,
+    kLir,
+};
+
+const char *irLevelName(IrLevel level);
+
+/**
+ * Where in the IR a diagnostic points. All fields are optional
+ * (negative / empty when not applicable); tree/tile indices follow the
+ * owning level's conventions (model tree id at kModel/kHir, buffer
+ * execution position at kLir).
+ */
+struct DiagnosticLocation
+{
+    int64_t tree = -1;
+    int64_t tile = -1;
+    int32_t slot = -1;
+    int64_t group = -1;
+    /** MIR op spelling (e.g. "walk_group") when at kMir. */
+    std::string op;
+
+    bool empty() const
+    {
+        return tree < 0 && tile < 0 && slot < 0 && group < 0 &&
+               op.empty();
+    }
+
+    std::string toString() const;
+};
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    /** Stable machine-readable code, e.g. "lir.child-base.oob". */
+    std::string code;
+    Severity severity = Severity::kError;
+    IrLevel level = IrLevel::kLir;
+    /** The pass after which the verifier ran (provenance). */
+    std::string pass;
+    DiagnosticLocation location;
+    /** Human-readable description of the violation. */
+    std::string message;
+
+    /** "error[lir.child-base.oob] (after lower-to-lir) tile 7: ..." */
+    std::string toString() const;
+
+    JsonValue toJson() const;
+
+    // Fluent location setters, so verifiers can report in one
+    // expression: diag.error(...).atTile(t).atSlot(s).
+    Diagnostic &atTree(int64_t tree);
+    Diagnostic &atTile(int64_t tile);
+    Diagnostic &atSlot(int32_t slot);
+    Diagnostic &atGroup(int64_t group);
+    Diagnostic &atOp(std::string op);
+};
+
+/**
+ * Collects diagnostics from one or more verifier runs. Not
+ * thread-safe; verification runs at compile time on the compiling
+ * thread only.
+ */
+class DiagnosticEngine
+{
+  public:
+    /** Pass provenance attached to subsequently reported diagnostics. */
+    void setPass(std::string pass) { pass_ = std::move(pass); }
+    const std::string &pass() const { return pass_; }
+
+    /**
+     * Report a diagnostic; returns a reference for fluent location
+     * attachment. The reference is invalidated by the next report.
+     */
+    Diagnostic &report(Severity severity, IrLevel level,
+                       std::string code, std::string message);
+
+    Diagnostic &error(IrLevel level, std::string code,
+                      std::string message)
+    {
+        return report(Severity::kError, level, std::move(code),
+                      std::move(message));
+    }
+
+    Diagnostic &warning(IrLevel level, std::string code,
+                        std::string message)
+    {
+        return report(Severity::kWarning, level, std::move(code),
+                      std::move(message));
+    }
+
+    /** Append an already-built diagnostic (merging engines). */
+    void add(Diagnostic diagnostic);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    int64_t errorCount() const { return errors_; }
+    int64_t warningCount() const { return warnings_; }
+    bool hasErrors() const { return errors_ > 0; }
+    bool empty() const { return diags_.empty(); }
+
+    /** True when @p code was reported (any severity). */
+    bool hasCode(const std::string &code) const;
+
+    void clear();
+
+    /** Multi-line text report (one toString() line per diagnostic). */
+    std::string toString() const;
+
+    /**
+     * JSON-serializable report:
+     * {"errors": N, "warnings": N, "diagnostics": [...]}.
+     */
+    JsonValue toJson() const;
+
+    /**
+     * Raise a VerificationError carrying every collected diagnostic
+     * when at least one error was reported; otherwise a no-op.
+     */
+    void throwIfErrors() const;
+
+  private:
+    std::string pass_;
+    std::vector<Diagnostic> diags_;
+    int64_t errors_ = 0;
+    int64_t warnings_ = 0;
+};
+
+/**
+ * A failed verification: a recoverable treebeard::Error whose what()
+ * is the full text report and which carries the structured
+ * diagnostics plus the provenance of the pass that failed.
+ */
+class VerificationError : public Error
+{
+  public:
+    VerificationError(std::string pass,
+                      std::vector<Diagnostic> diagnostics);
+
+    /** The pass after which verification failed. */
+    const std::string &pass() const { return pass_; }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** True when @p code is among the carried diagnostics. */
+    bool hasCode(const std::string &code) const;
+
+  private:
+    static std::string formatMessage(
+        const std::string &pass,
+        const std::vector<Diagnostic> &diagnostics);
+
+    std::string pass_;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace treebeard::analysis
+
+#endif // TREEBEARD_ANALYSIS_DIAGNOSTICS_H

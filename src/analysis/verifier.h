@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-level IR verifiers. Each verifier inspects one abstraction level
+ * of the compilation pipeline and reports violations into a
+ * DiagnosticEngine (never throwing itself, so one run collects every
+ * problem):
+ *
+ *  - verifyForest: model structure and value ranges (delegates to
+ *    model::verifyForest).
+ *  - verifySchedule: schedule knob legality.
+ *  - verifyHir: tiling covers every base node exactly once, tiles are
+ *    connected/maximal/level-ordered with consistent exit edges, the
+ *    tree reorder is a permutation, and groups cover all positions
+ *    with pad/peel depths matching their members.
+ *  - verifyMir: loop-nest well-formedness, interleave attributes,
+ *    walk-group indices in range.
+ *  - verifyLir: the static buffer-safety analysis — proves, for all
+ *    three layouts, that every reachable tile's child indices /
+ *    childBase / leaf offsets stay in bounds, walks terminate
+ *    (childBase strictly increases), packed records never straddle
+ *    cache lines, shape-LUT lookups are total, sentinel (+inf /
+ *    leaf-marker / default-left) invariants hold, and feature indices
+ *    fit int16 where the packed layout requires it.
+ *
+ * These run after each pass when CompilerOptions::verifyEach is set
+ * (see treebeard/compiler.h) and behind `treebeard_cli verify`.
+ */
+#ifndef TREEBEARD_ANALYSIS_VERIFIER_H
+#define TREEBEARD_ANALYSIS_VERIFIER_H
+
+#include <cstdint>
+
+#include "analysis/diagnostics.h"
+#include "hir/hir_module.h"
+#include "hir/schedule.h"
+#include "lir/forest_buffers.h"
+#include "mir/mir.h"
+#include "model/forest.h"
+
+namespace treebeard::analysis {
+
+/** Model-level checks ("model.*" codes). */
+void verifyForest(const model::Forest &forest, DiagnosticEngine &diag);
+
+/** Schedule knob legality ("schedule.*" codes). */
+void verifySchedule(const hir::Schedule &schedule,
+                    DiagnosticEngine &diag);
+
+/**
+ * HIR legality ("hir.*" codes): per-tree tiling invariants
+ * (Section III-B1) plus module-level reorder/grouping invariants
+ * (Section III-F). Requires the tiling pass to have run; an untiled
+ * module reports hir.tiling.not-run.
+ */
+void verifyHir(const hir::HirModule &module, DiagnosticEngine &diag);
+
+/**
+ * MIR well-formedness ("mir.*" codes). @p num_groups is the HIR
+ * group count for walk-group range checking; pass -1 to skip the
+ * upper-bound check when the group count is unknown.
+ */
+void verifyMir(const mir::MirFunction &function, int64_t num_groups,
+               DiagnosticEngine &diag);
+
+/** The LIR buffer-safety analysis ("lir.*" codes). */
+void verifyLir(const lir::ForestBuffers &buffers,
+               DiagnosticEngine &diag);
+
+} // namespace treebeard::analysis
+
+#endif // TREEBEARD_ANALYSIS_VERIFIER_H

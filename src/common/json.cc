@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -441,7 +442,11 @@ class JsonParser
             while (is_digit())
                 ++position_;
         }
-        double value = std::stod(text_.substr(start, position_ - start));
+        // strtod saturates overflow to +/-inf instead of throwing like
+        // std::stod; the model verifier then reports the non-finite
+        // value as a diagnostic rather than an uncaught exception.
+        std::string token = text_.substr(start, position_ - start);
+        double value = std::strtod(token.c_str(), nullptr);
         return JsonValue(value);
     }
 

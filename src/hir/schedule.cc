@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/diagnostics.h"
 #include "common/json.h"
 #include "common/logging.h"
 
@@ -29,19 +30,47 @@ memoryLayoutName(MemoryLayout layout)
 }
 
 void
+Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
+{
+    using analysis::IrLevel;
+    if (tileSize < 1 || tileSize > kMaxScheduleTileSize) {
+        diag.error(IrLevel::kSchedule, "schedule.tile-size.range",
+                   "tile size " + std::to_string(tileSize) +
+                       " out of range [1, " +
+                       std::to_string(kMaxScheduleTileSize) + "]");
+    }
+    if (interleaveFactor != 1 && interleaveFactor != 2 &&
+        interleaveFactor != 4 && interleaveFactor != 8) {
+        diag.error(IrLevel::kSchedule, "schedule.interleave.factor",
+                   "interleave factor must be 1, 2, 4 or 8; got " +
+                       std::to_string(interleaveFactor));
+    }
+    if (numThreads < 1) {
+        diag.error(IrLevel::kSchedule, "schedule.threads.range",
+                   "numThreads must be at least 1");
+    }
+    // The negated comparisons also reject NaN.
+    if (!(alpha > 0.0 && alpha <= 1.0)) {
+        diag.error(IrLevel::kSchedule, "schedule.alpha.range",
+                   "alpha must be in (0, 1]");
+    }
+    if (!(beta > 0.0 && beta <= 1.0)) {
+        diag.error(IrLevel::kSchedule, "schedule.beta.range",
+                   "beta must be in (0, 1]");
+    }
+    if (padDepthSlack < 0) {
+        diag.error(IrLevel::kSchedule, "schedule.pad-slack.range",
+                   "padDepthSlack must be non-negative");
+    }
+}
+
+void
 Schedule::validate() const
 {
-    fatalIf(tileSize < 1 || tileSize > kMaxScheduleTileSize,
-            "tile size ", tileSize, " out of range [1, ",
-            kMaxScheduleTileSize, "]");
-    fatalIf(interleaveFactor != 1 && interleaveFactor != 2 &&
-                interleaveFactor != 4 && interleaveFactor != 8,
-            "interleave factor must be 1, 2, 4 or 8; got ",
-            interleaveFactor);
-    fatalIf(numThreads < 1, "numThreads must be at least 1");
-    fatalIf(alpha <= 0.0 || alpha > 1.0, "alpha must be in (0, 1]");
-    fatalIf(beta <= 0.0 || beta > 1.0, "beta must be in (0, 1]");
-    fatalIf(padDepthSlack < 0, "padDepthSlack must be non-negative");
+    analysis::DiagnosticEngine diag;
+    diag.setPass("schedule-validate");
+    verifyInto(diag);
+    diag.throwIfErrors();
 }
 
 namespace {

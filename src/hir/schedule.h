@@ -14,6 +14,10 @@
 
 #include "hir/tiling.h"
 
+namespace treebeard::analysis {
+class DiagnosticEngine;
+} // namespace treebeard::analysis
+
 namespace treebeard::hir {
 
 /** Loop-nest order over (tree, input row) pairs (Section III-E). */
@@ -96,7 +100,16 @@ struct Schedule
      */
     bool assumeNoMissingValues = false;
 
-    /** fatal() when any knob is out of range. */
+    /**
+     * Report every out-of-range knob into @p diag ("schedule.*"
+     * codes). Never throws.
+     */
+    void verifyInto(analysis::DiagnosticEngine &diag) const;
+
+    /**
+     * Throws a recoverable analysis::VerificationError (a
+     * treebeard::Error) listing every out-of-range knob.
+     */
     void validate() const;
 
     /** A compact human-readable description, for logs and tuners. */

@@ -34,6 +34,13 @@ class PassManager
   public:
     using Pass = std::function<void(T &)>;
     using Dumper = std::function<std::string(const T &)>;
+    /**
+     * Hook invoked after every pass with that pass's trace and the
+     * payload it produced. Exceptions propagate out of run(), so an
+     * instrumentation-based verifier aborts the pipeline at the first
+     * failing pass (MLIR's verify-after-every-pass discipline).
+     */
+    using Instrumentation = std::function<void(const PassTrace &, T &)>;
 
     /** Register a pass; passes run in registration order. */
     void
@@ -47,6 +54,13 @@ class PassManager
      * and --emit-ir style debugging).
      */
     void enableDumps(Dumper dumper) { dumper_ = std::move(dumper); }
+
+    /** Run @p hook after each pass (see Instrumentation). */
+    void
+    setInstrumentation(Instrumentation hook)
+    {
+        instrumentation_ = std::move(hook);
+    }
 
     /** Run all passes on @p payload, recording traces. */
     void run(T &payload);
@@ -72,6 +86,7 @@ class PassManager
 
     std::vector<NamedPass> passes_;
     Dumper dumper_;
+    Instrumentation instrumentation_;
     std::vector<PassTrace> traces_;
 };
 

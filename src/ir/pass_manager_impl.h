@@ -25,6 +25,8 @@ PassManager<T>::run(T &payload)
         if (dumper_)
             trace.dumpAfter = dumper_(payload);
         traces_.push_back(std::move(trace));
+        if (instrumentation_)
+            instrumentation_(traces_.back(), payload);
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/diagnostics.h"
 #include "common/logging.h"
 
 namespace treebeard::mir {
@@ -120,25 +121,111 @@ MirFunction::isParallel() const
     return !loops.empty();
 }
 
+namespace {
+
+using analysis::DiagnosticEngine;
+using analysis::IrLevel;
+
+void
+verifyOp(const MirOp &op, int32_t loop_depth, bool in_parallel,
+         DiagnosticEngine &diag)
+{
+    bool is_loop =
+        op.kind == OpKind::kFor || op.kind == OpKind::kParallelFor;
+    if (is_loop) {
+        if (op.inductionVar.empty() || op.lower.empty() ||
+            op.upper.empty()) {
+            diag.error(IrLevel::kMir, "mir.loop.malformed",
+                       "loop is missing an induction variable or a "
+                       "bound")
+                .atOp(opKindName(op.kind));
+        }
+        if (op.step.empty() || op.step == "0") {
+            diag.error(IrLevel::kMir, "mir.loop.step-zero",
+                       "loop has a zero (or missing) step")
+                .atOp(opKindName(op.kind));
+        }
+        if (op.kind == OpKind::kParallelFor && in_parallel) {
+            diag.error(IrLevel::kMir, "mir.parallel.nested",
+                       "parallel loop nested inside another parallel "
+                       "loop")
+                .atOp(opKindName(op.kind));
+        }
+    }
+    if (op.kind == OpKind::kWalkGroup) {
+        if (op.groupIndex < 0) {
+            diag.error(IrLevel::kMir, "mir.walk.group-range",
+                       "walk op without a group")
+                .atOp(opKindName(op.kind));
+        }
+        if (op.interleave < 1) {
+            diag.error(IrLevel::kMir, "mir.walk.interleave",
+                       "walk op with interleave < 1")
+                .atOp(opKindName(op.kind))
+                .atGroup(op.groupIndex);
+        }
+        if (op.interleave > 1 &&
+            op.interleaveAxis == InterleaveAxis::kNone) {
+            diag.error(IrLevel::kMir, "mir.walk.interleave-axis",
+                       "interleaved walk without an axis")
+                .atOp(opKindName(op.kind))
+                .atGroup(op.groupIndex);
+        }
+        if (op.unrolled && op.walkDepth < 1) {
+            diag.error(IrLevel::kMir, "mir.walk.unroll-depth",
+                       "unrolled walk with depth < 1")
+                .atOp(opKindName(op.kind))
+                .atGroup(op.groupIndex);
+        }
+        if (op.peelDepth < 0) {
+            diag.error(IrLevel::kMir, "mir.walk.peel-depth",
+                       "walk op with negative peel depth")
+                .atOp(opKindName(op.kind))
+                .atGroup(op.groupIndex);
+        }
+        if (loop_depth == 0) {
+            diag.error(IrLevel::kMir, "mir.walk.no-loop",
+                       "walk op outside any loop (no row to walk)")
+                .atOp(opKindName(op.kind))
+                .atGroup(op.groupIndex);
+        }
+    }
+    for (const MirOp &child : op.children) {
+        verifyOp(child, loop_depth + (is_loop ? 1 : 0),
+                 in_parallel || op.kind == OpKind::kParallelFor, diag);
+    }
+}
+
+} // namespace
+
+void
+MirFunction::verifyInto(analysis::DiagnosticEngine &diag) const
+{
+    if (body.kind != OpKind::kFunction) {
+        diag.error(IrLevel::kMir, "mir.function.root",
+                   "MIR function body must be a kFunction op")
+            .atOp(opKindName(body.kind));
+        return;
+    }
+    verifyOp(body, 0, false, diag);
+    std::vector<const MirOp *> walks = walkOps();
+    if (walks.empty())
+        diag.error(IrLevel::kMir, "mir.walk.none",
+                   "MIR function has no walk ops");
+    std::vector<const MirOp *> outputs;
+    body.collect(OpKind::kWriteOutput, outputs);
+    if (outputs.empty())
+        diag.error(IrLevel::kMir, "mir.output.missing",
+                   "MIR function never writes its output");
+}
+
 void
 MirFunction::verify() const
 {
-    fatalIf(body.kind != OpKind::kFunction,
-            "MIR function body must be a kFunction op");
-    std::vector<const MirOp *> walks = walkOps();
-    fatalIf(walks.empty(), "MIR function has no walk ops");
-    for (const MirOp *walk : walks) {
-        fatalIf(walk->groupIndex < 0, "walk op without a group");
-        fatalIf(walk->interleave < 1, "walk op with interleave < 1");
-        fatalIf(walk->interleave > 1 &&
-                    walk->interleaveAxis == InterleaveAxis::kNone,
-                "interleaved walk without an axis");
-        fatalIf(walk->unrolled && walk->walkDepth < 1,
-                "unrolled walk with depth < 1");
-    }
-    std::vector<const MirOp *> outputs;
-    body.collect(OpKind::kWriteOutput, outputs);
-    fatalIf(outputs.empty(), "MIR function never writes its output");
+    analysis::DiagnosticEngine diag;
+    diag.setPass("mir-verify");
+    verifyInto(diag);
+    diag.throwIfErrors();
 }
 
 } // namespace treebeard::mir

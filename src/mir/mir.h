@@ -21,6 +21,10 @@
 
 #include "hir/schedule.h"
 
+namespace treebeard::analysis {
+class DiagnosticEngine;
+} // namespace treebeard::analysis
+
 namespace treebeard::mir {
 
 /** Operation kinds of the mid-level IR. */
@@ -111,7 +115,18 @@ struct MirFunction
     /** True when the row loop is parallelized. */
     bool isParallel() const;
 
-    /** Structural sanity checks; fatal() on violation. */
+    /**
+     * Report structural violations (loop-nest well-formedness, walk
+     * attribute ranges, missing output) into @p diag. Never throws;
+     * codes are "mir.*".
+     */
+    void verifyInto(analysis::DiagnosticEngine &diag) const;
+
+    /**
+     * Structural sanity checks; throws a recoverable
+     * analysis::VerificationError (a treebeard::Error) listing every
+     * violation with pass provenance "mir-verify".
+     */
     void verify() const;
 };
 

@@ -2,7 +2,9 @@
 
 #include <string>
 
+#include "analysis/diagnostics.h"
 #include "common/logging.h"
+#include "model/verifier.h"
 
 namespace treebeard::model {
 
@@ -34,9 +36,19 @@ treeToJson(const DecisionTree &tree)
     return JsonValue(std::move(object));
 }
 
+/**
+ * Deserialize one tree, substituting placeholder leaves for nodes the
+ * strict builder API would reject (negative feature index, bad root)
+ * so that loading keeps going and @p diag accumulates every defect in
+ * the file instead of stopping at the first one. The substitutions are
+ * reported into @p diag; verifyForest() later covers everything a
+ * placeholder cannot hide (bad children, non-finite values, topology).
+ */
 DecisionTree
-treeFromJson(const JsonValue &value)
+treeFromJson(const JsonValue &value, int64_t tree_id,
+             analysis::DiagnosticEngine &diag)
 {
+    using analysis::IrLevel;
     const auto &thresholds = value.at("threshold").asArray();
     const auto &features = value.at("feature").asArray();
     const auto &lefts = value.at("left").asArray();
@@ -49,6 +61,9 @@ treeFromJson(const JsonValue &value)
 
     JsonValue absent;
     const JsonValue &default_lefts = value.getOr("default_left", absent);
+    fatalIf(default_lefts.isArray() &&
+                default_lefts.asArray().size() != count,
+            "default_left array length does not match the tree");
 
     DecisionTree tree;
     for (size_t i = 0; i < count; ++i) {
@@ -56,6 +71,13 @@ treeFromJson(const JsonValue &value)
         if (feature == kLeafFeature) {
             tree.addLeaf(static_cast<float>(thresholds[i].asNumber()),
                          hits[i].asNumber());
+        } else if (feature < 0) {
+            diag.error(IrLevel::kModel, "model.feature.negative",
+                       "internal node has negative feature index " +
+                           std::to_string(feature))
+                .atTree(tree_id)
+                .atSlot(static_cast<int32_t>(i));
+            tree.addLeaf(0.0f, hits[i].asNumber());
         } else {
             NodeIndex index = tree.addInternal(
                 feature, static_cast<float>(thresholds[i].asNumber()),
@@ -68,7 +90,18 @@ treeFromJson(const JsonValue &value)
             }
         }
     }
-    tree.setRoot(static_cast<NodeIndex>(value.at("root").asInt()));
+    NodeIndex root = static_cast<NodeIndex>(value.at("root").asInt());
+    if (root < 0 || root >= tree.numNodes()) {
+        diag.error(IrLevel::kModel, "model.root.range",
+                   "root index " + std::to_string(root) +
+                       " out of range for " +
+                       std::to_string(tree.numNodes()) + " nodes")
+            .atTree(tree_id);
+        if (tree.numNodes() > 0)
+            tree.setRoot(0);
+    } else {
+        tree.setRoot(root);
+    }
     return tree;
 }
 
@@ -109,9 +142,13 @@ forestFromJson(const JsonValue &document)
     JsonValue one(static_cast<int64_t>(1));
     forest.setNumClasses(
         static_cast<int32_t>(document.getOr("num_classes", one).asInt()));
+    analysis::DiagnosticEngine diag;
+    diag.setPass("model-load");
+    int64_t tree_id = 0;
     for (const JsonValue &tree : document.at("trees").asArray())
-        forest.addTree(treeFromJson(tree));
-    forest.validate();
+        forest.addTree(treeFromJson(tree, tree_id++, diag));
+    verifyForest(forest, diag);
+    diag.throwIfErrors();
     return forest;
 }
 
@@ -167,6 +204,9 @@ importXgboostJson(const JsonValue &document)
     }
 
     Forest forest(num_features, objective, base_score);
+    analysis::DiagnosticEngine diag;
+    diag.setPass("model-load");
+    int64_t tree_id = 0;
     for (const JsonValue &tree_json : model.at("trees").asArray()) {
         const auto &split_indices = tree_json.at("split_indices").asArray();
         const auto &split_conditions =
@@ -198,10 +238,17 @@ importXgboostJson(const JsonValue &document)
                 // XGBoost leaves store the value in base_weights.
                 tree.addLeaf(
                     static_cast<float>(base_weights[i].asNumber()), hits);
+            } else if (split_indices[i].asInt() < 0) {
+                diag.error(analysis::IrLevel::kModel,
+                           "model.feature.negative",
+                           "internal node has negative split index " +
+                               std::to_string(split_indices[i].asInt()))
+                    .atTree(tree_id)
+                    .atSlot(static_cast<int32_t>(i));
+                tree.addLeaf(0.0f, hits);
             } else {
                 int32_t feature =
                     static_cast<int32_t>(split_indices[i].asInt());
-                fatalIf(feature < 0, "invalid split index in XGBoost model");
                 num_features =
                     std::max(num_features, feature + 1);
                 NodeIndex index = tree.addInternal(
@@ -217,11 +264,19 @@ importXgboostJson(const JsonValue &document)
                 }
             }
         }
-        tree.setRoot(0);
+        if (tree.numNodes() > 0) {
+            tree.setRoot(0);
+        } else {
+            diag.error(analysis::IrLevel::kModel, "model.tree.empty",
+                       "XGBoost tree has no nodes")
+                .atTree(tree_id);
+        }
         forest.addTree(std::move(tree));
+        ++tree_id;
     }
     forest.setNumFeatures(std::max(forest.numFeatures(), num_features));
-    forest.validate();
+    verifyForest(forest, diag);
+    diag.throwIfErrors();
     return forest;
 }
 

@@ -1,0 +1,170 @@
+#include "model/verifier.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace treebeard::model {
+
+using analysis::DiagnosticEngine;
+using analysis::IrLevel;
+
+void
+verifyTree(const DecisionTree &tree, int32_t num_features,
+           int64_t tree_id, DiagnosticEngine &diag)
+{
+    if (tree.empty()) {
+        diag.error(IrLevel::kModel, "model.tree.empty",
+                   "tree has no nodes")
+            .atTree(tree_id);
+        return;
+    }
+    NodeIndex root = tree.root();
+    if (root < 0 || root >= tree.numNodes()) {
+        diag.error(IrLevel::kModel, "model.root.range",
+                   "root index " + std::to_string(root) +
+                       " out of range [0, " +
+                       std::to_string(tree.numNodes()) + ")")
+            .atTree(tree_id);
+        return;
+    }
+
+    bool links_intact = true;
+    std::vector<int32_t> in_degree(
+        static_cast<size_t>(tree.numNodes()), 0);
+    for (NodeIndex i = 0; i < tree.numNodes(); ++i) {
+        const Node &n = tree.node(i);
+        if (n.isLeaf()) {
+            if (n.left != kInvalidNode || n.right != kInvalidNode) {
+                diag.error(IrLevel::kModel, "model.leaf.children",
+                           "leaf node " + std::to_string(i) +
+                               " has children")
+                    .atTree(tree_id)
+                    .atSlot(i);
+                links_intact = false;
+            }
+            if (!std::isfinite(n.threshold)) {
+                diag.error(IrLevel::kModel, "model.leaf.non-finite",
+                           "leaf node " + std::to_string(i) +
+                               " carries a non-finite value")
+                    .atTree(tree_id)
+                    .atSlot(i);
+            }
+            continue;
+        }
+        if (n.featureIndex < 0) {
+            diag.error(IrLevel::kModel, "model.feature.negative",
+                       "internal node " + std::to_string(i) +
+                           " has negative feature index " +
+                           std::to_string(n.featureIndex))
+                .atTree(tree_id)
+                .atSlot(i);
+        } else if (n.featureIndex >= num_features) {
+            diag.error(IrLevel::kModel, "model.feature.out-of-range",
+                       "node " + std::to_string(i) +
+                           " references feature " +
+                           std::to_string(n.featureIndex) +
+                           " but the model has only " +
+                           std::to_string(num_features) + " features")
+                .atTree(tree_id)
+                .atSlot(i);
+        }
+        if (!std::isfinite(n.threshold)) {
+            diag.error(IrLevel::kModel, "model.threshold.non-finite",
+                       "internal node " + std::to_string(i) +
+                           " has a non-finite threshold")
+                .atTree(tree_id)
+                .atSlot(i);
+        }
+        if (n.left == kInvalidNode || n.right == kInvalidNode) {
+            diag.error(IrLevel::kModel, "model.child.missing",
+                       "internal node " + std::to_string(i) +
+                           " is missing a child")
+                .atTree(tree_id)
+                .atSlot(i);
+            links_intact = false;
+            continue;
+        }
+        if (n.left < 0 || n.left >= tree.numNodes() || n.right < 0 ||
+            n.right >= tree.numNodes()) {
+            diag.error(IrLevel::kModel, "model.child.out-of-range",
+                       "node " + std::to_string(i) +
+                           " has a child index out of range [0, " +
+                           std::to_string(tree.numNodes()) + ")")
+                .atTree(tree_id)
+                .atSlot(i);
+            links_intact = false;
+            continue;
+        }
+        if (n.left == i || n.right == i) {
+            diag.error(IrLevel::kModel, "model.child.self",
+                       "node " + std::to_string(i) +
+                           " is its own child")
+                .atTree(tree_id)
+                .atSlot(i);
+            links_intact = false;
+            continue;
+        }
+        ++in_degree[static_cast<size_t>(n.left)];
+        ++in_degree[static_cast<size_t>(n.right)];
+    }
+
+    // Topology checks (single parent, reachability) only make sense
+    // when every link landed in range.
+    if (!links_intact)
+        return;
+
+    if (in_degree[static_cast<size_t>(root)] != 0) {
+        diag.error(IrLevel::kModel, "model.root.parent",
+                   "root node has a parent")
+            .atTree(tree_id)
+            .atSlot(root);
+    }
+    for (NodeIndex i = 0; i < tree.numNodes(); ++i) {
+        if (i == root)
+            continue;
+        if (in_degree[static_cast<size_t>(i)] == 0) {
+            diag.error(IrLevel::kModel, "model.node.unreachable",
+                       "node " + std::to_string(i) +
+                           " is unreachable (no parent)")
+                .atTree(tree_id)
+                .atSlot(i);
+        } else if (in_degree[static_cast<size_t>(i)] > 1) {
+            diag.error(IrLevel::kModel, "model.node.shared",
+                       "node " + std::to_string(i) +
+                           " has multiple parents")
+                .atTree(tree_id)
+                .atSlot(i);
+        }
+    }
+}
+
+void
+verifyForest(const Forest &forest, DiagnosticEngine &diag)
+{
+    if (forest.numFeatures() <= 0)
+        diag.error(IrLevel::kModel, "model.features.none",
+                   "forest has no features");
+    if (forest.numTrees() == 0)
+        diag.error(IrLevel::kModel, "model.trees.none",
+                   "forest has no trees");
+    if (forest.numClasses() > 1 &&
+        forest.objective() != Objective::kMulticlassSoftmax) {
+        diag.error(IrLevel::kModel, "model.objective.classes",
+                   "multi-class forests require the "
+                   "multiclass_softmax objective");
+    }
+    if (forest.objective() == Objective::kMulticlassSoftmax &&
+        forest.numClasses() < 2) {
+        diag.error(IrLevel::kModel, "model.objective.classes",
+                   "the multiclass_softmax objective needs "
+                   "numClasses >= 2");
+    }
+    if (!std::isfinite(forest.baseScore()))
+        diag.error(IrLevel::kModel, "model.threshold.non-finite",
+                   "forest base score is non-finite");
+    for (int64_t i = 0; i < forest.numTrees(); ++i)
+        verifyTree(forest.tree(i), forest.numFeatures(), i, diag);
+}
+
+} // namespace treebeard::model

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Model-level structural and value-range verification with structured
+ * diagnostics. This is the diagnostic-engine counterpart of
+ * Forest::validate(): instead of throwing on the first violation, it
+ * reports every problem it finds (out-of-range child indices,
+ * non-finite thresholds, negative feature indices, orphaned or shared
+ * nodes, objective/class mismatches) into a DiagnosticEngine.
+ *
+ * Lives in the model library (not src/analysis) so deserialization can
+ * run it at load time; analysis::verifyForest delegates here.
+ */
+#ifndef TREEBEARD_MODEL_VERIFIER_H
+#define TREEBEARD_MODEL_VERIFIER_H
+
+#include "analysis/diagnostics.h"
+#include "model/forest.h"
+
+namespace treebeard::model {
+
+/**
+ * Verify one tree; diagnostics are located at tree @p tree_id.
+ * Reports but never throws.
+ */
+void verifyTree(const DecisionTree &tree, int32_t num_features,
+                int64_t tree_id, analysis::DiagnosticEngine &diag);
+
+/** Verify @p forest (all trees + forest-level consistency). */
+void verifyForest(const Forest &forest,
+                  analysis::DiagnosticEngine &diag);
+
+} // namespace treebeard::model
+
+#endif // TREEBEARD_MODEL_VERIFIER_H

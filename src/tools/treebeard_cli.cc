@@ -12,22 +12,31 @@
  *   treebeard predict <model.json> <input.csv> [out.csv] [flags]
  *   treebeard bench   <model.json> [batch] [flags]
  *   treebeard tune    <model.json> [sample-rows] [tune flags]
+ *   treebeard verify  <model.json> [schedule.json] [flags] [--json]
  *
  * Schedule flags: --tile N --interleave N --threads N
  *   --order tree|row --layout sparse|array|packed
  *   --tiling basic|probability|hybrid|min-max-depth
- *   --no-unroll --no-peel
+ *   --no-unroll --no-peel --verify-each
  *
  * Backend flags (compile/predict/bench): --backend kernel|jit
  *   --jit-cache-dir DIR (persist jit-compiled objects across runs)
  *
  * Tune flags: --backend kernel|jit|both --jit-cache-dir DIR
+ *
+ * verify loads the model and schedule (from a schedule JSON file or
+ * from schedule flags), runs every IR-level verifier after every
+ * compiler pass, and prints the diagnostic report as text or, with
+ * --json, as a machine-readable JSON document. Exit status 0 means no
+ * errors (warnings allowed), 1 means at least one error.
  */
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
@@ -45,7 +54,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: treebeard <stats|synth|compile|predict|bench|"
-                 "tune> ... (see the file header for details)\n");
+                 "tune|verify> ... (see the file header for details)\n");
     std::exit(2);
 }
 
@@ -116,6 +125,9 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
         } else if (arg == "--jit-cache-dir" &&
                    compiler_options != nullptr) {
             compiler_options->jit.cacheDir = next();
+        } else if (arg == "--verify-each" &&
+                   compiler_options != nullptr) {
+            compiler_options->verifyEach = true;
         } else if (arg == "--dump-ir" && dump_ir != nullptr) {
             *dump_ir = true;
         } else {
@@ -280,6 +292,82 @@ commandBench(const std::string &path, int64_t batch,
     return 0;
 }
 
+/**
+ * Static verification without execution: load the model and schedule,
+ * run the full compilation pipeline with after-every-pass
+ * verification, and print every diagnostic collected along the way.
+ * Loading failures are folded into the same report, so a corrupt
+ * model file yields its structured model.* diagnostics rather than a
+ * bare error message.
+ */
+int
+commandVerify(const std::string &model_path,
+              const std::string &schedule_path,
+              const std::vector<std::string> &flags)
+{
+    bool json_report = false;
+    std::vector<std::string> schedule_flags;
+    for (const std::string &arg : flags) {
+        if (arg == "--json")
+            json_report = true;
+        else
+            schedule_flags.push_back(arg);
+    }
+
+    analysis::DiagnosticEngine report;
+    std::optional<model::Forest> forest;
+    try {
+        forest = model::loadForest(model_path);
+    } catch (const analysis::VerificationError &error) {
+        for (const analysis::Diagnostic &d : error.diagnostics())
+            report.add(d);
+    }
+
+    CompilerOptions options;
+    std::optional<hir::Schedule> schedule;
+    try {
+        if (!schedule_path.empty()) {
+            schedule = hir::scheduleFromJsonString(
+                readFileToString(schedule_path));
+        } else {
+            schedule = parseSchedule(schedule_flags, nullptr, &options);
+            schedule->validate();
+        }
+    } catch (const analysis::VerificationError &error) {
+        for (const analysis::Diagnostic &d : error.diagnostics())
+            report.add(d);
+    }
+
+    if (forest.has_value() && schedule.has_value()) {
+        options.verifyEach = true;
+        try {
+            Session session = compile(*forest, *schedule, options);
+            for (const analysis::Diagnostic &d :
+                 session.artifacts().diagnostics)
+                report.add(d);
+        } catch (const analysis::VerificationError &error) {
+            for (const analysis::Diagnostic &d : error.diagnostics())
+                report.add(d);
+        }
+    }
+
+    if (json_report) {
+        std::printf("%s\n", report.toJson().dumpPretty().c_str());
+    } else if (report.empty()) {
+        std::printf("ok: %s verifies cleanly under schedule: %s\n",
+                    model_path.c_str(),
+                    schedule.has_value()
+                        ? schedule->toString().c_str()
+                        : "(invalid)");
+    } else {
+        std::printf("%s", report.toString().c_str());
+        std::printf("%lld error(s), %lld warning(s)\n",
+                    static_cast<long long>(report.errorCount()),
+                    static_cast<long long>(report.warningCount()));
+    }
+    return report.hasErrors() ? 1 : 0;
+}
+
 int
 commandTune(const std::string &path, int64_t sample_rows,
             const std::vector<std::string> &flags)
@@ -375,6 +463,16 @@ main(int argc, char **argv)
                 flags.erase(flags.begin());
             }
             return commandBench(args[0], batch, flags);
+        }
+        if (command == "verify" && !args.empty()) {
+            std::string schedule_path;
+            std::vector<std::string> flags(args.begin() + 1,
+                                           args.end());
+            if (!flags.empty() && flags[0].rfind("--", 0) != 0) {
+                schedule_path = flags[0];
+                flags.erase(flags.begin());
+            }
+            return commandVerify(args[0], schedule_path, flags);
         }
         if (command == "tune" && !args.empty()) {
             int64_t sample = 512;

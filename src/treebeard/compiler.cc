@@ -1,5 +1,6 @@
 #include "treebeard/compiler.h"
 
+#include "analysis/verifier.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "lir/layout_builder.h"
@@ -17,7 +18,32 @@ struct PipelineState
     mir::MirFunction mir;
     lir::ForestBuffers buffers;
     bool mirLowered = false;
+    bool lirBuilt = false;
 };
+
+/**
+ * Verify every IR level that exists at this point of the pipeline,
+ * attributing failures to @p pass. Used both by the fixed verify
+ * passes (verifyPasses) and the after-each-pass instrumentation
+ * (verifyEach).
+ */
+void
+verifyPipelineState(const PipelineState &state, const std::string &pass,
+                    analysis::DiagnosticEngine &diag)
+{
+    diag.setPass(pass);
+    analysis::verifyForest(state.hir->forest(), diag);
+    analysis::verifySchedule(state.hir->schedule(), diag);
+    if (state.hir->isTiled())
+        analysis::verifyHir(*state.hir, diag);
+    if (state.mirLowered) {
+        analysis::verifyMir(
+            state.mir,
+            static_cast<int64_t>(state.hir->groups().size()), diag);
+    }
+    if (state.lirBuilt)
+        analysis::verifyLir(state.buffers, diag);
+}
 
 } // namespace
 
@@ -113,27 +139,44 @@ Session
 compile(const model::Forest &forest, const hir::Schedule &schedule,
         const CompilerOptions &options)
 {
-    schedule.validate();
+    // Pre-compile verification: reject bad models/schedules with the
+    // full diagnostic report instead of the first fatal().
+    {
+        analysis::DiagnosticEngine diag;
+        diag.setPass("pre-compile");
+        analysis::verifySchedule(schedule, diag);
+        analysis::verifyForest(forest, diag);
+        diag.throwIfErrors();
+    }
     Timer total_timer;
 
     PipelineState state;
     state.hir = std::make_unique<hir::HirModule>(forest, schedule);
 
+    // With verifyEach, the instrumentation hook below already verifies
+    // after every pass; the fixed verify passes would be redundant.
+    bool fixed_verify_passes =
+        options.verifyPasses && !options.verifyEach;
+
     ir::PassManager<PipelineState> pm;
     pm.addPass("hir-tiling", [](PipelineState &s) {
         s.hir->runTilingPass();
     });
-    if (options.verifyPasses) {
+    if (fixed_verify_passes) {
         pm.addPass("hir-verify-tiling", [](PipelineState &s) {
-            s.hir->validateTiling();
+            analysis::DiagnosticEngine diag;
+            verifyPipelineState(s, "hir-verify-tiling", diag);
+            diag.throwIfErrors();
         });
     }
     pm.addPass("hir-reorder-trees", [](PipelineState &s) {
         s.hir->runReorderPass();
     });
-    if (options.verifyPasses) {
+    if (fixed_verify_passes) {
         pm.addPass("hir-verify-reorder", [](PipelineState &s) {
-            s.hir->validateTiling();
+            analysis::DiagnosticEngine diag;
+            verifyPipelineState(s, "hir-verify-reorder", diag);
+            diag.throwIfErrors();
         });
     }
     pm.addPass("lower-to-mir", [](PipelineState &s) {
@@ -150,14 +193,31 @@ compile(const model::Forest &forest, const hir::Schedule &schedule,
     pm.addPass("mir-parallelize", [](PipelineState &s) {
         mir::applyParallelization(s.mir, s.mir.schedule.numThreads);
     });
-    if (options.verifyPasses) {
+    if (fixed_verify_passes) {
         pm.addPass("mir-verify", [](PipelineState &s) {
-            s.mir.verify();
+            analysis::DiagnosticEngine diag;
+            verifyPipelineState(s, "mir-verify", diag);
+            diag.throwIfErrors();
         });
     }
     pm.addPass("lower-to-lir", [](PipelineState &s) {
         s.buffers = lir::buildForestBuffers(*s.hir);
+        s.lirBuilt = true;
     });
+
+    analysis::DiagnosticEngine each_pass_diags;
+    if (options.verifyEach) {
+        pm.setInstrumentation([&each_pass_diags](
+                                  const ir::PassTrace &trace,
+                                  PipelineState &s) {
+            analysis::DiagnosticEngine diag;
+            verifyPipelineState(s, trace.name, diag);
+            diag.throwIfErrors();
+            // Errors threw above; keep notes/warnings for the report.
+            for (const analysis::Diagnostic &d : diag.diagnostics())
+                each_pass_diags.add(d);
+        });
+    }
 
     if (options.recordIrDumps) {
         pm.enableDumps([](const PipelineState &s) {
@@ -174,6 +234,7 @@ compile(const model::Forest &forest, const hir::Schedule &schedule,
     artifacts.passTraces = pm.traces();
     artifacts.lirSummary = state.buffers.summary();
     artifacts.backend = options.backend;
+    artifacts.diagnostics = each_pass_diags.diagnostics();
     if (options.recordIrDumps) {
         artifacts.hirDump = state.hir->dump();
         artifacts.mirDump = state.mir.print();

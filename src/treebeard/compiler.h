@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "codegen/cpp_emitter.h"
 #include "common/thread_pool.h"
 #include "hir/schedule.h"
@@ -68,6 +69,18 @@ struct CompilerOptions
     bool recordIrDumps = false;
     /** Validate tilings and IR invariants after each stage. */
     bool verifyPasses = true;
+    /**
+     * Run every level's verifier (model, schedule, HIR, MIR, LIR —
+     * including the static LIR buffer-safety analysis) after *every*
+     * pass, via PassManager instrumentation. Stricter and slower than
+     * verifyPasses (which verifies at a few fixed points); intended
+     * for debugging, CI, and `treebeard_cli verify`. Verification is
+     * compile-time only — Session::predict is unaffected. Failures
+     * throw analysis::VerificationError naming the pass that broke
+     * the IR; non-error diagnostics are retained in
+     * CompilationArtifacts::diagnostics.
+     */
+    bool verifyEach = false;
     /** The lowering target (see Backend). */
     Backend backend = Backend::kKernel;
     /**
@@ -89,6 +102,12 @@ struct CompilationArtifacts
     std::string mirDump;
     /** LIR buffer summary (always available). */
     std::string lirSummary;
+    /**
+     * Non-error diagnostics collected by the after-each-pass
+     * verifiers (empty unless CompilerOptions::verifyEach; a clean
+     * compile stays empty).
+     */
+    std::vector<analysis::Diagnostic> diagnostics;
     double totalSeconds = 0.0;
     /** The backend this compilation lowered to. */
     Backend backend = Backend::kKernel;

@@ -208,5 +208,85 @@ TEST(Cli, JitCacheDirRoundTripAcrossProcesses)
               std::string::npos);
 }
 
+TEST(Cli, VerifyAcceptsCleanModel)
+{
+    std::string model = tempPath("cli_verify_ok.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 5", output), 0);
+
+    EXPECT_EQ(runCli("verify " + model, output), 0) << output;
+    EXPECT_NE(output.find("verifies cleanly"), std::string::npos);
+
+    // Layout/tile flags select the pipeline being verified.
+    EXPECT_EQ(runCli("verify " + model + " --tile 3 --layout packed",
+                     output),
+              0)
+        << output;
+}
+
+TEST(Cli, VerifyReportsModelDefectsWithCodes)
+{
+    std::string model = tempPath("cli_verify_bad.json");
+    writeStringToFile(
+        model,
+        "{\"format\":\"treebeard\",\"version\":1,\"num_features\":3,"
+        "\"objective\":\"regression\",\"base_score\":0,"
+        "\"num_classes\":1,\"trees\":[{\"root\":0,"
+        "\"threshold\":[0.5,1.0,2.0],\"feature\":[-4,-1,-1],"
+        "\"left\":[1,-1,-1],\"right\":[2,-1,-1],"
+        "\"hit_count\":[1,1,1]}]}");
+    std::string output;
+    EXPECT_EQ(runCli("verify " + model, output), 1) << output;
+    EXPECT_NE(output.find("model.feature.negative"),
+              std::string::npos)
+        << output;
+    EXPECT_NE(output.find("model-load"), std::string::npos) << output;
+}
+
+TEST(Cli, VerifyEmitsJsonReport)
+{
+    std::string model = tempPath("cli_verify_json.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 3", output), 0);
+
+    EXPECT_EQ(runCli("verify " + model + " --json", output), 0)
+        << output;
+    JsonValue report = JsonValue::parse(output);
+    EXPECT_EQ(report.at("errors").asInt(), 0);
+    EXPECT_EQ(report.at("diagnostics").asArray().size(), 0u);
+}
+
+TEST(Cli, VerifyChecksScheduleJsonFile)
+{
+    std::string model = tempPath("cli_verify_m.json");
+    std::string schedule = tempPath("cli_verify_s.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 3", output), 0);
+    writeStringToFile(
+        schedule,
+        "{\"loop_order\":\"one-tree-at-a-time\",\"tile_size\":42,"
+        "\"tiling\":\"hybrid\",\"alpha\":0.075,\"beta\":0.9,"
+        "\"pad_and_unroll\":true,\"peel\":true,"
+        "\"pad_depth_slack\":2,\"interleave\":1,"
+        "\"layout\":\"sparse\",\"threads\":1}");
+    EXPECT_EQ(runCli("verify " + model + " " + schedule, output), 1)
+        << output;
+    EXPECT_NE(output.find("schedule.tile-size.range"),
+              std::string::npos)
+        << output;
+}
+
+TEST(Cli, CompileAcceptsVerifyEachFlag)
+{
+    std::string model = tempPath("cli_verify_each.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth airline " + model + " 5", output), 0);
+    ASSERT_EQ(runCli("compile " + model + " --tile 4 --verify-each",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("compiled in"), std::string::npos);
+}
+
 } // namespace
 } // namespace treebeard

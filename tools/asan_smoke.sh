@@ -1,25 +1,10 @@
 #!/usr/bin/env bash
-# ASan smoke run: configure a sanitized build tree and drive the tests
-# most likely to catch memory bugs — the source-JIT/codegen path (temp
-# dirs, dlopen lifetimes, the disk cache) and the packed tile layout
-# (hand-computed record offsets), plus the cross-backend parity suite.
+# ASan smoke run — kept as a thin wrapper now that the full sanitizer
+# matrix lives in tools/sanitize_matrix.sh. Runs the address-sanitized
+# leg only, which remains the quickest way to catch memory bugs on the
+# source-JIT/codegen path and the packed tile layout.
 #
-# Usage: tools/asan_smoke.sh [build-dir]   (default: build-asan)
+# Usage: tools/asan_smoke.sh
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
-
-cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DTREEBEARD_SANITIZE=address
-cmake --build "$BUILD_DIR" -j \
-    --target codegen_test packed_layout_test backend_parity_test
-
-# detect_leaks needs ptrace; keep the smoke usable in containers.
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
-
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'SystemJit|CppEmitter|PackedLayout|BackendParity|UnifiedSession'
-
-echo "asan smoke: OK"
+exec "$(dirname "$0")/sanitize_matrix.sh" address

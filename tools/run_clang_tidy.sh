@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run clang-tidy (checks come from the repo-root .clang-tidy: the
+# bugprone-* and performance-* families) over the library and tool
+# sources, using a compile_commands.json exported from a dedicated
+# build tree.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-args...]
+#   build-dir defaults to build-tidy. Extra arguments are forwarded to
+#   clang-tidy (e.g. --fix, -checks=...).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+shift || true
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "clang-tidy not found on PATH; skipping" >&2
+    exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+
+# Library and tool translation units only; tests and benches are
+# covered by the compiler warnings they already build with.
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+
+echo "clang-tidy over ${#SOURCES[@]} files (build dir: $BUILD_DIR)"
+clang-tidy -p "$BUILD_DIR" --quiet "$@" "${SOURCES[@]}"
+
+echo "clang-tidy: OK"

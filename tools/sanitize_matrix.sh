@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Sanitizer matrix: configure one build tree per requested sanitizer
+# and drive the test selection most likely to catch the corresponding
+# bug class — memory errors on the source-JIT/codegen path (temp dirs,
+# dlopen lifetimes, the disk cache), the packed tile layout
+# (hand-computed record offsets), the verifier mutation corpus (which
+# deliberately corrupts buffers), and data races in the parallel
+# walkers.
+#
+# Usage: tools/sanitize_matrix.sh [sanitizer...]
+#   sanitizer: address | undefined | thread   (default: all three)
+#
+# Each sanitizer builds into build-<sanitizer>/. A test filter can be
+# overridden via TREEBEARD_SANITIZE_TESTS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+    SANITIZERS=(address undefined thread)
+fi
+
+DEFAULT_FILTER='SystemJit|CppEmitter|PackedLayout|BackendParity|UnifiedSession'
+# The verifier corpus mutates live buffers; run it under every
+# sanitizer to prove the analysis itself never reads out of bounds.
+DEFAULT_FILTER="$DEFAULT_FILTER"'|LirVerifier|HirVerifier|MirVerifier|ModelLoadVerifier|VerifyEach'
+FILTER="${TREEBEARD_SANITIZE_TESTS:-$DEFAULT_FILTER}"
+
+TARGETS=(codegen_test packed_layout_test backend_parity_test
+         verifier_test)
+
+for sanitizer in "${SANITIZERS[@]}"; do
+    case "$sanitizer" in
+    address | undefined | thread) ;;
+    *)
+        echo "unknown sanitizer: $sanitizer" >&2
+        echo "expected address, undefined or thread" >&2
+        exit 2
+        ;;
+    esac
+done
+
+for sanitizer in "${SANITIZERS[@]}"; do
+    build_dir="build-${sanitizer}"
+    echo "=== sanitize: $sanitizer ($build_dir) ==="
+
+    cmake -B "$build_dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTREEBEARD_SANITIZE="$sanitizer"
+    cmake --build "$build_dir" -j --target "${TARGETS[@]}"
+
+    # detect_leaks needs ptrace; keep the run usable in containers.
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+    # abort on the first UB report instead of printing and continuing.
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
+
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        -R "$FILTER"
+
+    echo "=== sanitize: $sanitizer OK ==="
+done
+
+echo "sanitize matrix: OK (${SANITIZERS[*]})"
