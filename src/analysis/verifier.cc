@@ -426,10 +426,18 @@ checkTileRecord(const ForestBuffers &buffers, int64_t tile,
     result.ok = true;
     const TileShape &shape = shapes.shape(fields.shapeId);
     constexpr float inf = std::numeric_limits<float>::infinity();
+    bool quantized =
+        buffers.layout == lir::LayoutKind::kPackedQuantized;
 
+    // In the quantized layout +inf narrows to the kQuantizedNaN
+    // sentinel (no quantized row value ever compares less than it).
     bool all_inf = true;
-    for (int32_t slot = 0; slot < buffers.tileSize; ++slot)
-        all_inf = all_inf && fields.thresholds[slot] == inf;
+    for (int32_t slot = 0; slot < buffers.tileSize; ++slot) {
+        all_inf =
+            all_inf &&
+            (quantized ? fields.qthresholds[slot] == lir::kQuantizedNaN
+                       : fields.thresholds[slot] == inf);
+    }
     result.deterministic =
         all_inf && fields.shapeId == shapes.leftChainShapeId();
 
@@ -453,8 +461,18 @@ checkTileRecord(const ForestBuffers &buffers, int64_t tile,
     // predicates: thresholds finite, features in range. Slots past
     // numNodes are LUT don't-cares.
     for (int32_t slot = 0; slot < shape.numNodes(); ++slot) {
-        float threshold = fields.thresholds[slot];
-        if (!std::isfinite(threshold)) {
+        if (quantized) {
+            // A populated predicate must hold a representable int16
+            // threshold, never the NaN/+inf sentinel.
+            if (fields.qthresholds[slot] == lir::kQuantizedNaN) {
+                diag.error(IrLevel::kLir, "lir.packedq.threshold",
+                           "quantized NaN/+inf sentinel in a populated "
+                           "slot of a non-dummy tile")
+                    .atTree(tree_id)
+                    .atTile(tile)
+                    .atSlot(slot);
+            }
+        } else if (!std::isfinite(fields.thresholds[slot])) {
             diag.error(IrLevel::kLir, "lir.threshold.invalid",
                        "non-finite threshold in a populated slot of a "
                        "non-dummy tile")
@@ -576,12 +594,18 @@ verifySafetyTail(const ForestBuffers &buffers, int64_t tail_begin,
                        str(buffers.tileSize + 1));
         return;
     }
+    bool quantized =
+        buffers.layout == lir::LayoutKind::kPackedQuantized;
     uint32_t lane_mask = (1u << buffers.tileSize) - 1;
     for (int64_t tile = tail_begin; tile < num_tiles; ++tile) {
         ForestBuffers::TileFields fields = buffers.tileFields(tile);
         bool all_inf = true;
-        for (int32_t slot = 0; slot < buffers.tileSize; ++slot)
-            all_inf = all_inf && fields.thresholds[slot] == inf;
+        for (int32_t slot = 0; slot < buffers.tileSize; ++slot) {
+            all_inf = all_inf &&
+                      (quantized ? fields.qthresholds[slot] ==
+                                       lir::kQuantizedNaN
+                                 : fields.thresholds[slot] == inf);
+        }
         if (!all_inf ||
             fields.shapeId != shapes.leftChainShapeId()) {
             diag.error(IrLevel::kLir, "lir.tail.broken",
@@ -768,6 +792,137 @@ verifyLirHeader(const ForestBuffers &buffers, DiagnosticEngine &diag)
                            str(buffers.numFeatures) + " features >= " +
                            str(lir::kPackedMaxFeatures) + ")");
             ok = false;
+        }
+    } else if (buffers.layout == lir::LayoutKind::kPackedQuantized) {
+        int32_t expected =
+            lir::packedqTileStride(buffers.tileSize);
+        if (buffers.packedStride != expected) {
+            diag.error(IrLevel::kLir, "lir.packedq.stride",
+                       "quantized packed stride " +
+                           str(buffers.packedStride) +
+                           " does not match tile size " +
+                           str(buffers.tileSize) + " (expected " +
+                           str(expected) + ")");
+            ok = false;
+        } else if (64 % buffers.packedStride != 0 ||
+                   (buffers.tileSize == 8 &&
+                    buffers.packedStride != 32)) {
+            // Unreachable while the stride matches (packedqTileStride
+            // yields powers of two and exactly 32 for tile size 8),
+            // but states the two-records-per-cache-line contract the
+            // pipelined walkers rely on.
+            diag.error(IrLevel::kLir, "lir.packedq.stride",
+                       "quantized records are not cache-line packed "
+                       "(stride " +
+                           str(buffers.packedStride) + ")");
+            ok = false;
+        }
+        if (ok &&
+            num_tiles * buffers.packedStride >
+                static_cast<int64_t>(buffers.packed.size()) * 64) {
+            diag.error(IrLevel::kLir, "lir.packedq.stride",
+                       str(num_tiles) + " records of " +
+                           str(buffers.packedStride) +
+                           " bytes exceed the packed buffer (" +
+                           str(static_cast<int64_t>(
+                                   buffers.packed.size()) *
+                               64) +
+                           " bytes)");
+            ok = false;
+        }
+        if (buffers.numFeatures >=
+            lir::kPackedQuantizedMaxFeatures) {
+            diag.error(IrLevel::kLir, "lir.packedq.features",
+                       "feature indices do not fit uint8 (" +
+                           str(buffers.numFeatures) + " features >= " +
+                           str(lir::kPackedQuantizedMaxFeatures) +
+                           ")");
+            ok = false;
+        }
+        const lir::QuantizationInfo &q = buffers.quantization;
+        size_t nf = static_cast<size_t>(buffers.numFeatures);
+        if (q.scale.size() != nf || q.offset.size() != nf ||
+            q.stepBudget.size() != nf) {
+            diag.error(IrLevel::kLir, "lir.packedq.scale",
+                       "quantization metadata is not sized to the "
+                       "feature count (" +
+                           str(static_cast<int64_t>(q.scale.size())) +
+                           "/" +
+                           str(static_cast<int64_t>(q.offset.size())) +
+                           "/" +
+                           str(static_cast<int64_t>(
+                               q.stepBudget.size())) +
+                           " entries for " + str(buffers.numFeatures) +
+                           " features)");
+            ok = false;
+        } else {
+            for (size_t f = 0; f < nf; ++f) {
+                if (!std::isfinite(q.scale[f]) || q.scale[f] <= 0.0f ||
+                    !std::isfinite(q.offset[f])) {
+                    diag.error(IrLevel::kLir, "lir.packedq.scale",
+                               "feature " +
+                                   str(static_cast<int64_t>(f)) +
+                                   " has a non-finite or non-positive "
+                                   "affine map");
+                    ok = false;
+                    break;
+                }
+                float step_scale = q.stepBudget[f] * q.scale[f];
+                if (!std::isfinite(q.stepBudget[f]) ||
+                    q.stepBudget[f] <= 0.0f || step_scale < 0.99f ||
+                    step_scale > 1.01f) {
+                    diag.error(IrLevel::kLir, "lir.packedq.budget",
+                               "feature " +
+                                   str(static_cast<int64_t>(f)) +
+                                   " declares step budget " +
+                                   str(q.stepBudget[f]) +
+                                   " inconsistent with scale " +
+                                   str(q.scale[f]));
+                    break;
+                }
+            }
+        }
+        if (!std::isfinite(q.maxThresholdError) ||
+            q.maxThresholdError < 0.0f ||
+            !std::isfinite(q.predictionErrorBudget) ||
+            q.predictionErrorBudget < 0.0f) {
+            diag.error(IrLevel::kLir, "lir.packedq.budget",
+                       "worst-case error budgets are non-finite or "
+                       "negative");
+        } else if (ok && q.stepBudget.size() == nf) {
+            // Every threshold actually materialized in a record must
+            // round within the declared budget: its feature's step
+            // fits under maxThresholdError.
+            for (int64_t tile = 0; tile < num_tiles; ++tile) {
+                ForestBuffers::TileFields fields =
+                    buffers.tileFields(tile);
+                bool over = false;
+                for (int32_t slot = 0; slot < buffers.tileSize;
+                     ++slot) {
+                    if (fields.qthresholds[slot] ==
+                        lir::kQuantizedNaN)
+                        continue; // dummy/padding slot
+                    int32_t feature = fields.feature(slot);
+                    if (feature < 0 ||
+                        feature >= buffers.numFeatures)
+                        continue; // lir.feature.range reports this
+                    if (q.stepBudget[static_cast<size_t>(feature)] >
+                        q.maxThresholdError) {
+                        diag.error(
+                                IrLevel::kLir, "lir.packedq.budget",
+                                "record threshold for feature " +
+                                    str(feature) +
+                                    " rounds coarser than the "
+                                    "declared max threshold error")
+                            .atTile(tile)
+                            .atSlot(slot);
+                        over = true;
+                        break;
+                    }
+                }
+                if (over)
+                    break;
+            }
         }
     } else {
         size_t slots = static_cast<size_t>(num_tiles) *

@@ -105,11 +105,113 @@ emitOutcome(std::ostringstream &os, int32_t nt, bool features16)
     }
 }
 
+/**
+ * Emit the scalar outcome computation for the quantized packed record:
+ * an int16 compare per slot, with the kQuantizedNaN sentinel routed by
+ * the default-direction bits. Expects locals `th` (int16 thresholds),
+ * `fi` (uint8 feature indices) and `dl` in scope.
+ */
+void
+emitQuantizedScalarOutcome(std::ostringstream &os, int32_t nt)
+{
+    os << "  unsigned outcome = 0;\n";
+    for (int32_t s = 0; s < nt; ++s) {
+        os << "  { int32_t v = qrow[fi[" << s << "]]; outcome |= "
+           << "(unsigned)(v < (int32_t)th[" << s << "] || (v == "
+           << lir::kQuantizedNaN << " && ((dl >> " << s
+           << ") & 1u))) << " << s << "; }\n";
+    }
+}
+
+/**
+ * Emit the AVX2 int16 compare for the quantized packed record — the
+ * same instruction sequence the kernel runtime's evalTilePackedQuantized
+ * uses. All operations are exact integer ops, so kernel and generated
+ * code agree bit-for-bit. Returns false for tile sizes with no vector
+ * sequence.
+ */
+bool
+emitQuantizedAvx2Outcome(std::ostringstream &os, int32_t nt)
+{
+    if (nt != 4 && nt != 8)
+        return false;
+    os << "#if defined(__AVX2__)\n";
+    if (nt == 8) {
+        // Sign-extend thresholds to int32 (off the gather's critical
+        // path) and compare in epi32 — outcome-identical to an int16
+        // compare since both sides are in int16 range.
+        os << "  __m256i thv = _mm256_cvtepi16_epi32("
+              "_mm_loadu_si128((const __m128i*)th));\n";
+        os << "  __m256i fiv = _mm256_cvtepu8_epi32("
+              "_mm_loadl_epi64((const __m128i*)fi));\n";
+        os << "  __m256i qv = _mm256_i32gather_epi32(qrow, fiv, 4);\n";
+        os << "  __m256i ltv = _mm256_cmpgt_epi32(thv, qv);\n";
+        os << "  unsigned outcome = (unsigned)_mm256_movemask_ps("
+              "_mm256_castsi256_ps(ltv));\n";
+        os << "  __m256i missv = _mm256_cmpeq_epi32(qv, "
+              "_mm256_set1_epi32("
+           << lir::kQuantizedNaN << "));\n";
+        os << "  outcome |= (unsigned)_mm256_movemask_ps("
+              "_mm256_castsi256_ps(missv)) & dl;\n";
+    } else {
+        os << "  __m128i thv = _mm_cvtepi16_epi32("
+              "_mm_loadl_epi64((const __m128i*)th));\n";
+        os << "  uint32_t fib; __builtin_memcpy(&fib, fi, 4);\n";
+        os << "  __m128i fiv = _mm_cvtepu8_epi32("
+              "_mm_cvtsi32_si128((int32_t)fib));\n";
+        os << "  __m128i qv = _mm_i32gather_epi32(qrow, fiv, 4);\n";
+        os << "  __m128i ltv = _mm_cmpgt_epi32(thv, qv);\n";
+        os << "  unsigned outcome = (unsigned)_mm_movemask_ps("
+              "_mm_castsi128_ps(ltv));\n";
+        os << "  __m128i missv = _mm_cmpeq_epi32(qv, _mm_set1_epi32("
+           << lir::kQuantizedNaN << "));\n";
+        os << "  outcome |= (unsigned)_mm_movemask_ps("
+              "_mm_castsi128_ps(missv)) & dl;\n";
+    }
+    os << "#else\n";
+    return true;
+}
+
+/** Emit the quantized vector-or-scalar outcome computation. */
+void
+emitQuantizedOutcome(std::ostringstream &os, int32_t nt)
+{
+    if (emitQuantizedAvx2Outcome(os, nt)) {
+        emitQuantizedScalarOutcome(os, nt);
+        os << "#endif\n";
+    } else {
+        emitQuantizedScalarOutcome(os, nt);
+    }
+}
+
 /** Emit the tile-evaluation helper specialized for the tile size. */
 void
 emitEvalTile(std::ostringstream &os, const ForestBuffers &fb)
 {
     int32_t nt = fb.tileSize;
+    if (fb.layout == LayoutKind::kPackedQuantized) {
+        // One 32-byte (tile-8) record per tile; the row has been
+        // pre-quantized into one int32 per feature.
+        os << "static inline int evalTile(const unsigned char* rec, "
+              "const int32_t* qrow, const int8_t* lut) {\n";
+        os << "  const int16_t* th = (const int16_t*)rec;\n";
+        os << "  const uint8_t* fi = rec + "
+           << lir::packedqFeaturesOffset(nt) << ";\n";
+        os << "  int16_t shape; __builtin_memcpy(&shape, rec + "
+           << lir::packedqShapeOffset(nt) << ", 2);\n";
+        os << "  unsigned dl = rec["
+           << lir::packedqDefaultLeftOffset(nt) << "];\n";
+        emitQuantizedOutcome(os, nt);
+        os << "  return lut[(size_t)shape * "
+           << fb.shapes->lutStride() << " + outcome];\n";
+        os << "}\n\n";
+        os << "static inline int32_t childBase(const unsigned char* "
+              "rec) {\n"
+              "  int32_t b; __builtin_memcpy(&b, rec + "
+           << lir::packedqChildBaseOffset(nt) << ", 4); return b;\n"
+              "}\n\n";
+        return;
+    }
     if (fb.layout == LayoutKind::kPacked) {
         // One fixed-stride record per tile; offsets are baked in.
         os << "static inline int evalTile(const unsigned char* rec, "
@@ -152,10 +254,14 @@ emitWalkFunction(std::ostringstream &os, const ForestBuffers &fb,
 {
     bool sparse = fb.layout == LayoutKind::kSparse;
     int32_t nt = fb.tileSize;
-    if (fb.layout == LayoutKind::kPacked) {
-        int32_t stride = lir::packedTileStride(nt);
+    if (lir::isPackedKind(fb.layout)) {
+        bool quantized = fb.layout == LayoutKind::kPackedQuantized;
+        int32_t stride = quantized ? lir::packedqTileStride(nt)
+                                   : lir::packedTileStride(nt);
         os << "static inline float walk_group_" << group_index
-           << "(int64_t root, const float* row,\n"
+           << "(int64_t root, "
+           << (quantized ? "const int32_t* row" : "const float* row")
+           << ",\n"
               "    const unsigned char* packed, const float* leaves, "
               "const int8_t* lut) {\n";
         os << "  int64_t tile = root;\n";
@@ -290,6 +396,43 @@ emitMulticlassSupport(std::ostringstream &os, const ForestBuffers &fb)
     }
 }
 
+/**
+ * Emit the per-feature affine maps and the row-quantization helper for
+ * the quantized packed layout. The expression mirrors
+ * lir::QuantizationInfo::quantizeValue token-for-token (all integer
+ * and exactly-rounded float ops), so generated code and the kernel
+ * runtime quantize rows identically.
+ */
+void
+emitQuantizationSupport(std::ostringstream &os, const ForestBuffers &fb)
+{
+    const lir::QuantizationInfo &q = fb.quantization;
+    auto emit_array = [&](const char *name,
+                          const std::vector<float> &values) {
+        os << "static const float " << name << "[" << values.size()
+           << "] = {";
+        for (size_t f = 0; f < values.size(); ++f) {
+            if (f != 0)
+                os << ",";
+            if (f % 8 == 0)
+                os << "\n    ";
+            os << floatLiteral(values[f]);
+        }
+        os << "};\n";
+    };
+    emit_array("kQScale", q.scale);
+    emit_array("kQOffset", q.offset);
+    os << "\nstatic inline int32_t quantize_value(float v, int f) {\n"
+          "  if (v != v) return "
+       << lir::kQuantizedNaN
+       << ";\n"
+          "  float scaled = (v - kQOffset[f]) * kQScale[f];\n"
+          "  if (scaled >= 32766.0f) return 32766;\n"
+          "  if (scaled <= -32768.0f) return -32768;\n"
+          "  return (int32_t)std::lrintf(scaled);\n"
+          "}\n\n";
+}
+
 } // namespace
 
 std::string
@@ -305,7 +448,10 @@ emitPredictForestSource(const ForestBuffers &fb,
     os << "#include <cstdint>\n#include <cmath>\n#include <cstddef>\n";
     os << "#if defined(__AVX2__)\n#include <immintrin.h>\n#endif\n\n";
 
+    bool quantized = fb.layout == LayoutKind::kPackedQuantized;
     emitEvalTile(os, fb);
+    if (quantized)
+        emitQuantizationSupport(os, fb);
     for (size_t g = 0; g < groups.size(); ++g)
         emitWalkFunction(os, fb, groups[g], g);
     if (multiclass)
@@ -316,10 +462,14 @@ emitPredictForestSource(const ForestBuffers &fb,
         schedule.loopOrder == hir::LoopOrder::kOneTreeAtATime;
     // Trailing arguments every walk_group_* call passes through.
     std::string walk_tail =
-        fb.layout == LayoutKind::kPacked
+        lir::isPackedKind(fb.layout)
             ? "packed, leaves, lut"
             : "thresholds, features, shape_ids, default_left, "
               "child_base, leaves, lut";
+    // Rows enter the walks pre-quantized in the quantized layout.
+    std::string rows_name = quantized ? "qrows" : "rows";
+    std::string row_decl =
+        quantized ? "const int32_t* row = qrows" : "const float* row = rows";
 
     os << "extern \"C\" void treebeard_predict(const float* rows, "
           "int64_t num_rows, float* predictions,\n"
@@ -330,11 +480,20 @@ emitPredictForestSource(const ForestBuffers &fb,
           "    const int64_t* tree_first_tile,\n"
           "    const unsigned char* packed) {\n";
     os << "  const int nf = " << fb.numFeatures << ";\n";
-    if (fb.layout == LayoutKind::kPacked) {
+    if (lir::isPackedKind(fb.layout)) {
         os << "  (void)thresholds; (void)features; (void)shape_ids; "
               "(void)default_left; (void)child_base;\n";
     } else {
         os << "  (void)packed;\n";
+    }
+    if (quantized) {
+        // Quantize every row once up front; the walks then compare in
+        // int16 with no per-tile float work.
+        os << "  int32_t* qrows = new int32_t[num_rows * nf];\n";
+        os << "  for (int64_t r = 0; r < num_rows; ++r)\n";
+        os << "    for (int f = 0; f < nf; ++f)\n";
+        os << "      qrows[r * nf + f] = "
+              "quantize_value(rows[r * nf + f], f);\n";
     }
 
     auto emit_objective = [&](const std::string &target,
@@ -367,14 +526,15 @@ emitPredictForestSource(const ForestBuffers &fb,
                 for (int32_t i = 0; i < k; ++i) {
                     os << "      acc[(r + " << i
                        << ") * kNumClasses + cls] += walk_group_" << g
-                       << "(root, rows + (r + " << i << ") * nf, "
-                       << walk_tail << ");\n";
+                       << "(root, " << rows_name << " + (r + " << i
+                       << ") * nf, " << walk_tail << ");\n";
                 }
                 os << "    }\n";
             }
             os << "    for (; r < num_rows; ++r) acc[r * kNumClasses "
                   "+ cls] += walk_group_"
-               << g << "(root, rows + r * nf, " << walk_tail << ");\n";
+               << g << "(root, " << rows_name << " + r * nf, "
+               << walk_tail << ");\n";
             os << "  }\n";
         }
         os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
@@ -400,13 +560,14 @@ emitPredictForestSource(const ForestBuffers &fb,
                    << " <= num_rows; r += " << k << ") {\n";
                 for (int32_t i = 0; i < k; ++i) {
                     os << "      acc[r + " << i << "] += walk_group_"
-                       << g << "(root, rows + (r + " << i
+                       << g << "(root, " << rows_name << " + (r + " << i
                        << ") * nf, " << walk_tail << ");\n";
                 }
                 os << "    }\n";
             }
             os << "    for (; r < num_rows; ++r) acc[r] += walk_group_"
-               << g << "(root, rows + r * nf, " << walk_tail << ");\n";
+               << g << "(root, " << rows_name << " + r * nf, "
+               << walk_tail << ");\n";
             os << "  }\n";
         }
         os << "  for (int64_t r = 0; r < num_rows; ++r) ";
@@ -414,7 +575,7 @@ emitPredictForestSource(const ForestBuffers &fb,
         os << "  delete[] acc;\n";
     } else if (multiclass) {
         os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
-        os << "    const float* row = rows + r * nf;\n";
+        os << "    " << row_decl << " + r * nf;\n";
         os << "    float margins[kNumClasses];\n";
         os << "    for (int c = 0; c < kNumClasses; ++c) margins[c] = "
            << floatLiteral(fb.baseScore) << ";\n";
@@ -446,7 +607,7 @@ emitPredictForestSource(const ForestBuffers &fb,
         os << "  }\n";
     } else {
         os << "  for (int64_t r = 0; r < num_rows; ++r) {\n";
-        os << "    const float* row = rows + r * nf;\n";
+        os << "    " << row_decl << " + r * nf;\n";
         os << "    float margin = " << floatLiteral(fb.baseScore)
            << ";\n";
         for (size_t g = 0; g < groups.size(); ++g) {
@@ -473,6 +634,8 @@ emitPredictForestSource(const ForestBuffers &fb,
         emit_objective("predictions[r]", "margin");
         os << "  }\n";
     }
+    if (quantized)
+        os << "  delete[] qrows;\n";
     os << "}\n";
     return os.str();
 }
@@ -516,9 +679,8 @@ JitCompiledSession::predict(const float *rows, int64_t num_rows,
     const float *leaves =
         buffers_.leaves.empty() ? nullptr : buffers_.leaves.data();
     const unsigned char *packed =
-        buffers_.layout == lir::LayoutKind::kPacked
-            ? buffers_.packedData()
-            : nullptr;
+        lir::isPackedKind(buffers_.layout) ? buffers_.packedData()
+                                           : nullptr;
     predict_(rows, num_rows, predictions, buffers_.thresholds.data(),
              buffers_.featureIndices.data(), buffers_.shapeIds.data(),
              buffers_.defaultLeft.data(), child_base, leaves,

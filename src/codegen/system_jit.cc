@@ -1,11 +1,13 @@
 #include "codegen/system_jit.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include <dlfcn.h>
 #include <unistd.h>
@@ -97,6 +99,73 @@ storeInDiskCache(const std::string &so_path, const std::string &entry)
         return false;
     }
     return true;
+}
+
+/** True for names the disk cache owns (treebeard-<hash>.so). */
+bool
+isDiskCacheEntryName(const std::string &name)
+{
+    return name.size() > 13 && name.compare(0, 10, "treebeard-") == 0 &&
+           name.compare(name.size() - 3, 3, ".so") == 0;
+}
+
+/**
+ * Enforce @p cap on the cache directory after a store: remove
+ * least-recently-used entries (oldest mtime first, never
+ * @p just_stored) until the summed entry sizes fit. Best-effort —
+ * filesystem errors skip the entry rather than fail the compile.
+ * Returns the number of entries evicted.
+ */
+int64_t
+evictDiskCacheOverCap(const std::string &cache_dir, int64_t cap,
+                      const std::string &just_stored)
+{
+    if (cap <= 0)
+        return 0;
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        int64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+    int64_t total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(cache_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!isDiskCacheEntryName(it->path().filename().string()))
+            continue;
+        std::error_code attr_ec;
+        Entry entry;
+        entry.path = it->path();
+        entry.bytes =
+            static_cast<int64_t>(fs::file_size(entry.path, attr_ec));
+        if (attr_ec)
+            continue;
+        entry.mtime = fs::last_write_time(entry.path, attr_ec);
+        if (attr_ec)
+            continue;
+        total += entry.bytes;
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    fs::path keep(just_stored);
+    int64_t evicted = 0;
+    for (const Entry &entry : entries) {
+        if (total <= cap)
+            break;
+        if (entry.path == keep)
+            continue;
+        std::error_code remove_ec;
+        if (fs::remove(entry.path, remove_ec) && !remove_ec) {
+            total -= entry.bytes;
+            evicted += 1;
+        }
+    }
+    return evicted;
 }
 
 } // namespace
@@ -227,6 +296,12 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                     std::make_shared<JitModule::LoadedLibrary>();
                 library->handle = handle;
                 library->libraryPath = disk_entry;
+                // LRU bookkeeping: a hit refreshes the entry's mtime
+                // so the size cap evicts cold entries first.
+                std::error_code touch_ec;
+                fs::last_write_time(disk_entry,
+                                    fs::file_time_type::clock::now(),
+                                    touch_ec);
                 // No workDir: the entry belongs to the cache and must
                 // outlive this process.
                 std::lock_guard<std::mutex> lock(cache.mutex);
@@ -248,10 +323,15 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
     auto library = compileAndLoad(source, options);
     bool stored = !disk_entry.empty() &&
                   storeInDiskCache(library->libraryPath, disk_entry);
+    int64_t evictions =
+        stored ? evictDiskCacheOverCap(options.cacheDir,
+                                       options.cacheMaxBytes, disk_entry)
+               : 0;
     {
         std::lock_guard<std::mutex> lock(cache.mutex);
         if (stored)
             cache.stats.diskStores += 1;
+        cache.stats.diskEvictions += evictions;
         auto [it, inserted] = cache.entries.emplace(key, library);
         library_ = it->second;
     }

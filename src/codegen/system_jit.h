@@ -16,9 +16,12 @@
  * objects on disk under a content hash of the cache key, so a *fresh
  * process* compiling the same source is served by dlopen'ing the
  * cached .so without ever invoking the system compiler (the way
- * ccache amortizes repeated CLI/tuner runs on one model). The disk
- * cache is eviction-free; corrupt or truncated entries fall back to a
- * recompile that overwrites them.
+ * ccache amortizes repeated CLI/tuner runs on one model). Corrupt or
+ * truncated entries fall back to a recompile that overwrites them.
+ * JitOptions::cacheMaxBytes bounds the directory: after each store the
+ * least-recently-used entries (by mtime; disk hits touch their entry)
+ * are evicted until the cache fits, so long-lived tuner sweeps cannot
+ * grow it without bound.
  */
 #ifndef TREEBEARD_CODEGEN_SYSTEM_JIT_H
 #define TREEBEARD_CODEGEN_SYSTEM_JIT_H
@@ -52,6 +55,14 @@ struct JitOptions
      * keepArtifacts is set.
      */
     std::string cacheDir;
+    /**
+     * Disk-cache size cap in bytes (0 = unlimited). When a store
+     * pushes the cache directory's entries past the cap, the
+     * least-recently-used entries are removed — oldest mtime first,
+     * never the entry just stored — until the total fits. Disk hits
+     * refresh their entry's mtime so hot models stay resident.
+     */
+    int64_t cacheMaxBytes = 0;
 };
 
 /** Process-wide JIT compilation cache counters. */
@@ -64,6 +75,8 @@ struct JitCacheStats
     int64_t diskLookups = 0;
     int64_t diskHits = 0;
     int64_t diskStores = 0;
+    /** Entries removed by the cacheMaxBytes LRU cap. */
+    int64_t diskEvictions = 0;
 };
 
 /** Snapshot of the cache counters (for tests and diagnostics). */

@@ -29,6 +29,16 @@ memoryLayoutName(MemoryLayout layout)
     panic("unknown memory layout");
 }
 
+const char *
+packedPrecisionName(PackedPrecision precision)
+{
+    switch (precision) {
+      case PackedPrecision::kF32: return "f32";
+      case PackedPrecision::kI16: return "i16";
+    }
+    panic("unknown packed precision");
+}
+
 void
 Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
 {
@@ -112,6 +122,10 @@ scheduleToJsonString(const Schedule &schedule)
     object["interleave"] =
         JsonValue(static_cast<int64_t>(schedule.interleaveFactor));
     object["layout"] = JsonValue(memoryLayoutName(schedule.layout));
+    object["packed_precision"] =
+        JsonValue(packedPrecisionName(schedule.packedPrecision));
+    object["pipeline_packed"] =
+        JsonValue(schedule.pipelinePackedWalks);
     object["threads"] =
         JsonValue(static_cast<int64_t>(schedule.numThreads));
     object["assume_no_missing"] =
@@ -154,6 +168,17 @@ scheduleFromJsonString(const std::string &text)
     JsonValue default_false(false);
     schedule.assumeNoMissingValues =
         document.getOr("assume_no_missing", default_false).asBoolean();
+    // Knobs younger than the serialization format read with defaults
+    // so older schedule files stay loadable.
+    JsonValue default_f32("f32");
+    schedule.packedPrecision =
+        document.getOr("packed_precision", default_f32).asString() ==
+                "i16"
+            ? PackedPrecision::kI16
+            : PackedPrecision::kF32;
+    JsonValue default_true(true);
+    schedule.pipelinePackedWalks =
+        document.getOr("pipeline_packed", default_true).asBoolean();
     schedule.validate();
     return schedule;
 }
@@ -165,6 +190,8 @@ Schedule::toString() const
     os << loopOrderName(loopOrder) << " tile=" << tileSize << " tiling="
        << tilingAlgorithmName(tiling) << " layout="
        << memoryLayoutName(layout) << " interleave=" << interleaveFactor
+       << (packedPrecision == PackedPrecision::kI16 ? " +i16" : "")
+       << (pipelinePackedWalks ? "" : " -pipeline")
        << (padAndUnrollWalks ? " +unroll" : "")
        << (peelWalks ? " +peel" : "")
        << (assumeNoMissingValues ? " +no-nan" : "")

@@ -50,6 +50,22 @@ enum class MemoryLayout {
 const char *memoryLayoutName(MemoryLayout layout);
 
 /**
+ * Threshold precision of the packed layout's tile records. kI16
+ * narrows thresholds to int16 under a per-feature affine scale (and
+ * feature indices to uint8), halving the tile-size-8 record to 32
+ * bytes — two tiles per cache line — at the cost of a per-model
+ * quantization error budget reported by the layout builder. Ignored
+ * by the array and sparse layouts. Models with >= 256 features fall
+ * back to f32 packed records.
+ */
+enum class PackedPrecision {
+    kF32,
+    kI16,
+};
+
+const char *packedPrecisionName(PackedPrecision precision);
+
+/**
  * Maximum supported tile size. Kept in sync with
  * lir::kMaxTileSize (asserted by the LIR); the limit exists because
  * comparison outcomes are packed into one byte per tile.
@@ -87,6 +103,14 @@ struct Schedule
     /** Unroll-and-jam factor for tree walk interleaving (1 = off). */
     int32_t interleaveFactor = 1;
     MemoryLayout layout = MemoryLayout::kSparse;
+    /** Packed-layout threshold precision (see PackedPrecision). */
+    PackedPrecision packedPrecision = PackedPrecision::kF32;
+    /**
+     * Software-pipeline the packed interleaved walkers: load tile
+     * k+1's child base while evaluating tile k, instead of relying on
+     * prefetch hints. Off is useful for A/B benchmarking only.
+     */
+    bool pipelinePackedWalks = true;
     /** Worker threads for the parallelized row loop (1 = serial). */
     int32_t numThreads = 1;
     /**

@@ -14,6 +14,7 @@ layoutKindName(LayoutKind kind)
       case LayoutKind::kArray: return "array";
       case LayoutKind::kSparse: return "sparse";
       case LayoutKind::kPacked: return "packed";
+      case LayoutKind::kPackedQuantized: return "packed-i16";
     }
     panic("unknown layout kind");
 }
@@ -29,6 +30,11 @@ ForestBuffers::footprintBytes() const
     bytes += static_cast<int64_t>(childBase.size()) * sizeof(int32_t);
     bytes += static_cast<int64_t>(leaves.size()) * sizeof(float);
     bytes += packedTileCount * packedStride;
+    // Quantized layout: the per-feature affine maps travel with the
+    // model image (the runtime needs them to quantize rows).
+    bytes += static_cast<int64_t>(quantization.scale.size() +
+                                  quantization.offset.size()) *
+             static_cast<int64_t>(sizeof(float));
     return bytes;
 }
 
@@ -36,6 +42,19 @@ ForestBuffers::TileFields
 ForestBuffers::tileFields(int64_t tile) const
 {
     TileFields fields;
+    if (layout == LayoutKind::kPackedQuantized) {
+        const unsigned char *record = packedTileRecord(tile);
+        fields.qthresholds = reinterpret_cast<const int16_t *>(record);
+        fields.features8 = record + packedqFeaturesOffset(tileSize);
+        std::memcpy(&fields.shapeId,
+                    record + packedqShapeOffset(tileSize),
+                    sizeof(int16_t));
+        fields.defaultLeft = record[packedqDefaultLeftOffset(tileSize)];
+        std::memcpy(&fields.childBase,
+                    record + packedqChildBaseOffset(tileSize),
+                    sizeof(int32_t));
+        return fields;
+    }
     if (layout == LayoutKind::kPacked) {
         const unsigned char *record = packedTileRecord(tile);
         fields.thresholds = reinterpret_cast<const float *>(record);
@@ -74,8 +93,10 @@ ForestBuffers::summary() const
     os << "lir.buffers { layout=" << layoutKindName(layout)
        << " tileSize=" << tileSize << " trees=" << numTrees
        << " tiles=" << numTiles() << " leaves=" << leaves.size();
-    if (layout == LayoutKind::kPacked)
+    if (isPackedKind(layout))
         os << " stride=" << packedStride;
+    if (layout == LayoutKind::kPackedQuantized)
+        os << " qerr=" << quantization.maxThresholdError;
     os << " bytes=" << footprintBytes() << " lutBytes=" << lutBytes()
        << " }";
     return os.str();

@@ -36,10 +36,20 @@
  *    a tile evaluation touches a single cache line instead of ~5.
  *  - Feature indices are narrowed to int16; models with >= 32768
  *    features cannot use this layout (the builder falls back).
+ *
+ * Packed-quantized layout:
+ *  - Same topology as the packed layout, but thresholds are narrowed
+ *    to int16 under a per-feature affine scale (see QuantizationInfo)
+ *    and feature indices to uint8, halving the tile-size-8 record to
+ *    32 bytes — two tiles per 64-byte cache line. +inf (dummy/padding)
+ *    thresholds map to the kQuantizedNaN sentinel; finite thresholds
+ *    clamp to <= kQuantizedNaN - 1 so the sentinel stays unambiguous.
+ *    Models with >= 256 features fall back to the f32 packed layout.
  */
 #ifndef TREEBEARD_LIR_FOREST_BUFFERS_H
 #define TREEBEARD_LIR_FOREST_BUFFERS_H
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -55,14 +65,23 @@ constexpr int16_t kLeafTileMarker = -1;
 /** Shape-id marker for never-visited array slots. */
 constexpr int16_t kUnusedTileMarker = -2;
 
-/** Layout discriminator (mirrors hir::MemoryLayout). */
+/** Layout discriminator (mirrors hir::MemoryLayout + precision). */
 enum class LayoutKind {
     kArray,
     kSparse,
     kPacked,
+    kPackedQuantized,
 };
 
 const char *layoutKindName(LayoutKind kind);
+
+/** True for both AoS record layouts (f32 packed and int16 packed). */
+constexpr bool
+isPackedKind(LayoutKind kind)
+{
+    return kind == LayoutKind::kPacked ||
+           kind == LayoutKind::kPackedQuantized;
+}
 
 // ---------------------------------------------------------------------
 // Packed tile records.
@@ -125,6 +144,128 @@ packedTileStride(int32_t tile_size)
 struct alignas(64) PackedLine
 {
     unsigned char bytes[64];
+};
+
+// ---------------------------------------------------------------------
+// Quantized packed tile records.
+//
+// One tile is a single fixed-stride record:
+//
+//   offset 0:                  int16_t thresholds[NT]  (quantized)
+//   packedqFeaturesOffset:     uint8_t featureIndices[NT]
+//   packedqShapeOffset:        int16_t shapeId         (2-byte aligned)
+//   packedqDefaultLeftOffset:  uint8_t defaultLeft
+//   packedqChildBaseOffset:    int32_t childBase       (4-byte aligned)
+//
+// The stride is the next power of two covering the record: 16 bytes
+// for NT in [1,2] and 32 bytes for NT in [3,8], so the tile-size-8
+// record is exactly half a cache line and two records never straddle
+// a line. Thresholds hold quantizeValue(threshold) under the model's
+// per-feature affine scale; +inf (dummy/padding) slots hold
+// kQuantizedNaN, which every finite quantized row value compares
+// strictly below (finite values clamp to kQuantizedNaN - 1), so dummy
+// tiles route every walk to child 0 exactly like their f32 +inf form.
+// ---------------------------------------------------------------------
+
+/** Exclusive upper bound on feature indices (uint8 storage). */
+constexpr int32_t kPackedQuantizedMaxFeatures = 256;
+
+/**
+ * Sentinel for +inf thresholds and NaN row values in the int16
+ * domain (INT16_MAX). Finite quantized values clamp to at most
+ * kQuantizedNaN - 1, so `q == kQuantizedNaN` means "missing" and
+ * `q(x) < q(t)` is false for every NaN lane — exactly the f32
+ * comparison semantics (NaN routes by defaultLeft).
+ */
+constexpr int16_t kQuantizedNaN = 32767;
+
+constexpr int32_t
+packedqFeaturesOffset(int32_t tile_size)
+{
+    return tile_size * 2;
+}
+
+constexpr int32_t
+packedqShapeOffset(int32_t tile_size)
+{
+    // First 2-byte-aligned offset past the feature bytes.
+    return (tile_size * 3 + 1) & ~1;
+}
+
+constexpr int32_t
+packedqDefaultLeftOffset(int32_t tile_size)
+{
+    return packedqShapeOffset(tile_size) + 2;
+}
+
+constexpr int32_t
+packedqChildBaseOffset(int32_t tile_size)
+{
+    // First 4-byte-aligned offset past the default-left byte.
+    return (packedqDefaultLeftOffset(tile_size) + 1 + 3) & ~3;
+}
+
+/** Bytes per quantized packed tile record (16 or 32). */
+constexpr int32_t
+packedqTileStride(int32_t tile_size)
+{
+    int32_t raw = packedqChildBaseOffset(tile_size) + 4;
+    int32_t stride = 16;
+    while (stride < raw)
+        stride *= 2;
+    return stride;
+}
+
+static_assert(packedqTileStride(8) == 32,
+              "tile-size-8 quantized record must be exactly 32 bytes");
+
+/**
+ * Per-model quantization metadata for the packed-quantized layout:
+ * the per-feature affine maps (q = round((x - offset) * scale)) and
+ * the worst-case error budgets the layout builder computed from them.
+ */
+struct QuantizationInfo
+{
+    /** Per-feature scale (always finite and > 0). */
+    std::vector<float> scale;
+    /** Per-feature offset (always finite). */
+    std::vector<float> offset;
+
+    /**
+     * Per-feature threshold resolution 1/scale: the quantized compare
+     * behaves exactly like an f32 compare against an effective
+     * threshold t' with t - stepBudget[f] <= t' <= t.
+     */
+    std::vector<float> stepBudget;
+
+    /** Max stepBudget over features that appear in any record. */
+    float maxThresholdError = 0.0f;
+
+    /**
+     * Worst-case |quantized - f32| prediction drift: the sum over
+     * trees of (max leaf - min leaf), i.e. the margin change if every
+     * tree flipped to its farthest leaf. Loose but always sound.
+     */
+    float predictionErrorBudget = 0.0f;
+
+    /**
+     * Quantize one row value for feature @p feature. NaN maps to
+     * kQuantizedNaN; finite values clamp into
+     * [INT16_MIN, kQuantizedNaN - 1]. The source-JIT emitter inlines
+     * this exact expression so both backends round identically.
+     */
+    int16_t quantizeValue(float value, int32_t feature) const
+    {
+        if (value != value) // NaN
+            return kQuantizedNaN;
+        float scaled = (value - offset[static_cast<size_t>(feature)]) *
+                       scale[static_cast<size_t>(feature)];
+        if (scaled >= 32766.0f)
+            return 32766;
+        if (scaled <= -32768.0f)
+            return -32768;
+        return static_cast<int16_t>(std::lrintf(scaled));
+    }
 };
 
 /** Walk-shape metadata for one tree, copied from its HIR tree group. */
@@ -197,12 +338,15 @@ struct ForestBuffers
     int32_t packedStride = 0;
     int64_t packedTileCount = 0;
 
+    /** Packed-quantized layout only: the affine maps + error budgets. */
+    QuantizationInfo quantization;
+
     /** Per-tree walk metadata (unroll/peel), by buffer tree index. */
     std::vector<TreeWalkInfo> walkInfo;
 
     int64_t numTiles() const
     {
-        return layout == LayoutKind::kPacked
+        return isPackedKind(layout)
                    ? packedTileCount
                    : static_cast<int64_t>(shapeIds.size());
     }
@@ -230,8 +374,11 @@ struct ForestBuffers
     struct TileFields
     {
         const float *thresholds = nullptr;
+        /** Packed-quantized layout: int16-quantized thresholds. */
+        const int16_t *qthresholds = nullptr;
         const int32_t *features32 = nullptr; // array/sparse layouts
         const int16_t *features16 = nullptr; // packed layout
+        const uint8_t *features8 = nullptr;  // packed-quantized layout
         int16_t shapeId = 0;
         uint8_t defaultLeft = 0;
         /** Sparse/packed only; 0 in the array layout. */
@@ -239,9 +386,11 @@ struct ForestBuffers
 
         int32_t feature(int32_t slot) const
         {
-            return features32 != nullptr
-                       ? features32[slot]
-                       : static_cast<int32_t>(features16[slot]);
+            if (features32 != nullptr)
+                return features32[slot];
+            if (features16 != nullptr)
+                return static_cast<int32_t>(features16[slot]);
+            return static_cast<int32_t>(features8[slot]);
         }
     };
 

@@ -1,5 +1,6 @@
 #include "lir/layout_builder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -423,6 +424,161 @@ buildPackedLayout(const hir::HirModule &module)
     return fb;
 }
 
+namespace {
+
+/**
+ * Per-feature affine maps from the threshold ranges that actually
+ * appear in @p fb 's (still-SoA) tile slots, plus the implied error
+ * budgets. A feature's range [lo, hi] maps its midpoint to 0 and
+ * spreads the span over ~65000 quantization steps, so every finite
+ * threshold lands well inside [-32768, kQuantizedNaN - 1] and the
+ * per-feature resolution is span/65000.
+ */
+QuantizationInfo
+computeQuantization(const ForestBuffers &fb,
+                    const model::Forest &forest)
+{
+    size_t nf = static_cast<size_t>(fb.numFeatures);
+    std::vector<double> lo(nf, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(nf,
+                           -std::numeric_limits<double>::infinity());
+    for (size_t slot = 0; slot < fb.thresholds.size(); ++slot) {
+        float threshold = fb.thresholds[slot];
+        if (!std::isfinite(threshold))
+            continue; // dummy/padding slot
+        size_t feature = static_cast<size_t>(fb.featureIndices[slot]);
+        lo[feature] = std::min(lo[feature],
+                               static_cast<double>(threshold));
+        hi[feature] = std::max(hi[feature],
+                               static_cast<double>(threshold));
+    }
+
+    QuantizationInfo info;
+    info.scale.resize(nf);
+    info.offset.resize(nf);
+    info.stepBudget.resize(nf);
+    for (size_t f = 0; f < nf; ++f) {
+        double scale = 1.0;
+        double offset = 0.0;
+        if (lo[f] <= hi[f]) {
+            double span = hi[f] - lo[f];
+            if (span < 1e-30) {
+                // Single distinct threshold: map it to 0 exactly.
+                offset = lo[f];
+            } else {
+                offset = (lo[f] + hi[f]) * 0.5;
+                scale = 65000.0 / span;
+            }
+        }
+        info.scale[f] = static_cast<float>(scale);
+        info.offset[f] = static_cast<float>(offset);
+        info.stepBudget[f] = static_cast<float>(1.0 / scale);
+    }
+
+    // maxThresholdError covers only features that appear in a record.
+    for (size_t f = 0; f < nf; ++f) {
+        if (lo[f] <= hi[f])
+            info.maxThresholdError = std::max(info.maxThresholdError,
+                                              info.stepBudget[f]);
+    }
+
+    // Worst-case prediction drift: every tree flips to its farthest
+    // leaf. Loose, but sound for any input and any class.
+    double budget = 0.0;
+    for (const model::DecisionTree &tree : forest.trees()) {
+        double leaf_lo = std::numeric_limits<double>::infinity();
+        double leaf_hi = -std::numeric_limits<double>::infinity();
+        for (const model::Node &node : tree.nodes()) {
+            if (!node.isLeaf())
+                continue;
+            leaf_lo = std::min(leaf_lo,
+                               static_cast<double>(node.threshold));
+            leaf_hi = std::max(leaf_hi,
+                               static_cast<double>(node.threshold));
+        }
+        if (leaf_lo <= leaf_hi)
+            budget += leaf_hi - leaf_lo;
+    }
+    info.predictionErrorBudget = static_cast<float>(budget);
+    return info;
+}
+
+} // namespace
+
+ForestBuffers
+buildPackedQuantizedLayout(const hir::HirModule &module)
+{
+    fatalIf(module.forest().numFeatures() >= kPackedQuantizedMaxFeatures,
+            "quantized packed layout narrows feature indices to uint8; "
+            "model has ",
+            module.forest().numFeatures(), " features (limit ",
+            kPackedQuantizedMaxFeatures, ")");
+
+    // Build the sparse topology first (same plan as the f32 packed
+    // layout), derive the affine maps from the materialized threshold
+    // slots, then fuse + narrow into 32-byte records.
+    ForestBuffers fb = buildSparseLayout(module);
+    fb.quantization = computeQuantization(fb, module.forest());
+    fb.layout = LayoutKind::kPackedQuantized;
+    fb.packedStride = packedqTileStride(fb.tileSize);
+    int64_t tiles = static_cast<int64_t>(fb.shapeIds.size());
+    fb.packedTileCount = tiles;
+    int64_t total_bytes = tiles * fb.packedStride;
+    fb.packed.assign(
+        static_cast<size_t>((total_bytes + sizeof(PackedLine) - 1) /
+                            sizeof(PackedLine)),
+        PackedLine{});
+
+    int32_t nt = fb.tileSize;
+    for (int64_t tile = 0; tile < tiles; ++tile) {
+        unsigned char *record =
+            fb.packedData() + tile * fb.packedStride;
+        const float *thresholds = fb.thresholds.data() + tile * nt;
+        const int32_t *features = fb.featureIndices.data() + tile * nt;
+        int16_t qthresholds[kMaxTileSize];
+        uint8_t features8[kMaxTileSize];
+        for (int32_t s = 0; s < nt; ++s) {
+            // +inf (dummy/padding) slots take the sentinel; finite
+            // thresholds quantize with the same rounding the runtime
+            // applies to row values, so the compare behaves like f32
+            // against an effective threshold within stepBudget below
+            // the original.
+            qthresholds[s] =
+                std::isinf(thresholds[s])
+                    ? kQuantizedNaN
+                    : fb.quantization.quantizeValue(thresholds[s],
+                                                    features[s]);
+            panicIf(features[s] >= kPackedQuantizedMaxFeatures,
+                    "feature index escaped the quantized-layout gate");
+            features8[s] = static_cast<uint8_t>(features[s]);
+        }
+        std::memcpy(record, qthresholds,
+                    static_cast<size_t>(nt) * sizeof(int16_t));
+        std::memcpy(record + packedqFeaturesOffset(nt), features8,
+                    static_cast<size_t>(nt) * sizeof(uint8_t));
+        std::memcpy(record + packedqShapeOffset(nt),
+                    &fb.shapeIds[static_cast<size_t>(tile)],
+                    sizeof(int16_t));
+        record[packedqDefaultLeftOffset(nt)] =
+            fb.defaultLeft[static_cast<size_t>(tile)];
+        std::memcpy(record + packedqChildBaseOffset(nt),
+                    &fb.childBase[static_cast<size_t>(tile)],
+                    sizeof(int32_t));
+    }
+
+    fb.thresholds.clear();
+    fb.thresholds.shrink_to_fit();
+    fb.featureIndices.clear();
+    fb.featureIndices.shrink_to_fit();
+    fb.shapeIds.clear();
+    fb.shapeIds.shrink_to_fit();
+    fb.defaultLeft.clear();
+    fb.defaultLeft.shrink_to_fit();
+    fb.childBase.clear();
+    fb.childBase.shrink_to_fit();
+    return fb;
+}
+
 ForestBuffers
 buildForestBuffers(const hir::HirModule &module)
 {
@@ -438,6 +594,19 @@ buildForestBuffers(const hir::HirModule &module)
                  module.forest().numFeatures(),
                  "); falling back to the sparse layout");
             return buildSparseLayout(module);
+        }
+        if (module.schedule().packedPrecision ==
+            hir::PackedPrecision::kI16) {
+            if (module.forest().numFeatures() >=
+                kPackedQuantizedMaxFeatures) {
+                warn("quantized packed layout requires < ",
+                     kPackedQuantizedMaxFeatures,
+                     " features (model has ",
+                     module.forest().numFeatures(),
+                     "); falling back to f32 packed records");
+                return buildPackedLayout(module);
+            }
+            return buildPackedQuantizedLayout(module);
         }
         return buildPackedLayout(module);
     }

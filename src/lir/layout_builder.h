@@ -34,6 +34,19 @@ ForestBuffers buildSparseLayout(const hir::HirModule &module);
  */
 ForestBuffers buildPackedLayout(const hir::HirModule &module);
 
+/**
+ * Build the int16-quantized packed representation: the same AoS
+ * record topology as buildPackedLayout, but thresholds are narrowed
+ * to int16 under a per-feature affine scale computed from the model's
+ * threshold ranges (metadata + worst-case error budgets recorded in
+ * ForestBuffers::quantization) and feature indices to uint8, so the
+ * tile-size-8 record is exactly 32 bytes — two tiles per cache line.
+ * Requires numFeatures < kPackedQuantizedMaxFeatures;
+ * buildForestBuffers falls back to the f32 packed layout for wider
+ * models, this entry fatal()s.
+ */
+ForestBuffers buildPackedQuantizedLayout(const hir::HirModule &module);
+
 } // namespace treebeard::lir
 
 #endif // TREEBEARD_LIR_LAYOUT_BUILDER_H

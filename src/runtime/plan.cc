@@ -1,6 +1,7 @@
 #include "runtime/plan.h"
 
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.h"
@@ -76,29 +77,63 @@ runRangeDynamic(const ExecutablePlan &plan, const float *rows,
     }
 }
 
+/**
+ * Quantize rows [begin, end) into one int32 per feature under the
+ * model's affine maps ("quantize the row's gathered features once"):
+ * every tile compare in the walk then runs entirely in int16, and a
+ * feature read R times costs one quantization, not R.
+ */
+std::vector<int32_t>
+quantizeRows(const ForestBuffers &fb, const float *rows, int64_t begin,
+             int64_t end)
+{
+    int32_t nf = fb.numFeatures;
+    const lir::QuantizationInfo &q = fb.quantization;
+    std::vector<int32_t> qbuf(static_cast<size_t>(end - begin) * nf);
+    for (int64_t r = begin; r < end; ++r) {
+        const float *row = rows + r * nf;
+        int32_t *qrow = qbuf.data() + (r - begin) * nf;
+        for (int32_t f = 0; f < nf; ++f)
+            qrow[f] = q.quantizeValue(row[f], f);
+    }
+    return qbuf;
+}
+
 } // namespace
 
 /**
  * Kernel bundle for one (tile size, layout, interleave) configuration.
- * All methods compile to specialized straight-line code.
+ * All methods compile to specialized straight-line code. The
+ * quantized packed layout walks over pre-quantized rows (one int32
+ * per feature, materialized per row block in runRange), so its Row
+ * type differs from the f32 layouts'.
  */
 template <int NT, lir::LayoutKind L, int K, bool HM>
 struct PlanKernels
 {
+    static constexpr bool kQuantized =
+        (L == LayoutKind::kPackedQuantized);
+    /** Element type of the rows the walkers consume. */
+    using Row = std::conditional_t<kQuantized, int32_t, float>;
+    /** Record policy for the packed layouts (unused otherwise). */
+    using RecordPolicy =
+        std::conditional_t<kQuantized, PackedQuantizedWalk<NT, HM>,
+                           PackedF32Walk<NT, HM>>;
+
     static float
     walkOne(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
-            int64_t root, const float *row, const TreeGroup &group)
+            int64_t root, const Row *row, const TreeGroup &group)
     {
-        if constexpr (L == LayoutKind::kPacked) {
+        if constexpr (lir::isPackedKind(L)) {
             if (group.unrolledWalk) {
-                return walkPackedUnrolled<NT, HM>(fb, lut, stride, root,
-                                              row, group.walkDepth);
+                return walkRecordsUnrolled<RecordPolicy>(
+                    fb, lut, stride, root, row, group.walkDepth);
             }
             if (group.peelDepth > 1) {
-                return walkPackedPeeled<NT, HM>(fb, lut, stride, root,
-                                            row, group.peelDepth);
+                return walkRecordsPeeled<RecordPolicy>(
+                    fb, lut, stride, root, row, group.peelDepth);
             }
-            return walkPacked<NT, HM>(fb, lut, stride, root, row);
+            return walkRecords<RecordPolicy>(fb, lut, stride, root, row);
         } else if constexpr (L == LayoutKind::kSparse) {
             if (group.unrolledWalk) {
                 return walkSparseUnrolled<NT, HM>(fb, lut, stride, root, row,
@@ -124,16 +159,33 @@ struct PlanKernels
 
     static void
     walkMany(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
-             const int64_t *roots, const float *const *rows,
-             const TreeGroup &group, float *out)
+             const int64_t *roots, const Row *const *rows,
+             const TreeGroup &group, bool pipeline, float *out)
     {
-        if constexpr (L == LayoutKind::kPacked) {
+        if constexpr (lir::isPackedKind(L)) {
+            // The pipeline toggle is a runtime branch (not a template
+            // parameter) to keep the kernel instantiation count flat;
+            // it is loop-invariant, so the predictor resolves it free.
             if (group.unrolledWalk) {
-                walkPackedUnrolledInterleaved<NT, HM, K>(
-                    fb, lut, stride, roots, rows, group.walkDepth, out);
+                if (pipeline) {
+                    walkRecordsUnrolledInterleavedPipelined<
+                        RecordPolicy, K>(fb, lut, stride, roots, rows,
+                                         group.walkDepth, out);
+                } else {
+                    walkRecordsUnrolledInterleaved<RecordPolicy, K>(
+                        fb, lut, stride, roots, rows, group.walkDepth,
+                        out);
+                }
             } else {
-                walkPackedGenericInterleaved<NT, HM, K>(
-                    fb, lut, stride, roots, rows, group.peelDepth, out);
+                if (pipeline) {
+                    walkRecordsGenericInterleavedPipelined<
+                        RecordPolicy, K>(fb, lut, stride, roots, rows,
+                                         group.peelDepth, out);
+                } else {
+                    walkRecordsGenericInterleaved<RecordPolicy, K>(
+                        fb, lut, stride, roots, rows, group.peelDepth,
+                        out);
+                }
             }
         } else if constexpr (L == LayoutKind::kSparse) {
             if (group.unrolledWalk) {
@@ -169,6 +221,20 @@ struct PlanKernels
         int32_t nf = fb.numFeatures;
         int32_t classes = fb.numClasses;
         const std::vector<TreeGroup> &groups = plan.groups();
+        bool pipeline = plan.mir().schedule.pipelinePackedWalks;
+
+        // Quantized layout: rows are consumed via a pre-quantized
+        // view indexed from `origin`.
+        [[maybe_unused]] std::vector<int32_t> qbuf;
+        const Row *rows_view = nullptr;
+        int64_t origin = 0;
+        if constexpr (kQuantized) {
+            qbuf = quantizeRows(fb, rows, begin, end);
+            rows_view = qbuf.data();
+            origin = begin;
+        } else {
+            rows_view = rows;
+        }
 
         auto finish_row = [&](int64_t r, float *margins) {
             float *out = predictions + r * classes;
@@ -202,12 +268,13 @@ struct PlanKernels
                             roots[k] = root;
                         int64_t r = block;
                         for (; r + K <= block_end; r += K) {
-                            const float *row_ptrs[K];
+                            const Row *row_ptrs[K];
                             for (int k = 0; k < K; ++k)
-                                row_ptrs[k] = rows + (r + k) * nf;
+                                row_ptrs[k] = rows_view +
+                                              (r + k - origin) * nf;
                             float out[K];
                             walkMany(fb, lut, stride, roots, row_ptrs,
-                                     group, out);
+                                     group, pipeline, out);
                             for (int k = 0; k < K; ++k)
                                 accumulators[static_cast<size_t>(
                                     (r + k - block) * classes +
@@ -217,7 +284,8 @@ struct PlanKernels
                             accumulators[static_cast<size_t>(
                                 (r - block) * classes + tree_class)] +=
                                 walkOne(fb, lut, stride, root,
-                                        rows + r * nf, group);
+                                        rows_view + (r - origin) * nf,
+                                        group);
                         }
                     }
                 }
@@ -230,14 +298,14 @@ struct PlanKernels
         } else {
             std::vector<float> margins(static_cast<size_t>(classes));
             for (int64_t r = begin; r < end; ++r) {
-                const float *row = rows + r * nf;
+                const Row *row = rows_view + (r - origin) * nf;
                 std::fill(margins.begin(), margins.end(),
                           fb.baseScore);
                 for (const TreeGroup &group : groups) {
                     int64_t pos = group.beginPos;
                     for (; pos + K <= group.endPos; pos += K) {
                         int64_t roots[K];
-                        const float *row_ptrs[K];
+                        const Row *row_ptrs[K];
                         for (int k = 0; k < K; ++k) {
                             roots[k] = fb.treeFirstTile[
                                 static_cast<size_t>(pos + k)];
@@ -245,7 +313,7 @@ struct PlanKernels
                         }
                         float out[K];
                         walkMany(fb, lut, stride, roots, row_ptrs,
-                                 group, out);
+                                 group, pipeline, out);
                         for (int k = 0; k < K; ++k) {
                             margins[static_cast<size_t>(
                                 fb.treeClass[static_cast<size_t>(
@@ -282,6 +350,18 @@ struct PlanKernels
             return;
         }
 
+        bool pipeline = plan.mir().schedule.pipelinePackedWalks;
+        [[maybe_unused]] std::vector<int32_t> qbuf;
+        const Row *rows_view = nullptr;
+        int64_t origin = 0;
+        if constexpr (kQuantized) {
+            qbuf = quantizeRows(fb, rows, begin, end);
+            rows_view = qbuf.data();
+            origin = begin;
+        } else {
+            rows_view = rows;
+        }
+
         if (plan.mir().schedule.loopOrder ==
             hir::LoopOrder::kOneTreeAtATime) {
             // Snippet E: tree-major loops over blocks of rows with
@@ -316,12 +396,13 @@ struct PlanKernels
                             roots[k] = root;
                         int64_t r = block;
                         for (; r + K <= block_end; r += K) {
-                            const float *row_ptrs[K];
+                            const Row *row_ptrs[K];
                             for (int k = 0; k < K; ++k)
-                                row_ptrs[k] = rows + (r + k) * nf;
+                                row_ptrs[k] = rows_view +
+                                              (r + k - origin) * nf;
                             float out[K];
                             walkMany(fb, lut, stride, roots, row_ptrs,
-                                     group, out);
+                                     group, pipeline, out);
                             for (int k = 0; k < K; ++k)
                                 accumulators[static_cast<size_t>(
                                     r + k - block)] += out[k];
@@ -330,7 +411,8 @@ struct PlanKernels
                             accumulators[static_cast<size_t>(
                                 r - block)] +=
                                 walkOne(fb, lut, stride, root,
-                                        rows + r * nf, group);
+                                        rows_view + (r - origin) * nf,
+                                        group);
                         }
                     }
                 }
@@ -344,13 +426,13 @@ struct PlanKernels
             // Snippet D: per-row scalar accumulator, trees interleaved
             // K at a time within each group.
             for (int64_t r = begin; r < end; ++r) {
-                const float *row = rows + r * nf;
+                const Row *row = rows_view + (r - origin) * nf;
                 float margin = fb.baseScore;
                 for (const TreeGroup &group : groups) {
                     int64_t pos = group.beginPos;
                     for (; pos + K <= group.endPos; pos += K) {
                         int64_t roots[K];
-                        const float *row_ptrs[K];
+                        const Row *row_ptrs[K];
                         for (int k = 0; k < K; ++k) {
                             roots[k] = fb.treeFirstTile[
                                 static_cast<size_t>(pos + k)];
@@ -358,7 +440,7 @@ struct PlanKernels
                         }
                         float out[K];
                         walkMany(fb, lut, stride, roots, row_ptrs,
-                                 group, out);
+                                 group, pipeline, out);
                         for (int k = 0; k < K; ++k)
                             margin += out[k];
                     }
@@ -409,6 +491,9 @@ selectByLayout(LayoutKind layout, int32_t factor, bool handle_missing)
             factor, handle_missing);
       case LayoutKind::kPacked:
         return selectByMissing<NT, LayoutKind::kPacked>(
+            factor, handle_missing);
+      case LayoutKind::kPackedQuantized:
+        return selectByMissing<NT, LayoutKind::kPackedQuantized>(
             factor, handle_missing);
       case LayoutKind::kArray:
         return selectByMissing<NT, LayoutKind::kArray>(
@@ -492,7 +577,7 @@ ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
     // + shape id (+ child base in the sparse layout). Packed records
     // touch their full fixed stride.
     int64_t tile_bytes =
-        fb.layout == LayoutKind::kPacked
+        lir::isPackedKind(fb.layout)
             ? fb.packedStride
             : nt * 8 + 2 +
                   (fb.layout == LayoutKind::kSparse ? 4 : 0);
@@ -536,18 +621,37 @@ ExecutablePlan::runInstrumented(const float *rows, int64_t num_rows,
                 const lir::TileShape &ts = fb.shapes->shape(shape);
                 // Dummy padding/hop tiles hold no real model nodes;
                 // they do not contribute to the scalar-walk cost.
-                bool is_dummy = std::isinf(fields.thresholds[0]);
+                // Quantized records mark them with the int16 sentinel.
+                bool quantized =
+                    fb.layout == LayoutKind::kPackedQuantized;
+                bool is_dummy =
+                    quantized
+                        ? fields.qthresholds[0] == lir::kQuantizedNaN
+                        : std::isinf(fields.thresholds[0]);
                 uint32_t default_left = fields.defaultLeft;
                 int32_t slot = 0;
                 int32_t child = -1;
                 while (true) {
                     if (!is_dummy)
                         counters->scalarNodesNeeded += 1;
-                    float value = row[fields.feature(slot)];
-                    bool go_left =
-                        std::isnan(value)
-                            ? ((default_left >> slot) & 1u) != 0
-                            : value < fields.thresholds[slot];
+                    int32_t feature = fields.feature(slot);
+                    float value = row[feature];
+                    bool go_left;
+                    if (quantized) {
+                        int32_t qv = fb.quantization.quantizeValue(
+                            value, feature);
+                        go_left =
+                            qv == static_cast<int32_t>(
+                                      lir::kQuantizedNaN)
+                                ? ((default_left >> slot) & 1u) != 0
+                                : qv < static_cast<int32_t>(
+                                           fields.qthresholds[slot]);
+                    } else {
+                        go_left =
+                            std::isnan(value)
+                                ? ((default_left >> slot) & 1u) != 0
+                                : value < fields.thresholds[slot];
+                    }
                     int32_t next =
                         go_left ? ts.left[static_cast<size_t>(slot)]
                                 : ts.right[static_cast<size_t>(slot)];

@@ -187,9 +187,115 @@ evalTilePacked(const unsigned char *record, const int8_t *lut,
     return lut[static_cast<size_t>(shape) * lut_stride + outcome];
 }
 
+// ---------------------------------------------------------------------
+// Quantized packed layout: same record-per-tile discipline, but the
+// thresholds are int16 under the model's per-feature affine maps and
+// the row has been pre-quantized into one int32 per feature (see
+// QuantizationInfo::quantizeValue). The compare runs in int32 over
+// sign-extended thresholds — outcome-identical to an int16 compare
+// since both sides are in int16 range; a lane holding the
+// kQuantizedNaN sentinel (a NaN row value) compares false against
+// every populated threshold and is routed by the default-direction
+// bits, exactly like the f32 NaN path.
+// ---------------------------------------------------------------------
+
+/** Child-base field of a quantized packed tile record. */
+template <int NT>
+inline int32_t
+packedqChildBase(const unsigned char *record)
+{
+    int32_t base;
+    __builtin_memcpy(&base, record + lir::packedqChildBaseOffset(NT),
+                     sizeof(int32_t));
+    return base;
+}
+
+/**
+ * As evalTilePacked, but @p qrow holds the row's quantized feature
+ * values (int32 per feature, each already in int16 range).
+ */
+template <int NT, bool HandleMissing>
+inline int32_t
+evalTilePackedQuantized(const unsigned char *record, const int8_t *lut,
+                        int32_t lut_stride, const int32_t *qrow)
+{
+    const int16_t *thresholds =
+        reinterpret_cast<const int16_t *>(record);
+    const uint8_t *features = record + lir::packedqFeaturesOffset(NT);
+    int16_t shape;
+    __builtin_memcpy(&shape, record + lir::packedqShapeOffset(NT),
+                     sizeof(int16_t));
+    [[maybe_unused]] uint32_t default_left =
+        record[lir::packedqDefaultLeftOffset(NT)];
+
+#if TREEBEARD_HAS_AVX2
+    if constexpr (NT == 8) {
+        // Sign-extend the int16 thresholds to int32 (off the gather's
+        // critical path) and compare in epi32: identical results to
+        // an int16 compare since both sides are in int16 range, and
+        // the walk's serial tile->tile dependence chain stays as
+        // short as the f32 path's.
+        __m256i th = _mm256_cvtepi16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(thresholds)));
+        __m128i fi8 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(features));
+        __m256i fi = _mm256_cvtepu8_epi32(fi8);
+        __m256i qv = _mm256_i32gather_epi32(qrow, fi, 4);
+        __m256i lt = _mm256_cmpgt_epi32(th, qv);
+        uint32_t outcome = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+        if constexpr (HandleMissing) {
+            __m256i missing = _mm256_cmpeq_epi32(
+                qv, _mm256_set1_epi32(lir::kQuantizedNaN));
+            outcome |= static_cast<uint32_t>(_mm256_movemask_ps(
+                           _mm256_castsi256_ps(missing))) &
+                       default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+    if constexpr (NT == 4) {
+        __m128i th = _mm_cvtepi16_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(thresholds)));
+        uint32_t fi_bytes;
+        __builtin_memcpy(&fi_bytes, features, sizeof(fi_bytes));
+        __m128i fi8 = _mm_cvtsi32_si128(static_cast<int32_t>(fi_bytes));
+        __m128i fi = _mm_cvtepu8_epi32(fi8);
+        __m128i qv = _mm_i32gather_epi32(qrow, fi, 4);
+        __m128i lt = _mm_cmpgt_epi32(th, qv);
+        uint32_t outcome = static_cast<uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(lt)));
+        if constexpr (HandleMissing) {
+            __m128i missing = _mm_cmpeq_epi32(
+                qv, _mm_set1_epi32(lir::kQuantizedNaN));
+            outcome |= static_cast<uint32_t>(_mm_movemask_ps(
+                           _mm_castsi128_ps(missing))) &
+                       default_left;
+        }
+        return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+    }
+#endif
+
+    uint32_t outcome = 0;
+    for (int s = 0; s < NT; ++s) {
+        int32_t value = qrow[features[s]];
+        uint32_t bit = static_cast<uint32_t>(
+            value < static_cast<int32_t>(thresholds[s]));
+        if constexpr (HandleMissing) {
+            bit |= static_cast<uint32_t>(
+                       value ==
+                       static_cast<int32_t>(lir::kQuantizedNaN)) &
+                   ((default_left >> s) & 1u);
+        }
+        outcome |= bit << s;
+    }
+    return lut[static_cast<size_t>(shape) * lut_stride + outcome];
+}
+
 /**
  * Runtime-tile-size variant used by reference/instrumented paths;
- * layout-agnostic via ForestBuffers::tileFields.
+ * layout-agnostic via ForestBuffers::tileFields. The quantized layout
+ * quantizes each gathered value on the fly — bit-identical to the
+ * kernels' pre-quantized rows since quantizeValue is deterministic.
  */
 inline int32_t
 evalTileDynamic(const lir::ForestBuffers &fb, int64_t tile,
@@ -199,6 +305,21 @@ evalTileDynamic(const lir::ForestBuffers &fb, int64_t tile,
     lir::ForestBuffers::TileFields fields = fb.tileFields(tile);
     uint32_t default_left = fields.defaultLeft;
     uint32_t outcome = 0;
+    if (fb.layout == lir::LayoutKind::kPackedQuantized) {
+        for (int32_t s = 0; s < nt; ++s) {
+            int32_t feature = fields.feature(s);
+            int32_t value = fb.quantization.quantizeValue(
+                row[feature], feature);
+            uint32_t lt = static_cast<uint32_t>(
+                value < static_cast<int32_t>(fields.qthresholds[s]));
+            uint32_t nan_left =
+                static_cast<uint32_t>(
+                    value == static_cast<int32_t>(lir::kQuantizedNaN)) &
+                ((default_left >> s) & 1u);
+            outcome |= (lt | nan_left) << s;
+        }
+        return fb.shapes->child(fields.shapeId, outcome);
+    }
     for (int32_t s = 0; s < nt; ++s) {
         float value = row[fields.feature(s)];
         uint32_t lt = static_cast<uint32_t>(value < fields.thresholds[s]);

@@ -85,86 +85,160 @@ walkSparseUnrolled(const ForestBuffers &fb, const int8_t *lut,
 }
 
 // ---------------------------------------------------------------------
-// Packed layout: sparse topology over one-cache-line AoS records.
+// Packed layouts: sparse topology over fixed-stride AoS records.
 // Termination matches the sparse walk (childBase < 0 => leaf pool).
-// The generic walk prefetches the extremes of the contiguous child
-// block while the current tile's predicates evaluate, hiding the
-// line fill of whichever child the LUT selects next.
+// The f32 and int16-quantized record formats differ only in the field
+// offsets, the stride and the row element type, so one set of walkers
+// serves both precisions through a walk policy. The generic walk
+// prefetches the extremes of the contiguous child block while the
+// current tile's predicates evaluate, hiding the line fill of
+// whichever child the LUT selects next; the interleaved walkers also
+// come in software-pipelined variants that carry each lane's child
+// base in a register loaded one full lane round ahead of its use.
 // ---------------------------------------------------------------------
 
-/** Prefetch the first and last candidate child records of a tile. */
-template <int NT>
-inline void
-prefetchPackedChildren(const unsigned char *base_ptr, int32_t child_base)
+/** Walk policy for the f32 packed record format. */
+template <int NT, bool HM>
+struct PackedF32Walk
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
-    const unsigned char *first = base_ptr + child_base * kStride;
+    /** Row element type the tile evaluation consumes. */
+    using Row = float;
+    static constexpr int kNT = NT;
+    static constexpr int64_t kStride = lir::packedTileStride(NT);
+
+    static int32_t childBase(const unsigned char *record)
+    {
+        return packedChildBase<NT>(record);
+    }
+
+    static int32_t eval(const unsigned char *record, const int8_t *lut,
+                        int32_t lut_stride, const Row *row)
+    {
+        return evalTilePacked<NT, HM>(record, lut, lut_stride, row);
+    }
+};
+
+/** Walk policy for the int16-quantized packed record format. */
+template <int NT, bool HM>
+struct PackedQuantizedWalk
+{
+    /** Rows are pre-quantized: one int32 per feature. */
+    using Row = int32_t;
+    static constexpr int kNT = NT;
+    static constexpr int64_t kStride = lir::packedqTileStride(NT);
+
+    static int32_t childBase(const unsigned char *record)
+    {
+        return packedqChildBase<NT>(record);
+    }
+
+    static int32_t eval(const unsigned char *record, const int8_t *lut,
+                        int32_t lut_stride, const Row *row)
+    {
+        return evalTilePackedQuantized<NT, HM>(record, lut, lut_stride,
+                                               row);
+    }
+};
+
+/** Prefetch the first and last candidate child records of a tile. */
+template <class P>
+inline void
+prefetchRecordChildren(const unsigned char *base_ptr, int32_t child_base)
+{
+    const unsigned char *first = base_ptr + child_base * P::kStride;
     __builtin_prefetch(first, 0, 3);
-    __builtin_prefetch(first + NT * kStride, 0, 3);
+    __builtin_prefetch(first + P::kNT * P::kStride, 0, 3);
 }
 
-/** Generic packed walk of the tree rooted at global tile @p root. */
-template <int NT, bool HM>
+/** Generic record walk of the tree rooted at global tile @p root. */
+template <class P>
 inline float
-walkPacked(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
-           int64_t root, const float *row)
+walkRecords(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+            int64_t root, const typename P::Row *row)
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
     const unsigned char *base_ptr = fb.packedData();
     int64_t tile = root;
     while (true) {
-        const unsigned char *record = base_ptr + tile * kStride;
-        int32_t base = packedChildBase<NT>(record);
+        const unsigned char *record = base_ptr + tile * P::kStride;
+        int32_t base = P::childBase(record);
         if (base >= 0)
-            prefetchPackedChildren<NT>(base_ptr, base);
-        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
+            prefetchRecordChildren<P>(base_ptr, base);
+        int32_t child = P::eval(record, lut, stride, row);
         if (base < 0)
             return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
         tile = base + child;
     }
 }
 
-/** Peeled packed walk (same contract as walkSparsePeeled). */
+/** Peeled record walk (same contract as walkSparsePeeled). */
+template <class P>
+inline float
+walkRecordsPeeled(const ForestBuffers &fb, const int8_t *lut,
+                  int32_t stride, int64_t root,
+                  const typename P::Row *row, int32_t peel)
+{
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        const unsigned char *record = base_ptr + tile * P::kStride;
+        int32_t base = P::childBase(record);
+        prefetchRecordChildren<P>(base_ptr, base);
+        int32_t child = P::eval(record, lut, stride, row);
+        tile = base + child;
+    }
+    return walkRecords<P>(fb, lut, stride, tile, row);
+}
+
+/** Fully unrolled record walk: exactly @p depth tile evaluations. */
+template <class P>
+inline float
+walkRecordsUnrolled(const ForestBuffers &fb, const int8_t *lut,
+                    int32_t stride, int64_t root,
+                    const typename P::Row *row, int32_t depth)
+{
+    const unsigned char *base_ptr = fb.packedData();
+    int64_t tile = root;
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        const unsigned char *record = base_ptr + tile * P::kStride;
+        int32_t base = P::childBase(record);
+        prefetchRecordChildren<P>(base_ptr, base);
+        int32_t child = P::eval(record, lut, stride, row);
+        tile = base + child;
+    }
+    const unsigned char *record = base_ptr + tile * P::kStride;
+    int32_t child = P::eval(record, lut, stride, row);
+    int32_t base = P::childBase(record);
+    return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+}
+
+/** Compatibility aliases for the f32 packed walkers. */
+template <int NT, bool HM>
+inline float
+walkPacked(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+           int64_t root, const float *row)
+{
+    return walkRecords<PackedF32Walk<NT, HM>>(fb, lut, stride, root,
+                                              row);
+}
+
 template <int NT, bool HM>
 inline float
 walkPackedPeeled(const ForestBuffers &fb, const int8_t *lut,
                  int32_t stride, int64_t root, const float *row,
                  int32_t peel)
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
-    const unsigned char *base_ptr = fb.packedData();
-    int64_t tile = root;
-    for (int32_t d = 0; d + 1 < peel; ++d) {
-        const unsigned char *record = base_ptr + tile * kStride;
-        int32_t base = packedChildBase<NT>(record);
-        prefetchPackedChildren<NT>(base_ptr, base);
-        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
-        tile = base + child;
-    }
-    return walkPacked<NT, HM>(fb, lut, stride, tile, row);
+    return walkRecordsPeeled<PackedF32Walk<NT, HM>>(fb, lut, stride,
+                                                    root, row, peel);
 }
 
-/** Fully unrolled packed walk: exactly @p depth tile evaluations. */
 template <int NT, bool HM>
 inline float
 walkPackedUnrolled(const ForestBuffers &fb, const int8_t *lut,
                    int32_t stride, int64_t root, const float *row,
                    int32_t depth)
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
-    const unsigned char *base_ptr = fb.packedData();
-    int64_t tile = root;
-    for (int32_t d = 0; d + 1 < depth; ++d) {
-        const unsigned char *record = base_ptr + tile * kStride;
-        int32_t base = packedChildBase<NT>(record);
-        prefetchPackedChildren<NT>(base_ptr, base);
-        int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
-        tile = base + child;
-    }
-    const unsigned char *record = base_ptr + tile * kStride;
-    int32_t child = evalTilePacked<NT, HM>(record, lut, stride, row);
-    int32_t base = packedChildBase<NT>(record);
-    return fb.leaves[static_cast<size_t>(-(base + 1) + child)];
+    return walkRecordsUnrolled<PackedF32Walk<NT, HM>>(fb, lut, stride,
+                                                      root, row, depth);
 }
 
 // ---------------------------------------------------------------------
@@ -295,15 +369,15 @@ walkSparseGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
     }
 }
 
-/** Interleaved fully unrolled packed walks. */
-template <int NT, bool HM, int K>
+/** Interleaved fully unrolled record walks (prefetch-hint variant). */
+template <class P, int K>
 inline void
-walkPackedUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
-                              int32_t stride, const int64_t *roots,
-                              const float *const *rows, int32_t depth,
-                              float *out)
+walkRecordsUnrolledInterleaved(const ForestBuffers &fb,
+                               const int8_t *lut, int32_t stride,
+                               const int64_t *roots,
+                               const typename P::Row *const *rows,
+                               int32_t depth, float *out)
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
     const unsigned char *base_ptr = fb.packedData();
     int64_t tile[K];
     for (int k = 0; k < K; ++k)
@@ -312,45 +386,83 @@ walkPackedUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
         // Prefetch every lane's child block first, then evaluate: the
         // loads of lane k's next record overlap the other lanes' work.
         for (int k = 0; k < K; ++k) {
-            prefetchPackedChildren<NT>(
+            prefetchRecordChildren<P>(
                 base_ptr,
-                packedChildBase<NT>(base_ptr + tile[k] * kStride));
+                P::childBase(base_ptr + tile[k] * P::kStride));
         }
         for (int k = 0; k < K; ++k) {
-            const unsigned char *record = base_ptr + tile[k] * kStride;
-            int32_t child =
-                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
-            tile[k] = packedChildBase<NT>(record) + child;
+            const unsigned char *record =
+                base_ptr + tile[k] * P::kStride;
+            int32_t child = P::eval(record, lut, stride, rows[k]);
+            tile[k] = P::childBase(record) + child;
         }
     }
     for (int k = 0; k < K; ++k) {
-        const unsigned char *record = base_ptr + tile[k] * kStride;
-        int32_t child =
-            evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
-        int32_t base = packedChildBase<NT>(record);
+        const unsigned char *record = base_ptr + tile[k] * P::kStride;
+        int32_t child = P::eval(record, lut, stride, rows[k]);
+        int32_t base = P::childBase(record);
         out[k] = fb.leaves[static_cast<size_t>(-(base + 1) + child)];
     }
 }
 
-/** Interleaved generic (optionally peeled) packed walks. */
-template <int NT, bool HM, int K>
+/**
+ * Software-pipelined interleaved unrolled record walks: each lane
+ * carries its current record pointer and that record's child base in
+ * registers; advancing lane k issues the next record's child-base
+ * load a full K-1 lanes of work before its next use, so the dependent
+ * line fill overlaps the other lanes' evaluations instead of relying
+ * on prefetch hints.
+ */
+template <class P, int K>
 inline void
-walkPackedGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
-                             int32_t stride, const int64_t *roots,
-                             const float *const *rows, int32_t peel,
-                             float *out)
+walkRecordsUnrolledInterleavedPipelined(
+    const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+    const int64_t *roots, const typename P::Row *const *rows,
+    int32_t depth, float *out)
 {
-    constexpr int64_t kStride = lir::packedTileStride(NT);
+    const unsigned char *base_ptr = fb.packedData();
+    const unsigned char *rec[K];
+    int32_t base[K];
+    for (int k = 0; k < K; ++k) {
+        rec[k] = base_ptr + roots[k] * P::kStride;
+        base[k] = P::childBase(rec[k]);
+    }
+    for (int32_t d = 0; d + 1 < depth; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child = P::eval(rec[k], lut, stride, rows[k]);
+            rec[k] = base_ptr +
+                     static_cast<int64_t>(base[k] + child) * P::kStride;
+            base[k] = P::childBase(rec[k]);
+        }
+    }
+    // The final records' child bases are already in flight (negative:
+    // leaf-pool offsets).
+    for (int k = 0; k < K; ++k) {
+        int32_t child = P::eval(rec[k], lut, stride, rows[k]);
+        out[k] =
+            fb.leaves[static_cast<size_t>(-(base[k] + 1) + child)];
+    }
+}
+
+/** Interleaved generic (optionally peeled) record walks. */
+template <class P, int K>
+inline void
+walkRecordsGenericInterleaved(const ForestBuffers &fb,
+                              const int8_t *lut, int32_t stride,
+                              const int64_t *roots,
+                              const typename P::Row *const *rows,
+                              int32_t peel, float *out)
+{
     const unsigned char *base_ptr = fb.packedData();
     int64_t tile[K];
     for (int k = 0; k < K; ++k)
         tile[k] = roots[k];
     for (int32_t d = 0; d + 1 < peel; ++d) {
         for (int k = 0; k < K; ++k) {
-            const unsigned char *record = base_ptr + tile[k] * kStride;
-            int32_t child =
-                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
-            tile[k] = packedChildBase<NT>(record) + child;
+            const unsigned char *record =
+                base_ptr + tile[k] * P::kStride;
+            int32_t child = P::eval(record, lut, stride, rows[k]);
+            tile[k] = P::childBase(record) + child;
         }
     }
     uint32_t done = 0;
@@ -359,12 +471,12 @@ walkPackedGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
         for (int k = 0; k < K; ++k) {
             if (done & (1u << k))
                 continue;
-            const unsigned char *record = base_ptr + tile[k] * kStride;
-            int32_t base = packedChildBase<NT>(record);
+            const unsigned char *record =
+                base_ptr + tile[k] * P::kStride;
+            int32_t base = P::childBase(record);
             if (base >= 0)
-                prefetchPackedChildren<NT>(base_ptr, base);
-            int32_t child =
-                evalTilePacked<NT, HM>(record, lut, stride, rows[k]);
+                prefetchRecordChildren<P>(base_ptr, base);
+            int32_t child = P::eval(record, lut, stride, rows[k]);
             if (base < 0) {
                 out[k] =
                     fb.leaves[static_cast<size_t>(-(base + 1) + child)];
@@ -374,6 +486,77 @@ walkPackedGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
             }
         }
     }
+}
+
+/**
+ * Software-pipelined interleaved generic record walks: like the
+ * unrolled pipelined variant, but each lane checks its register-held
+ * child base for leaf termination before advancing.
+ */
+template <class P, int K>
+inline void
+walkRecordsGenericInterleavedPipelined(
+    const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+    const int64_t *roots, const typename P::Row *const *rows,
+    int32_t peel, float *out)
+{
+    const unsigned char *base_ptr = fb.packedData();
+    const unsigned char *rec[K];
+    int32_t base[K];
+    for (int k = 0; k < K; ++k) {
+        rec[k] = base_ptr + roots[k] * P::kStride;
+        base[k] = P::childBase(rec[k]);
+    }
+    for (int32_t d = 0; d + 1 < peel; ++d) {
+        for (int k = 0; k < K; ++k) {
+            int32_t child = P::eval(rec[k], lut, stride, rows[k]);
+            rec[k] = base_ptr +
+                     static_cast<int64_t>(base[k] + child) * P::kStride;
+            base[k] = P::childBase(rec[k]);
+        }
+    }
+    uint32_t done = 0;
+    const uint32_t all_done = (K >= 32) ? ~0u : ((1u << K) - 1);
+    while (done != all_done) {
+        for (int k = 0; k < K; ++k) {
+            if (done & (1u << k))
+                continue;
+            int32_t child = P::eval(rec[k], lut, stride, rows[k]);
+            if (base[k] < 0) {
+                out[k] = fb.leaves[static_cast<size_t>(
+                    -(base[k] + 1) + child)];
+                done |= 1u << k;
+            } else {
+                rec[k] = base_ptr +
+                         static_cast<int64_t>(base[k] + child) *
+                             P::kStride;
+                base[k] = P::childBase(rec[k]);
+            }
+        }
+    }
+}
+
+/** Compatibility aliases for the f32 packed interleaved walkers. */
+template <int NT, bool HM, int K>
+inline void
+walkPackedUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                              int32_t stride, const int64_t *roots,
+                              const float *const *rows, int32_t depth,
+                              float *out)
+{
+    walkRecordsUnrolledInterleaved<PackedF32Walk<NT, HM>, K>(
+        fb, lut, stride, roots, rows, depth, out);
+}
+
+template <int NT, bool HM, int K>
+inline void
+walkPackedGenericInterleaved(const ForestBuffers &fb, const int8_t *lut,
+                             int32_t stride, const int64_t *roots,
+                             const float *const *rows, int32_t peel,
+                             float *out)
+{
+    walkRecordsGenericInterleaved<PackedF32Walk<NT, HM>, K>(
+        fb, lut, stride, roots, rows, peel, out);
 }
 
 /** Interleaved fully unrolled array walks. */

@@ -16,13 +16,16 @@
  *
  * Schedule flags: --tile N --interleave N --threads N
  *   --order tree|row --layout sparse|array|packed
+ *   --packed-precision f32|i16 (int16-quantized packed records)
  *   --tiling basic|probability|hybrid|min-max-depth
- *   --no-unroll --no-peel --verify-each
+ *   --no-unroll --no-peel --no-pipeline --verify-each
  *
  * Backend flags (compile/predict/bench): --backend kernel|jit
  *   --jit-cache-dir DIR (persist jit-compiled objects across runs)
+ *   --jit-cache-max-bytes N (LRU-evict the disk cache past N bytes)
  *
  * Tune flags: --backend kernel|jit|both --jit-cache-dir DIR
+ *   --jit-cache-max-bytes N
  *
  * verify loads the model and schedule (from a schedule JSON file or
  * from schedule flags), runs every IR-level verifier after every
@@ -109,10 +112,21 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
                 schedule.tiling = hir::TilingAlgorithm::kMinMaxDepth;
             else
                 fatal("unknown tiling '", value, "'");
+        } else if (arg == "--packed-precision") {
+            const std::string &value = next();
+            if (value == "f32")
+                schedule.packedPrecision = hir::PackedPrecision::kF32;
+            else if (value == "i16")
+                schedule.packedPrecision = hir::PackedPrecision::kI16;
+            else
+                fatal("--packed-precision must be f32 or i16 (got \"",
+                      value, "\")");
         } else if (arg == "--no-unroll") {
             schedule.padAndUnrollWalks = false;
         } else if (arg == "--no-peel") {
             schedule.peelWalks = false;
+        } else if (arg == "--no-pipeline") {
+            schedule.pipelinePackedWalks = false;
         } else if (arg == "--backend" && compiler_options != nullptr) {
             const std::string &value = next();
             if (value == "kernel")
@@ -125,6 +139,9 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
         } else if (arg == "--jit-cache-dir" &&
                    compiler_options != nullptr) {
             compiler_options->jit.cacheDir = next();
+        } else if (arg == "--jit-cache-max-bytes" &&
+                   compiler_options != nullptr) {
+            compiler_options->jit.cacheMaxBytes = std::stoll(next());
         } else if (arg == "--verify-each" &&
                    compiler_options != nullptr) {
             compiler_options->verifyEach = true;
@@ -395,6 +412,8 @@ commandTune(const std::string &path, int64_t sample_rows,
                       "(got \"", value, "\")");
         } else if (arg == "--jit-cache-dir") {
             options.jitCacheDir = next();
+        } else if (arg == "--jit-cache-max-bytes") {
+            options.jitCacheMaxBytes = std::stoll(next());
         } else {
             fatal("unknown flag '", arg, "'");
         }

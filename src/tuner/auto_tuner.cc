@@ -28,18 +28,35 @@ enumerateSchedules(const TunerOptions &options)
                              options.interleaveFactors) {
                             for (hir::MemoryLayout layout :
                                  options.layouts) {
-                                hir::Schedule schedule;
-                                schedule.loopOrder = order;
-                                schedule.tileSize = tile_size;
-                                schedule.tiling = tiling;
-                                schedule.alpha = alpha;
-                                schedule.beta = beta;
-                                schedule.padAndUnrollWalks = unroll;
-                                schedule.interleaveFactor = interleave;
-                                schedule.layout = layout;
-                                schedule.numThreads =
-                                    options.numThreads;
-                                schedules.push_back(schedule);
+                                // Precision is a packed-record knob;
+                                // other layouts take one grid point.
+                                std::vector<hir::PackedPrecision>
+                                    precisions =
+                                        layout == hir::MemoryLayout::
+                                                      kPacked
+                                            ? options.packedPrecisions
+                                            : std::vector<
+                                                  hir::PackedPrecision>{
+                                                  hir::PackedPrecision::
+                                                      kF32};
+                                for (hir::PackedPrecision precision :
+                                     precisions) {
+                                    hir::Schedule schedule;
+                                    schedule.loopOrder = order;
+                                    schedule.tileSize = tile_size;
+                                    schedule.tiling = tiling;
+                                    schedule.alpha = alpha;
+                                    schedule.beta = beta;
+                                    schedule.padAndUnrollWalks = unroll;
+                                    schedule.interleaveFactor =
+                                        interleave;
+                                    schedule.layout = layout;
+                                    schedule.packedPrecision =
+                                        precision;
+                                    schedule.numThreads =
+                                        options.numThreads;
+                                    schedules.push_back(schedule);
+                                }
                             }
                         }
                     }
@@ -76,6 +93,8 @@ exploreSchedules(const model::Forest &forest, const float *rows,
                 CompilerOptions compiler_options;
                 compiler_options.backend = backend;
                 compiler_options.jit.cacheDir = options.jitCacheDir;
+                compiler_options.jit.cacheMaxBytes =
+                    options.jitCacheMaxBytes;
                 Timer compile_timer;
                 Session session =
                     compile(forest, schedule, compiler_options);

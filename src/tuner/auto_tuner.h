@@ -40,6 +40,15 @@ struct TunerOptions
     std::vector<hir::MemoryLayout> layouts{hir::MemoryLayout::kSparse,
                                            hir::MemoryLayout::kPacked,
                                            hir::MemoryLayout::kArray};
+    /**
+     * Packed-record precisions to explore. Applied only to packed
+     * grid points (other layouts ignore the knob, so sweeping it
+     * there would just duplicate timings). The default explores both:
+     * int16 halves the record but costs a per-row quantization pass,
+     * and the winner depends on model depth and batch size.
+     */
+    std::vector<hir::PackedPrecision> packedPrecisions{
+        hir::PackedPrecision::kF32, hir::PackedPrecision::kI16};
     int32_t numThreads = 1;
     /** Timing repetitions; the minimum is kept. */
     int32_t repetitions = 3;
@@ -54,6 +63,8 @@ struct TunerOptions
     std::vector<Backend> backends{Backend::kKernel};
     /** Source-JIT disk cache directory for the sweep ("" = off). */
     std::string jitCacheDir;
+    /** LRU byte cap on that cache (0 = unlimited). */
+    int64_t jitCacheMaxBytes = 0;
 };
 
 /** One timed configuration. */

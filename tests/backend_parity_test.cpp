@@ -79,6 +79,7 @@ struct ParityCase
     hir::MemoryLayout layout;
     int32_t tileSize;
     bool multiclass;
+    hir::PackedPrecision precision = hir::PackedPrecision::kF32;
 };
 
 class BackendParity : public ::testing::TestWithParam<ParityCase>
@@ -94,6 +95,7 @@ TEST_P(BackendParity, KernelAndSourceJitAreBitExact)
     hir::Schedule schedule;
     schedule.layout = c.layout;
     schedule.tileSize = c.tileSize;
+    schedule.packedPrecision = c.precision;
 
     std::vector<float> kernel =
         predictWith(Backend::kKernel, forest, schedule, rows);
@@ -120,7 +122,20 @@ INSTANTIATE_TEST_SUITE_P(
         ParityCase{hir::MemoryLayout::kArray, 4, true},
         ParityCase{hir::MemoryLayout::kArray, 8, true},
         ParityCase{hir::MemoryLayout::kPacked, 4, true},
-        ParityCase{hir::MemoryLayout::kPacked, 8, true}));
+        ParityCase{hir::MemoryLayout::kPacked, 8, true},
+        // Int16-quantized packed records: the emitted source inlines
+        // the same quantizer and integer compares as the kernels, so
+        // parity is exact even where rounding flips a route.
+        ParityCase{hir::MemoryLayout::kPacked, 1, false,
+                   hir::PackedPrecision::kI16},
+        ParityCase{hir::MemoryLayout::kPacked, 4, false,
+                   hir::PackedPrecision::kI16},
+        ParityCase{hir::MemoryLayout::kPacked, 8, false,
+                   hir::PackedPrecision::kI16},
+        ParityCase{hir::MemoryLayout::kPacked, 4, true,
+                   hir::PackedPrecision::kI16},
+        ParityCase{hir::MemoryLayout::kPacked, 8, true,
+                   hir::PackedPrecision::kI16}));
 
 TEST(UnifiedSession, PredictInstrumentedThrowsOnSourceJit)
 {
@@ -177,6 +192,28 @@ TEST(UnifiedSession, ArtifactsRecordBackendAndSource)
     Session kernel = compile(forest, schedule, options);
     EXPECT_EQ(kernel.artifacts().backend, Backend::kKernel);
     EXPECT_TRUE(kernel.artifacts().generatedSource.empty());
+}
+
+TEST(UnifiedSession, QuantizedArtifactsCarryInt16Kernels)
+{
+    model::Forest forest = makeForest(false, 4350);
+    hir::Schedule schedule;
+    schedule.tileSize = 8;
+    schedule.layout = hir::MemoryLayout::kPacked;
+    schedule.packedPrecision = hir::PackedPrecision::kI16;
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+
+    const std::string &source =
+        session.artifacts().generatedSource;
+    // The integer compare ladder and the inlined row quantizer.
+    EXPECT_NE(source.find("_mm256_cmpgt_epi32"), std::string::npos);
+    EXPECT_NE(source.find("_mm256_i32gather_epi32"),
+              std::string::npos);
+    EXPECT_NE(source.find("quantize_value"), std::string::npos);
+    EXPECT_NE(source.find("std::lrintf"), std::string::npos);
 }
 
 TEST(UnifiedSession, SourceJitHonorsNumThreads)

@@ -192,6 +192,63 @@ TEST(SystemJit, DiskCacheRecoversFromCorruptEntry)
     EXPECT_EQ(third.function<int (*)()>("corrupt_test")(), 57);
 }
 
+TEST(SystemJit, DiskCacheEvictsLeastRecentlyUsedOverCap)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    options.cacheDir = makeCacheDir("jit_lru_cache");
+
+    // Learn one entry's size, then cap the cache at two and a half
+    // entries so a third store must evict.
+    JitModule first("extern \"C\" int lru0() { return 0; }", options);
+    int64_t entry_bytes = 0;
+    std::string first_entry;
+    for (const auto &item :
+         std::filesystem::directory_iterator(options.cacheDir)) {
+        entry_bytes = static_cast<int64_t>(
+            std::filesystem::file_size(item.path()));
+        first_entry = item.path().string();
+    }
+    ASSERT_GT(entry_bytes, 0);
+    options.cacheMaxBytes = entry_bytes * 2 + entry_bytes / 2;
+
+    JitCacheStats before = jitCacheStats();
+    JitModule second("extern \"C\" int lru1() { return 1; }", options);
+    EXPECT_EQ(jitCacheStats().diskEvictions, before.diskEvictions)
+        << "two entries fit under the cap";
+
+    // A disk hit refreshes lru0's recency, so the eviction below must
+    // fall on lru1 instead.
+    clearJitMemoryCacheForTesting();
+    JitModule touch("extern \"C\" int lru0() { return 0; }", options);
+    EXPECT_EQ(touch.compileSeconds(), 0.0);
+
+    JitModule third("extern \"C\" int lru2() { return 2; }", options);
+    JitCacheStats after = jitCacheStats();
+    EXPECT_EQ(after.diskEvictions, before.diskEvictions + 1);
+    EXPECT_TRUE(std::filesystem::exists(first_entry))
+        << "the touched entry must survive";
+    int entries = 0;
+    for (const auto &item :
+         std::filesystem::directory_iterator(options.cacheDir)) {
+        (void)item;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 2);
+
+    // The survivors still load from disk in a fresh process.
+    clearJitMemoryCacheForTesting();
+    JitModule reload("extern \"C\" int lru2() { return 2; }", options);
+    EXPECT_EQ(reload.compileSeconds(), 0.0);
+    EXPECT_EQ(reload.function<int (*)()>("lru2")(), 2);
+
+    // An unlimited cap (the default) never evicts.
+    options.cacheMaxBytes = 0;
+    JitCacheStats unlimited = jitCacheStats();
+    JitModule fourth("extern \"C\" int lru3() { return 3; }", options);
+    EXPECT_EQ(jitCacheStats().diskEvictions, unlimited.diskEvictions);
+}
+
 struct EmitterCase
 {
     hir::LoopOrder loopOrder;

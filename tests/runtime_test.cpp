@@ -117,12 +117,13 @@ TEST(Tuner, GridEnumerationPrunesGatePairs)
                        hir::TilingAlgorithm::kHybrid};
     options.padAndUnroll = {true};
     options.interleaveFactors = {1, 8};
-    // Per layout: basic 2 tiles x 1 gate x 1 unroll x 2 interleave = 4
-    // plus hybrid 2 tiles x 3 gates x 1 x 2 = 12; the default grid
-    // explores 3 layouts (sparse, packed, array).
+    // Per layout-precision point: basic 2 tiles x 1 gate x 1 unroll x
+    // 2 interleave = 4 plus hybrid 2 tiles x 3 gates x 1 x 2 = 12; the
+    // default grid explores sparse, array, and packed at both record
+    // precisions (f32 and i16) — 4 layout-precision points.
     std::vector<hir::Schedule> schedules =
         tuner::enumerateSchedules(options);
-    EXPECT_EQ(schedules.size(), 48u);
+    EXPECT_EQ(schedules.size(), 64u);
     for (const hir::Schedule &schedule : schedules)
         EXPECT_NO_THROW(schedule.validate());
 }
@@ -146,8 +147,9 @@ TEST(Tuner, ExplorationFindsAValidBest)
 
     tuner::TunerResult result =
         tuner::exploreSchedules(forest, rows.data(), 128, options);
-    // 2 tiles x 2 interleaves x 3 layouts.
-    EXPECT_EQ(result.all.size(), 12u);
+    // 2 tiles x 2 interleaves x 4 layout-precision points (sparse,
+    // array, packed-f32, packed-i16).
+    EXPECT_EQ(result.all.size(), 16u);
     EXPECT_GT(result.best.seconds, 0.0);
     // `all` is sorted ascending; best is the head.
     EXPECT_EQ(result.all.front().seconds, result.best.seconds);

@@ -84,6 +84,8 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                 schedule.padDepthSlack = 3;
                 schedule.interleaveFactor = 4;
                 schedule.numThreads = 7;
+                schedule.packedPrecision = PackedPrecision::kI16;
+                schedule.pipelinePackedWalks = false;
 
                 Schedule loaded = scheduleFromJsonString(
                     scheduleToJsonString(schedule));
@@ -101,6 +103,10 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                 EXPECT_EQ(loaded.interleaveFactor,
                           schedule.interleaveFactor);
                 EXPECT_EQ(loaded.numThreads, schedule.numThreads);
+                EXPECT_EQ(loaded.packedPrecision,
+                          schedule.packedPrecision);
+                EXPECT_EQ(loaded.pipelinePackedWalks,
+                          schedule.pipelinePackedWalks);
             }
         }
     }
@@ -117,6 +123,33 @@ TEST(Schedule, NoMissingFlagRoundTripsAndPrints)
     Schedule defaulted =
         scheduleFromJsonString(scheduleToJsonString(Schedule{}));
     EXPECT_FALSE(defaulted.assumeNoMissingValues);
+}
+
+TEST(Schedule, PackedPrecisionDefaultsAndPrints)
+{
+    Schedule schedule;
+    EXPECT_EQ(schedule.packedPrecision, PackedPrecision::kF32);
+    EXPECT_TRUE(schedule.pipelinePackedWalks);
+
+    schedule.packedPrecision = PackedPrecision::kI16;
+    schedule.pipelinePackedWalks = false;
+    EXPECT_NE(schedule.toString().find("+i16"), std::string::npos);
+    EXPECT_NE(schedule.toString().find("-pipeline"),
+              std::string::npos);
+
+    // Older schedule documents predate the knobs; stripping the keys
+    // must load as f32 with pipelining on.
+    std::string text = scheduleToJsonString(Schedule{});
+    for (const std::string &key :
+         {std::string("\"packed_precision\":\"f32\","),
+          std::string("\"pipeline_packed\":true,")}) {
+        size_t pos = text.find(key);
+        if (pos != std::string::npos)
+            text.erase(pos, key.size());
+    }
+    Schedule defaulted = scheduleFromJsonString(text);
+    EXPECT_EQ(defaulted.packedPrecision, PackedPrecision::kF32);
+    EXPECT_TRUE(defaulted.pipelinePackedWalks);
 }
 
 TEST(Schedule, JsonRejectsInvalidDocuments)

@@ -838,6 +838,155 @@ TEST(LirVerifierPacked, DetectsFeatureIndexOutOfRangeInRecord)
 }
 
 // ---------------------------------------------------------------------
+// LIR mutations: quantized packed layout
+// ---------------------------------------------------------------------
+
+lir::ForestBuffers
+makeQuantizedBuffers(int32_t tile_size = 4)
+{
+    hir::Schedule schedule;
+    schedule.tileSize = tile_size;
+    schedule.layout = hir::MemoryLayout::kPacked;
+    schedule.packedPrecision = hir::PackedPrecision::kI16;
+    hir::HirModule module = makeTiledModule(schedule);
+    return lir::buildForestBuffers(module);
+}
+
+TEST(LirVerifierPackedQuantized, CleanBuffersHaveNoDiagnostics)
+{
+    for (int32_t tile_size : {1, 4, 8}) {
+        lir::ForestBuffers fb = makeQuantizedBuffers(tile_size);
+        ASSERT_EQ(fb.layout, lir::LayoutKind::kPackedQuantized);
+        DiagnosticEngine diag = runLirVerifier(fb);
+        EXPECT_TRUE(diag.empty())
+            << "tile size " << tile_size << "\n" << diag.toString();
+    }
+}
+
+TEST(LirVerifierPackedQuantized, DetectsWrongStride)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    fb.packedStride *= 2;
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.stride"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsUndersizedRecordBuffer)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    ASSERT_GT(fb.packed.size(), 1u);
+    fb.packed.resize(fb.packed.size() / 2);
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.stride"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsFeaturesBeyondUint8)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    fb.numFeatures = lir::kPackedQuantizedMaxFeatures;
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.features"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsDegenerateAffineMap)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    fb.quantization.scale[0] = 0.0f;
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.scale")) << diag.toString();
+
+    fb = makeQuantizedBuffers();
+    fb.quantization.offset[0] = std::nanf("");
+    diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.scale")) << diag.toString();
+
+    fb = makeQuantizedBuffers();
+    fb.quantization.scale.pop_back();
+    diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.scale")) << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsInconsistentStepBudget)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    // A step budget that disagrees with 1/scale understates (or
+    // overstates) the rounding the records actually suffered.
+    fb.quantization.stepBudget[0] *= 8.0f;
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.budget"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsCorruptErrorBudgets)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    fb.quantization.predictionErrorBudget = -1.0f;
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.budget"))
+        << diag.toString();
+
+    // A zero max-threshold-error claims the records are exact; every
+    // materialized threshold's real step contradicts it.
+    fb = makeQuantizedBuffers();
+    fb.quantization.maxThresholdError = 0.0f;
+    diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.budget"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsSentinelInPopulatedSlot)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    int64_t root = fb.treeFirstTile[0];
+    int16_t sentinel = lir::kQuantizedNaN;
+    std::memcpy(fb.packedData() + root * fb.packedStride, &sentinel,
+                sizeof(sentinel));
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.packedq.threshold"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsCorruptShapeIdInRecord)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    int64_t root = fb.treeFirstTile[0];
+    int16_t bad = static_cast<int16_t>(fb.shapes->numShapes() + 7);
+    std::memcpy(fb.packedData() + root * fb.packedStride +
+                    lir::packedqShapeOffset(fb.tileSize),
+                &bad, sizeof(bad));
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.shape-id.range")) << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsBackwardChildBaseInRecord)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    int64_t root = fb.treeFirstTile[0];
+    int32_t bad = static_cast<int32_t>(root);
+    std::memcpy(fb.packedData() + root * fb.packedStride +
+                    lir::packedqChildBaseOffset(fb.tileSize),
+                &bad, sizeof(bad));
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.child-base.backward"))
+        << diag.toString();
+}
+
+TEST(LirVerifierPackedQuantized, DetectsFeatureIndexOutOfRangeInRecord)
+{
+    lir::ForestBuffers fb = makeQuantizedBuffers();
+    int64_t root = fb.treeFirstTile[0];
+    uint8_t bad = 255; // model has 10 features
+    std::memcpy(fb.packedData() + root * fb.packedStride +
+                    lir::packedqFeaturesOffset(fb.tileSize),
+                &bad, sizeof(bad));
+    DiagnosticEngine diag = runLirVerifier(fb);
+    EXPECT_TRUE(diag.hasCode("lir.feature.range")) << diag.toString();
+}
+
+// ---------------------------------------------------------------------
 // LUT totality
 // ---------------------------------------------------------------------
 

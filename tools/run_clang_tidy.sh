@@ -22,9 +22,14 @@ cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
-# Library and tool translation units only; tests and benches are
-# covered by the compiler warnings they already build with.
-mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+# Library and tool translation units plus the bench harness (its
+# hand-rolled JSON writers and timing loops are worth the same
+# bugprone-* scrutiny); tests are covered by the compiler warnings
+# they already build with.
+mapfile -t SOURCES < <({
+    find src -name '*.cc'
+    find bench -maxdepth 1 -name 'bench_*.cpp'
+} | sort)
 
 echo "clang-tidy over ${#SOURCES[@]} files (build dir: $BUILD_DIR)"
 clang-tidy -p "$BUILD_DIR" --quiet "$@" "${SOURCES[@]}"

@@ -22,6 +22,11 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
 fi
 
 DEFAULT_FILTER='SystemJit|CppEmitter|PackedLayout|BackendParity|UnifiedSession'
+# Quantized packed records: hand-packed 32-byte records, the affine
+# quantizer, and the int16 walkers (PackedQuantizedRecord,
+# PackedQuantizedLayout; LirVerifierPackedQuantized rides on the
+# LirVerifier pattern below).
+DEFAULT_FILTER="$DEFAULT_FILTER"'|PackedQuantized'
 # The verifier corpus mutates live buffers; run it under every
 # sanitizer to prove the analysis itself never reads out of bounds.
 DEFAULT_FILTER="$DEFAULT_FILTER"'|LirVerifier|HirVerifier|MirVerifier|ModelLoadVerifier|VerifyEach'
