@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Resident-dataset shootout: on the large deep model with the
+ * int16-quantized packed layout, repeated predict() pays a full row
+ * quantization pass per call, while bindDataset() + predictDataset()
+ * quantizes the resident rows once and serves every subsequent call
+ * from the cached int32 image. The bench times both paths over many
+ * repeated calls on one batch — the scoring-service pattern the
+ * resident path exists for — and cross-checks via
+ * runtime::rowQuantizationStats() that the resident path really runs
+ * zero per-call quantization passes (while staying bit-identical).
+ *
+ * The f32 packed layout is included as a control: with no bind-time
+ * transform to cache, predictDataset() must cost the same as
+ * predict().
+ *
+ * When invoked with an argument, writes a JSON summary to that path
+ * (BENCH_resident_rows.json).
+ */
+#include <cmath>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "runtime/plan.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+
+namespace {
+
+/** One (precision, path) measurement over repeated calls. */
+struct PathTiming
+{
+    std::string name;
+    double nsPerRow = 0.0;
+    double bindMs = 0.0;
+    int64_t quantizePassesPerCall = 0;
+    bool exactVsPredict = true;
+};
+
+PathTiming
+timePath(const std::string &name, Session &session,
+         const data::Dataset &batch, int64_t rows, bool resident)
+{
+    PathTiming timing;
+    timing.name = name;
+
+    std::vector<float> expected(static_cast<size_t>(rows));
+    session.predict(batch.rows(), rows, expected.data());
+    std::vector<float> predictions(static_cast<size_t>(rows));
+
+    treebeard::Dataset bound;
+    if (resident) {
+        Timer bind_timer;
+        bound = session.bindDataset(batch.rows(), rows);
+        timing.bindMs = bind_timer.elapsedSeconds() * 1e3;
+    }
+
+    auto run_once = [&] {
+        if (resident)
+            session.predictDataset(bound, predictions.data());
+        else
+            session.predict(batch.rows(), rows, predictions.data());
+    };
+
+    // Count quantization passes across a fixed call count, then time.
+    constexpr int kCountedCalls = 10;
+    runtime::RowQuantizationStats before =
+        runtime::rowQuantizationStats();
+    for (int call = 0; call < kCountedCalls; ++call)
+        run_once();
+    runtime::RowQuantizationStats after =
+        runtime::rowQuantizationStats();
+    timing.quantizePassesPerCall =
+        (after.batchPasses - before.batchPasses) / kCountedCalls;
+
+    for (int64_t r = 0; r < rows; ++r) {
+        if (predictions[static_cast<size_t>(r)] !=
+            expected[static_cast<size_t>(r)])
+            timing.exactVsPredict = false;
+    }
+
+    double us = bench::timeMicrosPerRow(run_once, rows);
+    timing.nsPerRow = us * 1e3;
+    return timing;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    data::SyntheticModelSpec large;
+    large.name = "large-deep";
+    large.numFeatures = 50;
+    large.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(500 * bench::benchScale()));
+    large.maxDepth = 9;
+    large.splitProbability = 0.93;
+    large.trainingRows = 0;
+    large.seed = 4242;
+    large.thresholdDistribution = data::ThresholdDistribution::kMild;
+    model::Forest forest = data::synthesizeForest(large);
+
+    constexpr int64_t kRows = 2000;
+    data::Dataset batch = bench::benchmarkBatch(large, kRows);
+
+    std::printf("# Resident-dataset path, %lld trees depth %d tile 8 "
+                "(%lld rows, repeated calls on one batch)\n",
+                static_cast<long long>(large.numTrees), large.maxDepth,
+                static_cast<long long>(kRows));
+    bench::printCsvRow({"variant", "ns_per_row", "bind_ms",
+                        "quantize_passes_per_call",
+                        "exact_vs_predict"});
+
+    std::vector<PathTiming> timings;
+    for (hir::PackedPrecision precision :
+         {hir::PackedPrecision::kI16, hir::PackedPrecision::kF32}) {
+        hir::Schedule schedule = bench::optimizedSchedule(1);
+        schedule.layout = hir::MemoryLayout::kPacked;
+        schedule.packedPrecision = precision;
+        Session session = compile(forest, schedule, {});
+        const char *tag =
+            precision == hir::PackedPrecision::kI16 ? "i16" : "f32";
+        timings.push_back(timePath(std::string(tag) + "-predict",
+                                   session, batch, kRows, false));
+        timings.push_back(timePath(std::string(tag) + "-resident",
+                                   session, batch, kRows, true));
+    }
+
+    for (const PathTiming &t : timings) {
+        bench::printCsvRow(
+            {t.name, bench::fmt(t.nsPerRow, 2), bench::fmt(t.bindMs, 3),
+             std::to_string(t.quantizePassesPerCall),
+             t.exactVsPredict ? "yes" : "no"});
+    }
+
+    double repeated = timings[0].nsPerRow; // i16-predict
+    double resident = timings[1].nsPerRow; // i16-resident
+    double speedup = repeated / resident;
+    std::printf("# i16 resident vs repeated predict: %.2fx "
+                "(%.1f%% faster; %lld vs %lld quantize passes/call)\n",
+                speedup, (speedup - 1.0) * 100.0,
+                static_cast<long long>(timings[1].quantizePassesPerCall),
+                static_cast<long long>(
+                    timings[0].quantizePassesPerCall));
+
+    if (argc > 1) {
+        std::ostringstream os;
+        os << "{\n  \"benchmark\": \"resident_rows\",\n";
+        os << "  \"model\": {\"trees\": " << large.numTrees
+           << ", \"max_depth\": " << large.maxDepth
+           << ", \"features\": " << large.numFeatures
+           << ", \"tile_size\": 8},\n";
+        os << "  \"rows\": " << kRows << ",\n";
+        os << "  \"results\": [\n";
+        for (size_t i = 0; i < timings.size(); ++i) {
+            const PathTiming &t = timings[i];
+            os << "    {\"variant\": \"" << t.name
+               << "\", \"ns_per_row\": " << bench::fmt(t.nsPerRow, 2)
+               << ", \"bind_ms\": " << bench::fmt(t.bindMs, 3)
+               << ", \"quantize_passes_per_call\": "
+               << t.quantizePassesPerCall << ", \"exact_vs_predict\": "
+               << (t.exactVsPredict ? "true" : "false") << "}"
+               << (i + 1 < timings.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+        os << "  \"speedup_i16_resident_vs_predict\": "
+           << bench::fmt(speedup, 4) << "\n";
+        os << "}\n";
+        writeStringToFile(argv[1], os.str());
+        std::printf("# wrote %s\n", argv[1]);
+    }
+    return 0;
+}

@@ -470,30 +470,45 @@ emitPredictForestSource(const ForestBuffers &fb,
     std::string rows_name = quantized ? "qrows" : "rows";
     std::string row_decl =
         quantized ? "const int32_t* row = qrows" : "const float* row = rows";
+    // The model-buffer parameter block every entry point forwards.
+    const char *buffer_params =
+        "    const float* thresholds, const int32_t* features,\n"
+        "    const int16_t* shape_ids, const uint8_t* default_left,\n"
+        "    const int32_t* child_base,\n"
+        "    const float* leaves, const int8_t* lut,\n"
+        "    const int64_t* tree_first_tile,\n"
+        "    const unsigned char* packed";
+    const char *buffer_args =
+        "thresholds, features, shape_ids, default_left, child_base, "
+        "leaves, lut, tree_first_tile, packed";
 
-    os << "extern \"C\" void treebeard_predict(const float* rows, "
-          "int64_t num_rows, float* predictions,\n"
-          "    const float* thresholds, const int32_t* features,\n"
-          "    const int16_t* shape_ids, const uint8_t* default_left,\n"
-          "    const int32_t* child_base,\n"
-          "    const float* leaves, const int8_t* lut,\n"
-          "    const int64_t* tree_first_tile,\n"
-          "    const unsigned char* packed) {\n";
+    if (quantized) {
+        // Quantize a row span once up front; the walks then compare
+        // in int16 with no per-tile float work.
+        os << "static inline void quantize_rows(const float* rows, "
+              "int64_t num_rows, int32_t* out) {\n";
+        os << "  const int nf = " << fb.numFeatures << ";\n";
+        os << "  for (int64_t r = 0; r < num_rows; ++r)\n";
+        os << "    for (int f = 0; f < nf; ++f)\n";
+        os << "      out[r * nf + f] = "
+              "quantize_value(rows[r * nf + f], f);\n";
+        os << "}\n\n";
+    }
+
+    // The range core every entry point funnels into: it computes the
+    // num_rows rows starting at rows/qrows and writes the matching
+    // span of predictions, so callers hand it pointers already offset
+    // to their chunk and it indexes from zero either way.
+    os << "static void predict_range("
+       << (quantized ? "const int32_t* qrows" : "const float* rows")
+       << ", int64_t num_rows, float* predictions,\n"
+       << buffer_params << ") {\n";
     os << "  const int nf = " << fb.numFeatures << ";\n";
     if (lir::isPackedKind(fb.layout)) {
         os << "  (void)thresholds; (void)features; (void)shape_ids; "
               "(void)default_left; (void)child_base;\n";
     } else {
         os << "  (void)packed;\n";
-    }
-    if (quantized) {
-        // Quantize every row once up front; the walks then compare in
-        // int16 with no per-tile float work.
-        os << "  int32_t* qrows = new int32_t[num_rows * nf];\n";
-        os << "  for (int64_t r = 0; r < num_rows; ++r)\n";
-        os << "    for (int f = 0; f < nf; ++f)\n";
-        os << "      qrows[r * nf + f] = "
-              "quantize_value(rows[r * nf + f], f);\n";
     }
 
     auto emit_objective = [&](const std::string &target,
@@ -634,9 +649,102 @@ emitPredictForestSource(const ForestBuffers &fb,
         emit_objective("predictions[r]", "margin");
         os << "  }\n";
     }
-    if (quantized)
+    os << "}\n\n";
+
+    // Chunking of the in-TU parallel row loop: the schedule can force
+    // a chunk size; otherwise one contiguous chunk per worker.
+    std::string chunk_expr =
+        schedule.rowChunkRows > 0
+            ? std::to_string(schedule.rowChunkRows)
+            : "(num_rows + num_workers - 1) / num_workers";
+    int32_t outs = fb.numClasses;
+    int32_t nf = fb.numFeatures;
+
+    // Serial entry: the whole batch as one range.
+    os << "extern \"C\" void treebeard_predict(const float* rows, "
+          "int64_t num_rows, float* predictions,\n"
+       << buffer_params << ") {\n";
+    os << "  if (num_rows <= 0) return;\n";
+    if (quantized) {
+        os << "  int32_t* qrows = new int32_t[num_rows * " << nf
+           << "];\n";
+        os << "  quantize_rows(rows, num_rows, qrows);\n";
+        os << "  predict_range(qrows, num_rows, predictions, "
+           << buffer_args << ");\n";
         os << "  delete[] qrows;\n";
+    } else {
+        os << "  predict_range(rows, num_rows, predictions, "
+           << buffer_args << ");\n";
+    }
+    os << "}\n\n";
+
+    // Parallel row loop, emitted into the TU: worker w computes the
+    // chunks congruent to w mod num_workers, so the runtime only fans
+    // out worker ids instead of partitioning rows above this function.
+    os << "extern \"C\" void treebeard_predict_worker(int32_t worker, "
+          "int32_t num_workers,\n"
+          "    const float* rows, int64_t num_rows, "
+          "float* predictions,\n"
+       << buffer_params << ") {\n";
+    os << "  if (num_rows <= 0 || num_workers <= 0 || worker < 0) "
+          "return;\n";
+    os << "  int64_t chunk = " << chunk_expr << ";\n";
+    os << "  if (chunk < 1) chunk = 1;\n";
+    if (quantized)
+        os << "  int32_t* qbuf = new int32_t[chunk * " << nf << "];\n";
+    os << "  for (int64_t begin = (int64_t)worker * chunk; "
+          "begin < num_rows; begin += (int64_t)num_workers * chunk) "
+          "{\n";
+    os << "    int64_t end = begin + chunk < num_rows ? begin + chunk "
+          ": num_rows;\n";
+    if (quantized) {
+        os << "    quantize_rows(rows + begin * " << nf
+           << ", end - begin, qbuf);\n";
+        os << "    predict_range(qbuf, end - begin, predictions + "
+              "begin * "
+           << outs << ", " << buffer_args << ");\n";
+    } else {
+        os << "    predict_range(rows + begin * " << nf
+           << ", end - begin, predictions + begin * " << outs << ", "
+           << buffer_args << ");\n";
+    }
+    os << "  }\n";
+    if (quantized)
+        os << "  delete[] qbuf;\n";
     os << "}\n";
+
+    if (quantized) {
+        // Resident-dataset entries: rows arrive pre-quantized (the
+        // Session's bound Dataset image), so no quantization runs at
+        // predict time at all.
+        os << "\nextern \"C\" void treebeard_predict_resident("
+              "const int32_t* qrows, int64_t num_rows, "
+              "float* predictions,\n"
+           << buffer_params << ") {\n";
+        os << "  if (num_rows <= 0) return;\n";
+        os << "  predict_range(qrows, num_rows, predictions, "
+           << buffer_args << ");\n";
+        os << "}\n\n";
+        os << "extern \"C\" void treebeard_predict_resident_worker("
+              "int32_t worker, int32_t num_workers,\n"
+              "    const int32_t* qrows, int64_t num_rows, "
+              "float* predictions,\n"
+           << buffer_params << ") {\n";
+        os << "  if (num_rows <= 0 || num_workers <= 0 || worker < 0) "
+              "return;\n";
+        os << "  int64_t chunk = " << chunk_expr << ";\n";
+        os << "  if (chunk < 1) chunk = 1;\n";
+        os << "  for (int64_t begin = (int64_t)worker * chunk; "
+              "begin < num_rows; begin += (int64_t)num_workers * "
+              "chunk) {\n";
+        os << "    int64_t end = begin + chunk < num_rows ? begin + "
+              "chunk : num_rows;\n";
+        os << "    predict_range(qrows + begin * " << nf
+           << ", end - begin, predictions + begin * " << outs << ", "
+           << buffer_args << ");\n";
+        os << "  }\n";
+        os << "}\n";
+    }
     return os.str();
 }
 
@@ -665,27 +773,93 @@ JitCompiledSession::JitCompiledSession(lir::ForestBuffers buffers,
     module_ = std::make_unique<JitModule>(source_,
                                           withHostSimdFlags(jit_options));
     predict_ = module_->function<PredictFn>("treebeard_predict");
+    predictWorker_ =
+        module_->function<PredictWorkerFn>("treebeard_predict_worker");
+    // Only quantized-packed plans emit the resident entries.
+    predictResident_ = module_->functionOrNull<PredictResidentFn>(
+        "treebeard_predict_resident");
+    predictResidentWorker_ =
+        module_->functionOrNull<PredictResidentWorkerFn>(
+            "treebeard_predict_resident_worker");
+}
+
+JitCompiledSession::BufferArgs
+JitCompiledSession::bufferArgs() const
+{
+    // Layout-specific buffers may be empty (sparse-only arrays in the
+    // array layout, every SoA array in the packed layout); the
+    // generated code never dereferences them in those cases.
+    BufferArgs args;
+    args.childBase =
+        buffers_.childBase.empty() ? nullptr : buffers_.childBase.data();
+    args.leaves =
+        buffers_.leaves.empty() ? nullptr : buffers_.leaves.data();
+    args.packed = lir::isPackedKind(buffers_.layout)
+                      ? buffers_.packedData()
+                      : nullptr;
+    return args;
 }
 
 void
 JitCompiledSession::predict(const float *rows, int64_t num_rows,
                             float *predictions) const
 {
-    // Layout-specific buffers may be empty (sparse-only arrays in the
-    // array layout, every SoA array in the packed layout); the
-    // generated code never dereferences them in those cases.
-    const int32_t *child_base =
-        buffers_.childBase.empty() ? nullptr : buffers_.childBase.data();
-    const float *leaves =
-        buffers_.leaves.empty() ? nullptr : buffers_.leaves.data();
-    const unsigned char *packed =
-        lir::isPackedKind(buffers_.layout) ? buffers_.packedData()
-                                           : nullptr;
+    BufferArgs a = bufferArgs();
     predict_(rows, num_rows, predictions, buffers_.thresholds.data(),
              buffers_.featureIndices.data(), buffers_.shapeIds.data(),
-             buffers_.defaultLeft.data(), child_base, leaves,
+             buffers_.defaultLeft.data(), a.childBase, a.leaves,
              buffers_.shapes->lutData(), buffers_.treeFirstTile.data(),
-             packed);
+             a.packed);
+}
+
+void
+JitCompiledSession::predictWorker(int32_t worker, int32_t num_workers,
+                                  const float *rows, int64_t num_rows,
+                                  float *predictions) const
+{
+    BufferArgs a = bufferArgs();
+    predictWorker_(worker, num_workers, rows, num_rows, predictions,
+                   buffers_.thresholds.data(),
+                   buffers_.featureIndices.data(),
+                   buffers_.shapeIds.data(), buffers_.defaultLeft.data(),
+                   a.childBase, a.leaves, buffers_.shapes->lutData(),
+                   buffers_.treeFirstTile.data(), a.packed);
+}
+
+void
+JitCompiledSession::predictResident(const int32_t *qrows,
+                                    int64_t num_rows,
+                                    float *predictions) const
+{
+    panicIf(predictResident_ == nullptr,
+            "plan has no resident predict entry");
+    BufferArgs a = bufferArgs();
+    predictResident_(qrows, num_rows, predictions,
+                     buffers_.thresholds.data(),
+                     buffers_.featureIndices.data(),
+                     buffers_.shapeIds.data(),
+                     buffers_.defaultLeft.data(), a.childBase, a.leaves,
+                     buffers_.shapes->lutData(),
+                     buffers_.treeFirstTile.data(), a.packed);
+}
+
+void
+JitCompiledSession::predictResidentWorker(int32_t worker,
+                                          int32_t num_workers,
+                                          const int32_t *qrows,
+                                          int64_t num_rows,
+                                          float *predictions) const
+{
+    panicIf(predictResidentWorker_ == nullptr,
+            "plan has no resident predict entry");
+    BufferArgs a = bufferArgs();
+    predictResidentWorker_(worker, num_workers, qrows, num_rows,
+                           predictions, buffers_.thresholds.data(),
+                           buffers_.featureIndices.data(),
+                           buffers_.shapeIds.data(),
+                           buffers_.defaultLeft.data(), a.childBase,
+                           a.leaves, buffers_.shapes->lutData(),
+                           buffers_.treeFirstTile.data(), a.packed);
 }
 
 } // namespace treebeard::codegen

@@ -38,6 +38,20 @@ namespace treebeard::codegen {
  * shape_ids, default_left, child_base) may be null; every tile field
  * is read from the packed records instead.
  *
+ * Alongside the serial entry the TU carries the parallel row loop:
+ *
+ *   extern "C" void treebeard_predict_worker(
+ *       int32_t worker, int32_t num_workers, <same parameters>);
+ *
+ * computes the row chunks assigned to @p worker (chunk size baked from
+ * Schedule::rowChunkRows, default ceil(rows / workers)), so the
+ * runtime fans out worker ids over its pool instead of partitioning
+ * rows above the generated function. Quantized-packed plans
+ * additionally export treebeard_predict_resident[_worker], which take
+ * a pre-quantized const int32_t* row image in place of float rows and
+ * perform no quantization at predict time (the Session's
+ * resident-dataset path).
+ *
  * Tile sizes 4 and 8 emit the kernel runtime's AVX2
  * gather/compare/movemask tile evaluation (guarded on __AVX2__, with
  * the scalar sequence as the fallback branch). Multiclass models
@@ -65,9 +79,10 @@ class JitCompiledSession
 {
   public:
     /**
-     * Emit, compile and bind. Serial execution only (the paper's
-     * parallel loop lives above the generated function; use the
-     * kernel runtime for threading).
+     * Emit, compile and bind. The instance itself runs rows serially;
+     * threading callers drive predictWorker() from their own pool
+     * (one call per worker id), which executes the parallel row loop
+     * emitted into the translation unit.
      */
     JitCompiledSession(lir::ForestBuffers buffers,
                        std::vector<hir::TreeGroup> groups,
@@ -82,6 +97,32 @@ class JitCompiledSession
     void predict(const float *rows, int64_t num_rows,
                  float *predictions) const;
 
+    /**
+     * Run the emitted in-TU row loop's share for @p worker of
+     * @p num_workers: every chunk congruent to the worker id. Calling
+     * it for all worker ids (concurrently or not) computes exactly
+     * the rows predict() computes, bit-identically.
+     */
+    void predictWorker(int32_t worker, int32_t num_workers,
+                       const float *rows, int64_t num_rows,
+                       float *predictions) const;
+
+    /**
+     * True when the plan exports the resident entry points (the
+     * quantized packed layout): predictions straight from a
+     * pre-quantized int32 row image, no quantization at predict time.
+     */
+    bool hasResidentEntry() const { return predictResident_ != nullptr; }
+
+    /** Resident-image predict; requires hasResidentEntry(). */
+    void predictResident(const int32_t *qrows, int64_t num_rows,
+                         float *predictions) const;
+
+    /** Resident-image share of the parallel row loop for one worker. */
+    void predictResidentWorker(int32_t worker, int32_t num_workers,
+                               const int32_t *qrows, int64_t num_rows,
+                               float *predictions) const;
+
     int32_t numFeatures() const { return buffers_.numFeatures; }
     int32_t numClasses() const { return buffers_.numClasses; }
     const lir::ForestBuffers &buffers() const { return buffers_; }
@@ -95,11 +136,43 @@ class JitCompiledSession
                                const int32_t *, const float *,
                                const int8_t *, const int64_t *,
                                const unsigned char *);
+    using PredictWorkerFn = void (*)(int32_t, int32_t, const float *,
+                                     int64_t, float *, const float *,
+                                     const int32_t *, const int16_t *,
+                                     const uint8_t *, const int32_t *,
+                                     const float *, const int8_t *,
+                                     const int64_t *,
+                                     const unsigned char *);
+    using PredictResidentFn = void (*)(const int32_t *, int64_t,
+                                       float *, const float *,
+                                       const int32_t *, const int16_t *,
+                                       const uint8_t *, const int32_t *,
+                                       const float *, const int8_t *,
+                                       const int64_t *,
+                                       const unsigned char *);
+    using PredictResidentWorkerFn =
+        void (*)(int32_t, int32_t, const int32_t *, int64_t, float *,
+                 const float *, const int32_t *, const int16_t *,
+                 const uint8_t *, const int32_t *, const float *,
+                 const int8_t *, const int64_t *,
+                 const unsigned char *);
+
+    /** Layout-dependent nullable buffer pointers, per call. */
+    struct BufferArgs
+    {
+        const int32_t *childBase;
+        const float *leaves;
+        const unsigned char *packed;
+    };
+    BufferArgs bufferArgs() const;
 
     lir::ForestBuffers buffers_;
     std::string source_;
     std::unique_ptr<JitModule> module_;
     PredictFn predict_ = nullptr;
+    PredictWorkerFn predictWorker_ = nullptr;
+    PredictResidentFn predictResident_ = nullptr;
+    PredictResidentWorkerFn predictResidentWorker_ = nullptr;
 };
 
 } // namespace treebeard::codegen

@@ -350,6 +350,14 @@ JitModule::symbol(const std::string &name) const
     return address;
 }
 
+void *
+JitModule::symbolOrNull(const std::string &name) const
+{
+    panicIf(library_ == nullptr || library_->handle == nullptr,
+            "symbol lookup on unloaded module");
+    return dlsym(library_->handle, name.c_str());
+}
+
 const std::string &
 JitModule::libraryPath() const
 {

@@ -119,12 +119,26 @@ class JitModule
      */
     void *symbol(const std::string &name) const;
 
+    /**
+     * Resolve @p name, returning nullptr instead of throwing when the
+     * symbol is absent (for entry points only some plans emit).
+     */
+    void *symbolOrNull(const std::string &name) const;
+
     /** Typed convenience wrapper over symbol(). */
     template <typename Fn>
     Fn
     function(const std::string &name) const
     {
         return reinterpret_cast<Fn>(symbol(name));
+    }
+
+    /** Typed wrapper over symbolOrNull(). */
+    template <typename Fn>
+    Fn
+    functionOrNull(const std::string &name) const
+    {
+        return reinterpret_cast<Fn>(symbolOrNull(name));
     }
 
     /** Seconds spent in the external compiler (0 on a cache hit). */

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
+#include <memory>
 
 #include "common/bits.h"
 #include "common/logging.h"
@@ -74,26 +75,31 @@ ThreadPool::parallelFor(int64_t begin, int64_t end,
         return;
     }
 
-    std::atomic<int64_t> remaining{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    // The completion latch must outlive this frame: a spurious caller
+    // wakeup can observe remaining == 0 and return while the last task
+    // is still between its decrement and its notify, so the tasks hold
+    // shared ownership of the latch instead of borrowing stack state.
+    struct Latch
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        int64_t remaining = 0;
+    };
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = ceilDiv(range, chunk);
 
     for (int64_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
         int64_t chunk_end = std::min(chunk_begin + chunk, end);
-        remaining.fetch_add(1, std::memory_order_relaxed);
-        enqueue([&, chunk_begin, chunk_end] {
+        enqueue([latch, &body, chunk_begin, chunk_end] {
             body(chunk_begin, chunk_end);
-            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                done_cv.notify_one();
-            }
+            std::lock_guard<std::mutex> lock(latch->mutex);
+            if (--latch->remaining == 0)
+                latch->cv.notify_one();
         });
     }
 
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] {
-        return remaining.load(std::memory_order_acquire) == 0;
-    });
+    std::unique_lock<std::mutex> lock(latch->mutex);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
 void

@@ -59,6 +59,11 @@ Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
         diag.error(IrLevel::kSchedule, "schedule.threads.range",
                    "numThreads must be at least 1");
     }
+    if (rowChunkRows < 0) {
+        diag.error(IrLevel::kSchedule, "schedule.row-chunk.range",
+                   "rowChunkRows must be non-negative (0 = one chunk "
+                   "per worker)");
+    }
     // The negated comparisons also reject NaN.
     if (!(alpha > 0.0 && alpha <= 1.0)) {
         diag.error(IrLevel::kSchedule, "schedule.alpha.range",
@@ -128,6 +133,8 @@ scheduleToJsonString(const Schedule &schedule)
         JsonValue(schedule.pipelinePackedWalks);
     object["threads"] =
         JsonValue(static_cast<int64_t>(schedule.numThreads));
+    object["row_chunk_rows"] =
+        JsonValue(static_cast<int64_t>(schedule.rowChunkRows));
     object["assume_no_missing"] =
         JsonValue(schedule.assumeNoMissingValues);
     return JsonValue(std::move(object)).dump();
@@ -179,6 +186,9 @@ scheduleFromJsonString(const std::string &text)
     JsonValue default_true(true);
     schedule.pipelinePackedWalks =
         document.getOr("pipeline_packed", default_true).asBoolean();
+    JsonValue default_zero(static_cast<int64_t>(0));
+    schedule.rowChunkRows = static_cast<int32_t>(
+        document.getOr("row_chunk_rows", default_zero).asInt());
     schedule.validate();
     return schedule;
 }
@@ -196,6 +206,8 @@ Schedule::toString() const
        << (peelWalks ? " +peel" : "")
        << (assumeNoMissingValues ? " +no-nan" : "")
        << " threads=" << numThreads;
+    if (rowChunkRows > 0)
+        os << " chunk=" << rowChunkRows;
     return os.str();
 }
 

@@ -114,6 +114,16 @@ struct Schedule
     /** Worker threads for the parallelized row loop (1 = serial). */
     int32_t numThreads = 1;
     /**
+     * Rows per chunk of the parallel row loop (both backends; the
+     * source backend bakes the value into the emitted translation
+     * unit's worker loop). 0 picks one contiguous chunk per worker,
+     * ceil(rows / numThreads) — the paper's row-loop tiling. Positive
+     * values force smaller chunks, which load-balances skewed batches
+     * at the cost of more scheduling steps. Ignored when numThreads
+     * is 1.
+     */
+    int32_t rowChunkRows = 0;
+    /**
      * Promise that input rows never contain NaN. Lets models without
      * per-node default directions use slightly faster kernels that
      * skip missing-value routing (the paper's setting — it does not

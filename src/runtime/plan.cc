@@ -1,13 +1,57 @@
 #include "runtime/plan.h"
 
+#include <atomic>
 #include <cmath>
 #include <type_traits>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/logging.h"
 #include "runtime/walkers.h"
 
 namespace treebeard::runtime {
+
+namespace {
+
+std::atomic<int64_t> gBatchQuantizePasses{0};
+std::atomic<int64_t> gBatchQuantizeRows{0};
+std::atomic<int64_t> gDatasetQuantizePasses{0};
+std::atomic<int64_t> gDatasetQuantizeRows{0};
+
+} // namespace
+
+RowQuantizationStats
+rowQuantizationStats()
+{
+    RowQuantizationStats stats;
+    stats.batchPasses = gBatchQuantizePasses.load(std::memory_order_relaxed);
+    stats.batchRows = gBatchQuantizeRows.load(std::memory_order_relaxed);
+    stats.datasetBinds =
+        gDatasetQuantizePasses.load(std::memory_order_relaxed);
+    stats.datasetRows = gDatasetQuantizeRows.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+noteDatasetQuantization(int64_t num_rows)
+{
+    gDatasetQuantizePasses.fetch_add(1, std::memory_order_relaxed);
+    gDatasetQuantizeRows.fetch_add(num_rows, std::memory_order_relaxed);
+}
+
+void
+quantizeRowsInto(const lir::ForestBuffers &fb, const float *rows,
+                 int64_t num_rows, int32_t *out)
+{
+    int32_t nf = fb.numFeatures;
+    const lir::QuantizationInfo &q = fb.quantization;
+    for (int64_t r = 0; r < num_rows; ++r) {
+        const float *row = rows + r * nf;
+        int32_t *qrow = out + r * nf;
+        for (int32_t f = 0; f < nf; ++f)
+            qrow[f] = q.quantizeValue(row[f], f);
+    }
+}
 
 namespace {
 
@@ -51,8 +95,13 @@ walkDynamic(const ForestBuffers &fb, int64_t pos, const float *row)
 
 void
 runRangeDynamic(const ExecutablePlan &plan, const float *rows,
-                int64_t begin, int64_t end, float *predictions)
+                const int32_t *qrows, int64_t begin, int64_t end,
+                float *predictions)
 {
+    // The dynamic walker quantizes per compare inside evalTileDynamic
+    // (same quantizer, still bit-exact), so a resident image brings it
+    // nothing.
+    (void)qrows;
     const ForestBuffers &fb = plan.buffers();
     int32_t nf = fb.numFeatures;
     int32_t classes = fb.numClasses;
@@ -81,22 +130,26 @@ runRangeDynamic(const ExecutablePlan &plan, const float *rows,
  * Quantize rows [begin, end) into one int32 per feature under the
  * model's affine maps ("quantize the row's gathered features once"):
  * every tile compare in the walk then runs entirely in int16, and a
- * feature read R times costs one quantization, not R.
+ * feature read R times costs one quantization, not R. The image lives
+ * in a per-worker thread_local scratch buffer that only ever grows, so
+ * chunked parallel row loops stop paying one heap allocation per
+ * chunk; the returned pointer stays valid until this worker's next
+ * chunk.
  */
-std::vector<int32_t>
-quantizeRows(const ForestBuffers &fb, const float *rows, int64_t begin,
-             int64_t end)
+const int32_t *
+quantizeRowsScratch(const ForestBuffers &fb, const float *rows,
+                    int64_t begin, int64_t end)
 {
-    int32_t nf = fb.numFeatures;
-    const lir::QuantizationInfo &q = fb.quantization;
-    std::vector<int32_t> qbuf(static_cast<size_t>(end - begin) * nf);
-    for (int64_t r = begin; r < end; ++r) {
-        const float *row = rows + r * nf;
-        int32_t *qrow = qbuf.data() + (r - begin) * nf;
-        for (int32_t f = 0; f < nf; ++f)
-            qrow[f] = q.quantizeValue(row[f], f);
-    }
-    return qbuf;
+    static thread_local std::vector<int32_t> scratch;
+    size_t needed =
+        static_cast<size_t>(end - begin) * fb.numFeatures;
+    if (scratch.size() < needed)
+        scratch.resize(needed);
+    quantizeRowsInto(fb, rows + begin * fb.numFeatures, end - begin,
+                     scratch.data());
+    gBatchQuantizePasses.fetch_add(1, std::memory_order_relaxed);
+    gBatchQuantizeRows.fetch_add(end - begin, std::memory_order_relaxed);
+    return scratch.data();
 }
 
 } // namespace
@@ -213,7 +266,8 @@ struct PlanKernels
      */
     static void
     runRangeMulticlass(const ExecutablePlan &plan, const float *rows,
-                       int64_t begin, int64_t end, float *predictions)
+                       const int32_t *qrows, int64_t begin, int64_t end,
+                       float *predictions)
     {
         const ForestBuffers &fb = plan.buffers();
         const int8_t *lut = fb.shapes->lutData();
@@ -224,15 +278,19 @@ struct PlanKernels
         bool pipeline = plan.mir().schedule.pipelinePackedWalks;
 
         // Quantized layout: rows are consumed via a pre-quantized
-        // view indexed from `origin`.
-        [[maybe_unused]] std::vector<int32_t> qbuf;
+        // view indexed from `origin` — the resident image when the
+        // caller bound one, a per-worker scratch pass otherwise.
         const Row *rows_view = nullptr;
         int64_t origin = 0;
         if constexpr (kQuantized) {
-            qbuf = quantizeRows(fb, rows, begin, end);
-            rows_view = qbuf.data();
-            origin = begin;
+            if (qrows != nullptr) {
+                rows_view = qrows;
+            } else {
+                rows_view = quantizeRowsScratch(fb, rows, begin, end);
+                origin = begin;
+            }
         } else {
+            (void)qrows;
             rows_view = rows;
         }
 
@@ -337,7 +395,8 @@ struct PlanKernels
 
     static void
     runRange(const ExecutablePlan &plan, const float *rows,
-             int64_t begin, int64_t end, float *predictions)
+             const int32_t *qrows, int64_t begin, int64_t end,
+             float *predictions)
     {
         const ForestBuffers &fb = plan.buffers();
         const int8_t *lut = fb.shapes->lutData();
@@ -346,19 +405,23 @@ struct PlanKernels
         const std::vector<TreeGroup> &groups = plan.groups();
 
         if (fb.numClasses > 1) {
-            runRangeMulticlass(plan, rows, begin, end, predictions);
+            runRangeMulticlass(plan, rows, qrows, begin, end,
+                               predictions);
             return;
         }
 
         bool pipeline = plan.mir().schedule.pipelinePackedWalks;
-        [[maybe_unused]] std::vector<int32_t> qbuf;
         const Row *rows_view = nullptr;
         int64_t origin = 0;
         if constexpr (kQuantized) {
-            qbuf = quantizeRows(fb, rows, begin, end);
-            rows_view = qbuf.data();
-            origin = begin;
+            if (qrows != nullptr) {
+                rows_view = qrows;
+            } else {
+                rows_view = quantizeRowsScratch(fb, rows, begin, end);
+                origin = begin;
+            }
         } else {
+            (void)qrows;
             rows_view = rows;
         }
 
@@ -550,19 +613,45 @@ ExecutablePlan::selectRunner()
 }
 
 void
-ExecutablePlan::run(const float *rows, int64_t num_rows,
-                    float *predictions) const
+ExecutablePlan::dispatchRows(const float *rows, const int32_t *qrows,
+                             int64_t num_rows, float *predictions) const
 {
     if (num_rows <= 0)
         return;
     if (!pool_) {
-        runner_(*this, rows, 0, num_rows, predictions);
+        runner_(*this, rows, qrows, 0, num_rows, predictions);
         return;
     }
-    pool_->parallelFor(0, num_rows,
-                       [&](int64_t begin, int64_t end) {
-                           runner_(*this, rows, begin, end, predictions);
-                       });
+    int64_t chunk_rows = mir_.schedule.rowChunkRows;
+    if (chunk_rows > 0) {
+        // Align chunk boundaries to the scheduled chunk size; each
+        // worker still receives one contiguous span of chunks.
+        int64_t num_chunks = ceilDiv(num_rows, chunk_rows);
+        pool_->parallelFor(
+            0, num_chunks, [&](int64_t chunk_begin, int64_t chunk_end) {
+                runner_(*this, rows, qrows, chunk_begin * chunk_rows,
+                        std::min(chunk_end * chunk_rows, num_rows),
+                        predictions);
+            });
+        return;
+    }
+    pool_->parallelFor(0, num_rows, [&](int64_t begin, int64_t end) {
+        runner_(*this, rows, qrows, begin, end, predictions);
+    });
+}
+
+void
+ExecutablePlan::run(const float *rows, int64_t num_rows,
+                    float *predictions) const
+{
+    dispatchRows(rows, nullptr, num_rows, predictions);
+}
+
+void
+ExecutablePlan::runResident(const float *rows, const int32_t *qrows,
+                            int64_t num_rows, float *predictions) const
+{
+    dispatchRows(rows, qrows, num_rows, predictions);
 }
 
 void

@@ -20,6 +20,38 @@
 
 namespace treebeard::runtime {
 
+/**
+ * Process-wide counters for row-quantization work on the i16 packed
+ * path. batchPasses counts per-predict-call quantization passes (the
+ * cost predictDataset exists to avoid); datasetBinds counts
+ * quantize-once passes performed when a Dataset is bound. Monotonic,
+ * updated with relaxed atomics — intended for tests and benches, not
+ * for precise accounting across threads mid-flight.
+ */
+struct RowQuantizationStats
+{
+    int64_t batchPasses = 0;
+    int64_t batchRows = 0;
+    int64_t datasetBinds = 0;
+    int64_t datasetRows = 0;
+};
+
+/** Snapshot of the process-wide row-quantization counters. */
+RowQuantizationStats rowQuantizationStats();
+
+/** Record one dataset-bind quantization pass over @p num_rows rows. */
+void noteDatasetQuantization(int64_t num_rows);
+
+/**
+ * Quantize @p num_rows row-major rows into one int32 per feature under
+ * @p fb's affine maps, writing num_rows * fb.numFeatures values to
+ * @p out. This is the transform the i16 packed walkers consume; the
+ * resident-dataset path runs it once at bind time instead of on every
+ * predict call.
+ */
+void quantizeRowsInto(const lir::ForestBuffers &fb, const float *rows,
+                      int64_t num_rows, int32_t *out);
+
 /** Software event counters for the microarchitectural analysis bench. */
 struct WalkCounters
 {
@@ -74,6 +106,17 @@ class ExecutablePlan
              float *predictions) const;
 
     /**
+     * As run(), but with a pre-quantized int32 row image (@p qrows,
+     * num_rows * numFeatures() values from quantizeRowsInto) so the
+     * quantized packed walkers skip their per-call quantization pass.
+     * Layouts that do not consume quantized rows ignore @p qrows and
+     * read @p rows; callers must always pass both. @p qrows may be
+     * null, which degrades to run().
+     */
+    void runResident(const float *rows, const int32_t *qrows,
+                     int64_t num_rows, float *predictions) const;
+
+    /**
      * As run(), but through the instrumented (unoptimized-speed)
      * kernels, accumulating software event counters.
      */
@@ -89,13 +132,22 @@ class ExecutablePlan
     int32_t numClasses() const { return buffers_.numClasses; }
     int32_t numThreads() const { return mir_.schedule.numThreads; }
 
-    /** Serial execution over the row range [begin, end). */
+    /**
+     * Serial execution over the row range [begin, end). The third
+     * argument is an optional resident quantized row image (indexed
+     * from row 0, or null to quantize per chunk).
+     */
     using RangeRunner = void (*)(const ExecutablePlan &, const float *,
-                                 int64_t, int64_t, float *);
+                                 const int32_t *, int64_t, int64_t,
+                                 float *);
 
   private:
     /** Pick the specialized kernel entry for this plan's parameters. */
     void selectRunner();
+
+    /** Shared run()/runResident() row-loop dispatch. */
+    void dispatchRows(const float *rows, const int32_t *qrows,
+                      int64_t num_rows, float *predictions) const;
 
     lir::ForestBuffers buffers_;
     mir::MirFunction mir_;

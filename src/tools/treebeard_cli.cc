@@ -15,10 +15,15 @@
  *   treebeard verify  <model.json> [schedule.json] [flags] [--json]
  *
  * Schedule flags: --tile N --interleave N --threads N
+ *   --row-chunk N (rows per parallel-loop chunk; 0 = one per worker)
  *   --order tree|row --layout sparse|array|packed
  *   --packed-precision f32|i16 (int16-quantized packed records)
  *   --tiling basic|probability|hybrid|min-max-depth
  *   --no-unroll --no-peel --no-pipeline --verify-each
+ *
+ * bench additionally takes --resident: bind the batch once as a
+ * resident Dataset (quantize-once on i16 packed plans) and time
+ * predictDataset() instead of per-call predict().
  *
  * Backend flags (compile/predict/bench): --backend kernel|jit
  *   --jit-cache-dir DIR (persist jit-compiled objects across runs)
@@ -83,6 +88,8 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
             schedule.interleaveFactor = std::stoi(next());
         } else if (arg == "--threads") {
             schedule.numThreads = std::stoi(next());
+        } else if (arg == "--row-chunk") {
+            schedule.rowChunkRows = std::stoi(next());
         } else if (arg == "--order") {
             const std::string &value = next();
             schedule.loopOrder = value == "row"
@@ -278,8 +285,17 @@ int
 commandBench(const std::string &path, int64_t batch,
              const std::vector<std::string> &flags)
 {
+    bool resident = false;
+    std::vector<std::string> schedule_flags;
+    for (const std::string &arg : flags) {
+        if (arg == "--resident")
+            resident = true;
+        else
+            schedule_flags.push_back(arg);
+    }
     CompilerOptions options;
-    hir::Schedule schedule = parseSchedule(flags, nullptr, &options);
+    hir::Schedule schedule =
+        parseSchedule(schedule_flags, nullptr, &options);
     model::Forest forest = model::loadForest(path);
     Session session = compile(forest, schedule, options);
 
@@ -294,15 +310,34 @@ commandBench(const std::string &path, int64_t batch,
         static_cast<size_t>(batch) *
         static_cast<size_t>(session.numClasses()));
 
-    session.predict(rows.rows(), batch, predictions.data()); // warm-up
+    treebeard::Dataset bound;
+    double bind_seconds = 0.0;
+    if (resident) {
+        Timer bind_timer;
+        bound = session.bindDataset(rows.rows(), batch);
+        bind_seconds = bind_timer.elapsedSeconds();
+    }
+    auto run_once = [&]() {
+        if (resident)
+            session.predictDataset(bound, predictions.data());
+        else
+            session.predict(rows.rows(), batch, predictions.data());
+    };
+    run_once(); // warm-up
     double best = 1e300;
     for (int rep = 0; rep < 5; ++rep) {
         Timer timer;
-        session.predict(rows.rows(), batch, predictions.data());
+        run_once();
         best = std::min(best, timer.elapsedSeconds());
     }
-    std::printf("%s [backend: %s]\n", schedule.toString().c_str(),
-                backendName(session.backend()));
+    std::printf("%s [backend: %s]%s\n", schedule.toString().c_str(),
+                backendName(session.backend()),
+                resident ? " [resident dataset]" : "");
+    if (resident) {
+        std::printf("bind: %.3f ms (quantized image: %s)\n",
+                    bind_seconds * 1e3,
+                    bound.hasQuantizedImage() ? "yes" : "no");
+    }
     std::printf("batch %lld: %.3f ms total, %.3f us/row\n",
                 static_cast<long long>(batch), best * 1e3,
                 best * 1e6 / static_cast<double>(batch));

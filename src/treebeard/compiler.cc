@@ -86,14 +86,90 @@ Session::predict(const float *rows, int64_t num_rows,
         jit_->predict(rows, num_rows, predictions);
         return;
     }
-    // The generated function is pure over row ranges, so the paper's
-    // batch-loop parallelization lives here for the source backend.
-    int64_t num_features = jit_->numFeatures();
-    int64_t num_classes = jit_->numClasses();
-    pool_->parallelFor(0, num_rows, [&](int64_t begin, int64_t end) {
-        jit_->predict(rows + begin * num_features, end - begin,
-                      predictions + begin * num_classes);
+    // The parallel row loop is emitted into the generated translation
+    // unit (treebeard_predict_worker); the runtime only fans worker
+    // ids out over the pool instead of partitioning rows up here.
+    int32_t workers = static_cast<int32_t>(pool_->numThreads());
+    pool_->runOnAllWorkers([&](unsigned worker) {
+        jit_->predictWorker(static_cast<int32_t>(worker), workers,
+                            rows, num_rows, predictions);
     });
+}
+
+Dataset
+Session::bindDataset(const float *rows, int64_t num_rows) const
+{
+    Dataset dataset;
+    rebindDataset(dataset, rows, num_rows);
+    return dataset;
+}
+
+void
+Session::rebindDataset(Dataset &dataset, const float *rows,
+                       int64_t num_rows) const
+{
+    fatalIf(num_rows < 0, "bindDataset: negative row count ", num_rows);
+    fatalIf(rows == nullptr && num_rows > 0,
+            "bindDataset: null rows with ", num_rows, " rows");
+    // Invalidate before touching the image so a failure part-way
+    // cannot leave a stale-but-bound dataset behind.
+    dataset.boundTo_.reset();
+    dataset.rows_ = rows;
+    dataset.numRows_ = num_rows;
+    dataset.numFeatures_ = numFeatures();
+    const lir::ForestBuffers &fb =
+        plan_ ? plan_->buffers() : jit_->buffers();
+    if (fb.layout == lir::LayoutKind::kPackedQuantized &&
+        num_rows > 0) {
+        // The quantize-once pass: predictDataset then consumes this
+        // image with no per-call quantization on either backend (the
+        // emitted source inlines the identical quantizer, so the
+        // kernel-built image is bit-exact for the JIT too).
+        dataset.qimage_.resize(static_cast<size_t>(num_rows) *
+                               fb.numFeatures);
+        runtime::quantizeRowsInto(fb, rows, num_rows,
+                                  dataset.qimage_.data());
+        runtime::noteDatasetQuantization(num_rows);
+    } else {
+        dataset.qimage_.clear();
+    }
+    dataset.boundTo_ = identity_;
+}
+
+void
+Session::predictDataset(const Dataset &dataset,
+                        float *predictions) const
+{
+    fatalIf(dataset.boundTo_ == nullptr ||
+                dataset.boundTo_.get() != identity_.get(),
+            "predictDataset: dataset is not bound to this session "
+            "(use bindDataset/rebindDataset first)");
+    int64_t num_rows = dataset.numRows_;
+    if (num_rows <= 0)
+        return;
+    const int32_t *qrows =
+        dataset.qimage_.empty() ? nullptr : dataset.qimage_.data();
+    if (plan_) {
+        plan_->runResident(dataset.rows_, qrows, num_rows,
+                           predictions);
+        return;
+    }
+    if (qrows != nullptr && jit_->hasResidentEntry()) {
+        if (pool_ == nullptr) {
+            jit_->predictResident(qrows, num_rows, predictions);
+            return;
+        }
+        int32_t workers = static_cast<int32_t>(pool_->numThreads());
+        pool_->runOnAllWorkers([&](unsigned worker) {
+            jit_->predictResidentWorker(static_cast<int32_t>(worker),
+                                        workers, qrows, num_rows,
+                                        predictions);
+        });
+        return;
+    }
+    // Plans without a cached input transform (f32 layouts) take the
+    // ordinary path; binding cost nothing, so this is still exact.
+    predict(dataset.rows_, num_rows, predictions);
 }
 
 void

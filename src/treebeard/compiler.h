@@ -118,10 +118,47 @@ struct CompilationArtifacts
 };
 
 /**
+ * A row matrix bound to one Session for repeated prediction
+ * (Session::bindDataset). Binding pays any per-batch input transform
+ * once: for i16 packed plans the session pre-quantizes the int32 row
+ * image here and predictDataset() then runs with zero quantization
+ * work per call. The dataset does not own the row storage — the
+ * caller keeps @p rows alive and unchanged while the dataset is in
+ * use — and is only valid with the session that bound it; rebinding
+ * (Session::rebindDataset) invalidates and rebuilds the cached image
+ * in place. A bound Dataset is immutable, so any number of threads
+ * may predictDataset() it concurrently; rebinding concurrently with
+ * predictions on the same Dataset is a data race.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    const float *rows() const { return rows_; }
+    int64_t numRows() const { return numRows_; }
+    int32_t numFeatures() const { return numFeatures_; }
+    /** True when the binding session cached a pre-quantized image. */
+    bool hasQuantizedImage() const { return !qimage_.empty(); }
+
+  private:
+    friend class Session;
+
+    const float *rows_ = nullptr;
+    int64_t numRows_ = 0;
+    int32_t numFeatures_ = 0;
+    /** i16 packed plans: the int32 row image quantized at bind time. */
+    std::vector<int32_t> qimage_;
+    /** Identity of the binding session (predictDataset guard). */
+    std::shared_ptr<const void> boundTo_;
+};
+
+/**
  * A compiled model behind one backend-agnostic interface: either a
  * kernel-runtime plan or a source-JIT module, plus the compilation
- * artifacts. Sessions are movable (not copyable); predict() is
- * thread-compatible (const).
+ * artifacts. Sessions are movable (not copyable); predict() and
+ * predictDataset() are const and safe to call concurrently from many
+ * threads on one session (both backends, threaded schedules included).
  */
 class Session
 {
@@ -155,6 +192,35 @@ class Session
                              float *predictions,
                              runtime::WalkCounters *counters) const;
 
+    /**
+     * Bind a resident row matrix (@p num_rows rows of numFeatures()
+     * floats, borrowed, kept alive by the caller) to this session,
+     * paying any per-batch input transform once: i16 packed plans
+     * quantize the full int32 row image at bind time. The returned
+     * Dataset is only valid with this session.
+     */
+    Dataset bindDataset(const float *rows, int64_t num_rows) const;
+
+    /**
+     * Point @p dataset at a new row matrix: invalidates the cached
+     * image, then rebuilds it in place (reusing its storage). Not
+     * thread-safe against concurrent predictDataset() on the same
+     * Dataset.
+     */
+    void rebindDataset(Dataset &dataset, const float *rows,
+                       int64_t num_rows) const;
+
+    /**
+     * As predict() over the dataset's rows, but consuming the cached
+     * bind-time image: on i16 packed plans no row quantization runs
+     * per call (runtime::rowQuantizationStats() proves it). Exactly
+     * bit-identical to predict() on the same rows.
+     * @param predictions numRows() * numClasses() outputs.
+     * @throws Error when @p dataset is not bound to this session.
+     */
+    void predictDataset(const Dataset &dataset,
+                        float *predictions) const;
+
     Backend backend() const
     {
         return plan_ ? Backend::kKernel : Backend::kSourceJit;
@@ -174,8 +240,11 @@ class Session
   private:
     std::optional<runtime::ExecutablePlan> plan_;
     std::unique_ptr<codegen::JitCompiledSession> jit_;
-    /** Row-loop pool for the source-JIT backend (numThreads > 1). */
+    /** Worker-id fan-out pool for the source-JIT backend's emitted
+     * row loop (numThreads > 1). */
     std::unique_ptr<ThreadPool> pool_;
+    /** Stable identity token Datasets bind to (survives moves). */
+    std::shared_ptr<const void> identity_ = std::make_shared<int>(0);
     CompilationArtifacts artifacts_;
 };
 

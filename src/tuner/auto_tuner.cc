@@ -39,23 +39,36 @@ enumerateSchedules(const TunerOptions &options)
                                                   hir::PackedPrecision>{
                                                   hir::PackedPrecision::
                                                       kF32};
+                                // Chunk size only changes how a
+                                // threaded row loop partitions; a
+                                // serial plan takes one grid point.
+                                std::vector<int32_t> chunks =
+                                    options.numThreads > 1
+                                        ? options.rowChunks
+                                        : std::vector<int32_t>{0};
+                                if (chunks.empty())
+                                    chunks.push_back(0);
                                 for (hir::PackedPrecision precision :
                                      precisions) {
-                                    hir::Schedule schedule;
-                                    schedule.loopOrder = order;
-                                    schedule.tileSize = tile_size;
-                                    schedule.tiling = tiling;
-                                    schedule.alpha = alpha;
-                                    schedule.beta = beta;
-                                    schedule.padAndUnrollWalks = unroll;
-                                    schedule.interleaveFactor =
-                                        interleave;
-                                    schedule.layout = layout;
-                                    schedule.packedPrecision =
-                                        precision;
-                                    schedule.numThreads =
-                                        options.numThreads;
-                                    schedules.push_back(schedule);
+                                    for (int32_t chunk : chunks) {
+                                        hir::Schedule schedule;
+                                        schedule.loopOrder = order;
+                                        schedule.tileSize = tile_size;
+                                        schedule.tiling = tiling;
+                                        schedule.alpha = alpha;
+                                        schedule.beta = beta;
+                                        schedule.padAndUnrollWalks =
+                                            unroll;
+                                        schedule.interleaveFactor =
+                                            interleave;
+                                        schedule.layout = layout;
+                                        schedule.packedPrecision =
+                                            precision;
+                                        schedule.numThreads =
+                                            options.numThreads;
+                                        schedule.rowChunkRows = chunk;
+                                        schedules.push_back(schedule);
+                                    }
                                 }
                             }
                         }

@@ -50,6 +50,13 @@ struct TunerOptions
     std::vector<hir::PackedPrecision> packedPrecisions{
         hir::PackedPrecision::kF32, hir::PackedPrecision::kI16};
     int32_t numThreads = 1;
+    /**
+     * Row-chunk sizes (Schedule::rowChunkRows) to explore. Only swept
+     * when numThreads > 1 — a serial plan runs every row in one chunk
+     * regardless, so the knob would just duplicate grid points. 0 is
+     * the auto chunk (ceil(rows / workers), one chunk per worker).
+     */
+    std::vector<int32_t> rowChunks{0, 64, 256};
     /** Timing repetitions; the minimum is kept. */
     int32_t repetitions = 3;
     /** Print progress to stderr. */

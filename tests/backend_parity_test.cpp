@@ -234,6 +234,70 @@ TEST(UnifiedSession, SourceJitHonorsNumThreads)
     expectPredictionsExact(expected, actual);
 }
 
+/**
+ * The threaded source-JIT path runs the row loop emitted into the
+ * generated TU (treebeard_predict_worker): across layouts, both
+ * packed precisions and explicit row-chunk sizes, it must stay
+ * bit-exact with the serial JIT and with the threaded kernel backend.
+ */
+TEST(UnifiedSession, EmittedParallelRowLoopIsBitExactEverywhere)
+{
+    model::Forest forest = makeForest(false, 4600);
+    std::vector<float> rows =
+        makeRowsWithNans(forest.numFeatures(), 103, 4601);
+
+    struct LoopCase
+    {
+        hir::MemoryLayout layout;
+        hir::PackedPrecision precision;
+        int32_t rowChunkRows;
+    };
+    const LoopCase cases[] = {
+        {hir::MemoryLayout::kArray, hir::PackedPrecision::kF32, 0},
+        {hir::MemoryLayout::kSparse, hir::PackedPrecision::kF32, 7},
+        {hir::MemoryLayout::kPacked, hir::PackedPrecision::kF32, 0},
+        {hir::MemoryLayout::kPacked, hir::PackedPrecision::kI16, 0},
+        {hir::MemoryLayout::kPacked, hir::PackedPrecision::kI16, 16},
+    };
+    for (const LoopCase &c : cases) {
+        hir::Schedule serial;
+        serial.tileSize = 4;
+        serial.layout = c.layout;
+        serial.packedPrecision = c.precision;
+        hir::Schedule threaded = serial;
+        threaded.numThreads = 4;
+        threaded.rowChunkRows = c.rowChunkRows;
+
+        std::vector<float> expected =
+            predictWith(Backend::kSourceJit, forest, serial, rows);
+        std::vector<float> jit =
+            predictWith(Backend::kSourceJit, forest, threaded, rows);
+        expectPredictionsExact(expected, jit);
+        std::vector<float> kernel =
+            predictWith(Backend::kKernel, forest, threaded, rows);
+        expectPredictionsExact(expected, kernel);
+    }
+}
+
+/** The worker entry really is in the generated TU. */
+TEST(UnifiedSession, GeneratedSourceCarriesWorkerEntry)
+{
+    model::Forest forest = makeForest(false, 4700);
+    hir::Schedule schedule;
+    schedule.numThreads = 4;
+    schedule.rowChunkRows = 32;
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+    const std::string &source = session.artifacts().generatedSource;
+    EXPECT_NE(source.find("treebeard_predict_worker"),
+              std::string::npos);
+    // The explicit chunk size is baked into the source, not passed at
+    // call time.
+    EXPECT_NE(source.find("32"), std::string::npos);
+}
+
 TEST(UnifiedSession, CompileForestAliasHonorsBackend)
 {
     model::Forest forest = makeForest(false, 4500);

@@ -122,6 +122,31 @@ TEST(Cli, BenchPrintsTiming)
     EXPECT_NE(output.find("us/row"), std::string::npos);
 }
 
+TEST(Cli, BenchResidentTimesDatasetPath)
+{
+    std::string model = tempPath("cli_model4b.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 5", output), 0);
+    ASSERT_EQ(runCli("bench " + model +
+                         " 64 --tile 8 --layout packed "
+                         "--packed-precision i16 --resident",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("resident dataset"), std::string::npos);
+    EXPECT_NE(output.find("us/row"), std::string::npos);
+
+    // The row-chunk knob parses on any scheduled command, and a
+    // negative chunk is a clean schedule error.
+    ASSERT_EQ(runCli("bench " + model + " 64 --threads 2 --row-chunk 8",
+                     output),
+              0)
+        << output;
+    EXPECT_EQ(runCli("compile " + model + " --row-chunk -3", output),
+              1);
+    EXPECT_NE(output.find("row"), std::string::npos);
+}
+
 TEST(Cli, RejectsBadFlagsCleanly)
 {
     std::string model = tempPath("cli_model5.json");

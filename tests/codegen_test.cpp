@@ -4,7 +4,10 @@
  * the LIR -> C++ emitter, whose compiled output must match both the
  * reference walk and the kernel runtime across schedules.
  */
+#include <chrono>
 #include <filesystem>
+#include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -247,6 +250,184 @@ TEST(SystemJit, DiskCacheEvictsLeastRecentlyUsedOverCap)
     JitCacheStats unlimited = jitCacheStats();
     JitModule fourth("extern \"C\" int lru3() { return 3; }", options);
     EXPECT_EQ(jitCacheStats().diskEvictions, unlimited.diskEvictions);
+}
+
+/** The .so entries currently in @p dir. */
+std::set<std::string>
+cacheEntries(const std::string &dir)
+{
+    std::set<std::string> entries;
+    for (const auto &item : std::filesystem::directory_iterator(dir)) {
+        if (item.path().extension() == ".so")
+            entries.insert(item.path().string());
+    }
+    return entries;
+}
+
+/** The single entry in @p after that is not in @p before. */
+std::string
+newEntry(const std::set<std::string> &before,
+         const std::set<std::string> &after)
+{
+    std::string added;
+    for (const std::string &entry : after) {
+        if (!before.count(entry)) {
+            EXPECT_TRUE(added.empty()) << "more than one new entry";
+            added = entry;
+        }
+    }
+    EXPECT_FALSE(added.empty());
+    return added;
+}
+
+/**
+ * A cap smaller than any single entry must never evict the entry just
+ * stored (that would make the cache thrash uselessly: store, evict,
+ * recompile, forever) — it holds exactly the newest entry instead.
+ */
+TEST(SystemJit, DiskCacheCapSmallerThanOneEntryKeepsNewestStore)
+{
+    JitOptions options;
+    options.optLevel = "-O0";
+    options.cacheDir = makeCacheDir("jit_tiny_cap_cache");
+    options.cacheMaxBytes = 1;
+
+    JitModule first("extern \"C\" int tiny0() { return 0; }", options);
+    std::set<std::string> entries = cacheEntries(options.cacheDir);
+    EXPECT_EQ(entries.size(), 1u)
+        << "the just-stored entry survives its own store";
+
+    // The next store keeps only itself: the older entry is the one
+    // evicted.
+    std::string first_entry = *entries.begin();
+    JitModule second("extern \"C\" int tiny1() { return 1; }", options);
+    entries = cacheEntries(options.cacheDir);
+    EXPECT_EQ(entries.size(), 1u);
+    EXPECT_FALSE(entries.count(first_entry));
+
+    // The surviving entry still serves a fresh process, and a pure
+    // disk hit performs no store, hence no eviction pass.
+    clearJitMemoryCacheForTesting();
+    JitCacheStats before = jitCacheStats();
+    JitModule reload("extern \"C\" int tiny1() { return 1; }", options);
+    EXPECT_EQ(reload.compileSeconds(), 0.0);
+    EXPECT_EQ(reload.function<int (*)()>("tiny1")(), 1);
+    EXPECT_EQ(jitCacheStats().diskEvictions, before.diskEvictions);
+    EXPECT_EQ(cacheEntries(options.cacheDir).size(), 1u);
+}
+
+/**
+ * Eviction order is mtime order, and a disk hit refreshes its entry's
+ * mtime — pinning the mtimes explicitly makes the ordering fully
+ * deterministic (no reliance on store timing or clock granularity).
+ */
+TEST(SystemJit, DiskCacheEvictionOrderFollowsMtimeTouches)
+{
+    namespace fs = std::filesystem;
+    JitOptions options;
+    options.optLevel = "-O0";
+    options.cacheDir = makeCacheDir("jit_mtime_cache");
+
+    std::set<std::string> seen;
+    JitModule a("extern \"C\" int mt0() { return 0; }", options);
+    std::set<std::string> now_stored = cacheEntries(options.cacheDir);
+    std::string entry_a = newEntry(seen, now_stored);
+    seen = now_stored;
+    JitModule b("extern \"C\" int mt1() { return 1; }", options);
+    now_stored = cacheEntries(options.cacheDir);
+    std::string entry_b = newEntry(seen, now_stored);
+    seen = now_stored;
+    JitModule c("extern \"C\" int mt2() { return 2; }", options);
+    now_stored = cacheEntries(options.cacheDir);
+    std::string entry_c = newEntry(seen, now_stored);
+    int64_t entry_bytes =
+        static_cast<int64_t>(fs::file_size(entry_a));
+
+    // Pin the recency order oldest-first as A, B, C.
+    auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(entry_a, now - std::chrono::hours(3));
+    fs::last_write_time(entry_b, now - std::chrono::hours(2));
+    fs::last_write_time(entry_c, now - std::chrono::hours(1));
+
+    // A disk hit on A must touch it ahead of B and C.
+    clearJitMemoryCacheForTesting();
+    JitModule touch("extern \"C\" int mt0() { return 0; }", options);
+    EXPECT_EQ(touch.compileSeconds(), 0.0);
+    EXPECT_GT(fs::last_write_time(entry_a),
+              fs::last_write_time(entry_c));
+
+    // Cap to three and a half entries and store a fourth: the evicted
+    // entry must be B — the stale oldest — not A (touched) and not
+    // the fresh store.
+    options.cacheMaxBytes = entry_bytes * 3 + entry_bytes / 2;
+    JitCacheStats before = jitCacheStats();
+    JitModule d("extern \"C\" int mt3() { return 3; }", options);
+    EXPECT_EQ(jitCacheStats().diskEvictions, before.diskEvictions + 1);
+    std::set<std::string> entries = cacheEntries(options.cacheDir);
+    EXPECT_TRUE(entries.count(entry_a)) << "touched entry evicted";
+    EXPECT_FALSE(entries.count(entry_b)) << "stale entry must go";
+    EXPECT_TRUE(entries.count(entry_c));
+    EXPECT_EQ(entries.size(), 3u);
+}
+
+/**
+ * A corrupt cached entry discovered by two Sessions at once: both
+ * recompile, one's store races the other's, and both must come up
+ * predicting correctly with a loadable entry left behind.
+ */
+TEST(SystemJit, CorruptEntryRecompileRacesConcurrentStore)
+{
+    using testing::makeRandomForest;
+    using testing::makeRandomRows;
+
+    testing::RandomForestSpec spec;
+    spec.numFeatures = 8;
+    spec.numTrees = 10;
+    spec.maxDepth = 5;
+    spec.seed = 2024;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    hir::Schedule schedule;
+    schedule.tileSize = 2;
+
+    CompilerOptions options;
+    options.backend = Backend::kSourceJit;
+    options.jit.optLevel = "-O0";
+    options.jit.cacheDir = makeCacheDir("jit_race_cache");
+
+    int64_t num_rows = 19;
+    std::vector<float> rows = makeRandomRows(8, num_rows, 77);
+    std::vector<float> expected(static_cast<size_t>(num_rows));
+    {
+        Session seeder = compile(forest, schedule, options);
+        seeder.predict(rows.data(), num_rows, expected.data());
+    }
+
+    // Garble every cached object, as a crashed writer would.
+    for (const std::string &entry : cacheEntries(options.jit.cacheDir))
+        writeStringToFile(entry, "garbage, not ELF");
+    clearJitMemoryCacheForTesting();
+
+    // Two Sessions race the recompile + store on the same cacheDir.
+    std::vector<float> out_a(static_cast<size_t>(num_rows), -1.0f);
+    std::vector<float> out_b(static_cast<size_t>(num_rows), -1.0f);
+    std::thread racer([&] {
+        Session session = compile(forest, schedule, options);
+        session.predict(rows.data(), num_rows, out_a.data());
+    });
+    Session session = compile(forest, schedule, options);
+    session.predict(rows.data(), num_rows, out_b.data());
+    racer.join();
+    expectPredictionsExact(expected, out_a);
+    expectPredictionsExact(expected, out_b);
+
+    // Whichever store won, the published entry now loads cleanly.
+    clearJitMemoryCacheForTesting();
+    Session reload = compile(forest, schedule, options);
+    std::vector<float> out_c(static_cast<size_t>(num_rows), -1.0f);
+    reload.predict(rows.data(), num_rows, out_c.data());
+    expectPredictionsExact(expected, out_c);
+    EXPECT_EQ(reload.artifacts().jitCompileSeconds, 0.0);
 }
 
 struct EmitterCase

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Concurrency tests: one shared Session hammered by many caller
+ * threads mixing predict() and predictDataset(). Sessions are
+ * documented as safe for concurrent const prediction on both backends
+ * — including threaded schedules, where every caller funnels work
+ * through the one shared ThreadPool — and a bound Dataset is
+ * immutable, so concurrent predictDataset on it is legal. Run under
+ * tools/sanitize_matrix.sh thread mode to prove the absence of data
+ * races in the pool handoff and the dataset cache.
+ */
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+
+/** Caller threads per test; kept modest so TSan runs stay fast. */
+constexpr int kCallers = 8;
+constexpr int kCallsPerThread = 16;
+
+model::Forest
+makeForest(uint64_t seed)
+{
+    testing::RandomForestSpec spec;
+    spec.numFeatures = 11;
+    spec.numTrees = 20;
+    spec.maxDepth = 6;
+    spec.seed = seed;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    return forest;
+}
+
+struct ConcurrencyCase
+{
+    Backend backend;
+    hir::MemoryLayout layout;
+    hir::PackedPrecision precision;
+    int32_t numThreads;
+};
+
+class SharedSessionConcurrency
+    : public ::testing::TestWithParam<ConcurrencyCase>
+{};
+
+/**
+ * Many threads call predict() and predictDataset() on one Session and
+ * one bound Dataset; every call must produce the serial answer
+ * bit-exactly, with no data race (TSan-checked).
+ */
+TEST_P(SharedSessionConcurrency, MixedPredictCallsStayExact)
+{
+    ConcurrencyCase param = GetParam();
+    model::Forest forest = makeForest(808);
+
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    schedule.layout = param.layout;
+    schedule.packedPrecision = param.precision;
+    schedule.numThreads = param.numThreads;
+
+    CompilerOptions options;
+    options.backend = param.backend;
+    options.jit.optLevel = "-O0";
+    Session session = compile(forest, schedule, options);
+
+    int64_t num_rows = 53;
+    std::vector<float> rows = makeRandomRows(11, num_rows, 17);
+    std::vector<float> expected(static_cast<size_t>(num_rows));
+    session.predict(rows.data(), num_rows, expected.data());
+    Dataset dataset = session.bindDataset(rows.data(), num_rows);
+
+    std::atomic<bool> start{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            std::vector<float> out(static_cast<size_t>(num_rows));
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            for (int call = 0; call < kCallsPerThread; ++call) {
+                std::fill(out.begin(), out.end(), -1.0f);
+                // Alternate paths so both run truly concurrently.
+                if ((t + call) % 2 == 0)
+                    session.predict(rows.data(), num_rows, out.data());
+                else
+                    session.predictDataset(dataset, out.data());
+                if (out != expected)
+                    failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    start.store(true, std::memory_order_release);
+    for (std::thread &caller : callers)
+        caller.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SharedSessionConcurrency,
+    ::testing::Values(
+        ConcurrencyCase{Backend::kKernel, hir::MemoryLayout::kSparse,
+                        hir::PackedPrecision::kF32, 1},
+        ConcurrencyCase{Backend::kKernel, hir::MemoryLayout::kSparse,
+                        hir::PackedPrecision::kF32, 4},
+        ConcurrencyCase{Backend::kKernel, hir::MemoryLayout::kPacked,
+                        hir::PackedPrecision::kI16, 4},
+        ConcurrencyCase{Backend::kSourceJit,
+                        hir::MemoryLayout::kSparse,
+                        hir::PackedPrecision::kF32, 4},
+        ConcurrencyCase{Backend::kSourceJit,
+                        hir::MemoryLayout::kPacked,
+                        hir::PackedPrecision::kI16, 4}));
+
+/**
+ * The pool handoff itself: concurrent parallelFor callers on one
+ * ThreadPool must each see their own completion exactly (the
+ * completion latch is heap-owned per call; a spurious wakeup on one
+ * caller must never tear down state another task still touches).
+ */
+TEST(ThreadPoolConcurrency, ConcurrentParallelForCallers)
+{
+    ThreadPool pool(4);
+    std::vector<std::thread> callers;
+    std::atomic<int64_t> total{0};
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&] {
+            for (int call = 0; call < 50; ++call) {
+                std::atomic<int64_t> local{0};
+                pool.parallelFor(0, 97, [&](int64_t begin, int64_t end) {
+                    local.fetch_add(end - begin,
+                                    std::memory_order_relaxed);
+                });
+                EXPECT_EQ(local.load(), 97);
+                total.fetch_add(local.load(),
+                                std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &caller : callers)
+        caller.join();
+    EXPECT_EQ(total.load(), int64_t{97} * 50 * kCallers);
+}
+
+/** runOnAllWorkers from several threads at once (the JIT fan-out). */
+TEST(ThreadPoolConcurrency, ConcurrentRunOnAllWorkers)
+{
+    ThreadPool pool(3);
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&] {
+            for (int call = 0; call < 50; ++call) {
+                std::vector<int> hits(pool.numThreads(), 0);
+                pool.runOnAllWorkers(
+                    [&](unsigned worker) { hits[worker] += 1; });
+                for (int hit : hits)
+                    EXPECT_EQ(hit, 1);
+            }
+        });
+    }
+    for (std::thread &caller : callers)
+        caller.join();
+}
+
+/**
+ * Rebinding one Dataset while other datasets are being predicted:
+ * each thread owns its dataset, all share the session. (Rebinding a
+ * dataset concurrently with predictions *on that same dataset* is
+ * documented as a race and not exercised.)
+ */
+TEST(SharedSessionConcurrency2, PerThreadDatasetsWithRebinds)
+{
+    model::Forest forest = makeForest(809);
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    schedule.layout = hir::MemoryLayout::kPacked;
+    schedule.packedPrecision = hir::PackedPrecision::kI16;
+    schedule.numThreads = 2;
+    Session session = compile(forest, schedule, {});
+
+    int64_t num_rows = 31;
+    std::vector<float> rows_a = makeRandomRows(11, num_rows, 23);
+    std::vector<float> rows_b = makeRandomRows(11, num_rows, 29);
+    std::vector<float> expected_a(static_cast<size_t>(num_rows));
+    std::vector<float> expected_b(static_cast<size_t>(num_rows));
+    session.predict(rows_a.data(), num_rows, expected_a.data());
+    session.predict(rows_b.data(), num_rows, expected_b.data());
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&] {
+            Dataset dataset =
+                session.bindDataset(rows_a.data(), num_rows);
+            std::vector<float> out(static_cast<size_t>(num_rows));
+            for (int call = 0; call < kCallsPerThread; ++call) {
+                bool use_a = call % 2 == 0;
+                session.rebindDataset(
+                    dataset, use_a ? rows_a.data() : rows_b.data(),
+                    num_rows);
+                session.predictDataset(dataset, out.data());
+                if (out != (use_a ? expected_a : expected_b))
+                    failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &caller : callers)
+        caller.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+} // namespace
+} // namespace treebeard

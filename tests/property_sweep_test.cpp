@@ -7,6 +7,7 @@
  * properties. This is the suite's fuzzing backstop: each seed
  * exercises a different corner of the (model x schedule) space.
  */
+#include <cstdlib>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -201,6 +202,138 @@ TEST_P(SerializationSweep, NativeFormatRoundTripsExactly)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationSweep,
                          ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace treebeard
+
+namespace treebeard {
+namespace {
+
+/**
+ * Cross-backend fuzz sweep: random forests x random schedules
+ * (including the i16 packed precision and the packed software
+ * pipeline) x random batch sizes (0, 1 and non-multiples of the
+ * vector width included) must be bit-identical between the kernel
+ * backend, the source-JIT backend and — when the effective layout is
+ * not quantized — the scalar reference walk. predictDataset() is
+ * checked against predict() on both backends every iteration.
+ *
+ * Quantized plans (i16 packed) legitimately differ from the f32
+ * reference (threshold rounding can flip a comparison), but they are
+ * deterministic: the two backends share one quantizer definition, so
+ * they must still agree with each other bit-exactly.
+ *
+ * The suite registers 64 seeds but runs only the first
+ * TREEBEARD_FUZZ_SEEDS of them (default 6; each seed pays a system
+ * compiler invocation). CI can raise the bound for a deeper soak; the
+ * rest GTEST_SKIP so the registered set is stable for ctest. The
+ * whole suite carries the ctest label "fuzz".
+ */
+int
+fuzzSeedBound()
+{
+    const char *env = std::getenv("TREEBEARD_FUZZ_SEEDS");
+    if (env == nullptr || *env == '\0')
+        return 6;
+    int bound = std::atoi(env);
+    return bound < 0 ? 0 : bound;
+}
+
+class CrossBackendFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CrossBackendFuzz, BackendsAgreeBitExactly)
+{
+    uint64_t seed = GetParam();
+    if (seed >= static_cast<uint64_t>(fuzzSeedBound()))
+        GTEST_SKIP() << "seed beyond TREEBEARD_FUZZ_SEEDS bound";
+    Rng rng(seed * 977 + 101);
+
+    testing::RandomForestSpec spec;
+    spec.numFeatures = static_cast<int32_t>(rng.uniformInt(2, 32));
+    spec.numTrees = rng.uniformInt(1, 24);
+    spec.maxDepth = static_cast<int32_t>(rng.uniformInt(1, 8));
+    spec.splitProbability = rng.uniform(0.4, 0.95);
+    spec.seed = seed * 53 + 11;
+    model::Forest forest = testing::makeRandomForest(spec);
+    testing::quantizeLeafValues(forest);
+
+    hir::Schedule schedule;
+    const int32_t tile_sizes[] = {1, 2, 4, 8};
+    schedule.tileSize = tile_sizes[rng.uniformInt(0, 3)];
+    schedule.loopOrder = rng.bernoulli(0.5)
+                             ? hir::LoopOrder::kOneTreeAtATime
+                             : hir::LoopOrder::kOneRowAtATime;
+    const hir::MemoryLayout layouts[] = {hir::MemoryLayout::kArray,
+                                         hir::MemoryLayout::kSparse,
+                                         hir::MemoryLayout::kPacked};
+    schedule.layout = layouts[rng.uniformInt(0, 2)];
+    if (schedule.layout == hir::MemoryLayout::kPacked &&
+        rng.bernoulli(0.5))
+        schedule.packedPrecision = hir::PackedPrecision::kI16;
+    schedule.pipelinePackedWalks = rng.bernoulli(0.5);
+    const int32_t interleaves[] = {1, 2, 4};
+    schedule.interleaveFactor = interleaves[rng.uniformInt(0, 2)];
+    schedule.padAndUnrollWalks = rng.bernoulli(0.7);
+    schedule.peelWalks = rng.bernoulli(0.7);
+    schedule.numThreads = static_cast<int32_t>(rng.uniformInt(1, 4));
+    const int32_t chunks[] = {0, 1, 5, 64};
+    schedule.rowChunkRows = chunks[rng.uniformInt(0, 3)];
+
+    // Batch sizes stressing the row-loop edges: empty, single row,
+    // below/above the SIMD width, non-multiples of 8 and of the
+    // worker count.
+    const int64_t batch_sizes[] = {0, 1, 3, 7, 8, 33, 101};
+    int64_t num_rows = batch_sizes[rng.uniformInt(0, 6)];
+
+    std::vector<float> rows(
+        static_cast<size_t>(num_rows) * spec.numFeatures);
+    for (float &value : rows) {
+        value = rng.bernoulli(0.05)
+                    ? std::numeric_limits<float>::quiet_NaN()
+                    : rng.uniformFloat(0.0f, 1.0f);
+    }
+
+    Session kernel = compile(forest, schedule, {});
+    CompilerOptions jit_options;
+    jit_options.backend = Backend::kSourceJit;
+    jit_options.jit.optLevel = "-O0";
+    Session jit = compile(forest, schedule, jit_options);
+
+    std::vector<float> kernel_out(static_cast<size_t>(num_rows), -7.f);
+    std::vector<float> jit_out(static_cast<size_t>(num_rows), -7.f);
+    kernel.predict(rows.data(), num_rows, kernel_out.data());
+    jit.predict(rows.data(), num_rows, jit_out.data());
+    testing::expectPredictionsExact(kernel_out, jit_out);
+
+    // The quantized layout rounds thresholds, so the f32 reference
+    // only gates non-quantized effective layouts (fallbacks included:
+    // the compiled plan's LayoutKind is the ground truth).
+    if (kernel.plan().buffers().layout !=
+        lir::LayoutKind::kPackedQuantized) {
+        std::vector<float> expected =
+            testing::referencePredictions(forest, rows);
+        testing::expectPredictionsExact(expected, kernel_out);
+    }
+
+    // Resident datasets take a different dispatch path (cached
+    // quantized image, resident JIT entry points); they must stay
+    // bit-identical to plain predict on both backends.
+    Dataset kernel_ds = kernel.bindDataset(rows.data(), num_rows);
+    Dataset jit_ds = jit.bindDataset(rows.data(), num_rows);
+    std::vector<float> resident_out(static_cast<size_t>(num_rows),
+                                    -7.f);
+    kernel.predictDataset(kernel_ds, resident_out.data());
+    if (num_rows > 0)
+        testing::expectPredictionsExact(kernel_out, resident_out);
+    std::fill(resident_out.begin(), resident_out.end(), -7.f);
+    jit.predictDataset(jit_ds, resident_out.data());
+    if (num_rows > 0)
+        testing::expectPredictionsExact(jit_out, resident_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendFuzz,
+                         ::testing::Range<uint64_t>(0, 64));
 
 } // namespace
 } // namespace treebeard

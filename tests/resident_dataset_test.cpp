@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the resident-dataset prediction path: Session::bindDataset
+ * pays any per-batch input transform once (the i16 packed layout's row
+ * quantization), and predictDataset then runs with zero per-call
+ * quantization on both backends, bit-identical to predict() on the
+ * same rows.
+ */
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/plan.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard {
+namespace {
+
+using testing::expectPredictionsExact;
+using testing::makeRandomForest;
+using testing::makeRandomRows;
+using testing::quantizeLeafValues;
+
+hir::Schedule
+makeSchedule(hir::MemoryLayout layout, hir::PackedPrecision precision,
+             int32_t num_threads)
+{
+    hir::Schedule schedule;
+    schedule.tileSize = 4;
+    schedule.layout = layout;
+    schedule.packedPrecision = precision;
+    schedule.numThreads = num_threads;
+    return schedule;
+}
+
+Session
+makeSession(const model::Forest &forest, const hir::Schedule &schedule,
+            Backend backend)
+{
+    CompilerOptions options;
+    options.backend = backend;
+    options.jit.optLevel = "-O0";
+    return compile(forest, schedule, options);
+}
+
+struct ResidentCase
+{
+    hir::MemoryLayout layout;
+    hir::PackedPrecision precision;
+    Backend backend;
+    int32_t numThreads;
+};
+
+class ResidentDataset : public ::testing::TestWithParam<ResidentCase>
+{};
+
+/** predictDataset must match predict bit-exactly for every config. */
+TEST_P(ResidentDataset, MatchesPredictBitExactly)
+{
+    ResidentCase param = GetParam();
+    testing::RandomForestSpec spec;
+    spec.numFeatures = 12;
+    spec.numTrees = 24;
+    spec.maxDepth = 6;
+    spec.seed = 404;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+
+    hir::Schedule schedule = makeSchedule(param.layout, param.precision,
+                                          param.numThreads);
+    Session session = makeSession(forest, schedule, param.backend);
+
+    // Include a batch that is not a multiple of the worker count or
+    // the tile width.
+    for (int64_t num_rows : {int64_t{1}, int64_t{7}, int64_t{103}}) {
+        std::vector<float> rows = makeRandomRows(
+            spec.numFeatures, num_rows, 99 + static_cast<uint64_t>(num_rows));
+        std::vector<float> expected(static_cast<size_t>(num_rows));
+        session.predict(rows.data(), num_rows, expected.data());
+
+        Dataset dataset = session.bindDataset(rows.data(), num_rows);
+        EXPECT_EQ(dataset.numRows(), num_rows);
+        EXPECT_EQ(dataset.numFeatures(), spec.numFeatures);
+        bool expect_image =
+            param.layout == hir::MemoryLayout::kPacked &&
+            param.precision == hir::PackedPrecision::kI16;
+        EXPECT_EQ(dataset.hasQuantizedImage(), expect_image);
+
+        std::vector<float> actual(static_cast<size_t>(num_rows), -1.0f);
+        session.predictDataset(dataset, actual.data());
+        expectPredictionsExact(expected, actual);
+
+        // Repeat calls stay exact (the cached image is not consumed).
+        std::fill(actual.begin(), actual.end(), -1.0f);
+        session.predictDataset(dataset, actual.data());
+        expectPredictionsExact(expected, actual);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ResidentDataset,
+    ::testing::Values(
+        ResidentCase{hir::MemoryLayout::kArray,
+                     hir::PackedPrecision::kF32, Backend::kKernel, 1},
+        ResidentCase{hir::MemoryLayout::kSparse,
+                     hir::PackedPrecision::kF32, Backend::kKernel, 2},
+        ResidentCase{hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kF32, Backend::kKernel, 1},
+        ResidentCase{hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kI16, Backend::kKernel, 1},
+        ResidentCase{hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kI16, Backend::kKernel, 3},
+        ResidentCase{hir::MemoryLayout::kArray,
+                     hir::PackedPrecision::kF32, Backend::kSourceJit, 1},
+        ResidentCase{hir::MemoryLayout::kSparse,
+                     hir::PackedPrecision::kF32, Backend::kSourceJit, 2},
+        ResidentCase{hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kI16, Backend::kSourceJit, 1},
+        ResidentCase{hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kI16, Backend::kSourceJit,
+                     3}));
+
+model::Forest
+makeQuantizedForest(uint64_t seed)
+{
+    testing::RandomForestSpec spec;
+    spec.numFeatures = 10;
+    spec.numTrees = 16;
+    spec.maxDepth = 6;
+    spec.seed = seed;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    return forest;
+}
+
+hir::Schedule
+i16PackedSchedule(int32_t num_threads = 1)
+{
+    return makeSchedule(hir::MemoryLayout::kPacked,
+                        hir::PackedPrecision::kI16, num_threads);
+}
+
+/**
+ * The point of the path: after binding, predictDataset performs zero
+ * per-call quantization passes, while plain predict pays one per call.
+ */
+TEST(ResidentDatasetStats, NoPerCallQuantizationAfterBind)
+{
+    model::Forest forest = makeQuantizedForest(31);
+    Session session =
+        makeSession(forest, i16PackedSchedule(), Backend::kKernel);
+
+    int64_t num_rows = 64;
+    std::vector<float> rows = makeRandomRows(10, num_rows, 5);
+    std::vector<float> out(static_cast<size_t>(num_rows));
+
+    runtime::RowQuantizationStats before =
+        runtime::rowQuantizationStats();
+    Dataset dataset = session.bindDataset(rows.data(), num_rows);
+    runtime::RowQuantizationStats bound =
+        runtime::rowQuantizationStats();
+    EXPECT_EQ(bound.datasetBinds, before.datasetBinds + 1);
+    EXPECT_EQ(bound.datasetRows, before.datasetRows + num_rows);
+    EXPECT_EQ(bound.batchPasses, before.batchPasses);
+
+    for (int call = 0; call < 5; ++call)
+        session.predictDataset(dataset, out.data());
+    runtime::RowQuantizationStats after =
+        runtime::rowQuantizationStats();
+    EXPECT_EQ(after.batchPasses, bound.batchPasses)
+        << "predictDataset must not quantize per call";
+    EXPECT_EQ(after.batchRows, bound.batchRows);
+    EXPECT_EQ(after.datasetBinds, bound.datasetBinds);
+
+    // The ordinary path pays the pass on every call.
+    session.predict(rows.data(), num_rows, out.data());
+    runtime::RowQuantizationStats per_call =
+        runtime::rowQuantizationStats();
+    EXPECT_GT(per_call.batchPasses, after.batchPasses);
+    EXPECT_EQ(per_call.batchRows, after.batchRows + num_rows);
+}
+
+/** Rebinding swaps the rows and rebuilds the cached image in place. */
+TEST(ResidentDatasetRebind, RebindRevalidatesAndRequantizes)
+{
+    model::Forest forest = makeQuantizedForest(32);
+    Session session =
+        makeSession(forest, i16PackedSchedule(), Backend::kKernel);
+
+    int64_t num_rows = 32;
+    std::vector<float> rows_a = makeRandomRows(10, num_rows, 1);
+    std::vector<float> rows_b = makeRandomRows(10, num_rows, 2);
+    std::vector<float> expected_a(static_cast<size_t>(num_rows));
+    std::vector<float> expected_b(static_cast<size_t>(num_rows));
+    session.predict(rows_a.data(), num_rows, expected_a.data());
+    session.predict(rows_b.data(), num_rows, expected_b.data());
+
+    Dataset dataset = session.bindDataset(rows_a.data(), num_rows);
+    std::vector<float> actual(static_cast<size_t>(num_rows));
+    session.predictDataset(dataset, actual.data());
+    expectPredictionsExact(expected_a, actual);
+
+    session.rebindDataset(dataset, rows_b.data(), num_rows);
+    session.predictDataset(dataset, actual.data());
+    expectPredictionsExact(expected_b, actual);
+
+    // Shrinking to empty clears the image and predicts nothing.
+    session.rebindDataset(dataset, rows_b.data(), 0);
+    EXPECT_EQ(dataset.numRows(), 0);
+    EXPECT_FALSE(dataset.hasQuantizedImage());
+    session.predictDataset(dataset, actual.data());
+}
+
+TEST(ResidentDatasetErrors, RejectsForeignAndInvalidBindings)
+{
+    model::Forest forest = makeQuantizedForest(33);
+    Session session_a =
+        makeSession(forest, i16PackedSchedule(), Backend::kKernel);
+    Session session_b =
+        makeSession(forest, i16PackedSchedule(), Backend::kKernel);
+
+    std::vector<float> rows = makeRandomRows(10, 8, 3);
+    std::vector<float> out(8);
+
+    EXPECT_THROW(session_a.bindDataset(rows.data(), -1), Error);
+    EXPECT_THROW(session_a.bindDataset(nullptr, 4), Error);
+
+    // An unbound dataset and a dataset bound to another session are
+    // both rejected as user errors (recoverable, not a panic).
+    Dataset unbound;
+    EXPECT_THROW(session_a.predictDataset(unbound, out.data()), Error);
+    Dataset foreign = session_b.bindDataset(rows.data(), 8);
+    EXPECT_THROW(session_a.predictDataset(foreign, out.data()), Error);
+    // ... while its owner accepts it.
+    session_b.predictDataset(foreign, out.data());
+
+    // Binding zero rows is legal (nullptr allowed) and predicts
+    // nothing.
+    Dataset empty = session_a.bindDataset(nullptr, 0);
+    EXPECT_EQ(empty.numRows(), 0);
+    session_a.predictDataset(empty, out.data());
+}
+
+/** Datasets stay valid across moves of their binding session. */
+TEST(ResidentDatasetMove, DatasetSurvivesSessionMove)
+{
+    model::Forest forest = makeQuantizedForest(34);
+    Session session =
+        makeSession(forest, i16PackedSchedule(), Backend::kKernel);
+
+    int64_t num_rows = 16;
+    std::vector<float> rows = makeRandomRows(10, num_rows, 4);
+    std::vector<float> expected(static_cast<size_t>(num_rows));
+    session.predict(rows.data(), num_rows, expected.data());
+    Dataset dataset = session.bindDataset(rows.data(), num_rows);
+
+    Session moved = std::move(session);
+    std::vector<float> actual(static_cast<size_t>(num_rows));
+    moved.predictDataset(dataset, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+/**
+ * Regression test for the per-chunk allocation bug in the threaded
+ * quantization path: the per-worker scratch buffer is reused across
+ * chunks, and a threaded multi-chunk run must stay bit-identical to
+ * the serial one (small rowChunkRows forces each worker through many
+ * scratch reuses per call).
+ */
+TEST(ResidentDatasetScratch, ChunkedQuantizationReusesScratchExactly)
+{
+    model::Forest forest = makeQuantizedForest(35);
+    Session serial =
+        makeSession(forest, i16PackedSchedule(1), Backend::kKernel);
+
+    hir::Schedule chunked = i16PackedSchedule(4);
+    chunked.rowChunkRows = 3;
+    Session threaded = makeSession(forest, chunked, Backend::kKernel);
+
+    int64_t num_rows = 257;
+    std::vector<float> rows = makeRandomRows(10, num_rows, 6);
+    std::vector<float> expected(static_cast<size_t>(num_rows));
+    std::vector<float> actual(static_cast<size_t>(num_rows));
+    serial.predict(rows.data(), num_rows, expected.data());
+
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        std::fill(actual.begin(), actual.end(), -1.0f);
+        threaded.predict(rows.data(), num_rows, actual.data());
+        expectPredictionsExact(expected, actual);
+    }
+
+    // And the resident path through the same chunked dispatch.
+    Dataset dataset = threaded.bindDataset(rows.data(), num_rows);
+    std::fill(actual.begin(), actual.end(), -1.0f);
+    threaded.predictDataset(dataset, actual.data());
+    expectPredictionsExact(expected, actual);
+}
+
+/** The JIT resident entries are emitted only for quantized plans. */
+TEST(ResidentDatasetJit, ResidentEntryPresenceTracksLayout)
+{
+    model::Forest forest = makeQuantizedForest(36);
+    Session quantized =
+        makeSession(forest, i16PackedSchedule(), Backend::kSourceJit);
+    EXPECT_TRUE(quantized.jit().hasResidentEntry());
+    EXPECT_NE(quantized.artifacts().generatedSource.find(
+                  "treebeard_predict_resident"),
+              std::string::npos);
+
+    Session plain = makeSession(
+        forest,
+        makeSchedule(hir::MemoryLayout::kPacked,
+                     hir::PackedPrecision::kF32, 1),
+        Backend::kSourceJit);
+    EXPECT_FALSE(plain.jit().hasResidentEntry());
+}
+
+} // namespace
+} // namespace treebeard

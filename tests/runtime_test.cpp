@@ -124,8 +124,24 @@ TEST(Tuner, GridEnumerationPrunesGatePairs)
     std::vector<hir::Schedule> schedules =
         tuner::enumerateSchedules(options);
     EXPECT_EQ(schedules.size(), 64u);
-    for (const hir::Schedule &schedule : schedules)
+    for (const hir::Schedule &schedule : schedules) {
         EXPECT_NO_THROW(schedule.validate());
+        // Serial grids never sweep the row-chunk knob.
+        EXPECT_EQ(schedule.rowChunkRows, 0);
+    }
+
+    // Threaded grids additionally sweep rowChunkRows.
+    options.numThreads = 4;
+    options.rowChunks = {0, 128};
+    std::vector<hir::Schedule> threaded =
+        tuner::enumerateSchedules(options);
+    EXPECT_EQ(threaded.size(), 128u);
+    bool saw_chunk = false;
+    for (const hir::Schedule &schedule : threaded) {
+        EXPECT_NO_THROW(schedule.validate());
+        saw_chunk = saw_chunk || schedule.rowChunkRows == 128;
+    }
+    EXPECT_TRUE(saw_chunk);
 }
 
 TEST(Tuner, ExplorationFindsAValidBest)

@@ -40,6 +40,9 @@ TEST(Schedule, ValidationRejectsBadKnobs)
     schedule = {};
     schedule.padDepthSlack = -1;
     EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.rowChunkRows = -1;
+    EXPECT_THROW(schedule.validate(), Error);
 }
 
 TEST(Schedule, ToStringMentionsEveryKnob)
@@ -86,6 +89,7 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                 schedule.numThreads = 7;
                 schedule.packedPrecision = PackedPrecision::kI16;
                 schedule.pipelinePackedWalks = false;
+                schedule.rowChunkRows = 128;
 
                 Schedule loaded = scheduleFromJsonString(
                     scheduleToJsonString(schedule));
@@ -107,6 +111,7 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                           schedule.packedPrecision);
                 EXPECT_EQ(loaded.pipelinePackedWalks,
                           schedule.pipelinePackedWalks);
+                EXPECT_EQ(loaded.rowChunkRows, schedule.rowChunkRows);
             }
         }
     }
@@ -150,6 +155,31 @@ TEST(Schedule, PackedPrecisionDefaultsAndPrints)
     Schedule defaulted = scheduleFromJsonString(text);
     EXPECT_EQ(defaulted.packedPrecision, PackedPrecision::kF32);
     EXPECT_TRUE(defaulted.pipelinePackedWalks);
+}
+
+TEST(Schedule, RowChunkDefaultsAndPrints)
+{
+    Schedule schedule;
+    EXPECT_EQ(schedule.rowChunkRows, 0);
+    // The auto chunk is the default everywhere and stays silent in
+    // toString; an explicit chunk prints.
+    EXPECT_EQ(schedule.toString().find("chunk="), std::string::npos);
+    schedule.rowChunkRows = 96;
+    EXPECT_NE(schedule.toString().find("chunk=96"), std::string::npos);
+
+    // Older schedule documents predate the knob; stripping the key
+    // must load as the auto chunk.
+    std::string text = scheduleToJsonString(Schedule{});
+    std::string key = "\"row_chunk_rows\":0,";
+    size_t pos = text.find(key);
+    if (pos == std::string::npos) {
+        key = ",\"row_chunk_rows\":0";
+        pos = text.find(key);
+    }
+    ASSERT_NE(pos, std::string::npos);
+    text.erase(pos, key.size());
+    Schedule defaulted = scheduleFromJsonString(text);
+    EXPECT_EQ(defaulted.rowChunkRows, 0);
 }
 
 TEST(Schedule, JsonRejectsInvalidDocuments)

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Single-entry CI driver: configure + build + full ctest, then an
+# address/undefined sanitizer smoke over the suites most likely to
+# regress memory-safety — the resident-dataset cache, the shared
+# session concurrency layer and the JIT disk cache. The full
+# three-sanitizer matrix (including thread mode over the concurrency
+# suite) remains tools/sanitize_matrix.sh; this script is the bounded
+# per-commit gate.
+#
+# Usage: tools/ci.sh [build-dir]         (default: build-ci)
+#
+# Knobs (environment):
+#   TREEBEARD_FUZZ_SEEDS   cross-backend fuzz iterations (default 6;
+#                          raise for a deeper soak)
+#   TREEBEARD_CI_SKIP_SANITIZE=1   skip the sanitizer smoke stage
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci}"
+
+echo "=== ci: configure + build ($BUILD_DIR) ==="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j
+
+echo "=== ci: full test suite ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "${TREEBEARD_CI_SKIP_SANITIZE:-0}" != "1" ]; then
+    # Smoke, not soak: one seed of the fuzz sweep is enough to drag
+    # the whole compile-and-predict path under the sanitizers.
+    SMOKE_FILTER='ResidentDataset|SharedSessionConcurrency'
+    SMOKE_FILTER="$SMOKE_FILTER"'|ThreadPoolConcurrency|SystemJit'
+    export TREEBEARD_FUZZ_SEEDS="${TREEBEARD_FUZZ_SEEDS:-1}"
+    for sanitizer in address undefined; do
+        echo "=== ci: ${sanitizer}-sanitizer smoke ==="
+        TREEBEARD_SANITIZE_TESTS="$SMOKE_FILTER" \
+            tools/sanitize_matrix.sh "$sanitizer"
+    done
+fi
+
+echo "=== ci: OK ==="

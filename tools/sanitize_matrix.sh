@@ -30,10 +30,16 @@ DEFAULT_FILTER="$DEFAULT_FILTER"'|PackedQuantized'
 # The verifier corpus mutates live buffers; run it under every
 # sanitizer to prove the analysis itself never reads out of bounds.
 DEFAULT_FILTER="$DEFAULT_FILTER"'|LirVerifier|HirVerifier|MirVerifier|ModelLoadVerifier|VerifyEach'
+# The resident-dataset cache (bind-time quantized image, rebind
+# invalidation) and the shared-session concurrency suite: thread mode
+# proves the pool handoff and the dataset cache race-free, the memory
+# modes watch the cached image's bounds.
+DEFAULT_FILTER="$DEFAULT_FILTER"'|ResidentDataset|SharedSessionConcurrency|ThreadPoolConcurrency|CrossBackendFuzz'
 FILTER="${TREEBEARD_SANITIZE_TESTS:-$DEFAULT_FILTER}"
 
 TARGETS=(codegen_test packed_layout_test backend_parity_test
-         verifier_test)
+         verifier_test resident_dataset_test concurrency_test
+         property_sweep_test)
 
 for sanitizer in "${SANITIZERS[@]}"; do
     case "$sanitizer" in
