@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Node- vs row-parallel traversal crossover. Both kinds spend the
+ * same SIMD width differently: node-parallel evaluates the nodes of
+ * one tile for one row per vector, row-parallel walks eight rows down
+ * one tree in lockstep behind a divergence mask, several lane groups
+ * in flight to keep the gather chains pipelined. The crossover runs
+ * along the batch axis: below a few lane groups of rows the wide
+ * row-parallel loop cannot fill and the 8-row/scalar remainders
+ * dominate, so node-parallel wins; from batch ~64 up the lockstep
+ * walk wins on both model shapes — under padded unrolled walks lanes
+ * never diverge, and deeper trees gain the most because their longer
+ * serial gather chains profit most from group interleaving.
+ *
+ * The bench times the pure axis flip (identical schedule, only
+ * Schedule::traversal changes) across two model shapes and a batch
+ * sweep, then runs the auto-tuner on both models over a grid that
+ * includes both traversal kinds and reports which kind it picks per
+ * model — the crossover must be found automatically, not encoded.
+ *
+ * When invoked with an argument, writes a JSON summary to that path
+ * (BENCH_row_parallel.json).
+ */
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "treebeard/compiler.h"
+#include "tuner/auto_tuner.h"
+
+using namespace treebeard;
+
+namespace {
+
+/** One (model, batch) axis-flip measurement. */
+struct CrossoverPoint
+{
+    std::string model;
+    int64_t batch = 0;
+    double nodeRowsPerSec = 0.0;
+    double rowRowsPerSec = 0.0;
+    double rowOverNode = 0.0;
+};
+
+/** Rows/sec for one compiled session on one batch. */
+double
+rowsPerSec(Session &session, const data::Dataset &batch, int64_t rows)
+{
+    std::vector<float> predictions(
+        static_cast<size_t>(rows) *
+        static_cast<size_t>(session.numClasses()));
+    double seconds = bench::timeSeconds(
+        [&] { session.predict(batch.rows(), rows, predictions.data()); });
+    return static_cast<double>(rows) / seconds;
+}
+
+/** The traversal-axis base point: tile-size-1 sparse, serial. */
+hir::Schedule
+baseSchedule()
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    schedule.tileSize = 1;
+    schedule.tiling = hir::TilingAlgorithm::kBasic;
+    schedule.layout = hir::MemoryLayout::kSparse;
+    schedule.padAndUnrollWalks = true;
+    schedule.peelWalks = true;
+    schedule.interleaveFactor = 8;
+    schedule.numThreads = 1;
+    schedule.assumeNoMissingValues = true;
+    return schedule;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The two ends of the crossover: a wide forest of shallow trees
+    // (lockstep-friendly: little lane divergence) and a narrow forest
+    // of deep trees (divergence-heavy).
+    data::SyntheticModelSpec shallow;
+    shallow.name = "shallow-wide";
+    shallow.numFeatures = 50;
+    shallow.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(600 * bench::benchScale()));
+    shallow.maxDepth = 4;
+    shallow.splitProbability = 0.97;
+    shallow.trainingRows = 0;
+    shallow.seed = 6161;
+    shallow.thresholdDistribution = data::ThresholdDistribution::kMild;
+
+    data::SyntheticModelSpec deep = shallow;
+    deep.name = "deep-narrow";
+    deep.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(100 * bench::benchScale()));
+    deep.maxDepth = 9;
+    deep.splitProbability = 0.93;
+    deep.seed = 6262;
+
+    const int64_t batches[] = {8, 64, 512, 2048};
+
+    std::printf("# Traversal-axis flip (tile 1 sparse, serial): "
+                "node-parallel vs row-parallel lane groups\n");
+    std::printf("# Row-parallel should win from batch >= 64 on both "
+                "shapes (%s most) and lose the small batches, where "
+                "the wide loop cannot fill its lane groups.\n",
+                deep.name.c_str());
+    bench::printCsvRow({"model", "batch", "node_rows_per_sec",
+                        "row_rows_per_sec", "row_over_node"});
+
+    std::vector<CrossoverPoint> points;
+    for (const data::SyntheticModelSpec &spec : {shallow, deep}) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        hir::Schedule node = baseSchedule();
+        hir::Schedule row = node;
+        row.traversal = hir::TraversalKind::kRowParallel;
+        Session node_session = compile(forest, node, {});
+        Session row_session = compile(forest, row, {});
+
+        for (int64_t batch : batches) {
+            data::Dataset rows = bench::benchmarkBatch(spec, batch);
+            CrossoverPoint point;
+            point.model = spec.name;
+            point.batch = batch;
+            point.nodeRowsPerSec = rowsPerSec(node_session, rows, batch);
+            point.rowRowsPerSec = rowsPerSec(row_session, rows, batch);
+            point.rowOverNode =
+                point.rowRowsPerSec / point.nodeRowsPerSec;
+            points.push_back(point);
+            bench::printCsvRow({point.model, std::to_string(batch),
+                                bench::fmt(point.nodeRowsPerSec, 0),
+                                bench::fmt(point.rowRowsPerSec, 0),
+                                bench::fmt(point.rowOverNode, 3)});
+        }
+    }
+
+    // The tuner must find the crossover on its own: same grid for
+    // both models, both traversal kinds included, winner reported.
+    std::printf("# Auto-tuner choice per model (grid includes both "
+                "traversal kinds):\n");
+    struct TunerChoice
+    {
+        std::string model;
+        std::string traversal;
+        std::string schedule;
+    };
+    std::vector<TunerChoice> choices;
+    for (const data::SyntheticModelSpec &spec : {shallow, deep}) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        int64_t sample_rows = 512;
+        data::Dataset sample = bench::benchmarkBatch(spec, sample_rows);
+
+        tuner::TunerOptions options;
+        options.loopOrders = {hir::LoopOrder::kOneTreeAtATime};
+        options.tileSizes = {1, 8};
+        options.tilings = {hir::TilingAlgorithm::kBasic};
+        options.padAndUnroll = {true};
+        options.interleaveFactors = {1, 8};
+        options.layouts = {hir::MemoryLayout::kSparse};
+        options.repetitions = 3;
+        tuner::TunerResult result = tuner::exploreSchedules(
+            forest, sample.rows(), sample_rows, options);
+
+        TunerChoice choice;
+        choice.model = spec.name;
+        choice.traversal =
+            hir::traversalKindName(result.best.schedule.traversal);
+        choice.schedule = result.best.schedule.toString();
+        choices.push_back(choice);
+        std::printf("# %s -> %s (%s)\n", choice.model.c_str(),
+                    choice.traversal.c_str(), choice.schedule.c_str());
+    }
+
+    if (argc > 1) {
+        std::ostringstream os;
+        os << "{\n  \"benchmark\": \"row_parallel\",\n";
+        os << "  \"models\": {\"" << shallow.name
+           << "\": {\"trees\": " << shallow.numTrees
+           << ", \"max_depth\": " << shallow.maxDepth << "}, \""
+           << deep.name << "\": {\"trees\": " << deep.numTrees
+           << ", \"max_depth\": " << deep.maxDepth << "}},\n";
+        os << "  \"crossover\": [\n";
+        for (size_t i = 0; i < points.size(); ++i) {
+            const CrossoverPoint &p = points[i];
+            os << "    {\"model\": \"" << p.model
+               << "\", \"batch\": " << p.batch
+               << ", \"node_rows_per_sec\": "
+               << bench::fmt(p.nodeRowsPerSec, 0)
+               << ", \"row_rows_per_sec\": "
+               << bench::fmt(p.rowRowsPerSec, 0)
+               << ", \"row_over_node\": "
+               << bench::fmt(p.rowOverNode, 4) << "}"
+               << (i + 1 < points.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+        os << "  \"tuner_choices\": [\n";
+        for (size_t i = 0; i < choices.size(); ++i) {
+            os << "    {\"model\": \"" << choices[i].model
+               << "\", \"chosen_traversal\": \""
+               << choices[i].traversal << "\", \"schedule\": \""
+               << choices[i].schedule << "\"}"
+               << (i + 1 < choices.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        writeStringToFile(argv[1], os.str());
+        std::printf("# wrote %s\n", argv[1]);
+    }
+    return 0;
+}

@@ -362,6 +362,183 @@ emitWalkFunction(std::ostringstream &os, const ForestBuffers &fb,
 }
 
 /**
+ * Emit the row-parallel lane-group walker for one tree group
+ * (TraversalKind::kRowParallel, tile size 1 only): 8 consecutive rows
+ * walk one tree in lockstep, one AVX2 lane per row, mirroring the
+ * kernel runtime's walkSparseRows8 / walkPackedRows8 /
+ * walkPackedQuantizedRows8 instruction for instruction. Without AVX2
+ * the function degrades to 8 scalar walk_group_<g> calls — the same
+ * leaves in the same order, so predictions are unchanged.
+ */
+void
+emitRowParallelWalkFunction(std::ostringstream &os,
+                            const ForestBuffers &fb,
+                            const TreeGroup &group, size_t group_index)
+{
+    int32_t nf = fb.numFeatures;
+    bool quantized = fb.layout == LayoutKind::kPackedQuantized;
+    bool packed = lir::isPackedKind(fb.layout);
+    // Leaf-test-free prefix carried over from the walk shape: an
+    // unrolled walk has exactly walkDepth levels, a peeled one at
+    // least peelDepth.
+    int32_t unchecked =
+        group.unrolledWalk
+            ? group.walkDepth - 1
+            : (group.peelDepth > 1 ? group.peelDepth - 1 : 0);
+
+    os << "static inline void walk_group_" << group_index
+       << "_rows8(int64_t root, "
+       << (quantized ? "const int32_t* rows" : "const float* rows");
+    if (packed) {
+        os << ",\n    const unsigned char* packed, const float* "
+              "leaves, const int8_t* lut, float* out) {\n";
+    } else {
+        os << ",\n    const float* thresholds, const int32_t* "
+              "features,\n"
+              "    const int16_t* shape_ids, const uint8_t* "
+              "default_left,\n"
+              "    const int32_t* child_base, const float* leaves, "
+              "const int8_t* lut,\n"
+              "    const int32_t* default_left32, float* out) {\n";
+    }
+    os << "#if defined(__AVX2__)\n";
+    if (!packed)
+        os << "  (void)shape_ids; (void)default_left;\n";
+    os << "  const __m256i lane_row = _mm256_mullo_epi32("
+          "_mm256_setr_epi32(0,1,2,3,4,5,6,7), _mm256_set1_epi32("
+       << nf << "));\n";
+    // Tile size 1 has a single shape (id 0): the LUT collapses to the
+    // child on predicate-false vs predicate-true.
+    os << "  const __m256i child_false = _mm256_set1_epi32(lut[0]);\n";
+    os << "  const __m256i child_true = _mm256_set1_epi32(lut[1]);\n";
+    os << "  const __m256i ones = _mm256_set1_epi32(1);\n";
+    os << "  __m256i tile = _mm256_set1_epi32((int32_t)root);\n";
+    if (quantized) {
+        os << "  const int32_t* pd = (const int32_t*)packed;\n";
+        // 16-byte record: word 0 = int16 threshold | uint8 feature,
+        // word 1 = shape | default-left byte, word 2 = child base.
+        os << "  auto step = [&](__m256i t, __m256i* base) {\n";
+        os << "    __m256i w = _mm256_slli_epi32(t, 2);\n";
+        os << "    __m256i w0 = _mm256_i32gather_epi32(pd, w, 4);\n";
+        os << "    __m256i th = _mm256_srai_epi32("
+              "_mm256_slli_epi32(w0, 16), 16);\n";
+        os << "    __m256i fi = _mm256_and_si256("
+              "_mm256_srli_epi32(w0, 16), _mm256_set1_epi32(0xff));\n";
+        os << "    __m256i qv = _mm256_i32gather_epi32(rows, "
+              "_mm256_add_epi32(fi, lane_row), 4);\n";
+        os << "    __m256i go_left = _mm256_cmpgt_epi32(th, qv);\n";
+        os << "    __m256i missing = _mm256_cmpeq_epi32(qv, "
+              "_mm256_set1_epi32("
+           << lir::kQuantizedNaN << "));\n";
+        os << "    __m256i w1 = _mm256_i32gather_epi32(pd, "
+              "_mm256_add_epi32(w, ones), 4);\n";
+        os << "    __m256i dlm = _mm256_cmpgt_epi32(_mm256_and_si256("
+              "_mm256_srli_epi32(w1, 16), ones), "
+              "_mm256_setzero_si256());\n";
+        os << "    go_left = _mm256_or_si256(go_left, "
+              "_mm256_and_si256(missing, dlm));\n";
+        os << "    *base = _mm256_i32gather_epi32(pd, "
+              "_mm256_add_epi32(w, _mm256_set1_epi32(2)), 4);\n";
+        os << "    return _mm256_blendv_epi8(child_false, child_true, "
+              "go_left);\n";
+        os << "  };\n";
+    } else if (packed) {
+        os << "  const float* pdf = (const float*)packed;\n";
+        os << "  const int32_t* pd = (const int32_t*)packed;\n";
+        // 16-byte record: word 0 = f32 threshold, word 1 = int16
+        // feature | shape, word 2 = default-left byte, word 3 =
+        // child base.
+        os << "  auto step = [&](__m256i t, __m256i* base) {\n";
+        os << "    __m256i w = _mm256_slli_epi32(t, 2);\n";
+        os << "    __m256 th = _mm256_i32gather_ps(pdf, w, 4);\n";
+        os << "    __m256i w1 = _mm256_i32gather_epi32(pd, "
+              "_mm256_add_epi32(w, ones), 4);\n";
+        os << "    __m256i fi = _mm256_srai_epi32("
+              "_mm256_slli_epi32(w1, 16), 16);\n";
+        os << "    __m256 fv = _mm256_i32gather_ps(rows, "
+              "_mm256_add_epi32(fi, lane_row), 4);\n";
+        os << "    __m256 go_left = _mm256_cmp_ps(fv, th, "
+              "_CMP_LT_OQ);\n";
+        os << "    __m256 missing = _mm256_cmp_ps(fv, fv, "
+              "_CMP_UNORD_Q);\n";
+        os << "    __m256i w2 = _mm256_i32gather_epi32(pd, "
+              "_mm256_add_epi32(w, _mm256_set1_epi32(2)), 4);\n";
+        os << "    __m256 dlm = _mm256_castsi256_ps(_mm256_cmpgt_epi32("
+              "_mm256_and_si256(w2, ones), _mm256_setzero_si256()));\n";
+        os << "    go_left = _mm256_or_ps(go_left, _mm256_and_ps("
+              "missing, dlm));\n";
+        os << "    *base = _mm256_i32gather_epi32(pd, "
+              "_mm256_add_epi32(w, _mm256_set1_epi32(3)), 4);\n";
+        os << "    return _mm256_blendv_epi8(child_false, child_true, "
+              "_mm256_castps_si256(go_left));\n";
+        os << "  };\n";
+    } else {
+        os << "  auto step = [&](__m256i t, __m256i* base) {\n";
+        os << "    __m256 th = _mm256_i32gather_ps(thresholds, t, "
+              "4);\n";
+        os << "    __m256i fi = _mm256_i32gather_epi32(features, t, "
+              "4);\n";
+        os << "    __m256 fv = _mm256_i32gather_ps(rows, "
+              "_mm256_add_epi32(fi, lane_row), 4);\n";
+        os << "    __m256 go_left = _mm256_cmp_ps(fv, th, "
+              "_CMP_LT_OQ);\n";
+        os << "    __m256 missing = _mm256_cmp_ps(fv, fv, "
+              "_CMP_UNORD_Q);\n";
+        os << "    __m256i dl = _mm256_i32gather_epi32(default_left32, "
+              "t, 4);\n";
+        os << "    __m256 dlm = _mm256_castsi256_ps(_mm256_cmpgt_epi32("
+              "dl, _mm256_setzero_si256()));\n";
+        os << "    go_left = _mm256_or_ps(go_left, _mm256_and_ps("
+              "missing, dlm));\n";
+        os << "    *base = _mm256_i32gather_epi32(child_base, t, 4);\n";
+        os << "    return _mm256_blendv_epi8(child_false, child_true, "
+              "_mm256_castps_si256(go_left));\n";
+        os << "  };\n";
+    }
+    if (unchecked > 0) {
+        os << "  for (int d = 0; d < " << unchecked << "; ++d) {\n";
+        os << "    __m256i base;\n";
+        os << "    __m256i child = step(tile, &base);\n";
+        os << "    tile = _mm256_add_epi32(base, child);\n";
+        os << "  }\n";
+    }
+    os << "  __m256 result = _mm256_setzero_ps();\n";
+    os << "  __m256i done = _mm256_setzero_si256();\n";
+    os << "  for (;;) {\n";
+    os << "    __m256i base;\n";
+    os << "    __m256i child = step(tile, &base);\n";
+    os << "    __m256i leaf = _mm256_cmpgt_epi32("
+          "_mm256_setzero_si256(), base);\n";
+    os << "    __m256i leaf_index = _mm256_sub_epi32(child, "
+          "_mm256_add_epi32(base, ones));\n";
+    os << "    result = _mm256_mask_i32gather_ps(result, leaves, "
+          "leaf_index, _mm256_castsi256_ps(leaf), 4);\n";
+    os << "    done = _mm256_or_si256(done, leaf);\n";
+    os << "    if (_mm256_movemask_ps(_mm256_castsi256_ps(done)) == "
+          "0xff) break;\n";
+    // Retired lanes stay on their final tile so trailing gathers
+    // remain in bounds.
+    os << "    tile = _mm256_blendv_epi8(_mm256_add_epi32(base, "
+          "child), tile, leaf);\n";
+    os << "  }\n";
+    os << "  _mm256_storeu_ps(out, result);\n";
+    os << "#else\n";
+    if (packed) {
+        os << "  for (int i = 0; i < 8; ++i) out[i] = walk_group_"
+           << group_index << "(root, rows + (int64_t)i * " << nf
+           << ", packed, leaves, lut);\n";
+    } else {
+        os << "  (void)default_left32;\n";
+        os << "  for (int i = 0; i < 8; ++i) out[i] = walk_group_"
+           << group_index << "(root, rows + (int64_t)i * " << nf
+           << ", thresholds, features, shape_ids, default_left, "
+              "child_base, leaves, lut);\n";
+    }
+    os << "#endif\n";
+    os << "}\n\n";
+}
+
+/**
  * Emit the multiclass constants and the softmax finisher: the class
  * of each (execution-order) tree position, and a routine replicating
  * model::softmaxInPlace operation-for-operation so compiled outputs
@@ -449,17 +626,34 @@ emitPredictForestSource(const ForestBuffers &fb,
     os << "#if defined(__AVX2__)\n#include <immintrin.h>\n#endif\n\n";
 
     bool quantized = fb.layout == LayoutKind::kPackedQuantized;
+    // Row-parallel traversal: 8 rows walk one tree in lockstep, which
+    // forces a tree-major row loop regardless of loopOrder (the lane
+    // group owns one tree at a time). Tile size 1 on the sparse and
+    // packed layouts gets the vectorized lane-group walkers; other
+    // configurations keep scalar walks driven 8 rows at a time — the
+    // same lockstep structure, and bit-identical either way.
+    bool row_parallel =
+        schedule.traversal == hir::TraversalKind::kRowParallel;
+    bool rows8 = row_parallel && fb.tileSize == 1 &&
+                 fb.layout != LayoutKind::kArray;
     emitEvalTile(os, fb);
     if (quantized)
         emitQuantizationSupport(os, fb);
-    for (size_t g = 0; g < groups.size(); ++g)
+    for (size_t g = 0; g < groups.size(); ++g) {
         emitWalkFunction(os, fb, groups[g], g);
+        if (rows8)
+            emitRowParallelWalkFunction(os, fb, groups[g], g);
+    }
     if (multiclass)
         emitMulticlassSupport(os, fb);
 
     int32_t k = schedule.interleaveFactor;
     bool one_tree =
         schedule.loopOrder == hir::LoopOrder::kOneTreeAtATime;
+    if (row_parallel) {
+        one_tree = true;
+        k = 8;
+    }
     // Trailing arguments every walk_group_* call passes through.
     std::string walk_tail =
         lir::isPackedKind(fb.layout)
@@ -477,10 +671,16 @@ emitPredictForestSource(const ForestBuffers &fb,
         "    const int32_t* child_base,\n"
         "    const float* leaves, const int8_t* lut,\n"
         "    const int64_t* tree_first_tile,\n"
-        "    const unsigned char* packed";
+        "    const unsigned char* packed,\n"
+        "    const int32_t* default_left32";
     const char *buffer_args =
         "thresholds, features, shape_ids, default_left, child_base, "
-        "leaves, lut, tree_first_tile, packed";
+        "leaves, lut, tree_first_tile, packed, default_left32";
+    // The lane-group walkers take the walk tail plus, on the sparse
+    // layout, the widened default-direction shadow.
+    std::string walk8_tail =
+        lir::isPackedKind(fb.layout) ? walk_tail
+                                     : walk_tail + ", default_left32";
 
     if (quantized) {
         // Quantize a row span once up front; the walks then compare
@@ -510,6 +710,8 @@ emitPredictForestSource(const ForestBuffers &fb,
     } else {
         os << "  (void)packed;\n";
     }
+    if (!(rows8 && !lir::isPackedKind(fb.layout)))
+        os << "  (void)default_left32;\n";
 
     auto emit_objective = [&](const std::string &target,
                               const std::string &margin) {
@@ -534,7 +736,17 @@ emitPredictForestSource(const ForestBuffers &fb,
             os << "    int64_t root = tree_first_tile[pos];\n";
             os << "    const int64_t cls = kTreeClass[pos];\n";
             os << "    int64_t r = 0;\n";
-            if (k > 1) {
+            if (rows8) {
+                // Row-parallel lane groups: 8 rows per walk.
+                os << "    for (; r + 8 <= num_rows; r += 8) {\n";
+                os << "      float out8[8];\n";
+                os << "      walk_group_" << g << "_rows8(root, "
+                   << rows_name << " + r * nf, " << walk8_tail
+                   << ", out8);\n";
+                os << "      for (int i = 0; i < 8; ++i) acc[(r + i) * "
+                      "kNumClasses + cls] += out8[i];\n";
+                os << "    }\n";
+            } else if (k > 1) {
                 // Unroll-and-jam over rows: K interleaved walks.
                 os << "    for (; r + " << k
                    << " <= num_rows; r += " << k << ") {\n";
@@ -569,7 +781,17 @@ emitPredictForestSource(const ForestBuffers &fb,
                << "; pos < " << group.endPos << "; ++pos) {\n";
             os << "    int64_t root = tree_first_tile[pos];\n";
             os << "    int64_t r = 0;\n";
-            if (k > 1) {
+            if (rows8) {
+                // Row-parallel lane groups: 8 rows per walk.
+                os << "    for (; r + 8 <= num_rows; r += 8) {\n";
+                os << "      float out8[8];\n";
+                os << "      walk_group_" << g << "_rows8(root, "
+                   << rows_name << " + r * nf, " << walk8_tail
+                   << ", out8);\n";
+                os << "      for (int i = 0; i < 8; ++i) acc[r + i] += "
+                      "out8[i];\n";
+                os << "    }\n";
+            } else if (k > 1) {
                 // Unroll-and-jam over rows: K interleaved walks.
                 os << "    for (; r + " << k
                    << " <= num_rows; r += " << k << ") {\n";
@@ -769,6 +991,16 @@ JitCompiledSession::JitCompiledSession(lir::ForestBuffers buffers,
                                        const JitOptions &jit_options)
     : buffers_(std::move(buffers))
 {
+    // The emitted row-parallel sparse walker gathers default-direction
+    // bits with 4-byte word gathers (the emitted scalar walker reads
+    // default_left unconditionally, so the vector mirror does too);
+    // widen the uint8 array so those gathers stay in bounds.
+    if (schedule.traversal == hir::TraversalKind::kRowParallel &&
+        buffers_.tileSize == 1 &&
+        buffers_.layout == lir::LayoutKind::kSparse) {
+        dlWide_.assign(buffers_.defaultLeft.begin(),
+                       buffers_.defaultLeft.end());
+    }
     source_ = emitPredictForestSource(buffers_, groups, schedule);
     module_ = std::make_unique<JitModule>(source_,
                                           withHostSimdFlags(jit_options));
@@ -797,6 +1029,7 @@ JitCompiledSession::bufferArgs() const
     args.packed = lir::isPackedKind(buffers_.layout)
                       ? buffers_.packedData()
                       : nullptr;
+    args.defaultLeft32 = dlWide_.empty() ? nullptr : dlWide_.data();
     return args;
 }
 
@@ -809,7 +1042,7 @@ JitCompiledSession::predict(const float *rows, int64_t num_rows,
              buffers_.featureIndices.data(), buffers_.shapeIds.data(),
              buffers_.defaultLeft.data(), a.childBase, a.leaves,
              buffers_.shapes->lutData(), buffers_.treeFirstTile.data(),
-             a.packed);
+             a.packed, a.defaultLeft32);
 }
 
 void
@@ -823,7 +1056,8 @@ JitCompiledSession::predictWorker(int32_t worker, int32_t num_workers,
                    buffers_.featureIndices.data(),
                    buffers_.shapeIds.data(), buffers_.defaultLeft.data(),
                    a.childBase, a.leaves, buffers_.shapes->lutData(),
-                   buffers_.treeFirstTile.data(), a.packed);
+                   buffers_.treeFirstTile.data(), a.packed,
+                   a.defaultLeft32);
 }
 
 void
@@ -840,7 +1074,8 @@ JitCompiledSession::predictResident(const int32_t *qrows,
                      buffers_.shapeIds.data(),
                      buffers_.defaultLeft.data(), a.childBase, a.leaves,
                      buffers_.shapes->lutData(),
-                     buffers_.treeFirstTile.data(), a.packed);
+                     buffers_.treeFirstTile.data(), a.packed,
+                     a.defaultLeft32);
 }
 
 void
@@ -859,7 +1094,8 @@ JitCompiledSession::predictResidentWorker(int32_t worker,
                            buffers_.shapeIds.data(),
                            buffers_.defaultLeft.data(), a.childBase,
                            a.leaves, buffers_.shapes->lutData(),
-                           buffers_.treeFirstTile.data(), a.packed);
+                           buffers_.treeFirstTile.data(), a.packed,
+                           a.defaultLeft32);
 }
 
 } // namespace treebeard::codegen

@@ -32,11 +32,15 @@ namespace treebeard::codegen {
  *       const int16_t* shape_ids, const uint8_t* default_left,
  *       const int32_t* child_base, const float* leaves,
  *       const int8_t* lut, const int64_t* tree_first_tile,
- *       const unsigned char* packed);
+ *       const unsigned char* packed,
+ *       const int32_t* default_left32);
  *
  * For the packed layout the SoA pointers (thresholds, feature_indices,
  * shape_ids, default_left, child_base) may be null; every tile field
- * is read from the packed records instead.
+ * is read from the packed records instead. default_left32 is an
+ * int32-widened shadow of default_left consumed only by the
+ * row-parallel sparse walkers (their default-direction gathers are
+ * 4-byte words); null for every other configuration.
  *
  * Alongside the serial entry the TU carries the parallel row loop:
  *
@@ -135,27 +139,29 @@ class JitCompiledSession
                                const int16_t *, const uint8_t *,
                                const int32_t *, const float *,
                                const int8_t *, const int64_t *,
-                               const unsigned char *);
+                               const unsigned char *, const int32_t *);
     using PredictWorkerFn = void (*)(int32_t, int32_t, const float *,
                                      int64_t, float *, const float *,
                                      const int32_t *, const int16_t *,
                                      const uint8_t *, const int32_t *,
                                      const float *, const int8_t *,
                                      const int64_t *,
-                                     const unsigned char *);
+                                     const unsigned char *,
+                                     const int32_t *);
     using PredictResidentFn = void (*)(const int32_t *, int64_t,
                                        float *, const float *,
                                        const int32_t *, const int16_t *,
                                        const uint8_t *, const int32_t *,
                                        const float *, const int8_t *,
                                        const int64_t *,
-                                       const unsigned char *);
+                                       const unsigned char *,
+                                       const int32_t *);
     using PredictResidentWorkerFn =
         void (*)(int32_t, int32_t, const int32_t *, int64_t, float *,
                  const float *, const int32_t *, const int16_t *,
                  const uint8_t *, const int32_t *, const float *,
                  const int8_t *, const int64_t *,
-                 const unsigned char *);
+                 const unsigned char *, const int32_t *);
 
     /** Layout-dependent nullable buffer pointers, per call. */
     struct BufferArgs
@@ -163,10 +169,17 @@ class JitCompiledSession
         const int32_t *childBase;
         const float *leaves;
         const unsigned char *packed;
+        const int32_t *defaultLeft32;
     };
     BufferArgs bufferArgs() const;
 
     lir::ForestBuffers buffers_;
+    /**
+     * Int32-widened shadow of buffers_.defaultLeft, built only for
+     * row-parallel tile-size-1 sparse plans (word gathers from the
+     * uint8 array would read past its end); empty otherwise.
+     */
+    std::vector<int32_t> dlWide_;
     std::string source_;
     std::unique_ptr<JitModule> module_;
     PredictFn predict_ = nullptr;

@@ -39,6 +39,16 @@ packedPrecisionName(PackedPrecision precision)
     panic("unknown packed precision");
 }
 
+const char *
+traversalKindName(TraversalKind traversal)
+{
+    switch (traversal) {
+      case TraversalKind::kNodeParallel: return "node-parallel";
+      case TraversalKind::kRowParallel: return "row-parallel";
+    }
+    panic("unknown traversal kind");
+}
+
 void
 Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
 {
@@ -59,10 +69,12 @@ Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
         diag.error(IrLevel::kSchedule, "schedule.threads.range",
                    "numThreads must be at least 1");
     }
-    if (rowChunkRows < 0) {
-        diag.error(IrLevel::kSchedule, "schedule.row-chunk.range",
-                   "rowChunkRows must be non-negative (0 = one chunk "
-                   "per worker)");
+    if (rowChunkRows < 0 || rowChunkRows > kMaxRowChunkRows) {
+        diag.error(IrLevel::kSchedule, "hir.schedule.row-chunk.range",
+                   "rowChunkRows must be in [0, " +
+                       std::to_string(kMaxRowChunkRows) +
+                       "] (0 = one chunk per worker); got " +
+                       std::to_string(rowChunkRows));
     }
     // The negated comparisons also reject NaN.
     if (!(alpha > 0.0 && alpha <= 1.0)) {
@@ -129,6 +141,8 @@ scheduleToJsonString(const Schedule &schedule)
     object["layout"] = JsonValue(memoryLayoutName(schedule.layout));
     object["packed_precision"] =
         JsonValue(packedPrecisionName(schedule.packedPrecision));
+    object["traversal"] =
+        JsonValue(traversalKindName(schedule.traversal));
     object["pipeline_packed"] =
         JsonValue(schedule.pipelinePackedWalks);
     object["threads"] =
@@ -189,6 +203,12 @@ scheduleFromJsonString(const std::string &text)
     JsonValue default_zero(static_cast<int64_t>(0));
     schedule.rowChunkRows = static_cast<int32_t>(
         document.getOr("row_chunk_rows", default_zero).asInt());
+    JsonValue default_node("node-parallel");
+    schedule.traversal =
+        document.getOr("traversal", default_node).asString() ==
+                "row-parallel"
+            ? TraversalKind::kRowParallel
+            : TraversalKind::kNodeParallel;
     schedule.validate();
     return schedule;
 }
@@ -201,6 +221,8 @@ Schedule::toString() const
        << tilingAlgorithmName(tiling) << " layout="
        << memoryLayoutName(layout) << " interleave=" << interleaveFactor
        << (packedPrecision == PackedPrecision::kI16 ? " +i16" : "")
+       << (traversal == TraversalKind::kRowParallel ? " +row-parallel"
+                                                    : "")
        << (pipelinePackedWalks ? "" : " -pipeline")
        << (padAndUnrollWalks ? " +unroll" : "")
        << (peelWalks ? " +peel" : "")

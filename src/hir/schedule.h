@@ -66,11 +66,47 @@ enum class PackedPrecision {
 const char *packedPrecisionName(PackedPrecision precision);
 
 /**
+ * SIMD traversal shape of the lowered walkers (orthogonal to
+ * MemoryLayout and PackedPrecision — the buffers are identical under
+ * both kinds).
+ *
+ *  - kNodeParallel vectorizes *within* one tile: an AVX2 gather /
+ *    compare over the tile's 4-8 slots decides one row's step.
+ *  - kRowParallel vectorizes *across* rows: 8 rows walk one tree in
+ *    lockstep, one __m256 lane per row, with per-step feature gathers
+ *    from the row block, compare-mask blends selecting each lane's
+ *    child and a done-mask retiring lanes that reached a leaf. This is
+ *    the FIL-style shape; it wins on shallow/wide forests at large
+ *    batch sizes, where the amortized tile fetch dominates.
+ *
+ * Row-parallel traversal forces a tree-major execution order
+ * internally (a lane group walks one tree at a time), so loopOrder is
+ * ignored under kRowParallel. Predictions are bit-identical between
+ * the two kinds on both backends: per-row accumulation still sums the
+ * same leaf values in the same tree order.
+ */
+enum class TraversalKind {
+    kNodeParallel,
+    kRowParallel,
+};
+
+const char *traversalKindName(TraversalKind traversal);
+
+/**
  * Maximum supported tile size. Kept in sync with
  * lir::kMaxTileSize (asserted by the LIR); the limit exists because
  * comparison outcomes are packed into one byte per tile.
  */
 constexpr int32_t kMaxScheduleTileSize = 8;
+
+/**
+ * Exclusive-inclusive upper bound on Schedule::rowChunkRows. Chunks
+ * above 4M rows cannot load-balance anything (they exceed any batch
+ * this runtime targets) and are always a typo'd CLI/JSON value, so
+ * schedule verification rejects them up front instead of letting the
+ * runtime silently run single-chunk.
+ */
+constexpr int32_t kMaxRowChunkRows = 1 << 22;
 
 /**
  * All compilation knobs. Defaults correspond to the configuration the
@@ -105,6 +141,8 @@ struct Schedule
     MemoryLayout layout = MemoryLayout::kSparse;
     /** Packed-layout threshold precision (see PackedPrecision). */
     PackedPrecision packedPrecision = PackedPrecision::kF32;
+    /** SIMD traversal shape (see TraversalKind). */
+    TraversalKind traversal = TraversalKind::kNodeParallel;
     /**
      * Software-pipeline the packed interleaved walkers: load tile
      * k+1's child base while evaluating tile k, instead of relying on

@@ -521,6 +521,302 @@ struct PlanKernels
     }
 };
 
+/**
+ * Kernel bundle for the row-parallel traversal
+ * (hir::TraversalKind::kRowParallel): 8 rows walk one tree in
+ * lockstep. Tile size 1 on the sparse and packed layouts runs the
+ * AVX2 divergence-mask walkers (walkers.h); every other configuration
+ * falls back to the node-parallel interleaved walkers driven with 8
+ * identical roots and 8 consecutive rows — the same lockstep loop
+ * structure, scalar per-lane evaluation. Execution is always
+ * tree-major (a lane group walks one tree at a time), so loopOrder
+ * and interleaveFactor are ignored; per-row accumulation still sums
+ * the same leaf values in the same tree order, keeping predictions
+ * bit-identical to the node-parallel kernels.
+ */
+template <int NT, lir::LayoutKind L, bool HM>
+struct RowParallelKernels
+{
+    using Base = PlanKernels<NT, L, kRowParallelWidth, HM>;
+    using Row = typename Base::Row;
+    static constexpr bool kQuantized = Base::kQuantized;
+    static constexpr bool kVectorized =
+        TREEBEARD_HAS_AVX2 && NT == 1 && L != LayoutKind::kArray;
+
+    /**
+     * Lane groups walked concurrently per tree by the wide inner
+     * loop: one group's walk is a serial gather chain, so several
+     * independent groups in flight are what hides gather latency the
+     * way interleaving hides it for the node-parallel walks.
+     */
+    static constexpr int kWideGroups = 4;
+    static constexpr int64_t kWideRows =
+        static_cast<int64_t>(kWideGroups) * kRowParallelWidth;
+
+    /**
+     * Leaf-test-free prefix length carried over from the peel/unroll
+     * contracts: an unrolled walk has exactly walkDepth levels, a
+     * peeled one at least peelDepth, so that many minus one steps
+     * need no leaf test in any lane.
+     */
+    static int32_t
+    uncheckedSteps(const TreeGroup &group)
+    {
+        return group.unrolledWalk
+                   ? group.walkDepth - 1
+                   : (group.peelDepth > 1 ? group.peelDepth - 1 : 0);
+    }
+
+#if TREEBEARD_HAS_AVX2
+    /**
+     * Walk one tree for kWideRows consecutive rows (kWideGroups lane
+     * groups in flight). Only reachable when kVectorized.
+     */
+    static void
+    walkWide(const ForestBuffers &fb, const int8_t *lut,
+             const int32_t *dl32, int64_t root, const Row *rows,
+             int32_t nf, const TreeGroup &group, float *out)
+    {
+        if constexpr (kVectorized) {
+            int32_t unchecked = uncheckedSteps(group);
+            if constexpr (L == LayoutKind::kSparse) {
+                walkSparseRowsWide<kWideGroups>(fb, lut, dl32, root,
+                                                rows, nf, unchecked,
+                                                out);
+            } else if constexpr (L == LayoutKind::kPacked) {
+                walkPackedRowsWide<HM, kWideGroups>(
+                    fb, lut, root, rows, nf, unchecked, out);
+            } else {
+                walkPackedQuantizedRowsWide<HM, kWideGroups>(
+                    fb, lut, root, rows, nf, unchecked, out);
+            }
+        }
+    }
+#endif
+
+    /**
+     * Walk one tree for 8 consecutive rows (row-major at @p rows8,
+     * stride @p nf), writing the 8 leaf values to out[0..8).
+     */
+    static void
+    walk8(const ForestBuffers &fb, const int8_t *lut, int32_t stride,
+          const int32_t *dl32, int64_t root, const Row *rows8,
+          int32_t nf, const TreeGroup &group, bool pipeline, float *out)
+    {
+#if TREEBEARD_HAS_AVX2
+        if constexpr (kVectorized) {
+            (void)stride;
+            (void)pipeline;
+            int32_t unchecked = uncheckedSteps(group);
+            if constexpr (L == LayoutKind::kSparse) {
+                walkSparseRows8(fb, lut, dl32, root, rows8, nf,
+                                unchecked, out);
+            } else if constexpr (L == LayoutKind::kPacked) {
+                walkPackedRows8<HM>(fb, lut, root, rows8, nf, unchecked,
+                                    out);
+            } else {
+                walkPackedQuantizedRows8<HM>(fb, lut, root, rows8, nf,
+                                             unchecked, out);
+            }
+            return;
+        }
+#endif
+        (void)dl32;
+        int64_t roots[kRowParallelWidth];
+        const Row *row_ptrs[kRowParallelWidth];
+        for (int k = 0; k < kRowParallelWidth; ++k) {
+            roots[k] = root;
+            row_ptrs[k] = rows8 + static_cast<int64_t>(k) * nf;
+        }
+        Base::walkMany(fb, lut, stride, roots, row_ptrs, group,
+                       pipeline, out);
+    }
+
+    static void
+    runRangeMulticlass(const ExecutablePlan &plan, const float *rows,
+                       const int32_t *qrows, int64_t begin, int64_t end,
+                       float *predictions)
+    {
+        const ForestBuffers &fb = plan.buffers();
+        const int8_t *lut = fb.shapes->lutData();
+        int32_t stride = fb.shapes->lutStride();
+        int32_t nf = fb.numFeatures;
+        int32_t classes = fb.numClasses;
+        const std::vector<TreeGroup> &groups = plan.groups();
+        bool pipeline = plan.mir().schedule.pipelinePackedWalks;
+        const int32_t *dl32 = plan.defaultLeftWide();
+
+        const Row *rows_view = nullptr;
+        int64_t origin = 0;
+        if constexpr (kQuantized) {
+            if (qrows != nullptr) {
+                rows_view = qrows;
+            } else {
+                rows_view = quantizeRowsScratch(fb, rows, begin, end);
+                origin = begin;
+            }
+        } else {
+            (void)qrows;
+            rows_view = rows;
+        }
+
+        constexpr int64_t kRowBlock = 64;
+        std::vector<float> accumulators(static_cast<size_t>(
+            std::min(kRowBlock, end - begin) * classes));
+        for (int64_t block = begin; block < end; block += kRowBlock) {
+            int64_t block_end =
+                std::min<int64_t>(block + kRowBlock, end);
+            std::fill(accumulators.begin(), accumulators.end(),
+                      fb.baseScore);
+            for (const TreeGroup &group : groups) {
+                for (int64_t pos = group.beginPos; pos < group.endPos;
+                     ++pos) {
+                    int32_t tree_class =
+                        fb.treeClass[static_cast<size_t>(pos)];
+                    int64_t root =
+                        fb.treeFirstTile[static_cast<size_t>(pos)];
+                    int64_t r = block;
+#if TREEBEARD_HAS_AVX2
+                    if constexpr (kVectorized) {
+                        for (; r + kWideRows <= block_end;
+                             r += kWideRows) {
+                            float out[kWideRows];
+                            walkWide(fb, lut, dl32, root,
+                                     rows_view + (r - origin) * nf, nf,
+                                     group, out);
+                            for (int k = 0; k < kWideRows; ++k)
+                                accumulators[static_cast<size_t>(
+                                    (r + k - block) * classes +
+                                    tree_class)] += out[k];
+                        }
+                    }
+#endif
+                    for (; r + kRowParallelWidth <= block_end;
+                         r += kRowParallelWidth) {
+                        float out[kRowParallelWidth];
+                        walk8(fb, lut, stride, dl32, root,
+                              rows_view + (r - origin) * nf, nf, group,
+                              pipeline, out);
+                        for (int k = 0; k < kRowParallelWidth; ++k)
+                            accumulators[static_cast<size_t>(
+                                (r + k - block) * classes +
+                                tree_class)] += out[k];
+                    }
+                    for (; r < block_end; ++r) {
+                        accumulators[static_cast<size_t>(
+                            (r - block) * classes + tree_class)] +=
+                            Base::walkOne(fb, lut, stride, root,
+                                          rows_view + (r - origin) * nf,
+                                          group);
+                    }
+                }
+            }
+            for (int64_t r = block; r < block_end; ++r) {
+                float *out = predictions + r * classes;
+                const float *margins =
+                    accumulators.data() + (r - block) * classes;
+                for (int32_t k = 0; k < classes; ++k)
+                    out[k] = margins[k];
+                if (fb.objective ==
+                    model::Objective::kMulticlassSoftmax)
+                    model::softmaxInPlace(out, classes);
+            }
+        }
+    }
+
+    static void
+    runRange(const ExecutablePlan &plan, const float *rows,
+             const int32_t *qrows, int64_t begin, int64_t end,
+             float *predictions)
+    {
+        const ForestBuffers &fb = plan.buffers();
+        const int8_t *lut = fb.shapes->lutData();
+        int32_t stride = fb.shapes->lutStride();
+        int32_t nf = fb.numFeatures;
+        const std::vector<TreeGroup> &groups = plan.groups();
+
+        if (fb.numClasses > 1) {
+            runRangeMulticlass(plan, rows, qrows, begin, end,
+                               predictions);
+            return;
+        }
+
+        bool pipeline = plan.mir().schedule.pipelinePackedWalks;
+        const int32_t *dl32 = plan.defaultLeftWide();
+        const Row *rows_view = nullptr;
+        int64_t origin = 0;
+        if constexpr (kQuantized) {
+            if (qrows != nullptr) {
+                rows_view = qrows;
+            } else {
+                rows_view = quantizeRowsScratch(fb, rows, begin, end);
+                origin = begin;
+            }
+        } else {
+            (void)qrows;
+            rows_view = rows;
+        }
+
+        // Same adaptive row blocking as the node-parallel tree-major
+        // loop: one tree pass touches an L2-sized slice of the batch.
+        constexpr int64_t kRowBytesBudget = 256 << 10;
+        int64_t row_block = std::max<int64_t>(
+            64, kRowBytesBudget / (static_cast<int64_t>(nf) * 4));
+        std::vector<float> accumulators(
+            static_cast<size_t>(std::min(row_block, end - begin)),
+            0.0f);
+        for (int64_t block = begin; block < end; block += row_block) {
+            int64_t block_end =
+                std::min<int64_t>(block + row_block, end);
+            std::fill(accumulators.begin(), accumulators.end(),
+                      fb.baseScore);
+            for (const TreeGroup &group : groups) {
+                for (int64_t pos = group.beginPos; pos < group.endPos;
+                     ++pos) {
+                    int64_t root =
+                        fb.treeFirstTile[static_cast<size_t>(pos)];
+                    int64_t r = block;
+#if TREEBEARD_HAS_AVX2
+                    if constexpr (kVectorized) {
+                        for (; r + kWideRows <= block_end;
+                             r += kWideRows) {
+                            float out[kWideRows];
+                            walkWide(fb, lut, dl32, root,
+                                     rows_view + (r - origin) * nf, nf,
+                                     group, out);
+                            for (int k = 0; k < kWideRows; ++k)
+                                accumulators[static_cast<size_t>(
+                                    r + k - block)] += out[k];
+                        }
+                    }
+#endif
+                    for (; r + kRowParallelWidth <= block_end;
+                         r += kRowParallelWidth) {
+                        float out[kRowParallelWidth];
+                        walk8(fb, lut, stride, dl32, root,
+                              rows_view + (r - origin) * nf, nf, group,
+                              pipeline, out);
+                        for (int k = 0; k < kRowParallelWidth; ++k)
+                            accumulators[static_cast<size_t>(
+                                r + k - block)] += out[k];
+                    }
+                    for (; r < block_end; ++r) {
+                        accumulators[static_cast<size_t>(r - block)] +=
+                            Base::walkOne(fb, lut, stride, root,
+                                          rows_view + (r - origin) * nf,
+                                          group);
+                    }
+                }
+            }
+            for (int64_t r = block; r < block_end; ++r) {
+                predictions[r] = model::applyObjective(
+                    fb.objective,
+                    accumulators[static_cast<size_t>(r - block)]);
+            }
+        }
+    }
+};
+
 namespace {
 
 template <int NT, lir::LayoutKind L, bool HM>
@@ -565,6 +861,41 @@ selectByLayout(LayoutKind layout, int32_t factor, bool handle_missing)
     panic("unknown layout kind");
 }
 
+template <int NT>
+ExecutablePlan::RangeRunner
+selectRowParallelByLayout(LayoutKind layout, bool handle_missing)
+{
+    switch (layout) {
+      case LayoutKind::kSparse:
+        return handle_missing
+                   ? &RowParallelKernels<NT, LayoutKind::kSparse,
+                                         true>::runRange
+                   : &RowParallelKernels<NT, LayoutKind::kSparse,
+                                         false>::runRange;
+      case LayoutKind::kPacked:
+        return handle_missing
+                   ? &RowParallelKernels<NT, LayoutKind::kPacked,
+                                         true>::runRange
+                   : &RowParallelKernels<NT, LayoutKind::kPacked,
+                                         false>::runRange;
+      case LayoutKind::kPackedQuantized:
+        return handle_missing
+                   ? &RowParallelKernels<NT,
+                                         LayoutKind::kPackedQuantized,
+                                         true>::runRange
+                   : &RowParallelKernels<NT,
+                                         LayoutKind::kPackedQuantized,
+                                         false>::runRange;
+      case LayoutKind::kArray:
+        return handle_missing
+                   ? &RowParallelKernels<NT, LayoutKind::kArray,
+                                         true>::runRange
+                   : &RowParallelKernels<NT, LayoutKind::kArray,
+                                         false>::runRange;
+    }
+    panic("unknown layout kind");
+}
+
 } // namespace
 
 ExecutablePlan::ExecutablePlan(lir::ForestBuffers buffers,
@@ -592,6 +923,43 @@ ExecutablePlan::selectRunner()
     // model carries default directions, which must be honored.
     bool missing = buffers_.hasDefaultLeft ||
                    !mir_.schedule.assumeNoMissingValues;
+    if (mir_.schedule.traversal == hir::TraversalKind::kRowParallel) {
+        // The vectorized sparse walker gathers default-direction bits
+        // as int32 words; widen the uint8 array once here (word
+        // gathers from the byte array itself would read past its
+        // end). Packed records carry the bit in-record. Built whenever
+        // missing handling is on — not just when the model has default
+        // directions: padding writes load-bearing all-left bits on
+        // dummy tiles (NaN must follow the child-0 chain; the filler
+        // slots are unreachable), so NaN routing needs the bits even
+        // for direction-free models.
+        if (missing && buffers_.layout == LayoutKind::kSparse &&
+            buffers_.tileSize == 1) {
+            dlWide_.assign(buffers_.defaultLeft.begin(),
+                           buffers_.defaultLeft.end());
+        }
+        switch (buffers_.tileSize) {
+          case 1:
+            runner_ =
+                selectRowParallelByLayout<1>(buffers_.layout, missing);
+            return;
+          case 2:
+            runner_ =
+                selectRowParallelByLayout<2>(buffers_.layout, missing);
+            return;
+          case 4:
+            runner_ =
+                selectRowParallelByLayout<4>(buffers_.layout, missing);
+            return;
+          case 8:
+            runner_ =
+                selectRowParallelByLayout<8>(buffers_.layout, missing);
+            return;
+          default:
+            runner_ = &runRangeDynamic;
+            return;
+        }
+    }
     switch (buffers_.tileSize) {
       case 1:
         runner_ = selectByLayout<1>(buffers_.layout, factor, missing);

@@ -127,6 +127,18 @@ class ExecutablePlan
     const lir::ForestBuffers &buffers() const { return buffers_; }
     const mir::MirFunction &mir() const { return mir_; }
     const std::vector<hir::TreeGroup> &groups() const { return groups_; }
+
+    /**
+     * Int32-widened shadow of ForestBuffers::defaultLeft, built only
+     * for row-parallel sparse plans that route missing values: the
+     * row-parallel walker gathers default-direction bits with 4-byte
+     * word gathers, which would read past the end of the uint8 array.
+     * Null when this plan never consults it.
+     */
+    const int32_t *defaultLeftWide() const
+    {
+        return dlWide_.empty() ? nullptr : dlWide_.data();
+    }
     int32_t numFeatures() const { return buffers_.numFeatures; }
     /** Outputs per row: 1, or the class count for multiclass models. */
     int32_t numClasses() const { return buffers_.numClasses; }
@@ -154,6 +166,8 @@ class ExecutablePlan
     std::vector<hir::TreeGroup> groups_;
     RangeRunner runner_ = nullptr;
     std::unique_ptr<ThreadPool> pool_;
+    /** See defaultLeftWide(). */
+    std::vector<int32_t> dlWide_;
 
     template <int NT, lir::LayoutKind L, int K, bool HM>
     friend struct PlanKernels;

@@ -581,6 +581,391 @@ walkArrayUnrolledInterleaved(const ForestBuffers &fb, const int8_t *lut,
     }
 }
 
+// ---------------------------------------------------------------------
+// Row-parallel (batch-major) vectorized walks: the FIL-style traversal
+// shape selected by hir::TraversalKind::kRowParallel. Eight rows of a
+// row-major block walk ONE tree in lockstep, one SIMD lane per row:
+// each step gathers the lanes' current tile fields, gathers each
+// lane's feature value from its own row, and blends every lane to its
+// own child; a done-mask retires lanes whose walk reached a leaf
+// (their tile index is frozen so trailing gathers stay in bounds, and
+// the masked leaf gather makes the out[] write idempotent). Only tile
+// size 1 is vectorized this way — at NT == 1 the per-node predicate is
+// a single compare, so vectorizing across rows recovers the SIMD width
+// that node-parallel evaluation cannot use; larger tile sizes keep the
+// node-parallel tile kernels and get their row parallelism from the
+// scalar lockstep fallback in the plan.
+//
+// Missing-value semantics match the scalar predicate bit for bit:
+// NaN lanes compare false (unordered) and are OR'd with the node's
+// default-left bit. The sparse layout reads that bit through an
+// int32-widened shadow of ForestBuffers::defaultLeft (@p dl32; word
+// gathers from the uint8 array itself would read past its end) —
+// a null @p dl32 means the schedule promised NaN-free inputs
+// (assumeNoMissingValues), skipping the NaN path entirely. The bits
+// matter even for models without default directions: padded dummy
+// tiles carry all-left bits that keep NaN lanes on the child-0 chain
+// (their filler slots are unreachable). Packed records gather the bit
+// from inside the 16-byte record, which is always in bounds.
+// ---------------------------------------------------------------------
+
+/** Rows per row-parallel lane group (__m256 width). */
+constexpr int32_t kRowParallelWidth = 8;
+
+#if TREEBEARD_HAS_AVX2
+
+/**
+ * Row-parallel sparse walk, tile size 1: @p G lane groups of 8 rows
+ * each (row-major at @p rows, stride @p num_features) walk the tree
+ * rooted at @p root; leaf values go to out[0..8G). The first
+ * @p unchecked steps skip the leaf test (the peel/unroll contract:
+ * every root-to-leaf path crosses more than @p unchecked internal
+ * tiles).
+ *
+ * The groups exist purely to hide gather latency: one group's walk is
+ * a serial gather->compare->blend->gather chain, so G independent
+ * chains in flight keep the load ports busy the way the interleaved
+ * node-parallel walks do. Groups that retire all 8 lanes drop out of
+ * the loop individually; per-row results are independent of G.
+ */
+template <int G>
+inline void
+walkSparseRowsWide(const ForestBuffers &fb, const int8_t *lut,
+                   const int32_t *dl32, int64_t root, const float *rows,
+                   int64_t num_features, int32_t unchecked, float *out)
+{
+    const float *thresholds = fb.thresholds.data();
+    const int32_t *features = fb.featureIndices.data();
+    const int32_t *child_base = fb.childBase.data();
+    const float *leaves = fb.leaves.data();
+    const int32_t nf = static_cast<int32_t>(num_features);
+    // Lane l reads row l of its group's block: feature addresses are
+    // fi + l * num_features off the group's first row.
+    const __m256i lane_row = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(nf));
+    // NT == 1 has a single tile shape (id 0), so the LUT collapses to
+    // two entries: child on predicate-false vs predicate-true.
+    const __m256i child_false = _mm256_set1_epi32(lut[0]);
+    const __m256i child_true = _mm256_set1_epi32(lut[1]);
+    const __m256i ones = _mm256_set1_epi32(1);
+    __m256i tile[G];
+    const float *rows_g[G];
+    for (int g = 0; g < G; ++g) {
+        tile[g] = _mm256_set1_epi32(static_cast<int32_t>(root));
+        rows_g[g] = rows + static_cast<int64_t>(g) *
+                               kRowParallelWidth * num_features;
+    }
+
+    auto step = [&](__m256i t, const float *rg) {
+        __m256 th = _mm256_i32gather_ps(thresholds, t, 4);
+        __m256i fi = _mm256_i32gather_epi32(features, t, 4);
+        __m256 fv = _mm256_i32gather_ps(
+            rg, _mm256_add_epi32(fi, lane_row), 4);
+        __m256 go_left = _mm256_cmp_ps(fv, th, _CMP_LT_OQ);
+        if (dl32 != nullptr) {
+            __m256 missing = _mm256_cmp_ps(fv, fv, _CMP_UNORD_Q);
+            __m256i dl = _mm256_i32gather_epi32(dl32, t, 4);
+            __m256 dlm = _mm256_castsi256_ps(
+                _mm256_cmpgt_epi32(dl, _mm256_setzero_si256()));
+            go_left = _mm256_or_ps(go_left,
+                                   _mm256_and_ps(missing, dlm));
+        }
+        return _mm256_blendv_epi8(child_false, child_true,
+                                  _mm256_castps_si256(go_left));
+    };
+
+    for (int32_t d = 0; d < unchecked; ++d) {
+        for (int g = 0; g < G; ++g) {
+            __m256i child = step(tile[g], rows_g[g]);
+            __m256i base =
+                _mm256_i32gather_epi32(child_base, tile[g], 4);
+            tile[g] = _mm256_add_epi32(base, child);
+        }
+    }
+    __m256 result[G];
+    __m256i done[G];
+    for (int g = 0; g < G; ++g) {
+        result[g] = _mm256_setzero_ps();
+        done[g] = _mm256_setzero_si256();
+    }
+    uint32_t active = (G >= 32) ? ~0u : ((1u << G) - 1);
+    while (active != 0) {
+        for (int g = 0; g < G; ++g) {
+            if (!(active & (1u << g)))
+                continue;
+            __m256i child = step(tile[g], rows_g[g]);
+            __m256i base =
+                _mm256_i32gather_epi32(child_base, tile[g], 4);
+            // base < 0: the children are leaves in the leaf pool at
+            // -(base + 1) + child.
+            __m256i leaf =
+                _mm256_cmpgt_epi32(_mm256_setzero_si256(), base);
+            __m256i leaf_index = _mm256_sub_epi32(
+                child, _mm256_add_epi32(base, ones));
+            result[g] = _mm256_mask_i32gather_ps(
+                result[g], leaves, leaf_index,
+                _mm256_castsi256_ps(leaf), 4);
+            done[g] = _mm256_or_si256(done[g], leaf);
+            if (_mm256_movemask_ps(_mm256_castsi256_ps(done[g])) ==
+                0xff) {
+                active &= ~(1u << g);
+                continue;
+            }
+            // Retired lanes stay on their final tile so the next
+            // iteration's gathers remain in bounds.
+            tile[g] = _mm256_blendv_epi8(
+                _mm256_add_epi32(base, child), tile[g], leaf);
+        }
+    }
+    for (int g = 0; g < G; ++g)
+        _mm256_storeu_ps(out + g * kRowParallelWidth, result[g]);
+}
+
+/** Single-group (8-row) sparse wrapper for remainder blocks. */
+inline void
+walkSparseRows8(const ForestBuffers &fb, const int8_t *lut,
+                const int32_t *dl32, int64_t root, const float *rows,
+                int64_t num_features, int32_t unchecked, float *out)
+{
+    walkSparseRowsWide<1>(fb, lut, dl32, root, rows, num_features,
+                          unchecked, out);
+}
+
+/**
+ * Row-parallel walk over NT == 1 packed f32 records (16-byte stride:
+ * word 0 f32 threshold, word 1 feature|shape, word 2 default-left
+ * byte, word 3 child base) for @p G lane groups of 8 rows. All field
+ * gathers are 4-byte words inside the record, so no shadow array is
+ * needed. See walkSparseRowsWide for the group-interleaving rationale.
+ */
+template <bool HM, int G>
+inline void
+walkPackedRowsWide(const ForestBuffers &fb, const int8_t *lut,
+                   int64_t root, const float *rows,
+                   int64_t num_features, int32_t unchecked, float *out)
+{
+    static_assert(lir::packedTileStride(1) == 16,
+                  "NT==1 packed record must be 4 words");
+    const float *pd_f32 =
+        reinterpret_cast<const float *>(fb.packedData());
+    const int32_t *pd_i32 =
+        reinterpret_cast<const int32_t *>(fb.packedData());
+    const float *leaves = fb.leaves.data();
+    const int32_t nf = static_cast<int32_t>(num_features);
+    const __m256i lane_row = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(nf));
+    const __m256i child_false = _mm256_set1_epi32(lut[0]);
+    const __m256i child_true = _mm256_set1_epi32(lut[1]);
+    const __m256i ones = _mm256_set1_epi32(1);
+    __m256i tile[G];
+    const float *rows_g[G];
+    for (int g = 0; g < G; ++g) {
+        tile[g] = _mm256_set1_epi32(static_cast<int32_t>(root));
+        rows_g[g] = rows + static_cast<int64_t>(g) *
+                               kRowParallelWidth * num_features;
+    }
+
+    auto step = [&](__m256i t, const float *rg) {
+        // Word index of the lanes' records: tile * (stride / 4).
+        __m256i w = _mm256_slli_epi32(t, 2);
+        __m256 th = _mm256_i32gather_ps(pd_f32, w, 4);
+        __m256i w1 = _mm256_i32gather_epi32(
+            pd_i32, _mm256_add_epi32(w, ones), 4);
+        // Low 16 bits of word 1: the int16 feature index.
+        __m256i fi = _mm256_srai_epi32(_mm256_slli_epi32(w1, 16), 16);
+        __m256 fv = _mm256_i32gather_ps(
+            rg, _mm256_add_epi32(fi, lane_row), 4);
+        __m256 go_left = _mm256_cmp_ps(fv, th, _CMP_LT_OQ);
+        if constexpr (HM) {
+            __m256 missing = _mm256_cmp_ps(fv, fv, _CMP_UNORD_Q);
+            __m256i w2 = _mm256_i32gather_epi32(
+                pd_i32, _mm256_add_epi32(w, _mm256_set1_epi32(2)), 4);
+            __m256i dl = _mm256_and_si256(w2, ones);
+            __m256 dlm = _mm256_castsi256_ps(
+                _mm256_cmpgt_epi32(dl, _mm256_setzero_si256()));
+            go_left = _mm256_or_ps(go_left,
+                                   _mm256_and_ps(missing, dlm));
+        }
+        __m256i base = _mm256_i32gather_epi32(
+            pd_i32, _mm256_add_epi32(w, _mm256_set1_epi32(3)), 4);
+        __m256i child = _mm256_blendv_epi8(
+            child_false, child_true, _mm256_castps_si256(go_left));
+        struct { __m256i child, base; } r = {child, base};
+        return r;
+    };
+
+    for (int32_t d = 0; d < unchecked; ++d) {
+        for (int g = 0; g < G; ++g) {
+            auto r = step(tile[g], rows_g[g]);
+            tile[g] = _mm256_add_epi32(r.base, r.child);
+        }
+    }
+    __m256 result[G];
+    __m256i done[G];
+    for (int g = 0; g < G; ++g) {
+        result[g] = _mm256_setzero_ps();
+        done[g] = _mm256_setzero_si256();
+    }
+    uint32_t active = (G >= 32) ? ~0u : ((1u << G) - 1);
+    while (active != 0) {
+        for (int g = 0; g < G; ++g) {
+            if (!(active & (1u << g)))
+                continue;
+            auto r = step(tile[g], rows_g[g]);
+            __m256i leaf =
+                _mm256_cmpgt_epi32(_mm256_setzero_si256(), r.base);
+            __m256i leaf_index = _mm256_sub_epi32(
+                r.child, _mm256_add_epi32(r.base, ones));
+            result[g] = _mm256_mask_i32gather_ps(
+                result[g], leaves, leaf_index,
+                _mm256_castsi256_ps(leaf), 4);
+            done[g] = _mm256_or_si256(done[g], leaf);
+            if (_mm256_movemask_ps(_mm256_castsi256_ps(done[g])) ==
+                0xff) {
+                active &= ~(1u << g);
+                continue;
+            }
+            tile[g] = _mm256_blendv_epi8(
+                _mm256_add_epi32(r.base, r.child), tile[g], leaf);
+        }
+    }
+    for (int g = 0; g < G; ++g)
+        _mm256_storeu_ps(out + g * kRowParallelWidth, result[g]);
+}
+
+/** Single-group (8-row) packed f32 wrapper for remainder blocks. */
+template <bool HM>
+inline void
+walkPackedRows8(const ForestBuffers &fb, const int8_t *lut,
+                int64_t root, const float *rows, int64_t num_features,
+                int32_t unchecked, float *out)
+{
+    walkPackedRowsWide<HM, 1>(fb, lut, root, rows, num_features,
+                              unchecked, out);
+}
+
+/**
+ * Row-parallel walk over NT == 1 quantized packed records (16-byte
+ * stride: word 0 int16 threshold | uint8 feature, word 1 shape |
+ * default-left byte, word 2 child base) against @p G lane groups of 8
+ * pre-quantized rows (@p qrows, int32 per feature). Comparison and
+ * NaN-sentinel
+ * semantics match evalTilePackedQuantized exactly, so predictDataset
+ * over the resident image takes this path with no extra work.
+ */
+template <bool HM, int G>
+inline void
+walkPackedQuantizedRowsWide(const ForestBuffers &fb, const int8_t *lut,
+                            int64_t root, const int32_t *qrows,
+                            int64_t num_features, int32_t unchecked,
+                            float *out)
+{
+    static_assert(lir::packedqTileStride(1) == 16,
+                  "NT==1 quantized record must be 4 words");
+    const int32_t *pd_i32 =
+        reinterpret_cast<const int32_t *>(fb.packedData());
+    const float *leaves = fb.leaves.data();
+    const int32_t nf = static_cast<int32_t>(num_features);
+    const __m256i lane_row = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(nf));
+    const __m256i child_false = _mm256_set1_epi32(lut[0]);
+    const __m256i child_true = _mm256_set1_epi32(lut[1]);
+    const __m256i ones = _mm256_set1_epi32(1);
+    __m256i tile[G];
+    const int32_t *qrows_g[G];
+    for (int g = 0; g < G; ++g) {
+        tile[g] = _mm256_set1_epi32(static_cast<int32_t>(root));
+        qrows_g[g] = qrows + static_cast<int64_t>(g) *
+                                 kRowParallelWidth * num_features;
+    }
+
+    auto step = [&](__m256i t, const int32_t *rg) {
+        __m256i w = _mm256_slli_epi32(t, 2);
+        __m256i w0 = _mm256_i32gather_epi32(pd_i32, w, 4);
+        // Low 16 bits: int16 threshold (sign-extended); bits 16..23:
+        // the uint8 feature index.
+        __m256i th = _mm256_srai_epi32(_mm256_slli_epi32(w0, 16), 16);
+        __m256i fi = _mm256_and_si256(_mm256_srli_epi32(w0, 16),
+                                      _mm256_set1_epi32(0xff));
+        __m256i qv = _mm256_i32gather_epi32(
+            rg, _mm256_add_epi32(fi, lane_row), 4);
+        __m256i go_left = _mm256_cmpgt_epi32(th, qv);
+        if constexpr (HM) {
+            __m256i missing = _mm256_cmpeq_epi32(
+                qv, _mm256_set1_epi32(lir::kQuantizedNaN));
+            __m256i w1 = _mm256_i32gather_epi32(
+                pd_i32, _mm256_add_epi32(w, ones), 4);
+            __m256i dl = _mm256_and_si256(_mm256_srli_epi32(w1, 16),
+                                          ones);
+            __m256i dlm =
+                _mm256_cmpgt_epi32(dl, _mm256_setzero_si256());
+            go_left = _mm256_or_si256(go_left,
+                                      _mm256_and_si256(missing, dlm));
+        }
+        __m256i base = _mm256_i32gather_epi32(
+            pd_i32, _mm256_add_epi32(w, _mm256_set1_epi32(2)), 4);
+        __m256i child =
+            _mm256_blendv_epi8(child_false, child_true, go_left);
+        struct { __m256i child, base; } r = {child, base};
+        return r;
+    };
+
+    for (int32_t d = 0; d < unchecked; ++d) {
+        for (int g = 0; g < G; ++g) {
+            auto r = step(tile[g], qrows_g[g]);
+            tile[g] = _mm256_add_epi32(r.base, r.child);
+        }
+    }
+    __m256 result[G];
+    __m256i done[G];
+    for (int g = 0; g < G; ++g) {
+        result[g] = _mm256_setzero_ps();
+        done[g] = _mm256_setzero_si256();
+    }
+    uint32_t active = (G >= 32) ? ~0u : ((1u << G) - 1);
+    while (active != 0) {
+        for (int g = 0; g < G; ++g) {
+            if (!(active & (1u << g)))
+                continue;
+            auto r = step(tile[g], qrows_g[g]);
+            __m256i leaf =
+                _mm256_cmpgt_epi32(_mm256_setzero_si256(), r.base);
+            __m256i leaf_index = _mm256_sub_epi32(
+                r.child, _mm256_add_epi32(r.base, ones));
+            result[g] = _mm256_mask_i32gather_ps(
+                result[g], leaves, leaf_index,
+                _mm256_castsi256_ps(leaf), 4);
+            done[g] = _mm256_or_si256(done[g], leaf);
+            if (_mm256_movemask_ps(_mm256_castsi256_ps(done[g])) ==
+                0xff) {
+                active &= ~(1u << g);
+                continue;
+            }
+            tile[g] = _mm256_blendv_epi8(
+                _mm256_add_epi32(r.base, r.child), tile[g], leaf);
+        }
+    }
+    for (int g = 0; g < G; ++g)
+        _mm256_storeu_ps(out + g * kRowParallelWidth, result[g]);
+}
+
+/** Single-group (8-row) quantized packed wrapper for remainders. */
+template <bool HM>
+inline void
+walkPackedQuantizedRows8(const ForestBuffers &fb, const int8_t *lut,
+                         int64_t root, const int32_t *qrows,
+                         int64_t num_features, int32_t unchecked,
+                         float *out)
+{
+    walkPackedQuantizedRowsWide<HM, 1>(fb, lut, root, qrows,
+                                       num_features, unchecked, out);
+}
+
+#endif // TREEBEARD_HAS_AVX2
+
 /** Interleaved generic (optionally peeled) array walks. */
 template <int NT, bool HM, int K>
 inline void

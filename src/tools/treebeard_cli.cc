@@ -18,6 +18,8 @@
  *   --row-chunk N (rows per parallel-loop chunk; 0 = one per worker)
  *   --order tree|row --layout sparse|array|packed
  *   --packed-precision f32|i16 (int16-quantized packed records)
+ *   --traversal node|row (SIMD shape: node-parallel tile evaluation
+ *     vs row-parallel lane groups walking 8 rows in lockstep)
  *   --tiling basic|probability|hybrid|min-max-depth
  *   --no-unroll --no-peel --no-pipeline --verify-each
  *
@@ -119,6 +121,15 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
                 schedule.tiling = hir::TilingAlgorithm::kMinMaxDepth;
             else
                 fatal("unknown tiling '", value, "'");
+        } else if (arg == "--traversal") {
+            const std::string &value = next();
+            if (value == "node")
+                schedule.traversal = hir::TraversalKind::kNodeParallel;
+            else if (value == "row")
+                schedule.traversal = hir::TraversalKind::kRowParallel;
+            else
+                fatal("--traversal must be node or row (got \"", value,
+                      "\")");
         } else if (arg == "--packed-precision") {
             const std::string &value = next();
             if (value == "f32")
@@ -158,6 +169,10 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
             fatal("unknown flag '", arg, "'");
         }
     }
+    // Validate at parse time so an out-of-range knob fails before any
+    // model loading or compilation work, with the structured
+    // hir.schedule.* diagnostics in the error text.
+    schedule.validate();
     return schedule;
 }
 

@@ -78,6 +78,11 @@ void
 Session::predict(const float *rows, int64_t num_rows,
                  float *predictions) const
 {
+    // Zero-row batches are complete before any work: return before
+    // pool dispatch or backend entry so no counters move and worker
+    // threads never wake for an empty range.
+    if (num_rows <= 0)
+        return;
     if (plan_) {
         plan_->run(rows, num_rows, predictions);
         return;

@@ -13,7 +13,13 @@ std::vector<hir::Schedule>
 enumerateSchedules(const TunerOptions &options)
 {
     std::vector<hir::Schedule> schedules;
-    for (hir::LoopOrder order : options.loopOrders) {
+    bool node_parallel =
+        std::find(options.traversals.begin(), options.traversals.end(),
+                  hir::TraversalKind::kNodeParallel) !=
+        options.traversals.end();
+    for (hir::LoopOrder order :
+         node_parallel ? options.loopOrders
+                       : std::vector<hir::LoopOrder>{}) {
         for (int32_t tile_size : options.tileSizes) {
             for (hir::TilingAlgorithm tiling : options.tilings) {
                 // alpha/beta only matter when the leaf-bias gate runs.
@@ -71,6 +77,52 @@ enumerateSchedules(const TunerOptions &options)
                                     }
                                 }
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Row-parallel points: only tile size 1 (the lane-group walkers
+    // are 8 scalar walks in lockstep; larger tiles already spend the
+    // vector width inside the node), always tree-major, interleave
+    // ignored — so the sub-grid is tiling x unroll x layout/precision
+    // x chunk.
+    bool row_parallel =
+        std::find(options.traversals.begin(), options.traversals.end(),
+                  hir::TraversalKind::kRowParallel) !=
+        options.traversals.end();
+    bool has_tile1 = std::find(options.tileSizes.begin(),
+                               options.tileSizes.end(),
+                               1) != options.tileSizes.end();
+    if (row_parallel && has_tile1) {
+        for (hir::TilingAlgorithm tiling : options.tilings) {
+            for (bool unroll : options.padAndUnroll) {
+                for (hir::MemoryLayout layout : options.layouts) {
+                    std::vector<hir::PackedPrecision> precisions =
+                        layout == hir::MemoryLayout::kPacked
+                            ? options.packedPrecisions
+                            : std::vector<hir::PackedPrecision>{
+                                  hir::PackedPrecision::kF32};
+                    std::vector<int32_t> chunks =
+                        options.numThreads > 1
+                            ? options.rowChunks
+                            : std::vector<int32_t>{0};
+                    if (chunks.empty())
+                        chunks.push_back(0);
+                    for (hir::PackedPrecision precision : precisions) {
+                        for (int32_t chunk : chunks) {
+                            hir::Schedule schedule;
+                            schedule.traversal =
+                                hir::TraversalKind::kRowParallel;
+                            schedule.tileSize = 1;
+                            schedule.tiling = tiling;
+                            schedule.padAndUnrollWalks = unroll;
+                            schedule.layout = layout;
+                            schedule.packedPrecision = precision;
+                            schedule.numThreads = options.numThreads;
+                            schedule.rowChunkRows = chunk;
+                            schedules.push_back(schedule);
                         }
                     }
                 }

@@ -49,6 +49,18 @@ struct TunerOptions
      */
     std::vector<hir::PackedPrecision> packedPrecisions{
         hir::PackedPrecision::kF32, hir::PackedPrecision::kI16};
+    /**
+     * Traversal kinds to explore. Node-parallel points sweep the full
+     * grid; row-parallel is only enumerated for tile size 1 (its
+     * vectorized walkers are lane groups of scalar walks — tiling
+     * already owns the intra-node parallelism at larger tiles) and
+     * pins loopOrder/interleaveFactor, which it ignores. The default
+     * explores both so the tuner finds the node- vs row-parallel
+     * crossover per model empirically.
+     */
+    std::vector<hir::TraversalKind> traversals{
+        hir::TraversalKind::kNodeParallel,
+        hir::TraversalKind::kRowParallel};
     int32_t numThreads = 1;
     /**
      * Row-chunk sizes (Schedule::rowChunkRows) to explore. Only swept

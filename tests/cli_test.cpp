@@ -147,6 +147,36 @@ TEST(Cli, BenchResidentTimesDatasetPath)
     EXPECT_NE(output.find("row"), std::string::npos);
 }
 
+TEST(Cli, TraversalFlagSelectsRowParallel)
+{
+    std::string model = tempPath("cli_model4c.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 5", output), 0);
+    ASSERT_EQ(runCli("compile " + model + " --tile 1 --traversal row",
+                     output),
+              0)
+        << output;
+    // The schedule echo carries the traversal tag.
+    EXPECT_NE(output.find("+row-parallel"), std::string::npos);
+    ASSERT_EQ(runCli("bench " + model + " 64 --tile 1 --traversal row",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("us/row"), std::string::npos);
+    EXPECT_EQ(runCli("compile " + model + " --traversal diagonal",
+                     output),
+              1);
+    EXPECT_NE(output.find("--traversal must be node or row"),
+              std::string::npos);
+
+    // Out-of-range chunks fail at flag-parse time with the schedule
+    // diagnostic, before any model loading.
+    EXPECT_EQ(runCli("compile " + model + " --row-chunk 99999999",
+                     output),
+              1);
+    EXPECT_NE(output.find("row-chunk"), std::string::npos);
+}
+
 TEST(Cli, RejectsBadFlagsCleanly)
 {
     std::string model = tempPath("cli_model5.json");

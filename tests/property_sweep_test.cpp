@@ -211,11 +211,12 @@ namespace {
 
 /**
  * Cross-backend fuzz sweep: random forests x random schedules
- * (including the i16 packed precision and the packed software
- * pipeline) x random batch sizes (0, 1 and non-multiples of the
- * vector width included) must be bit-identical between the kernel
- * backend, the source-JIT backend and — when the effective layout is
- * not quantized — the scalar reference walk. predictDataset() is
+ * (including the i16 packed precision, the packed software pipeline
+ * and both traversal kinds — node-parallel tile evaluation and
+ * row-parallel lane groups) x random batch sizes (0, 1 and
+ * non-multiples of the vector width included) must be bit-identical
+ * between the kernel backend, the source-JIT backend and — when the
+ * effective layout is not quantized — the scalar reference walk. predictDataset() is
  * checked against predict() on both backends every iteration.
  *
  * Quantized plans (i16 packed) legitimately differ from the f32
@@ -279,6 +280,13 @@ TEST_P(CrossBackendFuzz, BackendsAgreeBitExactly)
     schedule.numThreads = static_cast<int32_t>(rng.uniformInt(1, 4));
     const int32_t chunks[] = {0, 1, 5, 64};
     schedule.rowChunkRows = chunks[rng.uniformInt(0, 3)];
+    // The traversal axis is orthogonal to everything above; both
+    // kinds must agree bit-exactly on every configuration, including
+    // non-vectorizable ones (tile > 1, array layout) where
+    // row-parallel degrades to scalar lockstep walks.
+    schedule.traversal = rng.bernoulli(0.5)
+                             ? hir::TraversalKind::kRowParallel
+                             : hir::TraversalKind::kNodeParallel;
 
     // Batch sizes stressing the row-loop edges: empty, single row,
     // below/above the SIMD width, non-multiples of 8 and of the

@@ -144,6 +144,41 @@ TEST(Tuner, GridEnumerationPrunesGatePairs)
     EXPECT_TRUE(saw_chunk);
 }
 
+TEST(Tuner, GridSweepsTraversalKindsAtTileOne)
+{
+    tuner::TunerOptions options;
+    options.loopOrders = {hir::LoopOrder::kOneTreeAtATime};
+    options.tileSizes = {1};
+    options.tilings = {hir::TilingAlgorithm::kBasic};
+    options.padAndUnroll = {true};
+    options.interleaveFactors = {1};
+    std::vector<hir::Schedule> schedules =
+        tuner::enumerateSchedules(options);
+    // 4 layout-precision points per traversal kind.
+    EXPECT_EQ(schedules.size(), 8u);
+    size_t row_parallel = 0;
+    for (const hir::Schedule &schedule : schedules) {
+        EXPECT_NO_THROW(schedule.validate());
+        if (schedule.traversal == hir::TraversalKind::kRowParallel) {
+            ++row_parallel;
+            // The row-parallel sub-grid pins the knobs it ignores.
+            EXPECT_EQ(schedule.tileSize, 1);
+            EXPECT_EQ(schedule.interleaveFactor, 1);
+            EXPECT_EQ(schedule.loopOrder,
+                      hir::LoopOrder::kOneTreeAtATime);
+        }
+    }
+    EXPECT_EQ(row_parallel, 4u);
+
+    // Row-parallel rides on tile size 1; a grid without it collapses
+    // to the node-parallel points.
+    options.tileSizes = {4};
+    for (const hir::Schedule &schedule :
+         tuner::enumerateSchedules(options))
+        EXPECT_EQ(schedule.traversal,
+                  hir::TraversalKind::kNodeParallel);
+}
+
 TEST(Tuner, ExplorationFindsAValidBest)
 {
     testing::RandomForestSpec spec;
@@ -163,9 +198,11 @@ TEST(Tuner, ExplorationFindsAValidBest)
 
     tuner::TunerResult result =
         tuner::exploreSchedules(forest, rows.data(), 128, options);
-    // 2 tiles x 2 interleaves x 4 layout-precision points (sparse,
-    // array, packed-f32, packed-i16).
-    EXPECT_EQ(result.all.size(), 16u);
+    // Node-parallel: 2 tiles x 2 interleaves x 4 layout-precision
+    // points (sparse, array, packed-f32, packed-i16) = 16; plus the
+    // row-parallel sub-grid at tile 1 (interleave and order pinned):
+    // 4 layout-precision points.
+    EXPECT_EQ(result.all.size(), 20u);
     EXPECT_GT(result.best.seconds, 0.0);
     // `all` is sorted ascending; best is the head.
     EXPECT_EQ(result.all.front().seconds, result.best.seconds);

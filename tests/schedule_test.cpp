@@ -43,6 +43,14 @@ TEST(Schedule, ValidationRejectsBadKnobs)
     schedule = {};
     schedule.rowChunkRows = -1;
     EXPECT_THROW(schedule.validate(), Error);
+    // Chunks above the cap are rejected up front too (4M-row chunks
+    // are always typo'd values, not tuning choices).
+    schedule = {};
+    schedule.rowChunkRows = kMaxRowChunkRows + 1;
+    EXPECT_THROW(schedule.validate(), Error);
+    schedule = {};
+    schedule.rowChunkRows = kMaxRowChunkRows;
+    EXPECT_NO_THROW(schedule.validate());
 }
 
 TEST(Schedule, ToStringMentionsEveryKnob)
@@ -90,6 +98,7 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                 schedule.packedPrecision = PackedPrecision::kI16;
                 schedule.pipelinePackedWalks = false;
                 schedule.rowChunkRows = 128;
+                schedule.traversal = TraversalKind::kRowParallel;
 
                 Schedule loaded = scheduleFromJsonString(
                     scheduleToJsonString(schedule));
@@ -112,6 +121,7 @@ TEST(Schedule, JsonRoundTripPreservesEverything)
                 EXPECT_EQ(loaded.pipelinePackedWalks,
                           schedule.pipelinePackedWalks);
                 EXPECT_EQ(loaded.rowChunkRows, schedule.rowChunkRows);
+                EXPECT_EQ(loaded.traversal, schedule.traversal);
             }
         }
     }
@@ -180,6 +190,37 @@ TEST(Schedule, RowChunkDefaultsAndPrints)
     text.erase(pos, key.size());
     Schedule defaulted = scheduleFromJsonString(text);
     EXPECT_EQ(defaulted.rowChunkRows, 0);
+}
+
+TEST(Schedule, TraversalDefaultsRoundTripsAndPrints)
+{
+    Schedule schedule;
+    EXPECT_EQ(schedule.traversal, TraversalKind::kNodeParallel);
+    // Node-parallel is the default everywhere and stays silent in
+    // toString; row-parallel prints.
+    EXPECT_EQ(schedule.toString().find("row-parallel"),
+              std::string::npos);
+    schedule.traversal = TraversalKind::kRowParallel;
+    EXPECT_NE(schedule.toString().find("+row-parallel"),
+              std::string::npos);
+
+    Schedule loaded =
+        scheduleFromJsonString(scheduleToJsonString(schedule));
+    EXPECT_EQ(loaded.traversal, TraversalKind::kRowParallel);
+
+    // Older schedule documents predate the knob; stripping the key
+    // must load as node-parallel.
+    std::string text = scheduleToJsonString(Schedule{});
+    std::string key = "\"traversal\":\"node-parallel\",";
+    size_t pos = text.find(key);
+    if (pos == std::string::npos) {
+        key = ",\"traversal\":\"node-parallel\"";
+        pos = text.find(key);
+    }
+    ASSERT_NE(pos, std::string::npos);
+    text.erase(pos, key.size());
+    Schedule defaulted = scheduleFromJsonString(text);
+    EXPECT_EQ(defaulted.traversal, TraversalKind::kNodeParallel);
 }
 
 TEST(Schedule, JsonRejectsInvalidDocuments)

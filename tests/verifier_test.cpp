@@ -241,6 +241,26 @@ TEST(ScheduleVerifier, RejectsBadInterleaveFactor)
     EXPECT_TRUE(diag.hasCode("schedule.interleave.factor"));
 }
 
+TEST(ScheduleVerifier, RejectsRowChunkOutOfRange)
+{
+    hir::Schedule schedule;
+    schedule.rowChunkRows = -3;
+    DiagnosticEngine diag;
+    analysis::verifySchedule(schedule, diag);
+    EXPECT_TRUE(diag.hasCode("hir.schedule.row-chunk.range"));
+
+    schedule.rowChunkRows = hir::kMaxRowChunkRows + 1;
+    diag.clear();
+    analysis::verifySchedule(schedule, diag);
+    EXPECT_TRUE(diag.hasCode("hir.schedule.row-chunk.range"));
+
+    // 0 is the documented auto chunk (one per worker), not an error.
+    schedule.rowChunkRows = 0;
+    diag.clear();
+    analysis::verifySchedule(schedule, diag);
+    EXPECT_TRUE(diag.empty()) << diag.toString();
+}
+
 TEST(ScheduleVerifier, RejectsNanAlpha)
 {
     hir::Schedule schedule;

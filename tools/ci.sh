@@ -13,6 +13,7 @@
 #   TREEBEARD_FUZZ_SEEDS   cross-backend fuzz iterations (default 6;
 #                          raise for a deeper soak)
 #   TREEBEARD_CI_SKIP_SANITIZE=1   skip the sanitizer smoke stage
+#   TREEBEARD_CI_SKIP_BENCH_SMOKE=1   skip the bench smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +38,35 @@ if [ "${TREEBEARD_CI_SKIP_SANITIZE:-0}" != "1" ]; then
         TREEBEARD_SANITIZE_TESTS="$SMOKE_FILTER" \
             tools/sanitize_matrix.sh "$sanitizer"
     done
+fi
+
+if [ "${TREEBEARD_CI_SKIP_BENCH_SMOKE:-0}" != "1" ]; then
+    # Bench smoke: every JSON-writing bench binary runs one tiny
+    # configuration (TREEBEARD_BENCH_SCALE shrinks the models) and
+    # must produce parseable JSON that reports a throughput figure.
+    # This keeps the harness runnable without paying for a full
+    # paper-scale sweep on every commit.
+    echo "=== ci: bench smoke ==="
+    SMOKE_DIR="$BUILD_DIR/bench-smoke"
+    mkdir -p "$SMOKE_DIR"
+    export TREEBEARD_BENCH_SCALE=0.02
+    for bench in bench_layout_memory bench_quantized_packed \
+                 bench_resident_rows bench_row_parallel; do
+        out="$SMOKE_DIR/$bench.json"
+        echo "--- $bench ---"
+        "$BUILD_DIR/bench/$bench" "$out" > "$SMOKE_DIR/$bench.csv"
+        python3 - "$out" "$bench" <<'EOF'
+import json, sys
+path, name = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+text = json.dumps(doc)
+if "per_row" not in text and "rows_per_sec" not in text:
+    raise SystemExit(f"{name}: no throughput key in {path}")
+print(f"{name}: JSON ok ({len(text)} bytes)")
+EOF
+    done
+    unset TREEBEARD_BENCH_SCALE
 fi
 
 echo "=== ci: OK ==="
