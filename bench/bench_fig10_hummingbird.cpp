@@ -43,8 +43,8 @@ main()
             forest, baselines::XgBoostVersion::kV09);
         baselines::XgBoostStyle xgb_v15(
             forest, baselines::XgBoostVersion::kV15);
-        InferenceSession treebeard_session =
-            compileForest(forest, bench::optimizedSchedule(1));
+        Session treebeard_session =
+            compile(forest, bench::optimizedSchedule(1));
 
         double hb_us = bench::timeMicrosPerRow(
             [&] {

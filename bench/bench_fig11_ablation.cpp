@@ -38,7 +38,7 @@ main()
         std::vector<float> predictions(kBatch);
 
         auto time_schedule = [&](const hir::Schedule &schedule) {
-            InferenceSession session = compileForest(forest, schedule);
+            Session session = compile(forest, schedule);
             return bench::timeMicrosPerRow(
                 [&] {
                     session.predict(batch.rows(), kBatch,

@@ -24,18 +24,18 @@ main()
     struct PerBenchmark
     {
         data::SyntheticModelSpec spec;
-        std::unique_ptr<InferenceSession> scalar;
-        std::unique_ptr<InferenceSession> optimized;
+        std::unique_ptr<Session> scalar;
+        std::unique_ptr<Session> optimized;
     };
     std::vector<PerBenchmark> setups;
     for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
         const model::Forest &forest = bench::benchmarkForest(spec);
         PerBenchmark setup;
         setup.spec = spec;
-        setup.scalar = std::make_unique<InferenceSession>(
-            compileForest(forest, bench::scalarBaselineSchedule()));
-        setup.optimized = std::make_unique<InferenceSession>(
-            compileForest(forest, bench::optimizedSchedule(1)));
+        setup.scalar = std::make_unique<Session>(
+            compile(forest, bench::scalarBaselineSchedule()));
+        setup.optimized = std::make_unique<Session>(
+            compile(forest, bench::optimizedSchedule(1)));
         setups.push_back(std::move(setup));
     }
 

@@ -39,8 +39,8 @@ main()
         data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
         std::vector<float> predictions(kBatch);
 
-        InferenceSession scalar =
-            compileForest(forest, bench::scalarBaselineSchedule());
+        Session scalar =
+            compile(forest, bench::scalarBaselineSchedule());
         double scalar_us = bench::timeMicrosPerRow(
             [&] {
                 scalar.predict(batch.rows(), kBatch,
@@ -50,8 +50,8 @@ main()
 
         double one_thread_us = 0.0;
         for (int32_t threads : thread_counts) {
-            InferenceSession session =
-                compileForest(forest, bench::optimizedSchedule(threads));
+            Session session =
+                compile(forest, bench::optimizedSchedule(threads));
             double us = bench::timeMicrosPerRow(
                 [&] {
                     session.predict(batch.rows(), kBatch,

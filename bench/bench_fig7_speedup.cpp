@@ -34,12 +34,12 @@ main()
         data::Dataset batch = bench::benchmarkBatch(spec, kBatch);
         std::vector<float> predictions(kBatch);
 
-        InferenceSession scalar =
-            compileForest(forest, bench::scalarBaselineSchedule());
-        InferenceSession optimized =
-            compileForest(forest, bench::optimizedSchedule(1));
-        InferenceSession parallel =
-            compileForest(forest, bench::optimizedSchedule(16));
+        Session scalar =
+            compile(forest, bench::scalarBaselineSchedule());
+        Session optimized =
+            compile(forest, bench::optimizedSchedule(1));
+        Session parallel =
+            compile(forest, bench::optimizedSchedule(16));
 
         double scalar_us = bench::timeMicrosPerRow(
             [&] {

@@ -52,7 +52,7 @@ main()
             int32_t threads = config == 0 ? 1 : 16;
             baselines::XgBoostStyle xgboost(
                 forest, baselines::XgBoostVersion::kV15, threads);
-            InferenceSession treebeard_session = compileForest(
+            Session treebeard_session = compile(
                 forest, bench::optimizedSchedule(threads));
 
             double xgb_us = bench::timeMicrosPerRow(

@@ -35,7 +35,7 @@ main()
         data::SyntheticModelSpec spec;
         std::unique_ptr<baselines::XgBoostStyle> xgboost;
         std::unique_ptr<baselines::TreeliteStyle> treelite;
-        std::unique_ptr<InferenceSession> treebeard;
+        std::unique_ptr<Session> treebeard;
     };
     std::vector<PerBenchmark> setups;
     for (const data::SyntheticModelSpec &spec : bench::benchmarkSuite()) {
@@ -52,8 +52,8 @@ main()
                 std::make_unique<baselines::TreeliteStyle>(forest,
                                                            baselines::TreeliteOptions{});
         }
-        setup.treebeard = std::make_unique<InferenceSession>(
-            compileForest(forest, bench::optimizedSchedule(1)));
+        setup.treebeard = std::make_unique<Session>(
+            compile(forest, bench::optimizedSchedule(1)));
         setups.push_back(std::move(setup));
     }
 

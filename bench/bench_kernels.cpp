@@ -48,7 +48,7 @@ kernelBatch()
 void
 runSchedule(benchmark::State &state, const hir::Schedule &schedule)
 {
-    InferenceSession session = compileForest(kernelForest(), schedule);
+    Session session = compile(kernelForest(), schedule);
     std::vector<float> predictions(kBatch);
     for (auto _ : state) {
         session.predict(kernelBatch().rows(), kBatch,

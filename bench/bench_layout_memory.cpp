@@ -49,7 +49,7 @@ timeLayout(const model::Forest &forest, hir::MemoryLayout layout,
     hir::Schedule schedule = bench::optimizedSchedule(1);
     schedule.layout = layout;
     try {
-        InferenceSession session = compileForest(forest, schedule);
+        Session session = compile(forest, schedule);
         timing.footprintBytes =
             session.plan().buffers().footprintBytes();
         std::vector<float> predictions(static_cast<size_t>(rows));

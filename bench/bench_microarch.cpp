@@ -87,8 +87,8 @@ main()
         std::vector<float> predictions(kBatch);
 
         for (const Variant &variant : variants()) {
-            InferenceSession session =
-                compileForest(forest, variant.schedule);
+            Session session =
+                compile(forest, variant.schedule);
             double us = bench::timeMicrosPerRow(
                 [&] {
                     session.predict(batch.rows(), kBatch,
@@ -115,7 +115,7 @@ main()
         std::string source =
             baselines::TreeliteStyle::generateSource(forest);
         runtime::WalkCounters scalar_counters;
-        InferenceSession scalar = compileForest(
+        Session scalar = compile(
             forest, bench::scalarBaselineSchedule());
         scalar.predictInstrumented(batch.rows(), kBatch,
                                    predictions.data(),

@@ -58,7 +58,7 @@ timeVariant(const std::string &name, const model::Forest &forest,
     schedule.packedPrecision = precision;
     schedule.pipelinePackedWalks = pipeline;
 
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     const lir::ForestBuffers &buffers = session.plan().buffers();
     timing.bytesPerTile = buffers.packedStride;
     timing.footprintBytes = buffers.footprintBytes();

@@ -50,8 +50,8 @@ main()
         baselines::QuickScorer quickscorer(forest);
         baselines::XgBoostStyle xgboost(
             forest, baselines::XgBoostVersion::kV15);
-        InferenceSession session =
-            compileForest(forest, bench::optimizedSchedule(1));
+        Session session =
+            compile(forest, bench::optimizedSchedule(1));
 
         double qs_us = bench::timeMicrosPerRow(
             [&] {

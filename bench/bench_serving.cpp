@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Serving-layer load sweep: dynamic batching vs unbatched dispatch.
+ *
+ * A closed-loop driver (every client keeps exactly one request in
+ * flight, so offered load scales with the client count) issues
+ * single-row requests — the online-serving traffic shape — against a
+ * serve::Server in two modes over the same row-parallel schedule:
+ * dynamic batching on, and unbatched dispatch (each request predicts
+ * alone on its caller's thread). The sweep reports p50/p99 request
+ * latency and total rows/sec per load level for two model shapes.
+ *
+ * Expected shape of the results: at one or two clients unbatched
+ * dispatch wins — batching pays the deadline wait for nothing because
+ * there is nobody to coalesce with. As clients grow the batcher
+ * coalesces one request per client into each batch, the wide
+ * row-parallel loop fills (the PR-6 crossover: lockstep walks win
+ * from batch ~64, and already pay off well before), and batched
+ * throughput pulls ahead of unbatched single-row dispatch, whose
+ * per-row cost never improves with load.
+ *
+ * When invoked with an argument, writes a JSON summary to that path
+ * (BENCH_serving.json).
+ */
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "serve/server.h"
+
+using namespace treebeard;
+
+namespace {
+
+/** One (model, mode, clients) measurement. */
+struct LoadPoint
+{
+    std::string model;
+    bool batched = false;
+    int64_t clients = 0;
+    double rowsPerSec = 0.0;
+    double p50Micros = 0.0;
+    double p99Micros = 0.0;
+    double avgBatchRows = 0.0;
+    int64_t batches = 0;
+    int64_t sizeFlushes = 0;
+    int64_t deadlineFlushes = 0;
+};
+
+/**
+ * The serving schedule: the row-parallel traversal point the tuner
+ * picks for both bench shapes (see BENCH_row_parallel.json) — the
+ * configuration whose batch-size sensitivity dynamic batching is
+ * built to exploit.
+ */
+hir::Schedule
+servingSchedule()
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    schedule.tileSize = 1;
+    schedule.tiling = hir::TilingAlgorithm::kBasic;
+    schedule.layout = hir::MemoryLayout::kSparse;
+    schedule.traversal = hir::TraversalKind::kRowParallel;
+    schedule.padAndUnrollWalks = true;
+    schedule.peelWalks = true;
+    schedule.interleaveFactor = 1;
+    schedule.numThreads = 1;
+    schedule.assumeNoMissingValues = true;
+    return schedule;
+}
+
+/** Closed-loop run: @p clients threads, @p requests rows each. */
+LoadPoint
+runPoint(serve::Server &server, const serve::ModelHandle &handle,
+         const data::Dataset &pool, int64_t pool_rows,
+         int32_t num_features, int64_t clients, int64_t requests)
+{
+    serve::BatcherStats before = server.batcherStats(handle);
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (int64_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<double> &lat =
+                latencies[static_cast<size_t>(c)];
+            lat.reserve(static_cast<size_t>(requests));
+            for (int64_t r = 0; r < requests; ++r) {
+                const float *row =
+                    pool.rows() +
+                    ((c * 131 + r) % pool_rows) * num_features;
+                Timer timer;
+                server.predict(handle, row, 1);
+                lat.push_back(timer.elapsedMicros());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    double wall_seconds = wall.elapsedSeconds();
+
+    std::vector<double> all;
+    for (const std::vector<double> &lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double p) {
+        return all[static_cast<size_t>(
+            p * static_cast<double>(all.size() - 1))];
+    };
+
+    serve::BatcherStats after = server.batcherStats(handle);
+    LoadPoint point;
+    point.clients = clients;
+    point.rowsPerSec =
+        static_cast<double>(all.size()) / wall_seconds;
+    point.p50Micros = percentile(0.50);
+    point.p99Micros = percentile(0.99);
+    point.batches = after.batchesExecuted - before.batchesExecuted;
+    point.sizeFlushes = after.sizeFlushes - before.sizeFlushes;
+    point.deadlineFlushes =
+        after.deadlineFlushes - before.deadlineFlushes;
+    point.avgBatchRows =
+        point.batches > 0
+            ? static_cast<double>(after.rowsExecuted -
+                                  before.rowsExecuted) /
+                  static_cast<double>(point.batches)
+            : 0.0;
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The two shapes of the traversal crossover bench: coalesced
+    // batches speed both up, the divergence-heavy deep shape most.
+    data::SyntheticModelSpec shallow;
+    shallow.name = "shallow-wide";
+    shallow.numFeatures = 50;
+    shallow.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(600 * bench::benchScale()));
+    shallow.maxDepth = 4;
+    shallow.splitProbability = 0.97;
+    shallow.trainingRows = 0;
+    shallow.seed = 6161;
+    shallow.thresholdDistribution = data::ThresholdDistribution::kMild;
+
+    data::SyntheticModelSpec deep = shallow;
+    deep.name = "deep-narrow";
+    deep.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(100 * bench::benchScale()));
+    deep.maxDepth = 9;
+    deep.splitProbability = 0.93;
+    deep.seed = 6262;
+
+    const int64_t client_sweep[] = {1, 2, 4, 8, 16, 32, 64};
+    const int64_t kHighLoad =
+        client_sweep[std::size(client_sweep) - 1];
+    const int64_t requests_per_client = std::max<int64_t>(
+        40, static_cast<int64_t>(600 * bench::benchScale()));
+    const int64_t pool_rows = 256;
+
+    std::printf("# Closed-loop serving sweep: single-row requests, "
+                "%lld per client, dynamic batching vs unbatched "
+                "dispatch over one row-parallel schedule.\n",
+                static_cast<long long>(requests_per_client));
+    std::printf("# Unbatched should win the light loads (no deadline "
+                "wait); batching should win throughput at high load "
+                "by filling the wide row-parallel loop.\n");
+    bench::printCsvRow({"model", "mode", "clients", "rows_per_sec",
+                        "p50_us", "p99_us", "avg_batch_rows",
+                        "batches", "size_flushes",
+                        "deadline_flushes"});
+
+    std::vector<LoadPoint> points;
+    for (const data::SyntheticModelSpec &spec : {shallow, deep}) {
+        const model::Forest &forest = bench::benchmarkForest(spec);
+        data::Dataset pool = bench::benchmarkBatch(spec, pool_rows);
+        for (bool batched : {true, false}) {
+            serve::ServerOptions options;
+            options.registry.defaultSchedule = servingSchedule();
+            options.batcher.enabled = batched;
+            // Size target at the saturation batch size: once a batch
+            // worth of clients is waiting, flush immediately instead
+            // of sleeping out the deadline — saturated load runs
+            // back-to-back size flushes, and only the underloaded
+            // tail pays the deadline.
+            options.batcher.maxBatchRows = 32;
+            options.batcher.maxQueueDelayMicros = 100;
+            serve::Server server(options);
+            serve::ModelHandle handle = server.loadModel(forest);
+
+            for (int64_t clients : client_sweep) {
+                // One warm-up pass per load level, then the
+                // measured run.
+                runPoint(server, handle, pool, pool_rows,
+                         forest.numFeatures(), clients,
+                         std::max<int64_t>(8,
+                                           requests_per_client / 8));
+                LoadPoint point = runPoint(
+                    server, handle, pool, pool_rows,
+                    forest.numFeatures(), clients,
+                    requests_per_client);
+                point.model = spec.name;
+                point.batched = batched;
+                points.push_back(point);
+                bench::printCsvRow(
+                    {point.model,
+                     batched ? "batched" : "unbatched",
+                     std::to_string(clients),
+                     bench::fmt(point.rowsPerSec, 0),
+                     bench::fmt(point.p50Micros, 1),
+                     bench::fmt(point.p99Micros, 1),
+                     bench::fmt(point.avgBatchRows, 1),
+                     std::to_string(point.batches),
+                     std::to_string(point.sizeFlushes),
+                     std::to_string(point.deadlineFlushes)});
+            }
+            server.shutdown();
+        }
+    }
+
+    // Headline: batched over unbatched throughput at the highest
+    // load level, per model.
+    for (const data::SyntheticModelSpec &spec : {shallow, deep}) {
+        double batched_best = 0.0, unbatched_best = 0.0;
+        for (const LoadPoint &point : points) {
+            if (point.model != spec.name ||
+                point.clients != kHighLoad)
+                continue;
+            (point.batched ? batched_best : unbatched_best) =
+                point.rowsPerSec;
+        }
+        std::printf("# %s at %lld clients: batching %.2fx unbatched "
+                    "throughput\n",
+                    spec.name.c_str(),
+                    static_cast<long long>(kHighLoad),
+                    batched_best / unbatched_best);
+    }
+
+    if (argc > 1) {
+        std::ostringstream os;
+        os << "{\n  \"benchmark\": \"serving\",\n";
+        os << "  \"schedule\": \"" << servingSchedule().toString()
+           << "\",\n";
+        os << "  \"requests_per_client\": " << requests_per_client
+           << ",\n";
+        os << "  \"models\": {\"" << shallow.name
+           << "\": {\"trees\": " << shallow.numTrees
+           << ", \"max_depth\": " << shallow.maxDepth << "}, \""
+           << deep.name << "\": {\"trees\": " << deep.numTrees
+           << ", \"max_depth\": " << deep.maxDepth << "}},\n";
+        os << "  \"sweep\": [\n";
+        for (size_t i = 0; i < points.size(); ++i) {
+            const LoadPoint &p = points[i];
+            os << "    {\"model\": \"" << p.model << "\", \"mode\": \""
+               << (p.batched ? "batched" : "unbatched")
+               << "\", \"clients\": " << p.clients
+               << ", \"rows_per_sec\": " << bench::fmt(p.rowsPerSec, 0)
+               << ", \"p50_us\": " << bench::fmt(p.p50Micros, 1)
+               << ", \"p99_us\": " << bench::fmt(p.p99Micros, 1)
+               << ", \"avg_batch_rows\": "
+               << bench::fmt(p.avgBatchRows, 1) << "}"
+               << (i + 1 < points.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        writeStringToFile(argv[1], os.str());
+        std::printf("# wrote %s\n", argv[1]);
+    }
+    return 0;
+}

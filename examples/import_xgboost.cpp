@@ -58,7 +58,7 @@ main()
                 model::objectiveName(forest.objective()),
                 forest.baseScore());
 
-    InferenceSession session = compileForest(forest, {});
+    Session session = compile(forest, {});
     std::vector<float> rows{
         0.2f, 0.1f, 0.2f, // left subtree, low f1
         0.2f, 0.9f, 0.9f, // left subtree, high f1

@@ -40,7 +40,7 @@ makeClusters(int64_t rows, uint64_t seed)
 }
 
 double
-accuracy(const InferenceSession &session, const data::Dataset &dataset)
+accuracy(const Session &session, const data::Dataset &dataset)
 {
     int32_t classes = session.numClasses();
     std::vector<float> probabilities(
@@ -87,7 +87,7 @@ main()
     hir::Schedule schedule;
     schedule.tileSize = 4;
     schedule.interleaveFactor = 4;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
 
     std::printf("train accuracy: %.1f%%\n",
                 100.0 * accuracy(session, train_set));

@@ -45,7 +45,7 @@ main()
     schedule.interleaveFactor = 2;
     CompilerOptions options;
     options.recordIrDumps = true;
-    InferenceSession session = compileForest(forest, schedule, options);
+    Session session = compile(forest, schedule, options);
 
     // Batch inference through the generated predictForest.
     std::vector<float> rows{

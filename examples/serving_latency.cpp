@@ -25,8 +25,8 @@ main()
         data::benchmarkSpecByName("covtype"), /*max_trees=*/200,
         /*training_rows=*/2000);
     model::Forest forest = data::synthesizeForest(spec);
-    InferenceSession session =
-        compileForest(forest, [] {
+    Session session =
+        compile(forest, [] {
             hir::Schedule schedule;
             schedule.tileSize = 8;
             schedule.interleaveFactor = 8;

@@ -84,7 +84,7 @@ main()
     hir::Schedule schedule;
     schedule.tileSize = 8;
     schedule.interleaveFactor = 8;
-    InferenceSession session = compileForest(loaded, schedule);
+    Session session = compile(loaded, schedule);
 
     std::vector<float> fast_predictions(
         static_cast<size_t>(test_set.numRows()));

@@ -217,10 +217,26 @@ VerificationError::formatMessage(
     return os.str();
 }
 
+namespace {
+
+/** The first error-severity code (for Error::code() branching). */
+std::string
+firstErrorCode(const std::vector<Diagnostic> &diagnostics)
+{
+    for (const Diagnostic &diagnostic : diagnostics) {
+        if (diagnostic.severity == Severity::kError)
+            return diagnostic.code;
+    }
+    return diagnostics.empty() ? std::string() : diagnostics.front().code;
+}
+
+} // namespace
+
 VerificationError::VerificationError(std::string pass,
                                      std::vector<Diagnostic> diagnostics)
-    : Error(formatMessage(pass, diagnostics)), pass_(std::move(pass)),
-      diags_(std::move(diagnostics))
+    : Error(firstErrorCode(diagnostics),
+            formatMessage(pass, diagnostics)),
+      pass_(std::move(pass)), diags_(std::move(diagnostics))
 {}
 
 bool

@@ -171,7 +171,10 @@ class DiagnosticEngine
 /**
  * A failed verification: a recoverable treebeard::Error whose what()
  * is the full text report and which carries the structured
- * diagnostics plus the provenance of the pass that failed.
+ * diagnostics plus the provenance of the pass that failed. The base
+ * Error::code() holds the first error-severity diagnostic's code, so
+ * callers that only care about the leading failure can branch without
+ * walking diagnostics().
  */
 class VerificationError : public Error
 {

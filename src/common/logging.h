@@ -19,13 +19,32 @@
 
 namespace treebeard {
 
-/** Exception type raised for all user-recoverable errors. */
+/**
+ * Exception type raised for all user-recoverable errors.
+ *
+ * Errors raised by subsystems with a stable diagnostic taxonomy (the
+ * verifier's "<level>.<subject>.<violation>" scheme, the serving
+ * layer's "serve.registry.*" / "serve.queue.*" families) additionally
+ * carry a machine-readable code so clients can branch on code()
+ * instead of matching message strings. Errors raised through the
+ * plain fatal() helpers have an empty code.
+ */
 class Error : public std::runtime_error
 {
   public:
     explicit Error(const std::string &message)
         : std::runtime_error(message)
     {}
+
+    Error(std::string code, const std::string &message)
+        : std::runtime_error(message), code_(std::move(code))
+    {}
+
+    /** Stable machine-readable code ("" when uncoded). */
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
 };
 
 namespace detail {
@@ -51,6 +70,20 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     throw Error(detail::concatToString(std::forward<Args>(args)...));
+}
+
+/**
+ * Raise a coded Error for a user-caused failure in a subsystem with a
+ * stable diagnostic-code taxonomy.
+ * @param code stable machine-readable code (e.g. "serve.queue.full").
+ * @param args message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalCoded(std::string code, Args &&...args)
+{
+    throw Error(std::move(code),
+                detail::concatToString(std::forward<Args>(args)...));
 }
 
 /**

@@ -87,7 +87,7 @@ class ExecutablePlan
 {
   public:
     /**
-     * Assemble a plan. Normally produced by treebeard::compileForest;
+     * Assemble a plan. Normally produced by treebeard::compile;
      * constructing one directly is useful in tests.
      */
     ExecutablePlan(lir::ForestBuffers buffers, mir::MirFunction mir,

@@ -1,0 +1,262 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace treebeard::serve {
+
+DynamicBatcher::DynamicBatcher(std::shared_ptr<const Session> session,
+                               const hir::Schedule &schedule,
+                               BatcherOptions options)
+    : session_(std::move(session)), options_(std::move(options))
+{
+    panicIf(session_ == nullptr, "DynamicBatcher: null session");
+    fatalIf(options_.maxBatchRows <= 0,
+            "DynamicBatcher: maxBatchRows must be positive (got ",
+            options_.maxBatchRows, ")");
+    fatalIf(options_.maxQueueDelayMicros < 0,
+            "DynamicBatcher: negative maxQueueDelayMicros");
+    // Align the size-flush target to the schedule's parallel row
+    // chunks: a flush at a chunk multiple hands every worker full
+    // chunks instead of a ragged tail.
+    batchRowTarget_ = options_.maxBatchRows;
+    int64_t chunk = schedule.rowChunkRows;
+    if (chunk > 0 && batchRowTarget_ % chunk != 0)
+        batchRowTarget_ += chunk - batchRowTarget_ % chunk;
+    if (options_.enabled)
+        flusher_ = std::thread([this] { flusherLoop(); });
+}
+
+DynamicBatcher::~DynamicBatcher()
+{
+    shutdown();
+}
+
+std::future<std::vector<float>>
+DynamicBatcher::submit(const float *rows, int64_t num_rows)
+{
+    if (num_rows < 0 || (rows == nullptr && num_rows > 0)) {
+        fatalCoded(kErrBadRequest, "bad predict request: ", num_rows,
+                   " rows with ",
+                   rows == nullptr ? "null" : "non-null",
+                   " row pointer");
+    }
+    if (num_rows == 0) {
+        // Nothing to compute; resolve immediately without queueing.
+        std::promise<std::vector<float>> promise;
+        promise.set_value({});
+        return promise.get_future();
+    }
+
+    if (!options_.enabled) {
+        // Unbatched dispatch: same interface, caller's thread, no
+        // queue delay — the baseline the serving bench sweeps against.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (shuttingDown_) {
+                fatalCoded(kErrQueueShutdown,
+                           "predict request after batcher shutdown");
+            }
+            stats_.requestsAdmitted += 1;
+            if (num_rows == 1)
+                stats_.singleRowRequests += 1;
+        }
+        std::vector<float> predictions(
+            static_cast<size_t>(num_rows) * session_->numClasses());
+        std::promise<std::vector<float>> promise;
+        try {
+            session_->predict(rows, num_rows, predictions.data());
+            promise.set_value(std::move(predictions));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.batchesExecuted += 1;
+            stats_.rowsExecuted += num_rows;
+            stats_.largestBatchRows =
+                std::max(stats_.largestBatchRows, num_rows);
+        }
+        return promise.get_future();
+    }
+
+    Request request;
+    request.numRows = num_rows;
+    request.rows.assign(rows,
+                        rows + static_cast<size_t>(num_rows) *
+                                   session_->numFeatures());
+    request.deadline =
+        Clock::now() +
+        std::chrono::microseconds(options_.maxQueueDelayMicros);
+    std::future<std::vector<float>> future =
+        request.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shuttingDown_) {
+            fatalCoded(kErrQueueShutdown,
+                       "predict request after batcher shutdown");
+        }
+        if (options_.maxQueuedRows > 0 &&
+            queuedRows_ + num_rows > options_.maxQueuedRows) {
+            stats_.requestsRejected += 1;
+            fatalCoded(kErrQueueFull, "admission control: ", num_rows,
+                       " rows would push the queue past ",
+                       options_.maxQueuedRows,
+                       " queued rows (currently ", queuedRows_,
+                       "); retry after the queue drains");
+        }
+        stats_.requestsAdmitted += 1;
+        if (num_rows == 1)
+            stats_.singleRowRequests += 1;
+        queuedRows_ += num_rows;
+        queue_.push_back(std::move(request));
+    }
+    wakeFlusher_.notify_one();
+    return future;
+}
+
+std::vector<DynamicBatcher::Request>
+DynamicBatcher::popBatchLocked()
+{
+    std::vector<Request> batch;
+    int64_t batch_rows = 0;
+    // Whole requests only: a request is never split across batches,
+    // and the first request always ships even when it alone exceeds
+    // the target.
+    while (!queue_.empty()) {
+        int64_t next = queue_.front().numRows;
+        if (!batch.empty() && batch_rows + next > batchRowTarget_)
+            break;
+        batch_rows += next;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        if (batch_rows >= batchRowTarget_)
+            break;
+    }
+    queuedRows_ -= batch_rows;
+    return batch;
+}
+
+void
+DynamicBatcher::executeBatch(std::vector<Request> batch)
+{
+    if (batch.empty())
+        return;
+    int64_t batch_rows = 0;
+    for (const Request &request : batch)
+        batch_rows += request.numRows;
+
+    int32_t num_features = session_->numFeatures();
+    int32_t num_classes = session_->numClasses();
+    std::vector<float> rows(static_cast<size_t>(batch_rows) *
+                            num_features);
+    size_t offset = 0;
+    for (const Request &request : batch) {
+        std::copy(request.rows.begin(), request.rows.end(),
+                  rows.begin() + offset);
+        offset += request.rows.size();
+    }
+
+    std::vector<float> predictions(static_cast<size_t>(batch_rows) *
+                                   num_classes);
+    try {
+        session_->predict(rows.data(), batch_rows, predictions.data());
+    } catch (...) {
+        // One failing batch fails each of its requests; the batcher
+        // itself stays serviceable.
+        for (Request &request : batch)
+            request.promise.set_exception(std::current_exception());
+        return;
+    }
+
+    size_t cursor = 0;
+    for (Request &request : batch) {
+        size_t count =
+            static_cast<size_t>(request.numRows) * num_classes;
+        request.promise.set_value(std::vector<float>(
+            predictions.begin() + cursor,
+            predictions.begin() + cursor + count));
+        cursor += count;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.batchesExecuted += 1;
+    stats_.rowsExecuted += batch_rows;
+    stats_.largestBatchRows =
+        std::max(stats_.largestBatchRows, batch_rows);
+    if (batch.size() > 1)
+        stats_.coalescedBatches += 1;
+}
+
+void
+DynamicBatcher::flusherLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        if (queue_.empty()) {
+            if (shuttingDown_)
+                return;
+            wakeFlusher_.wait(lock);
+            continue;
+        }
+        bool size_ready = queuedRows_ >= batchRowTarget_;
+        if (!size_ready && !shuttingDown_) {
+            // Wait out the oldest request's deadline; a size trigger
+            // or shutdown wakes us earlier.
+            Clock::time_point deadline = queue_.front().deadline;
+            if (Clock::now() < deadline) {
+                wakeFlusher_.wait_until(lock, deadline, [&] {
+                    return shuttingDown_ ||
+                           queuedRows_ >= batchRowTarget_;
+                });
+                continue;
+            }
+        }
+        if (queue_.empty())
+            continue;
+        if (size_ready)
+            stats_.sizeFlushes += 1;
+        else
+            stats_.deadlineFlushes += 1;
+        std::vector<Request> batch = popBatchLocked();
+        lock.unlock();
+        // predict() runs outside the lock so new requests keep
+        // enqueueing (and admission keeps rejecting) during a batch.
+        executeBatch(std::move(batch));
+        lock.lock();
+    }
+}
+
+void
+DynamicBatcher::shutdown()
+{
+    // Claim the flusher thread under the lock so concurrent shutdown
+    // callers (say, the destructor racing an explicit shutdown from
+    // another thread) never both join the same std::thread.
+    std::thread to_join;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+        to_join = std::move(flusher_);
+    }
+    wakeFlusher_.notify_all();
+    if (to_join.joinable())
+        to_join.join(); // the flusher drains the queue before exiting
+}
+
+int64_t
+DynamicBatcher::queuedRows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queuedRows_;
+}
+
+BatcherStats
+DynamicBatcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace treebeard::serve

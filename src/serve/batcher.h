@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Dynamic request batching for one served model.
+ *
+ * A DynamicBatcher turns many small predict requests — the
+ * single-row lookups that dominate online serving traffic — into the
+ * large batches the compiled walkers are fast at. Requests enqueue
+ * with a copy of their rows and receive a future; a dedicated flusher
+ * thread coalesces queued requests into one contiguous batch, runs
+ * Session::predict once, and slices the prediction buffer back into
+ * the per-request futures. Because every coalesced batch is a single
+ * predict() over row-independent walks, responses are bit-identical
+ * to calling Session::predict directly on each request's rows (the
+ * serving exactness tests assert this across both backends).
+ *
+ * Two triggers flush the queue, whichever fires first:
+ *  - size: queued rows reached the batch target. The target is
+ *    BatcherOptions::maxBatchRows rounded up to a multiple of the
+ *    schedule's rowChunkRows, so a flushed batch always fills the
+ *    parallel row loop's chunks instead of leaving a ragged tail.
+ *  - deadline: the oldest queued request has waited
+ *    maxQueueDelayMicros. This bounds the latency cost a lone
+ *    request pays for batching under light load.
+ *
+ * Admission control: maxQueuedRows caps the rows waiting in the
+ * queue; submits past the cap fail fast with serve.queue.full rather
+ * than letting the queue (and every queued request's latency) grow
+ * without bound.
+ *
+ * With batching disabled (BatcherOptions::enabled = false) submit()
+ * executes on the calling thread — the unbatched dispatch baseline
+ * the serving bench compares against, behind the same interface.
+ */
+#ifndef TREEBEARD_SERVE_BATCHER_H
+#define TREEBEARD_SERVE_BATCHER_H
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_errors.h"
+#include "serve/stats.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard::serve {
+
+/** Batching policy knobs (see file header for semantics). */
+struct BatcherOptions
+{
+    /**
+     * Rows that trigger a size flush. The effective target rounds up
+     * to a multiple of the session schedule's rowChunkRows (when
+     * set), aligning flushed batches to the parallel row loop.
+     */
+    int64_t maxBatchRows = 256;
+    /** Longest a queued request waits before a deadline flush. */
+    int64_t maxQueueDelayMicros = 1000;
+    /** Admission cap on queued rows (0 = unbounded). */
+    int64_t maxQueuedRows = 1 << 16;
+    /** False = no queue/thread; submit() predicts inline. */
+    bool enabled = true;
+};
+
+class DynamicBatcher
+{
+  public:
+    /**
+     * @param session the shared compiled model this batcher feeds.
+     * @param schedule the schedule @p session was compiled under
+     *        (supplies rowChunkRows for batch alignment).
+     */
+    DynamicBatcher(std::shared_ptr<const Session> session,
+                   const hir::Schedule &schedule,
+                   BatcherOptions options = {});
+
+    DynamicBatcher(const DynamicBatcher &) = delete;
+    DynamicBatcher &operator=(const DynamicBatcher &) = delete;
+
+    /** Drains the queue, then joins the flusher. */
+    ~DynamicBatcher();
+
+    /**
+     * Enqueue @p num_rows rows (copied; the caller's buffer is free
+     * immediately) and return a future for the predictions
+     * (num_rows * numClasses() floats, request row order).
+     * @throws Error kErrQueueFull when admission control rejects,
+     *         kErrQueueShutdown after shutdown() began,
+     *         kErrBadRequest on a negative count or null rows.
+     */
+    std::future<std::vector<float>> submit(const float *rows,
+                                           int64_t num_rows);
+
+    /**
+     * Stop admitting, flush everything still queued, join the
+     * flusher thread. Idempotent; runs automatically on destruction.
+     */
+    void shutdown();
+
+    /** Rows currently waiting (diagnostics; racy by nature). */
+    int64_t queuedRows() const;
+
+    BatcherStats stats() const;
+
+    /** The size-flush target after rowChunkRows alignment. */
+    int64_t batchRowTarget() const { return batchRowTarget_; }
+
+    const Session &session() const { return *session_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request
+    {
+        std::vector<float> rows;
+        int64_t numRows = 0;
+        std::promise<std::vector<float>> promise;
+        Clock::time_point deadline;
+    };
+
+    void flusherLoop();
+    /** Pop one batch worth of requests. Caller holds mutex_. */
+    std::vector<Request> popBatchLocked();
+    /** Predict one batch and fulfill its promises. Lock-free. */
+    void executeBatch(std::vector<Request> batch);
+
+    std::shared_ptr<const Session> session_;
+    BatcherOptions options_;
+    int64_t batchRowTarget_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wakeFlusher_;
+    std::deque<Request> queue_;
+    int64_t queuedRows_ = 0;
+    bool shuttingDown_ = false;
+    BatcherStats stats_;
+    std::thread flusher_;
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_BATCHER_H

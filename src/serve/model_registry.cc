@@ -1,0 +1,204 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "model/serialization.h"
+
+namespace treebeard::serve {
+
+namespace {
+
+/** FNV-1a 64-bit, matching the JIT disk cache's key hashing. */
+uint64_t
+fnv1aHash(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+ModelRegistry::ModelRegistry(RegistryOptions options)
+    : options_(std::move(options))
+{}
+
+ModelHandle
+ModelRegistry::handleFor(const model::Forest &forest,
+                         const hir::Schedule &schedule) const
+{
+    // The handle must change whenever the compiled artifact would:
+    // model content, every schedule knob, and the lowering backend.
+    // Serialized forms are canonical for all three.
+    std::string key = model::forestToJson(forest).dump();
+    key += '\n';
+    key += hir::scheduleToJsonString(schedule);
+    key += '\n';
+    key += backendName(options_.compiler.backend);
+    char handle[24];
+    std::snprintf(handle, sizeof(handle), "tb-%016llx",
+                  static_cast<unsigned long long>(fnv1aHash(key)));
+    return handle;
+}
+
+ModelHandle
+ModelRegistry::load(const model::Forest &forest,
+                    const hir::Schedule &schedule)
+{
+    ModelHandle handle = handleFor(forest, schedule);
+
+    std::shared_future<std::shared_ptr<const Session>> compilation;
+    std::promise<std::shared_ptr<const Session>> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.loads += 1;
+        auto it = models_.find(handle);
+        if (it != models_.end()) {
+            stats_.hits += 1;
+            it->second.lastUse = ++clock_;
+            compilation = it->second.session;
+        } else {
+            // Publish the pending entry before compiling so a second
+            // loader of the same content waits on this compilation
+            // instead of starting its own.
+            stats_.compiles += 1;
+            Entry entry;
+            entry.session = promise.get_future().share();
+            entry.schedule = schedule;
+            entry.lastUse = ++clock_;
+            models_.emplace(handle, std::move(entry));
+            enforceCapLocked();
+        }
+    }
+
+    if (compilation.valid()) {
+        compilation.get(); // rethrows a failed shared compilation
+        return handle;
+    }
+
+    // Compile outside the lock: loads of different models proceed in
+    // parallel, and session()/contains() never block on the compiler.
+    try {
+        auto session = std::make_shared<const Session>(
+            compile(forest, schedule, options_.compiler));
+        promise.set_value(std::move(session));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        models_.erase(handle);
+        throw;
+    }
+    return handle;
+}
+
+ModelHandle
+ModelRegistry::load(const model::Forest &forest)
+{
+    return load(forest, options_.defaultSchedule);
+}
+
+std::shared_ptr<const Session>
+ModelRegistry::session(const ModelHandle &handle)
+{
+    std::shared_future<std::shared_ptr<const Session>> compilation;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = models_.find(handle);
+        if (it == models_.end()) {
+            fatalCoded(kErrUnknownModel, "model handle ", handle,
+                       " is not resident (never loaded, or evicted; "
+                       "re-load the model to obtain a session)");
+        }
+        it->second.lastUse = ++clock_;
+        compilation = it->second.session;
+    }
+    return compilation.get();
+}
+
+hir::Schedule
+ModelRegistry::schedule(const ModelHandle &handle) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(handle);
+    if (it == models_.end()) {
+        fatalCoded(kErrUnknownModel, "model handle ", handle,
+                   " is not resident");
+    }
+    return it->second.schedule;
+}
+
+bool
+ModelRegistry::contains(const ModelHandle &handle) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.count(handle) > 0;
+}
+
+bool
+ModelRegistry::evict(const ModelHandle &handle)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(handle);
+    if (it == models_.end())
+        return false;
+    models_.erase(it);
+    stats_.evictions += 1;
+    return true;
+}
+
+void
+ModelRegistry::enforceCapLocked()
+{
+    if (options_.maxResidentModels <= 0)
+        return;
+    while (static_cast<int64_t>(models_.size()) >
+           options_.maxResidentModels) {
+        auto victim = models_.begin();
+        for (auto it = models_.begin(); it != models_.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        // In-flight users keep the session alive via their shared_ptr;
+        // eviction only drops the registry's reference.
+        models_.erase(victim);
+        stats_.evictions += 1;
+    }
+}
+
+std::vector<ModelHandle>
+ModelRegistry::residentHandles() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<uint64_t, ModelHandle>> aged;
+    aged.reserve(models_.size());
+    for (const auto &[handle, entry] : models_)
+        aged.emplace_back(entry.lastUse, handle);
+    std::sort(aged.begin(), aged.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    std::vector<ModelHandle> handles;
+    handles.reserve(aged.size());
+    for (auto &[age, handle] : aged)
+        handles.push_back(std::move(handle));
+    return handles;
+}
+
+int64_t
+ModelRegistry::residentModels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(models_.size());
+}
+
+RegistryStats
+ModelRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace treebeard::serve

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A multi-tenant registry of compiled models keyed by content hash.
+ *
+ * The registry is the serving layer's answer to "a model seen once
+ * never recompiles": load() hashes the forest together with its
+ * schedule and the compilation backend, and an identical (model,
+ * schedule, backend) triple — whether loaded again by the same tenant
+ * or a different one — reuses the resident Session instead of running
+ * the compiler. When the source-JIT backend is configured with a disk
+ * cache (RegistryOptions::compiler.jit.cacheDir), even a model that
+ * was evicted, or one first seen by an earlier process, skips the
+ * system compiler on its next load: the registry recompilation is
+ * served by the JIT disk cache's dlopen fast path.
+ *
+ * Sessions are handed out as shared_ptr<const Session>, so eviction
+ * never invalidates in-flight predictions: the evicted session dies
+ * when the last caller drops it. A bounded registry
+ * (RegistryOptions::maxResidentModels) evicts least-recently-used
+ * entries on insertion, which is what a serving fleet with thousands
+ * of cold tenants wants.
+ *
+ * Thread safety: all members may be called concurrently. Compilation
+ * runs outside the registry lock — concurrent load()s of *different*
+ * models compile in parallel, while concurrent load()s of the *same*
+ * model share one compilation (the second waits for the first).
+ */
+#ifndef TREEBEARD_SERVE_MODEL_REGISTRY_H
+#define TREEBEARD_SERVE_MODEL_REGISTRY_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hir/schedule.h"
+#include "model/forest.h"
+#include "serve/serve_errors.h"
+#include "serve/stats.h"
+#include "treebeard/compiler.h"
+
+namespace treebeard::serve {
+
+/**
+ * A registry entry's identity: "tb-" + 16 hex digits of the FNV-1a
+ * hash over (serialized forest, schedule JSON, backend name). Equal
+ * content yields equal handles across processes, so handles are
+ * stable routing keys for clients.
+ */
+using ModelHandle = std::string;
+
+/** Registry configuration. */
+struct RegistryOptions
+{
+    /**
+     * Resident-session cap (0 = unbounded). Inserting past the cap
+     * evicts least-recently-used entries first; sessions still held
+     * by callers stay alive until released.
+     */
+    int64_t maxResidentModels = 0;
+    /**
+     * Compiler driver options every load() compiles under: the
+     * backend, and for the source JIT the persistent disk cache that
+     * makes evict-then-reload skip the system compiler.
+     */
+    CompilerOptions compiler;
+    /**
+     * The schedule used by load(forest) when the tenant supplies no
+     * tuned schedule of its own.
+     */
+    hir::Schedule defaultSchedule;
+};
+
+class ModelRegistry
+{
+  public:
+    explicit ModelRegistry(RegistryOptions options = {});
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Ensure @p forest compiled under @p schedule is resident and
+     * return its handle. Reuses the resident session when the content
+     * hash matches; otherwise compiles (outside the registry lock)
+     * and inserts, evicting LRU entries past maxResidentModels.
+     * @throws Error / analysis::VerificationError as compile() does;
+     * a failed compilation leaves the registry unchanged.
+     */
+    ModelHandle load(const model::Forest &forest,
+                     const hir::Schedule &schedule);
+
+    /** load() under RegistryOptions::defaultSchedule. */
+    ModelHandle load(const model::Forest &forest);
+
+    /**
+     * The resident session for @p handle (refreshes its LRU age).
+     * @throws Error with code kErrUnknownModel when the handle was
+     * never issued or its entry has been evicted.
+     */
+    std::shared_ptr<const Session> session(const ModelHandle &handle);
+
+    /** The schedule @p handle was compiled under (throws like session). */
+    hir::Schedule schedule(const ModelHandle &handle) const;
+
+    /** True when @p handle is resident right now. */
+    bool contains(const ModelHandle &handle) const;
+
+    /** Evict @p handle; false when it was not resident. */
+    bool evict(const ModelHandle &handle);
+
+    /** Resident handles, most recently used first (diagnostics). */
+    std::vector<ModelHandle> residentHandles() const;
+
+    int64_t residentModels() const;
+
+    RegistryStats stats() const;
+
+    const RegistryOptions &options() const { return options_; }
+
+    /**
+     * The content-hash handle @p forest/@p schedule would get under
+     * this registry's backend, without loading anything. Exposed so
+     * clients can pre-compute routing keys.
+     */
+    ModelHandle handleFor(const model::Forest &forest,
+                          const hir::Schedule &schedule) const;
+
+  private:
+    struct Entry
+    {
+        /**
+         * The compiled session, shared through a future so loaders
+         * of the same handle wait on one compilation instead of
+         * duplicating it.
+         */
+        std::shared_future<std::shared_ptr<const Session>> session;
+        hir::Schedule schedule;
+        /** LRU age: the registry clock at the last touch. */
+        uint64_t lastUse = 0;
+    };
+
+    /** Evict LRU entries past the cap. Caller holds mutex_. */
+    void enforceCapLocked();
+
+    RegistryOptions options_;
+    mutable std::mutex mutex_;
+    std::map<ModelHandle, Entry> models_;
+    uint64_t clock_ = 0;
+    RegistryStats stats_;
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_MODEL_REGISTRY_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stable diagnostic codes for the serving layer.
+ *
+ * Serving failures follow the same machine-readable code scheme the
+ * compiler's verifier established ("<level>.<subject>.<violation>"):
+ * every recoverable serving Error carries one of the codes below in
+ * Error::code(), so clients branch on codes instead of message
+ * strings. Codes are API — tests assert on them; never rename one.
+ *
+ * Two families exist:
+ *  - serve.registry.*  model lifecycle failures (unknown or evicted
+ *    handles, lookups racing eviction).
+ *  - serve.queue.*     request admission and queueing failures
+ *    (admission-control rejections, submits after shutdown,
+ *    malformed request payloads).
+ */
+#ifndef TREEBEARD_SERVE_SERVE_ERRORS_H
+#define TREEBEARD_SERVE_SERVE_ERRORS_H
+
+namespace treebeard::serve {
+
+/** Lookup of a handle the registry never issued or already evicted. */
+inline constexpr const char *kErrUnknownModel =
+    "serve.registry.unknown-model";
+
+/**
+ * A request was rejected by admission control: accepting it would
+ * push the model's queued rows past BatcherOptions::maxQueuedRows.
+ * Back off and retry; already-queued work is unaffected.
+ */
+inline constexpr const char *kErrQueueFull = "serve.queue.full";
+
+/** A submit after Server::shutdown() / batcher teardown began. */
+inline constexpr const char *kErrQueueShutdown =
+    "serve.queue.shutdown";
+
+/**
+ * A malformed request payload: a negative row count, a null row
+ * pointer with rows promised, or a row buffer whose length is not a
+ * multiple of the model's feature count.
+ */
+inline constexpr const char *kErrBadRequest =
+    "serve.queue.bad-request";
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_SERVE_ERRORS_H

@@ -1,0 +1,191 @@
+#include "serve/server.h"
+
+#include <utility>
+
+namespace treebeard::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), registry_(options_.registry)
+{}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+ModelHandle
+Server::loadModel(const model::Forest &forest,
+                  const hir::Schedule &schedule)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shuttingDown_) {
+            fatalCoded(kErrQueueShutdown,
+                       "loadModel after server shutdown");
+        }
+    }
+    // Registry load first (compiles outside any server lock), then
+    // attach a batcher if this content is newly resident.
+    ModelHandle handle = registry_.load(forest, schedule);
+    std::shared_ptr<const Session> session = registry_.session(handle);
+    std::vector<std::shared_ptr<DynamicBatcher>> stale;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (batchers_.count(handle) == 0) {
+            batchers_.emplace(
+                handle, std::make_shared<DynamicBatcher>(
+                            std::move(session), schedule,
+                            options_.batcher));
+        }
+        // The registry's LRU cap may have evicted other models to
+        // make room; retire their batchers so a stale handle fails
+        // with serve.registry.unknown-model instead of serving a
+        // session the registry already dropped.
+        for (auto it = batchers_.begin(); it != batchers_.end();) {
+            if (it->first != handle &&
+                !registry_.contains(it->first)) {
+                stale.push_back(std::move(it->second));
+                it = batchers_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const std::shared_ptr<DynamicBatcher> &batcher : stale) {
+        batcher->shutdown(); // drains outside the server lock
+        std::lock_guard<std::mutex> lock(mutex_);
+        retiredBatching_.add(batcher->stats());
+    }
+    return handle;
+}
+
+ModelHandle
+Server::loadModel(const model::Forest &forest)
+{
+    return loadModel(forest, options_.registry.defaultSchedule);
+}
+
+std::shared_ptr<DynamicBatcher>
+Server::batcher(const ModelHandle &handle) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = batchers_.find(handle);
+    if (it == batchers_.end()) {
+        fatalCoded(kErrUnknownModel, "model handle ", handle,
+                   " is not being served (never loaded, or evicted)");
+    }
+    return it->second;
+}
+
+std::future<std::vector<float>>
+Server::predictAsync(const ModelHandle &handle, const float *rows,
+                     int64_t num_rows)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shuttingDown_) {
+            fatalCoded(kErrQueueShutdown,
+                       "predict request after server shutdown");
+        }
+    }
+    // The batcher is captured by shared_ptr, so a concurrent
+    // evictModel cannot free it out from under this submit; the
+    // submit then either lands in the draining queue or fails with
+    // serve.queue.shutdown.
+    return batcher(handle)->submit(rows, num_rows);
+}
+
+std::vector<float>
+Server::predict(const ModelHandle &handle, const float *rows,
+                int64_t num_rows)
+{
+    return predictAsync(handle, rows, num_rows).get();
+}
+
+std::vector<float>
+Server::predict(const ModelHandle &handle,
+                const std::vector<float> &rows)
+{
+    int32_t features = numFeatures(handle);
+    if (features <= 0 || rows.size() % features != 0) {
+        fatalCoded(kErrBadRequest, "row buffer of ", rows.size(),
+                   " floats is not a whole number of ", features,
+                   "-feature rows");
+    }
+    return predict(handle, rows.data(),
+                   static_cast<int64_t>(rows.size()) / features);
+}
+
+bool
+Server::evictModel(const ModelHandle &handle)
+{
+    std::shared_ptr<DynamicBatcher> victim;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = batchers_.find(handle);
+        if (it != batchers_.end()) {
+            victim = std::move(it->second);
+            batchers_.erase(it);
+        }
+    }
+    bool was_resident = registry_.evict(handle);
+    if (victim != nullptr) {
+        // Outside the server lock: draining may run queued batches.
+        victim->shutdown();
+        std::lock_guard<std::mutex> lock(mutex_);
+        retiredBatching_.add(victim->stats());
+        was_resident = true;
+    }
+    return was_resident;
+}
+
+void
+Server::shutdown()
+{
+    std::map<ModelHandle, std::shared_ptr<DynamicBatcher>> batchers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shuttingDown_)
+            return;
+        shuttingDown_ = true;
+        batchers.swap(batchers_);
+    }
+    for (auto &[handle, batcher] : batchers) {
+        batcher->shutdown();
+        std::lock_guard<std::mutex> lock(mutex_);
+        retiredBatching_.add(batcher->stats());
+    }
+}
+
+int32_t
+Server::numFeatures(const ModelHandle &handle)
+{
+    return batcher(handle)->session().numFeatures();
+}
+
+int32_t
+Server::numClasses(const ModelHandle &handle)
+{
+    return batcher(handle)->session().numClasses();
+}
+
+BatcherStats
+Server::batcherStats(const ModelHandle &handle) const
+{
+    return batcher(handle)->stats();
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats;
+    stats.registry = registry_.stats();
+    stats.residentModels = registry_.residentModels();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.batching = retiredBatching_;
+    for (const auto &[handle, batcher] : batchers_)
+        stats.batching.add(batcher->stats());
+    return stats;
+}
+
+} // namespace treebeard::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The multi-tenant serving front-end: a ModelRegistry of shared
+ * compiled Sessions, one DynamicBatcher per resident model, and an
+ * admission-controlled predict API many client threads call
+ * concurrently.
+ *
+ * A tenant loads its model once (loadModel hashes content, so
+ * re-loading is free and two tenants serving the same model share one
+ * Session and one batcher) and then predicts by handle. Requests from
+ * all tenants of one model coalesce in that model's batcher;
+ * different models batch independently and execute concurrently —
+ * heavyweight parallel sessions additionally fan out over the
+ * existing ThreadPool inside predict, exactly as they do outside the
+ * serving layer.
+ *
+ * Every failure path throws treebeard::Error carrying a stable
+ * serve.registry.* / serve.queue.* code (serve_errors.h), so clients
+ * implement retry/reroute policies on Error::code().
+ *
+ * Thread safety: all public members may be called concurrently.
+ * shutdown() drains every queue; predictions still in flight complete
+ * and later submits fail with serve.queue.shutdown.
+ */
+#ifndef TREEBEARD_SERVE_SERVER_H
+#define TREEBEARD_SERVE_SERVER_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/serve_errors.h"
+#include "serve/stats.h"
+
+namespace treebeard::serve {
+
+/** Server configuration: registry policy plus per-model batching. */
+struct ServerOptions
+{
+    RegistryOptions registry;
+    /** Applied to every model's batcher at load time. */
+    BatcherOptions batcher;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Drains and joins every batcher. */
+    ~Server();
+
+    /**
+     * Make @p forest servable under @p schedule (a tenant's tuned
+     * schedule) and return its routing handle. Content-hash
+     * deduplicated: a model already resident — loaded by any tenant —
+     * reuses its Session and batcher without recompiling, and with a
+     * JIT disk cache configured even a cold load of previously-seen
+     * content skips the system compiler.
+     */
+    ModelHandle loadModel(const model::Forest &forest,
+                          const hir::Schedule &schedule);
+
+    /** loadModel under the registry's default schedule. */
+    ModelHandle loadModel(const model::Forest &forest);
+
+    /**
+     * Submit @p num_rows rows for @p handle; returns a future of
+     * num_rows * numClasses(handle) predictions in request order.
+     * Rows are copied; the caller's buffer is free on return.
+     * @throws Error with serve.registry.unknown-model on a stale
+     * handle, serve.queue.full / serve.queue.shutdown /
+     * serve.queue.bad-request from admission.
+     */
+    std::future<std::vector<float>> predictAsync(
+        const ModelHandle &handle, const float *rows,
+        int64_t num_rows);
+
+    /**
+     * Synchronous convenience around predictAsync: blocks for the
+     * batch this request lands in and returns (or rethrows) its
+     * outcome.
+     */
+    std::vector<float> predict(const ModelHandle &handle,
+                               const float *rows, int64_t num_rows);
+
+    /**
+     * As predict(), validating that @p rows holds whole rows for the
+     * model (size divisible by its feature count; throws
+     * serve.queue.bad-request otherwise).
+     */
+    std::vector<float> predict(const ModelHandle &handle,
+                               const std::vector<float> &rows);
+
+    /**
+     * Evict @p handle: tear down its batcher (draining queued work),
+     * then drop the registry entry. False when not resident.
+     */
+    bool evictModel(const ModelHandle &handle);
+
+    /** Stop admitting requests and drain every model's queue. */
+    void shutdown();
+
+    int32_t numFeatures(const ModelHandle &handle);
+    int32_t numClasses(const ModelHandle &handle);
+
+    /** Per-model batcher counters (throws on an unknown handle). */
+    BatcherStats batcherStats(const ModelHandle &handle) const;
+
+    /** Registry + aggregated batching counters. */
+    ServerStats stats() const;
+
+    ModelRegistry &registry() { return registry_; }
+    const ModelRegistry &registry() const { return registry_; }
+
+  private:
+    /** The batcher serving @p handle; throws kErrUnknownModel. */
+    std::shared_ptr<DynamicBatcher> batcher(
+        const ModelHandle &handle) const;
+
+    ServerOptions options_;
+    ModelRegistry registry_;
+    mutable std::mutex mutex_;
+    /**
+     * One batcher per resident model. shared_ptr so predictAsync can
+     * release the server lock before submitting — a long batch on
+     * one model must not block requests routed to another.
+     */
+    std::map<ModelHandle, std::shared_ptr<DynamicBatcher>> batchers_;
+    /** Counters of already-evicted batchers, folded into stats(). */
+    BatcherStats retiredBatching_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_SERVER_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Counter structs exported by the serving layer. All counters are
+ * cumulative since construction; the owning component snapshots them
+ * under its own lock, so a returned struct is internally consistent.
+ */
+#ifndef TREEBEARD_SERVE_STATS_H
+#define TREEBEARD_SERVE_STATS_H
+
+#include <cstdint>
+
+namespace treebeard::serve {
+
+/** Model-lifecycle counters of one ModelRegistry. */
+struct RegistryStats
+{
+    /** load() calls (hits + compiles). */
+    int64_t loads = 0;
+    /** load() calls served by an already-resident session. */
+    int64_t hits = 0;
+    /** load() calls that ran the compiler pipeline. */
+    int64_t compiles = 0;
+    /** Sessions evicted by the maxResidentModels LRU cap or evict(). */
+    int64_t evictions = 0;
+};
+
+/** Request/batch counters of one DynamicBatcher. */
+struct BatcherStats
+{
+    /** Requests admitted into the queue (or executed inline). */
+    int64_t requestsAdmitted = 0;
+    /** Requests rejected by admission control (serve.queue.full). */
+    int64_t requestsRejected = 0;
+    /** Admitted requests of exactly one row. */
+    int64_t singleRowRequests = 0;
+    /** predict() executions (each covers >= 1 coalesced requests). */
+    int64_t batchesExecuted = 0;
+    /** Rows across all executed batches. */
+    int64_t rowsExecuted = 0;
+    /** Batches containing more than one coalesced request. */
+    int64_t coalescedBatches = 0;
+    /** Largest batch (rows) executed so far. */
+    int64_t largestBatchRows = 0;
+    /** Flushes triggered by reaching the batch-size target. */
+    int64_t sizeFlushes = 0;
+    /** Flushes triggered by the max-queue-delay deadline. */
+    int64_t deadlineFlushes = 0;
+
+    /** Mean rows per executed batch (0 when nothing ran yet). */
+    double
+    averageBatchRows() const
+    {
+        return batchesExecuted == 0
+                   ? 0.0
+                   : static_cast<double>(rowsExecuted) /
+                         static_cast<double>(batchesExecuted);
+    }
+
+    void
+    add(const BatcherStats &other)
+    {
+        requestsAdmitted += other.requestsAdmitted;
+        requestsRejected += other.requestsRejected;
+        singleRowRequests += other.singleRowRequests;
+        batchesExecuted += other.batchesExecuted;
+        rowsExecuted += other.rowsExecuted;
+        coalescedBatches += other.coalescedBatches;
+        largestBatchRows =
+            largestBatchRows > other.largestBatchRows
+                ? largestBatchRows
+                : other.largestBatchRows;
+        sizeFlushes += other.sizeFlushes;
+        deadlineFlushes += other.deadlineFlushes;
+    }
+};
+
+/** Server-wide aggregate: registry plus every tenant's batcher. */
+struct ServerStats
+{
+    RegistryStats registry;
+    BatcherStats batching;
+    /** Models currently resident (sessions in the registry). */
+    int64_t residentModels = 0;
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_STATS_H

@@ -13,6 +13,7 @@
  *   treebeard bench   <model.json> [batch] [flags]
  *   treebeard tune    <model.json> [sample-rows] [tune flags]
  *   treebeard verify  <model.json> [schedule.json] [flags] [--json]
+ *   treebeard serve   <model.json> [serve flags] [schedule flags]
  *
  * Schedule flags: --tile N --interleave N --threads N
  *   --row-chunk N (rows per parallel-loop chunk; 0 = one per worker)
@@ -34,6 +35,19 @@
  * Tune flags: --backend kernel|jit|both --jit-cache-dir DIR
  *   --jit-cache-max-bytes N
  *
+ * serve starts the in-process multi-tenant serving layer (model
+ * registry + dynamic batcher, src/serve) on the model and drives it
+ * with a closed-loop load: --clients N caller threads each issue
+ * --requests R requests of --rows K rows back-to-back, then the
+ * driver reports p50/p95/p99 request latency, rows/sec and the
+ * batching counters. Serve flags: --clients N --requests N --rows N
+ *   --max-batch-rows N (size-flush target, rowChunkRows-aligned)
+ *   --max-delay-us N (deadline flush bound)
+ *   --max-queued-rows N (admission-control cap; 0 = unbounded)
+ *   --no-batching (unbatched dispatch baseline)
+ * plus the schedule/backend flags above (the model's schedule is the
+ * registry default).
+ *
  * verify loads the model and schedule (from a schedule JSON file or
  * from schedule flags), runs every IR-level verifier after every
  * compiler pass, and prints the diagnostic report as text or, with
@@ -46,12 +60,18 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <thread>
+
 #include "analysis/diagnostics.h"
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "model/model_stats.h"
 #include "model/serialization.h"
+#include "serve/server.h"
 #include "treebeard/compiler.h"
 #include "tuner/auto_tuner.h"
 
@@ -64,7 +84,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: treebeard <stats|synth|compile|predict|bench|"
-                 "tune|verify> ... (see the file header for details)\n");
+                 "tune|verify|serve> ... (see the file header for "
+                 "details)\n");
     std::exit(2);
 }
 
@@ -435,6 +456,163 @@ commandVerify(const std::string &model_path,
     return report.hasErrors() ? 1 : 0;
 }
 
+/**
+ * The closed-loop load driver behind `treebeard serve`: client
+ * threads issue requests back-to-back against the in-process Server
+ * and the driver reports request-latency percentiles, throughput and
+ * the batching counters. Closed-loop means offered load scales with
+ * --clients: each client has exactly one request outstanding, the
+ * standard service-benchmark shape for finding the batching knee.
+ */
+int
+commandServe(const std::string &model_path,
+             const std::vector<std::string> &flags)
+{
+    int64_t clients = 8;
+    int64_t requests_per_client = 200;
+    int64_t rows_per_request = 1;
+    serve::ServerOptions server_options;
+    std::vector<std::string> schedule_flags;
+    for (size_t i = 0; i < flags.size(); ++i) {
+        const std::string &arg = flags[i];
+        auto next = [&]() -> const std::string & {
+            fatalIf(i + 1 >= flags.size(), "flag ", arg,
+                    " needs a value");
+            return flags[++i];
+        };
+        if (arg == "--clients")
+            clients = std::stoll(next());
+        else if (arg == "--requests")
+            requests_per_client = std::stoll(next());
+        else if (arg == "--rows")
+            rows_per_request = std::stoll(next());
+        else if (arg == "--max-batch-rows")
+            server_options.batcher.maxBatchRows = std::stoll(next());
+        else if (arg == "--max-delay-us")
+            server_options.batcher.maxQueueDelayMicros =
+                std::stoll(next());
+        else if (arg == "--max-queued-rows")
+            server_options.batcher.maxQueuedRows = std::stoll(next());
+        else if (arg == "--no-batching")
+            server_options.batcher.enabled = false;
+        else
+            schedule_flags.push_back(arg);
+    }
+    fatalIf(clients < 1, "--clients must be >= 1");
+    fatalIf(requests_per_client < 1, "--requests must be >= 1");
+    fatalIf(rows_per_request < 1, "--rows must be >= 1");
+
+    CompilerOptions compiler_options;
+    hir::Schedule schedule =
+        parseSchedule(schedule_flags, nullptr, &compiler_options);
+    server_options.registry.compiler = compiler_options;
+    server_options.registry.defaultSchedule = schedule;
+
+    model::Forest forest = model::loadForest(model_path);
+    serve::Server server(server_options);
+    Timer load_timer;
+    serve::ModelHandle handle = server.loadModel(forest);
+    std::printf("serving %s as %s [backend: %s, %s]\n",
+                model_path.c_str(), handle.c_str(),
+                backendName(compiler_options.backend),
+                server_options.batcher.enabled
+                    ? "dynamic batching"
+                    : "unbatched dispatch");
+    std::printf("model loaded in %.3f s under schedule: %s\n",
+                load_timer.elapsedSeconds(),
+                schedule.toString().c_str());
+
+    // Per-client request pools drawn from the model's input
+    // distribution; each client cycles its own rows.
+    data::SyntheticModelSpec spec;
+    spec.name = "cli-serve";
+    spec.numFeatures = forest.numFeatures();
+    spec.numTrees = 1;
+    spec.maxDepth = 1;
+    const int64_t pool_rows = 256;
+    std::vector<data::Dataset> pools;
+    for (int64_t c = 0; c < clients; ++c) {
+        pools.push_back(data::generateFeatures(
+            spec, pool_rows, /*seed_offset=*/1000 + c));
+    }
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    std::atomic<int64_t> rejected{0};
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (int64_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<double> &lat =
+                latencies[static_cast<size_t>(c)];
+            lat.reserve(static_cast<size_t>(requests_per_client));
+            const float *pool = pools[static_cast<size_t>(c)].rows();
+            for (int64_t r = 0; r < requests_per_client; ++r) {
+                int64_t start =
+                    (r * rows_per_request) % (pool_rows -
+                                              rows_per_request + 1);
+                const float *rows =
+                    pool + start * forest.numFeatures();
+                Timer timer;
+                try {
+                    server.predict(handle, rows, rows_per_request);
+                } catch (const Error &error) {
+                    if (error.code() == serve::kErrQueueFull) {
+                        rejected.fetch_add(1);
+                        continue;
+                    }
+                    throw;
+                }
+                lat.push_back(timer.elapsedMicros());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    double wall_seconds = wall.elapsedSeconds();
+
+    std::vector<double> all;
+    for (const std::vector<double> &lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    fatalIf(all.empty(), "every request was rejected; raise "
+            "--max-queued-rows or lower --clients");
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double p) {
+        size_t index = static_cast<size_t>(
+            p * static_cast<double>(all.size() - 1));
+        return all[index];
+    };
+    int64_t completed = static_cast<int64_t>(all.size());
+    double rows_per_sec = static_cast<double>(
+                              completed * rows_per_request) /
+                          wall_seconds;
+
+    serve::BatcherStats batching = server.batcherStats(handle);
+    std::printf("\nclosed-loop load: %lld clients x %lld requests x "
+                "%lld row(s)\n",
+                static_cast<long long>(clients),
+                static_cast<long long>(requests_per_client),
+                static_cast<long long>(rows_per_request));
+    std::printf("  completed:  %lld (%lld rejected by admission)\n",
+                static_cast<long long>(completed),
+                static_cast<long long>(rejected.load()));
+    std::printf("  latency:    p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+                percentile(0.50), percentile(0.95), percentile(0.99));
+    std::printf("  throughput: %.0f rows/sec (%.3f s wall)\n",
+                rows_per_sec, wall_seconds);
+    std::printf("  batching:   %lld batches, %.1f rows/batch avg, "
+                "%lld max, %lld coalesced, %lld size flushes, "
+                "%lld deadline flushes\n",
+                static_cast<long long>(batching.batchesExecuted),
+                batching.averageBatchRows(),
+                static_cast<long long>(batching.largestBatchRows),
+                static_cast<long long>(batching.coalescedBatches),
+                static_cast<long long>(batching.sizeFlushes),
+                static_cast<long long>(batching.deadlineFlushes));
+    server.shutdown();
+    return 0;
+}
+
 int
 commandTune(const std::string &path, int64_t sample_rows,
             const std::vector<std::string> &flags)
@@ -542,6 +720,10 @@ main(int argc, char **argv)
                 flags.erase(flags.begin());
             }
             return commandVerify(args[0], schedule_path, flags);
+        }
+        if (command == "serve" && !args.empty()) {
+            return commandServe(args[0],
+                                {args.begin() + 1, args.end()});
         }
         if (command == "tune" && !args.empty()) {
             int64_t sample = 512;

@@ -182,11 +182,14 @@ Session::predictInstrumented(const float *rows, int64_t num_rows,
                              float *predictions,
                              runtime::WalkCounters *counters) const
 {
-    fatalIf(!plan_,
-            "predictInstrumented requires the kernel backend; the "
-            "source-JIT backend's generated code carries no event "
-            "counters (recompile with CompilerOptions::backend = "
-            "Backend::kKernel)");
+    if (!supportsInstrumentation()) {
+        fatalCoded(kErrInstrumentationUnsupported,
+                   "predictInstrumented requires a backend with event "
+                   "counters (have: ", backendName(backend()),
+                   "); check Session::supportsInstrumentation() or "
+                   "recompile with CompilerOptions::backend = "
+                   "Backend::kKernel");
+    }
     plan_->runInstrumented(rows, num_rows, predictions, counters);
 }
 
@@ -337,13 +340,6 @@ compile(const model::Forest &forest, const hir::Schedule &schedule,
                                  state.hir->groups());
     artifacts.totalSeconds = total_timer.elapsedSeconds();
     return Session(std::move(plan), std::move(artifacts));
-}
-
-InferenceSession
-compileForest(const model::Forest &forest, const hir::Schedule &schedule,
-              const CompilerOptions &options)
-{
-    return compile(forest, schedule, options);
 }
 
 } // namespace treebeard

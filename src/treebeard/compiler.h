@@ -30,8 +30,13 @@
  *
  * Both backends produce bit-identical predictions; the Session
  * interface (predict / numFeatures / numClasses / artifacts) is
- * backend-agnostic. Only predictInstrumented is kernel-specific and
- * throws Error on a source-JIT session.
+ * backend-agnostic. Only predictInstrumented is kernel-specific:
+ * query supportsInstrumentation() before using it, or catch the
+ * Error whose code() is kErrInstrumentationUnsupported.
+ *
+ * Serving layers build on this API through src/serve: a content-hash
+ * keyed ModelRegistry of shared Sessions fronted by a dynamic batcher
+ * (see docs/SERVING.md).
  */
 #ifndef TREEBEARD_TREEBEARD_COMPILER_H
 #define TREEBEARD_TREEBEARD_COMPILER_H
@@ -61,6 +66,15 @@ enum class Backend {
 
 /** Human-readable backend name ("kernel" / "jit"). */
 const char *backendName(Backend backend);
+
+/**
+ * Stable code carried by the Error thrown when predictInstrumented is
+ * called on a session whose backend has no event counters (currently
+ * the source JIT). Follows the verifier's "<subject>.<violation>"
+ * taxonomy so clients branch on Error::code(), never on message text.
+ */
+inline constexpr const char *kErrInstrumentationUnsupported =
+    "session.instrumentation.unsupported";
 
 /** Options controlling the compilation driver itself. */
 struct CompilerOptions
@@ -183,10 +197,18 @@ class Session
                  float *predictions) const;
 
     /**
+     * True when this session's backend can run predictInstrumented
+     * (the kernel runtime carries software event counters; the source
+     * JIT's generated code does not). Query this instead of probing
+     * with a throwing call.
+     */
+    bool supportsInstrumentation() const { return plan_.has_value(); }
+
+    /**
      * Instrumented prediction collecting software event counters.
-     * Kernel backend only.
-     * @throws Error on a source-JIT session (the generated code
-     * carries no counters).
+     * Only available when supportsInstrumentation().
+     * @throws Error with code kErrInstrumentationUnsupported on a
+     * backend without counters (currently the source JIT).
      */
     void predictInstrumented(const float *rows, int64_t num_rows,
                              float *predictions,
@@ -249,26 +271,14 @@ class Session
 };
 
 /**
- * Transitional alias: the pre-unification name for a kernel-backed
- * Session. Prefer Session + compile() in new code.
- */
-using InferenceSession = Session;
-
-/**
- * Compile @p forest under @p schedule for options.backend.
+ * Compile @p forest under @p schedule for options.backend. The single
+ * compilation entry point of the public API (the pre-Session legacy
+ * aliases were removed when the serving layer finalized the surface).
  * @throws Error on invalid models or schedules, or when the source
  * backend's system compiler fails.
  */
 Session compile(const model::Forest &forest, const hir::Schedule &schedule,
                 const CompilerOptions &options = {});
-
-/**
- * Deprecated spelling of compile() (kept for existing callers; honors
- * options.backend like compile does).
- */
-InferenceSession compileForest(const model::Forest &forest,
-                               const hir::Schedule &schedule,
-                               const CompilerOptions &options = {});
 
 } // namespace treebeard
 

@@ -145,6 +145,7 @@ TEST(UnifiedSession, PredictInstrumentedThrowsOnSourceJit)
     options.backend = Backend::kSourceJit;
     options.jit.optLevel = "-O0";
     Session session = compile(forest, schedule, options);
+    EXPECT_FALSE(session.supportsInstrumentation());
 
     std::vector<float> rows = makeRandomRows(10, 4, 4201);
     std::vector<float> predictions(4);
@@ -154,13 +155,14 @@ TEST(UnifiedSession, PredictInstrumentedThrowsOnSourceJit)
                                     &counters);
         FAIL() << "expected Error from predictInstrumented";
     } catch (const Error &error) {
-        EXPECT_NE(std::string(error.what()).find("kernel backend"),
-                  std::string::npos);
+        // Clients branch on the stable code, not the message text.
+        EXPECT_EQ(error.code(), kErrInstrumentationUnsupported);
     }
 
     // The kernel backend still supports instrumentation.
     options.backend = Backend::kKernel;
     Session kernel = compile(forest, schedule, options);
+    EXPECT_TRUE(kernel.supportsInstrumentation());
     EXPECT_NO_THROW(kernel.predictInstrumented(
         rows.data(), 4, predictions.data(), &counters));
 }
@@ -305,7 +307,7 @@ TEST(UnifiedSession, CompileForestAliasHonorsBackend)
     CompilerOptions options;
     options.backend = Backend::kSourceJit;
     options.jit.optLevel = "-O0";
-    InferenceSession session = compileForest(forest, schedule, options);
+    Session session = compile(forest, schedule, options);
     EXPECT_EQ(session.backend(), Backend::kSourceJit);
 
     std::vector<float> rows = makeRandomRows(10, 8, 4501);

@@ -331,6 +331,42 @@ TEST(Cli, VerifyChecksScheduleJsonFile)
         << output;
 }
 
+TEST(Cli, ServeRunsClosedLoopDriver)
+{
+    std::string model = tempPath("cli_serve.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth abalone " + model + " 10", output), 0);
+    ASSERT_EQ(runCli("serve " + model +
+                         " --clients 4 --requests 10 --max-delay-us "
+                         "200 --tile 1 --tiling basic",
+                     output),
+              0)
+        << output;
+    // Routing handle, percentile table, and coalescing evidence.
+    EXPECT_NE(output.find("as tb-"), std::string::npos) << output;
+    EXPECT_NE(output.find("dynamic batching"), std::string::npos);
+    EXPECT_NE(output.find("p99"), std::string::npos);
+    EXPECT_NE(output.find("rows/sec"), std::string::npos);
+    EXPECT_NE(output.find("coalesced"), std::string::npos);
+}
+
+TEST(Cli, ServeNoBatchingRunsUnbatchedBaseline)
+{
+    std::string model = tempPath("cli_serve_unbatched.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth abalone " + model + " 10", output), 0);
+    ASSERT_EQ(runCli("serve " + model +
+                         " --clients 2 --requests 10 --no-batching",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("unbatched dispatch"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("0 size flushes, 0 deadline flushes"),
+              std::string::npos)
+        << output;
+}
+
 TEST(Cli, CompileAcceptsVerifyEachFlag)
 {
     std::string model = tempPath("cli_verify_each.json");

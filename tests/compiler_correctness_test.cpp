@@ -149,7 +149,7 @@ TEST_P(CorrectnessSweep, MatchesReference)
     schedule.peelWalks = c.peel;
     schedule.numThreads = c.threads;
 
-    InferenceSession session = compileForest(*forest_, schedule);
+    Session session = compile(*forest_, schedule);
     int64_t num_rows =
         static_cast<int64_t>(rows_->size()) / forest_->numFeatures();
     std::vector<float> actual(static_cast<size_t>(num_rows));
@@ -175,7 +175,7 @@ TEST(CompilerCorrectness, LogisticObjectiveMatchesReference)
 
     hir::Schedule schedule;
     schedule.tileSize = 4;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     std::vector<float> actual(64);
     session.predict(rows.data(), 64, actual.data());
     expectPredictionsExact(expected, actual);
@@ -196,7 +196,7 @@ TEST(CompilerCorrectness, InstrumentedPathMatchesReference)
 
     hir::Schedule schedule;
     schedule.tileSize = 8;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     std::vector<float> actual(50);
     runtime::WalkCounters counters;
     session.predictInstrumented(rows.data(), 50, actual.data(),
@@ -212,7 +212,7 @@ TEST(CompilerCorrectness, InstrumentedPathMatchesReference)
 TEST(CompilerCorrectness, EmptyBatchIsANoOp)
 {
     model::Forest forest = makeRandomForest({});
-    InferenceSession session = compileForest(forest, {});
+    Session session = compile(forest, {});
     session.predict(nullptr, 0, nullptr);
 }
 
@@ -226,7 +226,7 @@ TEST(CompilerCorrectness, SingleRowBatch)
 
     hir::Schedule schedule;
     schedule.interleaveFactor = 8; // larger than the batch
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     std::vector<float> actual(1);
     session.predict(rows.data(), 1, actual.data());
     expectPredictionsExact(expected, actual);
@@ -237,13 +237,13 @@ TEST(CompilerCorrectness, InvalidScheduleIsRejected)
     model::Forest forest = makeRandomForest({});
     hir::Schedule schedule;
     schedule.tileSize = 99;
-    EXPECT_THROW(compileForest(forest, schedule), Error);
+    EXPECT_THROW(compile(forest, schedule), Error);
     schedule = {};
     schedule.interleaveFactor = 3;
-    EXPECT_THROW(compileForest(forest, schedule), Error);
+    EXPECT_THROW(compile(forest, schedule), Error);
     schedule = {};
     schedule.numThreads = 0;
-    EXPECT_THROW(compileForest(forest, schedule), Error);
+    EXPECT_THROW(compile(forest, schedule), Error);
 }
 
 TEST(CompilerCorrectness, ArtifactsAreRecorded)
@@ -251,7 +251,7 @@ TEST(CompilerCorrectness, ArtifactsAreRecorded)
     model::Forest forest = makeRandomForest({});
     CompilerOptions options;
     options.recordIrDumps = true;
-    InferenceSession session = compileForest(forest, {}, options);
+    Session session = compile(forest, {}, options);
     const CompilationArtifacts &artifacts = session.artifacts();
     EXPECT_FALSE(artifacts.passTraces.empty());
     EXPECT_NE(artifacts.hirDump.find("hir.module"), std::string::npos);

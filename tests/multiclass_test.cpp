@@ -128,7 +128,7 @@ TEST_P(MulticlassCompiled, MatchesReference)
     schedule.padAndUnrollWalks = c.unroll;
     schedule.numThreads = c.threads;
 
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     EXPECT_EQ(session.numClasses(), 3);
     std::vector<float> actual(97 * 3);
     session.predict(rows.data(), 97, actual.data());
@@ -160,7 +160,7 @@ TEST(MulticlassCompiledMisc, InstrumentedPathAgrees)
     std::vector<float> expected(30 * 4);
     forest.predictBatch(rows.data(), 30, expected.data());
 
-    InferenceSession session = compileForest(forest, {});
+    Session session = compile(forest, {});
     std::vector<float> actual(30 * 4);
     runtime::WalkCounters counters;
     session.predictInstrumented(rows.data(), 30, actual.data(),
@@ -203,7 +203,7 @@ TEST(MulticlassTraining, LearnsSeparableClasses)
               trainer.history().front().trainingLoss * 0.3);
 
     // Accuracy on the training blobs via the compiled session.
-    InferenceSession session = compileForest(forest, {});
+    Session session = compile(forest, {});
     std::vector<float> probabilities(
         static_cast<size_t>(dataset.numRows()) * 3);
     session.predict(dataset.rows(), dataset.numRows(),

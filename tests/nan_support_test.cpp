@@ -110,7 +110,7 @@ TEST_F(NanSupportFixture, CompiledSchedulesMatchReference)
             schedule.tileSize = tile_size;
             schedule.layout = layout;
             schedule.interleaveFactor = tile_size >= 4 ? 4 : 1;
-            InferenceSession session = compileForest(forest_, schedule);
+            Session session = compile(forest_, schedule);
             std::vector<float> actual(150);
             session.predict(rows_.data(), 150, actual.data());
             for (size_t i = 0; i < actual.size(); ++i) {

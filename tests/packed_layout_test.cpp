@@ -149,8 +149,8 @@ TEST(PackedLayout, PredictionsBitExactAcrossLayouts)
                 schedule.padAndUnrollWalks = unroll;
                 schedule.layout = hir::MemoryLayout::kPacked;
 
-                InferenceSession session =
-                    compileForest(forest, schedule);
+                Session session =
+                    compile(forest, schedule);
                 ASSERT_EQ(session.plan().buffers().layout,
                           lir::LayoutKind::kPacked);
                 std::vector<float> actual(200);
@@ -183,7 +183,7 @@ TEST(PackedLayout, MulticlassMatchesReference)
         schedule.tileSize = tile_size;
         schedule.interleaveFactor = 4;
         schedule.layout = hir::MemoryLayout::kPacked;
-        InferenceSession session = compileForest(forest, schedule);
+        Session session = compile(forest, schedule);
         std::vector<float> actual(80 * 3);
         session.predict(rows.data(), 80, actual.data());
         testing::expectPredictionsExact(expected, actual);
@@ -200,7 +200,7 @@ TEST(PackedLayout, InstrumentedPathAgrees)
     hir::Schedule schedule;
     schedule.tileSize = 8;
     schedule.layout = hir::MemoryLayout::kPacked;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     std::vector<float> actual(64);
     runtime::WalkCounters counters;
     session.predictInstrumented(rows.data(), 64, actual.data(),
@@ -239,7 +239,7 @@ TEST(PackedLayout, WideFeatureModelsFallBackToSparse)
         testing::makeRandomRows(spec.numFeatures, 8, 405);
     std::vector<float> expected =
         testing::referencePredictions(forest, rows);
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     EXPECT_EQ(session.plan().buffers().layout,
               lir::LayoutKind::kSparse);
     std::vector<float> actual(8);
@@ -437,7 +437,7 @@ TEST(PackedQuantizedLayout, MatchesF32AwayFromDeadZones)
     quantized_schedule.tileSize = 8;
     quantized_schedule.layout = hir::MemoryLayout::kPacked;
     quantized_schedule.packedPrecision = hir::PackedPrecision::kI16;
-    InferenceSession probe = compileForest(forest, quantized_schedule);
+    Session probe = compile(forest, quantized_schedule);
     ASSERT_EQ(probe.plan().buffers().layout,
               lir::LayoutKind::kPackedQuantized);
     clearQuantizationDeadZones(rows, forest,
@@ -458,8 +458,8 @@ TEST(PackedQuantizedLayout, MatchesF32AwayFromDeadZones)
                         hir::PackedPrecision::kI16;
                     schedule.pipelinePackedWalks = pipeline;
 
-                    InferenceSession session =
-                        compileForest(forest, schedule);
+                    Session session =
+                        compile(forest, schedule);
                     ASSERT_EQ(session.plan().buffers().layout,
                               lir::LayoutKind::kPackedQuantized);
                     std::vector<float> actual(200);
@@ -491,7 +491,7 @@ TEST(PackedQuantizedLayout, MulticlassMatchesF32AwayFromDeadZones)
     schedule.packedPrecision = hir::PackedPrecision::kI16;
 
     std::vector<float> rows = makeRowsWithNaNs(10, 80, 788);
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     clearQuantizationDeadZones(rows, forest,
                                session.plan().buffers().quantization);
     std::vector<float> expected(80 * 3);
@@ -518,7 +518,7 @@ TEST(PackedQuantizedLayout, DriftIsBoundedByDeclaredBudget)
     schedule.tileSize = 8;
     schedule.layout = hir::MemoryLayout::kPacked;
     schedule.packedPrecision = hir::PackedPrecision::kI16;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     float budget =
         session.plan().buffers().quantization.predictionErrorBudget;
     ASSERT_GT(budget, 0.0f);
@@ -541,7 +541,7 @@ TEST(PackedQuantizedLayout, InstrumentedPathAgrees)
     schedule.tileSize = 8;
     schedule.layout = hir::MemoryLayout::kPacked;
     schedule.packedPrecision = hir::PackedPrecision::kI16;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     ASSERT_EQ(session.plan().buffers().layout,
               lir::LayoutKind::kPackedQuantized);
 
@@ -587,7 +587,7 @@ TEST(PackedQuantizedLayout, WideFeatureModelsFallBackToF32Packed)
         testing::makeRandomRows(spec.numFeatures, 8, 415);
     std::vector<float> expected =
         testing::referencePredictions(forest, rows);
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     EXPECT_EQ(session.plan().buffers().layout,
               lir::LayoutKind::kPacked);
     std::vector<float> actual(8);
@@ -612,7 +612,7 @@ TEST(PackedLayout, PipelineToggleIsBitExact)
             schedule.padAndUnrollWalks = unroll;
             schedule.layout = hir::MemoryLayout::kPacked;
             schedule.pipelinePackedWalks = pipeline;
-            InferenceSession session = compileForest(forest, schedule);
+            Session session = compile(forest, schedule);
             std::vector<float> actual(128);
             session.predict(rows.data(), 128, actual.data());
             testing::expectPredictionsExact(expected, actual);

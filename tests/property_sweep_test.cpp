@@ -106,7 +106,7 @@ TEST_P(PropertySweep, PipelineInvariantsHold)
     std::vector<float> expected =
         testing::referencePredictions(forest, rows);
 
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
     std::vector<float> actual(static_cast<size_t>(num_rows));
     session.predict(rows.data(), num_rows, actual.data());
     testing::expectPredictionsExact(expected, actual);

@@ -101,7 +101,7 @@ TEST(ParallelPlan, ManyThreadConfigsMatchReference)
         hir::Schedule schedule;
         schedule.numThreads = threads;
         schedule.interleaveFactor = 4;
-        InferenceSession session = compileForest(forest, schedule);
+        Session session = compile(forest, schedule);
         std::vector<float> actual(301);
         session.predict(rows.data(), 301, actual.data());
         testing::expectPredictionsExact(expected, actual);
@@ -218,7 +218,7 @@ namespace {
 
 TEST(SessionConcurrency, ConcurrentPredictCallsAreSafe)
 {
-    // InferenceSession::predict is const and must be callable from
+    // Session::predict is const and must be callable from
     // several threads at once (a serving pattern).
     testing::RandomForestSpec spec;
     spec.numTrees = 25;
@@ -230,7 +230,7 @@ TEST(SessionConcurrency, ConcurrentPredictCallsAreSafe)
     std::vector<float> expected =
         testing::referencePredictions(forest, rows);
 
-    InferenceSession session = compileForest(forest, {});
+    Session session = compile(forest, {});
     constexpr int kThreads = 4;
     std::vector<std::vector<float>> results(
         kThreads, std::vector<float>(200));

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Serving-layer tests: the content-hash ModelRegistry (dedup, LRU
+ * eviction, recompile-through-the-JIT-disk-cache), the DynamicBatcher
+ * (coalescing, flush triggers, admission control, shutdown draining)
+ * and the multi-tenant Server front-end. The exactness tests assert
+ * served predictions bit-identical to direct Session::predict on both
+ * backends: a coalesced batch is one predict() over row-independent
+ * walks, so batching must never change a single bit of any response.
+ */
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.h"
+#include "test_utils.h"
+#include "treebeard/compiler.h"
+
+using namespace treebeard;
+using namespace treebeard::testing;
+
+namespace {
+
+/** A small quantized forest distinct per @p seed. */
+model::Forest
+makeServableForest(uint64_t seed, int32_t num_features = 10)
+{
+    RandomForestSpec spec;
+    spec.numFeatures = num_features;
+    spec.numTrees = 24;
+    spec.maxDepth = 5;
+    spec.seed = seed;
+    model::Forest forest = makeRandomForest(spec);
+    quantizeLeafValues(forest);
+    return forest;
+}
+
+/** Direct (unserved) predictions for @p rows under @p schedule. */
+std::vector<float>
+directPredictions(const model::Forest &forest,
+                  const hir::Schedule &schedule,
+                  const CompilerOptions &options,
+                  const std::vector<float> &rows)
+{
+    Session session = compile(forest, schedule, options);
+    int64_t num_rows = static_cast<int64_t>(rows.size()) /
+                       forest.numFeatures();
+    std::vector<float> predictions(
+        static_cast<size_t>(num_rows) * session.numClasses());
+    session.predict(rows.data(), num_rows, predictions.data());
+    return predictions;
+}
+
+// ---------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------
+
+TEST(ModelRegistry, ContentHashDeduplicatesLoads)
+{
+    serve::ModelRegistry registry;
+    model::Forest forest = makeServableForest(101);
+
+    serve::ModelHandle first = registry.load(forest);
+    serve::ModelHandle second = registry.load(forest);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(registry.residentModels(), 1);
+    EXPECT_EQ(registry.stats().loads, 2);
+    EXPECT_EQ(registry.stats().compiles, 1);
+    EXPECT_EQ(registry.stats().hits, 1);
+
+    // A different schedule is different content: new handle, new
+    // compilation.
+    hir::Schedule scalar;
+    scalar.tileSize = 1;
+    scalar.tiling = hir::TilingAlgorithm::kBasic;
+    serve::ModelHandle tuned = registry.load(forest, scalar);
+    EXPECT_NE(tuned, first);
+    EXPECT_EQ(registry.residentModels(), 2);
+    EXPECT_EQ(registry.stats().compiles, 2);
+
+    // handleFor precomputes the routing key without loading.
+    EXPECT_EQ(registry.handleFor(forest, scalar), tuned);
+}
+
+TEST(ModelRegistry, UnknownHandleThrowsStableCode)
+{
+    serve::ModelRegistry registry;
+    try {
+        registry.session("tb-ffffffffffffffff");
+        FAIL() << "expected serve.registry.unknown-model";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrUnknownModel);
+    }
+}
+
+TEST(ModelRegistry, LruCapEvictsColdestModel)
+{
+    serve::RegistryOptions options;
+    options.maxResidentModels = 2;
+    serve::ModelRegistry registry(options);
+
+    serve::ModelHandle a = registry.load(makeServableForest(1));
+    serve::ModelHandle b = registry.load(makeServableForest(2));
+    // Touch a so b becomes the LRU entry.
+    registry.session(a);
+    serve::ModelHandle c = registry.load(makeServableForest(3));
+
+    EXPECT_TRUE(registry.contains(a));
+    EXPECT_FALSE(registry.contains(b));
+    EXPECT_TRUE(registry.contains(c));
+    EXPECT_EQ(registry.residentModels(), 2);
+    EXPECT_EQ(registry.stats().evictions, 1);
+
+    // Reloading the evicted model recompiles under the same handle.
+    EXPECT_EQ(registry.load(makeServableForest(2)), b);
+    EXPECT_EQ(registry.stats().compiles, 4);
+}
+
+TEST(ModelRegistry, EvictionKeepsHandedOutSessionsAlive)
+{
+    serve::ModelRegistry registry;
+    model::Forest forest = makeServableForest(7);
+    serve::ModelHandle handle = registry.load(forest);
+    std::shared_ptr<const Session> session = registry.session(handle);
+
+    EXPECT_TRUE(registry.evict(handle));
+    EXPECT_FALSE(registry.contains(handle));
+
+    // The shared session outlives its registry entry.
+    std::vector<float> rows = makeRandomRows(forest.numFeatures(), 8, 9);
+    std::vector<float> predictions(8);
+    session->predict(rows.data(), 8, predictions.data());
+    expectPredictionsClose(referencePredictions(forest, rows),
+                           predictions);
+}
+
+TEST(ModelRegistry, EvictedModelRecompilesThroughJitDiskCache)
+{
+    serve::RegistryOptions options;
+    options.compiler.backend = Backend::kSourceJit;
+    options.compiler.jit.cacheDir =
+        ::testing::TempDir() + "/treebeard_serving_cache";
+    serve::ModelRegistry registry(options);
+
+    model::Forest forest = makeServableForest(11);
+    std::vector<float> rows =
+        makeRandomRows(forest.numFeatures(), 16, 13);
+
+    serve::ModelHandle handle = registry.load(forest);
+    std::vector<float> first(16);
+    registry.session(handle)->predict(rows.data(), 16, first.data());
+
+    EXPECT_TRUE(registry.evict(handle));
+    // The reload recompiles, but the source JIT serves it from the
+    // disk cache (dlopen fast path) instead of the system compiler.
+    EXPECT_EQ(registry.load(forest), handle);
+    std::vector<float> second(16);
+    registry.session(handle)->predict(rows.data(), 16, second.data());
+    expectPredictionsExact(first, second);
+    EXPECT_EQ(registry.stats().compiles, 2);
+}
+
+TEST(ModelRegistry, ConcurrentLoadsOfSameContentShareOneCompile)
+{
+    serve::ModelRegistry registry;
+    model::Forest forest = makeServableForest(17);
+
+    std::vector<std::thread> threads;
+    std::vector<serve::ModelHandle> handles(6);
+    for (size_t t = 0; t < handles.size(); ++t) {
+        threads.emplace_back(
+            [&, t] { handles[t] = registry.load(forest); });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const serve::ModelHandle &handle : handles)
+        EXPECT_EQ(handle, handles[0]);
+    EXPECT_EQ(registry.stats().compiles, 1);
+    EXPECT_EQ(registry.stats().loads, 6);
+}
+
+// ---------------------------------------------------------------------
+// DynamicBatcher
+// ---------------------------------------------------------------------
+
+TEST(DynamicBatcher, BatchTargetAlignsToRowChunks)
+{
+    model::Forest forest = makeServableForest(23);
+    hir::Schedule schedule;
+    schedule.numThreads = 2;
+    schedule.rowChunkRows = 64;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+
+    serve::BatcherOptions options;
+    options.maxBatchRows = 100; // not a chunk multiple
+    serve::DynamicBatcher batcher(session, schedule, options);
+    EXPECT_EQ(batcher.batchRowTarget(), 128);
+    batcher.shutdown();
+}
+
+TEST(DynamicBatcher, CoalescesConcurrentSingleRowsExactly)
+{
+    model::Forest forest = makeServableForest(29);
+    hir::Schedule schedule;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+
+    const int64_t kThreads = 8, kRequests = 50;
+    std::vector<float> rows = makeRandomRows(
+        forest.numFeatures(), kThreads * kRequests, 31);
+    std::vector<float> direct =
+        directPredictions(forest, schedule, {}, rows);
+
+    serve::BatcherOptions options;
+    options.maxBatchRows = 16;
+    options.maxQueueDelayMicros = 2000;
+    serve::DynamicBatcher batcher(session, schedule, options);
+
+    std::vector<std::thread> threads;
+    for (int64_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int64_t r = 0; r < kRequests; ++r) {
+                int64_t row = t * kRequests + r;
+                std::vector<float> prediction =
+                    batcher
+                        .submit(rows.data() +
+                                    row * forest.numFeatures(),
+                                1)
+                        .get();
+                ASSERT_EQ(prediction.size(), 1u);
+                EXPECT_EQ(prediction[0], direct[row])
+                    << "served row " << row
+                    << " differs from direct predict";
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    serve::BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.requestsAdmitted, kThreads * kRequests);
+    EXPECT_EQ(stats.singleRowRequests, kThreads * kRequests);
+    EXPECT_EQ(stats.rowsExecuted, kThreads * kRequests);
+    // Eight closed-loop clients against one flusher must coalesce at
+    // least some batches.
+    EXPECT_GT(stats.coalescedBatches, 0);
+    EXPECT_GT(stats.largestBatchRows, 1);
+    batcher.shutdown();
+}
+
+TEST(DynamicBatcher, DeadlineFlushesALoneRequest)
+{
+    model::Forest forest = makeServableForest(37);
+    hir::Schedule schedule;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+
+    serve::BatcherOptions options;
+    options.maxBatchRows = 1 << 20; // size flush unreachable
+    options.maxQueueDelayMicros = 200;
+    serve::DynamicBatcher batcher(session, schedule, options);
+
+    std::vector<float> rows = makeRandomRows(forest.numFeatures(), 1, 41);
+    std::vector<float> prediction =
+        batcher.submit(rows.data(), 1).get();
+    EXPECT_EQ(prediction.size(), 1u);
+    serve::BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.deadlineFlushes, 1);
+    EXPECT_EQ(stats.sizeFlushes, 0);
+    batcher.shutdown();
+}
+
+TEST(DynamicBatcher, AdmissionControlRejectsPastQueueCap)
+{
+    model::Forest forest = makeServableForest(43);
+    hir::Schedule schedule;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+
+    serve::BatcherOptions options;
+    options.maxBatchRows = 1 << 20;
+    options.maxQueueDelayMicros = 500000; // hold the queue
+    options.maxQueuedRows = 4;
+    serve::DynamicBatcher batcher(session, schedule, options);
+
+    std::vector<float> rows = makeRandomRows(forest.numFeatures(), 8, 47);
+    std::future<std::vector<float>> queued =
+        batcher.submit(rows.data(), 1);
+    try {
+        batcher.submit(rows.data(), 8);
+        FAIL() << "expected serve.queue.full";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrQueueFull);
+    }
+    EXPECT_EQ(batcher.stats().requestsRejected, 1);
+
+    // Shutdown drains: the admitted request still completes.
+    batcher.shutdown();
+    EXPECT_EQ(queued.get().size(), 1u);
+}
+
+TEST(DynamicBatcher, SubmitAfterShutdownThrowsStableCode)
+{
+    model::Forest forest = makeServableForest(53);
+    hir::Schedule schedule;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+    serve::DynamicBatcher batcher(session, schedule, {});
+    batcher.shutdown();
+
+    std::vector<float> rows = makeRandomRows(forest.numFeatures(), 1, 59);
+    try {
+        batcher.submit(rows.data(), 1);
+        FAIL() << "expected serve.queue.shutdown";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrQueueShutdown);
+    }
+}
+
+TEST(DynamicBatcher, BadRequestsThrowStableCode)
+{
+    model::Forest forest = makeServableForest(61);
+    hir::Schedule schedule;
+    auto session = std::make_shared<const Session>(
+        compile(forest, schedule, {}));
+    serve::DynamicBatcher batcher(session, schedule, {});
+
+    try {
+        batcher.submit(nullptr, 3);
+        FAIL() << "expected serve.queue.bad-request";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrBadRequest);
+    }
+    // Zero rows is a valid no-op, resolved without queueing.
+    EXPECT_TRUE(batcher.submit(nullptr, 0).get().empty());
+    batcher.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/**
+ * The tentpole exactness test: several tenants' models served
+ * concurrently under mixed single/small-batch traffic, every response
+ * compared bit-exact against direct Session::predict. Parameterized
+ * over both backends.
+ */
+class ServingExactness : public ::testing::TestWithParam<Backend>
+{};
+
+TEST_P(ServingExactness, MultiTenantMixedTrafficMatchesDirectPredict)
+{
+    CompilerOptions compiler;
+    compiler.backend = GetParam();
+
+    const int kModels = 3;
+    const int64_t kThreads = 6, kRequests = 40;
+    std::vector<model::Forest> forests;
+    std::vector<std::vector<float>> rows, direct;
+    hir::Schedule schedule; // defaults; quantized leaves => exact sums
+    for (int m = 0; m < kModels; ++m) {
+        forests.push_back(makeServableForest(700 + m));
+        rows.push_back(makeRandomRows(forests[m].numFeatures(),
+                                      kThreads * kRequests * 4,
+                                      900 + m));
+        direct.push_back(directPredictions(forests[m], schedule,
+                                           compiler, rows[m]));
+    }
+
+    serve::ServerOptions options;
+    options.registry.compiler = compiler;
+    options.registry.defaultSchedule = schedule;
+    options.batcher.maxBatchRows = 32;
+    options.batcher.maxQueueDelayMicros = 1000;
+    serve::Server server(options);
+    std::vector<serve::ModelHandle> handles;
+    for (const model::Forest &forest : forests)
+        handles.push_back(server.loadModel(forest));
+
+    std::vector<std::thread> threads;
+    for (int64_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int64_t r = 0; r < kRequests; ++r) {
+                // Mixed traffic: rotate tenants and request sizes
+                // (1..4 rows) per thread.
+                int m = static_cast<int>((t + r) % kModels);
+                int64_t num_rows = 1 + (t * kRequests + r) % 4;
+                int64_t start = (t * kRequests + r) % (kThreads *
+                                                       kRequests * 4 -
+                                                       num_rows);
+                int32_t features = forests[m].numFeatures();
+                std::vector<float> served = server.predict(
+                    handles[static_cast<size_t>(m)],
+                    rows[m].data() + start * features, num_rows);
+                ASSERT_EQ(served.size(),
+                          static_cast<size_t>(num_rows));
+                for (int64_t i = 0; i < num_rows; ++i) {
+                    EXPECT_EQ(served[static_cast<size_t>(i)],
+                              direct[m][static_cast<size_t>(
+                                  start + i)])
+                        << "tenant " << m << " row " << start + i
+                        << " differs from direct predict";
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.registry.compiles, kModels);
+    EXPECT_EQ(stats.residentModels, kModels);
+    EXPECT_EQ(stats.batching.requestsAdmitted, kThreads * kRequests);
+    server.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServingExactness,
+                         ::testing::Values(Backend::kKernel,
+                                           Backend::kSourceJit),
+                         [](const auto &info) {
+                             return std::string(
+                                 backendName(info.param));
+                         });
+
+TEST(Server, UnknownHandleAndShutdownCodes)
+{
+    serve::Server server;
+    std::vector<float> row(4, 0.5f);
+    try {
+        server.predict("tb-0000000000000000", row.data(), 1);
+        FAIL() << "expected serve.registry.unknown-model";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrUnknownModel);
+    }
+
+    server.shutdown();
+    try {
+        server.predict("tb-0000000000000000", row.data(), 1);
+        FAIL() << "expected serve.queue.shutdown";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrQueueShutdown);
+    }
+}
+
+TEST(Server, EvictThenReloadServesAgain)
+{
+    serve::Server server;
+    model::Forest forest = makeServableForest(71);
+    std::vector<float> rows =
+        makeRandomRows(forest.numFeatures(), 4, 73);
+
+    serve::ModelHandle handle = server.loadModel(forest);
+    std::vector<float> before = server.predict(handle, rows.data(), 4);
+
+    EXPECT_TRUE(server.evictModel(handle));
+    EXPECT_FALSE(server.evictModel(handle));
+    try {
+        server.predict(handle, rows.data(), 4);
+        FAIL() << "expected serve.registry.unknown-model";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrUnknownModel);
+    }
+
+    EXPECT_EQ(server.loadModel(forest), handle);
+    expectPredictionsExact(before,
+                           server.predict(handle, rows.data(), 4));
+    EXPECT_EQ(server.stats().registry.compiles, 2);
+}
+
+TEST(Server, RegistryCapRetiresServedModelsBatchers)
+{
+    serve::ServerOptions options;
+    options.registry.maxResidentModels = 1;
+    serve::Server server(options);
+
+    model::Forest first = makeServableForest(79);
+    model::Forest second = makeServableForest(83);
+    serve::ModelHandle a = server.loadModel(first);
+    std::vector<float> rows =
+        makeRandomRows(first.numFeatures(), 2, 89);
+    server.predict(a, rows.data(), 2);
+
+    // Loading a second model under a cap of one evicts the first and
+    // reaps its batcher: the stale handle now fails fast.
+    serve::ModelHandle b = server.loadModel(second);
+    EXPECT_NE(a, b);
+    try {
+        server.predict(a, rows.data(), 2);
+        FAIL() << "expected serve.registry.unknown-model";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrUnknownModel);
+    }
+    // The retired batcher's counters are folded into server stats.
+    EXPECT_EQ(server.stats().batching.requestsAdmitted, 1);
+    EXPECT_EQ(server.stats().registry.evictions, 1);
+}
+
+TEST(Server, WholeRowValidationThrowsBadRequest)
+{
+    serve::Server server;
+    model::Forest forest = makeServableForest(97);
+    serve::ModelHandle handle = server.loadModel(forest);
+
+    std::vector<float> ragged(
+        static_cast<size_t>(forest.numFeatures()) + 1, 0.25f);
+    try {
+        server.predict(handle, ragged);
+        FAIL() << "expected serve.queue.bad-request";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), serve::kErrBadRequest);
+    }
+}
+
+TEST(Server, SharedContentServedToTwoTenantsCompilesOnce)
+{
+    serve::Server server;
+    model::Forest forest = makeServableForest(103);
+
+    serve::ModelHandle tenant_a = server.loadModel(forest);
+    serve::ModelHandle tenant_b = server.loadModel(forest);
+    EXPECT_EQ(tenant_a, tenant_b);
+    EXPECT_EQ(server.stats().registry.compiles, 1);
+    EXPECT_EQ(server.stats().registry.hits, 1);
+    EXPECT_EQ(server.stats().residentModels, 1);
+}
+
+} // namespace

@@ -136,7 +136,7 @@ TEST(GbdtTrainer, TrainedModelCompilesAndMatchesReference)
     hir::Schedule schedule;
     schedule.tileSize = 8;
     schedule.interleaveFactor = 4;
-    InferenceSession session = compileForest(forest, schedule);
+    Session session = compile(forest, schedule);
 
     std::vector<float> reference(
         static_cast<size_t>(dataset.numRows()));

@@ -14,6 +14,7 @@
 #                          raise for a deeper soak)
 #   TREEBEARD_CI_SKIP_SANITIZE=1   skip the sanitizer smoke stage
 #   TREEBEARD_CI_SKIP_BENCH_SMOKE=1   skip the bench smoke stage
+#   TREEBEARD_CI_SKIP_SERVING_SMOKE=1   skip the serving smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,6 +68,37 @@ print(f"{name}: JSON ok ({len(text)} bytes)")
 EOF
     done
     unset TREEBEARD_BENCH_SCALE
+fi
+
+if [ "${TREEBEARD_CI_SKIP_SERVING_SMOKE:-0}" != "1" ]; then
+    # Serving smoke: one tiny closed-loop sweep through the full
+    # serving stack (registry, batcher, server) must produce a
+    # parseable BENCH_serving.json with finite latency percentiles.
+    # Throughput *ordering* (batching vs unbatched) is only meaningful
+    # at full scale, so the smoke asserts plumbing, not performance.
+    echo "=== ci: serving smoke ==="
+    SMOKE_DIR="$BUILD_DIR/bench-smoke"
+    mkdir -p "$SMOKE_DIR"
+    out="$SMOKE_DIR/bench_serving.json"
+    TREEBEARD_BENCH_SCALE=0.02 "$BUILD_DIR/bench/bench_serving" \
+        "$out" > "$SMOKE_DIR/bench_serving.csv"
+    python3 - "$out" <<'EOF'
+import json, math, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+points = doc["sweep"]
+assert points, "serving sweep is empty"
+for p in points:
+    for key in ("rows_per_sec", "p50_us", "p99_us"):
+        value = float(p[key])
+        assert math.isfinite(value) and value > 0, \
+            f"{key} not positive-finite in {p}"
+modes = {(p["model"], p["mode"]) for p in points}
+assert len({m for m, _ in modes}) >= 2, "expected >= 2 model shapes"
+assert {"batched", "unbatched"} <= {m for _, m in modes}, \
+    "expected both serving modes"
+print(f"bench_serving: JSON ok ({len(points)} sweep points)")
+EOF
 fi
 
 echo "=== ci: OK ==="

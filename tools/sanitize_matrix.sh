@@ -35,11 +35,16 @@ DEFAULT_FILTER="$DEFAULT_FILTER"'|LirVerifier|HirVerifier|MirVerifier|ModelLoadV
 # proves the pool handoff and the dataset cache race-free, the memory
 # modes watch the cached image's bounds.
 DEFAULT_FILTER="$DEFAULT_FILTER"'|ResidentDataset|SharedSessionConcurrency|ThreadPoolConcurrency|CrossBackendFuzz'
+# The serving layer: registry compile/evict races, the batcher's
+# queue/flusher handoff and the multi-tenant exactness suite — thread
+# mode proves the request path race-free, the memory modes watch the
+# coalesced batch buffers.
+DEFAULT_FILTER="$DEFAULT_FILTER"'|ModelRegistry|DynamicBatcher|Server|ServingExactness'
 FILTER="${TREEBEARD_SANITIZE_TESTS:-$DEFAULT_FILTER}"
 
 TARGETS=(codegen_test packed_layout_test backend_parity_test
          verifier_test resident_dataset_test concurrency_test
-         property_sweep_test)
+         serving_test property_sweep_test)
 
 for sanitizer in "${SANITIZERS[@]}"; do
     case "$sanitizer" in
