@@ -24,6 +24,7 @@ irLevelName(IrLevel level)
       case IrLevel::kHir: return "hir";
       case IrLevel::kMir: return "mir";
       case IrLevel::kLir: return "lir";
+      case IrLevel::kRuntime: return "runtime";
     }
     panic("unknown IR level");
 }

@@ -36,13 +36,18 @@ enum class Severity {
 
 const char *severityName(Severity severity);
 
-/** The IR abstraction level a diagnostic refers to. */
+/**
+ * The abstraction level a diagnostic refers to. kRuntime covers
+ * findings about the running system rather than any IR — today the
+ * lock-order validator's runtime.lock.* family.
+ */
 enum class IrLevel {
     kModel,
     kSchedule,
     kHir,
     kMir,
     kLir,
+    kRuntime,
 };
 
 const char *irLevelName(IrLevel level);

@@ -1,0 +1,19 @@
+#include "analysis/lock_diagnostics.h"
+
+#include "common/checked_mutex.h"
+
+namespace treebeard::analysis {
+
+DiagnosticEngine
+lockOrderReport()
+{
+    DiagnosticEngine engine;
+    engine.setPass("lock-order-validator");
+    for (const LockViolation &violation : lockViolations()) {
+        engine.error(IrLevel::kRuntime, violation.code,
+                     violation.message);
+    }
+    return engine;
+}
+
+} // namespace treebeard::analysis

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Bridges the runtime lock-order validator (common/checked_mutex.h)
+ * into the DiagnosticEngine, so concurrency findings render through
+ * the same text/JSON reporting as the IR verifiers: stable
+ * runtime.lock.* codes, `treebeard verify`-style JSON, and
+ * throwIfErrors() for callers that treat a detected lock-order
+ * violation as fatal.
+ *
+ * The validator itself lives below the diagnostics layer (the common
+ * library cannot depend on analysis), so it records plain
+ * LockViolation structs; this header is the one place that lifts
+ * them into Diagnostics at IrLevel::kRuntime.
+ */
+#ifndef TREEBEARD_ANALYSIS_LOCK_DIAGNOSTICS_H
+#define TREEBEARD_ANALYSIS_LOCK_DIAGNOSTICS_H
+
+#include "analysis/diagnostics.h"
+
+namespace treebeard::analysis {
+
+/**
+ * Snapshot the validator's recorded violations as a
+ * DiagnosticEngine: one error-severity Diagnostic per violation,
+ * code = the violation's runtime.lock.* code, level = kRuntime,
+ * pass = "lock-order-validator". Empty when no violation occurred
+ * (or checking is disabled).
+ */
+DiagnosticEngine lockOrderReport();
+
+} // namespace treebeard::analysis
+
+#endif // TREEBEARD_ANALYSIS_LOCK_DIAGNOSTICS_H

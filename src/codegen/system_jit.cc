@@ -5,15 +5,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include "common/checked_mutex.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace treebeard::codegen {
@@ -204,11 +206,16 @@ namespace {
  */
 struct JitCache
 {
-    std::mutex mutex;
+    /**
+     * A leaf in the acquisition order: compilation and dlopen/dlclose
+     * run strictly outside it (the dynamic loader has internal locks
+     * of its own that must never nest inside ours).
+     */
+    Mutex mutex{"codegen.JitCache.mutex"};
     std::unordered_map<std::string,
                        std::shared_ptr<JitModule::LoadedLibrary>>
-        entries;
-    JitCacheStats stats;
+        entries GUARDED_BY(mutex);
+    JitCacheStats stats GUARDED_BY(mutex);
 };
 
 JitCache &
@@ -243,8 +250,12 @@ compileAndLoad(const std::string &source, const JitOptions &options)
 
     library->handle =
         dlopen(library->libraryPath.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (library->handle == nullptr)
+    if (library->handle == nullptr) {
+        // glibc's dlerror() uses thread-local state, so reading the
+        // error for a dlopen on this same thread is race-free.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         fatal("dlopen failed: ", dlerror());
+    }
     return library;
 }
 
@@ -263,7 +274,7 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                       '\x1f' + options.extraFlags + '\x1f' + source;
     JitCache &cache = jitCache();
     {
-        std::lock_guard<std::mutex> lock(cache.mutex);
+        MutexLock lock(cache.mutex);
         cache.stats.lookups += 1;
         auto it = cache.entries.find(key);
         if (it != cache.entries.end()) {
@@ -284,7 +295,7 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                 "': ", ec.message());
         disk_entry = diskCacheEntryPath(options.cacheDir, key);
         {
-            std::lock_guard<std::mutex> lock(cache.mutex);
+            MutexLock lock(cache.mutex);
             cache.stats.diskLookups += 1;
         }
         std::error_code exists_ec;
@@ -304,7 +315,7 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                                     touch_ec);
                 // No workDir: the entry belongs to the cache and must
                 // outlive this process.
-                std::lock_guard<std::mutex> lock(cache.mutex);
+                MutexLock lock(cache.mutex);
                 cache.stats.diskHits += 1;
                 auto [it, inserted] = cache.entries.emplace(key, library);
                 library_ = it->second;
@@ -312,7 +323,9 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                 return;
             }
             // Corrupt/truncated/incompatible entry: recompile below
-            // and overwrite it.
+            // and overwrite it. dlerror() is thread-local in glibc,
+            // so this reports our own dlopen's failure.
+            // NOLINTNEXTLINE(concurrency-mt-unsafe)
             warn("JIT disk cache: cannot load '", disk_entry,
                  "' (", dlerror(), "); recompiling");
         }
@@ -328,7 +341,7 @@ JitModule::JitModule(const std::string &source, const JitOptions &options)
                                        options.cacheMaxBytes, disk_entry)
                : 0;
     {
-        std::lock_guard<std::mutex> lock(cache.mutex);
+        MutexLock lock(cache.mutex);
         if (stored)
             cache.stats.diskStores += 1;
         cache.stats.diskEvictions += evictions;
@@ -369,7 +382,7 @@ JitCacheStats
 jitCacheStats()
 {
     JitCache &cache = jitCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     return cache.stats;
 }
 
@@ -377,8 +390,16 @@ void
 clearJitMemoryCacheForTesting()
 {
     JitCache &cache = jitCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
-    cache.entries.clear();
+    std::unordered_map<std::string,
+                       std::shared_ptr<JitModule::LoadedLibrary>>
+        dropped;
+    {
+        MutexLock lock(cache.mutex);
+        dropped.swap(cache.entries);
+    }
+    // `dropped` destructs here, after the unlock: releasing the last
+    // reference dlclose()s the library, and the dynamic loader's
+    // internal locks must not nest inside the cache mutex.
 }
 
 bool

@@ -1,0 +1,243 @@
+#include "common/checked_mutex.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace treebeard {
+
+namespace {
+
+/**
+ * The process-wide acquisition-order graph. Nodes are mutex role
+ * names; a directed edge A -> B means "some thread acquired B while
+ * holding A". A cycle through the edge set is a potential deadlock:
+ * two threads taking the participating locks in opposing orders can
+ * block each other forever, even if this run interleaved safely.
+ *
+ * Guarded by a *raw* std::mutex on purpose — the registry must not
+ * feed its own acquisitions back into the graph.
+ */
+struct LockRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::set<std::string>> edges;
+    /** Edges already reported as cycle-closers (report once each). */
+    std::set<std::pair<std::string, std::string>> reportedCycles;
+    /** (waited, held) pairs already reported (report once each). */
+    std::set<std::pair<std::string, std::string>> reportedWaits;
+    std::vector<LockViolation> violations;
+    std::atomic<bool> enabled;
+    std::atomic<int64_t> violationCount{0};
+};
+
+bool
+defaultLockChecking()
+{
+    // Read once, before any worker threads exist (the registry is
+    // created on the first checked acquisition).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char *env = std::getenv("TREEBEARD_LOCK_CHECKS");
+    if (env != nullptr && env[0] != '\0')
+        return env[0] != '0';
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+LockRegistry &
+lockRegistry()
+{
+    // Leaked deliberately: checked mutexes are locked during static
+    // destruction (the JIT cache unloading its libraries), so the
+    // registry must outlive every other static.
+    static auto *registry = [] {
+        auto *r = new LockRegistry;
+        r->enabled.store(defaultLockChecking(),
+                         std::memory_order_relaxed);
+        return r;
+    }();
+    return *registry;
+}
+
+/** The checked mutexes the calling thread currently holds, in order. */
+thread_local std::vector<const Mutex *> t_held;
+
+/**
+ * True when @p to is reachable from @p from over the current edge
+ * set; fills @p path with the node chain from -> ... -> to.
+ * Caller holds LockRegistry::mutex.
+ */
+bool
+findPath(const LockRegistry &registry, const std::string &from,
+         const std::string &to, std::vector<std::string> &path)
+{
+    std::set<std::string> visited;
+    std::vector<std::string> stack{from};
+    std::map<std::string, std::string> parent;
+    visited.insert(from);
+    while (!stack.empty()) {
+        std::string node = stack.back();
+        stack.pop_back();
+        if (node == to) {
+            std::vector<std::string> reversed{to};
+            while (reversed.back() != from)
+                reversed.push_back(parent.at(reversed.back()));
+            path.assign(reversed.rbegin(), reversed.rend());
+            return true;
+        }
+        auto it = registry.edges.find(node);
+        if (it == registry.edges.end())
+            continue;
+        for (const std::string &next : it->second) {
+            if (visited.insert(next).second) {
+                parent.emplace(next, node);
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+/** Append a violation and log it once. Caller holds registry.mutex. */
+void
+reportViolation(LockRegistry &registry, const char *code,
+                std::string message)
+{
+    warn("lock validator [", code, "]: ", message);
+    registry.violations.push_back(LockViolation{code, std::move(message)});
+    registry.violationCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+namespace detail {
+
+bool
+lockCheckingActive()
+{
+    return lockRegistry().enabled.load(std::memory_order_relaxed);
+}
+
+void
+noteAcquired(const Mutex *mutex)
+{
+    LockRegistry &registry = lockRegistry();
+    if (!t_held.empty()) {
+        std::lock_guard<std::mutex> guard(registry.mutex);
+        std::string acquired = mutex->name();
+        for (const Mutex *held : t_held) {
+            std::string holder = held->name();
+            if (holder == acquired)
+                continue;
+            bool inserted =
+                registry.edges[holder].insert(acquired).second;
+            if (!inserted)
+                continue;
+            // A fresh edge holder -> acquired closes a cycle exactly
+            // when the reverse direction was already recorded.
+            std::vector<std::string> path;
+            if (!findPath(registry, acquired, holder, path))
+                continue;
+            if (!registry.reportedCycles.emplace(holder, acquired)
+                     .second)
+                continue;
+            std::string chain;
+            for (const std::string &node : path)
+                chain += "'" + node + "' -> ";
+            chain += "'" + acquired + "'";
+            reportViolation(
+                registry, kErrLockOrderCycle,
+                "acquiring '" + acquired + "' while holding '" +
+                    holder +
+                    "' closes an acquisition-order cycle: " + chain +
+                    "; two threads taking these locks in opposing "
+                    "orders can deadlock");
+        }
+    }
+    t_held.push_back(mutex);
+}
+
+void
+noteReleased(const Mutex *mutex)
+{
+    // Unlock order need not be LIFO; erase the most recent entry.
+    // A mutex acquired while checking was disabled is simply absent.
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (*it == mutex) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void
+noteWait(const Mutex *mutex)
+{
+    for (const Mutex *held : t_held) {
+        if (held == mutex)
+            continue;
+        LockRegistry &registry = lockRegistry();
+        std::lock_guard<std::mutex> guard(registry.mutex);
+        if (!registry.reportedWaits
+                 .emplace(mutex->name(), held->name())
+                 .second)
+            continue;
+        reportViolation(
+            registry, kErrLockHeldAcrossWait,
+            "waiting on a condition variable of '" +
+                std::string(mutex->name()) + "' while holding '" +
+                held->name() +
+                "'; the held lock stays frozen for the whole wait "
+                "and deadlocks if the notifier needs it");
+    }
+}
+
+} // namespace detail
+
+bool
+lockCheckingEnabled()
+{
+    return lockRegistry().enabled.load(std::memory_order_relaxed);
+}
+
+void
+setLockChecking(bool enabled)
+{
+    lockRegistry().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<LockViolation>
+lockViolations()
+{
+    LockRegistry &registry = lockRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    return registry.violations;
+}
+
+int64_t
+lockViolationCount()
+{
+    return lockRegistry().violationCount.load(
+        std::memory_order_relaxed);
+}
+
+void
+clearLockStateForTesting()
+{
+    LockRegistry &registry = lockRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    registry.edges.clear();
+    registry.reportedCycles.clear();
+    registry.reportedWaits.clear();
+    registry.violations.clear();
+    registry.violationCount.store(0, std::memory_order_relaxed);
+}
+
+} // namespace treebeard

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Capability-annotated mutex/condition-variable wrappers with a
+ * lockdep-lite runtime validator.
+ *
+ * Two analyses share these types, one static and one dynamic:
+ *
+ *  - Clang's Thread Safety Analysis. Mutex is a CAPABILITY and
+ *    MutexLock a SCOPED_CAPABILITY, so members declared
+ *    GUARDED_BY(mutex_) and functions annotated REQUIRES(mutex_)
+ *    are *proved* correctly locked at compile time under
+ *    -DTREEBEARD_THREAD_SAFETY=ON (clang, -Wthread-safety -Werror).
+ *    A raw std::mutex is invisible to that analysis, which is why
+ *    the concurrent core locks through these wrappers exclusively.
+ *
+ *  - A runtime lock-order validator. Every acquisition records an
+ *    edge "holding A, acquired B" in a process-wide graph keyed by
+ *    the mutex's *name* (its role, e.g. "serve.Server.mutex" — all
+ *    instances of a role are one node, so the ordering discipline is
+ *    checked across instances). A new edge that closes a cycle is a
+ *    potential deadlock and is reported once as a
+ *    runtime.lock.order-cycle violation; a condition-variable wait
+ *    entered while holding any *other* checked mutex is reported as
+ *    runtime.lock.held-across-wait (the held lock would be frozen
+ *    for the whole wait — the latch-race family of bugs). Violations
+ *    carry stable runtime.lock.* codes and surface through the
+ *    DiagnosticEngine via analysis/lock_diagnostics.h.
+ *
+ * The validator is on by default in debug builds (NDEBUG unset),
+ * off in release; TREEBEARD_LOCK_CHECKS=0/1 in the environment or
+ * setLockChecking() override the default. When off, the wrappers
+ * cost one relaxed atomic load over the raw std primitives.
+ */
+#ifndef TREEBEARD_COMMON_CHECKED_MUTEX_H
+#define TREEBEARD_COMMON_CHECKED_MUTEX_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace treebeard {
+
+class Mutex;
+
+namespace detail {
+
+/** True when the validator is recording (relaxed; hot-path gate). */
+bool lockCheckingActive();
+
+/** Record that the calling thread now holds @p mutex. */
+void noteAcquired(const Mutex *mutex);
+
+/** Record that the calling thread released @p mutex. */
+void noteReleased(const Mutex *mutex);
+
+/**
+ * Record that the calling thread is about to wait on a condition
+ * variable associated with @p mutex (held-across-wait check).
+ */
+void noteWait(const Mutex *mutex);
+
+} // namespace detail
+
+/**
+ * Stable runtime.lock.* codes carried by LockViolation::code (API:
+ * tests assert on them; never rename).
+ */
+inline constexpr const char *kErrLockOrderCycle =
+    "runtime.lock.order-cycle";
+inline constexpr const char *kErrLockHeldAcrossWait =
+    "runtime.lock.held-across-wait";
+
+/** One validator finding (rendered via analysis/lock_diagnostics.h). */
+struct LockViolation
+{
+    /** kErrLockOrderCycle or kErrLockHeldAcrossWait. */
+    std::string code;
+    /** Human-readable description including the lock names involved. */
+    std::string message;
+};
+
+/** Validator toggles and results (all thread-safe). */
+bool lockCheckingEnabled();
+void setLockChecking(bool enabled);
+std::vector<LockViolation> lockViolations();
+int64_t lockViolationCount();
+/** Drop recorded violations, edges and dedupe state (test isolation). */
+void clearLockStateForTesting();
+
+/**
+ * A std::mutex with a capability annotation and a role name.
+ *
+ * The name identifies the mutex's role in the lock-order graph;
+ * every instance of a role shares one graph node. Name new mutexes
+ * "<subsystem>.<Class>.<member>" and document their position in the
+ * acquisition order in docs/CONCURRENCY.md.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    explicit Mutex(const char *name = "anonymous") : name_(name) {}
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() ACQUIRE()
+    {
+        mutex_.lock();
+        if (detail::lockCheckingActive())
+            detail::noteAcquired(this);
+    }
+
+    void
+    unlock() RELEASE()
+    {
+        if (detail::lockCheckingActive())
+            detail::noteReleased(this);
+        mutex_.unlock();
+    }
+
+    bool
+    tryLock() TRY_ACQUIRE(true)
+    {
+        if (!mutex_.try_lock())
+            return false;
+        if (detail::lockCheckingActive())
+            detail::noteAcquired(this);
+        return true;
+    }
+
+    const char *name() const { return name_; }
+
+  private:
+    std::mutex mutex_;
+    const char *name_;
+};
+
+/**
+ * RAII lock over a Mutex (the std::unique_lock counterpart). Supports
+ * the unlock-work-relock pattern the batcher's flusher uses; the
+ * destructor releases only when currently held.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() RELEASE()
+    {
+        if (held_)
+            mutex_.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Release early (e.g. before running a coalesced batch). */
+    void
+    unlock() RELEASE()
+    {
+        mutex_.unlock();
+        held_ = false;
+    }
+
+    /** Re-acquire after an early unlock(). */
+    void
+    lock() ACQUIRE()
+    {
+        mutex_.lock();
+        held_ = true;
+    }
+
+    /** The underlying mutex (CondVar needs it to wait). */
+    Mutex &mutex() const { return mutex_; }
+
+  private:
+    Mutex &mutex_;
+    bool held_ = true;
+};
+
+/**
+ * Condition variable paired with a checked Mutex. Waiting releases
+ * and re-acquires through the Mutex wrapper, so the validator's
+ * held-set stays exact across the wait, and entering a wait while
+ * holding any other checked mutex reports
+ * runtime.lock.held-across-wait.
+ *
+ * The wait members carry no REQUIRES annotation — clang's analysis
+ * cannot express "requires the mutex inside this MutexLock" — but
+ * they demand a MutexLock by reference, so a caller cannot wait
+ * without holding. Callers re-test their predicate in a loop, as
+ * with std::condition_variable.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void
+    wait(MutexLock &lock)
+    {
+        if (detail::lockCheckingActive())
+            detail::noteWait(&lock.mutex());
+        cv_.wait(lock.mutex());
+    }
+
+    /** False when @p deadline passed without a notification. */
+    template <typename Clock, typename Duration>
+    bool
+    waitUntil(MutexLock &lock,
+              const std::chrono::time_point<Clock, Duration> &deadline)
+    {
+        if (detail::lockCheckingActive())
+            detail::noteWait(&lock.mutex());
+        return cv_.wait_until(lock.mutex(), deadline) ==
+               std::cv_status::no_timeout;
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    /** _any: waits on the annotated Mutex, not a raw std::mutex. */
+    std::condition_variable_any cv_;
+};
+
+} // namespace treebeard
+
+#endif // TREEBEARD_COMMON_CHECKED_MUTEX_H

@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shuttingDown_ = true;
     }
-    wakeWorkers_.notify_all();
+    wakeWorkers_.notifyAll();
     for (auto &worker : workers_)
         worker.join();
 }
@@ -36,10 +36,9 @@ ThreadPool::workerLoop()
     while (true) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wakeWorkers_.wait(lock, [this] {
-                return shuttingDown_ || !tasks_.empty();
-            });
+            MutexLock lock(mutex_);
+            while (!shuttingDown_ && tasks_.empty())
+                wakeWorkers_.wait(lock);
             if (shuttingDown_ && tasks_.empty())
                 return;
             task = std::move(tasks_.front());
@@ -53,10 +52,10 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         tasks_.push(std::move(task));
     }
-    wakeWorkers_.notify_one();
+    wakeWorkers_.notifyOne();
 }
 
 void
@@ -81,25 +80,29 @@ ThreadPool::parallelFor(int64_t begin, int64_t end,
     // shared ownership of the latch instead of borrowing stack state.
     struct Latch
     {
-        std::mutex mutex;
-        std::condition_variable cv;
-        int64_t remaining = 0;
+        Mutex mutex{"ThreadPool.latch"};
+        CondVar cv;
+        int64_t remaining GUARDED_BY(mutex) = 0;
     };
     auto latch = std::make_shared<Latch>();
-    latch->remaining = ceilDiv(range, chunk);
+    {
+        MutexLock lock(latch->mutex);
+        latch->remaining = ceilDiv(range, chunk);
+    }
 
     for (int64_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
         int64_t chunk_end = std::min(chunk_begin + chunk, end);
         enqueue([latch, &body, chunk_begin, chunk_end] {
             body(chunk_begin, chunk_end);
-            std::lock_guard<std::mutex> lock(latch->mutex);
+            MutexLock lock(latch->mutex);
             if (--latch->remaining == 0)
-                latch->cv.notify_one();
+                latch->cv.notifyOne();
         });
     }
 
-    std::unique_lock<std::mutex> lock(latch->mutex);
-    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+    MutexLock lock(latch->mutex);
+    while (latch->remaining != 0)
+        latch->cv.wait(lock);
 }
 
 void

@@ -8,13 +8,14 @@
 #ifndef TREEBEARD_COMMON_THREAD_POOL_H
 #define TREEBEARD_COMMON_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace treebeard {
 
@@ -55,13 +56,14 @@ class ThreadPool
 
   private:
     void workerLoop();
-    void enqueue(std::function<void()> task);
+    void enqueue(std::function<void()> task) EXCLUDES(mutex_);
 
+    /** Joined only by the destructor; immutable once constructed. */
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable wakeWorkers_;
-    bool shuttingDown_ = false;
+    Mutex mutex_{"ThreadPool.mutex"};
+    CondVar wakeWorkers_;
+    std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+    bool shuttingDown_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace treebeard

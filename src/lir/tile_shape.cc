@@ -2,9 +2,9 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <queue>
 
+#include "common/checked_mutex.h"
 #include "common/logging.h"
 
 namespace treebeard::lir {
@@ -261,12 +261,15 @@ TileShapeTable::walkShape(int32_t shape_id, uint32_t outcome_bits) const
 const TileShapeTable &
 TileShapeTable::get(int32_t tile_size)
 {
-    static std::mutex mutex;
+    // A leaf in the acquisition order: table construction is pure
+    // computation and acquires nothing else. Held briefly during
+    // first-use memoization (compilation paths, any thread).
+    static Mutex mutex{"lir.TileShapeTable.mutex"};
     static std::unique_ptr<TileShapeTable> tables[kMaxTileSize + 1];
     fatalIf(tile_size < 1 || tile_size > kMaxTileSize,
             "tile size ", tile_size, " out of supported range [1, ",
             kMaxTileSize, "]");
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (!tables[tile_size]) {
         tables[tile_size] =
             std::unique_ptr<TileShapeTable>(new TileShapeTable(tile_size));

@@ -52,7 +52,7 @@ DynamicBatcher::submit(const float *rows, int64_t num_rows)
         // Unbatched dispatch: same interface, caller's thread, no
         // queue delay — the baseline the serving bench sweeps against.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (shuttingDown_) {
                 fatalCoded(kErrQueueShutdown,
                            "predict request after batcher shutdown");
@@ -71,7 +71,7 @@ DynamicBatcher::submit(const float *rows, int64_t num_rows)
             promise.set_exception(std::current_exception());
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stats_.batchesExecuted += 1;
             stats_.rowsExecuted += num_rows;
             stats_.largestBatchRows =
@@ -92,7 +92,7 @@ DynamicBatcher::submit(const float *rows, int64_t num_rows)
         request.promise.get_future();
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (shuttingDown_) {
             fatalCoded(kErrQueueShutdown,
                        "predict request after batcher shutdown");
@@ -112,7 +112,7 @@ DynamicBatcher::submit(const float *rows, int64_t num_rows)
         queuedRows_ += num_rows;
         queue_.push_back(std::move(request));
     }
-    wakeFlusher_.notify_one();
+    wakeFlusher_.notifyOne();
     return future;
 }
 
@@ -170,6 +170,20 @@ DynamicBatcher::executeBatch(std::vector<Request> batch)
         return;
     }
 
+    // Count the batch *before* fulfilling its promises: a client
+    // that has seen its future resolve must also see the counters
+    // include that batch (the lock-discipline pass caught stats()
+    // racing ahead of this update when it ran after set_value).
+    {
+        MutexLock lock(mutex_);
+        stats_.batchesExecuted += 1;
+        stats_.rowsExecuted += batch_rows;
+        stats_.largestBatchRows =
+            std::max(stats_.largestBatchRows, batch_rows);
+        if (batch.size() > 1)
+            stats_.coalescedBatches += 1;
+    }
+
     size_t cursor = 0;
     for (Request &request : batch) {
         size_t count =
@@ -179,20 +193,12 @@ DynamicBatcher::executeBatch(std::vector<Request> batch)
             predictions.begin() + cursor + count));
         cursor += count;
     }
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.batchesExecuted += 1;
-    stats_.rowsExecuted += batch_rows;
-    stats_.largestBatchRows =
-        std::max(stats_.largestBatchRows, batch_rows);
-    if (batch.size() > 1)
-        stats_.coalescedBatches += 1;
 }
 
 void
 DynamicBatcher::flusherLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     while (true) {
         if (queue_.empty()) {
             if (shuttingDown_)
@@ -203,18 +209,14 @@ DynamicBatcher::flusherLoop()
         bool size_ready = queuedRows_ >= batchRowTarget_;
         if (!size_ready && !shuttingDown_) {
             // Wait out the oldest request's deadline; a size trigger
-            // or shutdown wakes us earlier.
+            // or shutdown notifies earlier, and the re-check at the
+            // top of the loop absorbs spurious wakeups.
             Clock::time_point deadline = queue_.front().deadline;
             if (Clock::now() < deadline) {
-                wakeFlusher_.wait_until(lock, deadline, [&] {
-                    return shuttingDown_ ||
-                           queuedRows_ >= batchRowTarget_;
-                });
+                wakeFlusher_.waitUntil(lock, deadline);
                 continue;
             }
         }
-        if (queue_.empty())
-            continue;
         if (size_ready)
             stats_.sizeFlushes += 1;
         else
@@ -236,11 +238,11 @@ DynamicBatcher::shutdown()
     // another thread) never both join the same std::thread.
     std::thread to_join;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shuttingDown_ = true;
         to_join = std::move(flusher_);
     }
-    wakeFlusher_.notify_all();
+    wakeFlusher_.notifyAll();
     if (to_join.joinable())
         to_join.join(); // the flusher drains the queue before exiting
 }
@@ -248,14 +250,14 @@ DynamicBatcher::shutdown()
 int64_t
 DynamicBatcher::queuedRows() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return queuedRows_;
 }
 
 BatcherStats
 DynamicBatcher::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

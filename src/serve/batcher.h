@@ -34,16 +34,16 @@
 #ifndef TREEBEARD_SERVE_BATCHER_H
 #define TREEBEARD_SERVE_BATCHER_H
 
-#include <condition_variable>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/serve_errors.h"
 #include "serve/stats.h"
 #include "treebeard/compiler.h"
@@ -124,22 +124,33 @@ class DynamicBatcher
     };
 
     void flusherLoop();
-    /** Pop one batch worth of requests. Caller holds mutex_. */
-    std::vector<Request> popBatchLocked();
-    /** Predict one batch and fulfill its promises. Lock-free. */
-    void executeBatch(std::vector<Request> batch);
+    /** Pop one batch worth of requests. */
+    std::vector<Request> popBatchLocked() REQUIRES(mutex_);
+    /**
+     * Predict one batch and fulfill its promises. Takes the lock
+     * only for the final stats update — the predict itself runs
+     * unlocked so submits keep flowing during a batch.
+     */
+    void executeBatch(std::vector<Request> batch) EXCLUDES(mutex_);
 
+    /** Immutable after construction; readable without the lock. */
     std::shared_ptr<const Session> session_;
     BatcherOptions options_;
     int64_t batchRowTarget_ = 0;
 
-    mutable std::mutex mutex_;
-    std::condition_variable wakeFlusher_;
-    std::deque<Request> queue_;
-    int64_t queuedRows_ = 0;
-    bool shuttingDown_ = false;
-    BatcherStats stats_;
-    std::thread flusher_;
+    /**
+     * Guards the queue, its counters and the flusher handle. A leaf
+     * in the acquisition order: executeBatch drops it before
+     * predict(), so it never nests over the thread pool's locks.
+     */
+    mutable Mutex mutex_{"serve.DynamicBatcher.mutex"};
+    CondVar wakeFlusher_;
+    std::deque<Request> queue_ GUARDED_BY(mutex_);
+    int64_t queuedRows_ GUARDED_BY(mutex_) = 0;
+    bool shuttingDown_ GUARDED_BY(mutex_) = false;
+    BatcherStats stats_ GUARDED_BY(mutex_);
+    /** Claimed (moved out) under the lock by the first shutdown(). */
+    std::thread flusher_ GUARDED_BY(mutex_);
 };
 
 } // namespace treebeard::serve

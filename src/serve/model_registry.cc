@@ -55,7 +55,7 @@ ModelRegistry::load(const model::Forest &forest,
     std::shared_future<std::shared_ptr<const Session>> compilation;
     std::promise<std::shared_ptr<const Session>> promise;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats_.loads += 1;
         auto it = models_.find(handle);
         if (it != models_.end()) {
@@ -89,7 +89,7 @@ ModelRegistry::load(const model::Forest &forest,
         promise.set_value(std::move(session));
     } catch (...) {
         promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         models_.erase(handle);
         throw;
     }
@@ -107,7 +107,7 @@ ModelRegistry::session(const ModelHandle &handle)
 {
     std::shared_future<std::shared_ptr<const Session>> compilation;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = models_.find(handle);
         if (it == models_.end()) {
             fatalCoded(kErrUnknownModel, "model handle ", handle,
@@ -123,7 +123,7 @@ ModelRegistry::session(const ModelHandle &handle)
 hir::Schedule
 ModelRegistry::schedule(const ModelHandle &handle) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = models_.find(handle);
     if (it == models_.end()) {
         fatalCoded(kErrUnknownModel, "model handle ", handle,
@@ -135,14 +135,14 @@ ModelRegistry::schedule(const ModelHandle &handle) const
 bool
 ModelRegistry::contains(const ModelHandle &handle) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return models_.count(handle) > 0;
 }
 
 bool
 ModelRegistry::evict(const ModelHandle &handle)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = models_.find(handle);
     if (it == models_.end())
         return false;
@@ -173,7 +173,7 @@ ModelRegistry::enforceCapLocked()
 std::vector<ModelHandle>
 ModelRegistry::residentHandles() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::pair<uint64_t, ModelHandle>> aged;
     aged.reserve(models_.size());
     for (const auto &[handle, entry] : models_)
@@ -190,14 +190,14 @@ ModelRegistry::residentHandles() const
 int64_t
 ModelRegistry::residentModels() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<int64_t>(models_.size());
 }
 
 RegistryStats
 ModelRegistry::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

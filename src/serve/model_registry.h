@@ -32,10 +32,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
 #include "hir/schedule.h"
 #include "model/forest.h"
 #include "serve/serve_errors.h"
@@ -143,14 +144,21 @@ class ModelRegistry
         uint64_t lastUse = 0;
     };
 
-    /** Evict LRU entries past the cap. Caller holds mutex_. */
-    void enforceCapLocked();
+    /** Evict LRU entries past the cap. */
+    void enforceCapLocked() REQUIRES(mutex_);
 
+    /** Immutable after construction; readable without the lock. */
     RegistryOptions options_;
-    mutable std::mutex mutex_;
-    std::map<ModelHandle, Entry> models_;
-    uint64_t clock_ = 0;
-    RegistryStats stats_;
+    /**
+     * Guards the resident map and its counters. A leaf in the
+     * acquisition order: nothing else is ever acquired under it —
+     * compilation (the JIT cache, tile-shape tables, the thread
+     * pool) runs strictly outside this lock.
+     */
+    mutable Mutex mutex_{"serve.ModelRegistry.mutex"};
+    std::map<ModelHandle, Entry> models_ GUARDED_BY(mutex_);
+    uint64_t clock_ GUARDED_BY(mutex_) = 0;
+    RegistryStats stats_ GUARDED_BY(mutex_);
 };
 
 } // namespace treebeard::serve

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <set>
 #include <utility>
 
 namespace treebeard::serve {
@@ -18,7 +19,7 @@ Server::loadModel(const model::Forest &forest,
                   const hir::Schedule &schedule)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (shuttingDown_) {
             fatalCoded(kErrQueueShutdown,
                        "loadModel after server shutdown");
@@ -28,22 +29,28 @@ Server::loadModel(const model::Forest &forest,
     // attach a batcher if this content is newly resident.
     ModelHandle handle = registry_.load(forest, schedule);
     std::shared_ptr<const Session> session = registry_.session(handle);
+    // The registry's LRU cap may have evicted other models to make
+    // room; retire their batchers so a stale handle fails with
+    // serve.registry.unknown-model instead of serving a session the
+    // registry already dropped. Residency is snapshotted *before*
+    // taking the server lock — the lock discipline forbids acquiring
+    // the registry's mutex under it (see the mutex_ declaration).
+    std::vector<ModelHandle> resident_list =
+        registry_.residentHandles();
+    std::set<ModelHandle> resident(resident_list.begin(),
+                                   resident_list.end());
     std::vector<std::shared_ptr<DynamicBatcher>> stale;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (batchers_.count(handle) == 0) {
             batchers_.emplace(
                 handle, std::make_shared<DynamicBatcher>(
                             std::move(session), schedule,
                             options_.batcher));
         }
-        // The registry's LRU cap may have evicted other models to
-        // make room; retire their batchers so a stale handle fails
-        // with serve.registry.unknown-model instead of serving a
-        // session the registry already dropped.
         for (auto it = batchers_.begin(); it != batchers_.end();) {
             if (it->first != handle &&
-                !registry_.contains(it->first)) {
+                resident.count(it->first) == 0) {
                 stale.push_back(std::move(it->second));
                 it = batchers_.erase(it);
             } else {
@@ -53,8 +60,11 @@ Server::loadModel(const model::Forest &forest,
     }
     for (const std::shared_ptr<DynamicBatcher> &batcher : stale) {
         batcher->shutdown(); // drains outside the server lock
-        std::lock_guard<std::mutex> lock(mutex_);
-        retiredBatching_.add(batcher->stats());
+        // Snapshot under the batcher's own lock only, then fold in
+        // under the server lock — never both at once.
+        BatcherStats stats = batcher->stats();
+        MutexLock lock(mutex_);
+        retiredBatching_.add(stats);
     }
     return handle;
 }
@@ -68,7 +78,7 @@ Server::loadModel(const model::Forest &forest)
 std::shared_ptr<DynamicBatcher>
 Server::batcher(const ModelHandle &handle) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = batchers_.find(handle);
     if (it == batchers_.end()) {
         fatalCoded(kErrUnknownModel, "model handle ", handle,
@@ -82,7 +92,7 @@ Server::predictAsync(const ModelHandle &handle, const float *rows,
                      int64_t num_rows)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (shuttingDown_) {
             fatalCoded(kErrQueueShutdown,
                        "predict request after server shutdown");
@@ -121,7 +131,7 @@ Server::evictModel(const ModelHandle &handle)
 {
     std::shared_ptr<DynamicBatcher> victim;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = batchers_.find(handle);
         if (it != batchers_.end()) {
             victim = std::move(it->second);
@@ -130,10 +140,12 @@ Server::evictModel(const ModelHandle &handle)
     }
     bool was_resident = registry_.evict(handle);
     if (victim != nullptr) {
-        // Outside the server lock: draining may run queued batches.
+        // Outside the server lock: draining may run queued batches,
+        // and stats() takes the batcher's own lock.
         victim->shutdown();
-        std::lock_guard<std::mutex> lock(mutex_);
-        retiredBatching_.add(victim->stats());
+        BatcherStats stats = victim->stats();
+        MutexLock lock(mutex_);
+        retiredBatching_.add(stats);
         was_resident = true;
     }
     return was_resident;
@@ -144,7 +156,7 @@ Server::shutdown()
 {
     std::map<ModelHandle, std::shared_ptr<DynamicBatcher>> batchers;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (shuttingDown_)
             return;
         shuttingDown_ = true;
@@ -152,8 +164,9 @@ Server::shutdown()
     }
     for (auto &[handle, batcher] : batchers) {
         batcher->shutdown();
-        std::lock_guard<std::mutex> lock(mutex_);
-        retiredBatching_.add(batcher->stats());
+        BatcherStats stats = batcher->stats();
+        MutexLock lock(mutex_);
+        retiredBatching_.add(stats);
     }
 }
 
@@ -181,9 +194,18 @@ Server::stats() const
     ServerStats stats;
     stats.registry = registry_.stats();
     stats.residentModels = registry_.residentModels();
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats.batching = retiredBatching_;
-    for (const auto &[handle, batcher] : batchers_)
+    // Snapshot the live batchers under the server lock, then query
+    // each one's counters under its own lock only — the per-batcher
+    // locks must never nest inside the server's.
+    std::vector<std::shared_ptr<DynamicBatcher>> live;
+    {
+        MutexLock lock(mutex_);
+        stats.batching = retiredBatching_;
+        live.reserve(batchers_.size());
+        for (const auto &[handle, batcher] : batchers_)
+            live.push_back(batcher);
+    }
+    for (const std::shared_ptr<DynamicBatcher> &batcher : live)
         stats.batching.add(batcher->stats());
     return stats;
 }

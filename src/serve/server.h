@@ -29,10 +29,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/serve_errors.h"
@@ -125,20 +126,31 @@ class Server
   private:
     /** The batcher serving @p handle; throws kErrUnknownModel. */
     std::shared_ptr<DynamicBatcher> batcher(
-        const ModelHandle &handle) const;
+        const ModelHandle &handle) const EXCLUDES(mutex_);
 
+    /** Immutable after construction; readable without the lock. */
     ServerOptions options_;
+    /** Locks itself; never touched under mutex_ (see below). */
     ModelRegistry registry_;
-    mutable std::mutex mutex_;
+    /**
+     * Guards the batcher map and the retired counters. Discipline:
+     * nothing else — not the registry's mutex, not any batcher's —
+     * is acquired while this is held; registry queries and batcher
+     * stats()/shutdown() calls happen before taking it or after
+     * releasing it. That keeps every serving mutex a leaf and the
+     * acquisition-order graph cycle-free by construction.
+     */
+    mutable Mutex mutex_{"serve.Server.mutex"};
     /**
      * One batcher per resident model. shared_ptr so predictAsync can
      * release the server lock before submitting — a long batch on
      * one model must not block requests routed to another.
      */
-    std::map<ModelHandle, std::shared_ptr<DynamicBatcher>> batchers_;
+    std::map<ModelHandle, std::shared_ptr<DynamicBatcher>> batchers_
+        GUARDED_BY(mutex_);
     /** Counters of already-evicted batchers, folded into stats(). */
-    BatcherStats retiredBatching_;
-    bool shuttingDown_ = false;
+    BatcherStats retiredBatching_ GUARDED_BY(mutex_);
+    bool shuttingDown_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace treebeard::serve

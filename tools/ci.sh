@@ -12,6 +12,7 @@
 # Knobs (environment):
 #   TREEBEARD_FUZZ_SEEDS   cross-backend fuzz iterations (default 6;
 #                          raise for a deeper soak)
+#   TREEBEARD_CI_SKIP_THREAD_SAFETY=1   skip the thread-safety stage
 #   TREEBEARD_CI_SKIP_SANITIZE=1   skip the sanitizer smoke stage
 #   TREEBEARD_CI_SKIP_BENCH_SMOKE=1   skip the bench smoke stage
 #   TREEBEARD_CI_SKIP_SERVING_SMOKE=1   skip the serving smoke stage
@@ -27,6 +28,24 @@ cmake --build "$BUILD_DIR" -j
 
 echo "=== ci: full test suite ==="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "${TREEBEARD_CI_SKIP_THREAD_SAFETY:-0}" != "1" ]; then
+    # Clang Thread Safety Analysis over the whole tree: the
+    # GUARDED_BY/REQUIRES annotations in the concurrent core only mean
+    # something under clang, so this stage is skipped (loudly) on
+    # hosts without one — the runtime lock-order validator in
+    # lock_order_test still gates the same discipline everywhere.
+    if command -v clang++ > /dev/null 2>&1; then
+        echo "=== ci: thread-safety analysis (build-tsa) ==="
+        cmake -B build-tsa -S . \
+            -DCMAKE_CXX_COMPILER=clang++ \
+            -DCMAKE_BUILD_TYPE=Release \
+            -DTREEBEARD_THREAD_SAFETY=ON
+        cmake --build build-tsa -j
+    else
+        echo "=== ci: thread-safety analysis skipped (no clang++) ==="
+    fi
+fi
 
 if [ "${TREEBEARD_CI_SKIP_SANITIZE:-0}" != "1" ]; then
     # Smoke, not soak: one seed of the fuzz sweep is enough to drag

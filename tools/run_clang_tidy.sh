@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Run clang-tidy (checks come from the repo-root .clang-tidy: the
-# bugprone-* and performance-* families) over the library and tool
-# sources, using a compile_commands.json exported from a dedicated
-# build tree.
+# bugprone-*, concurrency-* and performance-* families) over the
+# library and tool sources, using a compile_commands.json exported
+# from a dedicated build tree.
 #
 # Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-args...]
 #   build-dir defaults to build-tidy. Extra arguments are forwarded to

@@ -40,11 +40,16 @@ DEFAULT_FILTER="$DEFAULT_FILTER"'|ResidentDataset|SharedSessionConcurrency|Threa
 # mode proves the request path race-free, the memory modes watch the
 # coalesced batch buffers.
 DEFAULT_FILTER="$DEFAULT_FILTER"'|ModelRegistry|DynamicBatcher|Server|ServingExactness'
+# The lock-order validator suite: the injected-cycle tests prove the
+# detector fires, and the registry-evict-while-batcher-flush stress is
+# written for thread mode — TSan watches the reap path while the
+# runtime validator asserts no runtime.lock.* diagnostic fires.
+DEFAULT_FILTER="$DEFAULT_FILTER"'|LockOrder'
 FILTER="${TREEBEARD_SANITIZE_TESTS:-$DEFAULT_FILTER}"
 
 TARGETS=(codegen_test packed_layout_test backend_parity_test
          verifier_test resident_dataset_test concurrency_test
-         serving_test property_sweep_test)
+         serving_test lock_order_test property_sweep_test)
 
 for sanitizer in "${SANITIZERS[@]}"; do
     case "$sanitizer" in
