@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hot-path selection: the high-level IR side of selective branchless
+ * emission. Using the same reach probabilities that drive
+ * probability-based tiling (Section III-C), select the minimal
+ * connected root subtree of a tiled tree whose leaves absorb a
+ * schedule-controlled fraction of training hits, and flatten it into a
+ * layout-independent straight-line program. Both backends lower the
+ * program — the source JIT to nested immediate-operand ternaries, the
+ * kernel runtime to an interpreted prelude — and fall through to the
+ * tiled walkers at the region's exit edges, so predictions stay
+ * bit-identical to the plain walk.
+ */
+#ifndef TREEBEARD_HIR_HOT_PATH_H
+#define TREEBEARD_HIR_HOT_PATH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hir/tiled_tree.h"
+
+namespace treebeard::hir {
+
+/**
+ * Upper bound on base-tree nodes one tree's hot path may hold. Keeps
+ * the emitted straight-line block register-resident (and the nested
+ * conditional expression within any compiler's bracket limits); the
+ * greedy selection stops growing the region when the next tile would
+ * cross it, so very deep trees get a truncated-but-valid region even
+ * at coverage 1.
+ */
+constexpr int32_t kHotPathNodeBudget = 512;
+
+/**
+ * One tree's flattened hot region.
+ *
+ * Nodes are stored in preorder: node 0 is the base tree's root and
+ * every child reference points strictly forward, so the program is a
+ * connected root subtree by construction (the hir.hotpath.* verifier
+ * re-checks this on the lowered form). A child reference r >= 0 names
+ * the next node; r < 0 names outcome -(r + 1). Outcomes either carry a
+ * resolved leaf value or the tile the cold tiled walk resumes from.
+ */
+struct HotPathProgram
+{
+    struct Node
+    {
+        /** Base-tree node evaluated here (internal node). */
+        model::NodeIndex node = model::kInvalidNode;
+        /** Child references (see above). */
+        int32_t left = 0;
+        int32_t right = 0;
+    };
+
+    struct Outcome
+    {
+        /** True when the region resolved all the way to a leaf. */
+        bool isLeaf = false;
+        /** Prediction value when isLeaf. */
+        float leafValue = 0.0f;
+        /** Tile the cold walk enters when !isLeaf. */
+        TileId exitTile = kNoTile;
+        /** Reach probability mass of this outcome (sums to 1). */
+        double probability = 0.0;
+    };
+
+    std::vector<Node> nodes;
+    std::vector<Outcome> outcomes;
+    /** Probability mass resolved in-region (leaf outcomes). */
+    double hotCoverage = 0.0;
+    /** True when the tree had no hit statistics (depth-based pick). */
+    bool depthFallback = false;
+
+    bool empty() const { return nodes.empty() && outcomes.empty(); }
+};
+
+/**
+ * Reach probability of every tile: a real tile carries its root base
+ * node's probability (leaf tiles the leaf's), a dummy internal tile
+ * inherits its deterministic continuation's, and dummy-leaf fillers —
+ * unreachable by construction — carry 0. The root tile carries 1.
+ */
+std::vector<double> tileReachProbabilities(const TiledTree &tiled);
+
+/**
+ * Select and flatten the hot region of @p tiled covering at least
+ * @p coverage probability mass (subject to @p node_budget). Returns an
+ * empty program when coverage is 0 or the tree has no usable region.
+ * Trees without recorded hit statistics fall back to shallowest-first
+ * selection under uniform leaf probabilities (depthFallback is set so
+ * callers can diagnose it).
+ */
+HotPathProgram buildHotPathProgram(const TiledTree &tiled,
+                                   double coverage,
+                                   int32_t node_budget =
+                                       kHotPathNodeBudget);
+
+} // namespace treebeard::hir
+
+#endif // TREEBEARD_HIR_HOT_PATH_H

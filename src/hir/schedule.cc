@@ -89,6 +89,10 @@ Schedule::verifyInto(analysis::DiagnosticEngine &diag) const
         diag.error(IrLevel::kSchedule, "schedule.pad-slack.range",
                    "padDepthSlack must be non-negative");
     }
+    if (!(hotPathCoverage >= 0.0 && hotPathCoverage <= 1.0)) {
+        diag.error(IrLevel::kSchedule, "hir.schedule.hot-path.range",
+                   "hotPathCoverage must be in [0, 1] (0 = off)");
+    }
 }
 
 void
@@ -151,6 +155,7 @@ scheduleToJsonString(const Schedule &schedule)
         JsonValue(static_cast<int64_t>(schedule.rowChunkRows));
     object["assume_no_missing"] =
         JsonValue(schedule.assumeNoMissingValues);
+    object["hot_path_coverage"] = JsonValue(schedule.hotPathCoverage);
     return JsonValue(std::move(object)).dump();
 }
 
@@ -209,6 +214,9 @@ scheduleFromJsonString(const std::string &text)
                 "row-parallel"
             ? TraversalKind::kRowParallel
             : TraversalKind::kNodeParallel;
+    JsonValue default_off(0.0);
+    schedule.hotPathCoverage =
+        document.getOr("hot_path_coverage", default_off).asNumber();
     schedule.validate();
     return schedule;
 }
@@ -230,6 +238,8 @@ Schedule::toString() const
        << " threads=" << numThreads;
     if (rowChunkRows > 0)
         os << " chunk=" << rowChunkRows;
+    if (hotPathCoverage > 0.0)
+        os << " hot=" << hotPathCoverage;
     return os.str();
 }
 

@@ -141,7 +141,8 @@ tileWithSelector(const DecisionTree &tree, int32_t tile_size,
     return TiledTree(tree, tile_size, std::move(tiles));
 }
 
-/** Per-node reach probabilities (internal nodes included). */
+} // namespace
+
 std::vector<double>
 nodeProbabilities(const DecisionTree &tree)
 {
@@ -164,8 +165,6 @@ nodeProbabilities(const DecisionTree &tree)
     accumulate(accumulate, tree.root());
     return probability;
 }
-
-} // namespace
 
 TiledTree
 basicTiling(const DecisionTree &tree, int32_t tile_size)

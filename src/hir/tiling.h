@@ -50,6 +50,14 @@ struct TilingOptions
 };
 
 /**
+ * Per-node reach probabilities of @p tree (internal nodes included):
+ * leaf entries come from leafProbabilities(), internal entries are the
+ * post-order sums of their subtrees, so the root carries 1. Shared by
+ * probability-based tiling and hot-path selection.
+ */
+std::vector<double> nodeProbabilities(const model::DecisionTree &tree);
+
+/**
  * Tile @p tree with Algorithm 2 (basic, level-order traversal tiles).
  * The returned tiling is valid per Section III-B1.
  */

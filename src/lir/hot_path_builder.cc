@@ -1,0 +1,104 @@
+#include "lir/hot_path_builder.h"
+
+#include <utility>
+
+#include "analysis/diagnostics.h"
+#include "common/logging.h"
+#include "hir/hot_path.h"
+
+namespace treebeard::lir {
+
+void
+buildHotPaths(const hir::HirModule &module, ForestBuffers &fb,
+              analysis::DiagnosticEngine *diag)
+{
+    double coverage = module.schedule().hotPathCoverage;
+    if (coverage <= 0.0) {
+        fb.tileGlobalIndex.clear();
+        return;
+    }
+    panicIf(fb.tileGlobalIndex.size() !=
+                static_cast<size_t>(fb.numTrees),
+            "hot-path lowering requires the layout's tile index map");
+
+    bool quantized = fb.layout == LayoutKind::kPackedQuantized;
+    fb.hotPaths.assign(static_cast<size_t>(fb.numTrees), TreeHotPath{});
+    for (int64_t pos = 0; pos < fb.numTrees; ++pos) {
+        const hir::TiledTree &tiled = module.tiledTree(
+            module.treeOrder()[static_cast<size_t>(pos)]);
+        hir::HotPathProgram program =
+            hir::buildHotPathProgram(tiled, coverage);
+        if (program.empty())
+            continue;
+        if (program.depthFallback && diag != nullptr) {
+            diag->report(analysis::Severity::kNote,
+                         analysis::IrLevel::kHir, "hir.hotpath.no-stats",
+                         "tree has no recorded hit statistics; hot-path "
+                         "selection fell back to depth-based (uniform) "
+                         "coverage")
+                .atTree(pos);
+        }
+        // A region with no comparisons that immediately exits cold is
+        // pure dispatch overhead over the plain walk: drop it.
+        if (program.nodes.empty() && program.outcomes.size() == 1 &&
+            !program.outcomes[0].isLeaf) {
+            continue;
+        }
+
+        const std::vector<int64_t> &tile_global =
+            fb.tileGlobalIndex[static_cast<size_t>(pos)];
+        const model::DecisionTree &tree = tiled.baseTree();
+        TreeHotPath &hot = fb.hotPaths[static_cast<size_t>(pos)];
+        hot.hotCoverage = program.hotCoverage;
+        hot.depthFallback = program.depthFallback;
+        hot.nodes.reserve(program.nodes.size());
+        for (const hir::HotPathProgram::Node &node : program.nodes) {
+            const model::Node &base = tree.node(node.node);
+            HotPathNode lowered;
+            lowered.threshold = base.threshold;
+            lowered.feature = base.featureIndex;
+            lowered.defaultLeft = base.defaultLeft ? 1 : 0;
+            lowered.left = node.left;
+            lowered.right = node.right;
+            if (quantized) {
+                // The exact rounding the tile records use, so the hot
+                // compare agrees with the cold walker at every node.
+                lowered.qthreshold = fb.quantization.quantizeValue(
+                    base.threshold, base.featureIndex);
+            }
+            hot.nodes.push_back(lowered);
+        }
+        hot.outcomes.reserve(program.outcomes.size());
+        for (const hir::HotPathProgram::Outcome &outcome :
+             program.outcomes) {
+            HotPathOutcome lowered;
+            lowered.probability = outcome.probability;
+            if (outcome.isLeaf) {
+                lowered.leafValue = outcome.leafValue;
+                lowered.coldEntryTile = -1;
+            } else {
+                int64_t global = tile_global[static_cast<size_t>(
+                    outcome.exitTile)];
+                panicIf(global < 0,
+                        "hot-path exit tile was never materialized");
+                lowered.coldEntryTile = global;
+            }
+            hot.outcomes.push_back(lowered);
+        }
+    }
+    // When no tree kept a region, drop the axis entirely so both
+    // backends run their plain dispatch.
+    bool any = false;
+    for (const TreeHotPath &hot : fb.hotPaths) {
+        if (!hot.empty()) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        fb.hotPaths.clear();
+    fb.tileGlobalIndex.clear();
+    fb.tileGlobalIndex.shrink_to_fit();
+}
+
+} // namespace treebeard::lir

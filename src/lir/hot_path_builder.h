@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hot-path lowering: maps each tree's flattened HIR hot region (see
+ * hir/hot_path.h) onto the built layout — thresholds, feature indices
+ * and default directions copied out as immediates, quantized-domain
+ * thresholds for the packed-quantized layout, and exit edges resolved
+ * to global tile indices the cold walkers can enter. Runs after the
+ * layout builder (it consumes ForestBuffers::tileGlobalIndex) and
+ * before either backend is constructed.
+ */
+#ifndef TREEBEARD_LIR_HOT_PATH_BUILDER_H
+#define TREEBEARD_LIR_HOT_PATH_BUILDER_H
+
+#include "hir/hir_module.h"
+#include "lir/forest_buffers.h"
+
+namespace treebeard::analysis {
+class DiagnosticEngine;
+} // namespace treebeard::analysis
+
+namespace treebeard::lir {
+
+/**
+ * Populate @p fb.hotPaths from @p module when the schedule requests a
+ * hot path (no-op otherwise). Trees whose selection degenerates to a
+ * single cold exit at the root keep an empty hot path (the plain walk
+ * is strictly better). When @p diag is non-null, trees selected
+ * without hit statistics report a "hir.hotpath.no-stats" note.
+ * Consumes and clears fb.tileGlobalIndex.
+ */
+void buildHotPaths(const hir::HirModule &module, ForestBuffers &fb,
+                   analysis::DiagnosticEngine *diag = nullptr);
+
+} // namespace treebeard::lir
+
+#endif // TREEBEARD_LIR_HOT_PATH_BUILDER_H

@@ -73,8 +73,17 @@ class DecisionTree
     NodeIndex predictLeaf(const float *row) const;
 
     /**
-     * Probability of reaching each leaf, derived from hit counts. When
-     * no hit counts were recorded, returns a uniform distribution.
+     * Probability of reaching each leaf, derived from hit counts.
+     *
+     * Guarantee: when no hit counts were recorded (all hitCount fields
+     * are <= 0), the result is the deterministic uniform distribution
+     * 1/numLeaves for every leaf — never NaN, never zeros — so
+     * downstream consumers (probability tiling, hot-path selection)
+     * can rely on a well-formed distribution without re-checking the
+     * statistics. Hot-path selection additionally detects this case
+     * and switches to its depth-based fallback, reported as
+     * hir.hotpath.no-stats.
+     *
      * @return pairs are implicit: result[i] corresponds to
      *         leafIndices()[i]; entries sum to 1 for non-empty trees.
      */

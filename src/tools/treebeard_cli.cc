@@ -22,6 +22,8 @@
  *   --traversal node|row (SIMD shape: node-parallel tile evaluation
  *     vs row-parallel lane groups walking 8 rows in lockstep)
  *   --tiling basic|probability|hybrid|min-max-depth
+ *   --hot-path F (fraction of training hits the per-tree branchless
+ *     hot path must cover; 0 = off)
  *   --no-unroll --no-peel --no-pipeline --verify-each
  *
  * bench additionally takes --resident: bind the batch once as a
@@ -34,6 +36,8 @@
  *
  * Tune flags: --backend kernel|jit|both --jit-cache-dir DIR
  *   --jit-cache-max-bytes N
+ *   --db PATH (append this run — model features, every timed point,
+ *     the chosen schedule — as one JSON line to a tuning database)
  *
  * serve starts the in-process multi-tenant serving layer (model
  * registry + dynamic batcher, src/serve) on the model and drives it
@@ -160,6 +164,8 @@ parseSchedule(const std::vector<std::string> &args, bool *dump_ir,
             else
                 fatal("--packed-precision must be f32 or i16 (got \"",
                       value, "\")");
+        } else if (arg == "--hot-path") {
+            schedule.hotPathCoverage = std::stod(next());
         } else if (arg == "--no-unroll") {
             schedule.padAndUnrollWalks = false;
         } else if (arg == "--no-peel") {
@@ -619,6 +625,7 @@ commandTune(const std::string &path, int64_t sample_rows,
 {
     tuner::TunerOptions options;
     options.repetitions = 2;
+    std::string db_path;
     for (size_t i = 0; i < flags.size(); ++i) {
         const std::string &arg = flags[i];
         auto next = [&]() -> const std::string & {
@@ -642,6 +649,8 @@ commandTune(const std::string &path, int64_t sample_rows,
             options.jitCacheDir = next();
         } else if (arg == "--jit-cache-max-bytes") {
             options.jitCacheMaxBytes = std::stoll(next());
+        } else if (arg == "--db") {
+            db_path = next();
         } else {
             fatal("unknown flag '", arg, "'");
         }
@@ -667,6 +676,11 @@ commandTune(const std::string &path, int64_t sample_rows,
                 backendName(result.best.backend),
                 result.best.seconds * 1e6 /
                     static_cast<double>(sample_rows));
+    if (!db_path.empty()) {
+        tuner::appendTuningRecord(db_path, forest, result);
+        std::printf("appended tuning record to %s\n",
+                    db_path.c_str());
+    }
     return 0;
 }
 

@@ -1,10 +1,14 @@
 #include "tuner/auto_tuner.h"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
+#include <utility>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "model/model_stats.h"
 #include "treebeard/compiler.h"
 
 namespace treebeard::tuner {
@@ -54,6 +58,10 @@ enumerateSchedules(const TunerOptions &options)
                                         : std::vector<int32_t>{0};
                                 if (chunks.empty())
                                     chunks.push_back(0);
+                                std::vector<double> hots =
+                                    options.hotPathCoverages;
+                                if (hots.empty())
+                                    hots.push_back(0.0);
                                 for (hir::PackedPrecision precision :
                                      precisions) {
                                     for (int32_t chunk : chunks) {
@@ -73,7 +81,29 @@ enumerateSchedules(const TunerOptions &options)
                                         schedule.numThreads =
                                             options.numThreads;
                                         schedule.rowChunkRows = chunk;
-                                        schedules.push_back(schedule);
+                                        for (double hot : hots) {
+                                            // Hot emission forces
+                                            // tree-major order and
+                                            // subsumes interleaving:
+                                            // nonzero coverages take
+                                            // one representative point
+                                            // instead of duplicating
+                                            // timings across those
+                                            // axes.
+                                            if (hot > 0.0 &&
+                                                (order !=
+                                                     options.loopOrders
+                                                         .front() ||
+                                                 interleave !=
+                                                     options
+                                                         .interleaveFactors
+                                                         .front()))
+                                                continue;
+                                            schedule.hotPathCoverage =
+                                                hot;
+                                            schedules.push_back(
+                                                schedule);
+                                        }
                                     }
                                 }
                             }
@@ -87,7 +117,9 @@ enumerateSchedules(const TunerOptions &options)
     // are 8 scalar walks in lockstep; larger tiles already spend the
     // vector width inside the node), always tree-major, interleave
     // ignored — so the sub-grid is tiling x unroll x layout/precision
-    // x chunk.
+    // x chunk. Hot-path coverage stays 0 here: hot emission replaces
+    // the lane-group inner loop, so a nonzero coverage would just
+    // duplicate the node-parallel hot points.
     bool row_parallel =
         std::find(options.traversals.begin(), options.traversals.end(),
                   hir::TraversalKind::kRowParallel) !=
@@ -206,6 +238,60 @@ exploreSchedules(const model::Forest &forest, const float *rows,
                   return a.seconds < b.seconds;
               });
     return result;
+}
+
+namespace {
+
+JsonValue
+pointToJson(const TunedPoint &point)
+{
+    JsonValue::Object object;
+    object["schedule"] =
+        JsonValue::parse(hir::scheduleToJsonString(point.schedule));
+    object["backend"] = JsonValue(backendName(point.backend));
+    object["seconds"] = JsonValue(point.seconds);
+    object["compile_seconds"] = JsonValue(point.compileSeconds);
+    return JsonValue(std::move(object));
+}
+
+} // namespace
+
+void
+appendTuningRecord(const std::string &path,
+                   const model::Forest &forest,
+                   const TunerResult &result)
+{
+    model::ForestStats stats = model::computeForestStats(forest);
+    JsonValue::Object model_features;
+    model_features["num_features"] =
+        JsonValue(static_cast<int64_t>(stats.numFeatures));
+    model_features["num_trees"] = JsonValue(stats.numTrees);
+    model_features["max_depth"] =
+        JsonValue(static_cast<int64_t>(stats.maxDepth));
+    model_features["total_nodes"] = JsonValue(stats.totalNodes);
+    model_features["total_leaves"] = JsonValue(stats.totalLeaves);
+    model_features["leaf_biased_trees"] =
+        JsonValue(stats.leafBiasedTrees);
+    model_features["average_leaf_depth"] =
+        JsonValue(stats.averageLeafDepth);
+    model_features["objective"] =
+        JsonValue(model::objectiveName(forest.objective()));
+
+    JsonValue::Array points;
+    points.reserve(result.all.size());
+    for (const TunedPoint &point : result.all)
+        points.push_back(pointToJson(point));
+
+    JsonValue::Object record;
+    record["model"] = JsonValue(std::move(model_features));
+    record["points"] = JsonValue(std::move(points));
+    record["best"] = pointToJson(result.best);
+
+    std::ofstream out(path, std::ios::app);
+    fatalIf(!out, "cannot open tuning database ", path,
+            " for appending");
+    out << JsonValue(std::move(record)).dump() << "\n";
+    fatalIf(!out, "failed to append tuning record to ", path);
 }
 
 } // namespace treebeard::tuner

@@ -61,6 +61,16 @@ struct TunerOptions
     std::vector<hir::TraversalKind> traversals{
         hir::TraversalKind::kNodeParallel,
         hir::TraversalKind::kRowParallel};
+    /**
+     * Hot-path coverages (Schedule::hotPathCoverage) to explore. 0 is
+     * the plain tiled walk; nonzero values compile each tree's
+     * high-probability root subtree to straight-line code. Because hot
+     * emission forces tree-major execution and subsumes interleaving,
+     * nonzero coverages are enumerated against one representative
+     * (first) loop order and interleave factor instead of the full
+     * cross, and row-parallel points keep coverage 0.
+     */
+    std::vector<double> hotPathCoverages{0.0, 0.5, 0.8, 0.95};
     int32_t numThreads = 1;
     /**
      * Row-chunk sizes (Schedule::rowChunkRows) to explore. Only swept
@@ -116,6 +126,18 @@ std::vector<hir::Schedule> enumerateSchedules(const TunerOptions &options);
 TunerResult exploreSchedules(const model::Forest &forest,
                              const float *rows, int64_t num_rows,
                              const TunerOptions &options = {});
+
+/**
+ * Append one JSON-lines record of a tuning run to the database at
+ * @p path (created when absent): the model's structural features,
+ * every timed point (full schedule JSON, backend, measured and compile
+ * seconds) and the chosen best point. One line per call, so runs
+ * accumulate into a grep/stream-friendly corpus for offline schedule
+ * prediction.
+ */
+void appendTuningRecord(const std::string &path,
+                        const model::Forest &forest,
+                        const TunerResult &result);
 
 } // namespace treebeard::tuner
 

@@ -177,6 +177,55 @@ TEST(Cli, TraversalFlagSelectsRowParallel)
     EXPECT_NE(output.find("row-chunk"), std::string::npos);
 }
 
+TEST(Cli, HotPathFlagCompilesAndValidates)
+{
+    std::string model = tempPath("cli_model4d.json");
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 5", output), 0);
+    ASSERT_EQ(runCli("compile " + model + " --tile 1 --hot-path 0.8 "
+                                          "--verify-each",
+                     output),
+              0)
+        << output;
+    // The schedule echo carries the coverage tag.
+    EXPECT_NE(output.find("hot=0.8"), std::string::npos);
+    ASSERT_EQ(runCli("bench " + model + " 64 --tile 1 --hot-path 0.8",
+                     output),
+              0)
+        << output;
+    EXPECT_NE(output.find("us/row"), std::string::npos);
+
+    // Out-of-range coverage fails at flag-parse time with the
+    // schedule diagnostic.
+    EXPECT_EQ(runCli("compile " + model + " --hot-path 1.5", output),
+              1);
+    EXPECT_NE(output.find("hot-path"), std::string::npos);
+}
+
+TEST(Cli, TuneDbAppendsJsonLines)
+{
+    std::string model = tempPath("cli_model4e.json");
+    std::string db = tempPath("cli_tune_db.jsonl");
+    std::remove(db.c_str());
+    std::string output;
+    ASSERT_EQ(runCli("synth year " + model + " 3", output), 0);
+    ASSERT_EQ(runCli("tune " + model + " 16 --db " + db, output), 0)
+        << output;
+    EXPECT_NE(output.find("appended tuning record to"),
+              std::string::npos);
+
+    std::string contents = readFileToString(db);
+    // One line, parseable, carrying the model features and the swept
+    // points (the grid includes the hot-path coverage axis).
+    ASSERT_EQ(contents.find('\n'), contents.size() - 1);
+    JsonValue record = JsonValue::parse(contents);
+    EXPECT_EQ(record.at("model").at("num_trees").asInt(), 3);
+    EXPECT_FALSE(record.at("points").asArray().empty());
+    EXPECT_TRUE(record.at("best").at("schedule")
+                    .contains("hot_path_coverage"));
+    std::remove(db.c_str());
+}
+
 TEST(Cli, RejectsBadFlagsCleanly)
 {
     std::string model = tempPath("cli_model5.json");

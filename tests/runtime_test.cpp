@@ -120,22 +120,32 @@ TEST(Tuner, GridEnumerationPrunesGatePairs)
     // Per layout-precision point: basic 2 tiles x 1 gate x 1 unroll x
     // 2 interleave = 4 plus hybrid 2 tiles x 3 gates x 1 x 2 = 12; the
     // default grid explores sparse, array, and packed at both record
-    // precisions (f32 and i16) — 4 layout-precision points.
+    // precisions (f32 and i16) — 4 layout-precision points — giving
+    // 64 coverage-0 points. The hot-path axis rides only the first
+    // interleave factor (32 of those points), adding 3 nonzero
+    // coverages each: 64 + 96 = 160.
     std::vector<hir::Schedule> schedules =
         tuner::enumerateSchedules(options);
-    EXPECT_EQ(schedules.size(), 64u);
+    EXPECT_EQ(schedules.size(), 160u);
+    size_t hot = 0;
     for (const hir::Schedule &schedule : schedules) {
         EXPECT_NO_THROW(schedule.validate());
         // Serial grids never sweep the row-chunk knob.
         EXPECT_EQ(schedule.rowChunkRows, 0);
+        if (schedule.hotPathCoverage > 0.0) {
+            ++hot;
+            EXPECT_EQ(schedule.interleaveFactor,
+                      options.interleaveFactors.front());
+        }
     }
+    EXPECT_EQ(hot, 96u);
 
     // Threaded grids additionally sweep rowChunkRows.
     options.numThreads = 4;
     options.rowChunks = {0, 128};
     std::vector<hir::Schedule> threaded =
         tuner::enumerateSchedules(options);
-    EXPECT_EQ(threaded.size(), 128u);
+    EXPECT_EQ(threaded.size(), 320u);
     bool saw_chunk = false;
     for (const hir::Schedule &schedule : threaded) {
         EXPECT_NO_THROW(schedule.validate());
@@ -154,8 +164,11 @@ TEST(Tuner, GridSweepsTraversalKindsAtTileOne)
     options.interleaveFactors = {1};
     std::vector<hir::Schedule> schedules =
         tuner::enumerateSchedules(options);
-    // 4 layout-precision points per traversal kind.
-    EXPECT_EQ(schedules.size(), 8u);
+    // 4 layout-precision points per traversal kind; the node-parallel
+    // points additionally sweep the 4 hot-path coverages (single
+    // interleave factor, so every point is the representative one),
+    // while row-parallel stays at coverage 0: 16 + 4.
+    EXPECT_EQ(schedules.size(), 20u);
     size_t row_parallel = 0;
     for (const hir::Schedule &schedule : schedules) {
         EXPECT_NO_THROW(schedule.validate());
@@ -166,6 +179,7 @@ TEST(Tuner, GridSweepsTraversalKindsAtTileOne)
             EXPECT_EQ(schedule.interleaveFactor, 1);
             EXPECT_EQ(schedule.loopOrder,
                       hir::LoopOrder::kOneTreeAtATime);
+            EXPECT_EQ(schedule.hotPathCoverage, 0.0);
         }
     }
     EXPECT_EQ(row_parallel, 4u);
@@ -199,10 +213,12 @@ TEST(Tuner, ExplorationFindsAValidBest)
     tuner::TunerResult result =
         tuner::exploreSchedules(forest, rows.data(), 128, options);
     // Node-parallel: 2 tiles x 2 interleaves x 4 layout-precision
-    // points (sparse, array, packed-f32, packed-i16) = 16; plus the
-    // row-parallel sub-grid at tile 1 (interleave and order pinned):
-    // 4 layout-precision points.
-    EXPECT_EQ(result.all.size(), 20u);
+    // points (sparse, array, packed-f32, packed-i16) = 16, plus 3
+    // nonzero hot-path coverages on each interleave-1 point (2 tiles
+    // x 4 lp = 8 -> 24 more); plus the row-parallel sub-grid at tile
+    // 1 (interleave and order pinned, coverage 0): 4 layout-precision
+    // points. 16 + 24 + 4 = 44.
+    EXPECT_EQ(result.all.size(), 44u);
     EXPECT_GT(result.best.seconds, 0.0);
     // `all` is sorted ascending; best is the head.
     EXPECT_EQ(result.all.front().seconds, result.best.seconds);
