@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Wire-transport overhead sweep: the same closed-loop single-row load
+ * driven two ways against one serve::Server — direct in-process
+ * predict() calls, and loopback TCP through the length-prefixed wire
+ * protocol (one serve::Client per driver thread). The difference
+ * isolates what the socket adds per request: framing, two copies and
+ * a loopback round trip, on top of identical batching and execution.
+ *
+ * Expected shape: wire p50 sits a fixed few-tens-of-microseconds
+ * above in-process at light load (the loopback round trip), while
+ * throughput at saturation converges — the batcher coalesces both
+ * traffic sources the same way, so the socket tax amortizes across
+ * the batch and the execution dominates.
+ *
+ * When invoked with an argument, writes a JSON summary to that path
+ * (BENCH_transport.json).
+ */
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+using namespace treebeard;
+
+namespace {
+
+struct LoadPoint
+{
+    std::string mode;
+    int64_t clients = 0;
+    double rowsPerSec = 0.0;
+    double p50Micros = 0.0;
+    double p99Micros = 0.0;
+};
+
+/** The row-parallel serving schedule (see bench_serving.cpp). */
+hir::Schedule
+servingSchedule()
+{
+    hir::Schedule schedule;
+    schedule.loopOrder = hir::LoopOrder::kOneTreeAtATime;
+    schedule.tileSize = 1;
+    schedule.tiling = hir::TilingAlgorithm::kBasic;
+    schedule.layout = hir::MemoryLayout::kSparse;
+    schedule.traversal = hir::TraversalKind::kRowParallel;
+    schedule.interleaveFactor = 1;
+    schedule.numThreads = 1;
+    schedule.assumeNoMissingValues = true;
+    return schedule;
+}
+
+/**
+ * Closed-loop drive of @p predict_one (client index, row pointer);
+ * the caller chooses whether that lands in-process or on a socket.
+ */
+LoadPoint
+runPoint(const data::Dataset &pool, int64_t pool_rows,
+         int32_t num_features, int64_t clients, int64_t requests,
+         const std::function<void(int64_t, const float *)>
+             &predict_one)
+{
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (int64_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<double> &lat =
+                latencies[static_cast<size_t>(c)];
+            lat.reserve(static_cast<size_t>(requests));
+            for (int64_t r = 0; r < requests; ++r) {
+                const float *row =
+                    pool.rows() +
+                    ((c * 131 + r) % pool_rows) * num_features;
+                Timer timer;
+                predict_one(c, row);
+                lat.push_back(timer.elapsedMicros());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    double wall_seconds = wall.elapsedSeconds();
+
+    std::vector<double> all;
+    for (const std::vector<double> &lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double p) {
+        return all[static_cast<size_t>(
+            p * static_cast<double>(all.size() - 1))];
+    };
+    LoadPoint point;
+    point.clients = clients;
+    point.rowsPerSec =
+        static_cast<double>(all.size()) / wall_seconds;
+    point.p50Micros = percentile(0.50);
+    point.p99Micros = percentile(0.99);
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    data::SyntheticModelSpec spec;
+    spec.name = "shallow-wide";
+    spec.numFeatures = 50;
+    spec.numTrees = std::max<int64_t>(
+        1, static_cast<int64_t>(600 * bench::benchScale()));
+    spec.maxDepth = 4;
+    spec.splitProbability = 0.97;
+    spec.trainingRows = 0;
+    spec.seed = 6161;
+    spec.thresholdDistribution = data::ThresholdDistribution::kMild;
+
+    const int64_t client_sweep[] = {1, 2, 4, 8, 16};
+    const int64_t requests_per_client = std::max<int64_t>(
+        30, static_cast<int64_t>(400 * bench::benchScale()));
+    const int64_t pool_rows = 256;
+
+    const model::Forest &forest = bench::benchmarkForest(spec);
+    data::Dataset pool = bench::benchmarkBatch(spec, pool_rows);
+
+    serve::ServerOptions options;
+    options.registry.defaultSchedule = servingSchedule();
+    options.batcher.maxBatchRows = 32;
+    options.batcher.maxQueueDelayMicros = 100;
+    serve::Server server(options);
+    serve::ModelHandle handle = server.loadModel(forest);
+    serve::WireServer wire_server(server);
+
+    std::printf("# Wire-transport overhead: identical closed-loop "
+                "single-row load, in-process vs loopback TCP, "
+                "%lld requests per client.\n",
+                static_cast<long long>(requests_per_client));
+    bench::printCsvRow({"mode", "clients", "rows_per_sec", "p50_us",
+                        "p99_us"});
+
+    std::vector<LoadPoint> points;
+    for (int64_t clients : client_sweep) {
+        auto in_process = [&](int64_t, const float *row) {
+            server.predict(handle, row, 1);
+        };
+        // One warm-up pass per load level, then the measured run.
+        runPoint(pool, pool_rows, forest.numFeatures(), clients,
+                 std::max<int64_t>(8, requests_per_client / 8),
+                 in_process);
+        LoadPoint point = runPoint(pool, pool_rows,
+                                   forest.numFeatures(), clients,
+                                   requests_per_client, in_process);
+        point.mode = "in-process";
+        points.push_back(point);
+        bench::printCsvRow({point.mode, std::to_string(clients),
+                            bench::fmt(point.rowsPerSec, 0),
+                            bench::fmt(point.p50Micros, 1),
+                            bench::fmt(point.p99Micros, 1)});
+
+        // Wire mode: one connected Client per driver thread, reused
+        // across that thread's whole request stream.
+        std::vector<std::unique_ptr<serve::Client>> wire_clients;
+        for (int64_t c = 0; c < clients; ++c) {
+            wire_clients.push_back(std::make_unique<serve::Client>(
+                "127.0.0.1", wire_server.port()));
+        }
+        auto over_wire = [&](int64_t c, const float *row) {
+            wire_clients[static_cast<size_t>(c)]->predict(
+                handle, row, 1, forest.numFeatures());
+        };
+        runPoint(pool, pool_rows, forest.numFeatures(), clients,
+                 std::max<int64_t>(8, requests_per_client / 8),
+                 over_wire);
+        point = runPoint(pool, pool_rows, forest.numFeatures(),
+                         clients, requests_per_client, over_wire);
+        point.mode = "wire";
+        points.push_back(point);
+        bench::printCsvRow({point.mode, std::to_string(clients),
+                            bench::fmt(point.rowsPerSec, 0),
+                            bench::fmt(point.p50Micros, 1),
+                            bench::fmt(point.p99Micros, 1)});
+    }
+
+    // Headline: the loopback tax at the lightest and heaviest loads.
+    for (int64_t clients : {client_sweep[0],
+                            client_sweep[std::size(client_sweep) - 1]}) {
+        double in_process_p50 = 0.0, wire_p50 = 0.0;
+        for (const LoadPoint &point : points) {
+            if (point.clients != clients)
+                continue;
+            (point.mode == "wire" ? wire_p50 : in_process_p50) =
+                point.p50Micros;
+        }
+        std::printf("# %lld client(s): wire adds %.1f us to p50 "
+                    "(%.1f -> %.1f)\n",
+                    static_cast<long long>(clients),
+                    wire_p50 - in_process_p50, in_process_p50,
+                    wire_p50);
+    }
+
+    wire_server.stop();
+    server.shutdown();
+
+    if (argc > 1) {
+        std::ostringstream os;
+        os << "{\n  \"benchmark\": \"transport\",\n";
+        os << "  \"schedule\": \"" << servingSchedule().toString()
+           << "\",\n";
+        os << "  \"requests_per_client\": " << requests_per_client
+           << ",\n";
+        os << "  \"model\": {\"trees\": " << spec.numTrees
+           << ", \"max_depth\": " << spec.maxDepth << "},\n";
+        os << "  \"sweep\": [\n";
+        for (size_t i = 0; i < points.size(); ++i) {
+            const LoadPoint &p = points[i];
+            os << "    {\"mode\": \"" << p.mode
+               << "\", \"clients\": " << p.clients
+               << ", \"rows_per_sec\": " << bench::fmt(p.rowsPerSec, 0)
+               << ", \"p50_us\": " << bench::fmt(p.p50Micros, 1)
+               << ", \"p99_us\": " << bench::fmt(p.p99Micros, 1)
+               << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        writeStringToFile(argv[1], os.str());
+        std::printf("# wrote %s\n", argv[1]);
+    }
+    return 0;
+}

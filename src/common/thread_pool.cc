@@ -59,6 +59,16 @@ ThreadPool::enqueue(std::function<void()> task)
 }
 
 void
+ThreadPool::enqueueDetached(std::function<void()> task)
+{
+    fatalIf(workers_.empty(),
+            "ThreadPool::enqueueDetached needs background workers: a "
+            "one-thread pool executes inline and would never run a "
+            "detached task");
+    enqueue(std::move(task));
+}
+
+void
 ThreadPool::parallelFor(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)> &body)
 {

@@ -54,6 +54,17 @@ class ThreadPool
      */
     void runOnAllWorkers(const std::function<void(unsigned)> &task);
 
+    /**
+     * Enqueue @p task to run on a background worker without waiting
+     * for it to complete — the fire-and-forget primitive the serving
+     * transport's per-connection handlers ride on. Requires a pool
+     * with background workers (numThreads() >= 2): a one-worker pool
+     * runs parallelFor bodies inline on the caller and has no thread
+     * to ever pick a detached task up, so enqueueing there is an
+     * error rather than a silent black hole.
+     */
+    void enqueueDetached(std::function<void()> task) EXCLUDES(mutex_);
+
   private:
     void workerLoop();
     void enqueue(std::function<void()> task) EXCLUDES(mutex_);

@@ -1,0 +1,179 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "hir/schedule.h"
+#include "model/serialization.h"
+#include "serve/serve_errors.h"
+
+namespace treebeard::serve {
+
+namespace {
+
+/** Read exactly @p size bytes; false on EOF/error mid-read. */
+bool
+readFully(int fd, void *buffer, size_t size)
+{
+    size_t done = 0;
+    while (done < size) {
+        ssize_t got = ::recv(fd, static_cast<char *>(buffer) + done,
+                             size - done, 0);
+        if (got > 0) {
+            done += static_cast<size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFully(int fd, const std::string &data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        ssize_t sent = ::send(fd, data.data() + done,
+                              data.size() - done, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+} // namespace
+
+Client::Client(const std::string &host, uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd_ < 0, "socket(): ", std::strerror(errno));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        fatal("Client: \"", host, "\" is not a numeric IPv4 address");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        int error = errno;
+        ::close(fd_);
+        fd_ = -1;
+        fatal("connect(", host, ":", port,
+              "): ", std::strerror(error));
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+Client::roundTrip(wire::Opcode opcode, const std::string &payload)
+{
+    fatalIf(fd_ < 0, "Client: connection already closed");
+    if (!writeFully(fd_, wire::encodeFrame(opcode, wire::Status::kOk,
+                                           payload)))
+        fatalCoded(kErrWireClosed,
+                   "connection closed while writing request");
+
+    unsigned char header_bytes[wire::kFrameHeaderBytes];
+    if (!readFully(fd_, header_bytes, sizeof(header_bytes)))
+        fatalCoded(kErrWireClosed,
+                   "connection closed before a response arrived");
+
+    wire::FrameHeader header;
+    if (wire::decodeFrameHeader(header_bytes, &header) !=
+        wire::HeaderParse::kOk)
+        fatalCoded(kErrWireBadFrame,
+                   "response frame has a bad magic or version");
+
+    std::string response(header.payloadBytes, '\0');
+    if (header.payloadBytes > 0 &&
+        !readFully(fd_, response.data(), response.size()))
+        fatalCoded(kErrWireClosed,
+                   "connection closed mid-response");
+
+    if (header.status != wire::Status::kOk) {
+        // The payload of an error frame is the server's message; the
+        // status byte carries the stable code.
+        fatalCoded(wire::errorCodeForStatus(header.status),
+                   response.empty() ? "request failed"
+                                    : response.c_str());
+    }
+    return response;
+}
+
+ModelHandle
+Client::loadModel(const model::Forest &forest)
+{
+    return roundTrip(
+        wire::Opcode::kLoad,
+        wire::encodeLoadPayload(model::forestToJson(forest).dump(),
+                                ""));
+}
+
+ModelHandle
+Client::loadModel(const model::Forest &forest,
+                  const hir::Schedule &schedule)
+{
+    return roundTrip(
+        wire::Opcode::kLoad,
+        wire::encodeLoadPayload(model::forestToJson(forest).dump(),
+                                hir::scheduleToJsonString(schedule)));
+}
+
+std::vector<float>
+Client::predict(const ModelHandle &handle, const float *rows,
+                int64_t num_rows, int32_t num_features)
+{
+    std::string response = roundTrip(
+        wire::Opcode::kPredict,
+        wire::encodePredictPayload(handle, rows, num_rows,
+                                   num_features));
+    std::vector<float> predictions;
+    if (!wire::decodeFloatPayload(response, &predictions))
+        fatalCoded(kErrWireBadFrame,
+                   "PREDICT response payload is not a float array");
+    return predictions;
+}
+
+bool
+Client::evict(const ModelHandle &handle)
+{
+    std::string response = roundTrip(wire::Opcode::kEvict, handle);
+    return !response.empty() && response[0] == '\1';
+}
+
+std::string
+Client::stats()
+{
+    return roundTrip(wire::Opcode::kStats, "");
+}
+
+void
+Client::shutdownServer()
+{
+    roundTrip(wire::Opcode::kShutdown, "");
+}
+
+} // namespace treebeard::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A blocking C++ client for the serving layer's TCP wire protocol
+ * (serve/wire.h). One Client owns one connection; the closed-loop
+ * driver and the transport tests hold one per thread.
+ *
+ * Every failure surfaces as a treebeard::Error carrying the same
+ * stable code an in-process caller would see: a non-kOk response
+ * status maps back through wire::errorCodeForStatus (so a rejected
+ * admission is serve.queue.full on both sides of the socket), and a
+ * connection that drops mid-frame throws serve.wire.connection-closed.
+ *
+ * Not thread-safe: requests and responses interleave on one byte
+ * stream, so callers wanting concurrency open one Client per thread.
+ */
+#ifndef TREEBEARD_SERVE_CLIENT_H
+#define TREEBEARD_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/forest.h"
+#include "serve/model_registry.h"
+#include "serve/wire.h"
+
+namespace treebeard::hir {
+class Schedule;
+}
+
+namespace treebeard::serve {
+
+class Client
+{
+  public:
+    /**
+     * Connect to a WireServer at @p host (numeric IPv4) : @p port.
+     * Throws Error when the connection is refused.
+     */
+    Client(const std::string &host, uint16_t port);
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Closes the connection. */
+    ~Client();
+
+    /** LOAD under the server registry's default schedule. */
+    ModelHandle loadModel(const model::Forest &forest);
+
+    /** LOAD with a tenant-tuned schedule. */
+    ModelHandle loadModel(const model::Forest &forest,
+                          const hir::Schedule &schedule);
+
+    /**
+     * PREDICT @p num_rows rows of @p num_features features; returns
+     * the predictions in request order, bit-identical to an
+     * in-process Server::predict of the same rows.
+     */
+    std::vector<float> predict(const ModelHandle &handle,
+                               const float *rows, int64_t num_rows,
+                               int32_t num_features);
+
+    /** EVICT; true when the model was resident. */
+    bool evict(const ModelHandle &handle);
+
+    /** STATS; the server's counters as a JSON document. */
+    std::string stats();
+
+    /**
+     * SHUTDOWN: ask the listener to stop accepting and tear down.
+     * The connection is unusable afterwards.
+     */
+    void shutdownServer();
+
+  private:
+    /**
+     * Write one request frame, read the response, and return its
+     * payload. Throws a coded Error on a non-kOk status or a
+     * connection failure.
+     */
+    std::string roundTrip(wire::Opcode opcode,
+                          const std::string &payload);
+
+    int fd_ = -1;
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_CLIENT_H

@@ -8,12 +8,17 @@
  * Error::code(), so clients branch on codes instead of message
  * strings. Codes are API — tests assert on them; never rename one.
  *
- * Two families exist:
+ * Three families exist:
  *  - serve.registry.*  model lifecycle failures (unknown or evicted
  *    handles, lookups racing eviction).
  *  - serve.queue.*     request admission and queueing failures
  *    (admission-control rejections, submits after shutdown,
  *    malformed request payloads).
+ *  - serve.wire.*      TCP transport failures (malformed frames,
+ *    oversized declared lengths, connections closed mid-frame).
+ *    Each wire code maps 1:1 onto a response status byte
+ *    (serve/wire.h), so a remote client sees exactly the code an
+ *    in-process caller would.
  */
 #ifndef TREEBEARD_SERVE_SERVE_ERRORS_H
 #define TREEBEARD_SERVE_SERVE_ERRORS_H
@@ -42,6 +47,38 @@ inline constexpr const char *kErrQueueShutdown =
  */
 inline constexpr const char *kErrBadRequest =
     "serve.queue.bad-request";
+
+/**
+ * A frame whose header cannot be trusted: wrong magic, an unsupported
+ * protocol version, or an opcode the server does not know. Bad
+ * magic/version closes the connection (the byte stream cannot be
+ * re-synchronized); an unknown opcode with a sane header only fails
+ * the one frame.
+ */
+inline constexpr const char *kErrWireBadFrame = "serve.wire.bad-frame";
+
+/**
+ * A frame header declaring a payload longer than the transport's
+ * maxFramePayloadBytes. The server rejects without reading the
+ * payload and closes the connection.
+ */
+inline constexpr const char *kErrWireFrameTooLarge =
+    "serve.wire.frame-too-large";
+
+/**
+ * The peer closed the connection before a complete frame arrived
+ * (client-side: the server went away mid-request; server-side the
+ * condition is a clean close, not an error).
+ */
+inline constexpr const char *kErrWireClosed =
+    "serve.wire.connection-closed";
+
+/**
+ * A server-side failure with no stable serving code of its own
+ * (e.g. an unexpected exception while compiling a LOAD payload).
+ * The response's message payload carries the underlying error text.
+ */
+inline constexpr const char *kErrWireInternal = "serve.wire.internal";
 
 } // namespace treebeard::serve
 

@@ -98,6 +98,14 @@ Server::predictAsync(const ModelHandle &handle, const float *rows,
                        "predict request after server shutdown");
         }
     }
+    // A zero-row request carries no work for the batcher to answer
+    // and would otherwise resolve as a silent empty future; reject it
+    // at the API boundary like every other malformed request.
+    if (num_rows <= 0) {
+        fatalCoded(kErrBadRequest,
+                   "predict requires at least one row (got ",
+                   num_rows, ")");
+    }
     // The batcher is captured by shared_ptr, so a concurrent
     // evictModel cannot free it out from under this submit; the
     // submit then either lands in the draining queue or fails with

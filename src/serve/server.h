@@ -80,7 +80,10 @@ class Server
      * Rows are copied; the caller's buffer is free on return.
      * @throws Error with serve.registry.unknown-model on a stale
      * handle, serve.queue.full / serve.queue.shutdown /
-     * serve.queue.bad-request from admission.
+     * serve.queue.bad-request from admission. A request of zero (or
+     * negative) rows is a bad request here, not a no-op: an empty
+     * predict has no answer to wait for, so admitting it would only
+     * manufacture a hollow future.
      */
     std::future<std::vector<float>> predictAsync(
         const ModelHandle &handle, const float *rows,

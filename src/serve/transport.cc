@@ -1,0 +1,522 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "hir/schedule.h"
+#include "model/serialization.h"
+
+namespace treebeard::serve {
+
+namespace {
+
+/**
+ * Read exactly @p size bytes, riding out EINTR and torn
+ * byte-at-a-time sends. Returns the bytes read: less than @p size
+ * means EOF or a connection error mid-frame.
+ */
+size_t
+readFully(int fd, void *buffer, size_t size)
+{
+    size_t done = 0;
+    while (done < size) {
+        ssize_t got = ::recv(fd, static_cast<char *>(buffer) + done,
+                             size - done, 0);
+        if (got > 0) {
+            done += static_cast<size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        break; // EOF (0) or error: the frame will never complete
+    }
+    return done;
+}
+
+/** Write all of @p data; false on a broken/closed connection. */
+bool
+writeFully(int fd, const std::string &data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-predict must
+        // surface as EPIPE here, not as a process-killing SIGPIPE.
+        ssize_t sent = ::send(fd, data.data() + done,
+                              data.size() - done, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+std::string
+errorFrame(uint8_t opcode, wire::Status status,
+           const std::string &message)
+{
+    return wire::encodeFrame(static_cast<wire::Opcode>(opcode),
+                             status, message);
+}
+
+JsonValue::Object
+transportStatsToJson(const TransportStats &stats)
+{
+    JsonValue::Object object;
+    object["connections_accepted"] = stats.connectionsAccepted;
+    object["connections_rejected"] = stats.connectionsRejected;
+    object["frames_served"] = stats.framesServed;
+    object["protocol_errors"] = stats.protocolErrors;
+    object["disconnects"] = stats.disconnects;
+    return object;
+}
+
+} // namespace
+
+void
+splitHostPort(const std::string &spec, std::string *host,
+              uint16_t *port)
+{
+    size_t colon = spec.rfind(':');
+    fatalIf(colon == std::string::npos || colon == 0 ||
+                colon + 1 == spec.size(),
+            "expected HOST:PORT (e.g. 127.0.0.1:8123), got \"", spec,
+            "\"");
+    *host = spec.substr(0, colon);
+    const std::string digits = spec.substr(colon + 1);
+    char *end = nullptr;
+    long value = std::strtol(digits.c_str(), &end, 10);
+    fatalIf(end == digits.c_str() || *end != '\0' || value < 0 ||
+                value > 65535,
+            "port must be an integer in [0, 65535], got \"", digits,
+            "\"");
+    *port = static_cast<uint16_t>(value);
+}
+
+WireServer::WireServer(Server &server, TransportOptions options)
+    : options_(std::move(options)), server_(server)
+{
+    fatalIf(options_.maxConnections < 1,
+            "WireServer: maxConnections must be >= 1 (got ",
+            options_.maxConnections, ")");
+    fatalIf(options_.maxFramePayloadBytes <= 0,
+            "WireServer: maxFramePayloadBytes must be positive");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(listenFd_ < 0, "socket(): ", std::strerror(errno));
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(),
+                    &address.sin_addr) != 1) {
+        ::close(listenFd_);
+        fatal("WireServer: \"", options_.host,
+              "\" is not a numeric IPv4 address");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        int error = errno;
+        ::close(listenFd_);
+        fatal("bind(", options_.host, ":", options_.port,
+              "): ", std::strerror(error));
+    }
+    if (::listen(listenFd_, options_.backlog) != 0) {
+        int error = errno;
+        ::close(listenFd_);
+        fatal("listen(): ", std::strerror(error));
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_size = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_size) == 0) {
+        port_ = ntohs(bound.sin_port);
+    }
+
+    ioPool_ = std::make_unique<ThreadPool>(static_cast<unsigned>(
+        std::max(2, options_.maxConnections)));
+    acceptor_ = std::thread([this] { acceptorLoop(); });
+}
+
+WireServer::~WireServer()
+{
+    stop();
+}
+
+void
+WireServer::acceptorLoop()
+{
+    while (true) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) {
+                MutexLock lock(mutex_);
+                if (stopRequested_)
+                    return;
+                continue;
+            }
+            // requestStop()'s ::shutdown of the listener lands here
+            // (EINVAL on Linux), as do unrecoverable socket errors.
+            return;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        bool reject = false;
+        {
+            MutexLock lock(mutex_);
+            if (stopRequested_ ||
+                static_cast<int>(liveConnections_.size()) >=
+                    options_.maxConnections) {
+                stats_.connectionsRejected += 1;
+                reject = true;
+            } else {
+                liveConnections_.insert(fd);
+                stats_.connectionsAccepted += 1;
+            }
+        }
+        if (reject) {
+            // Immediate clean close: the client sees EOF
+            // (serve.wire.connection-closed) instead of queueing
+            // invisibly behind a busy handler slot.
+            ::close(fd);
+            continue;
+        }
+        // Enqueued outside our mutex; each live connection occupies
+        // at most one pool worker, and registration capped the live
+        // set at the worker count, so the task runs promptly.
+        ioPool_->enqueueDetached([this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+WireServer::handleConnection(int fd)
+{
+    bool disconnected = false;
+    while (true) {
+        unsigned char header_bytes[wire::kFrameHeaderBytes];
+        size_t got = readFully(fd, header_bytes, sizeof(header_bytes));
+        if (got != sizeof(header_bytes)) {
+            // EOF exactly at a frame boundary is a normal client
+            // close; a partial header is a truncated frame.
+            disconnected = got != 0;
+            break;
+        }
+
+        wire::FrameHeader header;
+        wire::HeaderParse parse =
+            wire::decodeFrameHeader(header_bytes, &header);
+        if (parse != wire::HeaderParse::kOk) {
+            // The stream cannot be re-synchronized after a framing
+            // failure: answer with a status the client can map to a
+            // stable code, then close.
+            std::string response = errorFrame(
+                header_bytes[5], wire::Status::kBadFrame,
+                parse == wire::HeaderParse::kBadMagic
+                    ? "bad frame magic"
+                    : "unsupported wire protocol version");
+            bool written = writeFully(fd, response);
+            MutexLock lock(mutex_);
+            stats_.protocolErrors += 1;
+            if (written)
+                stats_.framesServed += 1;
+            break;
+        }
+        if (static_cast<int64_t>(header.payloadBytes) >
+            options_.maxFramePayloadBytes) {
+            // Rejected before reading a byte of it; a declared
+            // length is a promise, not a license to allocate.
+            std::string response = errorFrame(
+                header.opcode, wire::Status::kFrameTooLarge,
+                detail::concatToString(
+                    "declared payload of ", header.payloadBytes,
+                    " bytes exceeds the frame cap of ",
+                    options_.maxFramePayloadBytes));
+            bool written = writeFully(fd, response);
+            MutexLock lock(mutex_);
+            stats_.protocolErrors += 1;
+            if (written)
+                stats_.framesServed += 1;
+            break;
+        }
+
+        std::string payload(header.payloadBytes, '\0');
+        if (header.payloadBytes > 0 &&
+            readFully(fd, payload.data(), payload.size()) !=
+                payload.size()) {
+            disconnected = true;
+            break;
+        }
+
+        std::string response;
+        bool request_stop = false;
+        bool protocol_error = false;
+        if (!wire::isKnownOpcode(header.opcode)) {
+            // The envelope is intact, so only this frame fails; the
+            // connection survives (fuzzed opcodes must not cost the
+            // client its connection).
+            response = errorFrame(
+                header.opcode, wire::Status::kBadFrame,
+                detail::concatToString("unknown opcode ",
+                                       int(header.opcode)));
+            protocol_error = true;
+        } else {
+            response = dispatch(header, payload, &request_stop,
+                                &protocol_error);
+        }
+
+        bool written = writeFully(fd, response);
+        {
+            MutexLock lock(mutex_);
+            if (protocol_error)
+                stats_.protocolErrors += 1;
+            if (written)
+                stats_.framesServed += 1;
+        }
+        if (!written) {
+            disconnected = true;
+            break;
+        }
+        if (request_stop) {
+            requestStop();
+            break;
+        }
+    }
+    ::close(fd);
+    unregisterConnection(fd, disconnected);
+}
+
+std::string
+WireServer::dispatch(const wire::FrameHeader &header,
+                     const std::string &payload, bool *request_stop,
+                     bool *protocol_error)
+{
+    wire::Opcode opcode = static_cast<wire::Opcode>(header.opcode);
+    try {
+        switch (opcode) {
+        case wire::Opcode::kLoad: {
+            std::string forest_json, schedule_json;
+            if (!wire::decodeLoadPayload(payload, &forest_json,
+                                         &schedule_json)) {
+                *protocol_error = true;
+                fatalCoded(kErrBadRequest,
+                           "malformed LOAD payload layout");
+            }
+            model::Forest forest = model::forestFromJson(
+                JsonValue::parse(forest_json));
+            ModelHandle handle =
+                schedule_json.empty()
+                    ? server_.loadModel(forest)
+                    : server_.loadModel(
+                          forest, hir::scheduleFromJsonString(
+                                      schedule_json));
+            return wire::encodeFrame(opcode, wire::Status::kOk,
+                                     handle);
+        }
+        case wire::Opcode::kPredict: {
+            std::string handle;
+            uint32_t num_rows = 0;
+            std::vector<float> values;
+            if (!wire::decodePredictPayload(payload, &handle,
+                                            &num_rows, &values)) {
+                *protocol_error = true;
+                fatalCoded(kErrBadRequest,
+                           "malformed PREDICT payload layout");
+            }
+            int32_t features = server_.numFeatures(handle);
+            if (static_cast<uint64_t>(num_rows) *
+                    static_cast<uint64_t>(features) !=
+                values.size()) {
+                fatalCoded(kErrBadRequest, "PREDICT payload carries ",
+                           values.size(), " floats, not the ",
+                           num_rows, " x ", features,
+                           " the declared row count requires");
+            }
+            std::vector<float> predictions = server_.predict(
+                handle, values.data(),
+                static_cast<int64_t>(num_rows));
+            return wire::encodeFrame(
+                opcode, wire::Status::kOk,
+                wire::encodeFloatPayload(predictions));
+        }
+        case wire::Opcode::kEvict: {
+            bool was_resident = server_.evictModel(payload);
+            return wire::encodeFrame(
+                opcode, wire::Status::kOk,
+                std::string(1, was_resident ? '\1' : '\0'));
+        }
+        case wire::Opcode::kStats: {
+            ServerStats server_stats = server_.stats();
+            JsonValue::Object registry;
+            registry["loads"] = server_stats.registry.loads;
+            registry["hits"] = server_stats.registry.hits;
+            registry["compiles"] = server_stats.registry.compiles;
+            registry["evictions"] = server_stats.registry.evictions;
+            JsonValue::Object batching;
+            batching["requests_admitted"] =
+                server_stats.batching.requestsAdmitted;
+            batching["requests_rejected"] =
+                server_stats.batching.requestsRejected;
+            batching["batches_executed"] =
+                server_stats.batching.batchesExecuted;
+            batching["rows_executed"] =
+                server_stats.batching.rowsExecuted;
+            batching["coalesced_batches"] =
+                server_stats.batching.coalescedBatches;
+            batching["largest_batch_rows"] =
+                server_stats.batching.largestBatchRows;
+            batching["size_flushes"] =
+                server_stats.batching.sizeFlushes;
+            batching["deadline_flushes"] =
+                server_stats.batching.deadlineFlushes;
+            JsonValue::Object document;
+            document["registry"] = JsonValue(std::move(registry));
+            document["batching"] = JsonValue(std::move(batching));
+            document["resident_models"] =
+                server_stats.residentModels;
+            document["transport"] =
+                JsonValue(transportStatsToJson(stats()));
+            return wire::encodeFrame(
+                opcode, wire::Status::kOk,
+                JsonValue(std::move(document)).dump());
+        }
+        case wire::Opcode::kShutdown:
+            // Tearing down the listener is the most destructive
+            // request on the wire; demand a strictly well-formed
+            // (empty-payload) frame so stray bytes that happen to
+            // decode as SHUTDOWN cannot take the server down.
+            if (!payload.empty()) {
+                *protocol_error = true;
+                fatalCoded(kErrBadRequest,
+                           "SHUTDOWN takes no payload (got ",
+                           payload.size(), " bytes)");
+            }
+            *request_stop = true;
+            return wire::encodeFrame(opcode, wire::Status::kOk, "");
+        }
+        panic("unreachable wire opcode ", int(header.opcode));
+    } catch (const Error &error) {
+        // Coded serving errors map onto their status byte; anything
+        // uncoded from a LOAD (a malformed model/schedule document)
+        // is the client's payload and reads as a bad request, while
+        // an uncoded PREDICT/EVICT failure is the server's problem.
+        wire::Status fallback = opcode == wire::Opcode::kLoad
+                                    ? wire::Status::kBadRequest
+                                    : wire::Status::kInternal;
+        return errorFrame(header.opcode,
+                          wire::statusForErrorCode(error.code(),
+                                                   fallback),
+                          error.what());
+    } catch (const std::exception &error) {
+        return errorFrame(header.opcode, wire::Status::kInternal,
+                          error.what());
+    }
+}
+
+void
+WireServer::requestStop()
+{
+    {
+        MutexLock lock(mutex_);
+        if (stopRequested_)
+            return;
+        stopRequested_ = true;
+        // Wake the acceptor out of accept(2)...
+        if (listenFd_ >= 0)
+            ::shutdown(listenFd_, SHUT_RDWR);
+        // ...and every handler out of its blocking read. SHUT_RD
+        // only: a handler mid-dispatch still writes its response —
+        // in-flight requests complete, new reads see EOF.
+        for (int fd : liveConnections_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    stopCv_.notifyAll();
+}
+
+void
+WireServer::stop()
+{
+    requestStop();
+    // Claim the acceptor under the lock so concurrent stop() callers
+    // never both join the same std::thread.
+    std::thread acceptor;
+    {
+        MutexLock lock(mutex_);
+        acceptor = std::move(acceptor_);
+    }
+    if (acceptor.joinable())
+        acceptor.join();
+    {
+        MutexLock lock(mutex_);
+        while (!liveConnections_.empty())
+            stopCv_.wait(lock);
+    }
+    // Claimed the same way; the destructor joins the pool's workers
+    // after the (already drained) handlers return.
+    std::unique_ptr<ThreadPool> pool;
+    int listen_fd = -1;
+    {
+        MutexLock lock(mutex_);
+        pool = std::move(ioPool_);
+        listen_fd = listenFd_;
+        listenFd_ = -1;
+    }
+    pool.reset();
+    if (listen_fd >= 0)
+        ::close(listen_fd);
+}
+
+bool
+WireServer::stopRequested() const
+{
+    MutexLock lock(mutex_);
+    return stopRequested_;
+}
+
+void
+WireServer::waitUntilStopRequested()
+{
+    MutexLock lock(mutex_);
+    while (!stopRequested_)
+        stopCv_.wait(lock);
+}
+
+TransportStats
+WireServer::stats() const
+{
+    MutexLock lock(mutex_);
+    return stats_;
+}
+
+void
+WireServer::unregisterConnection(int fd, bool disconnected)
+{
+    {
+        MutexLock lock(mutex_);
+        liveConnections_.erase(fd);
+        if (disconnected)
+            stats_.disconnects += 1;
+    }
+    stopCv_.notifyAll();
+}
+
+} // namespace treebeard::serve

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The TCP front door of the serving layer: a WireServer accepts
+ * length-prefixed binary frames (serve/wire.h) on a listening socket
+ * and dispatches them to an in-process serve::Server.
+ *
+ * The transport is deliberately a thin shim: every frame maps onto
+ * exactly one Server call (loadModel / predict / evictModel / stats /
+ * shutdown), so the in-process exactness tests stay authoritative —
+ * the wire adds framing and a status byte, never semantics. Response
+ * statuses map 1:1 from the stable serve.queue.* / serve.registry.*
+ * error codes, making admission control and eviction observable on
+ * the wire.
+ *
+ * Threading model: one dedicated acceptor thread plus per-connection
+ * handlers running as detached tasks on an owned ThreadPool (the
+ * existing work-queue pool; one connection occupies one worker for
+ * its lifetime). Connections past TransportOptions::maxConnections
+ * are closed immediately at accept — a clean close the client sees as
+ * serve.wire.connection-closed — so a slow client can never queue
+ * invisible work behind a busy handler slot.
+ *
+ * Fault containment (exercised by tests/transport_test.cpp): a
+ * truncated frame or a mid-frame disconnect is a clean close; a bad
+ * magic/version closes after an error frame (the stream cannot be
+ * re-synchronized); an unknown opcode or a malformed payload fails
+ * only that frame; an oversized declared length is rejected without
+ * reading the payload; torn byte-at-a-time writes assemble normally.
+ * The server never crashes, hangs or leaks on any of these.
+ *
+ * Thread safety: all public members may be called concurrently.
+ * stop() is idempotent and joins everything; a SHUTDOWN frame
+ * requests stop from inside a handler (waiters in
+ * waitUntilStopRequested() wake; an external thread still calls
+ * stop() to join). The one new mutex follows the serving layer's
+ * every-mutex-is-a-leaf discipline (docs/CONCURRENCY.md).
+ */
+#ifndef TREEBEARD_SERVE_TRANSPORT_H
+#define TREEBEARD_SERVE_TRANSPORT_H
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace treebeard::serve {
+
+/** Listener configuration. */
+struct TransportOptions
+{
+    /** Numeric IPv4 address to bind ("127.0.0.1" for loopback). */
+    std::string host = "127.0.0.1";
+    /** Port to bind; 0 picks an ephemeral port (see port()). */
+    uint16_t port = 0;
+    /**
+     * Concurrent-connection cap = handler slots on the I/O pool.
+     * Connections past it are closed at accept instead of queued, so
+     * an idle client cannot invisibly starve later arrivals.
+     */
+    int maxConnections = 32;
+    /** Reject frames declaring a payload longer than this. */
+    int64_t maxFramePayloadBytes = wire::kDefaultMaxFramePayloadBytes;
+    /** listen(2) backlog. */
+    int backlog = 64;
+};
+
+/** Cumulative transport counters (snapshot under the server's lock). */
+struct TransportStats
+{
+    /** Connections handed to a handler. */
+    int64_t connectionsAccepted = 0;
+    /** Connections closed at accept by the maxConnections cap. */
+    int64_t connectionsRejected = 0;
+    /** Response frames written (including error responses). */
+    int64_t framesServed = 0;
+    /**
+     * Frames rejected at the envelope: bad magic/version, unknown
+     * opcode, oversized declared length, malformed payload layout.
+     */
+    int64_t protocolErrors = 0;
+    /**
+     * Connections torn down mid-frame (truncated header or payload,
+     * a reset, or a failed response write) — a clean close at a
+     * frame boundary is normal client behavior and is not counted.
+     */
+    int64_t disconnects = 0;
+};
+
+/**
+ * Parse "host:port" (e.g. "127.0.0.1:8123"); throws Error on a
+ * malformed spec or out-of-range port. Port 0 is allowed (ephemeral).
+ */
+void splitHostPort(const std::string &spec, std::string *host,
+                   uint16_t *port);
+
+class WireServer
+{
+  public:
+    /**
+     * Bind, listen and start accepting immediately. @p server must
+     * outlive this object. Throws Error when the socket cannot be
+     * bound (address in use, bad host).
+     */
+    explicit WireServer(Server &server, TransportOptions options = {});
+
+    WireServer(const WireServer &) = delete;
+    WireServer &operator=(const WireServer &) = delete;
+
+    /** stop()s. */
+    ~WireServer();
+
+    /** The actual bound port (resolves an ephemeral request). */
+    uint16_t port() const { return port_; }
+
+    const std::string &host() const { return options_.host; }
+
+    /**
+     * Stop accepting, wake every connection blocked in a read (their
+     * in-flight responses still go out), wait for handlers to drain
+     * and join the acceptor. Idempotent; safe from any thread except
+     * a connection handler (a SHUTDOWN frame uses requestStop()
+     * internally instead, precisely because a handler cannot join
+     * itself).
+     */
+    void stop();
+
+    /** True once stop() or a SHUTDOWN frame began teardown. */
+    bool stopRequested() const;
+
+    /** Block until stopRequested() (e.g. a SHUTDOWN frame arrived). */
+    void waitUntilStopRequested();
+
+    TransportStats stats() const;
+
+  private:
+    void acceptorLoop();
+    /** Serve one connection until EOF/error/stop; closes @p fd. */
+    void handleConnection(int fd);
+    /**
+     * Dispatch one decoded request to server_, returning the
+     * response frame. Sets @p request_stop on SHUTDOWN.
+     */
+    std::string dispatch(const wire::FrameHeader &header,
+                         const std::string &payload,
+                         bool *request_stop, bool *protocol_error);
+    /** Begin teardown without joining (callable from a handler). */
+    void requestStop();
+    void unregisterConnection(int fd, bool disconnected);
+
+    /** Immutable after construction; readable without the lock. */
+    TransportOptions options_;
+    Server &server_;
+    uint16_t port_ = 0;
+    int listenFd_ = -1;
+    /**
+     * Handler slots; sized at maxConnections (min 2 so detached
+     * tasks always have a background worker).
+     */
+    std::unique_ptr<ThreadPool> ioPool_;
+    std::thread acceptor_;
+
+    /**
+     * Guards the live-connection set, stop flag and counters. A leaf
+     * in the acquisition order: nothing else — no batcher, registry,
+     * server or pool mutex — is acquired while it is held (the
+     * ::shutdown(2) calls made under it are syscalls, not locks).
+     */
+    mutable Mutex mutex_{"serve.WireServer.mutex"};
+    CondVar stopCv_;
+    std::set<int> liveConnections_ GUARDED_BY(mutex_);
+    bool stopRequested_ GUARDED_BY(mutex_) = false;
+    TransportStats stats_ GUARDED_BY(mutex_);
+};
+
+} // namespace treebeard::serve
+
+#endif // TREEBEARD_SERVE_TRANSPORT_H

@@ -1,0 +1,224 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "serve/serve_errors.h"
+
+namespace treebeard::serve::wire {
+
+bool
+isKnownOpcode(uint8_t opcode)
+{
+    return opcode >= static_cast<uint8_t>(Opcode::kLoad) &&
+           opcode <= static_cast<uint8_t>(Opcode::kShutdown);
+}
+
+const char *
+errorCodeForStatus(Status status)
+{
+    switch (status) {
+    case Status::kOk:
+        return "";
+    case Status::kUnknownModel:
+        return kErrUnknownModel;
+    case Status::kQueueFull:
+        return kErrQueueFull;
+    case Status::kShutdown:
+        return kErrQueueShutdown;
+    case Status::kBadRequest:
+        return kErrBadRequest;
+    case Status::kBadFrame:
+        return kErrWireBadFrame;
+    case Status::kFrameTooLarge:
+        return kErrWireFrameTooLarge;
+    case Status::kInternal:
+        return kErrWireInternal;
+    }
+    return "";
+}
+
+Status
+statusForErrorCode(const std::string &code, Status fallback)
+{
+    if (code == kErrUnknownModel)
+        return Status::kUnknownModel;
+    if (code == kErrQueueFull)
+        return Status::kQueueFull;
+    if (code == kErrQueueShutdown)
+        return Status::kShutdown;
+    if (code == kErrBadRequest)
+        return Status::kBadRequest;
+    if (code == kErrWireBadFrame)
+        return Status::kBadFrame;
+    if (code == kErrWireFrameTooLarge)
+        return Status::kFrameTooLarge;
+    if (code == kErrWireInternal)
+        return Status::kInternal;
+    return fallback;
+}
+
+HeaderParse
+decodeFrameHeader(const unsigned char *bytes, FrameHeader *header)
+{
+    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0)
+        return HeaderParse::kBadMagic;
+    if (bytes[4] != kWireVersion)
+        return HeaderParse::kBadVersion;
+    header->opcode = bytes[5];
+    header->status = static_cast<Status>(bytes[6]);
+    // bytes[7] is reserved: ignored on receive.
+    header->payloadBytes = static_cast<uint32_t>(bytes[8]) |
+                           static_cast<uint32_t>(bytes[9]) << 8 |
+                           static_cast<uint32_t>(bytes[10]) << 16 |
+                           static_cast<uint32_t>(bytes[11]) << 24;
+    return HeaderParse::kOk;
+}
+
+std::string
+encodeFrame(Opcode opcode, Status status, const std::string &payload)
+{
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    frame.append(reinterpret_cast<const char *>(kMagic),
+                 sizeof(kMagic));
+    frame.push_back(static_cast<char>(kWireVersion));
+    frame.push_back(static_cast<char>(opcode));
+    frame.push_back(static_cast<char>(status));
+    frame.push_back(0); // reserved
+    appendU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+void
+appendU32(std::string *out, uint32_t value)
+{
+    out->push_back(static_cast<char>(value & 0xff));
+    out->push_back(static_cast<char>(value >> 8 & 0xff));
+    out->push_back(static_cast<char>(value >> 16 & 0xff));
+    out->push_back(static_cast<char>(value >> 24 & 0xff));
+}
+
+void
+appendF32(std::string *out, float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    appendU32(out, bits);
+}
+
+bool
+readU32(const std::string &payload, size_t *cursor, uint32_t *value)
+{
+    if (*cursor > payload.size() || payload.size() - *cursor < 4)
+        return false;
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(payload.data()) +
+        *cursor;
+    *value = static_cast<uint32_t>(bytes[0]) |
+             static_cast<uint32_t>(bytes[1]) << 8 |
+             static_cast<uint32_t>(bytes[2]) << 16 |
+             static_cast<uint32_t>(bytes[3]) << 24;
+    *cursor += 4;
+    return true;
+}
+
+bool
+readBytes(const std::string &payload, size_t *cursor, size_t count,
+          std::string *out)
+{
+    if (*cursor > payload.size() ||
+        payload.size() - *cursor < count)
+        return false;
+    out->assign(payload, *cursor, count);
+    *cursor += count;
+    return true;
+}
+
+std::string
+encodeLoadPayload(const std::string &forest_json,
+                  const std::string &schedule_json)
+{
+    std::string payload;
+    payload.reserve(8 + forest_json.size() + schedule_json.size());
+    appendU32(&payload, static_cast<uint32_t>(forest_json.size()));
+    payload.append(forest_json);
+    appendU32(&payload, static_cast<uint32_t>(schedule_json.size()));
+    payload.append(schedule_json);
+    return payload;
+}
+
+bool
+decodeLoadPayload(const std::string &payload,
+                  std::string *forest_json,
+                  std::string *schedule_json)
+{
+    size_t cursor = 0;
+    uint32_t length = 0;
+    if (!readU32(payload, &cursor, &length) ||
+        !readBytes(payload, &cursor, length, forest_json))
+        return false;
+    if (!readU32(payload, &cursor, &length) ||
+        !readBytes(payload, &cursor, length, schedule_json))
+        return false;
+    return cursor == payload.size();
+}
+
+std::string
+encodePredictPayload(const std::string &handle, const float *rows,
+                     int64_t num_rows, int32_t num_features)
+{
+    std::string payload;
+    size_t floats = static_cast<size_t>(num_rows) *
+                    static_cast<size_t>(num_features);
+    payload.reserve(8 + handle.size() + 4 * floats);
+    appendU32(&payload, static_cast<uint32_t>(handle.size()));
+    payload.append(handle);
+    appendU32(&payload, static_cast<uint32_t>(num_rows));
+    for (size_t i = 0; i < floats; ++i)
+        appendF32(&payload, rows[i]);
+    return payload;
+}
+
+bool
+decodePredictPayload(const std::string &payload, std::string *handle,
+                     uint32_t *num_rows, std::vector<float> *values)
+{
+    size_t cursor = 0;
+    uint32_t handle_length = 0;
+    if (!readU32(payload, &cursor, &handle_length) ||
+        !readBytes(payload, &cursor, handle_length, handle))
+        return false;
+    if (!readU32(payload, &cursor, num_rows))
+        return false;
+    std::string rest(payload, cursor);
+    return decodeFloatPayload(rest, values);
+}
+
+std::string
+encodeFloatPayload(const std::vector<float> &values)
+{
+    std::string payload;
+    payload.reserve(4 * values.size());
+    for (float value : values)
+        appendF32(&payload, value);
+    return payload;
+}
+
+bool
+decodeFloatPayload(const std::string &payload,
+                   std::vector<float> *values)
+{
+    if (payload.size() % 4 != 0)
+        return false;
+    values->resize(payload.size() / 4);
+    for (size_t i = 0; i < values->size(); ++i) {
+        uint32_t bits;
+        size_t cursor = 4 * i;
+        readU32(payload, &cursor, &bits);
+        std::memcpy(&(*values)[i], &bits, sizeof(float));
+    }
+    return true;
+}
+
+} // namespace treebeard::serve::wire

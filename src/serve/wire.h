@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The Treebeard serving wire format: a length-prefixed binary framing
+ * shared by the TCP transport (serve/transport.h), the client helper
+ * (serve/client.h) and the protocol tests.
+ *
+ * Every message — request or response — is one frame:
+ *
+ *      offset  size  field
+ *           0     4  magic      'T' 'B' 'W' '1'
+ *           4     1  version    kWireVersion (1)
+ *           5     1  opcode     Opcode (LOAD/PREDICT/EVICT/STATS/
+ *                               SHUTDOWN); responses echo the request
+ *           6     1  status     Status; always kOk in requests
+ *           7     1  reserved   must be 0 on send, ignored on receive
+ *           8     4  length     payload bytes (u32, little-endian)
+ *          12     n  payload    opcode-specific (below)
+ *
+ * All multi-byte integers are little-endian; floats travel as the
+ * little-endian bytes of their IEEE-754 bit pattern. Payloads:
+ *
+ *   LOAD request:   u32 forest-JSON length, forest JSON, u32
+ *                   schedule-JSON length, schedule JSON (length 0 =
+ *                   serve under the registry's default schedule)
+ *   LOAD response:  the model handle ("tb-<16 hex>") as raw bytes
+ *   PREDICT req:    u32 handle length, handle, u32 row count, then
+ *                   rows as f32s (the server derives the feature
+ *                   count from the payload size and rejects ragged
+ *                   buffers with serve.queue.bad-request)
+ *   PREDICT resp:   predictions as f32s (rows x numClasses)
+ *   EVICT request:  the handle as raw bytes
+ *   EVICT response: 1 byte: 1 = was resident, 0 = was not
+ *   STATS request:  empty
+ *   STATS response: a JSON document (registry + batching + transport
+ *                   counters)
+ *   SHUTDOWN req:   empty; the server acknowledges with kOk, then
+ *                   stops accepting connections
+ *   error response: human-readable error text as raw bytes (any
+ *                   opcode, status != kOk)
+ *
+ * The status byte maps 1:1 onto the stable serving error codes
+ * (serve_errors.h): a remote client rethrows exactly the coded Error
+ * an in-process Server caller would have seen. Codes and statuses are
+ * API — tests assert on them; never renumber a Status.
+ */
+#ifndef TREEBEARD_SERVE_WIRE_H
+#define TREEBEARD_SERVE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treebeard::serve::wire {
+
+/** Frame magic: the first four payload-framing bytes on the wire. */
+inline constexpr unsigned char kMagic[4] = {'T', 'B', 'W', '1'};
+
+/** Protocol version this build speaks. */
+inline constexpr uint8_t kWireVersion = 1;
+
+/** Fixed frame-header size in bytes. */
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/** Default cap on a frame's declared payload length (64 MiB). */
+inline constexpr int64_t kDefaultMaxFramePayloadBytes = 64ll << 20;
+
+/** Request/response kinds. Values are wire API; never renumber. */
+enum class Opcode : uint8_t
+{
+    kLoad = 1,
+    kPredict = 2,
+    kEvict = 3,
+    kStats = 4,
+    kShutdown = 5,
+};
+
+/** True when @p opcode is one this build dispatches. */
+bool isKnownOpcode(uint8_t opcode);
+
+/**
+ * Response status byte. Values are wire API; never renumber. Every
+ * non-kOk status corresponds to one stable error code (see
+ * errorCodeForStatus / statusForErrorCode).
+ */
+enum class Status : uint8_t
+{
+    kOk = 0,
+    /** serve.registry.unknown-model */
+    kUnknownModel = 1,
+    /** serve.queue.full */
+    kQueueFull = 2,
+    /** serve.queue.shutdown */
+    kShutdown = 3,
+    /** serve.queue.bad-request */
+    kBadRequest = 4,
+    /** serve.wire.bad-frame */
+    kBadFrame = 5,
+    /** serve.wire.frame-too-large */
+    kFrameTooLarge = 6,
+    /** serve.wire.internal */
+    kInternal = 7,
+};
+
+/** The stable error code for @p status ("" for kOk or unknown). */
+const char *errorCodeForStatus(Status status);
+
+/**
+ * The status byte for a coded serving Error. Codes outside the
+ * serve.* taxonomy (a compile failure's hir.* code, an uncoded
+ * Error) map to @p fallback, whose message payload carries the text.
+ */
+Status statusForErrorCode(const std::string &code,
+                          Status fallback = Status::kInternal);
+
+/** Decoded header fields of one frame. */
+struct FrameHeader
+{
+    uint8_t opcode = 0;
+    Status status = Status::kOk;
+    uint32_t payloadBytes = 0;
+};
+
+/** decodeFrameHeader outcome. */
+enum class HeaderParse
+{
+    kOk,
+    /** Magic mismatch: the stream cannot be re-synchronized. */
+    kBadMagic,
+    /** Version this build does not speak. */
+    kBadVersion,
+};
+
+/**
+ * Parse @p bytes (exactly kFrameHeaderBytes of them) into @p header.
+ * Opcode validity and the payload-length cap are the caller's checks:
+ * both leave the framing intact, so the connection can survive them.
+ */
+HeaderParse decodeFrameHeader(const unsigned char *bytes,
+                              FrameHeader *header);
+
+/** Encode a complete frame (header + payload) ready to send. */
+std::string encodeFrame(Opcode opcode, Status status,
+                        const std::string &payload);
+
+// --- little-endian scalar helpers (shared by payload codecs/tests) --
+
+void appendU32(std::string *out, uint32_t value);
+void appendF32(std::string *out, float value);
+
+/**
+ * Read a u32 at @p *cursor, advancing it. False when fewer than four
+ * bytes remain.
+ */
+bool readU32(const std::string &payload, size_t *cursor,
+             uint32_t *value);
+
+/**
+ * Read @p count bytes at @p *cursor into @p out, advancing it. False
+ * when the payload is too short.
+ */
+bool readBytes(const std::string &payload, size_t *cursor,
+               size_t count, std::string *out);
+
+// --- payload codecs ------------------------------------------------
+
+/** Build a LOAD payload (empty @p schedule_json = default schedule). */
+std::string encodeLoadPayload(const std::string &forest_json,
+                              const std::string &schedule_json);
+
+/** Parse a LOAD payload; false on a malformed layout. */
+bool decodeLoadPayload(const std::string &payload,
+                       std::string *forest_json,
+                       std::string *schedule_json);
+
+/** Build a PREDICT payload from @p num_rows rows of @p num_features. */
+std::string encodePredictPayload(const std::string &handle,
+                                 const float *rows, int64_t num_rows,
+                                 int32_t num_features);
+
+/**
+ * Parse a PREDICT payload; false on a malformed layout (short
+ * buffer, or trailing bytes that are not a whole number of floats).
+ * Whether the floats divide into @p num_rows rows of the model's
+ * feature count is the server's semantic check, not the codec's.
+ */
+bool decodePredictPayload(const std::string &payload,
+                          std::string *handle, uint32_t *num_rows,
+                          std::vector<float> *values);
+
+/** Encode @p values as the raw-f32 PREDICT response payload. */
+std::string encodeFloatPayload(const std::vector<float> &values);
+
+/** Parse a raw-f32 payload; false when not a whole number of floats. */
+bool decodeFloatPayload(const std::string &payload,
+                        std::vector<float> *values);
+
+} // namespace treebeard::serve::wire
+
+#endif // TREEBEARD_SERVE_WIRE_H

@@ -52,6 +52,16 @@
  * plus the schedule/backend flags above (the model's schedule is the
  * registry default).
  *
+ * serve also speaks the TCP wire protocol (docs/SERVING.md):
+ *   --listen HOST:PORT   serve the model over a socket instead of
+ *     driving load; prints "listening on HOST:PORT" (the actual port
+ *     when PORT is 0) and blocks until a SHUTDOWN frame arrives, then
+ *     reports whether the lock-order validator stayed silent.
+ *   --connect HOST:PORT  run the closed-loop driver against a remote
+ *     listener (one wire Client per thread) and print the results as
+ *     one JSON document instead of text; --shutdown additionally
+ *     sends a SHUTDOWN frame once the load completes.
+ *
  * verify loads the model and schedule (from a schedule JSON file or
  * from schedule flags), runs every IR-level verifier after every
  * compiler pass, and prints the diagnostic report as text or, with
@@ -70,12 +80,15 @@
 #include <thread>
 
 #include "analysis/diagnostics.h"
+#include "common/checked_mutex.h"
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "model/model_stats.h"
 #include "model/serialization.h"
+#include "serve/client.h"
 #include "serve/server.h"
+#include "serve/transport.h"
 #include "treebeard/compiler.h"
 #include "tuner/auto_tuner.h"
 
@@ -477,6 +490,9 @@ commandServe(const std::string &model_path,
     int64_t clients = 8;
     int64_t requests_per_client = 200;
     int64_t rows_per_request = 1;
+    std::string listen_spec;
+    std::string connect_spec;
+    bool send_shutdown = false;
     serve::ServerOptions server_options;
     std::vector<std::string> schedule_flags;
     for (size_t i = 0; i < flags.size(); ++i) {
@@ -492,6 +508,12 @@ commandServe(const std::string &model_path,
             requests_per_client = std::stoll(next());
         else if (arg == "--rows")
             rows_per_request = std::stoll(next());
+        else if (arg == "--listen")
+            listen_spec = next();
+        else if (arg == "--connect")
+            connect_spec = next();
+        else if (arg == "--shutdown")
+            send_shutdown = true;
         else if (arg == "--max-batch-rows")
             server_options.batcher.maxBatchRows = std::stoll(next());
         else if (arg == "--max-delay-us")
@@ -507,6 +529,10 @@ commandServe(const std::string &model_path,
     fatalIf(clients < 1, "--clients must be >= 1");
     fatalIf(requests_per_client < 1, "--requests must be >= 1");
     fatalIf(rows_per_request < 1, "--rows must be >= 1");
+    fatalIf(!listen_spec.empty() && !connect_spec.empty(),
+            "--listen and --connect are mutually exclusive");
+    fatalIf(send_shutdown && connect_spec.empty(),
+            "--shutdown only applies with --connect");
 
     CompilerOptions compiler_options;
     hir::Schedule schedule =
@@ -515,6 +541,149 @@ commandServe(const std::string &model_path,
     server_options.registry.defaultSchedule = schedule;
 
     model::Forest forest = model::loadForest(model_path);
+
+    if (!listen_spec.empty()) {
+        // Server mode: expose the model over the TCP wire protocol
+        // and block until a SHUTDOWN frame arrives. The lock-order
+        // validator runs for the whole serving lifetime so the exit
+        // status doubles as a concurrency check in CI.
+        std::string host;
+        uint16_t port = 0;
+        serve::splitHostPort(listen_spec, &host, &port);
+        setLockChecking(true);
+        serve::Server server(server_options);
+        Timer load_timer;
+        serve::ModelHandle handle = server.loadModel(forest);
+        std::printf("serving %s as %s [backend: %s, %s]\n",
+                    model_path.c_str(), handle.c_str(),
+                    backendName(compiler_options.backend),
+                    server_options.batcher.enabled
+                        ? "dynamic batching"
+                        : "unbatched dispatch");
+        std::printf("model loaded in %.3f s under schedule: %s\n",
+                    load_timer.elapsedSeconds(),
+                    schedule.toString().c_str());
+        serve::TransportOptions transport;
+        transport.host = host;
+        transport.port = port;
+        serve::WireServer wire_server(server, transport);
+        std::printf("listening on %s:%u\n", host.c_str(),
+                    static_cast<unsigned>(wire_server.port()));
+        std::fflush(stdout);
+        wire_server.waitUntilStopRequested();
+        wire_server.stop();
+        serve::TransportStats wire_stats = wire_server.stats();
+        server.shutdown();
+        long long violations =
+            static_cast<long long>(lockViolationCount());
+        std::printf("served %lld frames on %lld connections "
+                    "(%lld protocol errors, %lld disconnects)\n",
+                    static_cast<long long>(wire_stats.framesServed),
+                    static_cast<long long>(
+                        wire_stats.connectionsAccepted),
+                    static_cast<long long>(wire_stats.protocolErrors),
+                    static_cast<long long>(wire_stats.disconnects));
+        std::printf("shutdown: clean (%lld lock violations)\n",
+                    violations);
+        return violations == 0 ? 0 : 1;
+    }
+
+    if (!connect_spec.empty()) {
+        // Driver mode: the same closed-loop load, but over the wire
+        // against a remote listener, one Client per thread. Output is
+        // a single JSON document so scripts consume it directly.
+        std::string host;
+        uint16_t port = 0;
+        serve::splitHostPort(connect_spec, &host, &port);
+        serve::Client setup(host, port);
+        serve::ModelHandle handle = setup.loadModel(forest, schedule);
+        const int32_t features = forest.numFeatures();
+
+        data::SyntheticModelSpec spec;
+        spec.name = "cli-serve";
+        spec.numFeatures = features;
+        spec.numTrees = 1;
+        spec.maxDepth = 1;
+        const int64_t pool_rows = 256;
+        fatalIf(rows_per_request > pool_rows, "--rows must be <= ",
+                pool_rows);
+        std::vector<data::Dataset> pools;
+        for (int64_t c = 0; c < clients; ++c) {
+            pools.push_back(data::generateFeatures(
+                spec, pool_rows, /*seed_offset=*/1000 + c));
+        }
+
+        std::vector<std::vector<double>> latencies(
+            static_cast<size_t>(clients));
+        std::atomic<int64_t> rejected{0};
+        Timer wall;
+        std::vector<std::thread> threads;
+        for (int64_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                serve::Client client(host, port);
+                std::vector<double> &lat =
+                    latencies[static_cast<size_t>(c)];
+                lat.reserve(static_cast<size_t>(requests_per_client));
+                const float *pool =
+                    pools[static_cast<size_t>(c)].rows();
+                for (int64_t r = 0; r < requests_per_client; ++r) {
+                    int64_t start =
+                        (r * rows_per_request) %
+                        (pool_rows - rows_per_request + 1);
+                    const float *rows = pool + start * features;
+                    Timer timer;
+                    try {
+                        client.predict(handle, rows,
+                                       rows_per_request, features);
+                    } catch (const Error &error) {
+                        if (error.code() == serve::kErrQueueFull) {
+                            rejected.fetch_add(1);
+                            continue;
+                        }
+                        throw;
+                    }
+                    lat.push_back(timer.elapsedMicros());
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+        double wall_seconds = wall.elapsedSeconds();
+
+        std::vector<double> all;
+        for (const std::vector<double> &lat : latencies)
+            all.insert(all.end(), lat.begin(), lat.end());
+        fatalIf(all.empty(), "every request was rejected; raise "
+                "--max-queued-rows or lower --clients");
+        std::sort(all.begin(), all.end());
+        auto percentile = [&](double p) {
+            size_t index = static_cast<size_t>(
+                p * static_cast<double>(all.size() - 1));
+            return all[index];
+        };
+        int64_t completed = static_cast<int64_t>(all.size());
+
+        if (send_shutdown)
+            setup.shutdownServer();
+
+        JsonValue::Object doc;
+        doc["handle"] = handle;
+        doc["clients"] = clients;
+        doc["requests_per_client"] = requests_per_client;
+        doc["rows_per_request"] = rows_per_request;
+        doc["completed"] = completed;
+        doc["rejected"] = rejected.load();
+        doc["p50_us"] = percentile(0.50);
+        doc["p95_us"] = percentile(0.95);
+        doc["p99_us"] = percentile(0.99);
+        doc["rows_per_sec"] =
+            static_cast<double>(completed * rows_per_request) /
+            wall_seconds;
+        doc["wall_seconds"] = wall_seconds;
+        std::printf("%s\n", JsonValue(std::move(doc)).dump().c_str());
+        return 0;
+    }
+
     serve::Server server(server_options);
     Timer load_timer;
     serve::ModelHandle handle = server.loadModel(forest);

@@ -448,6 +448,29 @@ TEST(Server, UnknownHandleAndShutdownCodes)
     }
 }
 
+TEST(Server, ZeroRowPredictAsyncThrowsBadRequest)
+{
+    // The batcher treats zero rows as a resolved no-op (asserted
+    // above), but the Server API rejects it: an empty predict has no
+    // answer to wait for, and the TCP transport relies on this code
+    // to answer an empty PREDICT frame deterministically.
+    serve::Server server;
+    model::Forest forest = makeServableForest(307);
+    serve::ModelHandle handle = server.loadModel(forest);
+    std::vector<float> row(forest.numFeatures(), 0.5f);
+    for (int64_t num_rows : {int64_t{0}, int64_t{-3}}) {
+        try {
+            server.predictAsync(handle, row.data(), num_rows);
+            FAIL() << "expected serve.queue.bad-request for "
+                   << num_rows << " rows";
+        } catch (const Error &error) {
+            EXPECT_EQ(error.code(), serve::kErrBadRequest);
+        }
+    }
+    // The model still serves after the rejections.
+    EXPECT_EQ(server.predict(handle, row.data(), 1).size(), 1u);
+}
+
 TEST(Server, EvictThenReloadServesAgain)
 {
     serve::Server server;

@@ -119,6 +119,65 @@ assert {"batched", "unbatched"} <= {m for _, m in modes}, \
     "expected both serving modes"
 print(f"bench_serving: JSON ok ({len(points)} sweep points)")
 EOF
+
+    # Loopback-socket smoke: the same serving stack fronted by the TCP
+    # wire transport. Start a listener on an ephemeral port, drive it
+    # with the CLI's closed-loop socket driver, assert the driver's
+    # JSON is sane, send SHUTDOWN and require the listener to exit 0
+    # with a clean-shutdown line (exit 1 = lock-order violations).
+    echo "=== ci: loopback socket smoke ==="
+    CLI="$BUILD_DIR/src/tools/treebeard"
+    WIRE_DIR="$SMOKE_DIR/wire"
+    mkdir -p "$WIRE_DIR"
+    "$CLI" synth abalone "$WIRE_DIR/model.json" 20 > /dev/null
+    "$CLI" serve "$WIRE_DIR/model.json" --listen 127.0.0.1:0 \
+        > "$WIRE_DIR/listener.log" 2>&1 &
+    LISTENER_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+        PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            "$WIRE_DIR/listener.log")
+        [ -n "$PORT" ] && break
+        kill -0 "$LISTENER_PID" 2> /dev/null || {
+            echo "listener died before binding:" >&2
+            cat "$WIRE_DIR/listener.log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$PORT" ] || {
+        echo "listener never reported its port" >&2
+        kill "$LISTENER_PID" 2> /dev/null || true
+        exit 1
+    }
+    "$CLI" serve "$WIRE_DIR/model.json" \
+        --connect "127.0.0.1:$PORT" --clients 2 --requests 20 \
+        --shutdown > "$WIRE_DIR/driver.json"
+    python3 - "$WIRE_DIR/driver.json" <<'EOF'
+import json, math, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["completed"] == 40, f"expected 40 completed: {doc}"
+assert doc["rejected"] == 0, f"unexpected rejections: {doc}"
+for key in ("p50_us", "p95_us", "p99_us", "rows_per_sec"):
+    value = float(doc[key])
+    assert math.isfinite(value) and value > 0, \
+        f"{key} not positive-finite in {doc}"
+assert doc["handle"].startswith("tb-"), doc["handle"]
+print(f"wire driver: JSON ok (p50 {doc['p50_us']:.0f} us)")
+EOF
+    if ! wait "$LISTENER_PID"; then
+        echo "listener exited non-zero (lock violations?):" >&2
+        cat "$WIRE_DIR/listener.log" >&2
+        exit 1
+    fi
+    grep -q '^shutdown: clean (0 lock violations)$' \
+        "$WIRE_DIR/listener.log" || {
+        echo "listener log missing clean-shutdown line:" >&2
+        cat "$WIRE_DIR/listener.log" >&2
+        exit 1
+    }
+    echo "wire listener: clean shutdown, 0 lock violations"
 fi
 
 echo "=== ci: OK ==="

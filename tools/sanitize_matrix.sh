@@ -50,12 +50,19 @@ DEFAULT_FILTER="$DEFAULT_FILTER"'|LockOrder'
 # memory modes prove both the builder and the interpreted prelude stay
 # in bounds across layouts.
 DEFAULT_FILTER="$DEFAULT_FILTER"'|HotPath'
+# The TCP transport: the fault-injection matrix (torn frames,
+# mid-predict disconnects, stop-under-load) exercises the acceptor /
+# handler / stop teardown races — thread mode proves the connection
+# registry and stop protocol race-free, the memory modes watch the
+# frame-assembly buffers; the wire fuzzer rides along with random
+# frames.
+DEFAULT_FILTER="$DEFAULT_FILTER"'|WireCodec|WireTransport|WireExactness|WireFuzz'
 FILTER="${TREEBEARD_SANITIZE_TESTS:-$DEFAULT_FILTER}"
 
 TARGETS=(codegen_test packed_layout_test backend_parity_test
          hot_path_test verifier_test resident_dataset_test
          concurrency_test serving_test lock_order_test
-         property_sweep_test)
+         property_sweep_test transport_test wire_fuzz_test)
 
 for sanitizer in "${SANITIZERS[@]}"; do
     case "$sanitizer" in
